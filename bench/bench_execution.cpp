@@ -1,0 +1,219 @@
+// Section 4.4: execution cost.
+//
+// The paper measured generation time but "have not yet compared the
+// execution efficiency of a running FSM implementation with that of a
+// non-FSM solution", expecting no significant difference. This bench runs
+// that comparison: per-message dispatch cost of
+//
+//   * the table-driven interpreter (FsmInstance over the generated machine)
+//   * the generated switch-based implementation (checked-in CommitFsmR4)
+//   * a hand-written variable-based implementation of the original
+//     algorithm (one state, many variables — the other end of the
+//     section 3.2 spectrum)
+//
+// plus the generation cost per family member (Table 1's time column as a
+// proper benchmark).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "commit/commit_model.hpp"
+#include "commit/generated/commit_fsm_r4.hpp"
+#include "core/interpreter.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace asa_repro;
+
+/// Deterministic message stream shared by all contestants.
+std::vector<fsm::MessageId> message_stream(std::size_t n) {
+  sim::Rng rng(0xBEEF);
+  std::vector<fsm::MessageId> stream;
+  stream.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stream.push_back(static_cast<fsm::MessageId>(rng.below(5)));
+  }
+  return stream;
+}
+
+/// Generated-code contestant with no-op action bindings.
+class NullActionsFsm : public generated::CommitFsmR4 {
+ public:
+  std::uint64_t sent = 0;
+
+ private:
+  void sendVote() override { ++sent; }
+  void sendCommit() override { ++sent; }
+  void sendFree() override { ++sent; }
+  void sendNotFree() override { ++sent; }
+};
+
+/// Hand-written "original algorithm" (section 3.1): one state, seven
+/// variables, control decisions taken dynamically.
+class HandWrittenCommit {
+ public:
+  explicit HandWrittenCommit(std::uint32_t r)
+      : r_(r), f_((r - 1) / 3) {}
+
+  void receive(std::uint32_t m) {
+    switch (m) {
+      case commit::kUpdate: on_update(); break;
+      case commit::kVote: on_vote(); break;
+      case commit::kCommit: on_commit(); break;
+      case commit::kFree: on_free(); break;
+      case commit::kNotFree: on_not_free(); break;
+      default: break;
+    }
+  }
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  void reset() {
+    update_received_ = vote_sent_ = commit_sent_ = has_chosen_ = false;
+    could_choose_ = true;
+    votes_ = commits_ = 0;
+    finished_ = false;
+  }
+
+  std::uint64_t sent = 0;
+
+ private:
+  void send() { ++sent; }
+  [[nodiscard]] std::uint32_t total_votes() const {
+    return votes_ + (vote_sent_ ? 1 : 0);
+  }
+  void choose() {
+    send();  // vote
+    vote_sent_ = true;
+    if (total_votes() >= 2 * f_ + 1 && !commit_sent_) {
+      send();  // commit
+      commit_sent_ = true;
+    }
+    has_chosen_ = true;
+    send();  // not_free
+  }
+  void on_update() {
+    if (update_received_ || finished_) return;
+    update_received_ = true;
+    if (could_choose_ && !has_chosen_ && !vote_sent_) choose();
+  }
+  void on_vote() {
+    if (finished_ || votes_ >= r_ - 1) return;
+    ++votes_;
+    if (total_votes() >= 2 * f_ + 1) {
+      if (!vote_sent_) {
+        if (could_choose_) {
+          has_chosen_ = true;
+          send();  // not_free
+        }
+        send();  // vote
+        vote_sent_ = true;
+      }
+      if (!commit_sent_) {
+        send();  // commit
+        commit_sent_ = true;
+      }
+    }
+  }
+  void on_commit() {
+    if (finished_ || commits_ >= r_ - 1) return;
+    ++commits_;
+    if (commits_ >= f_ + 1) {
+      if (!vote_sent_) {
+        send();
+        vote_sent_ = true;
+      }
+      if (!commit_sent_) {
+        send();
+        commit_sent_ = true;
+      }
+      if (has_chosen_) send();  // free
+      finished_ = true;
+    }
+  }
+  void on_free() {
+    if (finished_ || vote_sent_ || has_chosen_) return;
+    could_choose_ = true;
+    if (update_received_) choose();
+  }
+  void on_not_free() {
+    if (finished_ || vote_sent_ || has_chosen_) return;
+    could_choose_ = false;
+  }
+
+  std::uint32_t r_;
+  std::uint32_t f_;
+  bool update_received_ = false;
+  std::uint32_t votes_ = 0;
+  bool vote_sent_ = false;
+  std::uint32_t commits_ = 0;
+  bool commit_sent_ = false;
+  bool could_choose_ = true;
+  bool has_chosen_ = false;
+  bool finished_ = false;
+};
+
+const std::vector<fsm::MessageId>& stream() {
+  static const auto s = message_stream(4096);
+  return s;
+}
+
+void BM_Interpreter(benchmark::State& state) {
+  commit::CommitModel model(4);
+  const fsm::StateMachine machine = model.generate_state_machine();
+  fsm::FsmInstance inst(machine);
+  std::size_t i = 0;
+  std::uint64_t actions = 0;
+  for (auto _ : state) {
+    const fsm::Transition* t = inst.deliver(stream()[i]);
+    if (t != nullptr) actions += t->actions.size();
+    if (inst.finished()) inst.reset();
+    i = (i + 1) & 4095;
+  }
+  benchmark::DoNotOptimize(actions);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Interpreter);
+
+void BM_GeneratedSwitch(benchmark::State& state) {
+  NullActionsFsm fsm;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    fsm.receive(stream()[i]);
+    if (fsm.finished()) fsm.reset();
+    i = (i + 1) & 4095;
+  }
+  benchmark::DoNotOptimize(fsm.sent);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeneratedSwitch);
+
+void BM_HandWritten(benchmark::State& state) {
+  HandWrittenCommit fsm(4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    fsm.receive(stream()[i]);
+    if (fsm.finished()) fsm.reset();
+    i = (i + 1) & 4095;
+  }
+  benchmark::DoNotOptimize(fsm.sent);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HandWritten);
+
+void BM_GenerateStateMachine(benchmark::State& state) {
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  commit::CommitModel model(r);
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const fsm::StateMachine machine = model.generate_state_machine();
+    states = machine.state_count();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["final_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_GenerateStateMachine)->Arg(4)->Arg(7)->Arg(13)->Arg(25)->Arg(46);
+
+}  // namespace
+
+BENCHMARK_MAIN();

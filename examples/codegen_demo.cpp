@@ -1,0 +1,96 @@
+// Code-generation demo (paper sections 4.1-4.3): generate a protocol
+// implementation for a replication factor chosen AT RUN TIME, compile it
+// with the system C++ compiler, dlopen it, and drive the loaded machine —
+// the "generate whenever a new parameter value is encountered" deployment,
+// with the Java 6 compiler API replaced by its C++ counterpart.
+//
+//   $ ./codegen_demo [replication_factor] [src_include_dir]
+//
+// The include dir must point at this repository's src/ so the generated
+// code can see core/generated_api.hpp; it defaults to the build-time path.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "commit/commit_model.hpp"
+#include "core/dynamic_loader.hpp"
+#include "core/render/code_renderer.hpp"
+
+#ifndef ASA_SRC_DIR
+#define ASA_SRC_DIR "src"
+#endif
+
+using namespace asa_repro;
+
+int main(int argc, char** argv) {
+  const std::uint32_t r =
+      argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 7;
+  const std::string include_dir = argc > 2 ? argv[2] : ASA_SRC_DIR;
+
+  // ---- Generate (sections 3.4-3.5). ----
+  commit::CommitModel model(r);
+  fsm::GenerationReport report;
+  const fsm::StateMachine machine = model.generate_state_machine({}, &report);
+  fsm::CodeGenOptions options;
+  options.class_name = "CommitFsmDynamic";
+  options.base_class = "asa_repro::fsm::DynamicFsmBase";
+  options.action_style = fsm::CodeGenOptions::ActionStyle::kSink;
+  options.implement_api = true;
+  options.emit_factory = true;
+  options.includes = {"core/generated_api.hpp"};
+  const std::string source = fsm::CodeRenderer(options).render(machine);
+
+  const std::string out_file = "generated_commit_r" + std::to_string(r) +
+                               ".cpp";
+  std::ofstream(out_file) << source;
+  std::cout << "generated " << machine.state_count() << "-state machine for "
+            << "r=" << r << " (" << source.size() << " bytes) -> " << out_file
+            << "\n";
+
+  // ---- Compile + load + bind (section 4.3). ----
+  fsm::DynamicCompiler::Options copts;
+  copts.include_dir = include_dir;
+  fsm::DynamicCompiler compiler(copts);
+  if (!compiler.available()) {
+    std::cout << "no C++ compiler available on this host; generation-only "
+                 "demo complete\n";
+    return 0;
+  }
+  std::cout << "compiling with '" << compiler.compiler() << "' and loading "
+            << "via dlopen...\n";
+  auto result = compiler.compile_and_load(source);
+  if (!result.fsm.has_value()) {
+    std::cerr << "dynamic deployment failed: " << result.error << "\n";
+    return 1;
+  }
+  fsm::GeneratedFsmApi& fsm_api = result.fsm->machine();
+
+  // ---- Drive the dynamically loaded machine through a commit. ----
+  std::vector<std::string> actions;
+  fsm_api.set_action_sink(
+      [](void* ctx, const char* action) {
+        static_cast<std::vector<std::string>*>(ctx)->push_back(action);
+      },
+      &actions);
+
+  const auto deliver = [&](commit::Message m, const char* label) {
+    actions.clear();
+    fsm_api.receive(m);
+    std::cout << "  " << label << " -> " << fsm_api.state_name();
+    for (const auto& a : actions) std::cout << "  ->" << a;
+    std::cout << "\n";
+  };
+
+  std::cout << "driving the loaded machine (start "
+            << fsm_api.state_name() << "):\n";
+  deliver(commit::kUpdate, "update");
+  for (std::uint32_t v = 0; v + 1 < model.vote_threshold(); ++v) {
+    deliver(commit::kVote, "vote  ");
+  }
+  for (std::uint32_t c = 0; c < model.commit_threshold(); ++c) {
+    deliver(commit::kCommit, "commit");
+  }
+  std::cout << "finished: " << (fsm_api.finished() ? "yes" : "no") << "\n";
+  return fsm_api.finished() ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// File-system demo (paper Fig 1, top of the stack): versioned files over
+// the whole substrate — every write replicates a block and commits a
+// version append through the BFT protocol; every old version stays
+// readable (the "historical record").
+//
+//   $ ./filesystem_demo
+#include <iostream>
+#include <string>
+
+#include "asafs/file_system.hpp"
+
+using namespace asa_repro;
+using namespace asa_repro::asafs;
+using storage::block_from;
+
+int main() {
+  storage::ClusterConfig config;
+  config.nodes = 16;
+  config.replication_factor = 4;
+  config.seed = 2026;
+  storage::AsaCluster cluster(config);
+  AsaFileSystem fs(cluster);
+
+  const std::string path = "/home/al/paper.tex";
+  const std::vector<std::string> edits = {
+      "\\title{Draft}",
+      "\\title{Design of State Machines}",
+      "\\title{Design, Implementation and Deployment of State Machines}",
+  };
+
+  std::cout << "writing " << edits.size() << " versions of " << path
+            << " (each write = replicated block + BFT commit)\n";
+  for (std::size_t v = 0; v < edits.size(); ++v) {
+    bool ok = false;
+    std::uint32_t attempts = 0;
+    fs.write(path, block_from(edits[v]), [&](const WriteResult& r) {
+      ok = r.ok;
+      attempts = r.commit_attempts;
+    });
+    cluster.run();
+    std::cout << "  v" << v << (ok ? " committed" : " FAILED") << " ("
+              << attempts << " attempt(s))\n";
+    if (!ok) return 1;
+  }
+
+  FileInfo info;
+  fs.stat(path, [&](const FileInfo& i) { info = i; });
+  cluster.run();
+  std::cout << "\n" << path << ": " << info.version_count
+            << " versions in the historical record\n";
+  for (std::size_t v = 0; v < info.versions.size(); ++v) {
+    std::cout << "  v" << v << " = "
+              << info.versions[v].to_hex().substr(0, 16) << "...\n";
+  }
+
+  std::cout << "\nreading back every version:\n";
+  for (std::size_t v = 0; v < edits.size(); ++v) {
+    ReadResult read;
+    fs.read_version(path, v, [&](const ReadResult& r) { read = r; });
+    cluster.run();
+    if (!read.ok) {
+      std::cout << "  v" << v << " READ FAILED\n";
+      return 1;
+    }
+    std::cout << "  v" << v << ": \""
+              << std::string(read.contents.begin(), read.contents.end())
+              << "\"\n";
+  }
+
+  ReadResult latest;
+  fs.read(path, [&](const ReadResult& r) { latest = r; });
+  cluster.run();
+  std::cout << "\nlatest: \""
+            << std::string(latest.contents.begin(), latest.contents.end())
+            << "\"\n";
+  return latest.ok ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Storage demo: the paper's data storage service (section 2.1) running on
+// a simulated ASA cluster — Chord routing, replicated blocks, (r-f)-quorum
+// stores, hash-verified retrieval surviving corrupt replicas, and the
+// background maintenance process repairing damage.
+//
+//   $ ./storage_demo [nodes] [seed]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "storage/cluster.hpp"
+
+using namespace asa_repro;
+using namespace asa_repro::storage;
+
+int main(int argc, char** argv) {
+  ClusterConfig config;
+  config.nodes = argc > 1 ? std::stoul(argv[1]) : 16;
+  config.replication_factor = 4;
+  config.seed = argc > 2 ? std::stoull(argv[2]) : 7;
+
+  std::cout << "Building a " << config.nodes << "-node ASA cluster (r="
+            << config.replication_factor << ", tolerating f="
+            << (config.replication_factor - 1) / 3
+            << " faulty replicas per peer set)\n\n";
+  AsaCluster cluster(config);
+
+  // ---- Store a handful of documents. ----
+  const std::vector<std::string> documents = {
+      "The finite state machine is a widely used abstraction.",
+      "All operations must be intrinsically verifiable.",
+      "Updates are appended rather than being destructive.",
+  };
+  std::vector<Pid> pids;
+  for (const std::string& doc : documents) {
+    const Pid pid = cluster.data_store().store(
+        block_from(doc), [&](const StoreResult& r) {
+          std::cout << (r.ok ? "stored  " : "FAILED  ")
+                    << r.pid.to_hex().substr(0, 16) << "...  (" << r.acks
+                    << " replica acks)\n";
+        });
+    pids.push_back(pid);
+    cluster.maintainer().track(pid);
+  }
+  cluster.run();
+
+  // ---- Show where the replicas live. ----
+  std::cout << "\nreplica placement of block 0 (evenly spaced keys):\n";
+  for (const p2p::NodeId& key :
+       replica_keys(pids[0].as_key(), config.replication_factor)) {
+    std::cout << "  key " << key.short_hex() << "... -> node "
+              << cluster.addr_for_key(key) << "\n";
+  }
+
+  // ---- Corrupt a replica holder and retrieve anyway. ----
+  NodeHost& corrupt = cluster.host_for_key(pids[0].as_key());
+  corrupt.store().set_corrupt(true);
+  std::cout << "\nnode " << corrupt.address()
+            << " now serves tampered bytes; retrieving block 0...\n";
+  cluster.data_store().retrieve(pids[0], [&](const RetrieveResult& r) {
+    std::cout << (r.ok ? "retrieved OK" : "RETRIEVE FAILED") << " after "
+              << r.replicas_tried << " replica(s), "
+              << r.verification_failures
+              << " hash verification failure(s)\n";
+    if (r.ok) {
+      std::cout << "content: \""
+                << std::string(r.block.begin(), r.block.end()) << "\"\n";
+    }
+  });
+  cluster.run();
+
+  // ---- Damage at rest + background repair. ----
+  corrupt.store().set_corrupt(false);
+  corrupt.store().corrupt_stored(pids[0]);
+  std::cout << "\ndamaged one replica at rest; running maintenance "
+               "cross-check...\n";
+  const std::size_t repaired = cluster.maintainer().scan();
+  std::cout << "maintenance repaired " << repaired << " replica(s); "
+            << "cross-checked "
+            << cluster.maintainer().stats().replicas_checked
+            << " replicas total\n";
+
+  std::cout << "\nnetwork totals: " << cluster.network().stats().sent
+            << " frames sent, " << cluster.network().stats().delivered
+            << " delivered\n";
+  return 0;
+}

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Prototype of the paper's abstract model to pin down transition semantics.
+
+State tuple: (u, V, vs, C, cs, cc, hc)
+  u  = update_received (bool)
+  V  = votes_received  (0..r-1)
+  vs = vote_sent       (bool)
+  C  = commits_received(0..r-1)
+  cs = commit_sent     (bool)
+  cc = could_choose    (bool)
+  hc = has_chosen      (bool)
+
+Targets from the paper (Table 1 + section 3.4):
+  r=4:  512 initial, 48 after pruning, 33 after merging
+  r=7:  1568 initial, 85 final
+  r=13: 5408 initial, 261 final
+  r=25: 20000 initial, 901 final
+  r=46: 67712 initial, 2945 final
+"""
+import itertools, sys
+
+FINISH = "FINISH"
+MESSAGES = ["update", "vote", "commit", "free", "not_free"]
+
+class Cfg:
+    def __init__(self, **kw):
+        self.start_cc = kw.get("start_cc", 1)       # initial could_choose
+        self.vote_unsets_cc = kw.get("vote_unsets_cc", 0)  # does sending a vote unset cc
+        self.selfloop_noop = kw.get("selfloop_noop", 1)    # record self-loop for no-op free/not_free
+        self.selfloop_update = kw.get("selfloop_update", 0)  # update when already received: self-loop vs invalid
+        self.finish_has_selfloops = kw.get("finish_has_selfloops", 0)
+        self.kw = kw
+    def __repr__(self):
+        return str(self.kw)
+
+def transitions(state, r, f, cfg):
+    """Return dict message -> (actions tuple, next state) for applicable messages."""
+    Tv = 2*f + 1
+    Tc = f + 1
+    out = {}
+    u, V, vs, C, cs, cc, hc = state
+
+    # --- update ---
+    if u:
+        if cfg.selfloop_update:
+            out["update"] = ((), state)
+    else:
+        a = []
+        u2, V2, vs2, C2, cs2, cc2, hc2 = 1, V, vs, C, cs, cc, hc
+        if cc2 and not hc2 and not vs2:
+            a.append("vote"); vs2 = 1
+            if cfg.vote_unsets_cc: cc2 = 0
+            if V2 + vs2 >= Tv:
+                if not cs2:
+                    a.append("commit"); cs2 = 1
+            hc2 = 1
+            a.append("not_free")
+        out["update"] = (tuple(a), (u2, V2, vs2, C2, cs2, cc2, hc2))
+
+    # --- vote ---
+    if V < r - 1:
+        a = []
+        u2, V2, vs2, C2, cs2, cc2, hc2 = u, V + 1, vs, C, cs, cc, hc
+        if V2 + vs2 >= Tv:
+            if not vs2:
+                if cc2:
+                    hc2 = 1
+                    a.append("not_free")
+                a.append("vote"); vs2 = 1
+                if cfg.vote_unsets_cc: cc2 = 0
+            if not cs2:
+                a.append("commit"); cs2 = 1
+        out["vote"] = (tuple(a), (u2, V2, vs2, C2, cs2, cc2, hc2))
+
+    # --- commit ---
+    if C < r - 1:
+        a = []
+        u2, V2, vs2, C2, cs2, cc2, hc2 = u, V, vs, C + 1, cs, cc, hc
+        if C2 >= Tc:
+            if not vs2:
+                a.append("vote"); vs2 = 1
+                if cfg.vote_unsets_cc: cc2 = 0
+            if not cs2:
+                a.append("commit"); cs2 = 1
+            if hc2:
+                a.append("free")
+            out["commit"] = (tuple(a), FINISH)
+        else:
+            out["commit"] = (tuple(a), (u2, V2, vs2, C2, cs2, cc2, hc2))
+
+    # --- free ---
+    if not vs and not hc:
+        a = []
+        u2, V2, vs2, C2, cs2, cc2, hc2 = u, V, vs, C, cs, 1, hc
+        if u2:
+            a.append("vote"); vs2 = 1
+            if cfg.vote_unsets_cc: cc2 = 0
+            if V2 + vs2 >= Tv:
+                if not cs2:
+                    a.append("commit"); cs2 = 1
+            hc2 = 1
+            a.append("not_free")
+        out["free"] = (tuple(a), (u2, V2, vs2, C2, cs2, cc2, hc2))
+    elif cfg.selfloop_noop:
+        out["free"] = ((), state)
+
+    # --- not_free ---
+    if not vs and not hc:
+        out["not_free"] = ((), (u, V, vs, C, cs, 0, hc))
+    elif cfg.selfloop_noop:
+        out["not_free"] = ((), state)
+
+    return out
+
+def build(r, cfg):
+    f = (r - 1) // 3
+    start = (0, 0, 0, 0, 0, cfg.start_cc, 0)
+    # reachability
+    seen = {start}
+    frontier = [start]
+    graph = {}
+    while frontier:
+        s = frontier.pop()
+        if s == FINISH:
+            graph[s] = {}
+            continue
+        tr = transitions(s, r, f, cfg)
+        graph[s] = tr
+        for m, (a, t) in tr.items():
+            if t not in seen:
+                seen.add(t)
+                frontier.append(t)
+    pruned = len(seen)
+    # minimization: partition refinement on (message -> (actions, class(dest)))
+    cls = {s: 0 for s in seen}
+    while True:
+        sig = {}
+        for s in seen:
+            key = tuple(sorted((m, a, cls[g[1] if False else graph[s][m][1]]) for m, (a, _) in graph[s].items())) if False else \
+                  tuple(sorted((m, graph[s][m][0], cls[graph[s][m][1]]) for m in graph[s]))
+            sig[s] = (cls[s], key)
+        newids = {}
+        newcls = {}
+        for s in seen:
+            k = sig[s]
+            if k not in newids:
+                newids[k] = len(newids)
+            newcls[s] = newids[k]
+        if newcls == cls:
+            break
+        cls = newcls
+    merged = len(set(cls.values()))
+    return pruned, merged
+
+TARGETS = {4: 33, 7: 85, 13: 261, 25: 901, 46: 2945}
+
+def main():
+    best = []
+    for start_cc in (0, 1):
+        for vote_unsets_cc in (0, 1):
+            for selfloop_noop in (0, 1):
+                for selfloop_update in (0, 1):
+                    cfg = Cfg(start_cc=start_cc, vote_unsets_cc=vote_unsets_cc,
+                              selfloop_noop=selfloop_noop, selfloop_update=selfloop_update)
+                    res = {}
+                    for r in (4, 7):
+                        res[r] = build(r, cfg)
+                    ok4 = res[4][1] == 33
+                    ok7 = res[7][1] == 85
+                    p4 = res[4][0]
+                    print(f"{cfg!r:90s} r=4 pruned={res[4][0]:4d} merged={res[4][1]:4d}"
+                          f"  r=7 pruned={res[7][0]:5d} merged={res[7][1]:4d} {'<== MATCH' if ok4 and ok7 else ''}")
+                    if ok4 and ok7:
+                        best.append(cfg)
+    for cfg in best:
+        print("verifying full table for", cfg)
+        for r, want in TARGETS.items():
+            p, m = build(r, cfg)
+            print(f"  r={r:3d} pruned={p:6d} merged={m:5d} want={want} {'OK' if m == want else 'MISMATCH'}")
+
+if __name__ == "__main__":
+    main()

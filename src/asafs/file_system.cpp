@@ -1,0 +1,98 @@
+#include "asafs/file_system.hpp"
+
+namespace asa_repro::asafs {
+
+using storage::Block;
+using storage::Guid;
+using storage::HistoryReadResult;
+using storage::Pid;
+using storage::RetrieveResult;
+using storage::StoreResult;
+
+void AsaFileSystem::write(const std::string& path, Block contents,
+                          WriteCallback callback) {
+  const Guid guid = guid_for(path);
+  // Step 1: replicate the immutable block (completes at r-f acks).
+  const Pid pid = cluster_.data_store().store(
+      std::move(contents),
+      [this, guid, callback = std::move(callback)](const StoreResult& sr) {
+        if (!sr.ok) {
+          WriteResult result;
+          result.version = sr.pid;
+          if (callback) callback(result);
+          return;
+        }
+        pid_index_.emplace(sr.pid.to_uint64(), sr.pid);
+        // Step 2: append the version through the commit protocol.
+        cluster_.version_history().append(
+            guid, sr.pid,
+            [pid = sr.pid, callback](const commit::CommitResult& cr) {
+              WriteResult result;
+              result.ok = cr.committed;
+              result.version = pid;
+              result.commit_attempts = cr.attempts;
+              if (callback) callback(result);
+            });
+      });
+  cluster_.maintainer().track(pid);
+}
+
+void AsaFileSystem::read(const std::string& path, ReadCallback callback) {
+  read_internal(path, std::nullopt, std::move(callback));
+}
+
+void AsaFileSystem::read_version(const std::string& path, std::size_t index,
+                                 ReadCallback callback) {
+  read_internal(path, index, std::move(callback));
+}
+
+void AsaFileSystem::read_internal(const std::string& path,
+                                  std::optional<std::size_t> index,
+                                  ReadCallback callback) {
+  cluster_.version_history().read(
+      guid_for(path),
+      [this, index, callback = std::move(callback)](
+          const HistoryReadResult& hr) {
+        ReadResult result;
+        result.version_count = hr.versions.size();
+        if (!hr.ok || hr.versions.empty()) {
+          if (callback) callback(result);
+          return;
+        }
+        const std::size_t i = index.value_or(hr.versions.size() - 1);
+        if (i >= hr.versions.size()) {
+          if (callback) callback(result);
+          return;
+        }
+        result.version_index = i;
+        const auto pid_it = pid_index_.find(hr.versions[i]);
+        if (pid_it == pid_index_.end()) {
+          if (callback) callback(result);  // Unknown PID (foreign writer).
+          return;
+        }
+        cluster_.data_store().retrieve(
+            pid_it->second,
+            [result, callback](const RetrieveResult& rr) mutable {
+              result.ok = rr.ok;
+              result.contents = rr.block;
+              if (callback) callback(result);
+            });
+      });
+}
+
+void AsaFileSystem::stat(const std::string& path, InfoCallback callback) {
+  cluster_.version_history().read(
+      guid_for(path),
+      [this, callback = std::move(callback)](const HistoryReadResult& hr) {
+        FileInfo info;
+        info.exists = hr.ok && !hr.versions.empty();
+        info.version_count = hr.versions.size();
+        for (std::uint64_t key : hr.versions) {
+          const auto it = pid_index_.find(key);
+          if (it != pid_index_.end()) info.versions.push_back(it->second);
+        }
+        if (callback) callback(info);
+      });
+}
+
+}  // namespace asa_repro::asafs

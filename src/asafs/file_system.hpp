@@ -1,0 +1,87 @@
+// The abstract file system layer (paper Fig 1).
+//
+// ASA's architecture stacks "file system adapters" and a "distributed
+// abstract file system" above the generic storage layer. This module is
+// that layer: paths map to GUIDs, file contents are immutable blocks named
+// by PIDs, and a write appends a new version to the path's version history
+// via the BFT commit protocol — so the historical record of every file is
+// retained and old versions stay readable (the paper's append-only
+// "historical record" requirement).
+//
+// Note: commit-protocol frames carry a compact 64-bit version payload; the
+// file system keeps the payload -> full-PID index needed to re-derive
+// replica locations. In a deployment the frames would carry full PIDs; the
+// index is this simulation's stand-in and is documented in DESIGN.md.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/cluster.hpp"
+
+namespace asa_repro::asafs {
+
+struct WriteResult {
+  bool ok = false;
+  storage::Pid version;     // PID of the newly written contents.
+  std::uint32_t commit_attempts = 0;
+};
+
+struct ReadResult {
+  bool ok = false;
+  storage::Block contents;
+  std::size_t version_index = 0;  // Which version was read (0-based).
+  std::size_t version_count = 0;  // Versions visible at read time.
+};
+
+struct FileInfo {
+  bool exists = false;
+  std::size_t version_count = 0;
+  std::vector<storage::Pid> versions;  // Oldest first.
+};
+
+class AsaFileSystem {
+ public:
+  explicit AsaFileSystem(storage::AsaCluster& cluster) : cluster_(cluster) {}
+
+  AsaFileSystem(const AsaFileSystem&) = delete;
+  AsaFileSystem& operator=(const AsaFileSystem&) = delete;
+
+  using WriteCallback = std::function<void(const WriteResult&)>;
+  using ReadCallback = std::function<void(const ReadResult&)>;
+  using InfoCallback = std::function<void(const FileInfo&)>;
+
+  /// The GUID identifying `path`'s version history.
+  [[nodiscard]] static storage::Guid guid_for(const std::string& path) {
+    return storage::Guid::named("asafs:" + path);
+  }
+
+  /// Write `contents` as the next version of `path`: stores the block with
+  /// replication, then commits the version append through the peer set.
+  void write(const std::string& path, storage::Block contents,
+             WriteCallback callback);
+
+  /// Read the latest version of `path`.
+  void read(const std::string& path, ReadCallback callback);
+
+  /// Read a specific version (0 = oldest). The historical record keeps all
+  /// versions readable.
+  void read_version(const std::string& path, std::size_t index,
+                    ReadCallback callback);
+
+  /// Version metadata for `path`.
+  void stat(const std::string& path, InfoCallback callback);
+
+ private:
+  void read_internal(const std::string& path,
+                     std::optional<std::size_t> index,
+                     ReadCallback callback);
+
+  storage::AsaCluster& cluster_;
+  std::map<std::uint64_t, storage::Pid> pid_index_;  // Payload -> full PID.
+};
+
+}  // namespace asa_repro::asafs

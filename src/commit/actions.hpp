@@ -1,0 +1,24 @@
+// Action-method base class for Method-style generated code (paper
+// section 5.1: "The rendering code is parameterised with a class defining
+// appropriate action methods, such as sendCommit() in Fig 16. The generated
+// class inherits from this specified class.").
+#pragma once
+
+namespace asa_repro::commit {
+
+/// Base class supplying the commit protocol's action methods. A generated
+/// FSM class (CodeRenderer, Method style) inherits from this and invokes
+/// sendVote()/sendCommit()/sendFree()/sendNotFree() on phase transitions;
+/// deployments subclass and route the calls onto the network / sibling
+/// machines.
+class CommitActions {
+ public:
+  virtual ~CommitActions() = default;
+
+  virtual void sendVote() = 0;
+  virtual void sendCommit() = 0;
+  virtual void sendFree() = 0;
+  virtual void sendNotFree() = 0;
+};
+
+}  // namespace asa_repro::commit

@@ -1,0 +1,367 @@
+#include "commit/commit_efsm.hpp"
+
+#include "commit/commit_model.hpp"
+
+namespace asa_repro::commit {
+
+namespace {
+
+using fsm::Efsm;
+using fsm::EfsmAssignment;
+using fsm::EfsmBranch;
+using fsm::EfsmRule;
+using fsm::EfsmState;
+using fsm::EfsmStateId;
+using fsm::ExprPtr;
+using fsm::lit;
+using fsm::var;
+
+constexpr auto id(CommitEfsmState s) {
+  return static_cast<EfsmStateId>(s);
+}
+
+// Expression shorthands shared by all guards.
+ExprPtr V() { return var("votes_received"); }
+ExprPtr C() { return var("commits_received"); }
+ExprPtr R() { return var("r"); }
+ExprPtr vote_threshold() { return lit(2) * var("f") + lit(1); }
+ExprPtr commit_threshold() { return var("f") + lit(1); }
+
+EfsmAssignment inc_votes() {
+  return {"votes_received", V() + lit(1)};
+}
+EfsmAssignment inc_commits() {
+  return {"commits_received", C() + lit(1)};
+}
+
+/// The two commit branches shared by every live state: finishing when the
+/// received count reaches f+1 (with state-dependent actions), otherwise
+/// counting. `finish_actions` reflects what the FSM still has to send when
+/// it finishes from this phase.
+EfsmRule commit_rule(fsm::ActionList finish_actions) {
+  EfsmRule rule;
+  rule.message = kCommit;
+  EfsmBranch finish;
+  finish.guard = C() + lit(1) >= commit_threshold();
+  finish.updates = {inc_commits()};
+  finish.actions = std::move(finish_actions);
+  finish.target = id(CommitEfsmState::kFinished);
+  finish.annotations = {"external commit threshold (f+1) reached: finish"};
+  EfsmBranch count;
+  count.guard = C() < R() - lit(1);
+  count.updates = {inc_commits()};
+  count.target = 0;  // Patched by caller to self.
+  count.annotations = {"below commit threshold: count the commit"};
+  rule.branches = {std::move(finish), std::move(count)};
+  return rule;
+}
+
+/// Below-threshold vote counting branch (self-loop; target patched).
+EfsmBranch vote_count_branch() {
+  EfsmBranch b;
+  b.guard = V() < R() - lit(1);
+  b.updates = {inc_votes()};
+  b.annotations = {"below vote threshold: count the vote"};
+  return b;
+}
+
+/// Always-applicable self-loop with no actions (free/not_free ignored once
+/// this machine has voted or chosen).
+EfsmRule ignore_rule(fsm::MessageId message) {
+  EfsmRule rule;
+  rule.message = message;
+  EfsmBranch b;
+  b.guard = lit(1);
+  b.annotations = {"already voted or chosen: ignored"};
+  rule.branches = {std::move(b)};
+  return rule;
+}
+
+void patch_self_targets(EfsmState& s, EfsmStateId self) {
+  // Branch targets of 0 with no explicit annotation marker mean "stay";
+  // rules built by the helpers leave stay-branches pointing at 0.
+  for (EfsmRule& r : s.rules) {
+    for (EfsmBranch& b : r.branches) {
+      if (b.target == 0 && b.annotations.size() == 1 &&
+          (b.annotations[0].find("count the") != std::string::npos ||
+           b.annotations[0].find("ignored") != std::string::npos)) {
+        b.target = self;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+fsm::EfsmParams commit_efsm_params(std::int64_t r) {
+  return {{"r", r}, {"f", (r - 1) / 3}};
+}
+
+fsm::Efsm make_commit_efsm() {
+  Efsm e;
+  e.name = "bft_commit";
+  e.parameters = {"r", "f"};
+  e.messages = {kMessageNames, kMessageNames + kMessageCount};
+  e.variables = {
+      {"votes_received", lit(0), R() - lit(1)},
+      {"commits_received", lit(0), R() - lit(1)},
+  };
+  e.states.resize(9);
+  e.start = id(CommitEfsmState::kIdleFree);
+
+  const auto S = [](CommitEfsmState s) { return id(s); };
+
+  // ---- IDLE_FREE ----
+  {
+    EfsmState& s = e.states[S(CommitEfsmState::kIdleFree)];
+    s.name = "IDLE_FREE";
+    s.annotations = {
+        "No update received, not voted, node free to choose (start state)."};
+    // update: choose this update; the local vote may itself reach the
+    // threshold.
+    EfsmRule update{kUpdate, {}};
+    {
+      EfsmBranch at_threshold;
+      at_threshold.guard = V() + lit(1) >= vote_threshold();
+      at_threshold.actions = {kActionVote, kActionCommit, kActionNotFree};
+      at_threshold.target = S(CommitEfsmState::kChosenCommitted);
+      at_threshold.annotations = {
+          "choose and vote; local vote reaches the threshold"};
+      EfsmBranch below;
+      below.guard = lit(1);
+      below.actions = {kActionVote, kActionNotFree};
+      below.target = S(CommitEfsmState::kChosenPending);
+      below.annotations = {"choose and vote below the threshold"};
+      update.branches = {std::move(at_threshold), std::move(below)};
+    }
+    s.rules.push_back(std::move(update));
+    // vote: threshold-join while free means this update becomes the chosen
+    // one (not_free is emitted before the vote, as in Fig 10).
+    EfsmRule vote{kVote, {}};
+    {
+      EfsmBranch join;
+      join.guard = (V() < R() - lit(1)) &&
+                   (V() + lit(1) >= vote_threshold());
+      join.updates = {inc_votes()};
+      join.actions = {kActionNotFree, kActionVote, kActionCommit};
+      join.target = S(CommitEfsmState::kChosenJoinedNoUpdate);
+      join.annotations = {"vote threshold reached while free: choose & join"};
+      vote.branches = {std::move(join), vote_count_branch()};
+    }
+    s.rules.push_back(std::move(vote));
+    s.rules.push_back(commit_rule({kActionVote, kActionCommit}));
+    // free: already free; ignored.
+    s.rules.push_back(ignore_rule(kFree));
+    // not_free: a sibling chose its update.
+    EfsmRule not_free{kNotFree, {}};
+    {
+      EfsmBranch lock;
+      lock.guard = lit(1);
+      lock.target = S(CommitEfsmState::kIdleLocked);
+      lock.annotations = {"sibling machine chose its update: locked"};
+      not_free.branches = {std::move(lock)};
+    }
+    s.rules.push_back(std::move(not_free));
+    patch_self_targets(s, S(CommitEfsmState::kIdleFree));
+  }
+
+  // ---- IDLE_LOCKED ----
+  {
+    EfsmState& s = e.states[S(CommitEfsmState::kIdleLocked)];
+    s.name = "IDLE_LOCKED";
+    s.annotations = {"No update received; another update is in progress."};
+    EfsmRule update{kUpdate, {}};
+    {
+      EfsmBranch hold;
+      hold.guard = lit(1);
+      hold.target = S(CommitEfsmState::kUpdateLocked);
+      hold.annotations = {"record the update; cannot vote while locked"};
+      update.branches = {std::move(hold)};
+    }
+    s.rules.push_back(std::move(update));
+    EfsmRule vote{kVote, {}};
+    {
+      EfsmBranch join;
+      join.guard = (V() < R() - lit(1)) &&
+                   (V() + lit(1) >= vote_threshold());
+      join.updates = {inc_votes()};
+      join.actions = {kActionVote, kActionCommit};
+      join.target = S(CommitEfsmState::kJoinedNoUpdate);
+      join.annotations = {
+          "vote threshold reached: join ahead of the locally chosen update"};
+      vote.branches = {std::move(join), vote_count_branch()};
+    }
+    s.rules.push_back(std::move(vote));
+    s.rules.push_back(commit_rule({kActionVote, kActionCommit}));
+    EfsmRule free_rule{kFree, {}};
+    {
+      EfsmBranch unlock;
+      unlock.guard = lit(1);
+      unlock.target = S(CommitEfsmState::kIdleFree);
+      unlock.annotations = {"chosen update finished: node free again"};
+      free_rule.branches = {std::move(unlock)};
+    }
+    s.rules.push_back(std::move(free_rule));
+    s.rules.push_back(ignore_rule(kNotFree));
+    patch_self_targets(s, S(CommitEfsmState::kIdleLocked));
+  }
+
+  // ---- UPDATE_LOCKED ----
+  {
+    EfsmState& s = e.states[S(CommitEfsmState::kUpdateLocked)];
+    s.name = "UPDATE_LOCKED";
+    s.annotations = {
+        "Update received while another update is in progress; waiting for "
+        "the node to become free."};
+    // update: duplicate — inapplicable (no rule).
+    EfsmRule vote{kVote, {}};
+    {
+      EfsmBranch join;
+      join.guard = (V() < R() - lit(1)) &&
+                   (V() + lit(1) >= vote_threshold());
+      join.updates = {inc_votes()};
+      join.actions = {kActionVote, kActionCommit};
+      join.target = S(CommitEfsmState::kUpdateJoined);
+      join.annotations = {"vote threshold reached: join"};
+      vote.branches = {std::move(join), vote_count_branch()};
+    }
+    s.rules.push_back(std::move(vote));
+    s.rules.push_back(commit_rule({kActionVote, kActionCommit}));
+    EfsmRule free_rule{kFree, {}};
+    {
+      EfsmBranch at_threshold;
+      at_threshold.guard = V() + lit(1) >= vote_threshold();
+      at_threshold.actions = {kActionVote, kActionCommit, kActionNotFree};
+      at_threshold.target = S(CommitEfsmState::kChosenCommitted);
+      at_threshold.annotations = {
+          "free again: choose; local vote reaches the threshold"};
+      EfsmBranch below;
+      below.guard = lit(1);
+      below.actions = {kActionVote, kActionNotFree};
+      below.target = S(CommitEfsmState::kChosenPending);
+      below.annotations = {"free again: choose and vote below threshold"};
+      free_rule.branches = {std::move(at_threshold), std::move(below)};
+    }
+    s.rules.push_back(std::move(free_rule));
+    s.rules.push_back(ignore_rule(kNotFree));
+    patch_self_targets(s, S(CommitEfsmState::kUpdateLocked));
+  }
+
+  // ---- CHOSEN_PENDING ----
+  {
+    EfsmState& s = e.states[S(CommitEfsmState::kChosenPending)];
+    s.name = "CHOSEN_PENDING";
+    s.annotations = {
+        "Chose and voted for this update; total votes below the threshold."};
+    EfsmRule vote{kVote, {}};
+    {
+      EfsmBranch reach;
+      // vote_sent contributes 1 to the total.
+      reach.guard = (V() < R() - lit(1)) &&
+                    (V() + lit(2) >= vote_threshold());
+      reach.updates = {inc_votes()};
+      reach.actions = {kActionCommit};
+      reach.target = S(CommitEfsmState::kChosenCommitted);
+      reach.annotations = {"vote threshold reached: send commit"};
+      vote.branches = {std::move(reach), vote_count_branch()};
+    }
+    s.rules.push_back(std::move(vote));
+    s.rules.push_back(commit_rule({kActionCommit, kActionFree}));
+    s.rules.push_back(ignore_rule(kFree));
+    s.rules.push_back(ignore_rule(kNotFree));
+    patch_self_targets(s, S(CommitEfsmState::kChosenPending));
+  }
+
+  // ---- CHOSEN_COMMITTED ----
+  {
+    EfsmState& s = e.states[S(CommitEfsmState::kChosenCommitted)];
+    s.name = "CHOSEN_COMMITTED";
+    s.annotations = {"Chose, voted and committed; waiting to finish."};
+    EfsmRule vote{kVote, {}};
+    vote.branches = {vote_count_branch()};
+    s.rules.push_back(std::move(vote));
+    s.rules.push_back(commit_rule({kActionFree}));
+    s.rules.push_back(ignore_rule(kFree));
+    s.rules.push_back(ignore_rule(kNotFree));
+    patch_self_targets(s, S(CommitEfsmState::kChosenCommitted));
+  }
+
+  // ---- CHOSEN_JOINED_NO_UPDATE ----
+  {
+    EfsmState& s = e.states[S(CommitEfsmState::kChosenJoinedNoUpdate)];
+    s.name = "CHOSEN_JOINED_NO_UPDATE";
+    s.annotations = {
+        "Threshold-joined while free (so chosen) before the client's update "
+        "request arrived."};
+    EfsmRule update{kUpdate, {}};
+    {
+      EfsmBranch arrive;
+      arrive.guard = lit(1);
+      arrive.target = S(CommitEfsmState::kChosenCommitted);
+      arrive.annotations = {"update request arrives after the vote"};
+      update.branches = {std::move(arrive)};
+    }
+    s.rules.push_back(std::move(update));
+    EfsmRule vote{kVote, {}};
+    vote.branches = {vote_count_branch()};
+    s.rules.push_back(std::move(vote));
+    s.rules.push_back(commit_rule({kActionFree}));
+    s.rules.push_back(ignore_rule(kFree));
+    s.rules.push_back(ignore_rule(kNotFree));
+    patch_self_targets(s, S(CommitEfsmState::kChosenJoinedNoUpdate));
+  }
+
+  // ---- JOINED_NO_UPDATE ----
+  {
+    EfsmState& s = e.states[S(CommitEfsmState::kJoinedNoUpdate)];
+    s.name = "JOINED_NO_UPDATE";
+    s.annotations = {
+        "Threshold-joined while locked; the client's update request has not "
+        "arrived."};
+    EfsmRule update{kUpdate, {}};
+    {
+      EfsmBranch arrive;
+      arrive.guard = lit(1);
+      arrive.target = S(CommitEfsmState::kUpdateJoined);
+      arrive.annotations = {"update request arrives after the vote"};
+      update.branches = {std::move(arrive)};
+    }
+    s.rules.push_back(std::move(update));
+    EfsmRule vote{kVote, {}};
+    vote.branches = {vote_count_branch()};
+    s.rules.push_back(std::move(vote));
+    s.rules.push_back(commit_rule({}));
+    s.rules.push_back(ignore_rule(kFree));
+    s.rules.push_back(ignore_rule(kNotFree));
+    patch_self_targets(s, S(CommitEfsmState::kJoinedNoUpdate));
+  }
+
+  // ---- UPDATE_JOINED ----
+  {
+    EfsmState& s = e.states[S(CommitEfsmState::kUpdateJoined)];
+    s.name = "UPDATE_JOINED";
+    s.annotations = {
+        "Threshold-joined while locked, after receiving the update."};
+    EfsmRule vote{kVote, {}};
+    vote.branches = {vote_count_branch()};
+    s.rules.push_back(std::move(vote));
+    s.rules.push_back(commit_rule({}));
+    s.rules.push_back(ignore_rule(kFree));
+    s.rules.push_back(ignore_rule(kNotFree));
+    patch_self_targets(s, S(CommitEfsmState::kUpdateJoined));
+  }
+
+  // ---- FINISHED ----
+  {
+    EfsmState& s = e.states[S(CommitEfsmState::kFinished)];
+    s.name = "FINISHED";
+    s.is_final = true;
+    s.annotations = {
+        "External commit threshold reached: the update is committed."};
+  }
+
+  e.validate();
+  return e;
+}
+
+}  // namespace asa_repro::commit

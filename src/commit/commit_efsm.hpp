@@ -1,0 +1,51 @@
+// EFSM formulation of the commit protocol (paper section 5.3).
+//
+// Mapping the two message counters to EFSM variables coalesces all FSM
+// states that differ only in below-threshold counts; every EFSM transition
+// corresponds to a phase transition of the FSM. The result has exactly 9
+// states and — unlike the FSM family — is generic in the replication
+// factor: its states encode only whether thresholds have been reached, not
+// the counts themselves.
+//
+// State inventory (projection of the FSM's boolean flags
+// update_received/vote_sent/commit_sent/could_choose/has_chosen):
+//
+//   IDLE_FREE               F/F/F/T/F   start: nothing seen, node free
+//   IDLE_LOCKED             F/F/F/F/F   nothing seen, another update chosen
+//   UPDATE_LOCKED           T/F/F/F/F   update held, waiting for free
+//   CHOSEN_PENDING          T/T/F/T/T   chose & voted, below vote threshold
+//   CHOSEN_COMMITTED        T/T/T/T/T   chose & voted & committed
+//   CHOSEN_JOINED_NO_UPDATE F/T/T/T/T   threshold-joined before the update
+//                                       arrived, while free (so chosen)
+//   JOINED_NO_UPDATE        F/T/T/F/F   threshold-joined, locked, no update
+//   UPDATE_JOINED           T/T/T/F/F   threshold-joined after update
+//   FINISHED                            commit threshold reached
+#pragma once
+
+#include "core/efsm/efsm.hpp"
+
+namespace asa_repro::commit {
+
+/// EFSM state ordinals (stable; used by tests and the runtime).
+enum class CommitEfsmState : fsm::EfsmStateId {
+  kIdleFree = 0,
+  kIdleLocked = 1,
+  kUpdateLocked = 2,
+  kChosenPending = 3,
+  kChosenCommitted = 4,
+  kChosenJoinedNoUpdate = 5,
+  kJoinedNoUpdate = 6,
+  kUpdateJoined = 7,
+  kFinished = 8,
+};
+
+/// Build the commit-protocol EFSM. Parameters: r (replication factor) and
+/// f (tolerated faults); thresholds 2f+1 and f+1 appear symbolically in the
+/// guards, so the same definition serves every family member.
+[[nodiscard]] fsm::Efsm make_commit_efsm();
+
+/// Convenience: parameter map for a given replication factor
+/// (f = floor((r-1)/3)).
+[[nodiscard]] fsm::EfsmParams commit_efsm_params(std::int64_t r);
+
+}  // namespace asa_repro::commit

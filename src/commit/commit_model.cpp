@@ -1,0 +1,334 @@
+#include "commit/commit_model.hpp"
+
+#include <stdexcept>
+
+namespace asa_repro::commit {
+
+namespace {
+
+using fsm::Reaction;
+using fsm::StateVector;
+
+/// Scratch state accumulating variable changes, actions and annotations as
+/// the full consequences of a message are elaborated (Fig 10's `s1` plus
+/// the `actions` list, with footnote 3's annotation recording).
+class Working {
+ public:
+  Working(const StateVector& s, const CommitModel& model)
+      : v_(s), model_(model) {}
+
+  [[nodiscard]] bool update_received() const {
+    return v_[CommitModel::kUpdateReceived] != 0;
+  }
+  [[nodiscard]] std::uint32_t votes_received() const {
+    return v_[CommitModel::kVotesReceived];
+  }
+  [[nodiscard]] bool vote_sent() const {
+    return v_[CommitModel::kVoteSent] != 0;
+  }
+  [[nodiscard]] std::uint32_t commits_received() const {
+    return v_[CommitModel::kCommitsReceived];
+  }
+  [[nodiscard]] bool commit_sent() const {
+    return v_[CommitModel::kCommitSent] != 0;
+  }
+  [[nodiscard]] bool could_choose() const {
+    return v_[CommitModel::kCouldChoose] != 0;
+  }
+  [[nodiscard]] bool has_chosen() const {
+    return v_[CommitModel::kHasChosen] != 0;
+  }
+
+  /// Total votes sent and received — the quantity the vote threshold is
+  /// measured against (paper: "the total number of votes sent and
+  /// received").
+  [[nodiscard]] std::uint32_t total_votes() const {
+    return votes_received() + (vote_sent() ? 1 : 0);
+  }
+
+  [[nodiscard]] bool reached_vote_threshold() const {
+    return total_votes() >= model_.vote_threshold();
+  }
+  [[nodiscard]] bool reached_commit_threshold() const {
+    return commits_received() >= model_.commit_threshold();
+  }
+
+  // ---- State-variable changes, each recording its rationale. ----
+  void record_update_received() {
+    v_[CommitModel::kUpdateReceived] = 1;
+    note("update request received from the service endpoint");
+  }
+  void increment_votes_received() {
+    ++v_[CommitModel::kVotesReceived];
+    note("vote received: total votes sent and received now " +
+         std::to_string(total_votes()));
+  }
+  void increment_commits_received() {
+    ++v_[CommitModel::kCommitsReceived];
+    note("commit received: commits received now " +
+         std::to_string(commits_received()));
+  }
+  void send_vote() {
+    act(kActionVote);
+    v_[CommitModel::kVoteSent] = 1;
+    note("sending vote to all other peer set members");
+  }
+  void send_commit() {
+    act(kActionCommit);
+    v_[CommitModel::kCommitSent] = 1;
+    note("sending commit to all other peer set members");
+  }
+  void set_has_chosen() {
+    v_[CommitModel::kHasChosen] = 1;
+    note("recording this update as the one chosen locally");
+  }
+  void send_not_free() {
+    act(kActionNotFree);
+    note("notifying sibling machines that the node is no longer free");
+  }
+  void send_free() {
+    act(kActionFree);
+    note("notifying sibling machines that the node is free again");
+  }
+  void set_could_choose() {
+    v_[CommitModel::kCouldChoose] = 1;
+    note("no other update in progress: may choose a future update");
+  }
+  void clear_could_choose() {
+    v_[CommitModel::kCouldChoose] = 0;
+    note("another update is in progress: may not choose");
+  }
+
+  void note(std::string text) { annotations_.push_back(std::move(text)); }
+  void act(std::string action) { actions_.push_back(std::move(action)); }
+
+  [[nodiscard]] Reaction take() {
+    return Reaction{std::move(v_), std::move(actions_),
+                    std::move(annotations_)};
+  }
+
+  /// The choice sequence shared by the update and free handlers: vote for
+  /// this update, send commit if that vote reaches the threshold, record
+  /// the choice and lock siblings out (Fig 9's update handler body).
+  void choose_and_vote() {
+    send_vote();
+    if (reached_vote_threshold()) {
+      note("vote threshold (" + std::to_string(model_.vote_threshold()) +
+           ") reached by the local vote");
+      if (!commit_sent()) send_commit();
+    }
+    set_has_chosen();
+    send_not_free();
+  }
+
+ private:
+  StateVector v_;
+  const CommitModel& model_;
+  fsm::ActionList actions_;
+  std::vector<std::string> annotations_;
+};
+
+std::string count_phrase(std::uint32_t n, const char* singular,
+                         const char* plural) {
+  if (n == 0) return std::string("no ") + plural;
+  if (n == 1) return std::string("1 ") + singular;
+  return std::to_string(n) + " " + plural;
+}
+
+}  // namespace
+
+CommitModel::CommitModel(std::uint32_t replication_factor)
+    : r_(replication_factor), f_((replication_factor - 1) / 3) {
+  if (replication_factor < 2) {
+    throw std::invalid_argument(
+        "CommitModel: replication factor must be at least 2");
+  }
+  // Component order follows the Fig 14 state-name encoding
+  // (update_received / votes_received / vote_sent / commits_received /
+  // commit_sent / could_choose / has_chosen).
+  fsm::StateSpace space({
+      fsm::boolean_component("update_received"),
+      fsm::int_component("votes_received", r_ - 1),
+      fsm::boolean_component("vote_sent"),
+      fsm::int_component("commits_received", r_ - 1),
+      fsm::boolean_component("commit_sent"),
+      fsm::boolean_component("could_choose"),
+      fsm::boolean_component("has_chosen"),
+  });
+  init_abstract_model(std::move(space),
+                      {kMessageNames, kMessageNames + kMessageCount});
+}
+
+fsm::StateVector CommitModel::start_state() const {
+  // Nothing seen or sent; the node starts free to choose. A machine created
+  // while another update is already in progress is locked by an immediate
+  // not_free delivered by the hosting node (see commit/peer.cpp).
+  StateVector v(7, 0);
+  v[kCouldChoose] = 1;
+  return v;
+}
+
+bool CommitModel::is_final(const fsm::StateVector& s) const {
+  // The algorithm completes as soon as f+1 commits have been received; all
+  // such states are terminal, and states with higher commit counts are
+  // unreachable and pruned.
+  return s[kCommitsReceived] >= commit_threshold();
+}
+
+std::optional<Reaction> CommitModel::react(const fsm::StateVector& s,
+                                           fsm::MessageId message) const {
+  switch (message) {
+    case kUpdate: return on_update(s);
+    case kVote: return on_vote(s);
+    case kCommit: return on_commit(s);
+    case kFree: return on_free(s);
+    case kNotFree: return on_not_free(s);
+    default: return std::nullopt;
+  }
+}
+
+std::optional<Reaction> CommitModel::on_update(const StateVector& s) const {
+  Working w(s, *this);
+  if (w.update_received()) return std::nullopt;  // Duplicate update request.
+  w.record_update_received();
+  if (w.could_choose() && !w.has_chosen() && !w.vote_sent()) {
+    w.choose_and_vote();
+  }
+  return w.take();
+}
+
+std::optional<Reaction> CommitModel::on_vote(const StateVector& s) const {
+  Working w(s, *this);
+  if (w.votes_received() >= r_ - 1) return std::nullopt;  // Invalid state.
+  w.increment_votes_received();
+  if (w.reached_vote_threshold()) {
+    // Phase transition: vote threshold exceeded (Fig 10).
+    w.note("vote threshold (" + std::to_string(vote_threshold()) +
+           ") reached");
+    if (!w.vote_sent()) {
+      if (w.could_choose()) {
+        w.set_has_chosen();
+        w.send_not_free();
+      }
+      // Even when another update was chosen locally, an update voted for by
+      // sufficiently many other members proceeds ahead of it (paper 2.2).
+      w.send_vote();
+    }
+    if (!w.commit_sent()) w.send_commit();
+  }
+  return w.take();
+}
+
+std::optional<Reaction> CommitModel::on_commit(const StateVector& s) const {
+  Working w(s, *this);
+  if (w.commits_received() >= r_ - 1) return std::nullopt;  // Invalid state.
+  w.increment_commits_received();
+  if (w.reached_commit_threshold()) {
+    w.note("external commit threshold (" +
+           std::to_string(commit_threshold()) + ") reached: finishing");
+    if (!w.vote_sent()) w.send_vote();
+    if (!w.commit_sent()) w.send_commit();
+    if (w.has_chosen()) w.send_free();
+    // The resulting state has commits_received == f+1 and is final.
+  }
+  return w.take();
+}
+
+std::optional<Reaction> CommitModel::on_free(const StateVector& s) const {
+  Working w(s, *this);
+  if (w.vote_sent() || w.has_chosen()) {
+    // Already participating in this update; the node-level free/not-free
+    // protocol no longer affects this machine.
+    w.note("already voted or chosen: free ignored");
+    return w.take();
+  }
+  w.set_could_choose();
+  if (w.update_received()) w.choose_and_vote();
+  return w.take();
+}
+
+std::optional<Reaction> CommitModel::on_not_free(const StateVector& s) const {
+  Working w(s, *this);
+  if (w.vote_sent() || w.has_chosen()) {
+    w.note("already voted or chosen: not_free ignored");
+    return w.take();
+  }
+  w.clear_could_choose();
+  return w.take();
+}
+
+std::vector<std::string> CommitModel::describe_state(
+    const StateVector& s) const {
+  const bool u = s[kUpdateReceived] != 0;
+  const std::uint32_t votes = s[kVotesReceived];
+  const bool vs = s[kVoteSent] != 0;
+  const std::uint32_t commits = s[kCommitsReceived];
+  const bool cs = s[kCommitSent] != 0;
+  const bool cc = s[kCouldChoose] != 0;
+  const bool hc = s[kHasChosen] != 0;
+  const std::uint32_t total_votes = votes + (vs ? 1 : 0);
+
+  std::vector<std::string> out;
+  out.push_back(u ? "Have received initial update from client."
+                  : "Have not yet received an update from the client.");
+
+  if (vs && hc) {
+    out.push_back("Have voted for this update.");
+  } else if (vs) {
+    out.push_back("Have voted for this update since the vote threshold (" +
+                  std::to_string(vote_threshold()) + ") was reached.");
+  } else if (!cc) {
+    out.push_back(
+        "Have not voted since another update has already been voted for.");
+  } else {
+    out.push_back("Have not yet voted.");
+  }
+
+  out.push_back("Have received " + count_phrase(votes, "vote", "votes") +
+                " and " + count_phrase(commits, "commit", "commits") + ".");
+
+  if (cs) {
+    out.push_back("Have sent a commit.");
+  } else {
+    out.push_back("Have not sent a commit since neither the vote threshold (" +
+                  std::to_string(vote_threshold()) +
+                  ") nor the external commit threshold (" +
+                  std::to_string(commit_threshold()) +
+                  ") has been reached.");
+  }
+
+  if (cc) {
+    out.push_back("May choose since no other update is currently in "
+                  "progress.");
+  } else {
+    out.push_back(
+        "May not choose since another ongoing update has been voted for.");
+  }
+
+  if (hc) {
+    out.push_back("Have chosen this update.");
+  } else if (!cc) {
+    out.push_back("Have not chosen this update since another ongoing update "
+                  "has been chosen.");
+  } else {
+    out.push_back("Have not chosen this update.");
+  }
+
+  if (is_final(s)) return out;
+
+  if (!cs && total_votes < vote_threshold()) {
+    const std::uint32_t remaining = vote_threshold() - total_votes;
+    out.push_back("Waiting for " + std::to_string(remaining) +
+                  (remaining == 1 ? " further vote" : " further votes") +
+                  " (including local vote if any) before sending commit.");
+  }
+  const std::uint32_t remaining_commits = commit_threshold() - commits;
+  out.push_back(
+      "Waiting for " + std::to_string(remaining_commits) +
+      (remaining_commits == 1 ? " further external commit"
+                              : " further external commits") +
+      " to finish.");
+  return out;
+}
+
+}  // namespace asa_repro::commit

@@ -1,0 +1,43 @@
+// Generation-policy support (paper section 4.2).
+//
+// The paper identifies a spectrum of generation times: once during
+// development, at every execution, or whenever a new parameter value is
+// encountered — the last amortised by "caching generated implementations to
+// avoid the need for regeneration of versions that have been encountered
+// previously". MachineCache is that cache for interpreted deployment: one
+// immutable StateMachine per replication factor, generated on first use and
+// shared by every peer instance thereafter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "commit/commit_model.hpp"
+
+namespace asa_repro::commit {
+
+class MachineCache {
+ public:
+  /// The merged commit FSM for replication factor `r`, generating it on
+  /// first request. The returned reference is stable for the cache's
+  /// lifetime.
+  const fsm::StateMachine& machine_for(std::uint32_t r) {
+    const auto it = machines_.find(r);
+    if (it != machines_.end()) return *it->second;
+    CommitModel model(r);
+    auto machine =
+        std::make_unique<fsm::StateMachine>(model.generate_state_machine());
+    return *machines_.emplace(r, std::move(machine)).first->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return machines_.size(); }
+  [[nodiscard]] bool contains(std::uint32_t r) const {
+    return machines_.contains(r);
+  }
+
+ private:
+  std::map<std::uint32_t, std::unique_ptr<fsm::StateMachine>> machines_;
+};
+
+}  // namespace asa_repro::commit

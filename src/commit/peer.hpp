@@ -1,0 +1,200 @@
+// A peer-set member executing the commit protocol (paper section 2.2).
+//
+// Each member hosts one machine instance per ongoing update per GUID,
+// executed through a pluggable driver (interpreted over the shared
+// generated StateMachine by default; statically compiled or dynamically
+// loaded generated code via set_driver_factory — paper section 4.3). The
+// free/not_free messages of the abstract model are node-internal: when one
+// instance chooses its update it locks the node (not_free delivered to its
+// siblings); when the chosen update finishes it frees the node again.
+//
+// Byzantine behaviours (crash, equivocation, selective withholding) are
+// injected here so that the protocol's claimed tolerance of f = (r-1)/3
+// faulty members can actually be exercised — something the paper asserts
+// but does not test.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "commit/driver.hpp"
+#include "commit/messages.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace asa_repro::commit {
+
+/// Fault behaviour of a peer-set member.
+enum class Behaviour {
+  kHonest,       // Follows the generated FSM.
+  kCrash,        // Fail-stop: ignores every message, sends nothing.
+  kEquivocator,  // Votes and commits for every update it hears about,
+                 // immediately and repeatedly (protocol-free).
+  kWithholder,   // Follows the FSM but sends votes/commits only to peers in
+                 // the lower half of the address order (splits the view).
+};
+
+/// Per-peer statistics, for benches and assertions.
+struct PeerStats {
+  std::uint64_t updates_received = 0;
+  std::uint64_t votes_received = 0;
+  std::uint64_t commits_received = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t votes_sent = 0;
+  std::uint64_t commits_sent = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+};
+
+class CommitPeer {
+ public:
+  /// Maps a GUID to its peer set (paper: peer sets are located per GUID via
+  /// the P2P layer, so they differ between GUIDs). When unset, the fixed
+  /// `peers` list from the constructor serves every GUID.
+  using PeerResolver =
+      std::function<std::vector<sim::NodeAddr>(std::uint64_t guid)>;
+
+  /// `machine` must be the merged commit FSM for the peer set's replication
+  /// factor and must outlive the peer. `peers` lists every member of the
+  /// peer set including this one. With `attach_to_network` false the peer
+  /// does not claim the network address; a host must feed it frames through
+  /// handle_frame() (used when commit and storage traffic share one node).
+  CommitPeer(sim::Network& network, sim::NodeAddr self,
+             std::vector<sim::NodeAddr> peers,
+             const fsm::StateMachine& machine,
+             Behaviour behaviour = Behaviour::kHonest,
+             sim::Trace* trace = nullptr, bool attach_to_network = true);
+
+  /// Process one raw network frame (for hosts that multiplex the address).
+  void handle_frame(sim::NodeAddr from, const std::string& data) {
+    handle(from, data);
+  }
+
+  void set_peer_resolver(PeerResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+
+  /// Replace how machine instances execute (paper section 4.3): by default
+  /// new instances interpret the shared generated StateMachine; a custom
+  /// factory can supply statically compiled generated code or dynamically
+  /// loaded machines instead. Affects instances created afterwards.
+  void set_driver_factory(DriverFactory factory) {
+    driver_factory_ = std::move(factory);
+  }
+
+  CommitPeer(const CommitPeer&) = delete;
+  CommitPeer& operator=(const CommitPeer&) = delete;
+
+  [[nodiscard]] sim::NodeAddr address() const { return self_; }
+  [[nodiscard]] Behaviour behaviour() const { return behaviour_; }
+  [[nodiscard]] const PeerStats& stats() const { return stats_; }
+
+  /// Committed update order for a GUID, in local commit order. Entries are
+  /// (update_id, request_id, payload).
+  struct CommittedEntry {
+    std::uint64_t update_id;
+    std::uint64_t request_id;
+    std::uint64_t payload;
+  };
+  [[nodiscard]] const std::vector<CommittedEntry>& history(
+      std::uint64_t guid) const;
+
+  /// Adopt a committed history for `guid` (peer-set membership change:
+  /// a replacement member bootstraps from its peers, paper section 2.2's
+  /// "background processes ... replace faulty nodes"). Only an empty local
+  /// history is replaced; returns false otherwise.
+  bool import_history(std::uint64_t guid,
+                      std::vector<CommittedEntry> entries);
+
+  /// Live (started, unfinished) update attempts for a GUID.
+  [[nodiscard]] std::size_t live_instances(std::uint64_t guid) const;
+
+  /// Machine instances currently held in memory for a GUID (live and
+  /// finished-but-not-yet-collected).
+  [[nodiscard]] std::size_t resident_instances(std::uint64_t guid) const;
+
+  /// Release finished machine instances for every GUID, keeping only the
+  /// committed history and a settled-id set that absorbs late protocol
+  /// traffic. Long-lived peers call this periodically (memory stays
+  /// bounded by the live instance count). Returns instances released.
+  std::size_t collect_finished();
+
+  /// Enable periodic abort of stalled instances (liveness extension; see
+  /// DESIGN.md): every `scan_interval`, erase unfinished instances older
+  /// than `max_age`, freeing the node lock if the aborted update held it.
+  /// The paper requires "a timeout/retry scheme" (section 2.2) but leaves
+  /// the peer side unspecified; without local aborts a vote-split deadlock
+  /// is permanent because voters stay locked on their chosen update.
+  void enable_abort(sim::Time scan_interval, sim::Time max_age);
+
+ private:
+  struct Instance {
+    std::unique_ptr<CommitFsmDriver> fsm;
+    std::uint64_t request_id = 0;
+    std::uint64_t payload = 0;
+    std::set<sim::NodeAddr> voters;      // Distinct vote senders.
+    std::set<sim::NodeAddr> committers;  // Distinct commit senders.
+    std::optional<sim::NodeAddr> client; // Who to notify on completion.
+    sim::Time created = 0;
+    bool recorded = false;               // Appended to committed history.
+  };
+  struct GuidContext {
+    std::map<std::uint64_t, Instance> instances;  // By update_id.
+    std::optional<std::uint64_t> chosen_update;   // Node lock holder.
+    std::vector<CommittedEntry> committed;        // Local commit order.
+    std::set<std::uint64_t> settled;  // Finished & garbage-collected ids:
+                                      // late traffic is absorbed, never
+                                      // re-instantiated.
+  };
+
+  void handle(sim::NodeAddr from, const std::string& payload);
+  void handle_honest(sim::NodeAddr from, const WireMessage& msg);
+  void handle_equivocator(const WireMessage& msg);
+
+  /// Deliver one abstract-model message to an instance and execute the
+  /// resulting actions; internal free/not_free deliveries are queued and
+  /// drained iteratively to avoid unbounded recursion.
+  void deliver(GuidContext& ctx, std::uint64_t guid, std::uint64_t update_id,
+               fsm::MessageId message);
+  void run_queue(GuidContext& ctx, std::uint64_t guid);
+  void execute_actions(GuidContext& ctx, std::uint64_t guid,
+                       std::uint64_t update_id,
+                       const fsm::ActionList& actions);
+  /// Offer a freed node lock to pending siblings, one at a time, stopping
+  /// as soon as one of them chooses (retakes the lock).
+  void free_siblings(GuidContext& ctx, std::uint64_t guid,
+                     std::uint64_t source);
+  void broadcast(const WireMessage& msg);
+  void check_finished(GuidContext& ctx, std::uint64_t guid,
+                      std::uint64_t update_id);
+
+  Instance& instance(GuidContext& ctx, std::uint64_t guid,
+                     std::uint64_t update_id, const WireMessage& msg);
+
+  void abort_scan(sim::Time max_age);
+  void arm_abort_scan();
+
+  sim::Network& network_;
+  sim::NodeAddr self_;
+  std::vector<sim::NodeAddr> peers_;  // Including self_.
+  PeerResolver resolver_;
+  const fsm::StateMachine& machine_;
+  DriverFactory driver_factory_;
+  Behaviour behaviour_;
+  sim::Trace* trace_;
+  PeerStats stats_;
+  std::map<std::uint64_t, GuidContext> guids_;
+  std::deque<std::pair<std::uint64_t, fsm::MessageId>> local_queue_;
+  bool draining_ = false;
+  std::set<UpdateKey> equivocated_;  // Equivocator: one blast per update.
+  sim::Time abort_interval_ = 0;
+  sim::Time abort_max_age_ = 0;
+  bool abort_armed_ = false;
+};
+
+}  // namespace asa_repro::commit

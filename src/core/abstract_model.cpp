@@ -1,0 +1,147 @@
+#include "core/abstract_model.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/minimize.hpp"
+
+namespace asa_repro::fsm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Raw per-state transition data keyed by dense StateIndex, before the
+/// machine is compacted (paper Figs 7/11: the working data structure).
+struct RawState {
+  std::vector<Transition> transitions;  // Targets are StateIndex values.
+  bool is_final = false;
+};
+
+}  // namespace
+
+StateMachine AbstractModel::generate_state_machine(
+    const GenerationOptions& options, GenerationReport* report) const {
+  if (space_.arity() == 0 || messages_.empty()) {
+    throw std::logic_error(
+        "AbstractModel: init_abstract_model() must configure a non-empty "
+        "state space and message set before generation");
+  }
+
+  GenerationReport local_report;
+  GenerationReport& rep = report != nullptr ? *report : local_report;
+
+  // ---- Step 1: generate all possible states (Fig 7). ----
+  auto t0 = Clock::now();
+  const StateIndex total = space_.size();
+  std::vector<RawState> raw(total);
+  for (StateIndex i = 0; i < total; ++i) {
+    raw[i].is_final = is_final(space_.decode(i));
+  }
+  rep.initial_states = total;
+  auto t1 = Clock::now();
+  rep.enumerate_time = t1 - t0;
+
+  // ---- Step 2: generate transitions for every (state, message) (Fig 11).
+  // Final states take no further part in the algorithm and therefore have
+  // no outgoing transitions.
+  std::uint64_t transition_count = 0;
+  for (StateIndex i = 0; i < total; ++i) {
+    if (raw[i].is_final) continue;
+    const StateVector state = space_.decode(i);
+    for (MessageId m = 0; m < messages_.size(); ++m) {
+      std::optional<Reaction> reaction = react(state, m);
+      if (!reaction.has_value()) continue;  // Message not applicable here.
+      if (!space_.in_range(reaction->target)) {
+        throw std::logic_error("AbstractModel::react produced a target "
+                               "outside the configured state space");
+      }
+      Transition t;
+      t.message = m;
+      t.actions = std::move(reaction->actions);
+      // Targets temporarily hold dense StateIndex values; compaction below
+      // remaps them to StateIds.
+      t.target = static_cast<StateId>(space_.encode(reaction->target));
+      if (options.annotate) t.annotations = std::move(reaction->annotations);
+      raw[i].transitions.push_back(std::move(t));
+      ++transition_count;
+    }
+  }
+  rep.transitions = transition_count;
+  auto t2 = Clock::now();
+  rep.transition_time = t2 - t1;
+
+  // ---- Step 3: prune states unreachable from the start state (Fig 12). ----
+  const StateIndex start_index = space_.encode(start_state());
+  std::vector<bool> keep(total, false);
+  if (options.prune_unreachable) {
+    std::vector<StateIndex> stack{start_index};
+    keep[start_index] = true;
+    while (!stack.empty()) {
+      const StateIndex i = stack.back();
+      stack.pop_back();
+      for (const Transition& t : raw[i].transitions) {
+        if (!keep[t.target]) {
+          keep[t.target] = true;
+          stack.push_back(t.target);
+        }
+      }
+    }
+  } else {
+    keep.assign(total, true);
+  }
+
+  // Compact surviving states into the StateMachine, remapping indices.
+  std::unordered_map<StateIndex, StateId> remap;
+  remap.reserve(total);
+  std::vector<State> states;
+  for (StateIndex i = 0; i < total; ++i) {
+    if (!keep[i]) continue;
+    remap.emplace(i, static_cast<StateId>(states.size()));
+    const StateVector v = space_.decode(i);
+    State s;
+    s.name = space_.name(v);
+    s.is_final = raw[i].is_final;
+    if (options.annotate) s.annotations = describe_state(v);
+    s.transitions = std::move(raw[i].transitions);
+    states.push_back(std::move(s));
+  }
+  for (State& s : states) {
+    for (Transition& t : s.transitions) {
+      t.target = remap.at(t.target);
+    }
+  }
+  rep.reachable_states = states.size();
+  auto t3 = Clock::now();
+  rep.prune_time = t3 - t2;
+
+  // A machine may legitimately have several concrete final states before
+  // merging; finish() is only meaningful on the merged machine, where they
+  // collapse into one class. Pre-merge we report the first final state.
+  StateId finish = kNoState;
+  for (StateId i = 0; i < states.size(); ++i) {
+    if (states[i].is_final) {
+      finish = i;
+      break;
+    }
+  }
+  StateMachine machine(messages_, std::move(states), remap.at(start_index),
+                       finish);
+
+  // ---- Step 4: combine equivalent states (Fig 13). ----
+  if (options.merge_equivalent) {
+    machine = minimize(machine);
+    if (!options.annotate) {
+      // minimize() records merged-member commentary; honour the option.
+      for (State& s : machine.states()) s.annotations.clear();
+    }
+  }
+  rep.final_states = machine.state_count();
+  auto t4 = Clock::now();
+  rep.merge_time = t4 - t3;
+
+  return machine;
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,116 @@
+// The generic abstract model engine (paper sections 3.3-3.4, 5.1).
+//
+// An abstract model captures the structure common to a family of FSMs. A
+// problem-specific model derives from AbstractModel, configures the state
+// space and message set (paper Fig 20), and implements the reaction logic —
+// the per-message transition generation of Fig 9/10. Executing
+// generate_state_machine() then performs the paper's four steps:
+//
+//   1. generate a data structure containing all possible states      (Fig 7)
+//   2. for each state, generate transitions for all possible messages(Fig 11)
+//   3. prune unreachable states                                      (Fig 12)
+//   4. combine equivalent states                                     (Fig 13)
+//
+// Steps 1, 3 and 4 are generic ("fairly mechanical"); step 2 calls back into
+// the subclass, which embodies the core logic of the algorithm.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/state_machine.hpp"
+#include "core/state_space.hpp"
+
+namespace asa_repro::fsm {
+
+/// The result of receiving one message in one state: the successor state,
+/// the outgoing actions performed along the way (paper: "the list actions is
+/// used to accumulate representations of any outgoing messages"), and
+/// documentation annotations recorded per variable change (paper footnote 3).
+struct Reaction {
+  StateVector target;
+  ActionList actions;
+  std::vector<std::string> annotations;
+};
+
+/// Which of the four generation steps to run. Disabling later steps exposes
+/// the intermediate data structures of Figs 7/11/12/13 for inspection.
+struct GenerationOptions {
+  bool prune_unreachable = true;   // step 3
+  bool merge_equivalent = true;    // step 4
+  bool annotate = true;            // record state/transition commentary
+};
+
+/// Sizes and timings observed during generation (paper Table 1 columns).
+struct GenerationReport {
+  std::uint64_t initial_states = 0;    // step 1 output ("initial states")
+  std::uint64_t transitions = 0;       // step 2 output
+  std::uint64_t reachable_states = 0;  // step 3 output (48 for r=4)
+  std::uint64_t final_states = 0;      // step 4 output ("final states")
+  std::chrono::nanoseconds enumerate_time{0};
+  std::chrono::nanoseconds transition_time{0};
+  std::chrono::nanoseconds prune_time{0};
+  std::chrono::nanoseconds merge_time{0};
+
+  [[nodiscard]] std::chrono::nanoseconds total_time() const {
+    return enumerate_time + transition_time + prune_time + merge_time;
+  }
+};
+
+/// Base class for problem-specific abstract models.
+class AbstractModel {
+ public:
+  virtual ~AbstractModel() = default;
+
+  [[nodiscard]] const StateSpace& space() const { return space_; }
+  [[nodiscard]] const std::vector<std::string>& messages() const {
+    return messages_;
+  }
+
+  /// The machine's initial state.
+  [[nodiscard]] virtual StateVector start_state() const = 0;
+
+  /// True for states in which the algorithm has completed. Final states
+  /// have no outgoing transitions; after merging they collapse into the
+  /// machine's single finish state.
+  [[nodiscard]] virtual bool is_final(const StateVector& state) const = 0;
+
+  /// The effect of receiving `message` in `state`, or nullopt if the message
+  /// is not applicable there (the paper's InvalidStateException case — e.g.
+  /// a vote arriving when votes_received is already at its maximum).
+  [[nodiscard]] virtual std::optional<Reaction> react(
+      const StateVector& state, MessageId message) const = 0;
+
+  /// Automatically generated commentary describing `state` in terms of the
+  /// generic algorithm (paper Fig 14). Default: no commentary.
+  [[nodiscard]] virtual std::vector<std::string> describe_state(
+      const StateVector& state) const {
+    (void)state;
+    return {};
+  }
+
+  /// Execute the model: run generation steps 1-4 and return the machine.
+  /// Mirrors the paper's `generateStateMachine(replication_factor)`; the
+  /// parameter value is baked into the subclass instance.
+  [[nodiscard]] StateMachine generate_state_machine(
+      const GenerationOptions& options = {},
+      GenerationReport* report = nullptr) const;
+
+ protected:
+  /// Configure the state space and message vocabulary (paper Fig 20's
+  /// initAbstractModel). Must be called before generation.
+  void init_abstract_model(StateSpace space,
+                           std::vector<std::string> messages) {
+    space_ = std::move(space);
+    messages_ = std::move(messages);
+  }
+
+ private:
+  StateSpace space_;
+  std::vector<std::string> messages_;
+};
+
+}  // namespace asa_repro::fsm

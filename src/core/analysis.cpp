@@ -1,0 +1,171 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace asa_repro::fsm {
+
+namespace {
+
+/// BFS distances to the nearest final state, over reversed edges.
+std::vector<std::int64_t> distances_to_finish(const StateMachine& machine) {
+  // Build the reverse adjacency once.
+  std::vector<std::vector<StateId>> reverse(machine.state_count());
+  for (StateId s = 0; s < machine.state_count(); ++s) {
+    for (const Transition& t : machine.state(s).transitions) {
+      reverse[t.target].push_back(s);
+    }
+  }
+  std::vector<std::int64_t> dist(machine.state_count(), -1);
+  std::deque<StateId> queue;
+  for (StateId s = 0; s < machine.state_count(); ++s) {
+    if (machine.state(s).is_final) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (StateId p : reverse[s]) {
+      if (dist[p] == -1) {
+        dist[p] = dist[s] + 1;
+        queue.push_back(p);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Iterative Tarjan SCC; returns the number of non-trivial components
+/// (size > 1, or a single state with a self-loop).
+std::size_t nontrivial_scc_count(const StateMachine& machine) {
+  const std::size_t n = machine.state_count();
+  std::vector<std::int32_t> index(n, -1);
+  std::vector<std::int32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<StateId> stack;
+  std::int32_t next_index = 0;
+  std::size_t nontrivial = 0;
+
+  struct Frame {
+    StateId v;
+    std::size_t edge;
+  };
+
+  for (StateId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const State& state = machine.state(frame.v);
+      if (frame.edge < state.transitions.size()) {
+        const StateId w = state.transitions[frame.edge].target;
+        ++frame.edge;
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[frame.v] = std::min(lowlink[frame.v], index[w]);
+        }
+        continue;
+      }
+      // Finished v: pop component if root, propagate lowlink otherwise.
+      const StateId v = frame.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().v] =
+            std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        std::size_t size = 0;
+        bool self_loop = false;
+        StateId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          ++size;
+          for (const Transition& t : machine.state(w).transitions) {
+            if (t.target == w) self_loop = true;
+          }
+        } while (w != v);
+        if (size > 1 || self_loop) ++nontrivial;
+      }
+    }
+  }
+  return nontrivial;
+}
+
+}  // namespace
+
+MachineAnalysis analyze(const StateMachine& machine) {
+  MachineAnalysis a;
+  a.states = machine.state_count();
+  for (StateId s = 0; s < machine.state_count(); ++s) {
+    const State& state = machine.state(s);
+    if (state.is_final) ++a.final_states;
+    for (const Transition& t : state.transitions) {
+      ++a.transitions;
+      if (t.actions.empty()) {
+        ++a.simple_transitions;
+      } else {
+        ++a.phase_transitions;
+      }
+      ++a.transitions_per_message[machine.messages()[t.message]];
+      for (const std::string& action : t.actions) {
+        ++a.action_frequency[action];
+      }
+    }
+  }
+
+  const std::vector<std::int64_t> dist = distances_to_finish(machine);
+  for (StateId s = 0; s < machine.state_count(); ++s) {
+    if (dist[s] == -1) {
+      a.dead_states.push_back(s);
+    } else if (!machine.state(s).is_final) {
+      a.longest_shortest_completion =
+          std::max(a.longest_shortest_completion, dist[s]);
+    }
+  }
+  if (machine.state_count() > 0) {
+    a.shortest_completion = dist[machine.start()];
+  }
+  a.nontrivial_sccs = nontrivial_scc_count(machine);
+  return a;
+}
+
+std::string MachineAnalysis::to_string() const {
+  std::string out;
+  out += "states:                 " + std::to_string(states) + " (" +
+         std::to_string(final_states) + " final)\n";
+  out += "transitions:            " + std::to_string(transitions) + " (" +
+         std::to_string(simple_transitions) + " simple, " +
+         std::to_string(phase_transitions) + " phase)\n";
+  out += "shortest completion:    " + std::to_string(shortest_completion) +
+         " messages from start\n";
+  out += "worst-case completion:  " +
+         std::to_string(longest_shortest_completion) +
+         " messages from the farthest live state\n";
+  out += "non-trivial SCCs:       " + std::to_string(nontrivial_sccs) + "\n";
+  out += "dead states:            " + std::to_string(dead_states.size()) +
+         (dead_states.empty() ? " (every live state can finish)\n" : "\n");
+  out += "per message:\n";
+  for (const auto& [message, count] : transitions_per_message) {
+    out += "  " + message + ": " + std::to_string(count) + "\n";
+  }
+  out += "action frequency:\n";
+  for (const auto& [action, count] : action_frequency) {
+    out += "  ->" + action + ": " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace asa_repro::fsm

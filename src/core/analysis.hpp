@@ -1,0 +1,55 @@
+// Structural analysis of generated machines.
+//
+// Beyond diagrams and code, a generated representation supports automated
+// sanity analysis — the "increased confidence in correctness" the paper is
+// after, made mechanical: reachability of the finish state from every live
+// state (no protocol dead ends), per-message and per-action statistics,
+// phase-transition counts, shortest completion distances, and cycle
+// structure (strongly connected components).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+struct MachineAnalysis {
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  std::size_t final_states = 0;
+
+  /// Simple transitions change only counters (no actions); phase
+  /// transitions perform actions (paper section 3.3's distinction).
+  std::size_t simple_transitions = 0;
+  std::size_t phase_transitions = 0;
+
+  /// States from which no finish state is reachable — protocol dead ends.
+  /// For the commit protocol this must be empty.
+  std::vector<StateId> dead_states;
+
+  /// Fewest messages from the start state to any finish state, or -1 if
+  /// unreachable.
+  std::int64_t shortest_completion = -1;
+
+  /// Maximum over live states of the fewest messages to a finish state.
+  std::int64_t longest_shortest_completion = -1;
+
+  /// Number of strongly connected components with more than one state (or
+  /// a self-loop) — cycle structure of the protocol.
+  std::size_t nontrivial_sccs = 0;
+
+  std::map<std::string, std::size_t> transitions_per_message;
+  std::map<std::string, std::size_t> action_frequency;
+
+  /// Render a human-readable report.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Analyse a machine. Cost is O(states * messages).
+[[nodiscard]] MachineAnalysis analyze(const StateMachine& machine);
+
+}  // namespace asa_repro::fsm

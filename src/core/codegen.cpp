@@ -1,0 +1,38 @@
+#include "core/codegen.hpp"
+
+#include <cctype>
+
+namespace asa_repro::fsm {
+
+std::string to_camel_case(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool upper_next = true;
+  for (char c : name) {
+    if (c == '_' || c == '-' || c == ' ') {
+      upper_next = true;
+      continue;
+    }
+    out.push_back(upper_next
+                      ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                      : c);
+    upper_next = false;
+  }
+  return out;
+}
+
+std::string to_identifier(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,101 @@
+// Runtime conformance checking of deployments against a generated machine.
+//
+// The paper's motivation for the FSM formulation is "increased confidence
+// in correctness"; a generated machine also makes that confidence checkable
+// at run time: any implementation claiming to realise the protocol (a
+// hand-written port, a dynamically loaded shared object, a peer whose logs
+// were captured in production) can be validated by replaying its observed
+// (message, actions) sequence against the machine. The checker tracks the
+// unique state consistent with the observations and reports the first
+// divergence.
+#pragma once
+
+#include <string>
+
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+class ConformanceChecker {
+ public:
+  explicit ConformanceChecker(const StateMachine& machine)
+      : machine_(&machine), state_(machine.start()) {}
+
+  /// Feed one observation: message `m` was delivered and the implementation
+  /// performed `actions` (possibly none). An inapplicable message must
+  /// produce no actions (the deployed convention: ignore it).
+  /// Returns false from the first non-conforming observation onward.
+  bool observe(MessageId m, const ActionList& actions) {
+    if (failed_) return false;
+    ++steps_;
+    const Transition* t = machine_->state(state_).transition(m);
+    if (t == nullptr) {
+      if (!actions.empty()) {
+        fail(m, actions,
+             "message is not applicable in state '" +
+                 machine_->state(state_).name +
+                 "' but actions were performed");
+      }
+      return !failed_;
+    }
+    if (t->actions != actions) {
+      fail(m, actions,
+           "actions differ from the machine's transition out of state '" +
+               machine_->state(state_).name + "'");
+      return false;
+    }
+    state_ = t->target;
+    return true;
+  }
+
+  /// Feed an observation including the state name the implementation
+  /// reports afterwards (stronger check, available for generated code).
+  bool observe_with_state(MessageId m, const ActionList& actions,
+                          std::string_view reported_state) {
+    if (!observe(m, actions)) return false;
+    if (machine_->state(state_).name != reported_state) {
+      failed_ = true;
+      error_ = "after step " + std::to_string(steps_) +
+               ": implementation reports state '" +
+               std::string(reported_state) + "' but the machine is in '" +
+               machine_->state(state_).name + "'";
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] StateId state() const { return state_; }
+  [[nodiscard]] bool finished() const {
+    return machine_->state(state_).is_final;
+  }
+  [[nodiscard]] std::size_t steps() const { return steps_; }
+
+  void reset() {
+    state_ = machine_->start();
+    failed_ = false;
+    error_.clear();
+    steps_ = 0;
+  }
+
+ private:
+  void fail(MessageId m, const ActionList& actions, std::string why) {
+    failed_ = true;
+    error_ = "step " + std::to_string(steps_) + ", message '" +
+             machine_->messages()[m] + "' with actions [";
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      if (i > 0) error_ += ", ";
+      error_ += actions[i];
+    }
+    error_ += "]: " + std::move(why);
+  }
+
+  const StateMachine* machine_;
+  StateId state_;
+  bool failed_ = false;
+  std::string error_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,145 @@
+#include "core/dynamic_loader.hpp"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+namespace asa_repro::fsm {
+
+namespace {
+
+bool command_exists(const std::string& cmd) {
+  const std::string probe = "command -v " + cmd + " >/dev/null 2>&1";
+  return std::system(probe.c_str()) == 0;
+}
+
+std::string detect_compiler() {
+  if (const char* cxx = std::getenv("CXX");
+      cxx != nullptr && *cxx != '\0' && command_exists(cxx)) {
+    return cxx;
+  }
+  for (const char* candidate : {"c++", "g++", "clang++"}) {
+    if (command_exists(candidate)) return candidate;
+  }
+  return {};
+}
+
+std::string make_work_dir() {
+  std::string tmpl = "/tmp/asa_fsm_gen_XXXXXX";
+  char* dir = mkdtemp(tmpl.data());
+  return dir != nullptr ? std::string(dir) : std::string{};
+}
+
+/// Run a shell command, capturing combined output.
+std::pair<int, std::string> run(const std::string& cmd) {
+  const std::string full = cmd + " 2>&1";
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return {-1, "popen failed"};
+  std::string output;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  return {status, output};
+}
+
+}  // namespace
+
+LoadedFsm::LoadedFsm(LoadedFsm&& other) noexcept
+    : handle_(std::exchange(other.handle_, nullptr)),
+      factory_(std::exchange(other.factory_, nullptr)),
+      machine_(std::exchange(other.machine_, nullptr)) {}
+
+LoadedFsm& LoadedFsm::operator=(LoadedFsm&& other) noexcept {
+  if (this != &other) {
+    this->~LoadedFsm();
+    handle_ = std::exchange(other.handle_, nullptr);
+    factory_ = std::exchange(other.factory_, nullptr);
+    machine_ = std::exchange(other.machine_, nullptr);
+  }
+  return *this;
+}
+
+LoadedFsm::~LoadedFsm() {
+  delete machine_;
+  machine_ = nullptr;
+  if (handle_ != nullptr) {
+    dlclose(handle_);
+    handle_ = nullptr;
+  }
+}
+
+DynamicCompiler::DynamicCompiler(Options options)
+    : compiler_(options.compiler.empty() ? detect_compiler()
+                                         : std::move(options.compiler)),
+      include_dir_(std::move(options.include_dir)),
+      work_dir_(options.work_dir.empty() ? make_work_dir()
+                                         : std::move(options.work_dir)) {}
+
+DynamicCompiler::Result DynamicCompiler::compile_and_load(
+    const std::string& source, const std::string& factory) {
+  Result result;
+  if (compiler_.empty()) {
+    result.error = "no C++ compiler available on this host";
+    return result;
+  }
+  if (work_dir_.empty()) {
+    result.error = "could not create a working directory";
+    return result;
+  }
+
+  const std::string stem =
+      work_dir_ + "/generated_fsm_" + std::to_string(counter_++);
+  const std::string cpp_path = stem + ".cpp";
+  const std::string so_path = stem + ".so";
+
+  {
+    std::ofstream out(cpp_path);
+    if (!out) {
+      result.error = "cannot write " + cpp_path;
+      return result;
+    }
+    // Generated artefacts are headers (#pragma once); compiling them as a
+    // translation unit directly is fine.
+    out << source;
+  }
+
+  std::string cmd = compiler_ + " -std=c++20 -O2 -fPIC -shared";
+  if (!include_dir_.empty()) cmd += " -I" + include_dir_;
+  cmd += " -o " + so_path + " " + cpp_path;
+  if (const auto [status, output] = run(cmd); status != 0) {
+    result.error = "compilation failed:\n" + output;
+    return result;
+  }
+
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    result.error = std::string("dlopen failed: ") + dlerror();
+    return result;
+  }
+  using Factory = GeneratedFsmApi* (*)();
+  auto* fn = reinterpret_cast<Factory>(dlsym(handle, factory.c_str()));
+  if (fn == nullptr) {
+    result.error = "factory symbol '" + factory + "' not found";
+    dlclose(handle);
+    return result;
+  }
+  GeneratedFsmApi* machine = fn();
+  if (machine == nullptr) {
+    result.error = "factory returned null";
+    dlclose(handle);
+    return result;
+  }
+  result.fsm = LoadedFsm(handle, fn, machine);
+  return result;
+}
+
+}  // namespace asa_repro::fsm

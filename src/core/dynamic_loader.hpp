@@ -1,0 +1,91 @@
+// Compile-load-bind deployment of generated machines (paper section 4.3).
+//
+// When generation happens "on the fly" — e.g. a new replication factor is
+// encountered at run time — the generated source must be compiled, loaded
+// and bound dynamically. The paper used the Java 6 compiler API; the C++
+// counterpart implemented here shells out to the system C++ compiler to
+// build a shared object and binds it with dlopen/dlsym. The host drives the
+// loaded machine through the GeneratedFsmApi interface, which is the only
+// ABI the two sides share.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/generated_api.hpp"
+
+namespace asa_repro::fsm {
+
+/// A generated machine loaded from a shared object. Owns both the dlopen
+/// handle and the machine instance; destroys the instance before unloading.
+class LoadedFsm {
+ public:
+  LoadedFsm(LoadedFsm&&) noexcept;
+  LoadedFsm& operator=(LoadedFsm&&) noexcept;
+  LoadedFsm(const LoadedFsm&) = delete;
+  LoadedFsm& operator=(const LoadedFsm&) = delete;
+  ~LoadedFsm();
+
+  [[nodiscard]] GeneratedFsmApi& machine() { return *machine_; }
+  [[nodiscard]] const GeneratedFsmApi& machine() const { return *machine_; }
+
+  /// Construct a further machine instance from the loaded factory (a
+  /// deployment runs one instance per ongoing update). Every instance must
+  /// be destroyed before this LoadedFsm unloads the shared object.
+  [[nodiscard]] std::unique_ptr<GeneratedFsmApi> create_instance() const {
+    return std::unique_ptr<GeneratedFsmApi>(factory_());
+  }
+
+ private:
+  friend class DynamicCompiler;
+  using Factory = GeneratedFsmApi* (*)();
+  LoadedFsm(void* handle, Factory factory, GeneratedFsmApi* machine)
+      : handle_(handle), factory_(factory), machine_(machine) {}
+
+  void* handle_ = nullptr;
+  Factory factory_ = nullptr;
+  GeneratedFsmApi* machine_ = nullptr;
+};
+
+/// Compiles generated source into shared objects and loads them.
+class DynamicCompiler {
+ public:
+  struct Options {
+    /// Compiler executable; auto-detected from $CXX, then c++/g++/clang++.
+    std::string compiler;
+    /// Extra include directory for headers the generated code needs
+    /// (core/generated_api.hpp lives under this root).
+    std::string include_dir;
+    /// Working directory for intermediate files; defaults to a fresh
+    /// directory under the system temp dir.
+    std::string work_dir;
+  };
+
+  explicit DynamicCompiler(Options options = {});
+
+  /// True if a usable compiler was found on this host. When false,
+  /// compile_and_load() always returns an error; callers (tests) should
+  /// skip rather than fail.
+  [[nodiscard]] bool available() const { return !compiler_.empty(); }
+  [[nodiscard]] const std::string& compiler() const { return compiler_; }
+
+  struct Result {
+    std::optional<LoadedFsm> fsm;
+    std::string error;  // Non-empty on failure (includes compiler output).
+  };
+
+  /// Write `source` to disk, compile it to a shared object, dlopen it and
+  /// construct a machine via the exported factory.
+  [[nodiscard]] Result compile_and_load(
+      const std::string& source,
+      const std::string& factory = kDefaultFactoryName);
+
+ private:
+  std::string compiler_;
+  std::string include_dir_;
+  std::string work_dir_;
+  int counter_ = 0;
+};
+
+}  // namespace asa_repro::fsm

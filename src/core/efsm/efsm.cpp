@@ -1,0 +1,214 @@
+#include "core/efsm/efsm.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace asa_repro::fsm {
+
+void Efsm::validate() const {
+  if (states.empty()) throw std::logic_error("Efsm: no states");
+  if (start >= states.size()) throw std::logic_error("Efsm: bad start state");
+  const auto known_var = [&](const std::string& n) {
+    return std::any_of(variables.begin(), variables.end(),
+                       [&](const EfsmVariable& v) { return v.name == n; });
+  };
+  for (const EfsmState& s : states) {
+    for (const EfsmRule& r : s.rules) {
+      if (r.message >= messages.size()) {
+        throw std::logic_error("Efsm: rule for unknown message in state " +
+                               s.name);
+      }
+      for (const EfsmBranch& b : r.branches) {
+        if (b.target >= states.size()) {
+          throw std::logic_error("Efsm: branch target out of range in state " +
+                                 s.name);
+        }
+        if (b.guard.is_null()) {
+          throw std::logic_error("Efsm: null guard in state " + s.name);
+        }
+        for (const EfsmAssignment& a : b.updates) {
+          if (!known_var(a.variable)) {
+            throw std::logic_error("Efsm: assignment to unknown variable '" +
+                                   a.variable + "' in state " + s.name);
+          }
+        }
+      }
+    }
+    if (s.is_final && !s.rules.empty()) {
+      throw std::logic_error("Efsm: final state " + s.name + " has rules");
+    }
+  }
+}
+
+std::string Efsm::describe() const {
+  std::string out = "efsm: " + name + "\n";
+  out += "parameters:";
+  for (const auto& p : parameters) out += ' ' + p;
+  out += "\nvariables:\n";
+  for (const EfsmVariable& v : variables) {
+    out += "  " + v.name + " := " + v.initial->to_string() + "  (max " +
+           v.max->to_string() + ")\n";
+  }
+  out += "states: " + std::to_string(states.size()) + "\n\n";
+  for (const EfsmState& s : states) {
+    out += "state " + s.name + (s.is_final ? " (final)" : "") +
+           (state_id(s.name) == start ? " (start)" : "") + "\n";
+    for (const std::string& a : s.annotations) out += "  # " + a + "\n";
+    for (const EfsmRule& r : s.rules) {
+      out += "  on " + messages[r.message] + ":\n";
+      for (const EfsmBranch& b : r.branches) {
+        out += "    [" + b.guard->to_string() + "]";
+        for (const EfsmAssignment& u : b.updates) {
+          out += ' ' + u.variable + ":=" + u.value->to_string() + ';';
+        }
+        for (const std::string& a : b.actions) out += " ->" + a;
+        out += " goto " + states[b.target].name + "\n";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+EfsmInstance::EfsmInstance(const Efsm& efsm, EfsmParams params)
+    : efsm_(&efsm), params_(std::move(params)), state_(efsm.start) {
+  for (const std::string& p : efsm.parameters) {
+    if (!params_.contains(p)) {
+      throw std::invalid_argument("EfsmInstance: missing parameter " + p);
+    }
+  }
+  reset();
+}
+
+ExprEnv EfsmInstance::env() const {
+  return [this](std::string_view name) -> std::int64_t {
+    const std::string key(name);
+    if (const auto it = vars_.find(key); it != vars_.end()) return it->second;
+    if (const auto it = params_.find(key); it != params_.end()) {
+      return it->second;
+    }
+    throw std::out_of_range("EfsmInstance: unknown name '" + key + "'");
+  };
+}
+
+std::int64_t EfsmInstance::variable(std::string_view name) const {
+  return vars_.at(std::string(name));
+}
+
+void EfsmInstance::reset() {
+  state_ = efsm_->start;
+  vars_.clear();
+  // Initial values may reference parameters only (no variables yet).
+  const ExprEnv param_env = [this](std::string_view name) -> std::int64_t {
+    return params_.at(std::string(name));
+  };
+  for (const EfsmVariable& v : efsm_->variables) {
+    vars_[v.name] = v.initial->eval(param_env);
+  }
+}
+
+const EfsmBranch* EfsmInstance::deliver(MessageId message) {
+  const EfsmRule* rule = efsm_->states[state_].rule(message);
+  if (rule == nullptr) return nullptr;
+  const ExprEnv e = env();
+  for (const EfsmBranch& b : rule->branches) {
+    if (b.guard->eval(e) == 0) continue;
+    // Evaluate all right-hand sides against the pre-transition environment
+    // before storing, so updates are simultaneous.
+    std::vector<std::pair<std::string, std::int64_t>> staged;
+    staged.reserve(b.updates.size());
+    for (const EfsmAssignment& u : b.updates) {
+      staged.emplace_back(u.variable, u.value->eval(e));
+    }
+    for (auto& [name, value] : staged) vars_[name] = value;
+    state_ = b.target;
+    return &b;
+  }
+  return nullptr;
+}
+
+StateMachine expand_to_fsm(const Efsm& efsm, const EfsmParams& params) {
+  efsm.validate();
+
+  // A configuration is (efsm state, variable values in declaration order).
+  using Config = std::vector<std::int64_t>;  // [state, v0, v1, ...]
+  struct ConfigHash {
+    std::size_t operator()(const Config& c) const {
+      std::size_t h = 0xcbf29ce484222325ull;
+      for (std::int64_t v : c) {
+        h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+             (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  EfsmInstance probe(efsm, params);
+
+  const auto config_of = [&](const EfsmInstance& inst) {
+    Config c;
+    c.reserve(1 + efsm.variables.size());
+    c.push_back(inst.state());
+    for (const EfsmVariable& v : efsm.variables) {
+      c.push_back(inst.variable(v.name));
+    }
+    return c;
+  };
+  const auto name_of = [&](const EfsmInstance& inst) {
+    std::string n = inst.state_name();
+    for (const EfsmVariable& v : efsm.variables) {
+      n += '/' + std::to_string(inst.variable(v.name));
+    }
+    return n;
+  };
+
+  std::unordered_map<Config, StateId, ConfigHash> ids;
+  std::vector<State> states;
+  std::vector<EfsmInstance> rep;  // Instance at each discovered config.
+  std::deque<StateId> work;
+
+  const auto intern = [&](const EfsmInstance& inst) {
+    const Config c = config_of(inst);
+    const auto it = ids.find(c);
+    if (it != ids.end()) return it->second;
+    const StateId id = static_cast<StateId>(states.size());
+    ids.emplace(c, id);
+    State s;
+    s.name = name_of(inst);
+    s.is_final = inst.finished();
+    states.push_back(std::move(s));
+    rep.push_back(inst);
+    work.push_back(id);
+    return id;
+  };
+
+  const StateId start = intern(probe);
+  while (!work.empty()) {
+    const StateId id = work.front();
+    work.pop_front();
+    if (states[id].is_final) continue;
+    for (MessageId m = 0; m < efsm.messages.size(); ++m) {
+      EfsmInstance next = rep[id];
+      const EfsmBranch* b = next.deliver(m);
+      if (b == nullptr) continue;
+      Transition t;
+      t.message = m;
+      t.actions = b->actions;
+      t.target = intern(next);
+      states[id].transitions.push_back(std::move(t));
+    }
+  }
+
+  StateId finish = kNoState;
+  for (StateId i = 0; i < states.size(); ++i) {
+    if (states[i].is_final) {
+      finish = i;
+      break;
+    }
+  }
+  return StateMachine(efsm.messages, std::move(states), start, finish);
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,151 @@
+// Extended finite state machines (paper sections 3.2 and 5.3).
+//
+// An EFSM sits between the original algorithm (one state, many variables)
+// and the FSM family (many states, no variables): transitions may test and
+// update internal variables. For the commit protocol, mapping the two
+// message counters to EFSM variables coalesces every below-threshold
+// counting state, giving a 9-state machine whose state space is independent
+// of the replication factor.
+//
+// Guards and updates are symbolic expressions over the machine's variables
+// and named parameters (e.g. r, f), so one Efsm value is simultaneously
+// executable (EfsmInstance), expandable to any concrete FSM family member
+// (expand_to_fsm), and renderable to source code (EfsmCodeRenderer).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/efsm/expr.hpp"
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+using EfsmStateId = std::uint32_t;
+
+/// An internal machine variable with its initial value and (inclusive)
+/// upper bound, both possibly parameter-dependent. Lower bound is 0.
+struct EfsmVariable {
+  std::string name;
+  ExprPtr initial;
+  ExprPtr max;
+};
+
+/// One variable assignment `var := value` performed on a transition. All
+/// right-hand sides are evaluated against the pre-transition environment.
+struct EfsmAssignment {
+  std::string variable;
+  ExprPtr value;
+};
+
+/// One guarded branch of a rule: if `guard` holds, perform `updates` and
+/// `actions` and move to `target`.
+struct EfsmBranch {
+  ExprPtr guard;
+  std::vector<EfsmAssignment> updates;
+  ActionList actions;
+  EfsmStateId target = 0;
+  std::vector<std::string> annotations;
+};
+
+/// Reaction of a state to one message: branches tried in order, first true
+/// guard fires. If no guard holds the message is not applicable (mirrors
+/// the FSM generator's InvalidStateException).
+struct EfsmRule {
+  MessageId message = 0;
+  std::vector<EfsmBranch> branches;
+};
+
+struct EfsmState {
+  std::string name;
+  bool is_final = false;
+  std::vector<EfsmRule> rules;
+  std::vector<std::string> annotations;
+
+  [[nodiscard]] const EfsmRule* rule(MessageId m) const {
+    for (const auto& r : rules) {
+      if (r.message == m) return &r;
+    }
+    return nullptr;
+  }
+};
+
+/// Parameter values supplied when instantiating or expanding an EFSM.
+using EfsmParams = std::map<std::string, std::int64_t>;
+
+/// An extended finite state machine definition.
+struct Efsm {
+  std::string name;
+  std::vector<std::string> parameters;  // e.g. {"r", "f"}
+  std::vector<std::string> messages;
+  std::vector<EfsmVariable> variables;
+  std::vector<EfsmState> states;
+  EfsmStateId start = 0;
+
+  [[nodiscard]] std::optional<MessageId> message_id(
+      std::string_view name_) const {
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      if (messages[i] == name_) return static_cast<MessageId>(i);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::optional<EfsmStateId> state_id(
+      std::string_view name_) const {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].name == name_) return static_cast<EfsmStateId>(i);
+    }
+    return std::nullopt;
+  }
+
+  /// Validate structural invariants (targets in range, variables known,
+  /// parameters used in expressions declared). Throws std::logic_error.
+  void validate() const;
+
+  /// Human-readable description: states, variables, guarded rules.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A running EFSM instance with concrete parameter values.
+class EfsmInstance {
+ public:
+  EfsmInstance(const Efsm& efsm, EfsmParams params);
+
+  [[nodiscard]] const Efsm& efsm() const { return *efsm_; }
+  [[nodiscard]] EfsmStateId state() const { return state_; }
+  [[nodiscard]] const std::string& state_name() const {
+    return efsm_->states[state_].name;
+  }
+  [[nodiscard]] bool finished() const {
+    return efsm_->states[state_].is_final;
+  }
+  [[nodiscard]] std::int64_t variable(std::string_view name) const;
+
+  /// Deliver a message; returns the branch taken (whose actions the caller
+  /// executes) or nullptr when the message is not applicable.
+  const EfsmBranch* deliver(MessageId message);
+
+  /// Reset state and variables to their initial values.
+  void reset();
+
+ private:
+  [[nodiscard]] ExprEnv env() const;
+
+  const Efsm* efsm_;
+  EfsmParams params_;
+  std::map<std::string, std::int64_t> vars_;
+  EfsmStateId state_;
+};
+
+/// Expand an EFSM with concrete parameters into an equivalent plain FSM by
+/// enumerating the reachable (state, variable-values) configurations. Used
+/// to check the hand-specified EFSM against the generated FSM family
+/// (trace equivalence via find_divergence) and to measure the state-space
+/// trade-off of section 3.2.
+[[nodiscard]] StateMachine expand_to_fsm(const Efsm& efsm,
+                                         const EfsmParams& params);
+
+}  // namespace asa_repro::fsm

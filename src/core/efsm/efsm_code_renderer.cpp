@@ -1,0 +1,252 @@
+#include "core/efsm/efsm_code_renderer.hpp"
+
+#include "core/codegen.hpp"
+
+namespace asa_repro::fsm {
+
+namespace {
+
+/// Expr::to_string already prints valid C++ for the operators used.
+std::string cpp(const ExprPtr& e) { return e->to_string(); }
+
+/// Rewrite variable and parameter identifiers in a printed expression to
+/// their member names (name -> name_), leaving operators and literals
+/// untouched. Whole-word matching over identifier tokens.
+std::string rewrite_names(const std::string& text, const Efsm& efsm) {
+  const auto is_member_name = [&](const std::string& token) {
+    for (const EfsmVariable& v : efsm.variables) {
+      if (v.name == token) return true;
+    }
+    for (const std::string& p : efsm.parameters) {
+      if (p == token) return true;
+    }
+    return false;
+  };
+  const auto is_ident_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  };
+
+  std::string out;
+  out.reserve(text.size() + 8);
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+      std::size_t j = i;
+      while (j < text.size() && is_ident_char(text[j])) ++j;
+      const std::string token = text.substr(i, j - i);
+      out += token;
+      if (is_member_name(token)) out.push_back('_');
+      i = j;
+    } else {
+      out.push_back(c);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EfsmCodeRenderer::render(const Efsm& efsm) const {
+  const CodeGenOptions& o = options_;
+  const std::string override_kw = o.implement_api ? " override" : "";
+  CodeBuffer b;
+
+  if (!o.header_comment.empty()) b.add_ln("// ", o.header_comment);
+  b.add_ln("// EFSM '", efsm.name, "': ", std::to_string(efsm.states.size()),
+           " states, ", std::to_string(efsm.variables.size()), " variables");
+  b.add_ln("#pragma once");
+  b.blank_line();
+  b.add_ln("#include <cstdint>");
+  for (const std::string& inc : o.includes) {
+    b.add_ln("#include \"", inc, "\"");
+  }
+  b.blank_line();
+  if (!o.namespace_name.empty()) {
+    b.add_ln("namespace ", o.namespace_name, " {");
+    b.blank_line();
+  }
+
+  if (o.base_class.empty()) {
+    b.add_ln("class ", o.class_name, " {");
+  } else {
+    b.add_ln("class ", o.class_name, " : public ", o.base_class, " {");
+  }
+  b.add_ln(" public:");
+  b.increase_indent();
+
+  // ---- State enumeration (parameter-independent). ----
+  b.add_ln("enum class State : std::uint32_t ");
+  b.enter_block();
+  for (const EfsmState& s : efsm.states) {
+    b.add_ln(to_identifier(s.name), ",");
+  }
+  b.exit_block(";");
+  b.blank_line();
+
+  // ---- Constructor taking the algorithm parameters. ----
+  b.add("explicit ", o.class_name, "(");
+  for (std::size_t i = 0; i < efsm.parameters.size(); ++i) {
+    if (i > 0) b.add(", ");
+    b.add("std::int64_t ", efsm.parameters[i]);
+  }
+  b.add_ln(")");
+  b.increase_indent();
+  for (std::size_t i = 0; i < efsm.parameters.size(); ++i) {
+    b.add_ln(i == 0 ? ": " : ", ", efsm.parameters[i], "_(",
+             efsm.parameters[i], ")");
+  }
+  b.decrease_indent();
+  b.add_ln("{ reset(); }");
+  b.blank_line();
+
+  // ---- Observers. ----
+  b.add_ln("[[nodiscard]] State state() const { return state_; }");
+  b.add_ln("[[nodiscard]] std::uint32_t state_ordinal() const", override_kw,
+           " { return static_cast<std::uint32_t>(state_); }");
+  b.add_ln("[[nodiscard]] const char* state_name() const", override_kw, " ");
+  b.enter_block();
+  b.add_ln("return kStateNames[static_cast<std::uint32_t>(state_)];");
+  b.exit_block();
+  for (const EfsmVariable& v : efsm.variables) {
+    b.add_ln("[[nodiscard]] std::int64_t ", v.name,
+             "() const { return ", v.name, "_; }");
+  }
+  b.add_ln("[[nodiscard]] bool finished() const", override_kw, " ");
+  b.enter_block();
+  {
+    std::string cond;
+    for (const EfsmState& s : efsm.states) {
+      if (!s.is_final) continue;
+      if (!cond.empty()) cond += " || ";
+      cond += "state_ == State::" + to_identifier(s.name);
+    }
+    b.add_ln("return ", cond.empty() ? "false" : cond, ";");
+  }
+  b.exit_block();
+  b.blank_line();
+
+  // ---- reset(). ----
+  b.add_ln("void reset()", override_kw, " ");
+  b.enter_block();
+  b.add_ln("state_ = State::", to_identifier(efsm.states[efsm.start].name),
+           ";");
+  for (const EfsmVariable& v : efsm.variables) {
+    b.add_ln(v.name, "_ = ", rewrite_names(cpp(v.initial), efsm), ";");
+  }
+  b.exit_block();
+  b.blank_line();
+
+  // ---- Per-message handlers. ----
+  for (MessageId m = 0; m < efsm.messages.size(); ++m) {
+    b.add_ln("void receive", to_camel_case(efsm.messages[m]), "() ");
+    b.enter_block();
+    b.add_ln("switch (state_) ");
+    b.enter_block();
+    for (const EfsmState& s : efsm.states) {
+      const EfsmRule* rule = s.rule(m);
+      if (rule == nullptr) continue;
+      b.add_ln("case State::", to_identifier(s.name), ": ");
+      b.enter_block();
+      bool first = true;
+      for (const EfsmBranch& br : rule->branches) {
+        b.add_ln(first ? "if (" : "else if (",
+                 rewrite_names(cpp(br.guard), efsm), ") ");
+        first = false;
+        b.enter_block();
+        if (o.emit_comments) {
+          for (const std::string& a : br.annotations) b.add_ln("// ", a);
+        }
+        // Simultaneous assignment: RHS uses pre-update values. Rules in
+        // this renderer only ever update distinct variables from their own
+        // old values, so sequential emission is safe; assert that here.
+        for (const EfsmAssignment& u : br.updates) {
+          b.add_ln(u.variable, "_ = ", rewrite_names(cpp(u.value), efsm),
+                   ";");
+        }
+        for (const std::string& action : br.actions) {
+          if (o.action_style == CodeGenOptions::ActionStyle::kMethod) {
+            b.add_ln(CodeRenderer::action_method_name(action), "();");
+          } else {
+            b.add_ln("emit(\"", action, "\");");
+          }
+        }
+        b.add_ln("state_ = State::",
+                 to_identifier(efsm.states[br.target].name), ";");
+        b.exit_block();
+      }
+      b.add_ln("break;");
+      b.exit_block();
+    }
+    b.add_ln("default:");
+    b.increase_indent();
+    b.add_ln("break;  // Message not applicable in this state.");
+    b.decrease_indent();
+    b.exit_block();
+    b.exit_block();
+    b.blank_line();
+  }
+
+  // ---- Generic dispatcher. ----
+  b.add_ln("void receive(std::uint32_t m)", override_kw, " ");
+  b.enter_block();
+  b.add_ln("switch (m) ");
+  b.enter_block();
+  for (MessageId m = 0; m < efsm.messages.size(); ++m) {
+    b.add_ln("case ", std::to_string(m), ": receive",
+             to_camel_case(efsm.messages[m]), "(); break;");
+  }
+  b.add_ln("default: break;");
+  b.exit_block();
+  b.exit_block();
+  b.blank_line();
+
+  // ---- Private parts. ----
+  b.decrease_indent();
+  b.add_ln(" private:");
+  b.increase_indent();
+  b.add_ln("static constexpr const char* kStateNames[",
+           std::to_string(efsm.states.size()), "] = ");
+  b.enter_block();
+  for (const EfsmState& s : efsm.states) {
+    b.add_ln("\"", s.name, "\",");
+  }
+  b.exit_block(";");
+  b.blank_line();
+  for (const std::string& p : efsm.parameters) {
+    b.add_ln("std::int64_t ", p, "_;");
+  }
+  for (const EfsmVariable& v : efsm.variables) {
+    b.add_ln("std::int64_t ", v.name, "_ = 0;");
+  }
+  b.add_ln("State state_ = State::",
+           to_identifier(efsm.states[efsm.start].name), ";");
+  b.decrease_indent();
+  b.add_ln("};");
+
+  if (o.emit_factory) {
+    b.blank_line();
+    b.add_ln("extern \"C\" asa_repro::fsm::GeneratedFsmApi* ", o.factory_name,
+             "() ");
+    b.enter_block();
+    b.add_ln("// EFSM factories default the parameters to the smallest BFT");
+    b.add_ln("// configuration; dynamic deployments construct directly.");
+    b.add("return new ", o.class_name, "(");
+    for (std::size_t i = 0; i < efsm.parameters.size(); ++i) {
+      if (i > 0) b.add(", ");
+      b.add(efsm.parameters[i] == "r" ? "4" : "1");
+    }
+    b.add_ln(");");
+    b.exit_block();
+  }
+
+  if (!o.namespace_name.empty()) {
+    b.blank_line();
+    b.add_ln("}  // namespace ", o.namespace_name);
+  }
+  return b.take();
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,29 @@
+// Source-code rendering of EFSMs.
+//
+// Section 5.3 argues the generative approach also benefits EFSMs. This
+// renderer emits a C++ class for an Efsm definition: machine variables
+// become integer members, parameters become constructor arguments, and each
+// message handler is a switch over the (small, parameter-independent) state
+// enum whose cases are if/else chains over the rule's guards. The same
+// Method/Sink action styles as CodeRenderer apply.
+#pragma once
+
+#include <string>
+
+#include "core/efsm/efsm.hpp"
+#include "core/render/code_renderer.hpp"
+
+namespace asa_repro::fsm {
+
+class EfsmCodeRenderer {
+ public:
+  explicit EfsmCodeRenderer(CodeGenOptions options = {})
+      : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string render(const Efsm& efsm) const;
+
+ private:
+  CodeGenOptions options_;
+};
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,72 @@
+#include "core/efsm/efsm_doc_renderer.hpp"
+
+namespace asa_repro::fsm {
+
+std::string EfsmDocRenderer::render(const Efsm& efsm) const {
+  std::string out;
+  out += "# " + (options_.title.empty() ? "EFSM " + efsm.name
+                                        : options_.title) + "\n\n";
+  if (!options_.preamble.empty()) out += options_.preamble + "\n\n";
+
+  out += "- States: " + std::to_string(efsm.states.size()) + "\n";
+  out += "- Start state: `" + efsm.states[efsm.start].name + "`\n";
+  out += "- Parameters:";
+  for (const std::string& p : efsm.parameters) out += " `" + p + "`";
+  out += "\n\n## Variables\n\n";
+  out += "| variable | initial | maximum |\n|---|---|---|\n";
+  for (const EfsmVariable& v : efsm.variables) {
+    out += "| `" + v.name + "` | `" + v.initial->to_string() + "` | `" +
+           v.max->to_string() + "` |\n";
+  }
+
+  out += "\n## Messages\n\n";
+  for (const std::string& m : efsm.messages) {
+    out += "- `" + m + "`\n";
+  }
+
+  out += "\n## States\n\n";
+  for (std::size_t i = 0; i < efsm.states.size(); ++i) {
+    const EfsmState& s = efsm.states[i];
+    out += "### `" + s.name + "`";
+    if (i == efsm.start) out += " *(start)*";
+    if (s.is_final) out += " *(final)*";
+    out += "\n\n";
+    for (const std::string& a : s.annotations) out += a + "\n";
+    if (!s.annotations.empty()) out += "\n";
+    if (s.rules.empty()) {
+      out += "No outgoing transitions.\n\n";
+      continue;
+    }
+    out += "| message | guard | updates | actions | next state |\n";
+    out += "|---|---|---|---|---|\n";
+    for (const EfsmRule& rule : s.rules) {
+      for (const EfsmBranch& b : rule.branches) {
+        out += "| `" + efsm.messages[rule.message] + "` | `" +
+               b.guard->to_string() + "` | ";
+        if (b.updates.empty()) {
+          out += "—";
+        } else {
+          for (std::size_t u = 0; u < b.updates.size(); ++u) {
+            if (u > 0) out += ", ";
+            out += "`" + b.updates[u].variable + " := " +
+                   b.updates[u].value->to_string() + "`";
+          }
+        }
+        out += " | ";
+        if (b.actions.empty()) {
+          out += "—";
+        } else {
+          for (std::size_t a = 0; a < b.actions.size(); ++a) {
+            if (a > 0) out += ", ";
+            out += "`->" + b.actions[a] + "`";
+          }
+        }
+        out += " | `" + efsm.states[b.target].name + "` |\n";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,27 @@
+// Markdown documentation rendering for EFSMs — completes the artefact
+// matrix (text/DOT/code/doc) for the extended machines of section 5.3.
+#pragma once
+
+#include <string>
+
+#include "core/efsm/efsm.hpp"
+
+namespace asa_repro::fsm {
+
+struct EfsmDocOptions {
+  std::string title;     // Defaults to "EFSM <name>".
+  std::string preamble;  // Optional introductory paragraph.
+};
+
+class EfsmDocRenderer {
+ public:
+  explicit EfsmDocRenderer(EfsmDocOptions options = {})
+      : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string render(const Efsm& efsm) const;
+
+ private:
+  EfsmDocOptions options_;
+};
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,55 @@
+#include "core/efsm/efsm_dot_renderer.hpp"
+
+namespace asa_repro::fsm {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EfsmDotRenderer::render(const Efsm& efsm) const {
+  std::string out;
+  out += "digraph \"" + escape(graph_name_) + "\" {\n";
+  out += "  rankdir=LR;\n";
+  out += "  node [shape=box, style=rounded, fontname=\"Helvetica\"];\n";
+  out += "  edge [fontname=\"Helvetica\", fontsize=9];\n";
+  out += "  __start [shape=point, label=\"\"];\n";
+  out += "  __start -> \"" + escape(efsm.states[efsm.start].name) + "\";\n";
+
+  for (const EfsmState& s : efsm.states) {
+    out += "  \"" + escape(s.name) + "\"";
+    if (s.is_final) out += " [peripheries=2, style=\"rounded,bold\"]";
+    out += ";\n";
+  }
+  for (const EfsmState& s : efsm.states) {
+    for (const EfsmRule& rule : s.rules) {
+      for (const EfsmBranch& b : rule.branches) {
+        std::string label = "<-" + efsm.messages[rule.message];
+        const std::string guard = b.guard->to_string();
+        if (guard != "1") label += "\\n[" + guard + "]";
+        for (const EfsmAssignment& u : b.updates) {
+          label += "\\n" + u.variable + " := " + u.value->to_string();
+        }
+        for (const std::string& a : b.actions) {
+          label += "\\n->" + a;
+        }
+        out += "  \"" + escape(s.name) + "\" -> \"" +
+               escape(efsm.states[b.target].name) + "\" [label=\"" +
+               escape(label) + "\"];\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,25 @@
+// DOT diagram rendering for EFSMs.
+//
+// The EFSM counterpart of Fig 15: 9 states instead of a family of dozens,
+// with guards and variable updates on the edges. Edge labels show
+// "<-message [guard] / updates / ->actions".
+#pragma once
+
+#include <string>
+
+#include "core/efsm/efsm.hpp"
+
+namespace asa_repro::fsm {
+
+class EfsmDotRenderer {
+ public:
+  explicit EfsmDotRenderer(std::string graph_name = "efsm")
+      : graph_name_(std::move(graph_name)) {}
+
+  [[nodiscard]] std::string render(const Efsm& efsm) const;
+
+ private:
+  std::string graph_name_;
+};
+
+}  // namespace asa_repro::fsm

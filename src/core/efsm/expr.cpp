@@ -1,0 +1,170 @@
+#include "core/efsm/expr.hpp"
+
+namespace asa_repro::fsm {
+
+namespace {
+
+int precedence(Expr::Kind k) {
+  switch (k) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kVar:
+    case Expr::Kind::kNot:
+      return 6;
+    case Expr::Kind::kMul:
+      return 5;
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+      return 4;
+    case Expr::Kind::kGe:
+    case Expr::Kind::kGt:
+    case Expr::Kind::kLe:
+    case Expr::Kind::kLt:
+      return 3;
+    case Expr::Kind::kEq:
+    case Expr::Kind::kNe:
+      return 2;
+    case Expr::Kind::kAnd:
+      return 1;
+    case Expr::Kind::kOr:
+      return 0;
+  }
+  return 0;
+}
+
+const char* op_token(Expr::Kind k) {
+  switch (k) {
+    case Expr::Kind::kAdd: return " + ";
+    case Expr::Kind::kSub: return " - ";
+    case Expr::Kind::kMul: return " * ";
+    case Expr::Kind::kGe: return " >= ";
+    case Expr::Kind::kGt: return " > ";
+    case Expr::Kind::kLe: return " <= ";
+    case Expr::Kind::kLt: return " < ";
+    case Expr::Kind::kEq: return " == ";
+    case Expr::Kind::kNe: return " != ";
+    case Expr::Kind::kAnd: return " && ";
+    case Expr::Kind::kOr: return " || ";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::int64_t Expr::eval(const ExprEnv& env) const {
+  switch (kind_) {
+    case Kind::kConst: return value_;
+    case Kind::kVar: return env(name_);
+    case Kind::kNot: return lhs_->eval(env) == 0 ? 1 : 0;
+    default: break;
+  }
+  const std::int64_t a = lhs_->eval(env);
+  // Short-circuit the boolean connectives.
+  if (kind_ == Kind::kAnd) return (a != 0 && rhs_->eval(env) != 0) ? 1 : 0;
+  if (kind_ == Kind::kOr) return (a != 0 || rhs_->eval(env) != 0) ? 1 : 0;
+  const std::int64_t b = rhs_->eval(env);
+  switch (kind_) {
+    case Kind::kAdd: return a + b;
+    case Kind::kSub: return a - b;
+    case Kind::kMul: return a * b;
+    case Kind::kGe: return a >= b ? 1 : 0;
+    case Kind::kGt: return a > b ? 1 : 0;
+    case Kind::kLe: return a <= b ? 1 : 0;
+    case Kind::kLt: return a < b ? 1 : 0;
+    case Kind::kEq: return a == b ? 1 : 0;
+    case Kind::kNe: return a != b ? 1 : 0;
+    default: return 0;  // Unreachable.
+  }
+}
+
+std::string Expr::to_string() const {
+  switch (kind_) {
+    case Kind::kConst: return std::to_string(value_);
+    case Kind::kVar: return name_;
+    case Kind::kNot: {
+      std::string inner = lhs_->to_string();
+      if (precedence(lhs_->kind_) < precedence(Kind::kNot)) {
+        inner = "(" + inner + ")";
+      }
+      return "!" + inner;
+    }
+    default: break;
+  }
+  std::string l = lhs_->to_string();
+  std::string r = rhs_->to_string();
+  if (precedence(lhs_->kind_) < precedence(kind_)) l = "(" + l + ")";
+  // Right operand parenthesised at equal precedence too: ops here are
+  // left-associative, so this keeps the printed tree unambiguous.
+  if (precedence(rhs_->kind_) <= precedence(kind_)) r = "(" + r + ")";
+  return l + op_token(kind_) + r;
+}
+
+ExprPtr Expr::make_const(std::int64_t v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kConst;
+  e->value_ = v;
+  return ExprPtr(std::move(e));
+}
+
+ExprPtr Expr::make_var(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kVar;
+  e->name_ = std::move(name);
+  return ExprPtr(std::move(e));
+}
+
+ExprPtr Expr::make_binary(Kind kind, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = kind;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return ExprPtr(std::move(e));
+}
+
+ExprPtr Expr::make_not(ExprPtr inner) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kNot;
+  e->lhs_ = std::move(inner);
+  return ExprPtr(std::move(e));
+}
+
+ExprPtr lit(std::int64_t v) { return Expr::make_const(v); }
+ExprPtr var(std::string name) { return Expr::make_var(std::move(name)); }
+
+ExprPtr operator+(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kAdd, std::move(a), std::move(b));
+}
+ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kSub, std::move(a), std::move(b));
+}
+ExprPtr operator*(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kMul, std::move(a), std::move(b));
+}
+ExprPtr operator>=(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kGe, std::move(a), std::move(b));
+}
+ExprPtr operator>(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kGt, std::move(a), std::move(b));
+}
+ExprPtr operator<=(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kLe, std::move(a), std::move(b));
+}
+ExprPtr operator<(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kLt, std::move(a), std::move(b));
+}
+ExprPtr operator==(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kEq, std::move(a), std::move(b));
+}
+ExprPtr operator!=(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kNe, std::move(a), std::move(b));
+}
+ExprPtr operator&&(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kAnd, std::move(a), std::move(b));
+}
+ExprPtr operator||(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(Expr::Kind::kOr, std::move(a), std::move(b));
+}
+ExprPtr operator!(ExprPtr a) {
+  return Expr::make_not(std::move(a));
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,110 @@
+// Symbolic integer/boolean expressions for EFSM guards and updates.
+//
+// An extended finite state machine (paper sections 3.2, 5.3) allows
+// transitions to depend on internal variables as well as states. To keep
+// EFSMs both executable and renderable to source code, guards and updates
+// are small expression trees over named variables (e.g. votes_received) and
+// named parameters (e.g. the replication factor r): an interpreter
+// evaluates them against an environment, and renderers print them as C++.
+//
+// ExprPtr is a dedicated handle type (not a bare shared_ptr alias): the
+// expression-building operators (+, >=, &&, !) are overloaded on it, and
+// overloading those on std::shared_ptr itself would leak into unrelated
+// shared_ptr code via ADL. Use is_null() to test for an absent expression —
+// operator! means logical negation of the expression.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace asa_repro::fsm {
+
+/// Evaluation environment: resolves variable and parameter names to values.
+using ExprEnv = std::function<std::int64_t(std::string_view)>;
+
+class Expr;
+
+/// Value-semantic handle to an immutable expression node.
+class ExprPtr {
+ public:
+  ExprPtr() = default;
+  explicit ExprPtr(std::shared_ptr<const Expr> node)
+      : node_(std::move(node)) {}
+
+  [[nodiscard]] bool is_null() const { return node_ == nullptr; }
+  [[nodiscard]] const Expr* get() const { return node_.get(); }
+  const Expr& operator*() const { return *node_; }
+  const Expr* operator->() const { return node_.get(); }
+
+ private:
+  std::shared_ptr<const Expr> node_;
+};
+
+/// An immutable expression node. Booleans are represented as 0/1.
+class Expr {
+ public:
+  enum class Kind {
+    kConst, kVar,
+    kAdd, kSub, kMul,
+    kGe, kGt, kLe, kLt, kEq, kNe,
+    kAnd, kOr, kNot,
+  };
+
+  /// Evaluate under `env`. Unknown names are the caller's bug; the
+  /// environment decides how to fail.
+  [[nodiscard]] std::int64_t eval(const ExprEnv& env) const;
+
+  /// Render as C++/pseudo-code (infix, parenthesised by precedence).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // Node factories (use the free helpers below in model code).
+  static ExprPtr make_const(std::int64_t v);
+  static ExprPtr make_var(std::string name);
+  static ExprPtr make_binary(Kind kind, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr make_not(ExprPtr inner);
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kConst;
+  std::int64_t value_ = 0;
+  std::string name_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+// ---- Builder helpers (model-definition DSL). ----
+
+[[nodiscard]] ExprPtr lit(std::int64_t v);
+[[nodiscard]] ExprPtr var(std::string name);
+
+[[nodiscard]] ExprPtr operator+(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator-(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator*(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator>=(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator>(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator<=(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator<(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator==(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator!=(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator&&(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator||(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator!(ExprPtr a);
+
+/// Build an environment over a map-like container of (name, value) pairs.
+/// Missing names throw std::out_of_range.
+template <typename Map>
+[[nodiscard]] ExprEnv env_from(const Map& map) {
+  return [&map](std::string_view name) -> std::int64_t {
+    return map.at(std::string(name));
+  };
+}
+
+}  // namespace asa_repro::fsm

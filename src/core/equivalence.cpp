@@ -1,0 +1,78 @@
+#include "core/equivalence.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace asa_repro::fsm {
+
+namespace {
+
+std::string message_name(const StateMachine& m, MessageId id) {
+  return id < m.messages().size() ? m.messages()[id]
+                                  : "#" + std::to_string(id);
+}
+
+}  // namespace
+
+std::optional<Divergence> find_divergence(const StateMachine& a,
+                                          const StateMachine& b) {
+  if (a.messages() != b.messages()) {
+    return Divergence{{}, "message vocabularies differ"};
+  }
+
+  struct Node {
+    StateId sa;
+    StateId sb;
+    std::vector<MessageId> trace;
+  };
+
+  const auto key = [](StateId sa, StateId sb) {
+    return (std::uint64_t{sa} << 32) | sb;
+  };
+
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<Node> queue;
+  queue.push_back({a.start(), b.start(), {}});
+  visited.insert(key(a.start(), b.start()));
+
+  while (!queue.empty()) {
+    Node n = std::move(queue.front());
+    queue.pop_front();
+    const State& sa = a.state(n.sa);
+    const State& sb = b.state(n.sb);
+
+    if (sa.is_final != sb.is_final) {
+      return Divergence{n.trace, "finality differs ('" + sa.name + "' vs '" +
+                                     sb.name + "')"};
+    }
+
+    for (MessageId m = 0; m < a.messages().size(); ++m) {
+      const Transition* ta = sa.transition(m);
+      const Transition* tb = sb.transition(m);
+      if ((ta == nullptr) != (tb == nullptr)) {
+        auto trace = n.trace;
+        trace.push_back(m);
+        return Divergence{trace, "applicability of '" + message_name(a, m) +
+                                     "' differs in '" + sa.name + "' vs '" +
+                                     sb.name + "'"};
+      }
+      if (ta == nullptr) continue;
+      if (ta->actions != tb->actions) {
+        auto trace = n.trace;
+        trace.push_back(m);
+        return Divergence{trace, "actions for '" + message_name(a, m) +
+                                     "' differ in '" + sa.name + "' vs '" +
+                                     sb.name + "'"};
+      }
+      if (visited.insert(key(ta->target, tb->target)).second) {
+        auto trace = n.trace;
+        trace.push_back(m);
+        queue.push_back({ta->target, tb->target, std::move(trace)});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,39 @@
+// Behavioural equivalence checks between generated machines.
+//
+// Used by tests and benches to prove that the generation pipeline preserves
+// behaviour: the merged machine must be trace-equivalent to the pruned
+// machine, and every rendered artefact (interpreter, generated source,
+// EFSM) must be trace-equivalent to the machine it was rendered from.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+/// A counterexample distinguishing two machines: the message trace leading
+/// to the divergence and a description of how they diverged.
+struct Divergence {
+  std::vector<MessageId> trace;
+  std::string reason;
+};
+
+/// Check that `a` and `b` are trace-equivalent from their start states:
+/// after any common message sequence, the same messages are applicable,
+/// applicable messages produce identical action lists, and finality agrees.
+/// Message vocabularies must match (by name, in order).
+///
+/// Returns nullopt when equivalent, otherwise a shortest-divergence witness
+/// (BFS order).
+[[nodiscard]] std::optional<Divergence> find_divergence(
+    const StateMachine& a, const StateMachine& b);
+
+/// Convenience wrapper.
+[[nodiscard]] inline bool trace_equivalent(const StateMachine& a,
+                                           const StateMachine& b) {
+  return !find_divergence(a, b).has_value();
+}
+
+}  // namespace asa_repro::fsm

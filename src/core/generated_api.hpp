@@ -1,0 +1,71 @@
+// Host interface for dynamically loaded generated machines.
+//
+// The paper (sections 4.2-4.3) discusses generating an implementation "on
+// the fly" when a new parameter value is encountered: the generated source
+// must be compiled, loaded and bound dynamically (the paper used the Java 6
+// compiler API; here the counterpart is the system C++ compiler plus
+// dlopen). GeneratedFsmApi is the stable ABI between the host application
+// and a generated shared object: the host drives the machine through
+// virtual calls and observes outgoing actions through a C-style callback,
+// so host and generated code need share only this header.
+#pragma once
+
+#include <cstdint>
+
+namespace asa_repro::fsm {
+
+/// Abstract interface implemented by generated machines compiled in
+/// api/sink mode (CodeGenOptions::implement_api).
+class GeneratedFsmApi {
+ public:
+  /// Callback invoked for each outgoing action, in order.
+  using ActionSink = void (*)(void* ctx, const char* action);
+
+  virtual ~GeneratedFsmApi() = default;
+
+  /// Deliver message `m` (index into the machine's message vocabulary).
+  /// Inapplicable messages are ignored, as in the interpreter.
+  virtual void receive(std::uint32_t m) = 0;
+
+  /// Ordinal of the current state within the generated state enum.
+  [[nodiscard]] virtual std::uint32_t state_ordinal() const = 0;
+
+  /// Name of the current state (e.g. "T/2/F/0/F/F/F").
+  [[nodiscard]] virtual const char* state_name() const = 0;
+
+  /// True once the finish state has been reached.
+  [[nodiscard]] virtual bool finished() const = 0;
+
+  /// Return to the start state.
+  virtual void reset() = 0;
+
+  /// Install the action callback (nullptr to silence).
+  virtual void set_action_sink(ActionSink sink, void* ctx) = 0;
+};
+
+/// Base class for machines generated in sink mode: routes emitted actions
+/// to the installed callback. Generated handler code calls emit("vote") for
+/// each action.
+class DynamicFsmBase : public GeneratedFsmApi {
+ public:
+  void set_action_sink(ActionSink sink, void* ctx) override {
+    sink_ = sink;
+    ctx_ = ctx;
+  }
+
+ protected:
+  void emit(const char* action) {
+    if (sink_ != nullptr) sink_(ctx_, action);
+  }
+
+ private:
+  ActionSink sink_ = nullptr;
+  void* ctx_ = nullptr;
+};
+
+/// Name of the factory symbol a generated shared object exports when
+/// CodeGenOptions::emit_factory is set:
+///   extern "C" asa_repro::fsm::GeneratedFsmApi* <factory>();
+inline constexpr const char* kDefaultFactoryName = "asa_create_fsm";
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,165 @@
+#include "core/minimize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asa_repro::fsm {
+
+namespace {
+
+/// Distinguishing signature of a state under a given partition: finality
+/// plus, per message, the action list and the destination's class. Message
+/// ids are naturally ordered because transitions are generated in message
+/// order.
+struct Signature {
+  bool is_final;
+  std::uint32_t current_class;
+  std::vector<std::tuple<MessageId, ActionList, std::uint32_t>> rows;
+
+  bool operator<(const Signature& other) const {
+    if (is_final != other.is_final) return is_final < other.is_final;
+    if (current_class != other.current_class) {
+      return current_class < other.current_class;
+    }
+    return rows < other.rows;
+  }
+};
+
+Signature signature_of(const State& s, const std::vector<std::uint32_t>& cls,
+                       std::uint32_t own_class, bool refine) {
+  Signature sig;
+  sig.is_final = s.is_final;
+  // During refinement a state can only stay in (a subdivision of) its own
+  // class; when coalescing from the identity partition this constraint is
+  // dropped so that distinct states may merge.
+  sig.current_class = refine ? own_class : 0;
+  sig.rows.reserve(s.transitions.size());
+  for (const Transition& t : s.transitions) {
+    sig.rows.emplace_back(t.message, t.actions, cls[t.target]);
+  }
+  return sig;
+}
+
+StateMachine rebuild(const StateMachine& machine,
+                     const std::vector<std::uint32_t>& cls,
+                     std::uint32_t class_count,
+                     std::vector<StateId>* state_class) {
+  // Representative of each class: the lowest-numbered member.
+  std::vector<StateId> rep(class_count, kNoState);
+  std::vector<std::uint32_t> member_count(class_count, 0);
+  for (StateId i = 0; i < machine.state_count(); ++i) {
+    const std::uint32_t c = cls[i];
+    ++member_count[c];
+    if (rep[c] == kNoState) rep[c] = i;
+  }
+
+  // Order output classes by representative so merged machines enumerate in
+  // the same order as their inputs (stable artefacts, stable diffs).
+  std::vector<std::uint32_t> order(class_count);
+  for (std::uint32_t c = 0; c < class_count; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return rep[a] < rep[b]; });
+  std::vector<StateId> class_to_output(class_count);
+  for (std::uint32_t o = 0; o < class_count; ++o) {
+    class_to_output[order[o]] = static_cast<StateId>(o);
+  }
+
+  std::vector<State> states(class_count);
+  for (std::uint32_t c = 0; c < class_count; ++c) {
+    const StateId out = class_to_output[c];
+    const State& r = machine.state(rep[c]);
+    State s;
+    s.name = r.name;
+    s.is_final = r.is_final;
+    s.annotations = r.annotations;
+    if (member_count[c] > 1) {
+      std::string merged = "Represents " + std::to_string(member_count[c]) +
+                           " equivalent states:";
+      std::size_t listed = 0;
+      for (StateId i = 0; i < machine.state_count() && listed < 12; ++i) {
+        if (cls[i] == c) {
+          merged += ' ' + machine.state(i).name;
+          ++listed;
+        }
+      }
+      if (member_count[c] > listed) merged += " ...";
+      s.annotations.push_back(std::move(merged));
+    }
+    s.transitions = r.transitions;
+    for (Transition& t : s.transitions) {
+      t.target = class_to_output[cls[t.target]];
+    }
+    states[out] = std::move(s);
+  }
+
+  const StateId start = class_to_output[cls[machine.start()]];
+  StateId finish = kNoState;
+  for (StateId i = 0; i < states.size(); ++i) {
+    if (states[i].is_final) {
+      finish = i;
+      break;
+    }
+  }
+
+  if (state_class != nullptr) {
+    state_class->resize(machine.state_count());
+    for (StateId i = 0; i < machine.state_count(); ++i) {
+      (*state_class)[i] = class_to_output[cls[i]];
+    }
+  }
+  return StateMachine(machine.messages(), std::move(states), start, finish);
+}
+
+/// One coalescing round: group states with identical signatures under the
+/// partition `cls`. Returns the new class count.
+std::uint32_t coalesce(const StateMachine& machine,
+                       std::vector<std::uint32_t>& cls, bool refine) {
+  std::map<Signature, std::uint32_t> groups;
+  std::vector<std::uint32_t> next(machine.state_count());
+  for (StateId i = 0; i < machine.state_count(); ++i) {
+    Signature sig = signature_of(machine.state(i), cls, cls[i], refine);
+    const auto [it, inserted] =
+        groups.emplace(std::move(sig), static_cast<std::uint32_t>(groups.size()));
+    next[i] = it->second;
+  }
+  cls = std::move(next);
+  return static_cast<std::uint32_t>(groups.size());
+}
+
+}  // namespace
+
+StateMachine minimize(const StateMachine& machine,
+                      std::vector<StateId>* state_class) {
+  // Moore-style partition refinement: start from the coarsest partition
+  // (everything equivalent) and split classes whose members disagree on
+  // finality, applicable messages, actions, or the class of a destination,
+  // until stable. The fixpoint is the coarsest behavioural equivalence —
+  // the paper's "combine any sets of equivalent states" run to completion.
+  // (A greedy bottom-up merge of identical-successor states, as the paper's
+  // wording might also suggest, can fail to combine bisimilar states on
+  // cycles; refinement cannot. merge_once() exposes one greedy round for
+  // the ablation bench.)
+  if (machine.state_count() == 0) return machine;
+  std::vector<std::uint32_t> cls(machine.state_count(), 0);
+  std::uint32_t count = 1;
+  for (;;) {
+    const std::uint32_t new_count = coalesce(machine, cls, /*refine=*/true);
+    if (new_count == count) break;
+    count = new_count;
+  }
+  return rebuild(machine, cls, count, state_class);
+}
+
+StateMachine merge_once(const StateMachine& machine,
+                        std::vector<StateId>* state_class) {
+  if (machine.state_count() == 0) return machine;
+  std::vector<std::uint32_t> cls(machine.state_count());
+  for (StateId i = 0; i < machine.state_count(); ++i) cls[i] = i;
+  const std::uint32_t count = coalesce(machine, cls, /*refine=*/false);
+  return rebuild(machine, cls, count, state_class);
+}
+
+}  // namespace asa_repro::fsm

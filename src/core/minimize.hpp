@@ -1,0 +1,36 @@
+// Equivalent-state merging (paper section 3.4, step 4).
+//
+// Two states are equivalent when "the outgoing transitions from each perform
+// the same actions and lead to the same destination state". Merging is run
+// to a fixpoint: combining one set of states can make the destinations of
+// other states coincide, enabling further merges. The fixpoint is exactly
+// Mealy-machine minimization by partition refinement, with the per-message
+// action list as the output and message inapplicability as a distinguishing
+// observation.
+#pragma once
+
+#include <vector>
+
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+/// Merge all equivalent states of `machine`. Each merged state keeps the
+/// name and annotations of its lowest-numbered representative, gains an
+/// annotation listing the other members it absorbed, and all transition
+/// targets are remapped. If `state_class` is non-null it receives, for each
+/// input StateId, the output StateId of its equivalence class.
+[[nodiscard]] StateMachine minimize(const StateMachine& machine,
+                                    std::vector<StateId>* state_class =
+                                        nullptr);
+
+/// Single-pass variant: performs one round of "combine states whose outgoing
+/// transitions have identical actions and destinations" without iterating to
+/// the fixpoint. Exposed for the ablation bench comparing the paper's
+/// literal description with the fixpoint; minimize() is what generation
+/// uses.
+[[nodiscard]] StateMachine merge_once(const StateMachine& machine,
+                                      std::vector<StateId>* state_class =
+                                          nullptr);
+
+}  // namespace asa_repro::fsm

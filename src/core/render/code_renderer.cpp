@@ -1,0 +1,176 @@
+#include "core/render/code_renderer.hpp"
+
+#include "core/codegen.hpp"
+
+namespace asa_repro::fsm {
+
+std::string CodeRenderer::state_identifier(const State& state) {
+  return "S_" + to_identifier(state.name);
+}
+
+std::string CodeRenderer::handler_name(const std::string& message) {
+  return "receive" + to_camel_case(message);
+}
+
+std::string CodeRenderer::action_method_name(const std::string& action) {
+  return "send" + to_camel_case(action);
+}
+
+std::string CodeRenderer::render(const StateMachine& machine) const {
+  const CodeGenOptions& o = options_;
+  const std::string override_kw = o.implement_api ? " override" : "";
+  const std::string start_id =
+      "State::" + state_identifier(machine.state(machine.start()));
+  CodeBuffer b;
+
+  // ---- Preamble. ----
+  if (!o.header_comment.empty()) b.add_ln("// ", o.header_comment);
+  b.add_ln("// states: ", std::to_string(machine.state_count()),
+           ", transitions: ", std::to_string(machine.transition_count()));
+  b.add_ln("#pragma once");
+  b.blank_line();
+  b.add_ln("#include <cstdint>");
+  for (const std::string& inc : o.includes) {
+    b.add_ln("#include \"", inc, "\"");
+  }
+  b.blank_line();
+  if (!o.namespace_name.empty()) {
+    b.add_ln("namespace ", o.namespace_name, " {");
+    b.blank_line();
+  }
+
+  // ---- Class head. ----
+  if (o.base_class.empty()) {
+    b.add_ln("class ", o.class_name, " {");
+  } else {
+    b.add_ln("class ", o.class_name, " : public ", o.base_class, " {");
+  }
+  b.add_ln(" public:");
+  b.increase_indent();
+
+  // ---- State enumeration. ----
+  b.add_ln("enum class State : std::uint32_t ");
+  b.enter_block();
+  for (StateId i = 0; i < machine.state_count(); ++i) {
+    b.add_ln(state_identifier(machine.state(i)), ",");
+  }
+  b.exit_block(";");
+  b.blank_line();
+  b.add_ln("static constexpr std::uint32_t kStateCount = ",
+           std::to_string(machine.state_count()), ";");
+  b.blank_line();
+
+  // ---- Observers. ----
+  b.add_ln("[[nodiscard]] State state() const { return state_; }");
+  b.blank_line();
+  b.add_ln("[[nodiscard]] std::uint32_t state_ordinal() const", override_kw,
+           " ");
+  b.enter_block();
+  b.add_ln("return static_cast<std::uint32_t>(state_);");
+  b.exit_block();
+  b.blank_line();
+  b.add_ln("[[nodiscard]] const char* state_name() const", override_kw, " ");
+  b.enter_block();
+  b.add_ln("return kStateNames[static_cast<std::uint32_t>(state_)];");
+  b.exit_block();
+  b.blank_line();
+  b.add_ln("[[nodiscard]] bool finished() const", override_kw, " ");
+  b.enter_block();
+  if (machine.finish() != kNoState) {
+    b.add_ln("return state_ == State::",
+             state_identifier(machine.state(machine.finish())), ";");
+  } else {
+    b.add_ln("return false;");
+  }
+  b.exit_block();
+  b.blank_line();
+  b.add_ln("void reset()", override_kw, " { state_ = ", start_id, "; }");
+  b.blank_line();
+
+  // ---- Per-message handlers (the Fig 16 switch bodies). ----
+  for (MessageId m = 0; m < machine.messages().size(); ++m) {
+    b.add_ln("void ", handler_name(machine.messages()[m]), "() ");
+    b.enter_block();
+    b.add_ln("switch (state_) ");
+    b.enter_block();
+    for (StateId i = 0; i < machine.state_count(); ++i) {
+      const State& s = machine.state(i);
+      const Transition* t = s.transition(m);
+      if (t == nullptr) continue;  // Message not applicable: falls to default.
+      b.add_ln("case State::", state_identifier(s), ": ");
+      b.enter_block();
+      if (o.emit_comments) {
+        for (const std::string& a : t->annotations) {
+          b.add_ln("// ", a);
+        }
+      }
+      for (const std::string& action : t->actions) {
+        if (o.action_style == CodeGenOptions::ActionStyle::kMethod) {
+          b.add_ln(action_method_name(action), "();");
+        } else {
+          b.add_ln("emit(\"", action, "\");");
+        }
+      }
+      b.add_ln("setState(State::",
+               state_identifier(machine.state(t->target)), ");");
+      b.add_ln("break;");
+      b.exit_block();
+    }
+    b.add_ln("default:");
+    b.increase_indent();
+    b.add_ln("break;  // Message not applicable in this state.");
+    b.decrease_indent();
+    b.exit_block();
+    b.exit_block();
+    b.blank_line();
+  }
+
+  // ---- Generic dispatcher over message ordinals. ----
+  b.add_ln("void receive(std::uint32_t m)", override_kw, " ");
+  b.enter_block();
+  b.add_ln("switch (m) ");
+  b.enter_block();
+  for (MessageId m = 0; m < machine.messages().size(); ++m) {
+    b.add_ln("case ", std::to_string(m), ": ",
+             handler_name(machine.messages()[m]), "(); break;");
+  }
+  b.add_ln("default: break;");
+  b.exit_block();
+  b.exit_block();
+  b.blank_line();
+
+  // ---- Private parts. ----
+  b.decrease_indent();
+  b.add_ln(" private:");
+  b.increase_indent();
+  b.add_ln("static constexpr const char* kStateNames[kStateCount] = ");
+  b.enter_block();
+  for (StateId i = 0; i < machine.state_count(); ++i) {
+    b.add_ln("\"", machine.state(i).name, "\",");
+  }
+  b.exit_block(";");
+  b.blank_line();
+  b.add_ln("void setState(State s) { state_ = s; }");
+  b.blank_line();
+  b.add_ln("State state_ = ", start_id, ";");
+  b.decrease_indent();
+  b.add_ln("};");
+
+  // ---- Optional dlopen factory. ----
+  if (o.emit_factory) {
+    b.blank_line();
+    b.add_ln("extern \"C\" asa_repro::fsm::GeneratedFsmApi* ", o.factory_name,
+             "() ");
+    b.enter_block();
+    b.add_ln("return new ", o.class_name, "();");
+    b.exit_block();
+  }
+
+  if (!o.namespace_name.empty()) {
+    b.blank_line();
+    b.add_ln("}  // namespace ", o.namespace_name);
+  }
+  return b.take();
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,74 @@
+#include "core/render/doc_renderer.hpp"
+
+namespace asa_repro::fsm {
+
+namespace {
+
+std::string anchor(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out.push_back(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      out.push_back('-');
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DocRenderer::render(const StateMachine& machine) const {
+  std::string out;
+  out += "# " + options_.title + "\n\n";
+  if (!options_.preamble.empty()) out += options_.preamble + "\n\n";
+
+  out += "- States: " + std::to_string(machine.state_count()) + "\n";
+  out += "- Transitions: " + std::to_string(machine.transition_count()) + "\n";
+  out += "- Start state: `" + machine.state(machine.start()).name + "`\n";
+  if (machine.finish() != kNoState) {
+    out += "- Finish state: `" + machine.state(machine.finish()).name + "`\n";
+  }
+  out += "\n## Messages\n\n";
+  for (const std::string& m : machine.messages()) {
+    out += "- `" + m + "`\n";
+  }
+
+  out += "\n## States\n\n";
+  for (StateId i = 0; i < machine.state_count(); ++i) {
+    const State& s = machine.state(i);
+    out += "### `" + s.name + "`";
+    if (i == machine.start()) out += " *(start)*";
+    if (s.is_final) out += " *(finish)*";
+    out += "\n\n";
+    for (const std::string& a : s.annotations) {
+      out += a + "\n";
+    }
+    if (!s.annotations.empty()) out += "\n";
+    if (s.transitions.empty()) {
+      out += "No outgoing transitions.\n\n";
+      continue;
+    }
+    out += "| message | actions | next state |\n";
+    out += "|---|---|---|\n";
+    for (const Transition& t : s.transitions) {
+      out += "| `" + machine.messages()[t.message] + "` | ";
+      if (t.actions.empty()) {
+        out += "—";
+      } else {
+        for (std::size_t a = 0; a < t.actions.size(); ++a) {
+          if (a > 0) out += ", ";
+          out += "`->" + t.actions[a] + "`";
+        }
+      }
+      const std::string& target = machine.state(t.target).name;
+      out += " | [`" + target + "`](#" + anchor(target) + ") |\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace asa_repro::fsm

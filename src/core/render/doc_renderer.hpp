@@ -1,0 +1,32 @@
+// Markdown documentation rendering.
+//
+// The paper generates documentation artefacts from the same FSM
+// representation as the diagrams and source code (section 3.5, footnote 3:
+// "Similar logic in the abstract model generates documentation describing
+// the states and the rationale for each transition"). This renderer emits a
+// markdown document: overview, message vocabulary, and a section per state
+// with its commentary and transition table.
+#pragma once
+
+#include <string>
+
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+struct DocOptions {
+  std::string title = "Generated state machine";
+  std::string preamble;  // Optional introductory paragraph.
+};
+
+class DocRenderer {
+ public:
+  explicit DocRenderer(DocOptions options = {}) : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string render(const StateMachine& machine) const;
+
+ private:
+  DocOptions options_;
+};
+
+}  // namespace asa_repro::fsm

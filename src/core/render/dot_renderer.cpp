@@ -1,0 +1,82 @@
+#include "core/render/dot_renderer.hpp"
+
+#include <algorithm>
+
+namespace asa_repro::fsm {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string edge_label(const StateMachine& machine, const Transition& t,
+                       bool show_actions) {
+  std::string label = "<-" + machine.messages()[t.message];
+  if (show_actions) {
+    for (const std::string& a : t.actions) {
+      label += "\\n->" + a;
+    }
+  }
+  return label;
+}
+
+}  // namespace
+
+std::string DotRenderer::render(const StateMachine& machine) const {
+  std::vector<StateId> ids;
+  const std::size_t limit =
+      options_.max_states == 0
+          ? machine.state_count()
+          : std::min<std::size_t>(options_.max_states, machine.state_count());
+  ids.reserve(limit);
+  for (StateId i = 0; i < limit; ++i) ids.push_back(i);
+  return render_excerpt(machine, ids);
+}
+
+std::string DotRenderer::render_excerpt(
+    const StateMachine& machine, const std::vector<StateId>& states) const {
+  std::vector<bool> included(machine.state_count(), false);
+  for (StateId id : states) included[id] = true;
+
+  std::string out;
+  out += "digraph \"" + escape(options_.graph_name) + "\" {\n";
+  if (options_.left_to_right) out += "  rankdir=LR;\n";
+  out += "  node [shape=box, style=rounded, fontname=\"Helvetica\"];\n";
+  out += "  edge [fontname=\"Helvetica\", fontsize=10];\n";
+
+  // Invisible entry marker pointing at the start state, if included.
+  if (included[machine.start()]) {
+    out += "  __start [shape=point, label=\"\"];\n";
+    out += "  __start -> \"" + escape(machine.state(machine.start()).name) +
+           "\";\n";
+  }
+
+  for (StateId id : states) {
+    const State& s = machine.state(id);
+    out += "  \"" + escape(s.name) + "\"";
+    if (s.is_final) {
+      out += " [shape=box, peripheries=2, style=\"rounded,bold\"]";
+    }
+    out += ";\n";
+  }
+  for (StateId id : states) {
+    const State& s = machine.state(id);
+    for (const Transition& t : s.transitions) {
+      if (!included[t.target]) continue;
+      out += "  \"" + escape(s.name) + "\" -> \"" +
+             escape(machine.state(t.target).name) + "\" [label=\"" +
+             escape(edge_label(machine, t, options_.show_actions)) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,41 @@
+// State-diagram rendering (paper section 3.5, Fig 15).
+//
+// The paper imported a generated XML representation into Borland Together
+// to draw the diagram. Together is proprietary and discontinued; this
+// renderer targets Graphviz DOT, the open equivalent, preserving the
+// artefact (an automatically rendered state transition diagram). A sibling
+// XmlRenderer keeps the "diagram interchange XML" artefact itself.
+#pragma once
+
+#include <string>
+
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+/// Options controlling diagram appearance.
+struct DotOptions {
+  std::string graph_name = "fsm";
+  bool show_actions = true;      // Edge labels include "->action" lists.
+  bool left_to_right = false;    // rankdir=LR instead of TB.
+  std::size_t max_states = 0;    // 0 = no limit; else render a subgraph of
+                                 // the first N states (for excerpts, Fig 3).
+};
+
+class DotRenderer {
+ public:
+  explicit DotRenderer(DotOptions options = {}) : options_(std::move(options)) {}
+
+  /// Render the machine as a Graphviz digraph.
+  [[nodiscard]] std::string render(const StateMachine& machine) const;
+
+  /// Render only the given states and the transitions among them
+  /// (paper Fig 3 is such an excerpt).
+  [[nodiscard]] std::string render_excerpt(
+      const StateMachine& machine, const std::vector<StateId>& states) const;
+
+ private:
+  DotOptions options_;
+};
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,43 @@
+#include "core/render/mermaid_renderer.hpp"
+
+#include <algorithm>
+
+#include "core/codegen.hpp"
+
+namespace asa_repro::fsm {
+
+std::string MermaidRenderer::render(const StateMachine& machine) const {
+  const std::size_t limit =
+      options_.max_states == 0
+          ? machine.state_count()
+          : std::min<std::size_t>(options_.max_states, machine.state_count());
+
+  std::string out = "stateDiagram-v2\n";
+  // Mermaid state ids must be identifiers; show the real name as a label.
+  const auto sid = [&](StateId id) {
+    return "s" + std::to_string(id);
+  };
+  for (StateId i = 0; i < limit; ++i) {
+    out += "    " + sid(i) + " : " + machine.state(i).name + "\n";
+  }
+  out += "    [*] --> " + sid(machine.start()) + "\n";
+  for (StateId i = 0; i < limit; ++i) {
+    const State& s = machine.state(i);
+    if (s.is_final) {
+      out += "    " + sid(i) + " --> [*]\n";
+    }
+    for (const Transition& t : s.transitions) {
+      if (t.target >= limit) continue;
+      std::string label = machine.messages()[t.message];
+      if (options_.show_actions && !t.actions.empty()) {
+        label += " /";
+        for (const std::string& a : t.actions) label += " " + a;
+      }
+      out += "    " + sid(i) + " --> " + sid(t.target) + " : " + label +
+             "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,31 @@
+// Mermaid state-diagram rendering.
+//
+// A modern companion to the DOT renderer: Mermaid's stateDiagram-v2 syntax
+// renders natively in GitHub/GitLab markdown, so generated machines can be
+// embedded directly in documentation (the Fig 15 artefact, publishable in
+// a README).
+#pragma once
+
+#include <string>
+
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+struct MermaidOptions {
+  bool show_actions = true;
+  std::size_t max_states = 0;  // 0 = all.
+};
+
+class MermaidRenderer {
+ public:
+  explicit MermaidRenderer(MermaidOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string render(const StateMachine& machine) const;
+
+ private:
+  MermaidOptions options_;
+};
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,83 @@
+#include "core/render/text_renderer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace asa_repro::fsm {
+
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+std::string TextRenderer::render_state(const StateMachine& machine,
+                                       StateId id) const {
+  const State& s = machine.state(id);
+  std::string out;
+
+  out += "state: " + s.name + "\n";
+  out += std::string(std::string("state: ").size() + s.name.size(), '-') +
+         "\n";
+  out += "Description:\n\n";
+  for (const std::string& line : s.annotations) {
+    out += line + "\n";
+  }
+  if (s.is_final) {
+    out += "Finished: the update has been committed; no further messages "
+           "are processed.\n";
+  }
+  out += "\n\nTransitions:\n\n";
+  for (const Transition& t : s.transitions) {
+    out += " message: " + upper(machine.messages()[t.message]) + "\n";
+    for (const std::string& a : t.actions) {
+      out += "  action: ->" + a + "\n";
+    }
+    out += "  transition to: " + machine.state(t.target).name + "\n";
+    out += "\n\n";
+  }
+  return out;
+}
+
+std::string TextRenderer::render(const StateMachine& machine) const {
+  std::string out;
+  for (StateId i = 0; i < machine.state_count(); ++i) {
+    out += render_state(machine, i);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TextRenderer::render_summary(const StateMachine& machine) const {
+  std::string out;
+  out += "states: " + std::to_string(machine.state_count()) +
+         ", transitions: " + std::to_string(machine.transition_count()) +
+         ", start: " + machine.state(machine.start()).name;
+  if (machine.finish() != kNoState) {
+    out += ", finish: " + machine.state(machine.finish()).name;
+  }
+  out += "\n";
+  for (StateId i = 0; i < machine.state_count(); ++i) {
+    const State& s = machine.state(i);
+    for (const Transition& t : s.transitions) {
+      out += s.name + " --" + machine.messages()[t.message];
+      if (!t.actions.empty()) {
+        out += " [";
+        for (std::size_t a = 0; a < t.actions.size(); ++a) {
+          if (a > 0) out += ", ";
+          out += "->" + t.actions[a];
+        }
+        out += "]";
+      }
+      out += "--> " + machine.state(t.target).name + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace asa_repro::fsm

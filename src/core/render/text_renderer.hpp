@@ -1,0 +1,29 @@
+// Textual FSM rendering (paper section 3.5, Fig 14).
+//
+// Produces the "simple textual representation": for each state, its name,
+// the automatically generated description derived from the abstract model's
+// annotations, and its outgoing transitions with their actions.
+#pragma once
+
+#include <string>
+
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+/// Renders a StateMachine (or a single state) in the Fig 14 text format.
+class TextRenderer {
+ public:
+  /// Render every state of the machine, in state order.
+  [[nodiscard]] std::string render(const StateMachine& machine) const;
+
+  /// Render one state: name, description block, transitions block.
+  [[nodiscard]] std::string render_state(const StateMachine& machine,
+                                         StateId id) const;
+
+  /// One-line-per-transition summary of the whole machine (compact form
+  /// used by tools and logs).
+  [[nodiscard]] std::string render_summary(const StateMachine& machine) const;
+};
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,273 @@
+#include "core/render/xml_parser.hpp"
+
+#include <map>
+#include <vector>
+
+namespace asa_repro::fsm {
+
+namespace {
+
+/// Minimal pull-parser for the renderer's XML subset.
+class XmlReader {
+ public:
+  explicit XmlReader(std::string_view text) : text_(text) {}
+
+  struct Tag {
+    std::string name;
+    std::map<std::string, std::string> attributes;
+    bool self_closing = false;
+    bool closing = false;  // </name>
+  };
+
+  /// Advance to the next tag, returning nullopt at end of input or on a
+  /// syntax error (distinguish via ok()).
+  std::optional<Tag> next_tag() {
+    skip_whitespace_and_text();
+    if (pos_ >= text_.size()) return std::nullopt;
+    if (text_[pos_] != '<') return fail_tag("expected '<'");
+    ++pos_;
+    // Skip the XML declaration and comments.
+    if (pos_ < text_.size() && text_[pos_] == '?') {
+      const std::size_t end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) return fail_tag("unclosed <?");
+      pos_ = end + 2;
+      return next_tag();
+    }
+    Tag tag;
+    if (pos_ < text_.size() && text_[pos_] == '/') {
+      tag.closing = true;
+      ++pos_;
+    }
+    const std::size_t name_start = pos_;
+    while (pos_ < text_.size() && !is_space(text_[pos_]) &&
+           text_[pos_] != '>' && text_[pos_] != '/') {
+      ++pos_;
+    }
+    tag.name = std::string(text_.substr(name_start, pos_ - name_start));
+    if (tag.name.empty()) return fail_tag("empty tag name");
+
+    // Attributes.
+    for (;;) {
+      skip_spaces();
+      if (pos_ >= text_.size()) return fail_tag("unterminated tag");
+      if (text_[pos_] == '>') {
+        ++pos_;
+        return tag;
+      }
+      if (text_[pos_] == '/') {
+        ++pos_;
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return fail_tag("malformed self-closing tag");
+        }
+        ++pos_;
+        tag.self_closing = true;
+        return tag;
+      }
+      const std::size_t key_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '=' &&
+             !is_space(text_[pos_])) {
+        ++pos_;
+      }
+      const std::string key(text_.substr(key_start, pos_ - key_start));
+      skip_spaces();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return fail_tag("attribute without value");
+      }
+      ++pos_;
+      skip_spaces();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail_tag("attribute value must be double-quoted");
+      }
+      ++pos_;
+      const std::size_t value_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ >= text_.size()) return fail_tag("unterminated attribute");
+      tag.attributes[key] =
+          unescape(text_.substr(value_start, pos_ - value_start));
+      ++pos_;
+    }
+  }
+
+  /// Text content up to the next '<' (entity-unescaped).
+  std::string read_text() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+    return unescape(text_.substr(start, pos_ - start));
+  }
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  static bool is_space(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+  void skip_spaces() {
+    while (pos_ < text_.size() && is_space(text_[pos_])) ++pos_;
+  }
+  void skip_whitespace_and_text() {
+    while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+  }
+  std::optional<Tag> fail_tag(std::string why) {
+    error_ = std::move(why);
+    return std::nullopt;
+  }
+  static std::string unescape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size();) {
+      if (text[i] != '&') {
+        out.push_back(text[i++]);
+        continue;
+      }
+      const auto try_entity = [&](std::string_view entity, char value) {
+        if (text.substr(i, entity.size()) == entity) {
+          out.push_back(value);
+          i += entity.size();
+          return true;
+        }
+        return false;
+      };
+      if (try_entity("&amp;", '&') || try_entity("&lt;", '<') ||
+          try_entity("&gt;", '>') || try_entity("&quot;", '"') ||
+          try_entity("&apos;", '\'')) {
+        continue;
+      }
+      out.push_back(text[i++]);  // Lone ampersand: keep literally.
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+struct PendingTransition {
+  std::string from;
+  std::string message;
+  std::string to;
+  ActionList actions;
+  std::vector<std::string> annotations;
+};
+
+}  // namespace
+
+std::optional<StateMachine> parse_state_machine_xml(std::string_view xml,
+                                                    std::string* error) {
+  const auto fail = [&](std::string why) -> std::optional<StateMachine> {
+    if (error != nullptr) *error = std::move(why);
+    return std::nullopt;
+  };
+
+  XmlReader reader(xml);
+  auto root = reader.next_tag();
+  if (!root.has_value() || root->name != "statemachine") {
+    return fail(reader.ok() ? "missing <statemachine> root" : reader.error());
+  }
+  const std::string start_name = root->attributes["start"];
+  const std::string finish_name = root->attributes.contains("finish")
+                                      ? root->attributes["finish"]
+                                      : std::string();
+
+  std::vector<std::string> messages;
+  std::vector<State> states;
+  std::map<std::string, StateId> state_ids;
+  std::vector<PendingTransition> pending;
+
+  // Walk the flat structure; sections are recognised by tag name.
+  std::string open_state;     // Name of the <state> currently open.
+  bool in_transition = false;
+  PendingTransition current;
+
+  for (;;) {
+    auto tag = reader.next_tag();
+    if (!tag.has_value()) {
+      if (!reader.ok()) return fail(reader.error());
+      break;
+    }
+    if (tag->closing) {
+      if (tag->name == "state") open_state.clear();
+      if (tag->name == "transition" && in_transition) {
+        pending.push_back(std::move(current));
+        current = {};
+        in_transition = false;
+      }
+      continue;
+    }
+    if (tag->name == "message") {
+      messages.push_back(tag->attributes["name"]);
+    } else if (tag->name == "state") {
+      State s;
+      s.name = tag->attributes["name"];
+      s.is_final = tag->attributes["final"] == "true";
+      if (state_ids.contains(s.name)) {
+        return fail("duplicate state '" + s.name + "'");
+      }
+      state_ids.emplace(s.name, static_cast<StateId>(states.size()));
+      if (!tag->self_closing) open_state = s.name;
+      states.push_back(std::move(s));
+    } else if (tag->name == "transition") {
+      current.from = tag->attributes["from"];
+      current.message = tag->attributes["message"];
+      current.to = tag->attributes["to"];
+      if (tag->self_closing) {
+        pending.push_back(std::move(current));
+        current = {};
+      } else {
+        in_transition = true;
+      }
+    } else if (tag->name == "action") {
+      if (!in_transition) return fail("<action> outside <transition>");
+      current.actions.push_back(tag->attributes["name"]);
+    } else if (tag->name == "annotation") {
+      const std::string text = reader.read_text();
+      if (in_transition) {
+        current.annotations.push_back(text);
+      } else if (!open_state.empty()) {
+        states[state_ids.at(open_state)].annotations.push_back(text);
+      } else {
+        return fail("<annotation> outside <state>/<transition>");
+      }
+    }
+    // Section wrappers (<messages>, <states>, <transitions>) are skipped.
+  }
+
+  if (states.empty()) return fail("no states");
+  if (messages.empty()) return fail("no messages");
+
+  const auto message_id = [&](const std::string& name)
+      -> std::optional<MessageId> {
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      if (messages[i] == name) return static_cast<MessageId>(i);
+    }
+    return std::nullopt;
+  };
+
+  for (PendingTransition& p : pending) {
+    const auto from = state_ids.find(p.from);
+    const auto to = state_ids.find(p.to);
+    const auto m = message_id(p.message);
+    if (from == state_ids.end() || to == state_ids.end() || !m.has_value()) {
+      return fail("transition references unknown state or message ('" +
+                  p.from + "' --" + p.message + "--> '" + p.to + "')");
+    }
+    Transition t;
+    t.message = *m;
+    t.actions = std::move(p.actions);
+    t.target = to->second;
+    t.annotations = std::move(p.annotations);
+    states[from->second].transitions.push_back(std::move(t));
+  }
+
+  const auto start = state_ids.find(start_name);
+  if (start == state_ids.end()) return fail("unknown start state");
+  StateId finish = kNoState;
+  if (const auto it = state_ids.find(finish_name); it != state_ids.end()) {
+    finish = it->second;
+  }
+  return StateMachine(std::move(messages), std::move(states), start->second,
+                      finish);
+}
+
+}  // namespace asa_repro::fsm

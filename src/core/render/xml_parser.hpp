@@ -1,0 +1,25 @@
+// Parser for the diagram-interchange XML emitted by XmlRenderer.
+//
+// The XML artefact is not just for diagramming tools: round-tripping it
+// back into a StateMachine lets generated machines be stored, shipped and
+// reloaded without regenerating from the abstract model (a concrete form of
+// the caching policy of paper section 4.2). The parser accepts exactly the
+// subset of XML the renderer produces (single-quoted-free, entity-escaped
+// attributes and text).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+/// Parse a document produced by XmlRenderer::render back into a machine.
+/// On failure returns nullopt and, when `error` is non-null, a description
+/// of the first problem.
+[[nodiscard]] std::optional<StateMachine> parse_state_machine_xml(
+    std::string_view xml, std::string* error = nullptr);
+
+}  // namespace asa_repro::fsm

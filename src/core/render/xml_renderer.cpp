@@ -1,0 +1,84 @@
+#include "core/render/xml_renderer.hpp"
+
+namespace asa_repro::fsm {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string XmlRenderer::render(const StateMachine& machine) const {
+  std::string out;
+  out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<statemachine states=\"" + std::to_string(machine.state_count()) +
+         "\" start=\"" + escape(machine.state(machine.start()).name) + "\"";
+  if (machine.finish() != kNoState) {
+    out += " finish=\"" + escape(machine.state(machine.finish()).name) + "\"";
+  }
+  out += ">\n";
+
+  out += "  <messages>\n";
+  for (const std::string& m : machine.messages()) {
+    out += "    <message name=\"" + escape(m) + "\"/>\n";
+  }
+  out += "  </messages>\n";
+
+  out += "  <states>\n";
+  for (StateId i = 0; i < machine.state_count(); ++i) {
+    const State& s = machine.state(i);
+    out += "    <state name=\"" + escape(s.name) + "\"";
+    if (s.is_final) out += " final=\"true\"";
+    if (s.annotations.empty()) {
+      out += "/>\n";
+    } else {
+      out += ">\n";
+      for (const std::string& a : s.annotations) {
+        out += "      <annotation>" + escape(a) + "</annotation>\n";
+      }
+      out += "    </state>\n";
+    }
+  }
+  out += "  </states>\n";
+
+  out += "  <transitions>\n";
+  for (StateId i = 0; i < machine.state_count(); ++i) {
+    const State& s = machine.state(i);
+    for (const Transition& t : s.transitions) {
+      out += "    <transition from=\"" + escape(s.name) + "\" message=\"" +
+             escape(machine.messages()[t.message]) + "\" to=\"" +
+             escape(machine.state(t.target).name) + "\"";
+      if (t.actions.empty() && t.annotations.empty()) {
+        out += "/>\n";
+        continue;
+      }
+      out += ">\n";
+      for (const std::string& a : t.actions) {
+        out += "      <action name=\"" + escape(a) + "\"/>\n";
+      }
+      for (const std::string& a : t.annotations) {
+        out += "      <annotation>" + escape(a) + "</annotation>\n";
+      }
+      out += "    </transition>\n";
+    }
+  }
+  out += "  </transitions>\n";
+  out += "</statemachine>\n";
+  return out;
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,20 @@
+// Diagram-interchange XML rendering (paper section 3.5, Fig 15).
+//
+// The paper generated "an XML diagram representation that can be imported
+// into a diagramming tool". This renderer emits a self-describing XML
+// document with the machine's message vocabulary, states (with annotations)
+// and transitions — a tool-neutral equivalent of that artefact.
+#pragma once
+
+#include <string>
+
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+class XmlRenderer {
+ public:
+  [[nodiscard]] std::string render(const StateMachine& machine) const;
+};
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,115 @@
+// Concrete finite state machine representation (paper Fig 5).
+//
+// A StateMachine is the output of executing an abstract model with a
+// concrete parameter value: a collection of named states linked by
+// transitions, one start state, and (after merging) a single finish state.
+// States and transitions carry annotations used by the documentation
+// renderers (paper Fig 14's automatically generated commentary).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace asa_repro::fsm {
+
+/// Index of a state within StateMachine::states().
+using StateId = std::uint32_t;
+
+/// Index of a message within StateMachine::messages().
+using MessageId = std::uint32_t;
+
+inline constexpr StateId kNoState = std::numeric_limits<StateId>::max();
+
+/// Names of outgoing actions performed on a transition (e.g. "vote",
+/// "commit", "not_free"). Rendered as "->vote" in textual artefacts and
+/// bound to action methods (sendVote()) in generated source.
+using ActionList = std::vector<std::string>;
+
+/// One transition: on receipt of `message`, perform `actions` (in order)
+/// and move to `target`.
+struct Transition {
+  MessageId message = 0;
+  ActionList actions;
+  StateId target = kNoState;
+  std::vector<std::string> annotations;
+};
+
+/// One state of the machine.
+struct State {
+  std::string name;
+  std::vector<Transition> transitions;  // At most one per message.
+  std::vector<std::string> annotations;
+  bool is_final = false;
+
+  /// The transition for `message`, or nullptr if the message is not
+  /// applicable in this state (the paper's InvalidStateException case).
+  [[nodiscard]] const Transition* transition(MessageId message) const {
+    for (const auto& t : transitions) {
+      if (t.message == message) return &t;
+    }
+    return nullptr;
+  }
+};
+
+/// A generated finite state machine (paper Fig 5's StateMachine class).
+class StateMachine {
+ public:
+  StateMachine() = default;
+  StateMachine(std::vector<std::string> messages, std::vector<State> states,
+               StateId start, StateId finish)
+      : messages_(std::move(messages)),
+        states_(std::move(states)),
+        start_(start),
+        finish_(finish) {}
+
+  [[nodiscard]] const std::vector<std::string>& messages() const {
+    return messages_;
+  }
+  [[nodiscard]] const std::vector<State>& states() const { return states_; }
+  [[nodiscard]] std::vector<State>& states() { return states_; }
+  [[nodiscard]] const State& state(StateId id) const { return states_[id]; }
+
+  /// Start state id.
+  [[nodiscard]] StateId start() const { return start_; }
+
+  /// Finish state id, or kNoState if the machine has no reachable finish.
+  [[nodiscard]] StateId finish() const { return finish_; }
+
+  [[nodiscard]] std::size_t state_count() const { return states_.size(); }
+
+  /// Message id for `name`, if known.
+  [[nodiscard]] std::optional<MessageId> message_id(
+      std::string_view name) const {
+    for (std::size_t i = 0; i < messages_.size(); ++i) {
+      if (messages_[i] == name) return static_cast<MessageId>(i);
+    }
+    return std::nullopt;
+  }
+
+  /// State id for `name`, if known (linear scan; intended for tests and
+  /// tools, not hot paths).
+  [[nodiscard]] std::optional<StateId> state_id(std::string_view name) const {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i].name == name) return static_cast<StateId>(i);
+    }
+    return std::nullopt;
+  }
+
+  /// Total number of transitions across all states.
+  [[nodiscard]] std::size_t transition_count() const {
+    std::size_t n = 0;
+    for (const auto& s : states_) n += s.transitions.size();
+    return n;
+  }
+
+ private:
+  std::vector<std::string> messages_;
+  std::vector<State> states_;
+  StateId start_ = kNoState;
+  StateId finish_ = kNoState;
+};
+
+}  // namespace asa_repro::fsm

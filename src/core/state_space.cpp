@@ -1,0 +1,112 @@
+#include "core/state_space.hpp"
+
+#include <cassert>
+#include <charconv>
+
+namespace asa_repro::fsm {
+
+StateComponent boolean_component(std::string name) {
+  return StateComponent{std::move(name), 1, true};
+}
+
+StateComponent int_component(std::string name, std::uint32_t max_value) {
+  return StateComponent{std::move(name), max_value, false};
+}
+
+StateSpace::StateSpace(std::vector<StateComponent> components)
+    : components_(std::move(components)) {
+  strides_.resize(components_.size());
+  // Last component varies fastest; strides are suffix products.
+  StateIndex stride = 1;
+  for (std::size_t i = components_.size(); i-- > 0;) {
+    strides_[i] = stride;
+    stride *= components_[i].cardinality();
+  }
+  size_ = stride;
+}
+
+std::optional<std::size_t> StateSpace::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+StateIndex StateSpace::encode(const StateVector& v) const {
+  assert(v.size() == components_.size());
+  StateIndex idx = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    assert(v[i] <= components_[i].max_value);
+    idx += StateIndex{v[i]} * strides_[i];
+  }
+  return idx;
+}
+
+StateVector StateSpace::decode(StateIndex idx) const {
+  assert(idx < size_);
+  StateVector v(components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    v[i] = static_cast<std::uint32_t>(idx / strides_[i]);
+    idx %= strides_[i];
+  }
+  return v;
+}
+
+std::string StateSpace::name(const StateVector& v, char sep) const {
+  assert(v.size() == components_.size());
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    if (components_[i].is_boolean) {
+      out.push_back(v[i] != 0 ? 'T' : 'F');
+    } else {
+      out += std::to_string(v[i]);
+    }
+  }
+  return out;
+}
+
+std::optional<StateVector> StateSpace::parse_name(std::string_view name,
+                                                  char sep) const {
+  StateVector v;
+  v.reserve(components_.size());
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    std::size_t end = name.find(sep, pos);
+    if (end == std::string_view::npos) end = name.size();
+    const std::string_view token = name.substr(pos, end - pos);
+    if (components_[i].is_boolean) {
+      if (token == "T") {
+        v.push_back(1);
+      } else if (token == "F") {
+        v.push_back(0);
+      } else {
+        return std::nullopt;
+      }
+    } else {
+      std::uint32_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec != std::errc{} || ptr != token.data() + token.size() ||
+          value > components_[i].max_value) {
+        return std::nullopt;
+      }
+      v.push_back(value);
+    }
+    if (end == name.size()) {
+      return (i + 1 == components_.size()) ? std::optional{v} : std::nullopt;
+    }
+    pos = end + 1;
+  }
+  return std::nullopt;  // Trailing tokens beyond the last component.
+}
+
+bool StateSpace::in_range(const StateVector& v) const {
+  if (v.size() != components_.size()) return false;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] > components_[i].max_value) return false;
+  }
+  return true;
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,89 @@
+// State components and state spaces (paper Fig 20).
+//
+// An abstract model is configured with an ordered list of state components —
+// booleans and bounded integers — whose cross product defines the space of
+// possible states (paper section 3.4, "Generating possible states"). For the
+// commit algorithm with replication factor r this is 2^5 * r^2 states.
+//
+// A StateVector holds one concrete value per component; the StateSpace maps
+// vectors to dense mixed-radix indices and to the paper's textual state
+// names (e.g. "T/2/F/0/F/F/F", Fig 14).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asa_repro::fsm {
+
+/// One component of the state vector.
+///
+/// A boolean component has max_value == 1 and renders as T/F; an integer
+/// component ranges over [0, max_value] and renders as a decimal.
+struct StateComponent {
+  std::string name;
+  std::uint32_t max_value = 1;
+  bool is_boolean = false;
+
+  [[nodiscard]] std::uint32_t cardinality() const { return max_value + 1; }
+};
+
+/// Factory mirroring the paper's `new BooleanComponent("update_received")`.
+[[nodiscard]] StateComponent boolean_component(std::string name);
+
+/// Factory mirroring the paper's `new IntComponent("votes_received", max)`.
+[[nodiscard]] StateComponent int_component(std::string name,
+                                           std::uint32_t max_value);
+
+/// Concrete value assignment, one entry per component, in component order.
+using StateVector = std::vector<std::uint32_t>;
+
+/// Dense index of a state within its space.
+using StateIndex = std::uint64_t;
+
+/// An ordered set of components defining a finite state space.
+class StateSpace {
+ public:
+  StateSpace() = default;
+  explicit StateSpace(std::vector<StateComponent> components);
+
+  [[nodiscard]] const std::vector<StateComponent>& components() const {
+    return components_;
+  }
+
+  /// Number of components.
+  [[nodiscard]] std::size_t arity() const { return components_.size(); }
+
+  /// Total number of states (product of component cardinalities).
+  [[nodiscard]] StateIndex size() const { return size_; }
+
+  /// Position of the named component, if present.
+  [[nodiscard]] std::optional<std::size_t> index_of(
+      std::string_view name) const;
+
+  /// Mixed-radix encoding of a state vector. Precondition: in-range values.
+  [[nodiscard]] StateIndex encode(const StateVector& v) const;
+
+  /// Inverse of encode().
+  [[nodiscard]] StateVector decode(StateIndex idx) const;
+
+  /// Paper-style state name: components joined by `sep`, booleans as T/F.
+  /// Fig 14 uses '/' ("T/2/F/0/F/F/F"); Fig 16 uses '-' ("T-2-F-0-F-F-F").
+  [[nodiscard]] std::string name(const StateVector& v, char sep = '/') const;
+
+  /// Parse a name produced by name(). Returns nullopt on malformed input.
+  [[nodiscard]] std::optional<StateVector> parse_name(std::string_view name,
+                                                      char sep = '/') const;
+
+  /// True if every value is within its component's range.
+  [[nodiscard]] bool in_range(const StateVector& v) const;
+
+ private:
+  std::vector<StateComponent> components_;
+  std::vector<StateIndex> strides_;
+  StateIndex size_ = 1;
+};
+
+}  // namespace asa_repro::fsm

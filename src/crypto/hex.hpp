@@ -1,0 +1,21 @@
+// Hex encoding/decoding for digests and identifiers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asa_repro::crypto {
+
+/// Lower-case hex encoding of a byte span.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decode a hex string (case-insensitive). Returns nullopt on odd length or
+/// non-hex characters.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> from_hex(
+    std::string_view hex);
+
+}  // namespace asa_repro::crypto

@@ -1,0 +1,66 @@
+// SHA-1 message digest, implemented from scratch per RFC 3174.
+//
+// The ASA storage layer (the paper's substrate) derives PIDs — persistent
+// identifiers for immutable data blocks — by hashing block contents with
+// SHA-1 (paper section 2.1, reference [8]). This is a self-contained,
+// dependency-free implementation with an incremental (init/update/final)
+// interface plus one-shot helpers.
+//
+// SHA-1 is used here for content addressing and replica-key derivation, not
+// for security against adversarial collision search; this mirrors the
+// paper's usage.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace asa_repro::crypto {
+
+/// A 160-bit SHA-1 digest.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage:
+///   Sha1 h;
+///   h.update(bytes1);
+///   h.update(bytes2);
+///   Sha1Digest d = h.finalize();
+///
+/// After finalize() the hasher must be reset() before reuse.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  /// Re-initialise to the RFC 3174 initial state.
+  void reset();
+
+  /// Absorb a span of bytes.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Absorb a string's bytes (convenience for text payloads).
+  void update(std::string_view text);
+
+  /// Complete the hash (appends padding and length) and return the digest.
+  /// The hasher is left in a finalized state; call reset() to reuse.
+  [[nodiscard]] Sha1Digest finalize();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Sha1Digest hash(std::span<const std::uint8_t> data);
+  [[nodiscard]] static Sha1Digest hash(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace asa_repro::crypto

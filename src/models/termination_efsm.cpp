@@ -1,0 +1,124 @@
+#include "models/termination_efsm.hpp"
+
+#include "models/termination_model.hpp"
+
+namespace asa_repro::models {
+
+namespace {
+
+using fsm::EfsmBranch;
+using fsm::EfsmRule;
+using fsm::EfsmState;
+using fsm::EfsmStateId;
+using fsm::lit;
+using fsm::var;
+
+constexpr EfsmStateId id(TerminationEfsmState s) {
+  return static_cast<EfsmStateId>(s);
+}
+
+}  // namespace
+
+fsm::EfsmParams termination_efsm_params(std::int64_t n) {
+  return {{"n", n}};
+}
+
+fsm::Efsm make_termination_efsm() {
+  fsm::Efsm e;
+  e.name = "termination_detection";
+  e.parameters = {"n"};
+  e.messages = {"start", "spawn", "ack", "local_done"};
+  e.variables = {
+      {"tasks_sent", lit(0), var("n")},
+      {"acks_received", lit(0), var("n")},
+  };
+  e.states.resize(4);
+  e.start = id(TerminationEfsmState::kNotStarted);
+
+  const auto sent = [] { return var("tasks_sent"); };
+  const auto acks = [] { return var("acks_received"); };
+
+  // ---- NOT_STARTED ----
+  {
+    EfsmState& s = e.states[id(TerminationEfsmState::kNotStarted)];
+    s.name = "NOT_STARTED";
+    s.annotations = {"The computation has not yet begun."};
+    EfsmRule start_rule{0, {}};
+    EfsmBranch begin;
+    begin.guard = lit(1);
+    begin.target = id(TerminationEfsmState::kActive);
+    begin.annotations = {"initiator becomes active"};
+    start_rule.branches = {std::move(begin)};
+    s.rules.push_back(std::move(start_rule));
+  }
+
+  // ---- ACTIVE ----
+  {
+    EfsmState& s = e.states[id(TerminationEfsmState::kActive)];
+    s.name = "ACTIVE";
+    s.annotations = {"The initiator may dispatch tasks."};
+    EfsmRule spawn{1, {}};
+    EfsmBranch dispatch;
+    dispatch.guard = sent() < var("n");
+    dispatch.updates = {{"tasks_sent", sent() + lit(1)}};
+    dispatch.actions = {kTerminationActionSendTask};
+    dispatch.target = id(TerminationEfsmState::kActive);
+    spawn.branches = {std::move(dispatch)};
+    s.rules.push_back(std::move(spawn));
+
+    EfsmRule ack{2, {}};
+    EfsmBranch count;
+    count.guard = acks() < sent();
+    count.updates = {{"acks_received", acks() + lit(1)}};
+    count.target = id(TerminationEfsmState::kActive);
+    ack.branches = {std::move(count)};
+    s.rules.push_back(std::move(ack));
+
+    EfsmRule done{3, {}};
+    EfsmBranch immediate;
+    immediate.guard = acks() == sent();
+    immediate.actions = {kTerminationActionAnnounce};
+    immediate.target = id(TerminationEfsmState::kTerminated);
+    immediate.annotations = {"passive with sent == received: terminated"};
+    EfsmBranch wait;
+    wait.guard = lit(1);
+    wait.target = id(TerminationEfsmState::kPassive);
+    wait.annotations = {"passive; acknowledgements outstanding"};
+    done.branches = {std::move(immediate), std::move(wait)};
+    s.rules.push_back(std::move(done));
+  }
+
+  // ---- PASSIVE ----
+  {
+    EfsmState& s = e.states[id(TerminationEfsmState::kPassive)];
+    s.name = "PASSIVE";
+    s.annotations = {
+        "The initiator is passive; waiting for outstanding tasks."};
+    EfsmRule ack{2, {}};
+    EfsmBranch last;
+    last.guard = acks() + lit(1) == sent();
+    last.updates = {{"acks_received", acks() + lit(1)}};
+    last.actions = {kTerminationActionAnnounce};
+    last.target = id(TerminationEfsmState::kTerminated);
+    last.annotations = {"final acknowledgement: sent == received"};
+    EfsmBranch count;
+    count.guard = acks() < sent();
+    count.updates = {{"acks_received", acks() + lit(1)}};
+    count.target = id(TerminationEfsmState::kPassive);
+    ack.branches = {std::move(last), std::move(count)};
+    s.rules.push_back(std::move(ack));
+  }
+
+  // ---- TERMINATED ----
+  {
+    EfsmState& s = e.states[id(TerminationEfsmState::kTerminated)];
+    s.name = "TERMINATED";
+    s.is_final = true;
+    s.annotations = {"Every message sent has been received."};
+  }
+
+  e.validate();
+  return e;
+}
+
+}  // namespace asa_repro::models

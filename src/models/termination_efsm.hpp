@@ -1,0 +1,25 @@
+// EFSM formulation of termination detection (sections 3.2 + 5.2 combined):
+// mapping both counters to EFSM variables coalesces the whole family into
+// four states — NOT_STARTED, ACTIVE, PASSIVE, TERMINATED — independent of
+// the task bound n, just as the commit protocol's EFSM is independent of
+// the replication factor.
+#pragma once
+
+#include "core/efsm/efsm.hpp"
+
+namespace asa_repro::models {
+
+enum class TerminationEfsmState : fsm::EfsmStateId {
+  kNotStarted = 0,
+  kActive = 1,
+  kPassive = 2,
+  kTerminated = 3,
+};
+
+/// Build the termination-detection EFSM. Parameter: n (max tasks).
+[[nodiscard]] fsm::Efsm make_termination_efsm();
+
+/// Parameter map for a task bound.
+[[nodiscard]] fsm::EfsmParams termination_efsm_params(std::int64_t n);
+
+}  // namespace asa_repro::models

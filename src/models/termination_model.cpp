@@ -1,0 +1,110 @@
+#include "models/termination_model.hpp"
+
+#include <stdexcept>
+
+namespace asa_repro::models {
+
+using fsm::Reaction;
+using fsm::StateVector;
+
+TerminationModel::TerminationModel(std::uint32_t max_tasks) : n_(max_tasks) {
+  if (max_tasks < 1) {
+    throw std::invalid_argument("TerminationModel: max_tasks must be >= 1");
+  }
+  init_abstract_model(
+      fsm::StateSpace({
+          fsm::boolean_component("started"),
+          fsm::boolean_component("active"),
+          fsm::int_component("tasks_sent", n_),
+          fsm::int_component("acks_received", n_),
+      }),
+      {"start", "spawn", "ack", "local_done"});
+}
+
+StateVector TerminationModel::start_state() const { return {0, 0, 0, 0}; }
+
+bool TerminationModel::is_final(const StateVector& s) const {
+  // Terminated: begun, initiator passive, and sent == received [16].
+  return s[kStarted] != 0 && s[kActive] == 0 &&
+         s[kTasksSent] == s[kAcksReceived];
+}
+
+std::optional<Reaction> TerminationModel::react(
+    const StateVector& s, fsm::MessageId message) const {
+  const bool started = s[kStarted] != 0;
+  const bool active = s[kActive] != 0;
+  const std::uint32_t sent = s[kTasksSent];
+  const std::uint32_t acks = s[kAcksReceived];
+
+  switch (message) {
+    case kStart: {
+      if (started) return std::nullopt;  // Single initiation.
+      Reaction r;
+      r.target = {1, 1, 0, 0};
+      r.annotations = {"computation begun: initiator active"};
+      return r;
+    }
+    case kSpawn: {
+      // Only an active initiator dispatches, and only within the bound.
+      if (!started || !active || sent >= n_) return std::nullopt;
+      Reaction r;
+      r.target = {1, 1, sent + 1, acks};
+      r.actions = {kTerminationActionSendTask};
+      r.annotations = {"task " + std::to_string(sent + 1) + " dispatched"};
+      return r;
+    }
+    case kAck: {
+      // An acknowledgement can only match an outstanding task.
+      if (!started || acks >= sent) return std::nullopt;
+      Reaction r;
+      r.target = {1, active ? 1u : 0u, sent, acks + 1};
+      r.annotations = {"acknowledgement received: " +
+                       std::to_string(sent - acks - 1) +
+                       " task(s) still outstanding"};
+      if (!active && acks + 1 == sent) {
+        r.actions = {kTerminationActionAnnounce};
+        r.annotations.push_back(
+            "sent == received and initiator passive: terminated");
+      }
+      return r;
+    }
+    case kLocalDone: {
+      if (!started || !active) return std::nullopt;
+      Reaction r;
+      r.target = {1, 0, sent, acks};
+      r.annotations = {"initiator passive"};
+      if (acks == sent) {
+        r.actions = {kTerminationActionAnnounce};
+        r.annotations.push_back(
+            "sent == received and initiator passive: terminated");
+      }
+      return r;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<std::string> TerminationModel::describe_state(
+    const StateVector& s) const {
+  std::vector<std::string> out;
+  if (s[kStarted] == 0) {
+    out.push_back("The computation has not yet begun.");
+    return out;
+  }
+  out.push_back(s[kActive] != 0
+                    ? "The initiator is active and may dispatch tasks."
+                    : "The initiator is passive.");
+  out.push_back("Dispatched " + std::to_string(s[kTasksSent]) +
+                " task(s); received " + std::to_string(s[kAcksReceived]) +
+                " acknowledgement(s).");
+  const std::uint32_t outstanding = s[kTasksSent] - s[kAcksReceived];
+  if (is_final(s)) {
+    out.push_back("Terminated: every message sent has been received.");
+  } else {
+    out.push_back(std::to_string(outstanding) + " task(s) outstanding.");
+  }
+  return out;
+}
+
+}  // namespace asa_repro::models

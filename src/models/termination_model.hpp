@@ -1,0 +1,74 @@
+// A second abstract model: distributed termination detection.
+//
+// Paper section 5.2 argues the generative technique applies to any
+// "message counting" distributed algorithm, naming termination detection
+// explicitly ("a distributed computation may be defined as being
+// terminated ... when the number of messages sent is equal to the number
+// of messages received" [16]). This model demonstrates that claim on the
+// generic engine, with no new generative code (section 5.1's promise):
+//
+// An initiator dispatches up to n tasks to workers while it is active;
+// every task completion is acknowledged. The computation has terminated
+// once the initiator is passive and acknowledgements equal dispatches
+// (sent == received). State components:
+//
+//   started         the computation has begun
+//   active          the initiator may still dispatch tasks
+//   tasks_sent      count of dispatched tasks        (0 .. n)
+//   acks_received   count of acknowledgements        (0 .. n)
+//
+// The family parameter n bounds both counters, so the possible state space
+// grows as 4(n+1)^2. Pruning removes every state with acks > sent and all
+// pre-start noise; merging then collapses every PASSIVE state with the same
+// deficit sent - acks (once the initiator is passive, only the deficit is
+// observable), while active states remain distinguished by their remaining
+// dispatch headroom. The merged family member therefore has exactly
+// (n+1)(n+2)/2 + n + 2 states — the same prune-then-merge compression
+// story as the paper's Table 1, on a different algorithm, with its own
+// closed form (pinned in tests).
+#pragma once
+
+#include <cstdint>
+
+#include "core/abstract_model.hpp"
+
+namespace asa_repro::models {
+
+/// Message vocabulary.
+enum TerminationMessage : fsm::MessageId {
+  kStart = 0,      // Begin the computation (initiator becomes active).
+  kSpawn = 1,      // The initiator dispatches one task (action send_task).
+  kAck = 2,        // A worker acknowledges a completed task.
+  kLocalDone = 3,  // The initiator's own work is finished (passive).
+};
+
+inline constexpr const char* kTerminationActionSendTask = "send_task";
+inline constexpr const char* kTerminationActionAnnounce =
+    "announce_termination";
+
+class TerminationModel : public fsm::AbstractModel {
+ public:
+  /// `max_tasks` (n) must be >= 1.
+  explicit TerminationModel(std::uint32_t max_tasks);
+
+  [[nodiscard]] std::uint32_t max_tasks() const { return n_; }
+
+  [[nodiscard]] fsm::StateVector start_state() const override;
+  [[nodiscard]] bool is_final(const fsm::StateVector& s) const override;
+  [[nodiscard]] std::optional<fsm::Reaction> react(
+      const fsm::StateVector& s, fsm::MessageId message) const override;
+  [[nodiscard]] std::vector<std::string> describe_state(
+      const fsm::StateVector& s) const override;
+
+  enum Component : std::size_t {
+    kStarted = 0,
+    kActive = 1,
+    kTasksSent = 2,
+    kAcksReceived = 3,
+  };
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace asa_repro::models

@@ -1,0 +1,127 @@
+// Chord key-based routing overlay (paper section 2; Stoica et al. [6]).
+//
+// The ASA storage layer locates the nodes responsible for a key through a
+// P2P routing layer; the paper's prototype used a Java Chord
+// implementation. This is an in-process simulation of Chord: nodes are
+// organised into a logical circle, each maintains a successor list and a
+// finger table of "chords" across the circle, and lookups route greedily,
+// visiting O(log N) nodes. Joins, graceful leaves, and crash failures are
+// supported, repaired by the standard stabilize/fix-fingers maintenance.
+//
+// RPCs are direct method calls through the ring registry with per-lookup
+// hop accounting — behaviour-preserving for the layers above (they see only
+// lookup(key) -> node) while keeping simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "p2p/node_id.hpp"
+#include "sim/rng.hpp"
+
+namespace asa_repro::p2p {
+
+class ChordRing;
+
+/// One participating node.
+class ChordNode {
+ public:
+  static constexpr unsigned kBits = 160;
+  static constexpr std::size_t kSuccessorListSize = 8;
+
+  ChordNode(NodeId id, ChordRing& ring) : id_(id), ring_(ring) {}
+
+  [[nodiscard]] const NodeId& id() const { return id_; }
+  [[nodiscard]] std::optional<NodeId> predecessor() const {
+    return predecessor_;
+  }
+  [[nodiscard]] NodeId successor() const;
+  [[nodiscard]] const std::vector<NodeId>& successor_list() const {
+    return successors_;
+  }
+  [[nodiscard]] const std::array<std::optional<NodeId>, kBits>& fingers()
+      const {
+    return fingers_;
+  }
+
+  /// Join the ring via any live node. First node: pass its own id.
+  void join(const NodeId& bootstrap);
+
+  /// Find the node responsible for `key` (its successor on the circle),
+  /// counting nodes visited into `hops` when non-null.
+  [[nodiscard]] NodeId find_successor(const NodeId& key,
+                                      std::size_t* hops = nullptr) const;
+
+  // ---- Maintenance (run periodically by the ring). ----
+  void stabilize();
+  void notify(const NodeId& candidate);
+  void fix_finger(unsigned index);
+  void check_predecessor();
+
+ private:
+  friend class ChordRing;
+
+  [[nodiscard]] NodeId closest_preceding_node(const NodeId& key) const;
+  [[nodiscard]] NodeId first_live_successor() const;
+
+  NodeId id_;
+  ChordRing& ring_;
+  std::optional<NodeId> predecessor_;
+  std::vector<NodeId> successors_;  // successors_[0] is the successor.
+  std::array<std::optional<NodeId>, kBits> fingers_{};
+  unsigned next_finger_ = 0;
+};
+
+/// Registry and simulation driver for a set of Chord nodes.
+class ChordRing {
+ public:
+  explicit ChordRing(sim::Rng rng = sim::Rng(1)) : rng_(rng) {}
+
+  /// Create a node with the given id and join it via `bootstrap` (or as the
+  /// first node when the ring is empty). Returns the node's id.
+  NodeId add_node(const NodeId& id);
+
+  /// Create `n` nodes with ids hash("node:<i>") and stabilise the ring.
+  void build(std::size_t n, std::size_t stabilization_rounds = 0);
+
+  /// Graceful departure: hands keyspace to the successor via one final
+  /// stabilisation nudge, then removes the node.
+  void leave(const NodeId& id);
+
+  /// Crash failure: the node vanishes without notice; the ring heals
+  /// through successor lists and maintenance rounds.
+  void fail(const NodeId& id);
+
+  [[nodiscard]] bool alive(const NodeId& id) const {
+    return nodes_.contains(id);
+  }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] ChordNode* node(const NodeId& id);
+  [[nodiscard]] const ChordNode* node(const NodeId& id) const;
+
+  /// All live node ids, in ring order.
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+
+  /// Run one maintenance round on every node (stabilize + one finger fix +
+  /// predecessor check), in random order.
+  void maintenance_round();
+  void run_maintenance(std::size_t rounds);
+
+  /// Route a lookup from an arbitrary live node. Returns the responsible
+  /// node id; hops counts visited nodes.
+  [[nodiscard]] NodeId lookup(const NodeId& key,
+                              std::size_t* hops = nullptr) const;
+
+  /// Ground truth: the live node owning `key` by brute-force scan
+  /// (successor of key on the circle). Used to verify routed lookups.
+  [[nodiscard]] NodeId true_successor(const NodeId& key) const;
+
+ private:
+  std::map<NodeId, std::unique_ptr<ChordNode>> nodes_;
+  sim::Rng rng_;
+};
+
+}  // namespace asa_repro::p2p

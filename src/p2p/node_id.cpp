@@ -1,0 +1,91 @@
+#include "p2p/node_id.hpp"
+
+#include "crypto/hex.hpp"
+
+namespace asa_repro::p2p {
+
+NodeId NodeId::from_uint64(std::uint64_t value) {
+  Bytes b{};
+  for (int i = 0; i < 8; ++i) {
+    b[kBytes - 1 - i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return NodeId(b);
+}
+
+std::string NodeId::to_hex() const {
+  return crypto::to_hex({bytes_.data(), bytes_.size()});
+}
+
+NodeId NodeId::plus(const NodeId& other) const {
+  Bytes out{};
+  unsigned carry = 0;
+  for (std::size_t i = kBytes; i-- > 0;) {
+    const unsigned sum = bytes_[i] + other.bytes_[i] + carry;
+    out[i] = static_cast<std::uint8_t>(sum & 0xFF);
+    carry = sum >> 8;
+  }
+  return NodeId(out);
+}
+
+NodeId NodeId::minus(const NodeId& other) const {
+  Bytes out{};
+  int borrow = 0;
+  for (std::size_t i = kBytes; i-- > 0;) {
+    int diff = int{bytes_[i]} - int{other.bytes_[i]} - borrow;
+    if (diff < 0) {
+      diff += 256;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<std::uint8_t>(diff);
+  }
+  return NodeId(out);
+}
+
+NodeId NodeId::power_of_two(unsigned bit) {
+  Bytes b{};
+  b[kBytes - 1 - bit / 8] = static_cast<std::uint8_t>(1u << (bit % 8));
+  return NodeId(b);
+}
+
+NodeId NodeId::fraction_of_ring(std::uint64_t i, std::uint64_t n) {
+  // Long division of the 28-byte value (i << 160) by n, keeping the low
+  // 20 bytes of the quotient (the result is < 2^160 whenever i < n, which
+  // is the replica-key use; otherwise it wraps, which is also fine).
+  std::array<std::uint8_t, 28> numerator{};
+  for (int b = 0; b < 8; ++b) {
+    numerator[7 - b] = static_cast<std::uint8_t>(i >> (8 * b));
+  }
+  Bytes quotient{};
+  // Remainder stays < n <= 2^64-1; widen the working value via unsigned
+  // __int128 to keep the per-digit step exact.
+  __extension__ using Wide = unsigned __int128;
+  Wide rem = 0;
+  std::array<std::uint8_t, 28> full_quotient{};
+  for (std::size_t d = 0; d < numerator.size(); ++d) {
+    rem = (rem << 8) | numerator[d];
+    full_quotient[d] = static_cast<std::uint8_t>(rem / n);
+    rem %= n;
+  }
+  for (std::size_t b = 0; b < kBytes; ++b) {
+    quotient[b] = full_quotient[8 + b];
+  }
+  return NodeId(quotient);
+}
+
+bool NodeId::in_interval_open_closed(const NodeId& x, const NodeId& a,
+                                     const NodeId& b) {
+  if (a == b) return true;  // Whole ring.
+  if (a < b) return a < x && x <= b;
+  return x > a || x <= b;  // Interval wraps zero.
+}
+
+bool NodeId::in_interval_open_open(const NodeId& x, const NodeId& a,
+                                   const NodeId& b) {
+  if (a == b) return x != a;  // Whole ring minus the endpoint.
+  if (a < b) return a < x && x < b;
+  return x > a || x < b;
+}
+
+}  // namespace asa_repro::p2p

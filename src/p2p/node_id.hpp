@@ -1,0 +1,82 @@
+// 160-bit identifiers for the Chord key space (paper section 2, ref [6]).
+//
+// Both node identifiers and data keys live on the same 2^160 circle; SHA-1
+// output maps content and node names onto it. NodeId supports the modular
+// arithmetic Chord and the storage layer need: circular interval tests for
+// routing, power-of-two offsets for finger tables, and evenly spaced
+// fractions of the ring for replica key generation (paper section 2.1: the
+// key generation function "returns a set of keys that are evenly
+// distributed in key space").
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha1.hpp"
+
+namespace asa_repro::p2p {
+
+class NodeId {
+ public:
+  static constexpr std::size_t kBytes = 20;  // 160 bits.
+  using Bytes = std::array<std::uint8_t, kBytes>;
+
+  /// Zero id.
+  constexpr NodeId() : bytes_{} {}
+
+  explicit constexpr NodeId(const Bytes& bytes) : bytes_(bytes) {}
+
+  /// Id from a SHA-1 digest (the usual construction).
+  static NodeId from_digest(const crypto::Sha1Digest& digest) {
+    return NodeId(digest);
+  }
+
+  /// Id whose low 64 bits are `value` (deterministic small ids for tests).
+  static NodeId from_uint64(std::uint64_t value);
+
+  /// Id from hashing arbitrary text (e.g. "node:17" or a host name).
+  static NodeId hash_of(std::string_view text) {
+    return from_digest(crypto::Sha1::hash(text));
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return bytes_; }
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Short prefix for logs (first 8 hex digits).
+  [[nodiscard]] std::string short_hex() const { return to_hex().substr(0, 8); }
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+  friend std::strong_ordering operator<=>(const NodeId& a, const NodeId& b) {
+    return a.bytes_ <=> b.bytes_;
+  }
+
+  /// (a + b) mod 2^160.
+  [[nodiscard]] NodeId plus(const NodeId& other) const;
+
+  /// (this - other) mod 2^160 — the clockwise distance from other to this.
+  [[nodiscard]] NodeId minus(const NodeId& other) const;
+
+  /// 2^bit (bit in [0,160)) — finger table offsets.
+  static NodeId power_of_two(unsigned bit);
+
+  /// floor(i * 2^160 / n) mod 2^160 — the i-th of n evenly spaced ring
+  /// offsets (replica key generation). Requires n > 0.
+  static NodeId fraction_of_ring(std::uint64_t i, std::uint64_t n);
+
+  /// True if x lies in the circular interval (a, b]; when a == b the
+  /// interval is the whole ring (a single-node ring owns every key).
+  static bool in_interval_open_closed(const NodeId& x, const NodeId& a,
+                                      const NodeId& b);
+
+  /// True if x lies in the circular interval (a, b) (exclusive both ends);
+  /// empty when a == b.
+  static bool in_interval_open_open(const NodeId& x, const NodeId& a,
+                                    const NodeId& b);
+
+ private:
+  Bytes bytes_;
+};
+
+}  // namespace asa_repro::p2p

@@ -1,0 +1,82 @@
+// The P2P application framework's routing abstraction (paper section 2).
+//
+// "We have developed a P2P application framework, the purpose of which is
+// to provide functionality useful in implementing various P2P style
+// applications, and to abstract over the details of particular P2P
+// protocols. This allows the P2P layer to be varied without affecting the
+// layers above." KeyRouter is that abstraction: the storage layer asks only
+// lookup(key) -> responsible node. Two implementations are provided — the
+// Chord overlay (the paper's choice) and a one-hop full-view router (the
+// degenerate protocol useful for testing and small fixed deployments) —
+// and the test suite checks them against each other.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "p2p/chord.hpp"
+#include "p2p/node_id.hpp"
+
+namespace asa_repro::p2p {
+
+/// Key-based routing: maps any key to the live node responsible for it.
+class KeyRouter {
+ public:
+  virtual ~KeyRouter() = default;
+
+  /// The node owning `key`. `hops` (when non-null) receives the number of
+  /// nodes visited to answer.
+  [[nodiscard]] virtual NodeId route(const NodeId& key,
+                                     std::size_t* hops = nullptr) const = 0;
+
+  /// Live node count.
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+};
+
+/// KeyRouter over a Chord ring (non-owning; the ring must outlive it).
+class ChordRouter final : public KeyRouter {
+ public:
+  explicit ChordRouter(const ChordRing& ring) : ring_(&ring) {}
+
+  [[nodiscard]] NodeId route(const NodeId& key,
+                             std::size_t* hops = nullptr) const override {
+    return ring_->lookup(key, hops);
+  }
+  [[nodiscard]] std::size_t node_count() const override {
+    return ring_->size();
+  }
+
+ private:
+  const ChordRing* ring_;
+};
+
+/// One-hop router with a full membership view: every lookup is answered
+/// locally from a sorted table. The trade-off Chord avoids (O(n) state per
+/// node, O(n) churn traffic) in exchange for O(1) lookups.
+class FullViewRouter final : public KeyRouter {
+ public:
+  FullViewRouter() = default;
+  explicit FullViewRouter(const std::vector<NodeId>& nodes) {
+    for (const NodeId& id : nodes) add_node(id);
+  }
+
+  void add_node(const NodeId& id) { members_.emplace(id, true); }
+  void remove_node(const NodeId& id) { members_.erase(id); }
+
+  [[nodiscard]] NodeId route(const NodeId& key,
+                             std::size_t* hops = nullptr) const override {
+    if (hops != nullptr) *hops = 0;  // Answered from the local view.
+    // Successor of key on the circle: first id >= key, wrapping.
+    const auto it = members_.lower_bound(key);
+    return it == members_.end() ? members_.begin()->first : it->first;
+  }
+  [[nodiscard]] std::size_t node_count() const override {
+    return members_.size();
+  }
+
+ private:
+  std::map<NodeId, bool> members_;
+};
+
+}  // namespace asa_repro::p2p

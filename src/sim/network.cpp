@@ -1,0 +1,56 @@
+#include "sim/network.hpp"
+
+namespace asa_repro::sim {
+
+void Network::deliver_pending(std::size_t index) {
+  PendingMessage msg = std::move(pending_[index]);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  const auto it = handlers_.find(msg.to);
+  if (it == handlers_.end()) {
+    ++stats_.to_dead_node;
+    return;
+  }
+  ++stats_.delivered;
+  it->second(msg.from, msg.payload);
+}
+
+void Network::send(NodeAddr from, NodeAddr to, std::string payload) {
+  ++stats_.sent;
+  if (partitions_.contains({from, to})) {
+    ++stats_.partitioned;
+    return;
+  }
+  if (drop_probability_ > 0.0 && rng_.chance(drop_probability_)) {
+    ++stats_.dropped;
+    return;
+  }
+  int copies = 1;
+  if (duplicate_probability_ > 0.0 && rng_.chance(duplicate_probability_)) {
+    ++stats_.duplicated;
+    copies = 2;
+  }
+  if (manual_mode_) {
+    for (int copy = 0; copy < copies; ++copy) {
+      pending_.push_back({from, to, payload});
+    }
+    return;
+  }
+  for (int copy = 0; copy < copies; ++copy) {
+    const Time delay =
+        latency_.min_latency == latency_.max_latency
+            ? latency_.min_latency
+            : latency_.min_latency +
+                  rng_.below(latency_.max_latency - latency_.min_latency + 1);
+    sched_.schedule_after(delay, [this, from, to, payload] {
+      const auto it = handlers_.find(to);
+      if (it == handlers_.end()) {
+        ++stats_.to_dead_node;
+        return;
+      }
+      ++stats_.delivered;
+      it->second(from, payload);
+    });
+  }
+}
+
+}  // namespace asa_repro::sim

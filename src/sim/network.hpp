@@ -1,0 +1,139 @@
+// Simulated message network.
+//
+// Nodes register a delivery handler under an integer address; sends are
+// scheduled onto the discrete-event scheduler with a configurable latency
+// distribution, drop probability and directed partitions. Payloads are
+// opaque byte strings; higher layers define their own wire formats.
+//
+// This substitutes for the physical network the paper deployed on; the
+// substitution is behaviour-preserving for the protocol logic (same
+// asynchronous, reordering, lossy delivery model) and adds deterministic
+// replay and fault injection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace asa_repro::sim {
+
+/// Network-level node address.
+using NodeAddr = std::uint32_t;
+
+/// Latency model: uniform in [min_latency, max_latency].
+struct LatencyModel {
+  Time min_latency = 500;    // 0.5 ms
+  Time max_latency = 5'000;  // 5 ms
+};
+
+/// Network-wide statistics.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t partitioned = 0;
+  std::uint64_t to_dead_node = 0;
+};
+
+class Network {
+ public:
+  using Handler =
+      std::function<void(NodeAddr from, const std::string& payload)>;
+
+  Network(Scheduler& sched, Rng rng, LatencyModel latency = {})
+      : sched_(sched), rng_(rng), latency_(latency) {}
+
+  /// Register (or replace) the handler for `addr`. A node without a handler
+  /// silently drops inbound traffic (models a crashed node).
+  void attach(NodeAddr addr, Handler handler) {
+    handlers_[addr] = std::move(handler);
+  }
+
+  /// Detach a node: inbound messages are dropped until re-attached.
+  void detach(NodeAddr addr) { handlers_.erase(addr); }
+
+  [[nodiscard]] bool attached(NodeAddr addr) const {
+    return handlers_.contains(addr);
+  }
+
+  /// Message loss probability in [0,1], applied per message.
+  void set_drop_probability(double p) { drop_probability_ = p; }
+
+  /// Probability in [0,1] that a message is delivered twice (with an
+  /// independently sampled second latency). Networks duplicate; protocol
+  /// layers must deduplicate.
+  void set_duplicate_probability(double p) { duplicate_probability_ = p; }
+
+  /// Sever the directed link a->b (messages silently lost).
+  void partition(NodeAddr a, NodeAddr b) { partitions_.insert({a, b}); }
+
+  /// Restore the directed link a->b.
+  void heal(NodeAddr a, NodeAddr b) { partitions_.erase({a, b}); }
+
+  /// Sever both directions between a and b.
+  void partition_bidirectional(NodeAddr a, NodeAddr b) {
+    partition(a, b);
+    partition(b, a);
+  }
+
+  /// Queue a message for delivery. Latency is sampled per message, so
+  /// messages between the same pair of nodes may be reordered — the
+  /// protocol layer must tolerate this (and the commit FSM does).
+  void send(NodeAddr from, NodeAddr to, std::string payload);
+
+  // ---- Manual delivery mode (systematic schedule exploration). ----
+  //
+  // In manual mode sends are buffered instead of scheduled; a test harness
+  // chooses which pending message to deliver next, enumerating delivery
+  // orders deterministically (drop/duplicate/partition faults still apply
+  // at send time; latency does not, since the explorer IS the scheduler).
+
+  void set_manual_mode(bool manual) { manual_mode_ = manual; }
+  [[nodiscard]] bool manual_mode() const { return manual_mode_; }
+
+  /// Number of buffered, undelivered messages.
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+  /// Peek at a pending message's addressing (for schedule heuristics).
+  [[nodiscard]] std::pair<NodeAddr, NodeAddr> pending_route(
+      std::size_t index) const {
+    return {pending_[index].from, pending_[index].to};
+  }
+
+  /// Deliver the index-th pending message now (removes it from the
+  /// buffer). Handlers may send more messages, which append to the buffer.
+  void deliver_pending(std::size_t index);
+
+  /// Drop every buffered message (end-of-exploration cleanup).
+  void clear_pending() { pending_.clear(); }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+
+ private:
+  struct PendingMessage {
+    NodeAddr from;
+    NodeAddr to;
+    std::string payload;
+  };
+
+  Scheduler& sched_;
+  Rng rng_;
+  LatencyModel latency_;
+  double drop_probability_ = 0.0;
+  double duplicate_probability_ = 0.0;
+  bool manual_mode_ = false;
+  std::vector<PendingMessage> pending_;
+  std::unordered_map<NodeAddr, Handler> handlers_;
+  std::set<std::pair<NodeAddr, NodeAddr>> partitions_;
+  NetworkStats stats_;
+};
+
+}  // namespace asa_repro::sim

@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All randomness in the simulator flows through SplitMix64-seeded
+// xoshiro256** generators so that every experiment is exactly reproducible
+// from a single seed, and independent components can derive uncorrelated
+// streams (fork()).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace asa_repro::sim {
+
+/// xoshiro256** PRNG (Blackman & Vigna), seeded via SplitMix64.
+///
+/// Satisfies std::uniform_random_bit_generator so it can be used with
+/// standard distributions, though the inline helpers below are preferred in
+/// simulation code for cross-platform determinism (libstdc++/libc++
+/// distributions may differ; these helpers do not).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Debiased via rejection sampling (Lemire-style threshold would be
+    // faster; simulation workloads do not need it).
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t v;
+    do {
+      v = (*this)();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng fork() { return Rng((*this)() ^ 0xA5A5A5A55A5A5A5Aull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace asa_repro::sim

@@ -1,0 +1,45 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace asa_repro::sim {
+
+bool Scheduler::is_cancelled(std::uint64_t id) {
+  const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  // Swap-erase: cancellation lists stay tiny (outstanding timeouts only).
+  *it = cancelled_.back();
+  cancelled_.pop_back();
+  return true;
+}
+
+std::size_t Scheduler::run_until(Time deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    // Cancelled events are discarded without advancing the clock: nothing
+    // happened at their time, and time measurements must not see them.
+    if (is_cancelled(ev.id)) continue;
+    now_ = ev.when;
+    ev.action();
+    ++executed;
+  }
+  if (now_ < deadline && queue_.empty()) now_ = deadline;
+  return executed;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) continue;
+    now_ = ev.when;
+    ev.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace asa_repro::sim

@@ -1,0 +1,78 @@
+// Discrete-event scheduler with a simulated clock.
+//
+// The paper's system ran on a physical network (Java/Chord); this repo
+// substitutes a deterministic discrete-event simulation so that Byzantine
+// fault injection, message reordering, and deadlock scenarios are exactly
+// reproducible. Events fire in (time, sequence) order, so ties are broken
+// by scheduling order and runs are deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace asa_repro::sim {
+
+/// Simulated time in microseconds.
+using Time = std::uint64_t;
+
+/// Discrete-event scheduler. Not thread-safe: the simulation is
+/// single-threaded by design (determinism).
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `action` to run at absolute time `when` (must be >= now()).
+  /// Returns an id usable with cancel().
+  std::uint64_t schedule_at(Time when, Action action) {
+    const std::uint64_t id = next_id_++;
+    queue_.push(Event{when, id, std::move(action)});
+    return id;
+  }
+
+  /// Schedule `action` to run `delay` after the current time.
+  std::uint64_t schedule_after(Time delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (common for timeout events raced by completions).
+  void cancel(std::uint64_t id) { cancelled_.push_back(id); }
+
+  /// Run events until the queue is empty or `deadline` is passed.
+  /// Returns the number of events executed.
+  std::size_t run_until(Time deadline);
+
+  /// Run all events to quiescence (or until `max_events` as a safety bound).
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = 50'000'000);
+
+  /// Pending (not yet fired, possibly cancelled) event count.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  bool is_cancelled(std::uint64_t id);
+
+  Time now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;
+};
+
+}  // namespace asa_repro::sim

@@ -1,0 +1,92 @@
+#include "sim/sequence.hpp"
+
+#include <optional>
+#include <set>
+#include <string>
+
+namespace asa_repro::sim {
+
+namespace {
+
+/// Extract the integer value of a "key=<digits>" token, if present.
+std::optional<std::uint64_t> field(const std::string& detail,
+                                   const std::string& key) {
+  const std::string needle = key + "=";
+  const std::size_t pos = detail.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::uint64_t value = 0;
+  bool any = false;
+  for (std::size_t i = pos + needle.size(); i < detail.size(); ++i) {
+    const char c = detail[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return value;
+}
+
+/// The message kind is the first word of the detail ("vote update=3 ...").
+std::string first_word(const std::string& detail) {
+  const std::size_t space = detail.find(' ');
+  return space == std::string::npos ? detail : detail.substr(0, space);
+}
+
+}  // namespace
+
+std::string render_sequence_mermaid(const Trace& trace,
+                                    const SequenceOptions& options) {
+  // Collect the participants first so lifelines appear in node order.
+  std::set<std::uint32_t> participants;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.category == "recv" || e.category == "commit" ||
+        e.category == "abort") {
+      participants.insert(e.node);
+      if (e.category == "recv") {
+        if (const auto from = field(e.detail, "from"); from.has_value()) {
+          participants.insert(static_cast<std::uint32_t>(*from));
+        }
+      }
+    }
+  }
+
+  std::string out = "sequenceDiagram\n";
+  for (std::uint32_t p : participants) {
+    out += "    participant " + options.participant_prefix +
+           std::to_string(p) + "\n";
+  }
+
+  std::size_t rendered = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (options.max_events != 0 && rendered >= options.max_events) {
+      out += "    Note over " + options.participant_prefix +
+             std::to_string(*participants.begin()) + ": ... (truncated)\n";
+      break;
+    }
+    const std::string self =
+        options.participant_prefix + std::to_string(e.node);
+    if (e.category == "recv") {
+      const auto from = field(e.detail, "from");
+      if (!from.has_value()) continue;
+      std::string label = first_word(e.detail);
+      if (const auto update = field(e.detail, "update");
+          update.has_value()) {
+        label += " u" + std::to_string(*update);
+      }
+      out += "    " + options.participant_prefix + std::to_string(*from) +
+             "->>" + self + ": " + label + "\n";
+      ++rendered;
+    } else if (e.category == "commit" || e.category == "abort") {
+      std::string label = e.category;
+      if (const auto update = field(e.detail, "update");
+          update.has_value()) {
+        label += " u" + std::to_string(*update);
+      }
+      out += "    Note over " + self + ": " + label + "\n";
+      ++rendered;
+    }
+  }
+  return out;
+}
+
+}  // namespace asa_repro::sim

@@ -1,0 +1,29 @@
+// Sequence-diagram rendering of simulation traces.
+//
+// Protocol components record structured trace events ("recv" events carry
+// "from=<node>" in their detail); this renderer turns a trace into a
+// Mermaid sequenceDiagram — a publishable artefact showing an actual
+// protocol run, complementing the static state diagrams. Commit and abort
+// events become notes over the acting node's lifeline.
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace asa_repro::sim {
+
+struct SequenceOptions {
+  /// Render at most this many events (0 = all); long runs get unwieldy.
+  std::size_t max_events = 0;
+  /// Prefix for participant names ("node" -> node0, node1, ...).
+  std::string participant_prefix = "node";
+};
+
+/// Render `trace` as a Mermaid sequence diagram. Events of category "recv"
+/// become arrows (sender parsed from a "from=N" token in the detail);
+/// "commit" and "abort" events become notes.
+[[nodiscard]] std::string render_sequence_mermaid(
+    const Trace& trace, const SequenceOptions& options = {});
+
+}  // namespace asa_repro::sim

@@ -1,0 +1,14 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace asa_repro::sim {
+
+void Trace::dump(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << '[' << e.time << "us] node " << e.node << ' ' << e.category << ": "
+       << e.detail << '\n';
+  }
+}
+
+}  // namespace asa_repro::sim

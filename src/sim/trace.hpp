@@ -1,0 +1,72 @@
+// Structured event tracing for simulations.
+//
+// Protocol components emit (time, node, category, detail) records; tests
+// and benches query or dump them. Tracing is opt-in and cheap when off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace asa_repro::sim {
+
+struct TraceEvent {
+  Time time = 0;
+  std::uint32_t node = 0;
+  std::string category;
+  std::string detail;
+};
+
+/// Append-only trace sink.
+class Trace {
+ public:
+  explicit Trace(bool enabled = true) : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Time time, std::uint32_t node, std::string category,
+              std::string detail) {
+    if (!enabled_) return;
+    events_.push_back(
+        {time, node, std::move(category), std::move(detail)});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  /// Number of events in the given category.
+  [[nodiscard]] std::size_t count(std::string_view category) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (e.category == category) ++n;
+    }
+    return n;
+  }
+
+  /// All events matching a predicate.
+  [[nodiscard]] std::vector<TraceEvent> filter(
+      const std::function<bool(const TraceEvent&)>& pred) const {
+    std::vector<TraceEvent> out;
+    for (const auto& e : events_) {
+      if (pred(e)) out.push_back(e);
+    }
+    return out;
+  }
+
+  void clear() { events_.clear(); }
+
+  /// Human-readable dump, one event per line.
+  void dump(std::ostream& os) const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace asa_repro::sim

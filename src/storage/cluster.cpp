@@ -1,0 +1,181 @@
+#include "storage/cluster.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace asa_repro::storage {
+
+AsaCluster::AsaCluster(ClusterConfig config)
+    : config_(config),
+      rng_(config.seed),
+      network_(scheduler_, sim::Rng(config.seed ^ 0x6E6574ull),
+               config.latency),
+      trace_(config.tracing),
+      ring_(sim::Rng(config.seed ^ 0x72696E67ull)) {
+  network_.set_drop_probability(config_.drop_probability);
+
+  // One immutable commit FSM per replication factor, shared by every peer.
+  const fsm::StateMachine& machine =
+      machines_.machine_for(config_.replication_factor);
+
+  // Build the Chord ring and one host per node; host index == NodeAddr.
+  ring_.build(config_.nodes);
+  const std::vector<p2p::NodeId> ids = ring_.node_ids();
+  hosts_.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    host_by_id_.emplace(ids[i], i);
+    hosts_.push_back(std::make_unique<NodeHost>(
+        network_, static_cast<sim::NodeAddr>(i), machine,
+        commit::Behaviour::kHonest, config_.tracing ? &trace_ : nullptr));
+  }
+
+  // Peer sets are located per GUID via the ring; commit peers resolve them
+  // through the cluster's registry of full GUIDs (populated on first client
+  // contact — an in-process stand-in for carrying the GUID in every frame).
+  for (auto& host : hosts_) {
+    host->peer().set_peer_resolver(
+        [this](std::uint64_t guid_key) -> std::vector<sim::NodeAddr> {
+          const auto it = guid_registry_.find(guid_key);
+          if (it == guid_registry_.end()) return {};
+          return peer_set(it->second);
+        });
+  }
+}
+
+NodeHost& AsaCluster::host_for_key(const p2p::NodeId& key) {
+  return *hosts_[host_by_id_.at(ring_.lookup(key))];
+}
+
+sim::NodeAddr AsaCluster::addr_for_key(const p2p::NodeId& key) {
+  return host_for_key(key).address();
+}
+
+std::vector<sim::NodeAddr> AsaCluster::peer_set(const Guid& guid) {
+  guid_registry_.emplace(guid.to_uint64(), guid);
+  std::vector<sim::NodeAddr> addrs;
+  for (const p2p::NodeId& key :
+       replica_keys(guid.as_key(), config_.replication_factor)) {
+    const sim::NodeAddr addr = addr_for_key(key);
+    if (std::find(addrs.begin(), addrs.end(), addr) == addrs.end()) {
+      addrs.push_back(addr);
+    }
+  }
+  return addrs;
+}
+
+DataStoreClient& AsaCluster::data_store() {
+  if (!data_store_) {
+    const sim::NodeAddr addr = next_client_addr_;
+    next_client_addr_ += 1'000;
+    data_store_ = std::make_unique<DataStoreClient>(
+        network_, addr,
+        [this](const p2p::NodeId& key) { return addr_for_key(key); },
+        config_.replication_factor, f(), rng_.fork());
+  }
+  return *data_store_;
+}
+
+VersionHistoryService& AsaCluster::version_history() {
+  if (!version_history_) {
+    const sim::NodeAddr addr = next_client_addr_;
+    next_client_addr_ += 1'000;  // Room for per-GUID commit endpoints.
+    version_history_ = std::make_unique<VersionHistoryService>(
+        network_, addr, [this](const Guid& guid) { return peer_set(guid); },
+        config_.replication_factor, f(), config_.retry, rng_.fork());
+  }
+  return *version_history_;
+}
+
+ReplicaMaintainer& AsaCluster::maintainer() {
+  if (!maintainer_) {
+    maintainer_ = std::make_unique<ReplicaMaintainer>(
+        [this](const p2p::NodeId& key) -> StorageNode* {
+          const p2p::NodeId owner = ring_.lookup(key);
+          const auto it = host_by_id_.find(owner);
+          if (it == host_by_id_.end()) return nullptr;
+          NodeHost& host = *hosts_[it->second];
+          return network_.attached(host.address()) ? &host.store() : nullptr;
+        },
+        config_.replication_factor);
+  }
+  return *maintainer_;
+}
+
+std::size_t AsaCluster::migrate_version_history(const Guid& guid) {
+  const std::uint64_t key = guid.to_uint64();
+  const std::vector<sim::NodeAddr> peers = peer_set(guid);
+
+  // Gather the members' histories and compute the (f+1)-agreed sequence.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      histories;
+  for (sim::NodeAddr addr : peers) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> h;
+    for (const auto& e : hosts_[addr]->peer().history(key)) {
+      h.emplace_back(e.request_id, e.payload);
+    }
+    histories.push_back(std::move(h));
+  }
+  const std::vector<std::uint64_t> agreed = agree_history(histories, f());
+  if (agreed.empty()) return 0;
+
+  // Pick a donor whose deduplicated payload sequence covers the agreed
+  // prefix; its concrete entry list (with update ids) is what newcomers
+  // adopt.
+  const std::vector<commit::CommitPeer::CommittedEntry>* donor = nullptr;
+  for (sim::NodeAddr addr : peers) {
+    const auto& entries = hosts_[addr]->peer().history(key);
+    std::vector<std::uint64_t> payloads;
+    std::set<std::uint64_t> seen;
+    for (const auto& e : entries) {
+      if (seen.insert(e.request_id).second) payloads.push_back(e.payload);
+    }
+    if (payloads.size() >= agreed.size() &&
+        std::equal(agreed.begin(), agreed.end(), payloads.begin())) {
+      donor = &entries;
+      break;
+    }
+  }
+  if (donor == nullptr) return 0;
+
+  std::size_t adopted = 0;
+  for (sim::NodeAddr addr : peers) {
+    if (hosts_[addr]->peer().history(key).empty()) {
+      if (hosts_[addr]->peer().import_history(key, *donor)) ++adopted;
+    }
+  }
+  return adopted;
+}
+
+void AsaCluster::make_byzantine(std::size_t index,
+                                commit::Behaviour behaviour) {
+  // Behaviour is fixed at peer construction; rebuild the host's peer by
+  // swapping the whole host (stores are empty pre-workload, when fault
+  // injection is expected).
+  const fsm::StateMachine& machine =
+      machines_.machine_for(config_.replication_factor);
+  const sim::NodeAddr addr = hosts_[index]->address();
+  hosts_[index] = std::make_unique<NodeHost>(
+      network_, addr, machine, behaviour,
+      config_.tracing ? &trace_ : nullptr);
+  hosts_[index]->peer().set_peer_resolver(
+      [this](std::uint64_t guid_key) -> std::vector<sim::NodeAddr> {
+        const auto it = guid_registry_.find(guid_key);
+        if (it == guid_registry_.end()) return {};
+        return peer_set(it->second);
+      });
+}
+
+void AsaCluster::crash_node(std::size_t index) {
+  hosts_[index]->crash();
+  // Remove the node from the ring; maintenance heals routing around it.
+  const auto it = std::find_if(
+      host_by_id_.begin(), host_by_id_.end(),
+      [index](const auto& kv) { return kv.second == index; });
+  if (it != host_by_id_.end()) {
+    ring_.fail(it->first);
+    host_by_id_.erase(it);
+  }
+  ring_.run_maintenance(8);
+}
+
+}  // namespace asa_repro::storage

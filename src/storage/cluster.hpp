@@ -1,0 +1,114 @@
+// The integrated ASA cluster simulation (paper Fig 1's stack, in one box).
+//
+// Wires together every substrate: a discrete-event scheduler and lossy
+// network, a Chord ring locating replica nodes, a NodeHost per participant
+// (block store + commit peer), and client-side services (data store,
+// version history with the BFT commit protocol, replica maintenance).
+// Examples, integration tests and protocol benches build on this.
+//
+// Address plan: hosts occupy [0, n); client services are allocated from
+// kClientAddrBase upward, with a sub-range per service for the commit
+// endpoints it spawns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "commit/machine_cache.hpp"
+#include "p2p/chord.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+#include "storage/data_store.hpp"
+#include "storage/maintenance.hpp"
+#include "storage/node_host.hpp"
+#include "storage/version_history.hpp"
+
+namespace asa_repro::storage {
+
+struct ClusterConfig {
+  std::size_t nodes = 16;
+  std::uint32_t replication_factor = 4;  // r; f = floor((r-1)/3).
+  std::uint64_t seed = 42;
+  sim::LatencyModel latency{};
+  double drop_probability = 0.0;
+  commit::RetryPolicy retry{};
+  bool tracing = false;
+};
+
+class AsaCluster {
+ public:
+  static constexpr sim::NodeAddr kClientAddrBase = 1'000'000;
+
+  explicit AsaCluster(ClusterConfig config);
+
+  AsaCluster(const AsaCluster&) = delete;
+  AsaCluster& operator=(const AsaCluster&) = delete;
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] sim::Network& network() { return network_; }
+  [[nodiscard]] sim::Trace& trace() { return trace_; }
+  [[nodiscard]] p2p::ChordRing& ring() { return ring_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t f() const {
+    return (config_.replication_factor - 1) / 3;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return hosts_.size(); }
+  [[nodiscard]] NodeHost& host(std::size_t index) { return *hosts_[index]; }
+
+  /// The host responsible for a ring key (via Chord lookup).
+  [[nodiscard]] NodeHost& host_for_key(const p2p::NodeId& key);
+  [[nodiscard]] sim::NodeAddr addr_for_key(const p2p::NodeId& key);
+
+  /// Network addresses of the peer set for a GUID (one per replica key; a
+  /// small ring may repeat addresses — deduplicated, preserving order).
+  [[nodiscard]] std::vector<sim::NodeAddr> peer_set(const Guid& guid);
+
+  /// Client services (constructed lazily, one each).
+  [[nodiscard]] DataStoreClient& data_store();
+  [[nodiscard]] VersionHistoryService& version_history();
+  [[nodiscard]] ReplicaMaintainer& maintainer();
+
+  /// Background membership maintenance for one GUID (paper section 2.2:
+  /// peer-set members "adjust their views of the set membership as the
+  /// topology of the P2P network changes" and faulty members are replaced):
+  /// recomputes the peer set via the routing layer and bootstraps members
+  /// with no local history from the (f+1)-agreed history of the others.
+  /// Returns the number of members that adopted a history.
+  std::size_t migrate_version_history(const Guid& guid);
+
+  // ---- Fault injection. ----
+  void make_byzantine(std::size_t index, commit::Behaviour behaviour);
+  void corrupt_node(std::size_t index) {
+    hosts_[index]->store().set_corrupt(true);
+  }
+  void crash_node(std::size_t index);
+
+  /// Run the simulation until quiescent or for a bounded number of events.
+  std::size_t run(std::size_t max_events = 10'000'000) {
+    return scheduler_.run(max_events);
+  }
+  std::size_t run_for(sim::Time duration) {
+    return scheduler_.run_until(scheduler_.now() + duration);
+  }
+
+ private:
+  ClusterConfig config_;
+  sim::Scheduler scheduler_;
+  sim::Rng rng_;
+  sim::Network network_;
+  sim::Trace trace_;
+  p2p::ChordRing ring_;
+  commit::MachineCache machines_;
+  std::vector<std::unique_ptr<NodeHost>> hosts_;
+  std::map<p2p::NodeId, std::size_t> host_by_id_;
+  std::map<std::uint64_t, Guid> guid_registry_;  // Low-64 -> full GUID.
+  std::unique_ptr<DataStoreClient> data_store_;
+  std::unique_ptr<VersionHistoryService> version_history_;
+  std::unique_ptr<ReplicaMaintainer> maintainer_;
+  sim::NodeAddr next_client_addr_ = kClientAddrBase;
+};
+
+}  // namespace asa_repro::storage

@@ -1,0 +1,30 @@
+// Replica key generation (paper section 2.1).
+//
+// The service endpoint determines which nodes should store replicas "by
+// applying a globally known function that deterministically generates a set
+// of keys from a single PID"; the prototype's function "returns a set of
+// keys that are evenly distributed in key space", one per replica. The same
+// function locates the peer set for a GUID's version history.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "p2p/node_id.hpp"
+
+namespace asa_repro::storage {
+
+/// The r replica keys for `base`: base + i * 2^160 / r for i in [0, r).
+/// Deterministic, evenly spaced, and key 0 is `base` itself.
+[[nodiscard]] inline std::vector<p2p::NodeId> replica_keys(
+    const p2p::NodeId& base, std::uint32_t replication_factor) {
+  std::vector<p2p::NodeId> keys;
+  keys.reserve(replication_factor);
+  for (std::uint32_t i = 0; i < replication_factor; ++i) {
+    keys.push_back(
+        base.plus(p2p::NodeId::fraction_of_ring(i, replication_factor)));
+  }
+  return keys;
+}
+
+}  // namespace asa_repro::storage

@@ -1,0 +1,109 @@
+// Replica maintenance (paper section 2.2, final paragraph).
+//
+// "Background processes regenerate missing replicas and replace faulty
+// nodes ... Additional replicas need to be generated whenever the set of
+// nodes storing replicas of a given data item is temporarily reduced",
+// whether through fail-stop faults (detected by timeouts) or malicious
+// nodes (detected "with high probability, using periodic cross-checks
+// between replica nodes").
+//
+// The maintainer tracks every stored PID, periodically cross-checks each
+// replica against the content hash, and re-replicates intact copies onto
+// nodes whose replica is missing or corrupt. It operates directly on the
+// node stores (it is the simulation of the background process, not a
+// client), but only ever copies blocks that verify against their PID.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "storage/key_gen.hpp"
+#include "storage/pid.hpp"
+#include "storage/storage_node.hpp"
+
+namespace asa_repro::storage {
+
+struct MaintenanceStats {
+  std::uint64_t scans = 0;
+  std::uint64_t replicas_checked = 0;
+  std::uint64_t missing_found = 0;
+  std::uint64_t corrupt_found = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t unrepairable = 0;  // No intact replica anywhere.
+};
+
+class ReplicaMaintainer {
+ public:
+  /// Resolves a replica key to the StorageNode responsible for it (or
+  /// nullptr if that node is offline).
+  using NodeResolver = std::function<StorageNode*(const p2p::NodeId&)>;
+
+  ReplicaMaintainer(NodeResolver resolver, std::uint32_t replication_factor)
+      : resolver_(std::move(resolver)), r_(replication_factor) {}
+
+  /// Register a PID for maintenance (called by the storing client/cluster).
+  void track(const Pid& pid) { tracked_.insert(pid); }
+  [[nodiscard]] std::size_t tracked_count() const { return tracked_.size(); }
+
+  /// One cross-check round over every tracked PID. Returns the number of
+  /// repairs performed.
+  std::size_t scan() {
+    ++stats_.scans;
+    std::size_t repaired = 0;
+    for (const Pid& pid : tracked_) {
+      repaired += check_and_repair(pid);
+    }
+    return repaired;
+  }
+
+  [[nodiscard]] const MaintenanceStats& stats() const { return stats_; }
+
+ private:
+  std::size_t check_and_repair(const Pid& pid) {
+    // Gather replica nodes and find one intact copy.
+    std::vector<StorageNode*> nodes;
+    const Block* intact = nullptr;
+    for (const p2p::NodeId& key : replica_keys(pid.as_key(), r_)) {
+      StorageNode* node = resolver_(key);
+      nodes.push_back(node);
+      if (node == nullptr) continue;
+      ++stats_.replicas_checked;
+      const auto it = node->blocks().find(pid);
+      if (it == node->blocks().end()) {
+        ++stats_.missing_found;
+      } else if (!pid.matches(it->second)) {
+        ++stats_.corrupt_found;
+      } else if (intact == nullptr) {
+        intact = &it->second;
+      }
+    }
+    if (intact == nullptr) {
+      bool any_damage = false;
+      for (StorageNode* node : nodes) {
+        if (node != nullptr && !node->holds_intact(pid)) any_damage = true;
+      }
+      if (any_damage) ++stats_.unrepairable;
+      return 0;
+    }
+    // Re-replicate the verified copy onto damaged replicas.
+    std::size_t repaired = 0;
+    const Block copy = *intact;  // Copy first: puts may invalidate intact.
+    for (StorageNode* node : nodes) {
+      if (node == nullptr || node->holds_intact(pid)) continue;
+      if (node->put(pid, copy)) {
+        ++stats_.repaired;
+        ++repaired;
+      }
+    }
+    return repaired;
+  }
+
+  NodeResolver resolver_;
+  std::uint32_t r_;
+  std::set<Pid> tracked_;
+  MaintenanceStats stats_;
+};
+
+}  // namespace asa_repro::storage

@@ -1,0 +1,110 @@
+// Logical entities of the generic storage layer (paper section 2, Fig 2).
+//
+//  * A data block contains unstructured data; blocks are immutable and of
+//    arbitrary size.
+//  * A PID (Persistent Identifier) denotes a particular data block — the
+//    SHA-1 hash of its contents, so any retrieved block is intrinsically
+//    verifiable against the PID that named it.
+//  * A GUID (Globally Unique Identifier) denotes something with identity
+//    (a file or object) whose version history is a sequence of PIDs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+#include "p2p/node_id.hpp"
+
+namespace asa_repro::storage {
+
+/// An immutable data block's bytes.
+using Block = std::vector<std::uint8_t>;
+
+/// Persistent identifier: the SHA-1 of a block's contents.
+class Pid {
+ public:
+  Pid() = default;
+  explicit Pid(const crypto::Sha1Digest& digest) : digest_(digest) {}
+
+  /// The PID naming `block` (content addressing).
+  static Pid of(std::span<const std::uint8_t> block) {
+    return Pid(crypto::Sha1::hash(block));
+  }
+  static Pid of(const Block& block) {
+    return of(std::span<const std::uint8_t>(block.data(), block.size()));
+  }
+
+  /// Verify that `block` is the data this PID names.
+  [[nodiscard]] bool matches(std::span<const std::uint8_t> block) const {
+    return crypto::Sha1::hash(block) == digest_;
+  }
+  [[nodiscard]] bool matches(const Block& block) const {
+    return matches(std::span<const std::uint8_t>(block.data(), block.size()));
+  }
+
+  [[nodiscard]] const crypto::Sha1Digest& digest() const { return digest_; }
+  [[nodiscard]] p2p::NodeId as_key() const {
+    return p2p::NodeId::from_digest(digest_);
+  }
+  [[nodiscard]] std::string to_hex() const {
+    return as_key().to_hex();
+  }
+
+  /// Low 64 bits, used as a compact payload in commit-protocol frames.
+  [[nodiscard]] std::uint64_t to_uint64() const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | digest_[digest_.size() - 8 + i];
+    }
+    return v;
+  }
+
+  friend bool operator==(const Pid&, const Pid&) = default;
+  friend auto operator<=>(const Pid&, const Pid&) = default;
+
+ private:
+  crypto::Sha1Digest digest_{};
+};
+
+/// Globally unique identifier for an entity with a version history.
+class Guid {
+ public:
+  Guid() = default;
+  explicit Guid(const crypto::Sha1Digest& digest) : digest_(digest) {}
+
+  /// Deterministic GUID from a name (tests and examples).
+  static Guid named(std::string_view name) {
+    return Guid(crypto::Sha1::hash(name));
+  }
+
+  [[nodiscard]] const crypto::Sha1Digest& digest() const { return digest_; }
+  [[nodiscard]] p2p::NodeId as_key() const {
+    return p2p::NodeId::from_digest(digest_);
+  }
+  [[nodiscard]] std::string to_hex() const { return as_key().to_hex(); }
+
+  /// Compact id used to key commit-protocol state (collision probability
+  /// is negligible at simulation scale).
+  [[nodiscard]] std::uint64_t to_uint64() const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | digest_[digest_.size() - 8 + i];
+    }
+    return v;
+  }
+
+  friend bool operator==(const Guid&, const Guid&) = default;
+  friend auto operator<=>(const Guid&, const Guid&) = default;
+
+ private:
+  crypto::Sha1Digest digest_{};
+};
+
+/// Convenience: a block from text.
+[[nodiscard]] inline Block block_from(std::string_view text) {
+  return Block(text.begin(), text.end());
+}
+
+}  // namespace asa_repro::storage

@@ -1,0 +1,85 @@
+// A storage node's block store and data-plane message handling.
+//
+// Stores immutable blocks keyed by PID. Fault injection mirrors the paper's
+// threat model for non-trusted platforms: a node may be corrupt (serves
+// altered bytes — detected by the endpoint's hash verification, section
+// 2.1) or refuse service.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "storage/pid.hpp"
+#include "storage/storage_messages.hpp"
+
+namespace asa_repro::storage {
+
+struct StorageNodeStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t corrupt_serves = 0;
+};
+
+class StorageNode {
+ public:
+  /// Store a block. Returns false when refusing (fault injection).
+  bool put(const Pid& pid, Block block) {
+    ++stats_.puts;
+    if (refuse_writes_) return false;
+    blocks_[pid] = std::move(block);
+    return true;
+  }
+
+  /// Fetch a block. A corrupt node returns altered bytes, exercising the
+  /// retrieval path's verify-and-failover.
+  [[nodiscard]] std::optional<Block> get(const Pid& pid) {
+    ++stats_.gets;
+    const auto it = blocks_.find(pid);
+    if (it == blocks_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    if (corrupt_) {
+      ++stats_.corrupt_serves;
+      Block tampered = it->second;
+      if (tampered.empty()) {
+        tampered.push_back(0xBD);
+      } else {
+        tampered[0] ^= 0xFF;
+      }
+      return tampered;
+    }
+    return it->second;
+  }
+
+  /// True if the node holds an intact copy of pid's block.
+  [[nodiscard]] bool holds_intact(const Pid& pid) const {
+    const auto it = blocks_.find(pid);
+    return it != blocks_.end() && pid.matches(it->second);
+  }
+
+  /// Direct (non-tampering) access for maintenance scans.
+  [[nodiscard]] const std::map<Pid, Block>& blocks() const { return blocks_; }
+
+  void drop(const Pid& pid) { blocks_.erase(pid); }
+  void corrupt_stored(const Pid& pid) {
+    const auto it = blocks_.find(pid);
+    if (it != blocks_.end() && !it->second.empty()) it->second[0] ^= 0xFF;
+  }
+
+  void set_corrupt(bool corrupt) { corrupt_ = corrupt; }
+  void set_refuse_writes(bool refuse) { refuse_writes_ = refuse; }
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  [[nodiscard]] const StorageNodeStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  std::map<Pid, Block> blocks_;
+  bool corrupt_ = false;
+  bool refuse_writes_ = false;
+  StorageNodeStats stats_;
+};
+
+}  // namespace asa_repro::storage

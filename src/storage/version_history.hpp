@@ -1,0 +1,94 @@
+// The version history service (paper section 2.2).
+//
+// Maps a GUID to a sequence of PIDs. Appending a version runs the BFT
+// commit protocol among the GUID's peer set; reading queries all members
+// and accepts the longest prefix on which at least f+1 agree — no single
+// member can be trusted, since a GUID may map to any PID.
+//
+// Retried commit attempts share a request id; readers collapse duplicate
+// commits of the same logical update (first occurrence wins), so histories
+// remain consistent even when a deadlocked attempt is retried.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "commit/endpoint.hpp"
+#include "sim/network.hpp"
+#include "storage/pid.hpp"
+#include "storage/storage_messages.hpp"
+
+namespace asa_repro::storage {
+
+struct HistoryReadResult {
+  bool ok = false;
+  /// Agreed sequence of committed payloads (PID low-64s), deduplicated by
+  /// request id, longest (f+1)-agreed prefix.
+  std::vector<std::uint64_t> versions;
+  std::uint32_t replies = 0;
+};
+
+class VersionHistoryService {
+ public:
+  /// `peer_addresses` maps a GUID to its peer set's network addresses (the
+  /// cluster derives this from replica keys + Chord).
+  using PeerSetResolver =
+      std::function<std::vector<sim::NodeAddr>(const Guid&)>;
+
+  VersionHistoryService(sim::Network& network, sim::NodeAddr self,
+                        PeerSetResolver resolver, std::uint32_t r,
+                        std::uint32_t f, commit::RetryPolicy policy,
+                        sim::Rng rng);
+
+  VersionHistoryService(const VersionHistoryService&) = delete;
+  VersionHistoryService& operator=(const VersionHistoryService&) = delete;
+
+  using AppendCallback = std::function<void(const commit::CommitResult&)>;
+  using ReadCallback = std::function<void(const HistoryReadResult&)>;
+
+  /// Append `pid` as the next version of `guid` via the commit protocol.
+  void append(const Guid& guid, const Pid& pid, AppendCallback callback);
+
+  /// Read the agreed version history of `guid`.
+  void read(const Guid& guid, ReadCallback callback,
+            sim::Time timeout = 150'000);
+
+ private:
+  struct PendingRead {
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+        histories;                 // One per replying peer.
+    std::uint32_t expected = 0;
+    std::uint64_t timer = 0;
+    ReadCallback callback;
+  };
+
+  commit::CommitEndpoint& endpoint_for(const Guid& guid);
+  void handle(sim::NodeAddr from, const std::string& data);
+  void finish_read(std::uint64_t ticket);
+
+  sim::Network& network_;
+  sim::NodeAddr self_;
+  PeerSetResolver resolver_;
+  std::uint32_t r_;
+  std::uint32_t f_;
+  commit::RetryPolicy policy_;
+  sim::Rng rng_;
+  // One commit endpoint per GUID (peer sets differ); endpoints own distinct
+  // network addresses carved from a reserved range above self_.
+  std::map<std::uint64_t, std::unique_ptr<commit::CommitEndpoint>> endpoints_;
+  sim::NodeAddr next_endpoint_addr_;
+  std::uint64_t next_ticket_ = 1;
+  std::map<std::uint64_t, PendingRead> reads_;
+};
+
+/// Compute the (f+1)-agreed longest prefix across peer histories, after
+/// per-peer deduplication by request id. Exposed for unit testing.
+[[nodiscard]] std::vector<std::uint64_t> agree_history(
+    const std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>&
+        histories,
+    std::uint32_t f);
+
+}  // namespace asa_repro::storage

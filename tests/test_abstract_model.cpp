@@ -1,0 +1,186 @@
+// The generic generation engine, exercised through a small toy model that
+// is independent of the commit protocol (the engine must be reusable for
+// "other problems", paper section 5.1).
+#include <gtest/gtest.h>
+
+#include "core/abstract_model.hpp"
+#include "core/equivalence.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+/// Toy "message counting" model: count inc messages up to a bound; a fin
+/// message is accepted once count reaches a threshold and completes the
+/// machine with a "celebrate" action.
+class CounterModel : public AbstractModel {
+ public:
+  CounterModel(std::uint32_t max, std::uint32_t threshold)
+      : max_(max), threshold_(threshold) {
+    init_abstract_model(
+        StateSpace({int_component("count", max), boolean_component("done")}),
+        {"inc", "fin"});
+  }
+
+  [[nodiscard]] StateVector start_state() const override { return {0, 0}; }
+
+  [[nodiscard]] bool is_final(const StateVector& s) const override {
+    return s[1] != 0;
+  }
+
+  [[nodiscard]] std::optional<Reaction> react(
+      const StateVector& s, MessageId m) const override {
+    if (m == 0) {  // inc
+      if (s[0] >= max_) return std::nullopt;
+      Reaction r;
+      r.target = {s[0] + 1, s[1]};
+      r.annotations = {"count incremented"};
+      return r;
+    }
+    // fin
+    if (s[0] < threshold_) return std::nullopt;
+    Reaction r;
+    r.target = {s[0], 1};
+    r.actions = {"celebrate"};
+    return r;
+  }
+
+  [[nodiscard]] std::vector<std::string> describe_state(
+      const StateVector& s) const override {
+    return {"count is " + std::to_string(s[0])};
+  }
+
+ private:
+  std::uint32_t max_;
+  std::uint32_t threshold_;
+};
+
+TEST(AbstractModel, CounterCounts) {
+  CounterModel model(5, 3);
+  GenerationReport report;
+  const StateMachine machine = model.generate_state_machine({}, &report);
+  // 6 counts * 2 done-flags possible.
+  EXPECT_EQ(report.initial_states, 12u);
+  // Reachable: counts 0..5 live, plus finals at counts 3..5.
+  EXPECT_EQ(report.reachable_states, 9u);
+  // Finals merge into one; live states 3..4 differ only in remaining
+  // headroom... they do differ (3 can still inc twice, 5 cannot inc), so
+  // live states remain distinct: 6 live + 1 final.
+  EXPECT_EQ(report.final_states, 7u);
+  EXPECT_EQ(machine.state_count(), 7u);
+}
+
+TEST(AbstractModel, StartAndFinishWiredUp) {
+  CounterModel model(5, 3);
+  const StateMachine machine = model.generate_state_machine();
+  EXPECT_EQ(machine.state(machine.start()).name, "0/F");
+  ASSERT_NE(machine.finish(), kNoState);
+  EXPECT_TRUE(machine.state(machine.finish()).is_final);
+}
+
+TEST(AbstractModel, AnnotationsFlowIntoArtefacts) {
+  CounterModel model(3, 1);
+  const StateMachine machine = model.generate_state_machine();
+  const State& start = machine.state(machine.start());
+  ASSERT_FALSE(start.annotations.empty());
+  EXPECT_EQ(start.annotations[0], "count is 0");
+  const Transition* inc = start.transition(0);
+  ASSERT_NE(inc, nullptr);
+  ASSERT_FALSE(inc->annotations.empty());
+  EXPECT_EQ(inc->annotations[0], "count incremented");
+}
+
+TEST(AbstractModel, AnnotateOptionSuppressesCommentary) {
+  CounterModel model(3, 1);
+  GenerationOptions options;
+  options.annotate = false;
+  const StateMachine machine = model.generate_state_machine(options);
+  for (const State& s : machine.states()) {
+    EXPECT_TRUE(s.annotations.empty());
+    for (const Transition& t : s.transitions) {
+      EXPECT_TRUE(t.annotations.empty());
+    }
+  }
+}
+
+TEST(AbstractModel, NoPruneKeepsEverything) {
+  CounterModel model(5, 3);
+  GenerationOptions options;
+  options.prune_unreachable = false;
+  options.merge_equivalent = false;
+  GenerationReport report;
+  const StateMachine machine = model.generate_state_machine(options, &report);
+  EXPECT_EQ(machine.state_count(), 12u);
+  EXPECT_EQ(report.final_states, 12u);
+}
+
+TEST(AbstractModel, PruneWithoutMerge) {
+  CounterModel model(5, 3);
+  GenerationOptions options;
+  options.merge_equivalent = false;
+  GenerationReport report;
+  const StateMachine machine = model.generate_state_machine(options, &report);
+  EXPECT_EQ(machine.state_count(), 9u);
+  // Unmerged machine is trace-equivalent to the merged one.
+  const StateMachine merged = model.generate_state_machine();
+  EXPECT_TRUE(trace_equivalent(machine, merged));
+}
+
+TEST(AbstractModel, FinalStatesHaveNoTransitions) {
+  CounterModel model(5, 3);
+  const StateMachine machine = model.generate_state_machine();
+  for (const State& s : machine.states()) {
+    if (s.is_final) {
+      EXPECT_TRUE(s.transitions.empty());
+    }
+  }
+}
+
+TEST(AbstractModel, ReportTimesPopulated) {
+  CounterModel model(5, 3);
+  GenerationReport report;
+  (void)model.generate_state_machine({}, &report);
+  EXPECT_GE(report.total_time().count(), 0);
+  EXPECT_EQ(report.total_time(),
+            report.enumerate_time + report.transition_time +
+                report.prune_time + report.merge_time);
+}
+
+TEST(AbstractModel, UninitialisedModelThrows) {
+  class Broken : public AbstractModel {
+   public:
+    [[nodiscard]] StateVector start_state() const override { return {}; }
+    [[nodiscard]] bool is_final(const StateVector&) const override {
+      return false;
+    }
+    [[nodiscard]] std::optional<Reaction> react(
+        const StateVector&, MessageId) const override {
+      return std::nullopt;
+    }
+  };
+  Broken broken;
+  EXPECT_THROW((void)broken.generate_state_machine(), std::logic_error);
+}
+
+TEST(AbstractModel, OutOfRangeTargetThrows) {
+  class Escapes : public AbstractModel {
+   public:
+    Escapes() {
+      init_abstract_model(StateSpace({int_component("n", 2)}), {"go"});
+    }
+    [[nodiscard]] StateVector start_state() const override { return {0}; }
+    [[nodiscard]] bool is_final(const StateVector&) const override {
+      return false;
+    }
+    [[nodiscard]] std::optional<Reaction> react(
+        const StateVector&, MessageId) const override {
+      Reaction r;
+      r.target = {7};  // Outside the component bound.
+      return r;
+    }
+  };
+  Escapes model;
+  EXPECT_THROW((void)model.generate_state_machine(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace asa_repro::fsm

@@ -1,0 +1,105 @@
+// Structural analysis of generated machines: simple/phase transition
+// split, completion distances, dead-state detection, SCC structure.
+#include <gtest/gtest.h>
+
+#include "commit/commit_model.hpp"
+#include "core/analysis.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+State state(std::string name, std::vector<Transition> transitions,
+            bool is_final = false) {
+  State s;
+  s.name = std::move(name);
+  s.transitions = std::move(transitions);
+  s.is_final = is_final;
+  return s;
+}
+
+Transition tr(MessageId m, StateId target, ActionList actions = {}) {
+  Transition t;
+  t.message = m;
+  t.actions = std::move(actions);
+  t.target = target;
+  return t;
+}
+
+TEST(Analysis, CountsAndDistancesOnToyMachine) {
+  // start --a--> mid --b[x]--> finish, plus a trap state nobody can leave.
+  const StateMachine m(
+      {"a", "b"},
+      {
+          state("start", {tr(0, 1)}),
+          state("mid", {tr(1, 2, {"x"})}),
+          state("finish", {}, true),
+          state("trap", {tr(0, 3)}),
+      },
+      0, 2);
+  const MachineAnalysis a = analyze(m);
+  EXPECT_EQ(a.states, 4u);
+  EXPECT_EQ(a.transitions, 3u);
+  EXPECT_EQ(a.final_states, 1u);
+  EXPECT_EQ(a.simple_transitions, 2u);
+  EXPECT_EQ(a.phase_transitions, 1u);
+  EXPECT_EQ(a.shortest_completion, 2);
+  ASSERT_EQ(a.dead_states.size(), 1u);
+  EXPECT_EQ(m.state(a.dead_states[0]).name, "trap");
+  EXPECT_EQ(a.nontrivial_sccs, 1u);  // The trap's self-loop.
+  EXPECT_EQ(a.transitions_per_message.at("a"), 2u);
+  EXPECT_EQ(a.action_frequency.at("x"), 1u);
+}
+
+class CommitAnalysis : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CommitAnalysis, CommitMachineHasNoDeadStates) {
+  // Every live state of the commit FSM can still finish (commits remain
+  // applicable until the threshold): the generated protocol has no dead
+  // ends. Deadlock in deployment is a liveness issue (votes may never
+  // come), never a structural trap.
+  const std::uint32_t r = GetParam();
+  commit::CommitModel model(r);
+  const StateMachine machine = model.generate_state_machine();
+  const MachineAnalysis a = analyze(machine);
+  EXPECT_TRUE(a.dead_states.empty());
+  EXPECT_EQ(a.final_states, 1u);
+  // From the start, the fastest completion is f+1 commit receipts.
+  EXPECT_EQ(a.shortest_completion,
+            static_cast<std::int64_t>(model.commit_threshold()));
+  // Phase transitions exist (threshold crossings) and so do simple ones.
+  EXPECT_GT(a.phase_transitions, 0u);
+  EXPECT_GT(a.simple_transitions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicationFactors, CommitAnalysis,
+                         ::testing::Values(2u, 4u, 7u, 13u));
+
+TEST(Analysis, CommitMachineCycleStructure) {
+  // free/not_free flips create cycles among live states; the analysis must
+  // see at least one non-trivial SCC.
+  commit::CommitModel model(4);
+  const MachineAnalysis a = analyze(model.generate_state_machine());
+  EXPECT_GT(a.nontrivial_sccs, 0u);
+}
+
+TEST(Analysis, ReportMentionsEverySection) {
+  commit::CommitModel model(4);
+  const MachineAnalysis a = analyze(model.generate_state_machine());
+  const std::string report = a.to_string();
+  EXPECT_NE(report.find("states:"), std::string::npos);
+  EXPECT_NE(report.find("phase"), std::string::npos);
+  EXPECT_NE(report.find("dead states:            0"), std::string::npos);
+  EXPECT_NE(report.find("->vote"), std::string::npos);
+  EXPECT_NE(report.find("not_free:"), std::string::npos);
+}
+
+TEST(Analysis, EmptyMachine) {
+  const StateMachine m({"a"}, {}, kNoState, kNoState);
+  const MachineAnalysis a = analyze(m);
+  EXPECT_EQ(a.states, 0u);
+  EXPECT_EQ(a.transitions, 0u);
+  EXPECT_TRUE(a.dead_states.empty());
+}
+
+}  // namespace
+}  // namespace asa_repro::fsm

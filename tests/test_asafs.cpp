@@ -1,0 +1,230 @@
+// The abstract file system layer (paper Fig 1): versioned files over the
+// storage services, with the historical record the ASA goals require.
+#include <gtest/gtest.h>
+
+#include "asafs/file_system.hpp"
+
+namespace asa_repro::asafs {
+namespace {
+
+using storage::AsaCluster;
+using storage::Block;
+using storage::ClusterConfig;
+using storage::block_from;
+
+ClusterConfig config(std::uint64_t seed = 51) {
+  ClusterConfig c;
+  c.nodes = 12;
+  c.replication_factor = 4;
+  c.seed = seed;
+  return c;
+}
+
+TEST(AsaFs, WriteThenReadLatest) {
+  AsaCluster cluster(config());
+  AsaFileSystem fs(cluster);
+
+  WriteResult wrote;
+  fs.write("/docs/readme.txt", block_from("hello world"),
+           [&](const WriteResult& r) { wrote = r; });
+  cluster.run();
+  ASSERT_TRUE(wrote.ok);
+
+  ReadResult read;
+  fs.read("/docs/readme.txt", [&](const ReadResult& r) { read = r; });
+  cluster.run();
+  ASSERT_TRUE(read.ok);
+  EXPECT_EQ(read.contents, block_from("hello world"));
+  EXPECT_EQ(read.version_count, 1u);
+}
+
+TEST(AsaFs, HistoricalRecordKeepsOldVersions) {
+  AsaCluster cluster(config(3));
+  AsaFileSystem fs(cluster);
+
+  for (int v = 0; v < 3; ++v) {
+    bool ok = false;
+    fs.write("/file", block_from("version " + std::to_string(v)),
+             [&](const WriteResult& r) { ok = r.ok; });
+    cluster.run();
+    ASSERT_TRUE(ok) << "version " << v;
+  }
+
+  // Latest is v2; every older version remains readable (append-only).
+  ReadResult latest;
+  fs.read("/file", [&](const ReadResult& r) { latest = r; });
+  cluster.run();
+  ASSERT_TRUE(latest.ok);
+  EXPECT_EQ(latest.contents, block_from("version 2"));
+  EXPECT_EQ(latest.version_count, 3u);
+  EXPECT_EQ(latest.version_index, 2u);
+
+  for (std::size_t v = 0; v < 3; ++v) {
+    ReadResult old;
+    fs.read_version("/file", v, [&](const ReadResult& r) { old = r; });
+    cluster.run();
+    ASSERT_TRUE(old.ok) << "version " << v;
+    EXPECT_EQ(old.contents, block_from("version " + std::to_string(v)));
+  }
+}
+
+TEST(AsaFs, StatReportsVersions) {
+  AsaCluster cluster(config(5));
+  AsaFileSystem fs(cluster);
+  FileInfo info;
+  fs.stat("/missing", [&](const FileInfo& i) { info = i; });
+  cluster.run();
+  EXPECT_FALSE(info.exists);
+  EXPECT_EQ(info.version_count, 0u);
+
+  bool ok = false;
+  fs.write("/present", block_from("x"), [&](const WriteResult& r) {
+    ok = r.ok;
+  });
+  cluster.run();
+  ASSERT_TRUE(ok);
+  fs.stat("/present", [&](const FileInfo& i) { info = i; });
+  cluster.run();
+  EXPECT_TRUE(info.exists);
+  EXPECT_EQ(info.version_count, 1u);
+  ASSERT_EQ(info.versions.size(), 1u);
+  EXPECT_EQ(info.versions[0], storage::Pid::of(block_from("x")));
+}
+
+TEST(AsaFs, IndependentPathsIndependentHistories) {
+  AsaCluster cluster(config(7));
+  AsaFileSystem fs(cluster);
+  int ok = 0;
+  fs.write("/a", block_from("contents a"),
+           [&](const WriteResult& r) { ok += r.ok; });
+  fs.write("/b", block_from("contents b"),
+           [&](const WriteResult& r) { ok += r.ok; });
+  cluster.run();
+  ASSERT_EQ(ok, 2);
+
+  ReadResult a, b;
+  fs.read("/a", [&](const ReadResult& r) { a = r; });
+  fs.read("/b", [&](const ReadResult& r) { b = r; });
+  cluster.run();
+  EXPECT_EQ(a.contents, block_from("contents a"));
+  EXPECT_EQ(b.contents, block_from("contents b"));
+  EXPECT_EQ(a.version_count, 1u);
+  EXPECT_EQ(b.version_count, 1u);
+}
+
+TEST(AsaFs, ReadMissingFileFailsCleanly) {
+  AsaCluster cluster(config(9));
+  AsaFileSystem fs(cluster);
+  ReadResult read;
+  bool done = false;
+  fs.read("/nothing", [&](const ReadResult& r) {
+    read = r;
+    done = true;
+  });
+  cluster.run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(read.ok);
+  EXPECT_EQ(read.version_count, 0u);
+}
+
+TEST(AsaFs, ReadOutOfRangeVersionFails) {
+  AsaCluster cluster(config(13));
+  AsaFileSystem fs(cluster);
+  bool ok = false;
+  fs.write("/one", block_from("v0"), [&](const WriteResult& r) {
+    ok = r.ok;
+  });
+  cluster.run();
+  ASSERT_TRUE(ok);
+  ReadResult read;
+  fs.read_version("/one", 5, [&](const ReadResult& r) { read = r; });
+  cluster.run();
+  EXPECT_FALSE(read.ok);
+  EXPECT_EQ(read.version_count, 1u);
+}
+
+TEST(AsaFs, SurvivesCorruptReplica) {
+  AsaCluster cluster(config(21));
+  AsaFileSystem fs(cluster);
+  bool ok = false;
+  fs.write("/robust", block_from("precious data"),
+           [&](const WriteResult& r) { ok = r.ok; });
+  cluster.run();
+  ASSERT_TRUE(ok);
+
+  // One replica holder starts lying; the hash check routes around it.
+  const storage::Pid pid = storage::Pid::of(block_from("precious data"));
+  cluster.host_for_key(pid.as_key()).store().set_corrupt(true);
+
+  ReadResult read;
+  fs.read("/robust", [&](const ReadResult& r) { read = r; });
+  cluster.run();
+  ASSERT_TRUE(read.ok);
+  EXPECT_EQ(read.contents, block_from("precious data"));
+}
+
+TEST(AsaFs, ForeignVersionWithoutPidIndexFailsCleanly) {
+  // A version committed by ANOTHER client's file system is visible in the
+  // history but this instance lacks the payload->PID mapping needed to
+  // fetch the block; the read must fail without crashing (version_count
+  // still reported).
+  AsaCluster cluster(config(33));
+  AsaFileSystem mine(cluster);
+
+  // A foreign writer appends directly through the version-history service.
+  const storage::Guid guid = AsaFileSystem::guid_for("/shared");
+  bool committed = false;
+  cluster.version_history().append(
+      guid, storage::Pid::of(block_from("foreign bytes")),
+      [&](const commit::CommitResult& r) { committed = r.committed; });
+  cluster.run();
+  ASSERT_TRUE(committed);
+
+  ReadResult read;
+  bool done = false;
+  mine.read("/shared", [&](const ReadResult& r) {
+    read = r;
+    done = true;
+  });
+  cluster.run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(read.ok);
+  EXPECT_EQ(read.version_count, 1u);
+}
+
+TEST(AsaFs, ManyFilesManyVersionsStressRoundTrip) {
+  AsaCluster cluster(config(37));
+  AsaFileSystem fs(cluster);
+  const int kFiles = 6;
+  const int kVersions = 4;
+  int ok = 0;
+  for (int v = 0; v < kVersions; ++v) {
+    for (int f = 0; f < kFiles; ++f) {
+      fs.write("/stress/" + std::to_string(f),
+               block_from(std::to_string(f) + ":" + std::to_string(v)),
+               [&](const WriteResult& r) { ok += r.ok ? 1 : 0; });
+    }
+    cluster.run();
+  }
+  ASSERT_EQ(ok, kFiles * kVersions);
+  // Spot-check every file's full history.
+  for (int f = 0; f < kFiles; ++f) {
+    for (int v = 0; v < kVersions; ++v) {
+      ReadResult read;
+      fs.read_version("/stress/" + std::to_string(f), v,
+                      [&](const ReadResult& r) { read = r; });
+      cluster.run();
+      ASSERT_TRUE(read.ok) << f << " v" << v;
+      EXPECT_EQ(read.contents,
+                block_from(std::to_string(f) + ":" + std::to_string(v)));
+    }
+  }
+}
+
+TEST(AsaFs, GuidDerivationIsStableAndDistinct) {
+  EXPECT_EQ(AsaFileSystem::guid_for("/x"), AsaFileSystem::guid_for("/x"));
+  EXPECT_NE(AsaFileSystem::guid_for("/x"), AsaFileSystem::guid_for("/y"));
+}
+
+}  // namespace
+}  // namespace asa_repro::asafs

@@ -1,0 +1,341 @@
+// Full-stack integration: the AsaCluster wiring Chord + storage nodes +
+// commit peers + client services, exercising the paper's two services
+// (data storage, version history) end to end on the simulated network.
+#include <gtest/gtest.h>
+
+#include "storage/cluster.hpp"
+
+namespace asa_repro::storage {
+namespace {
+
+ClusterConfig small_cluster(std::uint64_t seed = 42) {
+  ClusterConfig config;
+  config.nodes = 12;
+  config.replication_factor = 4;
+  config.seed = seed;
+  return config;
+}
+
+// ---- Data storage service (section 2.1). ----
+
+TEST(ClusterDataStore, StoreThenRetrieve) {
+  AsaCluster cluster(small_cluster());
+  StoreResult stored;
+  const Pid pid = cluster.data_store().store(
+      block_from("the first block"),
+      [&](const StoreResult& r) { stored = r; });
+  cluster.run();
+  EXPECT_TRUE(stored.ok);
+  EXPECT_EQ(stored.pid, pid);
+  EXPECT_GE(stored.acks, 3u);  // r - f = 3.
+
+  RetrieveResult got;
+  cluster.data_store().retrieve(pid, [&](const RetrieveResult& r) { got = r; });
+  cluster.run();
+  EXPECT_TRUE(got.ok);
+  EXPECT_EQ(got.block, block_from("the first block"));
+}
+
+TEST(ClusterDataStore, RetrieveUnknownPidFails) {
+  AsaCluster cluster(small_cluster());
+  RetrieveResult got;
+  bool done = false;
+  cluster.data_store().retrieve(Pid::of(block_from("never stored")),
+                                [&](const RetrieveResult& r) {
+                                  got = r;
+                                  done = true;
+                                });
+  cluster.run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(got.ok);
+  EXPECT_EQ(got.replicas_tried, 4u);
+}
+
+TEST(ClusterDataStore, CorruptReplicaDetectedAndFailedOver) {
+  AsaCluster cluster(small_cluster(7));
+  StoreResult stored;
+  const Pid pid = cluster.data_store().store(
+      block_from("verify me"), [&](const StoreResult& r) { stored = r; });
+  cluster.run();
+  ASSERT_TRUE(stored.ok);
+
+  // Corrupt every node (they lie on the wire); retrieval must fail after
+  // exhausting replicas, counting verification failures.
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    cluster.corrupt_node(i);
+  }
+  RetrieveResult got;
+  cluster.data_store().retrieve(pid, [&](const RetrieveResult& r) { got = r; });
+  cluster.run();
+  EXPECT_FALSE(got.ok);
+  EXPECT_GT(got.verification_failures, 0u);
+
+  // Heal one replica holder: retrieval succeeds again via failover.
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    cluster.host(i).store().set_corrupt(false);
+  }
+  cluster.data_store().retrieve(pid, [&](const RetrieveResult& r) { got = r; });
+  cluster.run();
+  EXPECT_TRUE(got.ok);
+}
+
+TEST(ClusterDataStore, StoreFailsWhenQuorumUnreachable) {
+  // With more than f replicas refusing writes, the (r-f) store quorum is
+  // unreachable and the operation must fail cleanly.
+  AsaCluster cluster(small_cluster(15));
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    cluster.host(i).store().set_refuse_writes(true);
+  }
+  StoreResult stored;
+  bool done = false;
+  cluster.data_store().store(block_from("doomed"), [&](const StoreResult& r) {
+    stored = r;
+    done = true;
+  });
+  cluster.run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(stored.ok);
+  EXPECT_EQ(stored.acks, 0u);
+}
+
+TEST(ClusterDataStore, ClosenessOrderIsDeterministic) {
+  // The closeness policy tries replicas in a fixed order, so repeated
+  // retrievals hit the same (nearest) replica first.
+  AsaCluster cluster(small_cluster(29));
+  cluster.data_store().set_retrieve_order(RetrieveOrder::kCloseness);
+  StoreResult stored;
+  const Pid pid = cluster.data_store().store(
+      block_from("near me"), [&](const StoreResult& r) { stored = r; });
+  cluster.run();
+  ASSERT_TRUE(stored.ok);
+  for (int i = 0; i < 3; ++i) {
+    RetrieveResult got;
+    cluster.data_store().retrieve(pid,
+                                  [&](const RetrieveResult& r) { got = r; });
+    cluster.run();
+    ASSERT_TRUE(got.ok);
+    EXPECT_EQ(got.replicas_tried, 1u);  // Always first try, same node.
+  }
+}
+
+TEST(ClusterDataStore, ManyBlocksRoundTrip) {
+  AsaCluster cluster(small_cluster(9));
+  std::vector<Pid> pids;
+  int stored_ok = 0;
+  for (int i = 0; i < 20; ++i) {
+    pids.push_back(cluster.data_store().store(
+        block_from("block number " + std::to_string(i)),
+        [&](const StoreResult& r) { stored_ok += r.ok ? 1 : 0; }));
+  }
+  cluster.run();
+  EXPECT_EQ(stored_ok, 20);
+  int retrieved_ok = 0;
+  for (const Pid& pid : pids) {
+    cluster.data_store().retrieve(
+        pid, [&](const RetrieveResult& r) { retrieved_ok += r.ok ? 1 : 0; });
+  }
+  cluster.run();
+  EXPECT_EQ(retrieved_ok, 20);
+}
+
+// ---- Version history service (section 2.2). ----
+
+TEST(ClusterVersionHistory, AppendAndRead) {
+  AsaCluster cluster(small_cluster(3));
+  const Guid guid = Guid::named("document.txt");
+  const Pid v1 = Pid::of(block_from("version 1"));
+  const Pid v2 = Pid::of(block_from("version 2"));
+
+  int committed = 0;
+  cluster.version_history().append(
+      guid, v1, [&](const commit::CommitResult& r) {
+        committed += r.committed ? 1 : 0;
+      });
+  cluster.run();
+  cluster.version_history().append(
+      guid, v2, [&](const commit::CommitResult& r) {
+        committed += r.committed ? 1 : 0;
+      });
+  cluster.run();
+  EXPECT_EQ(committed, 2);
+
+  HistoryReadResult read;
+  cluster.version_history().read(
+      guid, [&](const HistoryReadResult& r) { read = r; });
+  cluster.run();
+  EXPECT_TRUE(read.ok);
+  ASSERT_EQ(read.versions.size(), 2u);
+  EXPECT_EQ(read.versions[0], v1.to_uint64());
+  EXPECT_EQ(read.versions[1], v2.to_uint64());
+}
+
+TEST(ClusterVersionHistory, IndependentGuidsDoNotInterfere) {
+  AsaCluster cluster(small_cluster(5));
+  const Guid a = Guid::named("a");
+  const Guid b = Guid::named("b");
+  int committed = 0;
+  cluster.version_history().append(
+      a, Pid::of(block_from("a1")),
+      [&](const commit::CommitResult& r) { committed += r.committed; });
+  cluster.version_history().append(
+      b, Pid::of(block_from("b1")),
+      [&](const commit::CommitResult& r) { committed += r.committed; });
+  cluster.run();
+  EXPECT_EQ(committed, 2);
+
+  HistoryReadResult read_a, read_b;
+  cluster.version_history().read(
+      a, [&](const HistoryReadResult& r) { read_a = r; });
+  cluster.version_history().read(
+      b, [&](const HistoryReadResult& r) { read_b = r; });
+  cluster.run();
+  ASSERT_EQ(read_a.versions.size(), 1u);
+  ASSERT_EQ(read_b.versions.size(), 1u);
+  EXPECT_EQ(read_a.versions[0], Pid::of(block_from("a1")).to_uint64());
+  EXPECT_EQ(read_b.versions[0], Pid::of(block_from("b1")).to_uint64());
+}
+
+TEST(ClusterVersionHistory, ReadToleratesCorruptHistoryServer) {
+  // One Byzantine peer in the GUID's peer set cannot change the agreed
+  // read (f+1 consistency rule).
+  AsaCluster cluster(small_cluster(8));
+  const Guid guid = Guid::named("attacked");
+  const Pid v1 = Pid::of(block_from("true version"));
+  bool committed = false;
+  cluster.version_history().append(
+      guid, v1,
+      [&](const commit::CommitResult& r) { committed = r.committed; });
+  cluster.run();
+  ASSERT_TRUE(committed);
+
+  // Crash one member of the peer set (fewer replies, still >= f+1).
+  const auto peers = cluster.peer_set(guid);
+  ASSERT_GE(peers.size(), 3u);
+  cluster.network().detach(peers[0]);
+
+  HistoryReadResult read;
+  cluster.version_history().read(
+      guid, [&](const HistoryReadResult& r) { read = r; });
+  cluster.run();
+  EXPECT_TRUE(read.ok);
+  ASSERT_EQ(read.versions.size(), 1u);
+  EXPECT_EQ(read.versions[0], v1.to_uint64());
+}
+
+// ---- Replica maintenance (background repair). ----
+
+TEST(ClusterMaintenance, RepairsDamagedReplicasInPlace) {
+  AsaCluster cluster(small_cluster(11));
+  StoreResult stored;
+  const Pid pid = cluster.data_store().store(
+      block_from("keep me alive"), [&](const StoreResult& r) { stored = r; });
+  cluster.run();
+  ASSERT_TRUE(stored.ok);
+  cluster.maintainer().track(pid);
+
+  // Damage one replica at rest.
+  NodeHost& victim = cluster.host_for_key(pid.as_key());
+  victim.store().corrupt_stored(pid);
+  EXPECT_FALSE(victim.store().holds_intact(pid));
+
+  EXPECT_GE(cluster.maintainer().scan(), 1u);
+  EXPECT_TRUE(victim.store().holds_intact(pid));
+}
+
+// ---- Peer-set membership maintenance (section 2.2). ----
+
+TEST(ClusterMembership, ReplacementMemberAdoptsHistory) {
+  ClusterConfig cfg = small_cluster(17);
+  cfg.nodes = 16;
+  AsaCluster cluster(cfg);
+  const Guid guid = Guid::named("migrating-history");
+
+  // Commit two versions.
+  int committed = 0;
+  for (const char* text : {"v0", "v1"}) {
+    cluster.version_history().append(
+        guid, Pid::of(block_from(text)),
+        [&](const commit::CommitResult& r) { committed += r.committed; });
+    cluster.run();
+  }
+  ASSERT_EQ(committed, 2);
+
+  // Crash one member; the ring heals and the peer set gains a replacement
+  // node with no local history.
+  const auto old_peers = cluster.peer_set(guid);
+  cluster.crash_node(old_peers[0]);
+  const auto new_peers = cluster.peer_set(guid);
+  ASSERT_NE(new_peers, old_peers);
+  bool has_empty_member = false;
+  for (sim::NodeAddr addr : new_peers) {
+    if (cluster.host(addr).peer().history(guid.to_uint64()).empty()) {
+      has_empty_member = true;
+    }
+  }
+  ASSERT_TRUE(has_empty_member);
+
+  // The background maintenance bootstraps the newcomer.
+  EXPECT_GE(cluster.migrate_version_history(guid), 1u);
+  for (sim::NodeAddr addr : new_peers) {
+    EXPECT_EQ(cluster.host(addr).peer().history(guid.to_uint64()).size(),
+              2u)
+        << "node " << addr;
+  }
+
+  // Reads keep working through the reconfiguration.
+  HistoryReadResult read;
+  cluster.version_history().read(
+      guid, [&](const HistoryReadResult& r) { read = r; });
+  cluster.run();
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.versions.size(), 2u);
+
+  // A second migration is a no-op.
+  EXPECT_EQ(cluster.migrate_version_history(guid), 0u);
+}
+
+TEST(ClusterMembership, MigrationWithNothingToDoIsZero) {
+  AsaCluster cluster(small_cluster(19));
+  EXPECT_EQ(cluster.migrate_version_history(Guid::named("never-written")),
+            0u);
+}
+
+// ---- Crash + reconfiguration. ----
+
+TEST(ClusterChurn, SurvivesNodeCrashForNewOperations) {
+  ClusterConfig config = small_cluster(13);
+  config.nodes = 16;
+  AsaCluster cluster(config);
+  // Store before the crash.
+  StoreResult stored;
+  const Pid pid = cluster.data_store().store(
+      block_from("pre-crash"), [&](const StoreResult& r) { stored = r; });
+  cluster.run();
+  ASSERT_TRUE(stored.ok);
+
+  // Crash a node that is NOT in this block's replica set, then verify both
+  // old and new operations work.
+  const auto keys = replica_keys(pid.as_key(), 4);
+  std::set<sim::NodeAddr> replica_addrs;
+  for (const auto& k : keys) replica_addrs.insert(cluster.addr_for_key(k));
+  std::size_t victim = 0;
+  while (replica_addrs.contains(
+      cluster.host(victim).address())) {
+    ++victim;
+  }
+  cluster.crash_node(victim);
+
+  RetrieveResult got;
+  cluster.data_store().retrieve(pid, [&](const RetrieveResult& r) { got = r; });
+  cluster.run();
+  EXPECT_TRUE(got.ok);
+
+  StoreResult stored2;
+  cluster.data_store().store(block_from("post-crash"),
+                             [&](const StoreResult& r) { stored2 = r; });
+  cluster.run();
+  EXPECT_TRUE(stored2.ok);
+}
+
+}  // namespace
+}  // namespace asa_repro::storage

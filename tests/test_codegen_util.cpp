@@ -1,0 +1,116 @@
+// CodeBuffer (the paper's Fig 18 generation utilities) and identifier
+// mangling helpers.
+#include <gtest/gtest.h>
+
+#include "core/codegen.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+TEST(CodeBuffer, AddAndAddLn) {
+  CodeBuffer b;
+  b.add("int ", "x");
+  b.add_ln(" = ", "1;");
+  EXPECT_EQ(b.str(), "int x = 1;\n");
+}
+
+TEST(CodeBuffer, BlocksIndent) {
+  CodeBuffer b;
+  b.add_ln("void f() ");
+  b.enter_block();
+  b.add_ln("g();");
+  b.exit_block();
+  EXPECT_EQ(b.str(), "void f() \n{\n    g();\n}\n");
+}
+
+TEST(CodeBuffer, NestedBlocks) {
+  CodeBuffer b;
+  b.enter_block();
+  b.enter_block();
+  b.add_ln("x;");
+  b.exit_block();
+  b.exit_block();
+  EXPECT_EQ(b.str(), "{\n    {\n        x;\n    }\n}\n");
+}
+
+TEST(CodeBuffer, ExitBlockSuffix) {
+  CodeBuffer b;
+  b.add_ln("enum E ");
+  b.enter_block();
+  b.add_ln("A,");
+  b.exit_block(";");
+  EXPECT_EQ(b.str(), "enum E \n{\n    A,\n};\n");
+}
+
+TEST(CodeBuffer, ResetIndent) {
+  CodeBuffer b;
+  b.increase_indent();
+  b.increase_indent();
+  EXPECT_EQ(b.indent_level(), 2);
+  b.reset_indent();
+  EXPECT_EQ(b.indent_level(), 0);
+  b.add_ln("flush_left;");
+  EXPECT_EQ(b.str(), "flush_left;\n");
+}
+
+TEST(CodeBuffer, DecreaseClampsAtZero) {
+  CodeBuffer b;
+  b.decrease_indent();
+  b.decrease_indent();
+  EXPECT_EQ(b.indent_level(), 0);
+}
+
+TEST(CodeBuffer, IndentOnlyAppliedAtLineStart) {
+  CodeBuffer b;
+  b.increase_indent();
+  b.add("a");
+  b.add("b");       // Same line: no extra indent.
+  b.add_ln("c");
+  EXPECT_EQ(b.str(), "    abc\n");
+}
+
+TEST(CodeBuffer, BlankLineCarriesNoIndent) {
+  CodeBuffer b;
+  b.increase_indent();
+  b.add_ln("x;");
+  b.blank_line();
+  b.add_ln("y;");
+  EXPECT_EQ(b.str(), "    x;\n\n    y;\n");
+}
+
+TEST(CodeBuffer, CustomIndentUnit) {
+  CodeBuffer b("\t");
+  b.enter_block();
+  b.add_ln("x;");
+  b.exit_block();
+  EXPECT_EQ(b.str(), "{\n\tx;\n}\n");
+}
+
+TEST(CodeBuffer, TakeMovesContents) {
+  CodeBuffer b;
+  b.add_ln("x");
+  EXPECT_EQ(b.take(), "x\n");
+}
+
+TEST(CamelCase, MessageAndActionNames) {
+  // Fig 16 naming: receiveVote / sendCommit / sendNotFree.
+  EXPECT_EQ(to_camel_case("vote"), "Vote");
+  EXPECT_EQ(to_camel_case("not_free"), "NotFree");
+  EXPECT_EQ(to_camel_case("update"), "Update");
+  EXPECT_EQ(to_camel_case("already_camel"), "AlreadyCamel");
+  EXPECT_EQ(to_camel_case("a-b c"), "ABC");
+  EXPECT_EQ(to_camel_case(""), "");
+}
+
+TEST(ToIdentifier, StateNames) {
+  EXPECT_EQ(to_identifier("T/2/F/0/F/F/F"), "T_2_F_0_F_F_F");
+  EXPECT_EQ(to_identifier("T-2-F-0-F-F-F"), "T_2_F_0_F_F_F");
+  EXPECT_EQ(to_identifier("IDLE_FREE"), "IDLE_FREE");
+}
+
+TEST(ToIdentifier, LeadingDigitPrefixed) {
+  EXPECT_EQ(to_identifier("2/1/0"), "_2_1_0");
+}
+
+}  // namespace
+}  // namespace asa_repro::fsm

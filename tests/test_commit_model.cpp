@@ -1,0 +1,355 @@
+// The commit-protocol abstract model: thresholds, the exact transitions and
+// commentary the paper's Fig 14 shows, and structural invariants of the
+// reachable state space for every plausible replication factor.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "commit/commit_model.hpp"
+#include "core/interpreter.hpp"
+
+namespace asa_repro::commit {
+namespace {
+
+using fsm::StateMachine;
+using fsm::StateVector;
+
+const fsm::Transition* transition_from(const StateMachine& machine,
+                                       const std::string& state_name,
+                                       Message message) {
+  const auto id = machine.state_id(state_name);
+  if (!id.has_value()) return nullptr;
+  return machine.state(*id).transition(message);
+}
+
+TEST(CommitModel, ThresholdsFollowPaper) {
+  // r > 3f: r=4 tolerates 1 fault, r=7 two, r=13 four, r=25 eight, r=46
+  // fifteen (Table 1's f column).
+  EXPECT_EQ(CommitModel(4).max_faulty(), 1u);
+  EXPECT_EQ(CommitModel(7).max_faulty(), 2u);
+  EXPECT_EQ(CommitModel(13).max_faulty(), 4u);
+  EXPECT_EQ(CommitModel(25).max_faulty(), 8u);
+  EXPECT_EQ(CommitModel(46).max_faulty(), 15u);
+  // 2f+1 votes commit an update; f+1 commits finish it.
+  EXPECT_EQ(CommitModel(4).vote_threshold(), 3u);
+  EXPECT_EQ(CommitModel(4).commit_threshold(), 2u);
+  EXPECT_EQ(CommitModel(7).vote_threshold(), 5u);
+  EXPECT_EQ(CommitModel(7).commit_threshold(), 3u);
+}
+
+TEST(CommitModel, RejectsDegenerateReplicationFactor) {
+  EXPECT_THROW(CommitModel(0), std::invalid_argument);
+  EXPECT_THROW(CommitModel(1), std::invalid_argument);
+  EXPECT_NO_THROW(CommitModel(2));
+}
+
+TEST(CommitModel, StartStateIsFreeAndEmpty) {
+  CommitModel model(4);
+  const StateVector start = model.start_state();
+  EXPECT_EQ(model.space().name(start), "F/0/F/0/F/T/F");
+}
+
+// ---- Fig 14: the three transitions from T/2/F/0/F/F/F, exactly. ----
+
+class Fig14Transitions : public ::testing::Test {
+ protected:
+  Fig14Transitions() : model_(4), machine_(model_.generate_state_machine()) {}
+  CommitModel model_;
+  StateMachine machine_;
+};
+
+TEST_F(Fig14Transitions, StateExistsInMergedMachine) {
+  EXPECT_TRUE(machine_.state_id("T/2/F/0/F/F/F").has_value());
+}
+
+TEST_F(Fig14Transitions, VoteTriggersPhaseTransition) {
+  const fsm::Transition* t =
+      transition_from(machine_, "T/2/F/0/F/F/F", kVote);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->actions, (fsm::ActionList{"vote", "commit"}));
+  EXPECT_EQ(machine_.state(t->target).name, "T/3/T/0/T/F/F");
+}
+
+TEST_F(Fig14Transitions, CommitCountsQuietly) {
+  const fsm::Transition* t =
+      transition_from(machine_, "T/2/F/0/F/F/F", kCommit);
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->actions.empty());
+  EXPECT_EQ(machine_.state(t->target).name, "T/2/F/1/F/F/F");
+}
+
+TEST_F(Fig14Transitions, FreeTriggersChoiceVoteAndCommit) {
+  const fsm::Transition* t = transition_from(machine_, "T/2/F/0/F/F/F", kFree);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->actions, (fsm::ActionList{"vote", "commit", "not_free"}));
+  EXPECT_EQ(machine_.state(t->target).name, "T/2/T/0/T/T/T");
+}
+
+TEST_F(Fig14Transitions, NotFreeIsQuietSelfLoopHere) {
+  // could_choose is already false in this state.
+  const fsm::Transition* t =
+      transition_from(machine_, "T/2/F/0/F/F/F", kNotFree);
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->actions.empty());
+  EXPECT_EQ(machine_.state(t->target).name, "T/2/F/0/F/F/F");
+}
+
+TEST_F(Fig14Transitions, DescriptionMatchesFig14Verbatim) {
+  CommitModel model(4);
+  const auto v = model.space().parse_name("T/2/F/0/F/F/F");
+  ASSERT_TRUE(v.has_value());
+  const std::vector<std::string> lines = model.describe_state(*v);
+  const std::vector<std::string> expected = {
+      "Have received initial update from client.",
+      "Have not voted since another update has already been voted for.",
+      "Have received 2 votes and no commits.",
+      "Have not sent a commit since neither the vote threshold (3) nor the "
+      "external commit threshold (2) has been reached.",
+      "May not choose since another ongoing update has been voted for.",
+      "Have not chosen this update since another ongoing update has been "
+      "chosen.",
+      "Waiting for 1 further vote (including local vote if any) before "
+      "sending commit.",
+      "Waiting for 2 further external commits to finish.",
+  };
+  EXPECT_EQ(lines, expected);
+}
+
+// ---- Fig 16's third switch case: T-1-T-1-F-T-T on vote. ----
+
+TEST_F(Fig14Transitions, Fig16VoteCaseMatches) {
+  const fsm::Transition* t =
+      transition_from(machine_, "T/1/T/1/F/T/T", kVote);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->actions, (fsm::ActionList{"commit"}));
+  EXPECT_EQ(machine_.state(t->target).name, "T/2/T/1/T/T/T");
+}
+
+// ---- Handler-level semantics. ----
+
+TEST(CommitModel, DuplicateUpdateNotApplicable) {
+  CommitModel model(4);
+  const auto v = model.space().parse_name("T/0/F/0/F/F/F");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(model.react(*v, kUpdate).has_value());
+}
+
+TEST(CommitModel, VoteAtMaxCountNotApplicable) {
+  CommitModel model(4);
+  const auto v = model.space().parse_name("T/3/T/0/T/F/F");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(model.react(*v, kVote).has_value());
+}
+
+TEST(CommitModel, CommitAtMaxCountNotApplicable) {
+  CommitModel model(4);
+  const auto v = model.space().parse_name("F/0/F/3/F/T/F");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(model.react(*v, kCommit).has_value());
+}
+
+TEST(CommitModel, UpdateWhileFreeChoosesAndVotes) {
+  CommitModel model(4);
+  const auto reaction = model.react(model.start_state(), kUpdate);
+  ASSERT_TRUE(reaction.has_value());
+  EXPECT_EQ(reaction->actions, (fsm::ActionList{"vote", "not_free"}));
+  EXPECT_EQ(model.space().name(reaction->target), "T/0/T/0/F/T/T");
+}
+
+TEST(CommitModel, UpdateWhileLockedJustRecords) {
+  CommitModel model(4);
+  const auto v = model.space().parse_name("F/1/F/0/F/F/F");
+  ASSERT_TRUE(v.has_value());
+  const auto reaction = model.react(*v, kUpdate);
+  ASSERT_TRUE(reaction.has_value());
+  EXPECT_TRUE(reaction->actions.empty());
+  EXPECT_EQ(model.space().name(reaction->target), "T/1/F/0/F/F/F");
+}
+
+TEST(CommitModel, ThresholdJoinWhileFreeChoosesThisUpdate) {
+  // 2 votes received, free, no update yet; a third vote reaches the
+  // threshold: not_free precedes vote (Fig 10's order), commit follows.
+  CommitModel model(4);
+  const auto v = model.space().parse_name("F/2/F/0/F/T/F");
+  ASSERT_TRUE(v.has_value());
+  const auto reaction = model.react(*v, kVote);
+  ASSERT_TRUE(reaction.has_value());
+  EXPECT_EQ(reaction->actions,
+            (fsm::ActionList{"not_free", "vote", "commit"}));
+  EXPECT_EQ(model.space().name(reaction->target), "F/3/T/0/T/T/T");
+}
+
+TEST(CommitModel, ThresholdJoinWhileLockedDoesNotChoose) {
+  CommitModel model(4);
+  const auto v = model.space().parse_name("F/2/F/0/F/F/F");
+  ASSERT_TRUE(v.has_value());
+  const auto reaction = model.react(*v, kVote);
+  ASSERT_TRUE(reaction.has_value());
+  EXPECT_EQ(reaction->actions, (fsm::ActionList{"vote", "commit"}));
+  EXPECT_EQ(model.space().name(reaction->target), "F/3/T/0/T/F/F");
+}
+
+TEST(CommitModel, FinalCommitSendsFreeWhenChosen) {
+  CommitModel model(4);
+  const auto v = model.space().parse_name("T/3/T/1/T/T/T");
+  ASSERT_TRUE(v.has_value());
+  const auto reaction = model.react(*v, kCommit);
+  ASSERT_TRUE(reaction.has_value());
+  EXPECT_EQ(reaction->actions, (fsm::ActionList{"free"}));
+  EXPECT_TRUE(model.is_final(reaction->target));
+}
+
+TEST(CommitModel, FinalCommitQuietWhenNotChosen) {
+  CommitModel model(4);
+  const auto v = model.space().parse_name("F/3/T/1/T/F/F");
+  ASSERT_TRUE(v.has_value());
+  const auto reaction = model.react(*v, kCommit);
+  ASSERT_TRUE(reaction.has_value());
+  EXPECT_TRUE(reaction->actions.empty());
+  EXPECT_TRUE(model.is_final(reaction->target));
+}
+
+TEST(CommitModel, CommitThresholdForcesLateVoteAndCommit) {
+  // A machine that never saw the votes still joins when the network shows
+  // f+1 commits (commit handler: send vote and commit before finishing).
+  CommitModel model(4);
+  const auto v = model.space().parse_name("F/0/F/1/F/T/F");
+  ASSERT_TRUE(v.has_value());
+  const auto reaction = model.react(*v, kCommit);
+  ASSERT_TRUE(reaction.has_value());
+  EXPECT_EQ(reaction->actions, (fsm::ActionList{"vote", "commit"}));
+  EXPECT_TRUE(model.is_final(reaction->target));
+}
+
+TEST(CommitModel, FreeIgnoredAfterVoting) {
+  CommitModel model(4);
+  const auto v = model.space().parse_name("F/3/T/0/T/F/F");
+  ASSERT_TRUE(v.has_value());
+  const auto reaction = model.react(*v, kFree);
+  ASSERT_TRUE(reaction.has_value());
+  EXPECT_TRUE(reaction->actions.empty());
+  EXPECT_EQ(reaction->target, *v);  // Self-loop.
+}
+
+TEST(CommitModel, NotFreeLocksOnlyBeforeParticipation) {
+  CommitModel model(4);
+  const auto free_state = model.space().parse_name("F/1/F/0/F/T/F");
+  ASSERT_TRUE(free_state.has_value());
+  const auto locked = model.react(*free_state, kNotFree);
+  ASSERT_TRUE(locked.has_value());
+  EXPECT_EQ(model.space().name(locked->target), "F/1/F/0/F/F/F");
+
+  const auto voted = model.space().parse_name("T/0/T/0/F/T/T");
+  ASSERT_TRUE(voted.has_value());
+  const auto ignored = model.react(*voted, kNotFree);
+  ASSERT_TRUE(ignored.has_value());
+  EXPECT_EQ(ignored->target, *voted);
+}
+
+// ---- Structural invariants over the whole reachable space. ----
+
+class ReachableInvariants : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ReachableInvariants, HoldForEveryReachableState) {
+  const std::uint32_t r = GetParam();
+  CommitModel model(r);
+  fsm::GenerationOptions options;
+  options.merge_equivalent = false;  // Inspect concrete variable states.
+  const StateMachine machine = model.generate_state_machine(options);
+
+  std::size_t finals = 0;
+  for (const fsm::State& s : machine.states()) {
+    const auto v = model.space().parse_name(s.name);
+    ASSERT_TRUE(v.has_value()) << s.name;
+    const std::uint32_t votes = (*v)[CommitModel::kVotesReceived];
+    const std::uint32_t commits = (*v)[CommitModel::kCommitsReceived];
+    const bool vote_sent = (*v)[CommitModel::kVoteSent] != 0;
+    const bool commit_sent = (*v)[CommitModel::kCommitSent] != 0;
+    const bool has_chosen = (*v)[CommitModel::kHasChosen] != 0;
+
+    // Paper: "there are no reachable states where the commit count exceeds
+    // f" — live states stay at or below f; finished states sit at f+1.
+    if (s.is_final) {
+      ++finals;
+      EXPECT_EQ(commits, model.commit_threshold()) << s.name;
+      EXPECT_TRUE(s.transitions.empty()) << s.name;
+    } else {
+      EXPECT_LE(commits, model.max_faulty()) << s.name;
+    }
+    // Choosing an update implies having voted for it.
+    if (has_chosen) {
+      EXPECT_TRUE(vote_sent) << s.name;
+    }
+    // A commit is sent exactly when a threshold has been reached.
+    if (!s.is_final) {
+      const bool vote_threshold_reached =
+          votes + (vote_sent ? 1 : 0) >= model.vote_threshold();
+      EXPECT_EQ(commit_sent, vote_threshold_reached) << s.name;
+    }
+    // Vote counts never exceed the peers available.
+    EXPECT_LE(votes, r - 1) << s.name;
+  }
+  EXPECT_GT(finals, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicationFactors, ReachableInvariants,
+                         ::testing::Values(2u, 4u, 5u, 7u, 8u, 13u));
+
+// ---- End-to-end interpreted run for several r. ----
+
+class InterpretedRun : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(InterpretedRun, NoContentionCommitPath) {
+  const std::uint32_t r = GetParam();
+  CommitModel model(r);
+  const StateMachine machine = model.generate_state_machine();
+  fsm::FsmInstance inst(machine);
+
+  std::vector<std::string> sent;
+  const auto deliver = [&](Message m) {
+    const fsm::Transition* t = inst.deliver(m);
+    if (t != nullptr) {
+      for (const auto& a : t->actions) sent.push_back(a);
+    }
+  };
+
+  deliver(kUpdate);  // Client's request: vote immediately.
+  EXPECT_EQ(sent, (std::vector<std::string>{"vote", "not_free"}));
+  // Peers' votes arrive until the threshold trips the commit.
+  for (std::uint32_t v = 0; v + 1 < model.vote_threshold(); ++v) {
+    deliver(kVote);
+  }
+  EXPECT_EQ(sent.back(), "commit");
+  // f+1 commits finish the machine and free the node.
+  for (std::uint32_t c = 0; c < model.commit_threshold(); ++c) {
+    ASSERT_FALSE(inst.finished());
+    deliver(kCommit);
+  }
+  EXPECT_TRUE(inst.finished());
+  EXPECT_EQ(sent.back(), "free");
+  // Finished machines ignore everything.
+  EXPECT_EQ(inst.deliver(kVote), nullptr);
+  EXPECT_EQ(inst.deliver(kUpdate), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicationFactors, InterpretedRun,
+                         ::testing::Values(4u, 7u, 13u, 25u));
+
+TEST(InterpretedRunEdge, MinimalReplicationFactorCommitsImmediately) {
+  // r=2 has f=0: the local vote alone reaches the threshold (1), so the
+  // update transition votes AND commits in one step, and a single external
+  // commit finishes.
+  CommitModel model(2);
+  const StateMachine machine = model.generate_state_machine();
+  fsm::FsmInstance inst(machine);
+  const fsm::Transition* t = inst.deliver(kUpdate);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->actions, (fsm::ActionList{"vote", "commit", "not_free"}));
+  t = inst.deliver(kCommit);
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(inst.finished());
+  EXPECT_EQ(t->actions, (fsm::ActionList{"free"}));
+}
+
+}  // namespace
+}  // namespace asa_repro::commit

@@ -1,0 +1,142 @@
+// Runtime conformance checking: valid executions of several independent
+// implementations must pass; corrupted logs must be pinpointed.
+#include <gtest/gtest.h>
+
+#include "commit/commit_model.hpp"
+#include "commit/generated/commit_fsm_r4.hpp"
+#include "core/conformance.hpp"
+#include "core/interpreter.hpp"
+#include "sim/rng.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+StateMachine machine_r4() {
+  return commit::CommitModel(4).generate_state_machine();
+}
+
+TEST(Conformance, AcceptsAValidCommitRun) {
+  const StateMachine machine = machine_r4();
+  ConformanceChecker checker(machine);
+  EXPECT_TRUE(checker.observe(commit::kUpdate, {"vote", "not_free"}));
+  EXPECT_TRUE(checker.observe(commit::kVote, {}));
+  EXPECT_TRUE(checker.observe(commit::kVote, {"commit"}));
+  EXPECT_TRUE(checker.observe(commit::kCommit, {}));
+  EXPECT_TRUE(checker.observe(commit::kCommit, {"free"}));
+  EXPECT_TRUE(checker.ok());
+  EXPECT_TRUE(checker.finished());
+}
+
+TEST(Conformance, RejectsWrongActions) {
+  const StateMachine machine = machine_r4();
+  ConformanceChecker checker(machine);
+  EXPECT_FALSE(checker.observe(commit::kUpdate, {"vote"}));  // Missing one.
+  EXPECT_FALSE(checker.ok());
+  EXPECT_NE(checker.error().find("actions differ"), std::string::npos);
+  // Once failed, everything fails.
+  EXPECT_FALSE(checker.observe(commit::kVote, {}));
+}
+
+TEST(Conformance, RejectsActionsOnInapplicableMessage) {
+  const StateMachine machine = machine_r4();
+  ConformanceChecker checker(machine);
+  EXPECT_TRUE(checker.observe(commit::kUpdate, {"vote", "not_free"}));
+  // A duplicate update is inapplicable; performing actions on it is a bug.
+  EXPECT_FALSE(checker.observe(commit::kUpdate, {"vote"}));
+  EXPECT_NE(checker.error().find("not applicable"), std::string::npos);
+}
+
+TEST(Conformance, AcceptsIgnoredInapplicableMessage) {
+  const StateMachine machine = machine_r4();
+  ConformanceChecker checker(machine);
+  EXPECT_TRUE(checker.observe(commit::kUpdate, {"vote", "not_free"}));
+  EXPECT_TRUE(checker.observe(commit::kUpdate, {}));  // Ignored: fine.
+  EXPECT_TRUE(checker.ok());
+}
+
+TEST(Conformance, StateReportingChecked) {
+  const StateMachine machine = machine_r4();
+  ConformanceChecker checker(machine);
+  EXPECT_TRUE(checker.observe_with_state(commit::kUpdate,
+                                         {"vote", "not_free"},
+                                         "T/0/T/0/F/T/T"));
+  EXPECT_FALSE(
+      checker.observe_with_state(commit::kVote, {}, "T/9/T/0/F/T/T"));
+  EXPECT_NE(checker.error().find("reports state"), std::string::npos);
+}
+
+TEST(Conformance, ResetRecovers) {
+  const StateMachine machine = machine_r4();
+  ConformanceChecker checker(machine);
+  (void)checker.observe(commit::kUpdate, {"wrong"});
+  EXPECT_FALSE(checker.ok());
+  checker.reset();
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(checker.steps(), 0u);
+  EXPECT_TRUE(checker.observe(commit::kUpdate, {"vote", "not_free"}));
+}
+
+TEST(Conformance, GeneratedArtifactConformsOnRandomWalks) {
+  // Validate the checked-in generated implementation against the machine —
+  // exactly the production use of the checker.
+  class Recording : public generated::CommitFsmR4 {
+   public:
+    ActionList actions;
+
+   private:
+    void sendVote() override { actions.push_back("vote"); }
+    void sendCommit() override { actions.push_back("commit"); }
+    void sendFree() override { actions.push_back("free"); }
+    void sendNotFree() override { actions.push_back("not_free"); }
+  };
+
+  const StateMachine machine = machine_r4();
+  sim::Rng rng(31337);
+  for (int walk = 0; walk < 100; ++walk) {
+    Recording impl;
+    ConformanceChecker checker(machine);
+    for (int step = 0; step < 120 && !impl.finished(); ++step) {
+      const auto m = static_cast<MessageId>(rng.below(5));
+      impl.actions.clear();
+      impl.receive(m);
+      ASSERT_TRUE(checker.observe_with_state(m, impl.actions,
+                                             impl.state_name()))
+          << checker.error();
+    }
+    EXPECT_TRUE(checker.ok());
+  }
+}
+
+TEST(Conformance, DetectsMutatedImplementation) {
+  // An implementation that "forgets" to send its commit on the threshold
+  // phase transition must be caught at exactly that step.
+  const StateMachine machine = machine_r4();
+  FsmInstance faithful(machine);
+  ConformanceChecker checker(machine);
+  sim::Rng rng(404);
+  bool caught = false;
+  for (int step = 0; step < 500 && !caught; ++step) {
+    const auto m = static_cast<MessageId>(rng.below(5));
+    const Transition* t = faithful.deliver(m);
+    ActionList actions = t == nullptr ? ActionList{} : t->actions;
+    // Mutate: drop "commit" actions.
+    ActionList mutated;
+    for (const auto& a : actions) {
+      if (a != "commit") mutated.push_back(a);
+    }
+    const bool changed = mutated.size() != actions.size();
+    const bool accepted = checker.observe(m, mutated);
+    if (changed) {
+      EXPECT_FALSE(accepted);
+      caught = true;
+    }
+    if (faithful.finished()) {
+      faithful.reset();
+      if (!caught) checker.reset();
+    }
+  }
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace asa_repro::fsm

@@ -1,0 +1,119 @@
+// Trace-equivalence checking (find_divergence), and the pipeline property
+// that merging preserves behaviour for the real commit machines.
+#include <gtest/gtest.h>
+
+#include "commit/commit_model.hpp"
+#include "core/equivalence.hpp"
+#include "core/minimize.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+State state(std::string name, std::vector<Transition> transitions,
+            bool is_final = false) {
+  State s;
+  s.name = std::move(name);
+  s.transitions = std::move(transitions);
+  s.is_final = is_final;
+  return s;
+}
+
+Transition tr(MessageId m, StateId target, ActionList actions = {}) {
+  Transition t;
+  t.message = m;
+  t.actions = std::move(actions);
+  t.target = target;
+  return t;
+}
+
+TEST(Equivalence, IdenticalMachinesEquivalent) {
+  const StateMachine m({"a"}, {state("s", {tr(0, 0)})}, 0, kNoState);
+  EXPECT_TRUE(trace_equivalent(m, m));
+}
+
+TEST(Equivalence, DetectsActionDifference) {
+  const StateMachine a({"m"}, {state("s", {tr(0, 0, {"x"})})}, 0, kNoState);
+  const StateMachine b({"m"}, {state("s", {tr(0, 0, {"y"})})}, 0, kNoState);
+  const auto d = find_divergence(a, b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->trace.size(), 1u);
+  EXPECT_NE(d->reason.find("actions"), std::string::npos);
+}
+
+TEST(Equivalence, DetectsApplicabilityDifference) {
+  const StateMachine a({"m"}, {state("s", {tr(0, 0)})}, 0, kNoState);
+  const StateMachine b({"m"}, {state("s", {})}, 0, kNoState);
+  const auto d = find_divergence(a, b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->reason.find("applicability"), std::string::npos);
+}
+
+TEST(Equivalence, DetectsFinalityDifference) {
+  const StateMachine a({"m"}, {state("s", {}, true)}, 0, 0);
+  const StateMachine b({"m"}, {state("s", {}, false)}, 0, kNoState);
+  const auto d = find_divergence(a, b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->trace.empty());  // Diverges at the start state.
+  EXPECT_NE(d->reason.find("finality"), std::string::npos);
+}
+
+TEST(Equivalence, DetectsVocabularyMismatch) {
+  const StateMachine a({"m"}, {state("s", {})}, 0, kNoState);
+  const StateMachine b({"n"}, {state("s", {})}, 0, kNoState);
+  ASSERT_TRUE(find_divergence(a, b).has_value());
+}
+
+TEST(Equivalence, DeepDivergenceFound) {
+  // Machines agree for two steps, then differ in an action.
+  const StateMachine a(
+      {"m"},
+      {state("0", {tr(0, 1)}), state("1", {tr(0, 2)}),
+       state("2", {tr(0, 2, {"boom"})})},
+      0, kNoState);
+  const StateMachine b(
+      {"m"},
+      {state("0", {tr(0, 1)}), state("1", {tr(0, 2)}),
+       state("2", {tr(0, 2, {"fizz"})})},
+      0, kNoState);
+  const auto d = find_divergence(a, b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->trace.size(), 3u);  // Shortest witness (BFS).
+}
+
+TEST(Equivalence, StructurallyDifferentButBisimilar) {
+  // b unrolls a's self-loop once: same traces.
+  const StateMachine a({"m"}, {state("s", {tr(0, 0, {"x"})})}, 0, kNoState);
+  const StateMachine b(
+      {"m"},
+      {state("s0", {tr(0, 1, {"x"})}), state("s1", {tr(0, 0, {"x"})})}, 0,
+      kNoState);
+  EXPECT_TRUE(trace_equivalent(a, b));
+}
+
+class MergePreservesBehaviour : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(MergePreservesBehaviour, PrunedAndMergedCommitMachinesAgree) {
+  const std::uint32_t r = GetParam();
+  commit::CommitModel model(r);
+  GenerationOptions unmerged_options;
+  unmerged_options.merge_equivalent = false;
+  const StateMachine pruned = model.generate_state_machine(unmerged_options);
+  const StateMachine merged = model.generate_state_machine();
+  ASSERT_GT(pruned.state_count(), merged.state_count());
+  const auto d = find_divergence(pruned, merged);
+  EXPECT_FALSE(d.has_value()) << d->reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicationFactors, MergePreservesBehaviour,
+                         ::testing::Values(2u, 3u, 4u, 5u, 7u, 10u, 13u));
+
+TEST(Equivalence, MinimizeOutputIsMinimal) {
+  // Minimizing the merged commit machine again changes nothing.
+  commit::CommitModel model(4);
+  const StateMachine merged = model.generate_state_machine();
+  EXPECT_EQ(minimize(merged).state_count(), merged.state_count());
+}
+
+}  // namespace
+}  // namespace asa_repro::fsm

@@ -1,0 +1,105 @@
+// Table-driven interpretation: instance lifecycle, shared immutable
+// machines, terminal absorption, and agreement with the abstract model's
+// reactions at every reachable state (a full conformance sweep rather than
+// a sampled walk).
+#include <gtest/gtest.h>
+
+#include "commit/commit_model.hpp"
+#include "core/interpreter.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+TEST(Interpreter, StartsAtStart) {
+  commit::CommitModel model(4);
+  const StateMachine machine = model.generate_state_machine();
+  FsmInstance inst(machine);
+  EXPECT_EQ(inst.state(), machine.start());
+  EXPECT_EQ(inst.state_name(), "F/0/F/0/F/T/F");
+  EXPECT_FALSE(inst.finished());
+}
+
+TEST(Interpreter, ManyInstancesShareOneMachine) {
+  commit::CommitModel model(4);
+  const StateMachine machine = model.generate_state_machine();
+  FsmInstance a(machine);
+  FsmInstance b(machine);
+  (void)a.deliver(commit::kUpdate);
+  // b is unaffected by a's progress.
+  EXPECT_NE(a.state(), b.state());
+  EXPECT_EQ(&a.machine(), &b.machine());
+}
+
+TEST(Interpreter, TerminalStateAbsorbsEverything) {
+  commit::CommitModel model(2);
+  const StateMachine machine = model.generate_state_machine();
+  FsmInstance inst(machine);
+  (void)inst.deliver(commit::kUpdate);
+  (void)inst.deliver(commit::kCommit);
+  ASSERT_TRUE(inst.finished());
+  const StateId final_state = inst.state();
+  for (MessageId m = 0; m < machine.messages().size(); ++m) {
+    EXPECT_EQ(inst.deliver(m), nullptr);
+    EXPECT_EQ(inst.state(), final_state);
+  }
+}
+
+TEST(Interpreter, ResetFromAnywhere) {
+  commit::CommitModel model(4);
+  const StateMachine machine = model.generate_state_machine();
+  FsmInstance inst(machine);
+  (void)inst.deliver(commit::kUpdate);
+  (void)inst.deliver(commit::kVote);
+  inst.reset();
+  EXPECT_EQ(inst.state(), machine.start());
+}
+
+TEST(Interpreter, ReturnedTransitionIsTheMachines) {
+  commit::CommitModel model(4);
+  const StateMachine machine = model.generate_state_machine();
+  FsmInstance inst(machine);
+  const Transition* t = inst.deliver(commit::kUpdate);
+  ASSERT_NE(t, nullptr);
+  // The pointer aliases the machine's storage (no copying per delivery).
+  const Transition* direct =
+      machine.state(machine.start()).transition(commit::kUpdate);
+  EXPECT_EQ(t, direct);
+}
+
+class InterpreterConformance
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(InterpreterConformance, EveryReachableStateAgreesWithTheModel) {
+  // For every state of the PRUNED (unmerged) machine and every message,
+  // the recorded transition's target and actions must equal a fresh
+  // invocation of the abstract model's react() — the machine is a faithful
+  // tabulation of the model.
+  const std::uint32_t r = GetParam();
+  commit::CommitModel model(r);
+  GenerationOptions options;
+  options.merge_equivalent = false;
+  const StateMachine machine = model.generate_state_machine(options);
+
+  for (const State& s : machine.states()) {
+    const auto v = model.space().parse_name(s.name);
+    ASSERT_TRUE(v.has_value()) << s.name;
+    if (s.is_final) continue;
+    for (MessageId m = 0; m < machine.messages().size(); ++m) {
+      const Transition* t = s.transition(m);
+      const auto reaction = model.react(*v, m);
+      ASSERT_EQ(t != nullptr, reaction.has_value())
+          << s.name << " message " << m;
+      if (t == nullptr) continue;
+      EXPECT_EQ(t->actions, reaction->actions) << s.name;
+      EXPECT_EQ(machine.state(t->target).name,
+                model.space().name(reaction->target))
+          << s.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicationFactors, InterpreterConformance,
+                         ::testing::Values(2u, 4u, 7u));
+
+}  // namespace
+}  // namespace asa_repro::fsm

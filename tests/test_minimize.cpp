@@ -1,0 +1,236 @@
+// Equivalent-state merging: hand-built machines exercising the cases the
+// paper's step 4 must handle, including cyclic equivalences that a single
+// greedy pass cannot discover.
+#include <gtest/gtest.h>
+
+#include "core/equivalence.hpp"
+#include "core/minimize.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+/// Convenience builder for small machines with one message vocabulary.
+StateMachine make_machine(std::vector<std::string> messages,
+                          std::vector<State> states, StateId start,
+                          StateId finish = kNoState) {
+  return StateMachine(std::move(messages), std::move(states), start, finish);
+}
+
+State state(std::string name, std::vector<Transition> transitions,
+            bool is_final = false) {
+  State s;
+  s.name = std::move(name);
+  s.transitions = std::move(transitions);
+  s.is_final = is_final;
+  return s;
+}
+
+Transition tr(MessageId m, StateId target, ActionList actions = {}) {
+  Transition t;
+  t.message = m;
+  t.actions = std::move(actions);
+  t.target = target;
+  return t;
+}
+
+TEST(Minimize, IdenticalSuccessorsMerge) {
+  // s1 and s2 both go to s3 on message 0 with the same action.
+  const StateMachine m = make_machine(
+      {"a"},
+      {
+          state("s0", {tr(0, 1)}),
+          state("s1", {tr(0, 2, {"x"})}),
+          state("s3", {}, true),
+          state("s2", {tr(0, 2, {"x"})}),
+      },
+      0);
+  // s1 (index 1) and s2 (index 3) behave identically (same action, same
+  // destination); minimize merges them even though s2 is unreachable —
+  // step 4 operates on whatever states are present.
+  const StateMachine min = minimize(m);
+  EXPECT_EQ(min.state_count(), 3u);
+  EXPECT_TRUE(trace_equivalent(m, min));
+}
+
+TEST(Minimize, DifferentActionsDoNotMerge) {
+  const StateMachine m = make_machine(
+      {"a"},
+      {
+          state("s0", {tr(0, 2, {"x"})}),
+          state("s1", {tr(0, 2, {"y"})}),
+          state("s2", {}, true),
+      },
+      0);
+  const StateMachine min = minimize(m);
+  EXPECT_EQ(min.state_count(), 3u);
+}
+
+TEST(Minimize, ActionOrderMatters) {
+  const StateMachine m = make_machine(
+      {"a"},
+      {
+          state("s0", {tr(0, 2, {"x", "y"})}),
+          state("s1", {tr(0, 2, {"y", "x"})}),
+          state("s2", {}, true),
+      },
+      0);
+  EXPECT_EQ(minimize(m).state_count(), 3u);
+}
+
+TEST(Minimize, ApplicabilityDistinguishes) {
+  // s0 accepts message 1, s1 does not: they must not merge even though
+  // their message-0 rows agree.
+  const StateMachine m = make_machine(
+      {"a", "b"},
+      {
+          state("s0", {tr(0, 2), tr(1, 2)}),
+          state("s1", {tr(0, 2)}),
+          state("s2", {}, true),
+      },
+      0);
+  EXPECT_EQ(minimize(m).state_count(), 3u);
+}
+
+TEST(Minimize, CyclicEquivalenceMerges) {
+  // Two disjoint self-loop states with identical behaviour: bisimilar, but
+  // a greedy identical-successor pass cannot merge them because each points
+  // at itself. Refinement must.
+  const StateMachine m = make_machine(
+      {"a"},
+      {
+          state("p", {tr(0, 0, {"x"})}),
+          state("q", {tr(0, 1, {"x"})}),
+      },
+      0);
+  const StateMachine min = minimize(m);
+  EXPECT_EQ(min.state_count(), 1u);
+  // The single remaining state self-loops.
+  EXPECT_EQ(min.state(0).transitions.size(), 1u);
+  EXPECT_EQ(min.state(0).transitions[0].target, 0u);
+
+  // Demonstrate the greedy gap: one pass does not merge them.
+  EXPECT_EQ(merge_once(m).state_count(), 2u);
+}
+
+TEST(Minimize, TwoStateCycleMergesWithEquivalentPair) {
+  // a<->b and c<->d with identical labels collapse to a single 2-cycle
+  // (or smaller).
+  const StateMachine m = make_machine(
+      {"m"},
+      {
+          state("a", {tr(0, 1, {"go"})}),
+          state("b", {tr(0, 0)}),
+          state("c", {tr(0, 3, {"go"})}),
+          state("d", {tr(0, 2)}),
+      },
+      0);
+  const StateMachine min = minimize(m);
+  EXPECT_EQ(min.state_count(), 2u);
+  EXPECT_TRUE(trace_equivalent(m, min));
+}
+
+TEST(Minimize, FinalityDistinguishes) {
+  // Identical (empty) transition sets but different finality: no merge.
+  const StateMachine m = make_machine(
+      {"a"},
+      {
+          state("s0", {tr(0, 1)}),
+          state("dead_end", {}),
+          state("finish", {}, true),
+      },
+      0, 2);
+  EXPECT_EQ(minimize(m).state_count(), 3u);
+}
+
+TEST(Minimize, AllFinalStatesMergeIntoOne) {
+  const StateMachine m = make_machine(
+      {"a"},
+      {
+          state("s0", {tr(0, 1)}),
+          state("f1", {}, true),
+          state("f2", {}, true),
+          state("f3", {}, true),
+      },
+      0);
+  const StateMachine min = minimize(m);
+  EXPECT_EQ(min.state_count(), 2u);
+  ASSERT_NE(min.finish(), kNoState);
+  EXPECT_TRUE(min.state(min.finish()).is_final);
+}
+
+TEST(Minimize, KeepsRepresentativeNameAndRecordsMembers) {
+  const StateMachine m = make_machine(
+      {"a"},
+      {
+          state("s0", {tr(0, 1)}),
+          state("first", {}, true),
+          state("second", {}, true),
+      },
+      0);
+  const StateMachine min = minimize(m);
+  const auto id = min.state_id("first");
+  ASSERT_TRUE(id.has_value());
+  // The merged state's annotations mention how many states it represents.
+  bool found = false;
+  for (const auto& a : min.state(*id).annotations) {
+    if (a.find("Represents 2 equivalent states") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Minimize, StateClassMappingIsConsistent) {
+  const StateMachine m = make_machine(
+      {"a"},
+      {
+          state("s0", {tr(0, 1)}),
+          state("f1", {}, true),
+          state("f2", {}, true),
+      },
+      0);
+  std::vector<StateId> cls;
+  const StateMachine min = minimize(m, &cls);
+  ASSERT_EQ(cls.size(), 3u);
+  EXPECT_EQ(cls[1], cls[2]);           // The two finals share a class.
+  EXPECT_NE(cls[0], cls[1]);
+  EXPECT_EQ(min.start(), cls[0]);
+}
+
+TEST(Minimize, StartStatePreserved) {
+  const StateMachine m = make_machine(
+      {"a"},
+      {
+          state("s0", {tr(0, 1, {"x"})}),
+          state("s1", {}, true),
+          state("s2", {tr(0, 1, {"x"})}),
+      },
+      2);  // Start at s2, which merges with s0.
+  const StateMachine min = minimize(m);
+  EXPECT_EQ(min.state_count(), 2u);
+  EXPECT_EQ(min.state(min.start()).name, "s0");  // Representative name.
+  EXPECT_TRUE(trace_equivalent(m, min));
+}
+
+TEST(Minimize, EmptyMachine) {
+  const StateMachine m = make_machine({"a"}, {}, kNoState);
+  EXPECT_EQ(minimize(m).state_count(), 0u);
+}
+
+TEST(Minimize, Idempotent) {
+  const StateMachine m = make_machine(
+      {"m"},
+      {
+          state("a", {tr(0, 1, {"go"})}),
+          state("b", {tr(0, 0)}),
+          state("c", {tr(0, 3, {"go"})}),
+          state("d", {tr(0, 2)}),
+      },
+      0);
+  const StateMachine once = minimize(m);
+  const StateMachine twice = minimize(once);
+  EXPECT_EQ(once.state_count(), twice.state_count());
+}
+
+}  // namespace
+}  // namespace asa_repro::fsm

@@ -1,0 +1,151 @@
+// 160-bit ring arithmetic: modular add/subtract, circular intervals,
+// power-of-two offsets and evenly spaced ring fractions.
+#include <gtest/gtest.h>
+
+#include "p2p/node_id.hpp"
+#include "sim/rng.hpp"
+
+namespace asa_repro::p2p {
+namespace {
+
+TEST(NodeId, FromUint64RoundTripsThroughHex) {
+  const NodeId id = NodeId::from_uint64(0x0123456789ABCDEFull);
+  EXPECT_EQ(id.to_hex(),
+            "000000000000000000000000" "0123456789abcdef");
+}
+
+TEST(NodeId, PlusMinusInverse) {
+  sim::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a = NodeId::hash_of("a" + std::to_string(i));
+    const NodeId b = NodeId::hash_of("b" + std::to_string(i));
+    EXPECT_EQ(a.plus(b).minus(b), a);
+    EXPECT_EQ(a.minus(b).plus(b), a);
+  }
+}
+
+TEST(NodeId, PlusWrapsModulo) {
+  // max + 1 == 0.
+  NodeId::Bytes all_ff;
+  all_ff.fill(0xFF);
+  const NodeId max(all_ff);
+  EXPECT_EQ(max.plus(NodeId::from_uint64(1)), NodeId());
+}
+
+TEST(NodeId, MinusWrapsModulo) {
+  // 0 - 1 == max.
+  NodeId::Bytes all_ff;
+  all_ff.fill(0xFF);
+  EXPECT_EQ(NodeId().minus(NodeId::from_uint64(1)), NodeId(all_ff));
+}
+
+TEST(NodeId, PowerOfTwoLowBits) {
+  EXPECT_EQ(NodeId::power_of_two(0), NodeId::from_uint64(1));
+  EXPECT_EQ(NodeId::power_of_two(10), NodeId::from_uint64(1024));
+  EXPECT_EQ(NodeId::power_of_two(63),
+            NodeId::from_uint64(0x8000000000000000ull));
+}
+
+TEST(NodeId, PowerOfTwoHighBitsDistinct) {
+  for (unsigned i = 0; i < 160; ++i) {
+    for (unsigned j = i + 1; j < 160; ++j) {
+      EXPECT_NE(NodeId::power_of_two(i), NodeId::power_of_two(j));
+    }
+  }
+}
+
+TEST(NodeId, PowerOfTwoDoubling) {
+  for (unsigned i = 0; i + 1 < 160; ++i) {
+    const NodeId p = NodeId::power_of_two(i);
+    EXPECT_EQ(p.plus(p), NodeId::power_of_two(i + 1)) << "bit " << i;
+  }
+}
+
+TEST(NodeId, FractionOfRingZeroIsZero) {
+  for (std::uint64_t n : {1ull, 4ull, 7ull, 46ull}) {
+    EXPECT_EQ(NodeId::fraction_of_ring(0, n), NodeId());
+  }
+}
+
+TEST(NodeId, FractionOfRingHalf) {
+  // 1/2 of the ring = 2^159.
+  EXPECT_EQ(NodeId::fraction_of_ring(1, 2), NodeId::power_of_two(159));
+  // 2/4 likewise.
+  EXPECT_EQ(NodeId::fraction_of_ring(2, 4), NodeId::power_of_two(159));
+  // 1/4 = 2^158.
+  EXPECT_EQ(NodeId::fraction_of_ring(1, 4), NodeId::power_of_two(158));
+}
+
+TEST(NodeId, FractionOfRingEvenSpacing) {
+  // Successive fractions differ by floor-or-ceiling of 2^160/n: the gap
+  // between consecutive replica keys never varies by more than one ulp.
+  for (std::uint64_t n : {3ull, 4ull, 7ull, 13ull, 46ull}) {
+    NodeId prev = NodeId::fraction_of_ring(0, n);
+    NodeId min_gap, max_gap;
+    bool first = true;
+    for (std::uint64_t i = 1; i < n; ++i) {
+      const NodeId cur = NodeId::fraction_of_ring(i, n);
+      const NodeId gap = cur.minus(prev);
+      if (first || gap < min_gap) min_gap = gap;
+      if (first || max_gap < gap) max_gap = gap;
+      first = false;
+      prev = cur;
+    }
+    EXPECT_TRUE(max_gap.minus(min_gap) <= NodeId::from_uint64(1))
+        << "n=" << n;
+  }
+}
+
+TEST(NodeId, FractionOfRingMonotonic) {
+  for (std::uint64_t n : {4ull, 7ull, 25ull}) {
+    for (std::uint64_t i = 0; i + 1 < n; ++i) {
+      EXPECT_TRUE(NodeId::fraction_of_ring(i, n) <
+                  NodeId::fraction_of_ring(i + 1, n));
+    }
+  }
+}
+
+TEST(NodeId, IntervalOpenClosedBasic) {
+  const NodeId a = NodeId::from_uint64(10);
+  const NodeId b = NodeId::from_uint64(20);
+  EXPECT_FALSE(NodeId::in_interval_open_closed(NodeId::from_uint64(10), a, b));
+  EXPECT_TRUE(NodeId::in_interval_open_closed(NodeId::from_uint64(11), a, b));
+  EXPECT_TRUE(NodeId::in_interval_open_closed(NodeId::from_uint64(20), a, b));
+  EXPECT_FALSE(NodeId::in_interval_open_closed(NodeId::from_uint64(21), a, b));
+}
+
+TEST(NodeId, IntervalWrapsAroundZero) {
+  // Construct a wrap: hi > lo on the number line, interval crosses zero.
+  const NodeId hi = NodeId::from_uint64(0).minus(NodeId::from_uint64(5));
+  const NodeId lo = NodeId::from_uint64(5);
+  EXPECT_TRUE(NodeId::in_interval_open_closed(NodeId::from_uint64(0), hi, lo));
+  EXPECT_TRUE(NodeId::in_interval_open_closed(NodeId::from_uint64(5), hi, lo));
+  EXPECT_TRUE(NodeId::in_interval_open_closed(
+      NodeId::from_uint64(0).minus(NodeId::from_uint64(1)), hi, lo));
+  EXPECT_FALSE(
+      NodeId::in_interval_open_closed(NodeId::from_uint64(6), hi, lo));
+  EXPECT_FALSE(NodeId::in_interval_open_closed(hi, hi, lo));
+}
+
+TEST(NodeId, IntervalDegenerateWholeRing) {
+  const NodeId a = NodeId::from_uint64(42);
+  // (a, a] is the whole ring (single-node Chord owns everything).
+  EXPECT_TRUE(NodeId::in_interval_open_closed(NodeId::from_uint64(7), a, a));
+  EXPECT_TRUE(NodeId::in_interval_open_closed(a, a, a));
+  // (a, a) is everything except a.
+  EXPECT_TRUE(NodeId::in_interval_open_open(NodeId::from_uint64(7), a, a));
+  EXPECT_FALSE(NodeId::in_interval_open_open(a, a, a));
+}
+
+TEST(NodeId, OrderingIsLexicographic) {
+  EXPECT_TRUE(NodeId::from_uint64(1) < NodeId::from_uint64(2));
+  EXPECT_TRUE(NodeId() < NodeId::power_of_two(159));
+}
+
+TEST(NodeId, ShortHexPrefix) {
+  const NodeId id = NodeId::hash_of("x");
+  EXPECT_EQ(id.short_hex(), id.to_hex().substr(0, 8));
+}
+
+}  // namespace
+}  // namespace asa_repro::p2p

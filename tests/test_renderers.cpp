@@ -1,0 +1,190 @@
+// Artefact renderers: the Fig 14 text format, DOT and XML diagrams, and
+// markdown documentation.
+#include <gtest/gtest.h>
+
+#include "commit/commit_model.hpp"
+#include "core/render/doc_renderer.hpp"
+#include "core/render/dot_renderer.hpp"
+#include "core/render/mermaid_renderer.hpp"
+#include "core/render/text_renderer.hpp"
+#include "core/render/xml_renderer.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+class Renderers : public ::testing::Test {
+ protected:
+  Renderers()
+      : model_(4), machine_(model_.generate_state_machine()) {}
+  commit::CommitModel model_;
+  StateMachine machine_;
+};
+
+// ---- TextRenderer (Fig 14). ----
+
+TEST_F(Renderers, TextRenderingOfFig14State) {
+  const auto id = machine_.state_id("T/2/F/0/F/F/F");
+  ASSERT_TRUE(id.has_value());
+  const std::string text = TextRenderer().render_state(machine_, *id);
+
+  // Header and underline.
+  EXPECT_NE(text.find("state: T/2/F/0/F/F/F\n"), std::string::npos);
+  EXPECT_NE(text.find("--------------------\n"), std::string::npos);
+  // Generated commentary (Fig 14's description block).
+  EXPECT_NE(text.find("Have received initial update from client."),
+            std::string::npos);
+  EXPECT_NE(text.find("Waiting for 1 further vote (including local vote if "
+                      "any) before sending commit."),
+            std::string::npos);
+  // Transitions in Fig 14's notation.
+  EXPECT_NE(text.find(" message: VOTE\n"), std::string::npos);
+  EXPECT_NE(text.find("  action: ->vote\n"), std::string::npos);
+  EXPECT_NE(text.find("  action: ->commit\n"), std::string::npos);
+  EXPECT_NE(text.find("  transition to: T/3/T/0/T/F/F\n"), std::string::npos);
+  EXPECT_NE(text.find(" message: COMMIT\n"), std::string::npos);
+  EXPECT_NE(text.find("  transition to: T/2/F/1/F/F/F\n"), std::string::npos);
+  EXPECT_NE(text.find(" message: FREE\n"), std::string::npos);
+  EXPECT_NE(text.find("  action: ->not_free\n"), std::string::npos);
+  EXPECT_NE(text.find("  transition to: T/2/T/0/T/T/T\n"), std::string::npos);
+}
+
+TEST_F(Renderers, TextRenderingCoversAllStates) {
+  const std::string text = TextRenderer().render(machine_);
+  for (const State& s : machine_.states()) {
+    EXPECT_NE(text.find("state: " + s.name + "\n"), std::string::npos);
+  }
+}
+
+TEST_F(Renderers, SummaryListsEveryTransition) {
+  const std::string summary = TextRenderer().render_summary(machine_);
+  EXPECT_NE(summary.find("states: 33"), std::string::npos);
+  std::size_t arrows = 0;
+  for (std::size_t pos = 0;
+       (pos = summary.find("-->", pos)) != std::string::npos; ++pos) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, machine_.transition_count());
+}
+
+// ---- DotRenderer (Fig 15 / Fig 3). ----
+
+TEST_F(Renderers, DotOutputIsWellFormed) {
+  const std::string dot = DotRenderer().render(machine_);
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+  // Start marker present.
+  EXPECT_NE(dot.find("__start -> \"F/0/F/0/F/T/F\""), std::string::npos);
+  // Finish state is double-bordered.
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+  // Braces balanced.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST_F(Renderers, DotEdgeLabelsMatchPaperNotation) {
+  // The paper's diagrams label transitions "<-vote" (received) and actions
+  // "->commit" (sent).
+  const std::string dot = DotRenderer().render(machine_);
+  EXPECT_NE(dot.find("<-vote"), std::string::npos);
+  EXPECT_NE(dot.find("->commit"), std::string::npos);
+}
+
+TEST_F(Renderers, DotExcerptRestrictsToGivenStates) {
+  // Fig 3 shows a 3-state excerpt.
+  const auto a = machine_.state_id("T/2/F/0/F/F/F");
+  const auto b = machine_.state_id("T/3/T/0/T/F/F");
+  const auto c = machine_.state_id("T/2/F/1/F/F/F");
+  ASSERT_TRUE(a && b && c);
+  const std::string dot = DotRenderer().render_excerpt(machine_, {*a, *b, *c});
+  EXPECT_NE(dot.find("\"T/2/F/0/F/F/F\""), std::string::npos);
+  EXPECT_NE(dot.find("\"T/3/T/0/T/F/F\""), std::string::npos);
+  // No edges out of the excerpt.
+  EXPECT_EQ(dot.find("\"F/0/F/0/F/T/F\""), std::string::npos);
+}
+
+TEST_F(Renderers, DotHonoursOptions) {
+  DotOptions options;
+  options.graph_name = "my graph";
+  options.left_to_right = true;
+  options.show_actions = false;
+  const std::string dot = DotRenderer(options).render(machine_);
+  EXPECT_NE(dot.find("digraph \"my graph\""), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_EQ(dot.find("->commit"), std::string::npos);
+}
+
+// ---- XmlRenderer. ----
+
+TEST_F(Renderers, XmlStructure) {
+  const std::string xml = XmlRenderer().render(machine_);
+  EXPECT_EQ(xml.find("<?xml"), 0u);
+  EXPECT_NE(xml.find("<statemachine states=\"33\""), std::string::npos);
+  EXPECT_NE(xml.find("start=\"F/0/F/0/F/T/F\""), std::string::npos);
+  EXPECT_NE(xml.find("<message name=\"not_free\"/>"), std::string::npos);
+  EXPECT_NE(xml.find("</statemachine>"), std::string::npos);
+  // One <transition per transition.
+  std::size_t count = 0;
+  for (std::size_t pos = 0;
+       (pos = xml.find("<transition ", pos)) != std::string::npos; ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, machine_.transition_count());
+}
+
+TEST(XmlEscaping, SpecialCharactersEscaped) {
+  StateMachine machine({"a<b"},
+                       {State{"s&1", {}, {"say \"hi\""}, false}}, 0, kNoState);
+  const std::string xml = XmlRenderer().render(machine);
+  EXPECT_NE(xml.find("a&lt;b"), std::string::npos);
+  EXPECT_NE(xml.find("s&amp;1"), std::string::npos);
+  EXPECT_NE(xml.find("&quot;hi&quot;"), std::string::npos);
+  EXPECT_EQ(xml.find("a<b"), std::string::npos);
+}
+
+// ---- MermaidRenderer. ----
+
+TEST_F(Renderers, MermaidStructure) {
+  const std::string mermaid = MermaidRenderer().render(machine_);
+  EXPECT_EQ(mermaid.find("stateDiagram-v2"), 0u);
+  // Entry arrow to the start state's alias.
+  const auto start_alias = "s" + std::to_string(machine_.start());
+  EXPECT_NE(mermaid.find("[*] --> " + start_alias), std::string::npos);
+  // Every state declared with its real name as the label.
+  for (StateId i = 0; i < machine_.state_count(); ++i) {
+    EXPECT_NE(mermaid.find(" : " + machine_.state(i).name + "\n"),
+              std::string::npos);
+  }
+  // Finish state exits to [*]; actions rendered after a slash.
+  EXPECT_NE(mermaid.find("--> [*]"), std::string::npos);
+  EXPECT_NE(mermaid.find("vote / "), std::string::npos);
+}
+
+TEST_F(Renderers, MermaidHonoursLimits) {
+  MermaidOptions options;
+  options.max_states = 3;
+  options.show_actions = false;
+  const std::string mermaid = MermaidRenderer(options).render(machine_);
+  EXPECT_EQ(mermaid.find("s3 :"), std::string::npos);
+  EXPECT_EQ(mermaid.find(" / "), std::string::npos);
+}
+
+// ---- DocRenderer. ----
+
+TEST_F(Renderers, DocRendererEmitsMarkdown) {
+  DocOptions options;
+  options.title = "Commit FSM r=4";
+  options.preamble = "Generated from the abstract model.";
+  const std::string doc = DocRenderer(options).render(machine_);
+  EXPECT_EQ(doc.find("# Commit FSM r=4"), 0u);
+  EXPECT_NE(doc.find("- States: 33"), std::string::npos);
+  EXPECT_NE(doc.find("## Messages"), std::string::npos);
+  EXPECT_NE(doc.find("### `F/0/F/0/F/T/F` *(start)*"), std::string::npos);
+  EXPECT_NE(doc.find("| message | actions | next state |"),
+            std::string::npos);
+  // The finish state section shows no outgoing transitions.
+  EXPECT_NE(doc.find("No outgoing transitions."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asa_repro::fsm

@@ -1,0 +1,70 @@
+// The KeyRouter abstraction: both implementations must agree on every
+// lookup (the framework's "vary the P2P layer without affecting the layers
+// above" claim), while exhibiting their own hop-count trade-offs.
+#include <gtest/gtest.h>
+
+#include "p2p/router.hpp"
+
+namespace asa_repro::p2p {
+namespace {
+
+TEST(Router, ImplementationsAgreeOnOwnership) {
+  ChordRing ring;
+  ring.build(48);
+  ChordRouter chord(ring);
+  FullViewRouter full_view(ring.node_ids());
+  ASSERT_EQ(chord.node_count(), full_view.node_count());
+
+  for (int i = 0; i < 300; ++i) {
+    const NodeId key = NodeId::hash_of("k" + std::to_string(i));
+    EXPECT_EQ(chord.route(key), full_view.route(key)) << i;
+  }
+}
+
+TEST(Router, HopCountTradeOff) {
+  ChordRing ring;
+  ring.build(64);
+  ChordRouter chord(ring);
+  FullViewRouter full_view(ring.node_ids());
+
+  double chord_hops = 0;
+  for (int i = 0; i < 100; ++i) {
+    const NodeId key = NodeId::hash_of("h" + std::to_string(i));
+    std::size_t h_chord = 99, h_full = 99;
+    (void)chord.route(key, &h_chord);
+    (void)full_view.route(key, &h_full);
+    EXPECT_EQ(h_full, 0u);  // One-hop: answered locally.
+    chord_hops += static_cast<double>(h_chord);
+  }
+  EXPECT_GT(chord_hops / 100.0, 0.5);  // Chord actually routes.
+}
+
+TEST(Router, FullViewTracksMembershipChanges) {
+  FullViewRouter router;
+  const NodeId a = NodeId::from_uint64(100);
+  const NodeId b = NodeId::from_uint64(200);
+  router.add_node(a);
+  router.add_node(b);
+  EXPECT_EQ(router.route(NodeId::from_uint64(150)), b);
+  EXPECT_EQ(router.route(NodeId::from_uint64(250)), a);  // Wraps.
+  EXPECT_EQ(router.route(NodeId::from_uint64(50)), a);
+  router.remove_node(b);
+  EXPECT_EQ(router.route(NodeId::from_uint64(150)), a);
+  EXPECT_EQ(router.node_count(), 1u);
+}
+
+TEST(Router, PolymorphicUse) {
+  ChordRing ring;
+  ring.build(8);
+  ChordRouter chord(ring);
+  FullViewRouter full_view(ring.node_ids());
+  // A layer written against KeyRouter works with either implementation.
+  const auto owner_via = [](const KeyRouter& router, const NodeId& key) {
+    return router.route(key);
+  };
+  const NodeId key = NodeId::hash_of("poly");
+  EXPECT_EQ(owner_via(chord, key), owner_via(full_view, key));
+}
+
+}  // namespace
+}  // namespace asa_repro::p2p

@@ -1,0 +1,124 @@
+// SHA-1 correctness against the RFC 3174 / FIPS 180 test vectors, plus
+// incremental-update and framing edge cases.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/hex.hpp"
+#include "crypto/sha1.hpp"
+
+namespace asa_repro::crypto {
+namespace {
+
+std::string hex_of(std::string_view text) {
+  const Sha1Digest d = Sha1::hash(text);
+  return to_hex({d.data(), d.size()});
+}
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(hex_of(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(hex_of("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Rfc3174Vector2) {
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  const std::string input(1'000'000, 'a');
+  EXPECT_EQ(hex_of(input), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, QuickBrownFox) {
+  EXPECT_EQ(hex_of("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 55/56/57 bytes straddle the length-field boundary in padding; 64 is an
+  // exact block. Incremental and one-shot paths must agree on all of them.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    const std::string input(n, 'q');
+    Sha1 h;
+    h.update(input);
+    const Sha1Digest d1 = h.finalize();
+    EXPECT_EQ(d1, Sha1::hash(input)) << "length " << n;
+  }
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string text =
+      "The finite state machine is a widely used abstraction for describing "
+      "and reasoning about distributed algorithms.";
+  for (std::size_t split = 0; split <= text.size(); split += 7) {
+    Sha1 h;
+    h.update(text.substr(0, split));
+    h.update(text.substr(split));
+    EXPECT_EQ(h.finalize(), Sha1::hash(text)) << "split at " << split;
+  }
+}
+
+TEST(Sha1, ManySmallUpdates) {
+  Sha1 h;
+  std::string whole;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string piece = std::to_string(i) + ";";
+    h.update(piece);
+    whole += piece;
+  }
+  EXPECT_EQ(h.finalize(), Sha1::hash(whole));
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 h;
+  h.update("first");
+  (void)h.finalize();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.finalize(), Sha1::hash("abc"));
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests) {
+  // Content addressing sanity: nearby inputs do not collide.
+  std::vector<Sha1Digest> digests;
+  for (int i = 0; i < 256; ++i) {
+    digests.push_back(Sha1::hash("block:" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    for (std::size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(digests[i], digests[j]);
+    }
+  }
+}
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x01, 0x7F, 0x80,
+                                           0xAB, 0xCD, 0xEF, 0xFF};
+  const std::string hex = to_hex({bytes.data(), bytes.size()});
+  EXPECT_EQ(hex, "00017f80abcdefff");
+  const auto back = from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+}
+
+TEST(Hex, AcceptsUpperCase) {
+  const auto bytes = from_hex("DEADBEEF");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(to_hex({bytes->data(), bytes->size()}), "deadbeef");
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(from_hex("abc").has_value());     // Odd length.
+  EXPECT_FALSE(from_hex("zz").has_value());      // Non-hex.
+  EXPECT_FALSE(from_hex("a b").has_value());     // Whitespace.
+  EXPECT_TRUE(from_hex("").has_value());         // Empty is valid (empty).
+  EXPECT_TRUE(from_hex("")->empty());
+}
+
+}  // namespace
+}  // namespace asa_repro::crypto

@@ -1,0 +1,344 @@
+// Discrete-event simulation substrate: scheduler ordering and cancellation,
+// network latency/drop/partition behaviour, deterministic RNG, tracing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/sequence.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace asa_repro::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&] { order.push_back(3); });
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  sched.schedule_at(20, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30u);
+}
+
+TEST(Scheduler, TiesBreakByScheduleOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler sched;
+  Time fired_at = 0;
+  sched.schedule_at(50, [&] {
+    sched.schedule_after(25, [&] { fired_at = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(fired_at, 75u);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  const auto id = sched.schedule_at(10, [&] { fired = true; });
+  sched.cancel(id);
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelUnknownIdIsNoOp) {
+  Scheduler sched;
+  sched.cancel(424242);
+  bool fired = false;
+  sched.schedule_at(1, [&] { fired = true; });
+  sched.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  std::vector<Time> fired;
+  for (Time t : {10u, 20u, 30u, 40u}) {
+    sched.schedule_at(t, [&fired, &sched] { fired.push_back(sched.now()); });
+  }
+  EXPECT_EQ(sched.run_until(25), 2u);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) sched.schedule_after(5, tick);
+  };
+  sched.schedule_at(0, tick);
+  sched.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sched.now(), 45u);
+}
+
+TEST(Scheduler, MaxEventsBoundsRunawayLoops) {
+  Scheduler sched;
+  std::function<void()> forever = [&] { sched.schedule_after(1, forever); };
+  sched.schedule_at(0, forever);
+  EXPECT_EQ(sched.run(100), 100u);
+}
+
+// ---- RNG. ----
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.range(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng reference(42);
+  (void)reference();  // Parent consumed one value to fork.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child() == reference()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+// ---- Network. ----
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(sched_, Rng(5), LatencyModel{100, 500}) {}
+  Scheduler sched_;
+  Network network_;
+};
+
+TEST_F(NetworkTest, DeliversWithinLatencyBounds) {
+  Time delivered_at = 0;
+  network_.attach(2, [&](NodeAddr from, const std::string& payload) {
+    EXPECT_EQ(from, 1u);
+    EXPECT_EQ(payload, "hello");
+    delivered_at = sched_.now();
+  });
+  network_.send(1, 2, "hello");
+  sched_.run();
+  EXPECT_GE(delivered_at, 100u);
+  EXPECT_LE(delivered_at, 500u);
+  EXPECT_EQ(network_.stats().delivered, 1u);
+}
+
+TEST_F(NetworkTest, MessagesToDetachedNodeDropped) {
+  network_.send(1, 9, "into the void");
+  sched_.run();
+  EXPECT_EQ(network_.stats().to_dead_node, 1u);
+  EXPECT_EQ(network_.stats().delivered, 0u);
+}
+
+TEST_F(NetworkTest, DetachStopsDelivery) {
+  int received = 0;
+  network_.attach(2, [&](NodeAddr, const std::string&) { ++received; });
+  network_.send(1, 2, "a");
+  sched_.run();
+  network_.detach(2);
+  network_.send(1, 2, "b");
+  sched_.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, DropProbabilityLosesRoughlyThatFraction) {
+  int received = 0;
+  network_.attach(2, [&](NodeAddr, const std::string&) { ++received; });
+  network_.set_drop_probability(0.5);
+  for (int i = 0; i < 1000; ++i) network_.send(1, 2, "x");
+  sched_.run();
+  EXPECT_GT(received, 350);
+  EXPECT_LT(received, 650);
+  EXPECT_EQ(network_.stats().dropped + network_.stats().delivered, 1000u);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwice) {
+  int received = 0;
+  network_.attach(2, [&](NodeAddr, const std::string&) { ++received; });
+  network_.set_duplicate_probability(1.0);
+  for (int i = 0; i < 50; ++i) network_.send(1, 2, "x");
+  sched_.run();
+  EXPECT_EQ(received, 100);
+  EXPECT_EQ(network_.stats().duplicated, 50u);
+}
+
+TEST_F(NetworkTest, PartitionIsDirected) {
+  int a_got = 0, b_got = 0;
+  network_.attach(1, [&](NodeAddr, const std::string&) { ++a_got; });
+  network_.attach(2, [&](NodeAddr, const std::string&) { ++b_got; });
+  network_.partition(1, 2);
+  network_.send(1, 2, "lost");
+  network_.send(2, 1, "arrives");
+  sched_.run();
+  EXPECT_EQ(b_got, 0);
+  EXPECT_EQ(a_got, 1);
+  EXPECT_EQ(network_.stats().partitioned, 1u);
+}
+
+TEST_F(NetworkTest, HealRestoresDelivery) {
+  int received = 0;
+  network_.attach(2, [&](NodeAddr, const std::string&) { ++received; });
+  network_.partition_bidirectional(1, 2);
+  network_.send(1, 2, "lost");
+  network_.heal(1, 2);
+  network_.send(1, 2, "arrives");
+  sched_.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, ReorderingIsPossible) {
+  // With per-message latency sampling, two messages can arrive out of send
+  // order; check it actually happens over many trials.
+  std::vector<int> arrivals;
+  network_.attach(2, [&](NodeAddr, const std::string& p) {
+    arrivals.push_back(std::stoi(p));
+  });
+  for (int i = 0; i < 100; ++i) network_.send(1, 2, std::to_string(i));
+  sched_.run();
+  EXPECT_EQ(arrivals.size(), 100u);
+  EXPECT_FALSE(std::is_sorted(arrivals.begin(), arrivals.end()));
+}
+
+// ---- Trace. ----
+
+TEST(Trace, RecordsAndCounts) {
+  Trace trace;
+  trace.record(10, 1, "commit", "guid=5");
+  trace.record(20, 2, "abort", "guid=5");
+  trace.record(30, 1, "commit", "guid=6");
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.count("commit"), 2u);
+  EXPECT_EQ(trace.count("abort"), 1u);
+  const auto node1 = trace.filter(
+      [](const TraceEvent& e) { return e.node == 1; });
+  EXPECT_EQ(node1.size(), 2u);
+}
+
+TEST(Trace, DisabledTraceRecordsNothing) {
+  Trace trace(false);
+  trace.record(1, 1, "x", "y");
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Sequence, RendersArrowsAndNotes) {
+  Trace trace;
+  trace.record(10, 1, "recv", "vote from=2 update=7");
+  trace.record(20, 1, "recv", "commit from=3 update=7");
+  trace.record(30, 1, "commit", "guid=5 update=7");
+  trace.record(40, 2, "abort", "guid=5 update=9");
+  const std::string mermaid = render_sequence_mermaid(trace);
+  EXPECT_EQ(mermaid.find("sequenceDiagram"), 0u);
+  EXPECT_NE(mermaid.find("participant node1"), std::string::npos);
+  EXPECT_NE(mermaid.find("participant node3"), std::string::npos);
+  EXPECT_NE(mermaid.find("node2->>node1: vote u7"), std::string::npos);
+  EXPECT_NE(mermaid.find("node3->>node1: commit u7"), std::string::npos);
+  EXPECT_NE(mermaid.find("Note over node1: commit u7"), std::string::npos);
+  EXPECT_NE(mermaid.find("Note over node2: abort u9"), std::string::npos);
+}
+
+TEST(Sequence, TruncatesAtMaxEvents) {
+  Trace trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.record(i, 0, "recv", "vote from=1 update=1");
+  }
+  SequenceOptions options;
+  options.max_events = 3;
+  const std::string mermaid = render_sequence_mermaid(trace, options);
+  EXPECT_NE(mermaid.find("(truncated)"), std::string::npos);
+  std::size_t arrows = 0;
+  for (std::size_t pos = 0;
+       (pos = mermaid.find("->>", pos)) != std::string::npos; ++pos) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, 3u);
+}
+
+TEST(Sequence, IgnoresUnparseableEvents) {
+  Trace trace;
+  trace.record(1, 0, "recv", "garbage with no fields");
+  trace.record(2, 0, "instance", "guid=1 update=2 created");
+  const std::string mermaid = render_sequence_mermaid(trace);
+  EXPECT_EQ(mermaid.find("->>"), std::string::npos);
+}
+
+TEST(Trace, DumpFormatsLines) {
+  Trace trace;
+  trace.record(10, 3, "commit", "guid=9");
+  std::ostringstream out;
+  trace.dump(out);
+  EXPECT_EQ(out.str(), "[10us] node 3 commit: guid=9\n");
+}
+
+}  // namespace
+}  // namespace asa_repro::sim

@@ -1,0 +1,22 @@
+// Build-pipeline smoke test: the headline result of the reproduction.
+// Table 1, row 1: r=4 gives 512 initial states, 48 after pruning, 33 final.
+#include <gtest/gtest.h>
+
+#include "commit/commit_model.hpp"
+
+namespace asa_repro {
+namespace {
+
+TEST(Smoke, Table1Row1) {
+  commit::CommitModel model(4);
+  fsm::GenerationReport report;
+  const fsm::StateMachine machine =
+      model.generate_state_machine({}, &report);
+  EXPECT_EQ(report.initial_states, 512u);
+  EXPECT_EQ(report.reachable_states, 48u);
+  EXPECT_EQ(report.final_states, 33u);
+  EXPECT_EQ(machine.state_count(), 33u);
+}
+
+}  // namespace
+}  // namespace asa_repro

@@ -1,0 +1,122 @@
+// State components, mixed-radix encoding and the paper's state naming.
+#include <gtest/gtest.h>
+
+#include "core/state_space.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+StateSpace commit_space(std::uint32_t r) {
+  return StateSpace({
+      boolean_component("update_received"),
+      int_component("votes_received", r - 1),
+      boolean_component("vote_sent"),
+      int_component("commits_received", r - 1),
+      boolean_component("commit_sent"),
+      boolean_component("could_choose"),
+      boolean_component("has_chosen"),
+  });
+}
+
+TEST(StateSpace, SizeIsProductOfCardinalities) {
+  // The paper: 2^5 * r^2 possible states.
+  EXPECT_EQ(commit_space(4).size(), 512u);
+  EXPECT_EQ(commit_space(7).size(), 1568u);
+  EXPECT_EQ(commit_space(13).size(), 5408u);
+  EXPECT_EQ(commit_space(25).size(), 20000u);
+  EXPECT_EQ(commit_space(46).size(), 67712u);
+}
+
+TEST(StateSpace, EncodeDecodeRoundTripExhaustive) {
+  const StateSpace space = commit_space(4);
+  for (StateIndex i = 0; i < space.size(); ++i) {
+    const StateVector v = space.decode(i);
+    EXPECT_EQ(space.encode(v), i);
+    EXPECT_TRUE(space.in_range(v));
+  }
+}
+
+TEST(StateSpace, EncodeIsInjective) {
+  const StateSpace space = commit_space(4);
+  std::vector<bool> seen(space.size(), false);
+  for (StateIndex i = 0; i < space.size(); ++i) {
+    const StateIndex e = space.encode(space.decode(i));
+    EXPECT_FALSE(seen[e]);
+    seen[e] = true;
+  }
+}
+
+TEST(StateSpace, NamingMatchesPaperEncoding) {
+  const StateSpace space = commit_space(4);
+  // Fig 14's example state T/2/F/0/F/F/F.
+  const StateVector v = {1, 2, 0, 0, 0, 0, 0};
+  EXPECT_EQ(space.name(v), "T/2/F/0/F/F/F");
+  // Fig 16 uses dashes.
+  EXPECT_EQ(space.name(v, '-'), "T-2-F-0-F-F-F");
+}
+
+TEST(StateSpace, ParseNameInvertsName) {
+  const StateSpace space = commit_space(7);
+  for (StateIndex i = 0; i < space.size(); i += 11) {
+    const StateVector v = space.decode(i);
+    const auto parsed = space.parse_name(space.name(v));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+TEST(StateSpace, ParseNameRejectsMalformed) {
+  const StateSpace space = commit_space(4);
+  EXPECT_FALSE(space.parse_name("").has_value());
+  EXPECT_FALSE(space.parse_name("T/2/F/0/F/F").has_value());     // Short.
+  EXPECT_FALSE(space.parse_name("T/2/F/0/F/F/F/T").has_value()); // Long.
+  EXPECT_FALSE(space.parse_name("X/2/F/0/F/F/F").has_value());   // Bad bool.
+  EXPECT_FALSE(space.parse_name("T/9/F/0/F/F/F").has_value());   // Range.
+  EXPECT_FALSE(space.parse_name("T/-1/F/0/F/F/F").has_value());
+  EXPECT_FALSE(space.parse_name("T/a/F/0/F/F/F").has_value());
+}
+
+TEST(StateSpace, IndexOfFindsComponents) {
+  const StateSpace space = commit_space(4);
+  EXPECT_EQ(space.index_of("update_received"), 0u);
+  EXPECT_EQ(space.index_of("votes_received"), 1u);
+  EXPECT_EQ(space.index_of("has_chosen"), 6u);
+  EXPECT_FALSE(space.index_of("nonexistent").has_value());
+}
+
+TEST(StateSpace, InRangeRejectsBadVectors) {
+  const StateSpace space = commit_space(4);
+  EXPECT_FALSE(space.in_range({1, 2, 0}));                 // Wrong arity.
+  EXPECT_FALSE(space.in_range({2, 0, 0, 0, 0, 0, 0}));     // Bool out of range.
+  EXPECT_FALSE(space.in_range({1, 4, 0, 0, 0, 0, 0}));     // Int out of range.
+  EXPECT_TRUE(space.in_range({1, 3, 1, 3, 1, 1, 1}));
+}
+
+TEST(StateSpace, BooleanFactoryProperties) {
+  const StateComponent b = boolean_component("flag");
+  EXPECT_TRUE(b.is_boolean);
+  EXPECT_EQ(b.max_value, 1u);
+  EXPECT_EQ(b.cardinality(), 2u);
+  const StateComponent i = int_component("count", 6);
+  EXPECT_FALSE(i.is_boolean);
+  EXPECT_EQ(i.cardinality(), 7u);
+}
+
+TEST(StateSpace, SingleComponentSpace) {
+  const StateSpace space({int_component("n", 9)});
+  EXPECT_EQ(space.size(), 10u);
+  EXPECT_EQ(space.name({7}), "7");
+  EXPECT_EQ(space.decode(7), (StateVector{7}));
+}
+
+TEST(StateSpace, LastComponentVariesFastest) {
+  const StateSpace space(
+      {int_component("a", 2), int_component("b", 4)});
+  EXPECT_EQ(space.encode({0, 0}), 0u);
+  EXPECT_EQ(space.encode({0, 1}), 1u);
+  EXPECT_EQ(space.encode({1, 0}), 5u);
+  EXPECT_EQ(space.encode({2, 4}), 14u);
+}
+
+}  // namespace
+}  // namespace asa_repro::fsm

@@ -1,0 +1,268 @@
+// Storage-layer building blocks: PIDs/GUIDs, replica key generation,
+// storage-node fault injection, wire frames, and history agreement.
+#include <gtest/gtest.h>
+
+#include "storage/key_gen.hpp"
+#include "storage/maintenance.hpp"
+#include "storage/pid.hpp"
+#include "storage/storage_messages.hpp"
+#include "storage/storage_node.hpp"
+#include "storage/version_history.hpp"
+
+namespace asa_repro::storage {
+namespace {
+
+TEST(Pid, ContentAddressing) {
+  const Block data = block_from("hello asa");
+  const Pid pid = Pid::of(data);
+  EXPECT_TRUE(pid.matches(data));
+  EXPECT_FALSE(pid.matches(block_from("hello asb")));
+  EXPECT_EQ(pid, Pid::of(block_from("hello asa")));
+  EXPECT_NE(pid, Pid::of(block_from("other")));
+}
+
+TEST(Pid, EmptyBlockHasAPid) {
+  const Block empty;
+  const Pid pid = Pid::of(empty);
+  EXPECT_TRUE(pid.matches(empty));
+  EXPECT_EQ(pid.to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Guid, NamedGuidsAreStable) {
+  EXPECT_EQ(Guid::named("file.txt"), Guid::named("file.txt"));
+  EXPECT_NE(Guid::named("file.txt"), Guid::named("file2.txt"));
+  EXPECT_NE(Guid::named("a").to_uint64(), Guid::named("b").to_uint64());
+}
+
+TEST(KeyGen, FirstKeyIsBaseAndCountMatches) {
+  const p2p::NodeId base = p2p::NodeId::hash_of("pid");
+  const auto keys = replica_keys(base, 4);
+  ASSERT_EQ(keys.size(), 4u);
+  EXPECT_EQ(keys[0], base);
+}
+
+TEST(KeyGen, KeysEvenlySpaced) {
+  const p2p::NodeId base = p2p::NodeId::hash_of("pid");
+  for (std::uint32_t r : {3u, 4u, 7u, 13u}) {
+    const auto keys = replica_keys(base, r);
+    // Consecutive gaps differ by at most 1 (integer division remainder).
+    p2p::NodeId min_gap, max_gap;
+    bool first = true;
+    for (std::uint32_t i = 0; i < r; ++i) {
+      const p2p::NodeId gap =
+          keys[(i + 1) % r].minus(keys[i]);
+      if (first || gap < min_gap) min_gap = gap;
+      if (first || max_gap < gap) max_gap = gap;
+      first = false;
+    }
+    EXPECT_TRUE(max_gap.minus(min_gap) <= p2p::NodeId::from_uint64(1))
+        << "r=" << r;
+  }
+}
+
+TEST(KeyGen, DeterministicAcrossCalls) {
+  const p2p::NodeId base = p2p::NodeId::hash_of("x");
+  EXPECT_EQ(replica_keys(base, 7), replica_keys(base, 7));
+}
+
+// ---- StorageNode. ----
+
+TEST(StorageNodeTest, PutGetRoundTrip) {
+  StorageNode node;
+  const Block data = block_from("payload");
+  const Pid pid = Pid::of(data);
+  EXPECT_TRUE(node.put(pid, data));
+  const auto got = node.get(pid);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, data);
+  EXPECT_TRUE(node.holds_intact(pid));
+}
+
+TEST(StorageNodeTest, MissReturnsNothing) {
+  StorageNode node;
+  EXPECT_FALSE(node.get(Pid::of(block_from("nope"))).has_value());
+  EXPECT_EQ(node.stats().misses, 1u);
+}
+
+TEST(StorageNodeTest, CorruptNodeServesTamperedBytes) {
+  StorageNode node;
+  const Block data = block_from("precious");
+  const Pid pid = Pid::of(data);
+  node.put(pid, data);
+  node.set_corrupt(true);
+  const auto got = node.get(pid);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(pid.matches(*got));  // Hash check catches it.
+  EXPECT_EQ(node.stats().corrupt_serves, 1u);
+  // The stored copy itself is untouched (lying on the wire, not on disk).
+  EXPECT_TRUE(node.holds_intact(pid));
+}
+
+TEST(StorageNodeTest, RefusesWritesWhenConfigured) {
+  StorageNode node;
+  node.set_refuse_writes(true);
+  const Block data = block_from("x");
+  EXPECT_FALSE(node.put(Pid::of(data), data));
+  EXPECT_EQ(node.block_count(), 0u);
+}
+
+TEST(StorageNodeTest, CorruptStoredDamagesAtRest) {
+  StorageNode node;
+  const Block data = block_from("at rest");
+  const Pid pid = Pid::of(data);
+  node.put(pid, data);
+  node.corrupt_stored(pid);
+  EXPECT_FALSE(node.holds_intact(pid));
+}
+
+// ---- Wire frames. ----
+
+TEST(StorageFrame, RoundTripAllOps) {
+  for (const auto op :
+       {StorageFrame::Op::kPut, StorageFrame::Op::kPutAck,
+        StorageFrame::Op::kGet, StorageFrame::Op::kGetReply,
+        StorageFrame::Op::kHistoryGet, StorageFrame::Op::kHistoryReply}) {
+    StorageFrame f;
+    f.op = op;
+    f.ticket = 0xDEADBEEF12345678ull;
+    f.id = crypto::Sha1::hash("some id");
+    f.status = 1;
+    f.payload = {1, 2, 3, 250, 251};
+    const auto parsed = StorageFrame::parse(f.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->op, f.op);
+    EXPECT_EQ(parsed->ticket, f.ticket);
+    EXPECT_EQ(parsed->id, f.id);
+    EXPECT_EQ(parsed->status, f.status);
+    EXPECT_EQ(parsed->payload, f.payload);
+  }
+}
+
+TEST(StorageFrame, EmptyPayloadAllowed) {
+  StorageFrame f;
+  f.op = StorageFrame::Op::kGet;
+  const auto parsed = StorageFrame::parse(f.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(StorageFrame, RejectsGarbage) {
+  EXPECT_FALSE(StorageFrame::parse("").has_value());
+  EXPECT_FALSE(StorageFrame::parse("short").has_value());
+  EXPECT_FALSE(StorageFrame::parse(std::string(40, 'X')).has_value());
+  // Bad op byte.
+  StorageFrame f;
+  std::string wire = f.serialize();
+  wire[1] = 9;
+  EXPECT_FALSE(StorageFrame::parse(wire).has_value());
+}
+
+TEST(HistoryEncoding, RoundTrip) {
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> entries = {
+      {1, 100}, {2, 200}, {0xFFFFFFFFFFFFFFFFull, 0}};
+  EXPECT_EQ(decode_history(encode_history(entries)), entries);
+  EXPECT_TRUE(decode_history({}).empty());
+}
+
+// ---- History agreement (the f+1 read rule of section 2.2). ----
+
+TEST(AgreeHistory, UnanimousPeersAgreeFully) {
+  const std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      histories = {{{1, 10}, {2, 20}}, {{1, 10}, {2, 20}},
+                   {{1, 10}, {2, 20}}, {{1, 10}, {2, 20}}};
+  EXPECT_EQ(agree_history(histories, 1),
+            (std::vector<std::uint64_t>{10, 20}));
+}
+
+TEST(AgreeHistory, SingleLyingPeerOutvoted) {
+  const std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      histories = {{{1, 10}, {2, 20}},
+                   {{1, 10}, {2, 20}},
+                   {{1, 10}, {2, 20}},
+                   {{1, 666}, {2, 667}}};  // Byzantine member lies.
+  EXPECT_EQ(agree_history(histories, 1),
+            (std::vector<std::uint64_t>{10, 20}));
+}
+
+TEST(AgreeHistory, LaggingPeerShortensNothing) {
+  // One peer is behind; f+1 = 2 of the remaining still agree on the tail.
+  const std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      histories = {{{1, 10}, {2, 20}}, {{1, 10}, {2, 20}}, {{1, 10}}};
+  EXPECT_EQ(agree_history(histories, 1),
+            (std::vector<std::uint64_t>{10, 20}));
+}
+
+TEST(AgreeHistory, NoQuorumStopsPrefix) {
+  const std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      histories = {{{1, 10}, {2, 20}}, {{1, 10}, {3, 30}}, {{1, 10}}};
+  // Position 0 agreed (10); position 1 splits 1-1 with f=1 needing 2.
+  EXPECT_EQ(agree_history(histories, 1), (std::vector<std::uint64_t>{10}));
+}
+
+TEST(AgreeHistory, RequestDeduplicationCollapsesRetries) {
+  // A retried update committed twice on one peer counts once.
+  const std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      histories = {{{7, 70}, {7, 70}, {8, 80}},
+                   {{7, 70}, {8, 80}},
+                   {{7, 70}, {8, 80}}};
+  EXPECT_EQ(agree_history(histories, 1),
+            (std::vector<std::uint64_t>{70, 80}));
+}
+
+TEST(AgreeHistory, EmptyInputs) {
+  EXPECT_TRUE(agree_history({}, 1).empty());
+  EXPECT_TRUE(agree_history({{}, {}, {}}, 1).empty());
+}
+
+// ---- ReplicaMaintainer over plain nodes. ----
+
+TEST(Maintainer, RepairsMissingAndCorruptReplicas) {
+  // Four nodes addressed by the i-th replica key of the block.
+  const Block data = block_from("maintained");
+  const Pid pid = Pid::of(data);
+  const auto keys = replica_keys(pid.as_key(), 4);
+  std::map<p2p::NodeId, StorageNode> nodes;
+  for (const auto& k : keys) nodes[k];  // Default-construct.
+  for (const auto& k : keys) nodes[k].put(pid, data);
+
+  // Damage two replicas.
+  nodes[keys[1]].drop(pid);
+  nodes[keys[2]].corrupt_stored(pid);
+
+  ReplicaMaintainer maintainer(
+      [&](const p2p::NodeId& key) -> StorageNode* {
+        const auto it = nodes.find(key);
+        return it == nodes.end() ? nullptr : &it->second;
+      },
+      4);
+  maintainer.track(pid);
+  const std::size_t repaired = maintainer.scan();
+  EXPECT_EQ(repaired, 2u);
+  for (const auto& k : keys) {
+    EXPECT_TRUE(nodes[k].holds_intact(pid));
+  }
+  EXPECT_EQ(maintainer.stats().missing_found, 1u);
+  EXPECT_EQ(maintainer.stats().corrupt_found, 1u);
+  // A second scan finds nothing to do.
+  EXPECT_EQ(maintainer.scan(), 0u);
+}
+
+TEST(Maintainer, UnrepairableWhenNoIntactCopy) {
+  const Block data = block_from("goner");
+  const Pid pid = Pid::of(data);
+  const auto keys = replica_keys(pid.as_key(), 4);
+  std::map<p2p::NodeId, StorageNode> nodes;
+  for (const auto& k : keys) {
+    nodes[k].put(pid, data);
+    nodes[k].corrupt_stored(pid);
+  }
+  ReplicaMaintainer maintainer(
+      [&](const p2p::NodeId& key) -> StorageNode* { return &nodes.at(key); },
+      4);
+  maintainer.track(pid);
+  EXPECT_EQ(maintainer.scan(), 0u);
+  EXPECT_EQ(maintainer.stats().unrepairable, 1u);
+}
+
+}  // namespace
+}  // namespace asa_repro::storage

@@ -1,0 +1,124 @@
+// Paper Table 1, asserted exactly, plus the closed-form the counts follow
+// and the pre-merge (pruned) sizes the generation pipeline predicts.
+#include <gtest/gtest.h>
+
+#include "commit/commit_model.hpp"
+
+namespace asa_repro::commit {
+namespace {
+
+struct Table1Row {
+  std::uint32_t f;
+  std::uint32_t r;
+  std::uint64_t initial_states;
+  std::uint64_t final_states;
+};
+
+class Table1 : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1, CountsMatchPaperExactly) {
+  const Table1Row row = GetParam();
+  CommitModel model(row.r);
+  EXPECT_EQ(model.max_faulty(), row.f);
+  fsm::GenerationReport report;
+  const fsm::StateMachine machine =
+      model.generate_state_machine({}, &report);
+  EXPECT_EQ(report.initial_states, row.initial_states);
+  EXPECT_EQ(report.final_states, row.final_states);
+  EXPECT_EQ(machine.state_count(), row.final_states);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table1,
+    ::testing::Values(Table1Row{1, 4, 512, 33}, Table1Row{2, 7, 1568, 85},
+                      Table1Row{4, 13, 5408, 261},
+                      Table1Row{8, 25, 20000, 901},
+                      Table1Row{15, 46, 67712, 2945}),
+    [](const ::testing::TestParamInfo<Table1Row>& info) {
+      return "r" + std::to_string(info.param.r);
+    });
+
+TEST(Table1Text, PrunedCountForR4MatchesSection34) {
+  // Section 3.4: "this step reduces the state space from its initial size
+  // of 512 to 48", then merging yields 33.
+  CommitModel model(4);
+  fsm::GenerationReport report;
+  (void)model.generate_state_machine({}, &report);
+  EXPECT_EQ(report.reachable_states, 48u);
+}
+
+TEST(Table1Formula, InitialStatesAre32RSquared) {
+  // Section 3.4: the space of possible states has size 2^5 * r^2.
+  for (std::uint32_t r : {4u, 5u, 7u, 10u, 13u, 25u, 46u}) {
+    CommitModel model(r);
+    EXPECT_EQ(model.space().size(), 32ull * r * r) << "r=" << r;
+  }
+}
+
+TEST(Table1Formula, FinalStatesFollowClosedForm) {
+  // The paper's final counts fit (2r+1)(2r+3)/3 exactly for r = 3f+1; the
+  // model must keep doing so beyond the published rows.
+  for (std::uint32_t r : {4u, 7u, 10u, 13u, 16u, 19u, 22u, 25u, 46u}) {
+    CommitModel model(r);
+    fsm::GenerationReport report;
+    (void)model.generate_state_machine({}, &report);
+    EXPECT_EQ(report.final_states,
+              (2ull * r + 1) * (2ull * r + 3) / 3)
+        << "r=" << r;
+  }
+}
+
+TEST(Table1Formula, PrunedStatesPrediction) {
+  // Pre-merge reachable sizes implied by the validated semantics: 48, 112,
+  // 312, 1000, 3128 for the paper's five rows (the paper only reports the
+  // r=4 value; the rest are this reproduction's predictions, kept pinned
+  // here so regressions surface).
+  const std::pair<std::uint32_t, std::uint64_t> expected[] = {
+      {4u, 48u}, {7u, 112u}, {13u, 312u}, {25u, 1000u}, {46u, 3128u}};
+  for (const auto& [r, pruned] : expected) {
+    CommitModel model(r);
+    fsm::GenerationReport report;
+    (void)model.generate_state_machine({}, &report);
+    EXPECT_EQ(report.reachable_states, pruned) << "r=" << r;
+  }
+}
+
+TEST(Table1Formula, PrunedStatesFollowClosedForm) {
+  // Like the final counts, the reachable (pre-merge) counts have a clean
+  // closed form for r = 3f+1: 4r(r+5)/3.
+  for (std::uint32_t r : {4u, 7u, 10u, 13u, 19u, 25u, 46u}) {
+    CommitModel model(r);
+    fsm::GenerationReport report;
+    (void)model.generate_state_machine({}, &report);
+    EXPECT_EQ(report.reachable_states, 4ull * r * (r + 5) / 3) << "r=" << r;
+  }
+}
+
+TEST(Table1Timing, GenerationIsNotALimitingFactor) {
+  // The paper's pragmatic conclusion. Generous bound: the largest family
+  // member must generate in well under a minute (it takes well under a
+  // second on current hardware).
+  CommitModel model(46);
+  fsm::GenerationReport report;
+  (void)model.generate_state_machine({}, &report);
+  EXPECT_LT(report.total_time(), std::chrono::seconds(30));
+}
+
+TEST(Table1Sanity, EachStateHasBoundedTransitions) {
+  // Section 3.1: "33 states with 3-4 transitions from each". Self-loops on
+  // free/not_free are recorded, so every live state reacts to 3-5 of the 5
+  // messages.
+  CommitModel model(4);
+  const fsm::StateMachine machine = model.generate_state_machine();
+  std::size_t total = 0;
+  for (const fsm::State& s : machine.states()) {
+    if (s.is_final) continue;
+    EXPECT_GE(s.transitions.size(), 3u) << s.name;
+    EXPECT_LE(s.transitions.size(), 5u) << s.name;
+    total += s.transitions.size();
+  }
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace asa_repro::commit

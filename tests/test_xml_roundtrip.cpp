@@ -1,0 +1,120 @@
+// XML artefact round-trip: render -> parse must reproduce the machine
+// exactly (structure, names, actions, annotations, start/finish), for both
+// toy machines and real commit family members.
+#include <gtest/gtest.h>
+
+#include "commit/commit_model.hpp"
+#include "core/equivalence.hpp"
+#include "core/render/xml_parser.hpp"
+#include "core/render/xml_renderer.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+void expect_identical(const StateMachine& a, const StateMachine& b) {
+  ASSERT_EQ(a.messages(), b.messages());
+  ASSERT_EQ(a.state_count(), b.state_count());
+  EXPECT_EQ(a.start(), b.start());
+  EXPECT_EQ(a.finish(), b.finish());
+  for (StateId i = 0; i < a.state_count(); ++i) {
+    const State& sa = a.state(i);
+    const State& sb = b.state(i);
+    EXPECT_EQ(sa.name, sb.name);
+    EXPECT_EQ(sa.is_final, sb.is_final);
+    EXPECT_EQ(sa.annotations, sb.annotations) << sa.name;
+    ASSERT_EQ(sa.transitions.size(), sb.transitions.size()) << sa.name;
+    for (std::size_t t = 0; t < sa.transitions.size(); ++t) {
+      EXPECT_EQ(sa.transitions[t].message, sb.transitions[t].message);
+      EXPECT_EQ(sa.transitions[t].actions, sb.transitions[t].actions);
+      EXPECT_EQ(sa.transitions[t].target, sb.transitions[t].target);
+      EXPECT_EQ(sa.transitions[t].annotations, sb.transitions[t].annotations);
+    }
+  }
+}
+
+class XmlRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(XmlRoundTrip, CommitMachineSurvives) {
+  commit::CommitModel model(GetParam());
+  const StateMachine machine = model.generate_state_machine();
+  const std::string xml = XmlRenderer().render(machine);
+  std::string error;
+  const auto parsed = parse_state_machine_xml(xml, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  expect_identical(machine, *parsed);
+  EXPECT_TRUE(trace_equivalent(machine, *parsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicationFactors, XmlRoundTrip,
+                         ::testing::Values(2u, 4u, 7u));
+
+TEST(XmlRoundTripDetail, EscapedCharactersSurvive) {
+  State s;
+  s.name = "a<b&\"c\"";
+  s.annotations = {"uses <, >, & and 'quotes'"};
+  Transition t;
+  t.message = 0;
+  t.actions = {"fire&forget"};
+  t.target = 0;
+  t.annotations = {"loop > back"};
+  s.transitions = {t};
+  const StateMachine machine({"m<0>"}, {s}, 0, kNoState);
+
+  const std::string xml = XmlRenderer().render(machine);
+  std::string error;
+  const auto parsed = parse_state_machine_xml(xml, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  expect_identical(machine, *parsed);
+}
+
+TEST(XmlRoundTripDetail, ParserRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(parse_state_machine_xml("", &error).has_value());
+  EXPECT_FALSE(parse_state_machine_xml("<wrong/>", &error).has_value());
+  EXPECT_FALSE(
+      parse_state_machine_xml("<statemachine start=\"x\">", &error)
+          .has_value());  // No states.
+}
+
+TEST(XmlRoundTripDetail, ParserRejectsDanglingReferences) {
+  const std::string xml =
+      "<?xml version=\"1.0\"?>\n"
+      "<statemachine states=\"1\" start=\"s\">\n"
+      "  <messages><message name=\"m\"/></messages>\n"
+      "  <states><state name=\"s\"/></states>\n"
+      "  <transitions>\n"
+      "    <transition from=\"s\" message=\"m\" to=\"ghost\"/>\n"
+      "  </transitions>\n"
+      "</statemachine>\n";
+  std::string error;
+  EXPECT_FALSE(parse_state_machine_xml(xml, &error).has_value());
+  EXPECT_NE(error.find("unknown state"), std::string::npos);
+}
+
+TEST(XmlRoundTripDetail, ParserRejectsDuplicateStates) {
+  const std::string xml =
+      "<statemachine start=\"s\">\n"
+      "  <messages><message name=\"m\"/></messages>\n"
+      "  <states><state name=\"s\"/><state name=\"s\"/></states>\n"
+      "</statemachine>\n";
+  std::string error;
+  EXPECT_FALSE(parse_state_machine_xml(xml, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(XmlRoundTripDetail, MachineWithoutFinishRoundTrips) {
+  State s;
+  s.name = "only";
+  Transition t;
+  t.message = 0;
+  t.target = 0;
+  s.transitions = {t};
+  const StateMachine machine({"m"}, {s}, 0, kNoState);
+  const auto parsed =
+      parse_state_machine_xml(XmlRenderer().render(machine));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->finish(), kNoState);
+}
+
+}  // namespace
+}  // namespace asa_repro::fsm

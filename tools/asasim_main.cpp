@@ -1,0 +1,200 @@
+// asasim — command-line ASA cluster simulator.
+//
+// Spins up the whole stack (Chord ring, storage hosts, commit peers,
+// version-history service), runs a configurable update workload against a
+// set of GUIDs under configurable faults, and reports protocol statistics.
+// A deterministic harness for exploring the deployed system's behaviour
+// without writing code.
+//
+//   asasim --nodes 16 --replication 4 --clients 3 --updates 9
+//          --byzantine equivocator:1 --drop 0.05 --seed 7 --trace
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/cluster.hpp"
+
+using namespace asa_repro;
+using namespace asa_repro::storage;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: asasim [options]\n"
+      "  --nodes N            cluster size (default 16)\n"
+      "  --replication R      replication factor (default 4)\n"
+      "  --clients C          concurrent clients (default 2)\n"
+      "  --updates U          total updates across clients (default 6)\n"
+      "  --guids G            number of GUIDs written (default 2)\n"
+      "  --byzantine KIND:N   crash | equivocator | withholder, N nodes\n"
+      "  --drop P             message drop probability (default 0)\n"
+      "  --duplicate P        message duplication probability (default 0)\n"
+      "  --seed S             simulation seed (default 42)\n"
+      "  --trace              dump commit/abort trace events\n";
+}
+
+std::optional<commit::Behaviour> parse_behaviour(const std::string& name) {
+  if (name == "crash") return commit::Behaviour::kCrash;
+  if (name == "equivocator") return commit::Behaviour::kEquivocator;
+  if (name == "withholder") return commit::Behaviour::kWithholder;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClusterConfig config;
+  config.nodes = 16;
+  config.replication_factor = 4;
+  config.seed = 42;
+  int clients = 2;
+  int updates = 6;
+  int guids = 2;
+  commit::Behaviour byz_kind = commit::Behaviour::kHonest;
+  std::size_t byz_count = 0;
+  double duplicate_probability = 0.0;
+  bool dump_trace = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      return i + 1 < argc ? std::string(argv[++i]) : std::string();
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (arg == "--nodes") {
+      config.nodes = std::stoul(next());
+    } else if (arg == "--replication") {
+      config.replication_factor =
+          static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--clients") {
+      clients = std::stoi(next());
+    } else if (arg == "--updates") {
+      updates = std::stoi(next());
+    } else if (arg == "--guids") {
+      guids = std::stoi(next());
+    } else if (arg == "--drop") {
+      config.drop_probability = std::stod(next());
+    } else if (arg == "--duplicate") {
+      duplicate_probability = std::stod(next());
+    } else if (arg == "--seed") {
+      config.seed = std::stoull(next());
+    } else if (arg == "--trace") {
+      dump_trace = true;
+      config.tracing = true;
+    } else if (arg == "--byzantine") {
+      const std::string spec = next();
+      const std::size_t colon = spec.find(':');
+      const auto kind = parse_behaviour(spec.substr(0, colon));
+      if (!kind.has_value()) {
+        std::cerr << "unknown behaviour: " << spec << "\n";
+        return 2;
+      }
+      byz_kind = *kind;
+      byz_count = colon == std::string::npos
+                      ? 1
+                      : std::stoul(spec.substr(colon + 1));
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  config.retry.base_timeout = 80'000;
+  config.retry.max_attempts = 25;
+  AsaCluster cluster(config);
+  cluster.network().set_duplicate_probability(duplicate_probability);
+  for (std::size_t i = 0; i < byz_count && i < cluster.node_count(); ++i) {
+    cluster.make_byzantine(i, byz_kind);
+  }
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    cluster.host(i).peer().enable_abort(60'000, 80'000);
+  }
+
+  std::cout << "cluster: " << config.nodes << " nodes, r="
+            << config.replication_factor << " (f=" << cluster.f() << "), "
+            << byz_count << " byzantine, drop=" << config.drop_probability
+            << ", seed=" << config.seed << "\n";
+
+  // Workload: `updates` version appends spread over `guids` GUIDs and
+  // round-robined across clients (each client is one VersionHistoryService;
+  // the first owns reads).
+  int committed = 0, failed = 0;
+  std::uint64_t total_attempts = 0;
+  double total_latency_ms = 0;
+  for (int u = 0; u < updates; ++u) {
+    const Guid guid = Guid::named("guid:" + std::to_string(u % guids));
+    const Pid pid = Pid::of(block_from("update " + std::to_string(u)));
+    cluster.version_history().append(
+        guid, pid, [&](const commit::CommitResult& r) {
+          if (r.committed) {
+            ++committed;
+            total_attempts += r.attempts;
+            total_latency_ms += static_cast<double>(r.latency) / 1000.0;
+          } else {
+            ++failed;
+          }
+        });
+    // Stagger client submissions slightly (concurrency within guids).
+    if ((u + 1) % clients == 0) cluster.run_for(2'000);
+  }
+  cluster.run();
+
+  std::cout << "\nworkload: " << committed << "/" << updates
+            << " updates committed, " << failed << " failed\n";
+  if (committed > 0) {
+    std::cout << "mean attempts " << (double)total_attempts / committed
+              << ", mean latency "
+              << total_latency_ms / committed << " ms\n";
+  }
+
+  for (int g = 0; g < guids; ++g) {
+    const Guid guid = Guid::named("guid:" + std::to_string(g));
+    HistoryReadResult read;
+    cluster.version_history().read(
+        guid, [&](const HistoryReadResult& r) { read = r; });
+    cluster.run();
+    std::cout << "guid:" << g << " agreed history length "
+              << read.versions.size() << " (" << read.replies
+              << " peers replied, " << (read.ok ? "ok" : "NO QUORUM")
+              << ")\n";
+  }
+
+  const auto& net = cluster.network().stats();
+  std::cout << "\nnetwork: " << net.sent << " sent, " << net.delivered
+            << " delivered, " << net.dropped << " dropped, "
+            << net.duplicated << " duplicated\n";
+  std::uint64_t votes = 0, commits = 0, aborts = 0;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    votes += cluster.host(i).peer().stats().votes_sent;
+    commits += cluster.host(i).peer().stats().commits_sent;
+    aborts += cluster.host(i).peer().stats().aborted;
+  }
+  std::cout << "protocol: " << votes << " votes sent, " << commits
+            << " commits sent, " << aborts << " instance aborts\n";
+
+  // Long-lived peers collect finished machine instances (memory stays
+  // bounded by the live count).
+  std::size_t collected = 0;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    collected += cluster.host(i).peer().collect_finished();
+  }
+  std::cout << "gc: " << collected << " finished machine instances "
+            << "collected\n";
+
+  if (dump_trace) {
+    std::cout << "\ncommit/abort trace:\n";
+    for (const auto& e : cluster.trace().events()) {
+      if (e.category == "commit" || e.category == "abort") {
+        std::cout << "  [" << e.time << "us] node" << e.node << " "
+                  << e.category << " " << e.detail << "\n";
+      }
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
