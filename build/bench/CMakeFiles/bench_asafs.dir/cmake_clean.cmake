@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asafs.dir/bench_asafs.cpp.o"
+  "CMakeFiles/bench_asafs.dir/bench_asafs.cpp.o.d"
+  "bench_asafs"
+  "bench_asafs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_asafs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chord.dir/bench_chord.cpp.o"
+  "CMakeFiles/bench_chord.dir/bench_chord.cpp.o.d"
+  "bench_chord"
+  "bench_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_efsm.dir/bench_efsm.cpp.o"
+  "CMakeFiles/bench_efsm.dir/bench_efsm.cpp.o.d"
+  "bench_efsm"
+  "bench_efsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_efsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generation_scaling.dir/bench_generation_scaling.cpp.o"
+  "CMakeFiles/bench_generation_scaling.dir/bench_generation_scaling.cpp.o.d"
+  "bench_generation_scaling"
+  "bench_generation_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generation_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_storage.cpp" "bench/CMakeFiles/bench_storage.dir/bench_storage.cpp.o" "gcc" "bench/CMakeFiles/bench_storage.dir/bench_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asa_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/commit/CMakeFiles/asa_commit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/asa_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/asa_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/asa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/asa_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/asafs/CMakeFiles/asa_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_systematic.dir/bench_systematic.cpp.o"
+  "CMakeFiles/bench_systematic.dir/bench_systematic.cpp.o.d"
+  "bench_systematic"
+  "bench_systematic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_systematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efsm_demo.dir/efsm_demo.cpp.o"
+  "CMakeFiles/efsm_demo.dir/efsm_demo.cpp.o.d"
+  "efsm_demo"
+  "efsm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efsm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

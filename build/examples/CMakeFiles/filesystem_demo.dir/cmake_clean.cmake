@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_demo.dir/filesystem_demo.cpp.o"
+  "CMakeFiles/filesystem_demo.dir/filesystem_demo.cpp.o.d"
+  "filesystem_demo"
+  "filesystem_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_demo.dir/storage_demo.cpp.o"
+  "CMakeFiles/storage_demo.dir/storage_demo.cpp.o.d"
+  "storage_demo"
+  "storage_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/termination_demo.dir/termination_demo.cpp.o"
+  "CMakeFiles/termination_demo.dir/termination_demo.cpp.o.d"
+  "termination_demo"
+  "termination_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/termination_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

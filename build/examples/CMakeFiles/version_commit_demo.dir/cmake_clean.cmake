@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_commit_demo.dir/version_commit_demo.cpp.o"
+  "CMakeFiles/version_commit_demo.dir/version_commit_demo.cpp.o.d"
+  "version_commit_demo"
+  "version_commit_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_commit_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

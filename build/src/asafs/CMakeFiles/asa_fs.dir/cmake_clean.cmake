@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asa_fs.dir/file_system.cpp.o"
+  "CMakeFiles/asa_fs.dir/file_system.cpp.o.d"
+  "libasa_fs.a"
+  "libasa_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asa_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

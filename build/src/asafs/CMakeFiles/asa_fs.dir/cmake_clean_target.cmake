@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasa_fs.a"
+)

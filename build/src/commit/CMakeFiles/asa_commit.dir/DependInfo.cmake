@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/commit/commit_efsm.cpp" "src/commit/CMakeFiles/asa_commit.dir/commit_efsm.cpp.o" "gcc" "src/commit/CMakeFiles/asa_commit.dir/commit_efsm.cpp.o.d"
+  "/root/repo/src/commit/commit_model.cpp" "src/commit/CMakeFiles/asa_commit.dir/commit_model.cpp.o" "gcc" "src/commit/CMakeFiles/asa_commit.dir/commit_model.cpp.o.d"
+  "/root/repo/src/commit/endpoint.cpp" "src/commit/CMakeFiles/asa_commit.dir/endpoint.cpp.o" "gcc" "src/commit/CMakeFiles/asa_commit.dir/endpoint.cpp.o.d"
+  "/root/repo/src/commit/peer.cpp" "src/commit/CMakeFiles/asa_commit.dir/peer.cpp.o" "gcc" "src/commit/CMakeFiles/asa_commit.dir/peer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asa_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

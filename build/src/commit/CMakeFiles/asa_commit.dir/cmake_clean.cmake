@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asa_commit.dir/commit_efsm.cpp.o"
+  "CMakeFiles/asa_commit.dir/commit_efsm.cpp.o.d"
+  "CMakeFiles/asa_commit.dir/commit_model.cpp.o"
+  "CMakeFiles/asa_commit.dir/commit_model.cpp.o.d"
+  "CMakeFiles/asa_commit.dir/endpoint.cpp.o"
+  "CMakeFiles/asa_commit.dir/endpoint.cpp.o.d"
+  "CMakeFiles/asa_commit.dir/peer.cpp.o"
+  "CMakeFiles/asa_commit.dir/peer.cpp.o.d"
+  "libasa_commit.a"
+  "libasa_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asa_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abstract_model.cpp" "src/core/CMakeFiles/asa_fsm.dir/abstract_model.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/abstract_model.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/asa_fsm.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/codegen.cpp" "src/core/CMakeFiles/asa_fsm.dir/codegen.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/codegen.cpp.o.d"
+  "/root/repo/src/core/dynamic_loader.cpp" "src/core/CMakeFiles/asa_fsm.dir/dynamic_loader.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/dynamic_loader.cpp.o.d"
+  "/root/repo/src/core/efsm/efsm.cpp" "src/core/CMakeFiles/asa_fsm.dir/efsm/efsm.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/efsm/efsm.cpp.o.d"
+  "/root/repo/src/core/efsm/efsm_code_renderer.cpp" "src/core/CMakeFiles/asa_fsm.dir/efsm/efsm_code_renderer.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/efsm/efsm_code_renderer.cpp.o.d"
+  "/root/repo/src/core/efsm/efsm_doc_renderer.cpp" "src/core/CMakeFiles/asa_fsm.dir/efsm/efsm_doc_renderer.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/efsm/efsm_doc_renderer.cpp.o.d"
+  "/root/repo/src/core/efsm/efsm_dot_renderer.cpp" "src/core/CMakeFiles/asa_fsm.dir/efsm/efsm_dot_renderer.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/efsm/efsm_dot_renderer.cpp.o.d"
+  "/root/repo/src/core/efsm/expr.cpp" "src/core/CMakeFiles/asa_fsm.dir/efsm/expr.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/efsm/expr.cpp.o.d"
+  "/root/repo/src/core/equivalence.cpp" "src/core/CMakeFiles/asa_fsm.dir/equivalence.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/equivalence.cpp.o.d"
+  "/root/repo/src/core/minimize.cpp" "src/core/CMakeFiles/asa_fsm.dir/minimize.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/minimize.cpp.o.d"
+  "/root/repo/src/core/render/code_renderer.cpp" "src/core/CMakeFiles/asa_fsm.dir/render/code_renderer.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/render/code_renderer.cpp.o.d"
+  "/root/repo/src/core/render/doc_renderer.cpp" "src/core/CMakeFiles/asa_fsm.dir/render/doc_renderer.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/render/doc_renderer.cpp.o.d"
+  "/root/repo/src/core/render/dot_renderer.cpp" "src/core/CMakeFiles/asa_fsm.dir/render/dot_renderer.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/render/dot_renderer.cpp.o.d"
+  "/root/repo/src/core/render/mermaid_renderer.cpp" "src/core/CMakeFiles/asa_fsm.dir/render/mermaid_renderer.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/render/mermaid_renderer.cpp.o.d"
+  "/root/repo/src/core/render/text_renderer.cpp" "src/core/CMakeFiles/asa_fsm.dir/render/text_renderer.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/render/text_renderer.cpp.o.d"
+  "/root/repo/src/core/render/xml_parser.cpp" "src/core/CMakeFiles/asa_fsm.dir/render/xml_parser.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/render/xml_parser.cpp.o.d"
+  "/root/repo/src/core/render/xml_renderer.cpp" "src/core/CMakeFiles/asa_fsm.dir/render/xml_renderer.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/render/xml_renderer.cpp.o.d"
+  "/root/repo/src/core/state_space.cpp" "src/core/CMakeFiles/asa_fsm.dir/state_space.cpp.o" "gcc" "src/core/CMakeFiles/asa_fsm.dir/state_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asa_crypto.dir/hex.cpp.o"
+  "CMakeFiles/asa_crypto.dir/hex.cpp.o.d"
+  "CMakeFiles/asa_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/asa_crypto.dir/sha1.cpp.o.d"
+  "libasa_crypto.a"
+  "libasa_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asa_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

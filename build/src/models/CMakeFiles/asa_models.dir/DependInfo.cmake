@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/termination_efsm.cpp" "src/models/CMakeFiles/asa_models.dir/termination_efsm.cpp.o" "gcc" "src/models/CMakeFiles/asa_models.dir/termination_efsm.cpp.o.d"
+  "/root/repo/src/models/termination_model.cpp" "src/models/CMakeFiles/asa_models.dir/termination_model.cpp.o" "gcc" "src/models/CMakeFiles/asa_models.dir/termination_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asa_fsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

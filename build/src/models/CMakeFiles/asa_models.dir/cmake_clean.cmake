@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asa_models.dir/termination_efsm.cpp.o"
+  "CMakeFiles/asa_models.dir/termination_efsm.cpp.o.d"
+  "CMakeFiles/asa_models.dir/termination_model.cpp.o"
+  "CMakeFiles/asa_models.dir/termination_model.cpp.o.d"
+  "libasa_models.a"
+  "libasa_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asa_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asa_p2p.dir/chord.cpp.o"
+  "CMakeFiles/asa_p2p.dir/chord.cpp.o.d"
+  "CMakeFiles/asa_p2p.dir/node_id.cpp.o"
+  "CMakeFiles/asa_p2p.dir/node_id.cpp.o.d"
+  "libasa_p2p.a"
+  "libasa_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asa_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asa_sim.dir/network.cpp.o"
+  "CMakeFiles/asa_sim.dir/network.cpp.o.d"
+  "CMakeFiles/asa_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/asa_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/asa_sim.dir/sequence.cpp.o"
+  "CMakeFiles/asa_sim.dir/sequence.cpp.o.d"
+  "CMakeFiles/asa_sim.dir/trace.cpp.o"
+  "CMakeFiles/asa_sim.dir/trace.cpp.o.d"
+  "libasa_sim.a"
+  "libasa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

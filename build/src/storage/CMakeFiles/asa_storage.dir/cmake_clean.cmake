@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asa_storage.dir/cluster.cpp.o"
+  "CMakeFiles/asa_storage.dir/cluster.cpp.o.d"
+  "CMakeFiles/asa_storage.dir/data_store.cpp.o"
+  "CMakeFiles/asa_storage.dir/data_store.cpp.o.d"
+  "CMakeFiles/asa_storage.dir/version_history.cpp.o"
+  "CMakeFiles/asa_storage.dir/version_history.cpp.o.d"
+  "libasa_storage.a"
+  "libasa_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asa_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abstract_model.dir/test_abstract_model.cpp.o"
+  "CMakeFiles/test_abstract_model.dir/test_abstract_model.cpp.o.d"
+  "test_abstract_model"
+  "test_abstract_model.pdb"
+  "test_abstract_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abstract_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

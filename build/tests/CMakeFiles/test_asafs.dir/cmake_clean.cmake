@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asafs.dir/test_asafs.cpp.o"
+  "CMakeFiles/test_asafs.dir/test_asafs.cpp.o.d"
+  "test_asafs"
+  "test_asafs.pdb"
+  "test_asafs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

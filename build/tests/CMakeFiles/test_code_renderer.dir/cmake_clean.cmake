@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_code_renderer.dir/test_code_renderer.cpp.o"
+  "CMakeFiles/test_code_renderer.dir/test_code_renderer.cpp.o.d"
+  "test_code_renderer"
+  "test_code_renderer.pdb"
+  "test_code_renderer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_code_renderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

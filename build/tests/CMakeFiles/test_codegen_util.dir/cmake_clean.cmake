@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_util.dir/test_codegen_util.cpp.o"
+  "CMakeFiles/test_codegen_util.dir/test_codegen_util.cpp.o.d"
+  "test_codegen_util"
+  "test_codegen_util.pdb"
+  "test_codegen_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commit_model.dir/test_commit_model.cpp.o"
+  "CMakeFiles/test_commit_model.dir/test_commit_model.cpp.o.d"
+  "test_commit_model"
+  "test_commit_model.pdb"
+  "test_commit_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commit_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commit_runtime.dir/test_commit_runtime.cpp.o"
+  "CMakeFiles/test_commit_runtime.dir/test_commit_runtime.cpp.o.d"
+  "test_commit_runtime"
+  "test_commit_runtime.pdb"
+  "test_commit_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commit_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_efsm.dir/test_efsm.cpp.o"
+  "CMakeFiles/test_efsm.dir/test_efsm.cpp.o.d"
+  "test_efsm"
+  "test_efsm.pdb"
+  "test_efsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_efsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generated_artifact.dir/test_generated_artifact.cpp.o"
+  "CMakeFiles/test_generated_artifact.dir/test_generated_artifact.cpp.o.d"
+  "test_generated_artifact"
+  "test_generated_artifact.pdb"
+  "test_generated_artifact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generated_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_host.dir/test_node_host.cpp.o"
+  "CMakeFiles/test_node_host.dir/test_node_host.cpp.o.d"
+  "test_node_host"
+  "test_node_host.pdb"
+  "test_node_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_renderers.dir/test_renderers.cpp.o"
+  "CMakeFiles/test_renderers.dir/test_renderers.cpp.o.d"
+  "test_renderers"
+  "test_renderers.pdb"
+  "test_renderers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_renderers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systematic.dir/test_systematic.cpp.o"
+  "CMakeFiles/test_systematic.dir/test_systematic.cpp.o.d"
+  "test_systematic"
+  "test_systematic.pdb"
+  "test_systematic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_version_history.dir/test_version_history.cpp.o"
+  "CMakeFiles/test_version_history.dir/test_version_history.cpp.o.d"
+  "test_version_history"
+  "test_version_history.pdb"
+  "test_version_history[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_version_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

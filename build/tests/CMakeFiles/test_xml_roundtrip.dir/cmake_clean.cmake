@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_roundtrip.dir/test_xml_roundtrip.cpp.o"
+  "CMakeFiles/test_xml_roundtrip.dir/test_xml_roundtrip.cpp.o.d"
+  "test_xml_roundtrip"
+  "test_xml_roundtrip.pdb"
+  "test_xml_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asasim.dir/asasim_main.cpp.o"
+  "CMakeFiles/asasim.dir/asasim_main.cpp.o.d"
+  "asasim"
+  "asasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/fsmgen_main.cpp" "tools/CMakeFiles/fsmgen.dir/fsmgen_main.cpp.o" "gcc" "tools/CMakeFiles/fsmgen.dir/fsmgen_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asa_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/commit/CMakeFiles/asa_commit.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/asa_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmgen.dir/fsmgen_main.cpp.o"
+  "CMakeFiles/fsmgen.dir/fsmgen_main.cpp.o.d"
+  "fsmgen"
+  "fsmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
