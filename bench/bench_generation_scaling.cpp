@@ -1,62 +1,100 @@
-// Extension of Table 1: generation cost for every replication factor up to
-// 100. The paper could not assert the relationship between state-space size
-// and generation time "with any confidence from this small sample"; this
-// sweep pins it down (time grows ~quadratically in r, dominated by the
-// initial 32*r^2 enumeration plus minimization over ~(2r)^2/1.33 states),
-// and confirms the pragmatic conclusion that generation is never a
-// limiting factor.
+// Extension of Table 1: generation cost across the FSM family, serial vs
+// parallel. The paper could not assert the relationship between state-space
+// size and generation time "with any confidence from this small sample";
+// this sweep pins it down (time grows ~quadratically in r, dominated by the
+// 32*r^2 enumeration/transition passes plus minimization over ~(2r)^2/1.33
+// pruned states) and measures what the chunked map-reduce engine
+// (core/parallel.hpp) buys: the same bit-identical artefact, generated with
+// one lane per hardware thread instead of one.
+//
+// Columns: serial (jobs=1, the legacy path) and parallel (jobs = hardware
+// concurrency) best-of-N wall time, per-state throughput, and speedup.
 #include <chrono>
 #include <cstdio>
 
 #include "commit/commit_model.hpp"
+#include "core/equivalence.hpp"
+#include "core/parallel.hpp"
 
 using namespace asa_repro;
 
-int main() {
-  std::printf("Generation scaling sweep (extension of Table 1)\n\n");
-  std::printf("%4s %4s %10s %8s %8s %10s %12s\n", "r", "f", "initial",
-              "pruned", "final", "time (ms)", "us / state");
+namespace {
 
-  double prev_time = 0;
-  std::uint64_t prev_initial = 0;
-  for (std::uint32_t r = 4; r <= 100; r += (r < 16 ? 3 : (r < 52 ? 12 : 24))) {
-    commit::CommitModel model(r);
-    fsm::GenerationReport report;
-
-    double best_ms = 1e18;
-    for (int rep = 0; rep < 3; ++rep) {
-      fsm::GenerationReport local;
-      const auto t0 = std::chrono::steady_clock::now();
-      (void)model.generate_state_machine({}, &local);
-      const auto t1 = std::chrono::steady_clock::now();
-      const double ms =
-          std::chrono::duration<double, std::milli>(t1 - t0).count();
-      if (ms < best_ms) {
-        best_ms = ms;
-        report = local;
-      }
+/// Best-of-`reps` generation wall time in milliseconds.
+double best_ms(const commit::CommitModel& model,
+               const fsm::GenerationOptions& options, int reps,
+               fsm::GenerationReport* report) {
+  double best = 1e18;
+  for (int rep = 0; rep < reps; ++rep) {
+    fsm::GenerationReport local;
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)model.generate_state_machine(options, &local);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) {
+      best = ms;
+      if (report != nullptr) *report = local;
     }
+  }
+  return best;
+}
 
-    std::printf("%4u %4u %10llu %8llu %8llu %10.3f %12.4f", r,
-                model.max_faulty(),
+}  // namespace
+
+int main() {
+  const unsigned jobs = fsm::hardware_jobs();
+  std::printf("Generation scaling sweep (extension of Table 1)\n");
+  std::printf("serial = jobs 1, parallel = jobs %u (hardware threads)\n\n",
+              jobs);
+  std::printf("%4s %4s %10s %8s %8s %12s %12s %12s %8s\n", "r", "f",
+              "initial", "pruned", "final", "serial (ms)", "par (ms)",
+              "Mstate/s", "speedup");
+
+  const std::uint32_t factors[] = {4, 7, 10, 16, 25, 40, 64, 100};
+  for (const std::uint32_t r : factors) {
+    const commit::CommitModel model(r);
+    const int reps = r <= 25 ? 5 : 3;
+
+    fsm::GenerationOptions serial;
+    serial.jobs = 1;
+    fsm::GenerationReport report;
+    const double serial_ms = best_ms(model, serial, reps, &report);
+
+    fsm::GenerationOptions parallel;
+    parallel.jobs = 0;  // Hardware concurrency.
+    const double parallel_ms = best_ms(model, parallel, reps, nullptr);
+
+    std::printf("%4u %4u %10llu %8llu %8llu %12.3f %12.3f %12.2f %7.2fx\n",
+                r, model.max_faulty(),
                 static_cast<unsigned long long>(report.initial_states),
                 static_cast<unsigned long long>(report.reachable_states),
                 static_cast<unsigned long long>(report.final_states),
-                best_ms,
-                1000.0 * best_ms / static_cast<double>(report.initial_states));
-    if (prev_time > 0) {
-      std::printf("   (time x%.2f for states x%.2f)",
-                  best_ms / prev_time,
-                  static_cast<double>(report.initial_states) /
-                      static_cast<double>(prev_initial));
-    }
-    std::printf("\n");
-    prev_time = best_ms;
-    prev_initial = report.initial_states;
+                serial_ms, parallel_ms,
+                static_cast<double>(report.initial_states) /
+                    (parallel_ms * 1e3),
+                serial_ms / parallel_ms);
   }
 
-  std::printf("\nConclusion matches the paper: generation time is far from "
-              "a limiting factor\n(milliseconds where the 2007 hardware "
-              "took seconds; same slow growth shape).\n");
+  // The determinism contract, spot-checked where it is cheapest to state:
+  // the parallel artefact is the serial artefact.
+  {
+    const commit::CommitModel model(7);
+    fsm::GenerationOptions serial;
+    serial.jobs = 1;
+    fsm::GenerationOptions parallel;
+    parallel.jobs = 0;
+    const bool identical =
+        fsm::trace_equivalent(model.generate_state_machine(serial),
+                              model.generate_state_machine(parallel));
+    std::printf("\nserial/parallel artefacts trace-equivalent at r=7: %s\n",
+                identical ? "yes" : "NO — BUG");
+  }
+
+  std::printf("\nConclusion: generation is never a limiting factor "
+              "(milliseconds where the 2007\nhardware took seconds), and the "
+              "deterministic chunked engine turns repeated\nfamily-wide "
+              "sweeps from O(cores) idle into near-linear use of the "
+              "machine.\n");
   return 0;
 }

@@ -1,43 +1,53 @@
-// Generation-policy support (paper section 4.2).
+// Generation-policy support (paper section 4.2) for the commit protocol.
 //
-// The paper identifies a spectrum of generation times: once during
-// development, at every execution, or whenever a new parameter value is
-// encountered — the last amortised by "caching generated implementations to
-// avoid the need for regeneration of versions that have been encountered
-// previously". MachineCache is that cache for interpreted deployment: one
-// immutable StateMachine per replication factor, generated on first use and
-// shared by every peer instance thereafter.
+// One immutable StateMachine per replication factor, generated on first use
+// and shared by every peer instance thereafter. Since PR 1 this is a thin
+// model-specific wrapper over the generic fsm::MachineCache, which adds the
+// (model id, parameter, code version) key and optional on-disk persistence
+// of the XML artefact; constructing with a directory makes repeated
+// deployments of the same family member O(1) across processes.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
+#include <filesystem>
+#include <utility>
 
 #include "commit/commit_model.hpp"
+#include "core/machine_cache.hpp"
 
 namespace asa_repro::commit {
 
 class MachineCache {
  public:
+  /// Memory-only cache (one generation per factor per process).
+  MachineCache() = default;
+
+  /// Cache persisted under `directory`; see fsm::MachineCache.
+  explicit MachineCache(std::filesystem::path directory)
+      : cache_(std::move(directory)) {}
+
   /// The merged commit FSM for replication factor `r`, generating it on
-  /// first request. The returned reference is stable for the cache's
-  /// lifetime.
-  const fsm::StateMachine& machine_for(std::uint32_t r) {
-    const auto it = machines_.find(r);
-    if (it != machines_.end()) return *it->second;
-    CommitModel model(r);
-    auto machine =
-        std::make_unique<fsm::StateMachine>(model.generate_state_machine());
-    return *machines_.emplace(r, std::move(machine)).first->second;
+  /// first request (with `jobs` generation lanes; 1 = serial, 0 = hardware
+  /// concurrency — the artefact is identical either way). The returned
+  /// reference is stable for the cache's lifetime.
+  const fsm::StateMachine& machine_for(std::uint32_t r, unsigned jobs = 1) {
+    return cache_.machine_for("commit", r, [r, jobs] {
+      fsm::GenerationOptions options;
+      options.jobs = jobs;
+      return CommitModel(r).generate_state_machine(options);
+    });
   }
 
-  [[nodiscard]] std::size_t size() const { return machines_.size(); }
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
   [[nodiscard]] bool contains(std::uint32_t r) const {
-    return machines_.contains(r);
+    return cache_.contains("commit", r);
+  }
+  [[nodiscard]] const fsm::MachineCacheStats& stats() const {
+    return cache_.stats();
   }
 
  private:
-  std::map<std::uint32_t, std::unique_ptr<fsm::StateMachine>> machines_;
+  fsm::MachineCache cache_;
 };
 
 }  // namespace asa_repro::commit

@@ -2,9 +2,9 @@
 
 #include <cassert>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "core/minimize.hpp"
+#include "core/parallel.hpp"
 
 namespace asa_repro::fsm {
 
@@ -32,13 +32,21 @@ StateMachine AbstractModel::generate_state_machine(
   GenerationReport local_report;
   GenerationReport& rep = report != nullptr ? *report : local_report;
 
+  // All per-state passes run on this pool; jobs == 1 owns no threads and
+  // executes inline (the legacy serial path). Chunks write to disjoint
+  // index-addressed slots, so the output is bit-identical for any job
+  // count (see parallel.hpp's determinism contract).
+  const ThreadPool pool(options.jobs);
+
   // ---- Step 1: generate all possible states (Fig 7). ----
   auto t0 = Clock::now();
   const StateIndex total = space_.size();
   std::vector<RawState> raw(total);
-  for (StateIndex i = 0; i < total; ++i) {
-    raw[i].is_final = is_final(space_.decode(i));
-  }
+  pool.for_range(total, [&](StateIndex begin, StateIndex end) {
+    for (StateIndex i = begin; i < end; ++i) {
+      raw[i].is_final = is_final(space_.decode(i));
+    }
+  });
   rep.initial_states = total;
   auto t1 = Clock::now();
   rep.enumerate_time = t1 - t0;
@@ -46,33 +54,39 @@ StateMachine AbstractModel::generate_state_machine(
   // ---- Step 2: generate transitions for every (state, message) (Fig 11).
   // Final states take no further part in the algorithm and therefore have
   // no outgoing transitions.
+  pool.for_range(total, [&](StateIndex begin, StateIndex end) {
+    for (StateIndex i = begin; i < end; ++i) {
+      if (raw[i].is_final) continue;
+      const StateVector state = space_.decode(i);
+      for (MessageId m = 0; m < messages_.size(); ++m) {
+        std::optional<Reaction> reaction = react(state, m);
+        if (!reaction.has_value()) continue;  // Message not applicable here.
+        if (!space_.in_range(reaction->target)) {
+          throw std::logic_error("AbstractModel::react produced a target "
+                                 "outside the configured state space");
+        }
+        Transition t;
+        t.message = m;
+        t.actions = std::move(reaction->actions);
+        // Targets temporarily hold dense StateIndex values; compaction
+        // below remaps them to StateIds.
+        t.target = static_cast<StateId>(space_.encode(reaction->target));
+        if (options.annotate) t.annotations = std::move(reaction->annotations);
+        raw[i].transitions.push_back(std::move(t));
+      }
+    }
+  });
   std::uint64_t transition_count = 0;
   for (StateIndex i = 0; i < total; ++i) {
-    if (raw[i].is_final) continue;
-    const StateVector state = space_.decode(i);
-    for (MessageId m = 0; m < messages_.size(); ++m) {
-      std::optional<Reaction> reaction = react(state, m);
-      if (!reaction.has_value()) continue;  // Message not applicable here.
-      if (!space_.in_range(reaction->target)) {
-        throw std::logic_error("AbstractModel::react produced a target "
-                               "outside the configured state space");
-      }
-      Transition t;
-      t.message = m;
-      t.actions = std::move(reaction->actions);
-      // Targets temporarily hold dense StateIndex values; compaction below
-      // remaps them to StateIds.
-      t.target = static_cast<StateId>(space_.encode(reaction->target));
-      if (options.annotate) t.annotations = std::move(reaction->annotations);
-      raw[i].transitions.push_back(std::move(t));
-      ++transition_count;
-    }
+    transition_count += raw[i].transitions.size();
   }
   rep.transitions = transition_count;
   auto t2 = Clock::now();
   rep.transition_time = t2 - t1;
 
   // ---- Step 3: prune states unreachable from the start state (Fig 12). ----
+  // The traversal is inherently sequential but touches each edge once;
+  // it is a tiny fraction of generation time.
   const StateIndex start_index = space_.encode(start_state());
   std::vector<bool> keep(total, false);
   if (options.prune_unreachable) {
@@ -92,26 +106,31 @@ StateMachine AbstractModel::generate_state_machine(
     keep.assign(total, true);
   }
 
-  // Compact surviving states into the StateMachine, remapping indices.
-  std::unordered_map<StateIndex, StateId> remap;
-  remap.reserve(total);
-  std::vector<State> states;
+  // Compact surviving states into the StateMachine. Output slots are
+  // assigned by a serial scan (ascending StateIndex, as before); the
+  // per-state construction — names, annotations, target remapping — then
+  // fills those disjoint slots in parallel.
+  std::vector<StateId> remap(total, kNoState);
+  StateId kept_count = 0;
   for (StateIndex i = 0; i < total; ++i) {
-    if (!keep[i]) continue;
-    remap.emplace(i, static_cast<StateId>(states.size()));
-    const StateVector v = space_.decode(i);
-    State s;
-    s.name = space_.name(v);
-    s.is_final = raw[i].is_final;
-    if (options.annotate) s.annotations = describe_state(v);
-    s.transitions = std::move(raw[i].transitions);
-    states.push_back(std::move(s));
+    if (keep[i]) remap[i] = kept_count++;
   }
-  for (State& s : states) {
-    for (Transition& t : s.transitions) {
-      t.target = remap.at(t.target);
+  std::vector<State> states(kept_count);
+  pool.for_range(total, [&](StateIndex begin, StateIndex end) {
+    for (StateIndex i = begin; i < end; ++i) {
+      if (remap[i] == kNoState) continue;
+      const StateVector v = space_.decode(i);
+      State s;
+      s.name = space_.name(v);
+      s.is_final = raw[i].is_final;
+      if (options.annotate) s.annotations = describe_state(v);
+      s.transitions = std::move(raw[i].transitions);
+      for (Transition& t : s.transitions) {
+        t.target = remap[t.target];
+      }
+      states[remap[i]] = std::move(s);
     }
-  }
+  });
   rep.reachable_states = states.size();
   auto t3 = Clock::now();
   rep.prune_time = t3 - t2;
@@ -126,12 +145,12 @@ StateMachine AbstractModel::generate_state_machine(
       break;
     }
   }
-  StateMachine machine(messages_, std::move(states), remap.at(start_index),
+  StateMachine machine(messages_, std::move(states), remap[start_index],
                        finish);
 
   // ---- Step 4: combine equivalent states (Fig 13). ----
   if (options.merge_equivalent) {
-    machine = minimize(machine);
+    machine = minimize(machine, nullptr, &pool);
     if (!options.annotate) {
       // minimize() records merged-member commentary; honour the option.
       for (State& s : machine.states()) s.annotations.clear();

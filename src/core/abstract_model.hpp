@@ -36,12 +36,24 @@ struct Reaction {
   std::vector<std::string> annotations;
 };
 
-/// Which of the four generation steps to run. Disabling later steps exposes
-/// the intermediate data structures of Figs 7/11/12/13 for inspection.
+/// Which of the four generation steps to run, and how. Disabling later
+/// steps exposes the intermediate data structures of Figs 7/11/12/13 for
+/// inspection.
+///
+/// `jobs` selects the execution strategy for the per-state passes (steps 1,
+/// 2, compaction, and the minimization signatures of step 4): 1 is the
+/// legacy serial path, N > 1 runs them on an internal thread pool
+/// (core/parallel.hpp), and 0 means "one lane per hardware thread". The
+/// generated machine is bit-identical for every jobs value — chunk results
+/// are merged in state-index order, never in completion order — so `jobs`
+/// is purely a throughput knob. With jobs > 1 the model's react(),
+/// is_final() and describe_state() are called concurrently from several
+/// threads; models must keep them const-pure (the paper's models are).
 struct GenerationOptions {
   bool prune_unreachable = true;   // step 3
   bool merge_equivalent = true;    // step 4
   bool annotate = true;            // record state/transition commentary
+  unsigned jobs = 1;               // 1 = serial, 0 = hardware concurrency
 };
 
 /// Sizes and timings observed during generation (paper Table 1 columns).

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <mutex>
+
+#include "core/parallel.hpp"
 
 namespace asa_repro::fsm {
 
@@ -106,25 +109,45 @@ std::size_t nontrivial_scc_count(const StateMachine& machine) {
 
 }  // namespace
 
-MachineAnalysis analyze(const StateMachine& machine) {
+MachineAnalysis analyze(const StateMachine& machine, unsigned jobs) {
   MachineAnalysis a;
   a.states = machine.state_count();
-  for (StateId s = 0; s < machine.state_count(); ++s) {
-    const State& state = machine.state(s);
-    if (state.is_final) ++a.final_states;
-    for (const Transition& t : state.transitions) {
-      ++a.transitions;
-      if (t.actions.empty()) {
-        ++a.simple_transitions;
-      } else {
-        ++a.phase_transitions;
-      }
-      ++a.transitions_per_message[machine.messages()[t.message]];
-      for (const std::string& action : t.actions) {
-        ++a.action_frequency[action];
+  // Per-state tallies are additive, so chunks accumulate locally and merge
+  // under a lock; every quantity is commutative (counters and sorted maps),
+  // making the merged result independent of chunk completion order.
+  const ThreadPool pool(jobs);
+  std::mutex merge_mutex;
+  pool.for_range(machine.state_count(), [&](std::uint64_t chunk_begin,
+                                            std::uint64_t chunk_end) {
+    MachineAnalysis local;
+    for (StateId s = static_cast<StateId>(chunk_begin); s < chunk_end; ++s) {
+      const State& state = machine.state(s);
+      if (state.is_final) ++local.final_states;
+      for (const Transition& t : state.transitions) {
+        ++local.transitions;
+        if (t.actions.empty()) {
+          ++local.simple_transitions;
+        } else {
+          ++local.phase_transitions;
+        }
+        ++local.transitions_per_message[machine.messages()[t.message]];
+        for (const std::string& action : t.actions) {
+          ++local.action_frequency[action];
+        }
       }
     }
-  }
+    const std::lock_guard lock(merge_mutex);
+    a.final_states += local.final_states;
+    a.transitions += local.transitions;
+    a.simple_transitions += local.simple_transitions;
+    a.phase_transitions += local.phase_transitions;
+    for (const auto& [message, count] : local.transitions_per_message) {
+      a.transitions_per_message[message] += count;
+    }
+    for (const auto& [action, count] : local.action_frequency) {
+      a.action_frequency[action] += count;
+    }
+  });
 
   const std::vector<std::int64_t> dist = distances_to_finish(machine);
   for (StateId s = 0; s < machine.state_count(); ++s) {

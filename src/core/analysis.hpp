@@ -49,7 +49,12 @@ struct MachineAnalysis {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Analyse a machine. Cost is O(states * messages).
-[[nodiscard]] MachineAnalysis analyze(const StateMachine& machine);
+/// Analyse a machine. Cost is O(states * messages). With `jobs` != 1 the
+/// per-state tallies run chunked on an internal thread pool
+/// (core/parallel.hpp; 0 = hardware concurrency) and partial tallies are
+/// merged commutatively, so the report is identical for every job count;
+/// the graph passes (finish distances, SCCs) stay serial.
+[[nodiscard]] MachineAnalysis analyze(const StateMachine& machine,
+                                      unsigned jobs = 1);
 
 }  // namespace asa_repro::fsm

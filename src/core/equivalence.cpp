@@ -1,8 +1,10 @@
 #include "core/equivalence.hpp"
 
 #include <cstdint>
-#include <deque>
 #include <unordered_set>
+#include <vector>
+
+#include "core/parallel.hpp"
 
 namespace asa_repro::fsm {
 
@@ -13,64 +15,111 @@ std::string message_name(const StateMachine& m, MessageId id) {
                                   : "#" + std::to_string(id);
 }
 
+/// One frontier entry: a product-space node plus the trace that reached it.
+struct Node {
+  StateId sa;
+  StateId sb;
+  std::vector<MessageId> trace;
+};
+
+/// What examining one node yields: either the first divergence at that node
+/// (scanning messages in ascending order, exactly like the serial search),
+/// or the list of successor product states in message order.
+struct NodeResult {
+  std::optional<Divergence> divergence;
+  std::vector<std::tuple<MessageId, StateId, StateId>> successors;
+};
+
+NodeResult examine(const StateMachine& a, const StateMachine& b,
+                   const Node& n) {
+  NodeResult result;
+  const State& sa = a.state(n.sa);
+  const State& sb = b.state(n.sb);
+
+  if (sa.is_final != sb.is_final) {
+    result.divergence = Divergence{n.trace, "finality differs ('" + sa.name +
+                                               "' vs '" + sb.name + "')"};
+    return result;
+  }
+
+  for (MessageId m = 0; m < a.messages().size(); ++m) {
+    const Transition* ta = sa.transition(m);
+    const Transition* tb = sb.transition(m);
+    if ((ta == nullptr) != (tb == nullptr)) {
+      auto trace = n.trace;
+      trace.push_back(m);
+      result.divergence =
+          Divergence{std::move(trace), "applicability of '" +
+                                           message_name(a, m) +
+                                           "' differs in '" + sa.name +
+                                           "' vs '" + sb.name + "'"};
+      return result;
+    }
+    if (ta == nullptr) continue;
+    if (ta->actions != tb->actions) {
+      auto trace = n.trace;
+      trace.push_back(m);
+      result.divergence =
+          Divergence{std::move(trace), "actions for '" + message_name(a, m) +
+                                           "' differ in '" + sa.name +
+                                           "' vs '" + sb.name + "'"};
+      return result;
+    }
+    result.successors.emplace_back(m, ta->target, tb->target);
+  }
+  return result;
+}
+
 }  // namespace
 
 std::optional<Divergence> find_divergence(const StateMachine& a,
-                                          const StateMachine& b) {
+                                          const StateMachine& b,
+                                          unsigned jobs) {
   if (a.messages() != b.messages()) {
     return Divergence{{}, "message vocabularies differ"};
   }
-
-  struct Node {
-    StateId sa;
-    StateId sb;
-    std::vector<MessageId> trace;
-  };
 
   const auto key = [](StateId sa, StateId sb) {
     return (std::uint64_t{sa} << 32) | sb;
   };
 
+  // Level-synchronous BFS over the product space. Each frontier is the
+  // FIFO queue segment of one depth, in discovery order; examining its
+  // nodes is the expensive part (action-list comparisons) and runs chunked
+  // on the pool into index-addressed slots. The serial merge then replays
+  // results in discovery order — first divergence wins, successors dedup
+  // against `visited` in (node, message) order — so both the witness and
+  // the visit order are identical to a serial FIFO search.
+  const ThreadPool pool(jobs);
   std::unordered_set<std::uint64_t> visited;
-  std::deque<Node> queue;
-  queue.push_back({a.start(), b.start(), {}});
+  std::vector<Node> frontier;
+  frontier.push_back({a.start(), b.start(), {}});
   visited.insert(key(a.start(), b.start()));
 
-  while (!queue.empty()) {
-    Node n = std::move(queue.front());
-    queue.pop_front();
-    const State& sa = a.state(n.sa);
-    const State& sb = b.state(n.sb);
-
-    if (sa.is_final != sb.is_final) {
-      return Divergence{n.trace, "finality differs ('" + sa.name + "' vs '" +
-                                     sb.name + "')"};
-    }
-
-    for (MessageId m = 0; m < a.messages().size(); ++m) {
-      const Transition* ta = sa.transition(m);
-      const Transition* tb = sb.transition(m);
-      if ((ta == nullptr) != (tb == nullptr)) {
-        auto trace = n.trace;
-        trace.push_back(m);
-        return Divergence{trace, "applicability of '" + message_name(a, m) +
-                                     "' differs in '" + sa.name + "' vs '" +
-                                     sb.name + "'"};
+  std::vector<NodeResult> results;
+  while (!frontier.empty()) {
+    results.assign(frontier.size(), {});
+    pool.for_range(frontier.size(), [&](std::uint64_t chunk_begin,
+                                        std::uint64_t chunk_end) {
+      for (std::uint64_t i = chunk_begin; i < chunk_end; ++i) {
+        results[i] = examine(a, b, frontier[i]);
       }
-      if (ta == nullptr) continue;
-      if (ta->actions != tb->actions) {
-        auto trace = n.trace;
-        trace.push_back(m);
-        return Divergence{trace, "actions for '" + message_name(a, m) +
-                                     "' differ in '" + sa.name + "' vs '" +
-                                     sb.name + "'"};
+    });
+
+    std::vector<Node> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (results[i].divergence.has_value()) {
+        return std::move(results[i].divergence);
       }
-      if (visited.insert(key(ta->target, tb->target)).second) {
-        auto trace = n.trace;
-        trace.push_back(m);
-        queue.push_back({ta->target, tb->target, std::move(trace)});
+      for (const auto& [m, ta, tb] : results[i].successors) {
+        if (visited.insert(key(ta, tb)).second) {
+          auto trace = frontier[i].trace;
+          trace.push_back(m);
+          next.push_back({ta, tb, std::move(trace)});
+        }
       }
     }
+    frontier = std::move(next);
   }
   return std::nullopt;
 }

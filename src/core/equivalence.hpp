@@ -27,13 +27,20 @@ struct Divergence {
 ///
 /// Returns nullopt when equivalent, otherwise a shortest-divergence witness
 /// (BFS order).
+///
+/// With `jobs` != 1 the product-space search runs level-synchronously: each
+/// BFS frontier is examined chunked on an internal thread pool
+/// (core/parallel.hpp; 0 = hardware concurrency), then successors are
+/// merged serially in discovery order. The visit order — and therefore the
+/// returned witness — is identical to the serial search for any job count.
 [[nodiscard]] std::optional<Divergence> find_divergence(
-    const StateMachine& a, const StateMachine& b);
+    const StateMachine& a, const StateMachine& b, unsigned jobs = 1);
 
 /// Convenience wrapper.
 [[nodiscard]] inline bool trace_equivalent(const StateMachine& a,
-                                           const StateMachine& b) {
-  return !find_divergence(a, b).has_value();
+                                           const StateMachine& b,
+                                           unsigned jobs = 1) {
+  return !find_divergence(a, b, jobs).has_value();
 }
 
 }  // namespace asa_repro::fsm

@@ -1,0 +1,75 @@
+#include "core/machine_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/render/xml_parser.hpp"
+#include "core/render/xml_renderer.hpp"
+
+namespace asa_repro::fsm {
+
+MachineCache::MachineCache(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  // A directory we cannot create degrades to memory-only behaviour; reads
+  // and writes below are similarly best-effort.
+}
+
+std::string MachineCache::key(std::string_view model_id,
+                              std::uint64_t parameter) {
+  return std::string(model_id) + ":" + std::to_string(parameter) + ":v" +
+         std::to_string(kGenerationCodeVersion);
+}
+
+std::string MachineCache::file_name(std::string_view model_id,
+                                    std::uint64_t parameter) {
+  return std::string(model_id) + "_p" + std::to_string(parameter) + "_v" +
+         std::to_string(kGenerationCodeVersion) + ".fsm.xml";
+}
+
+const StateMachine& MachineCache::machine_for(std::string_view model_id,
+                                              std::uint64_t parameter,
+                                              const Generator& generate) {
+  const std::string k = key(model_id, parameter);
+  if (const auto it = machines_.find(k); it != machines_.end()) {
+    ++stats_.memory_hits;
+    return *it->second;
+  }
+
+  if (!directory_.empty()) {
+    const std::filesystem::path path =
+        directory_ / file_name(model_id, parameter);
+    if (std::ifstream in(path); in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      if (std::optional<StateMachine> machine =
+              parse_state_machine_xml(text.str())) {
+        ++stats_.disk_hits;
+        return *machines_
+                    .emplace(k, std::make_unique<StateMachine>(
+                                    std::move(*machine)))
+                    .first->second;
+      }
+      // Corrupt entry: fall through to regenerate and overwrite it.
+    }
+  }
+
+  ++stats_.misses;
+  auto machine = std::make_unique<StateMachine>(generate());
+  if (!directory_.empty()) {
+    const std::filesystem::path path =
+        directory_ / file_name(model_id, parameter);
+    if (std::ofstream out(path); out) {
+      out << XmlRenderer().render(*machine);
+    }
+  }
+  return *machines_.emplace(k, std::move(machine)).first->second;
+}
+
+bool MachineCache::contains(std::string_view model_id,
+                            std::uint64_t parameter) const {
+  return machines_.contains(key(model_id, parameter));
+}
+
+}  // namespace asa_repro::fsm

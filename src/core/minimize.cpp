@@ -2,45 +2,146 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
+
+#include "core/parallel.hpp"
 
 namespace asa_repro::fsm {
 
 namespace {
 
-/// Distinguishing signature of a state under a given partition: finality
-/// plus, per message, the action list and the destination's class. Message
-/// ids are naturally ordered because transitions are generated in message
-/// order.
-struct Signature {
-  bool is_final;
-  std::uint32_t current_class;
-  std::vector<std::tuple<MessageId, ActionList, std::uint32_t>> rows;
-
-  bool operator<(const Signature& other) const {
-    if (is_final != other.is_final) return is_final < other.is_final;
-    if (current_class != other.current_class) {
-      return current_class < other.current_class;
-    }
-    return rows < other.rows;
+/// Run a chunked index range on `pool`, or inline when no pool is supplied.
+void run(const ThreadPool* pool, std::uint64_t count,
+         const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (pool != nullptr) {
+    pool->for_range(count, body);
+  } else {
+    if (count > 0) body(0, count);
   }
+}
+
+/// The distinguishing signature of a state under a partition is its
+/// finality plus, per transition (in message order), the action list and
+/// the destination's class. Action lists are interned up front — equal
+/// lists get equal ids — so each round's signatures are flat u64 sequences:
+///
+///   [ is_final, current_class, (message, action_id, class)* ]
+///
+/// This is equality-preserving with respect to the original
+/// (bool, class, (message, ActionList, class)*) tuples, and cheap enough to
+/// recompute and hash in parallel every refinement round.
+struct SignatureTable {
+  std::size_t state_count = 0;
+  std::vector<std::uint64_t> trans_data;  // Triples (message, action_id, target).
+  std::vector<std::size_t> trans_off;     // Per state, into trans_data; n+1.
+  std::vector<std::size_t> sig_off;       // Per state, into buf; n+1.
+  std::vector<std::uint64_t> buf;         // Round-scratch signature storage.
+  std::vector<std::uint64_t> hash;        // Per-state signature hash.
 };
 
-Signature signature_of(const State& s, const std::vector<std::uint32_t>& cls,
-                       std::uint32_t own_class, bool refine) {
-  Signature sig;
-  sig.is_final = s.is_final;
-  // During refinement a state can only stay in (a subdivision of) its own
-  // class; when coalescing from the identity partition this constraint is
-  // dropped so that distinct states may merge.
-  sig.current_class = refine ? own_class : 0;
-  sig.rows.reserve(s.transitions.size());
-  for (const Transition& t : s.transitions) {
-    sig.rows.emplace_back(t.message, t.actions, cls[t.target]);
+SignatureTable build_signature_table(const StateMachine& machine) {
+  SignatureTable table;
+  const std::size_t n = machine.state_count();
+  table.state_count = n;
+
+  // Interning iterates states and transitions in order, so action ids are
+  // deterministic; only id equality matters for grouping anyway.
+  std::map<ActionList, std::uint64_t> action_ids;
+  table.trans_off.resize(n + 1, 0);
+  table.sig_off.resize(n + 1, 0);
+  for (StateId i = 0; i < n; ++i) {
+    const State& s = machine.state(i);
+    table.trans_off[i + 1] = table.trans_off[i] + s.transitions.size();
+    table.sig_off[i + 1] = table.sig_off[i] + 2 + 3 * s.transitions.size();
+    for (const Transition& t : s.transitions) {
+      const auto [it, inserted] =
+          action_ids.emplace(t.actions, action_ids.size());
+      table.trans_data.push_back(t.message);
+      table.trans_data.push_back(it->second);
+      table.trans_data.push_back(t.target);
+    }
   }
-  return sig;
+  table.buf.resize(table.sig_off[n]);
+  table.hash.resize(n);
+  return table;
+}
+
+std::uint64_t fnv1a(const std::uint64_t* data, std::size_t count) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t v = data[i];
+    for (int b = 0; b < 8; ++b) {
+      h ^= v & 0xff;
+      h *= 1099511628211ULL;
+      v >>= 8;
+    }
+  }
+  return h;
+}
+
+/// One coalescing round: group states with identical signatures under the
+/// partition `cls`. Signature construction and hashing run chunked on the
+/// pool; class ids are then assigned by a serial scan in ascending state
+/// order, so the resulting partition (and its numbering) is independent of
+/// thread interleaving. Returns the new class count.
+std::uint32_t coalesce(const StateMachine& machine, SignatureTable& table,
+                       std::vector<std::uint32_t>& cls, bool refine,
+                       const ThreadPool* pool) {
+  const std::size_t n = table.state_count;
+  run(pool, n, [&](std::uint64_t chunk_begin, std::uint64_t chunk_end) {
+    for (std::uint64_t i = chunk_begin; i < chunk_end; ++i) {
+      std::uint64_t* sig = table.buf.data() + table.sig_off[i];
+      std::uint64_t* out = sig;
+      *out++ = machine.state(static_cast<StateId>(i)).is_final ? 1 : 0;
+      // During refinement a state can only stay in (a subdivision of) its
+      // own class; when coalescing from the identity partition this
+      // constraint is dropped so that distinct states may merge.
+      *out++ = refine ? cls[i] : 0;
+      const std::uint64_t* t = table.trans_data.data() + 3 * table.trans_off[i];
+      const std::uint64_t* t_end =
+          table.trans_data.data() + 3 * table.trans_off[i + 1];
+      for (; t != t_end; t += 3) {
+        *out++ = t[0];                 // message
+        *out++ = t[1];                 // action id
+        *out++ = cls[t[2]];            // destination's class
+      }
+      table.hash[i] = fnv1a(sig, table.sig_off[i + 1] - table.sig_off[i]);
+    }
+  });
+
+  // Buckets map a hash to the states first seen with it; true equality is
+  // confirmed by comparing full signatures, so hash collisions only cost
+  // time, never correctness.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  buckets.reserve(n);
+  std::vector<std::uint32_t> next(n);
+  std::uint32_t class_count = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t* sig_i = table.buf.data() + table.sig_off[i];
+    const std::size_t len_i = table.sig_off[i + 1] - table.sig_off[i];
+    std::vector<std::uint32_t>& bucket = buckets[table.hash[i]];
+    bool matched = false;
+    for (const std::uint32_t rep : bucket) {
+      const std::size_t len_r = table.sig_off[rep + 1] - table.sig_off[rep];
+      if (len_r == len_i &&
+          std::equal(sig_i, sig_i + len_i,
+                     table.buf.data() + table.sig_off[rep])) {
+        next[i] = next[rep];
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      bucket.push_back(i);
+      next[i] = class_count++;
+    }
+  }
+  cls = std::move(next);
+  return class_count;
 }
 
 StateMachine rebuild(const StateMachine& machine,
@@ -113,26 +214,11 @@ StateMachine rebuild(const StateMachine& machine,
   return StateMachine(machine.messages(), std::move(states), start, finish);
 }
 
-/// One coalescing round: group states with identical signatures under the
-/// partition `cls`. Returns the new class count.
-std::uint32_t coalesce(const StateMachine& machine,
-                       std::vector<std::uint32_t>& cls, bool refine) {
-  std::map<Signature, std::uint32_t> groups;
-  std::vector<std::uint32_t> next(machine.state_count());
-  for (StateId i = 0; i < machine.state_count(); ++i) {
-    Signature sig = signature_of(machine.state(i), cls, cls[i], refine);
-    const auto [it, inserted] =
-        groups.emplace(std::move(sig), static_cast<std::uint32_t>(groups.size()));
-    next[i] = it->second;
-  }
-  cls = std::move(next);
-  return static_cast<std::uint32_t>(groups.size());
-}
-
 }  // namespace
 
 StateMachine minimize(const StateMachine& machine,
-                      std::vector<StateId>* state_class) {
+                      std::vector<StateId>* state_class,
+                      const ThreadPool* pool) {
   // Moore-style partition refinement: start from the coarsest partition
   // (everything equivalent) and split classes whose members disagree on
   // finality, applicable messages, actions, or the class of a destination,
@@ -142,11 +228,17 @@ StateMachine minimize(const StateMachine& machine,
   // wording might also suggest, can fail to combine bisimilar states on
   // cycles; refinement cannot. merge_once() exposes one greedy round for
   // the ablation bench.)
+  //
+  // The rebuilt machine depends only on the final partition — classes are
+  // renumbered by lowest representative — and the refinement fixpoint is
+  // unique, so the result is identical whichever pool (or none) is used.
   if (machine.state_count() == 0) return machine;
+  SignatureTable table = build_signature_table(machine);
   std::vector<std::uint32_t> cls(machine.state_count(), 0);
   std::uint32_t count = 1;
   for (;;) {
-    const std::uint32_t new_count = coalesce(machine, cls, /*refine=*/true);
+    const std::uint32_t new_count =
+        coalesce(machine, table, cls, /*refine=*/true, pool);
     if (new_count == count) break;
     count = new_count;
   }
@@ -156,9 +248,11 @@ StateMachine minimize(const StateMachine& machine,
 StateMachine merge_once(const StateMachine& machine,
                         std::vector<StateId>* state_class) {
   if (machine.state_count() == 0) return machine;
+  SignatureTable table = build_signature_table(machine);
   std::vector<std::uint32_t> cls(machine.state_count());
   for (StateId i = 0; i < machine.state_count(); ++i) cls[i] = i;
-  const std::uint32_t count = coalesce(machine, cls, /*refine=*/false);
+  const std::uint32_t count =
+      coalesce(machine, table, cls, /*refine=*/false, /*pool=*/nullptr);
   return rebuild(machine, cls, count, state_class);
 }
 

@@ -15,14 +15,21 @@
 
 namespace asa_repro::fsm {
 
+class ThreadPool;
+
 /// Merge all equivalent states of `machine`. Each merged state keeps the
 /// name and annotations of its lowest-numbered representative, gains an
 /// annotation listing the other members it absorbed, and all transition
 /// targets are remapped. If `state_class` is non-null it receives, for each
 /// input StateId, the output StateId of its equivalence class.
+///
+/// When `pool` is non-null, each refinement round computes and hashes its
+/// state signatures chunked on the pool (core/parallel.hpp); grouping stays
+/// serial in state order, so the result is bit-identical to the serial path.
 [[nodiscard]] StateMachine minimize(const StateMachine& machine,
                                     std::vector<StateId>* state_class =
-                                        nullptr);
+                                        nullptr,
+                                    const ThreadPool* pool = nullptr);
 
 /// Single-pass variant: performs one round of "combine states whose outgoing
 /// transitions have identical actions and destinations" without iterating to

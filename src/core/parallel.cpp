@@ -1,0 +1,118 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+
+namespace asa_repro::fsm {
+
+unsigned hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned resolve_jobs(unsigned jobs) {
+  return jobs == 0 ? hardware_jobs() : jobs;
+}
+
+ThreadPool::ThreadPool(unsigned jobs) : jobs_(resolve_jobs(jobs)) {
+  workers_.reserve(jobs_ - 1);
+  for (unsigned i = 0; i + 1 < jobs_; ++i) {
+    workers_.emplace_back([this] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        Task* task = nullptr;
+        {
+          std::unique_lock lock(m_);
+          wake_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+          if (stop_) return;
+          seen = epoch_;
+          // The task may already be fully claimed (or retired) by the time
+          // this worker wakes; registering as active under the lock keeps
+          // the caller from destroying it while we run.
+          if (task_ != nullptr && task_->next < task_->count) {
+            task = task_;
+            ++active_;
+          }
+        }
+        if (task != nullptr) {
+          run_chunks(*task);
+          {
+            std::lock_guard lock(m_);
+            --active_;
+          }
+          done_cv_.notify_all();
+        }
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(m_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunks(Task& task) const {
+  for (;;) {
+    std::uint64_t begin;
+    {
+      std::lock_guard lock(m_);
+      if (task.next >= task.count) return;
+      begin = task.next;
+      task.next = std::min(task.count, begin + task.chunk);
+    }
+    const std::uint64_t end = std::min(task.count, begin + task.chunk);
+    try {
+      (*task.body)(begin, end);
+    } catch (...) {
+      // Keep the exception from the lowest chunk so failures are as
+      // deterministic as the results (remaining chunks still run).
+      std::lock_guard lock(m_);
+      const std::uint64_t chunk_index = begin / task.chunk;
+      if (chunk_index < task.error_chunk) {
+        task.error_chunk = chunk_index;
+        task.error = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::for_range(
+    std::uint64_t count,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) const {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    body(0, count);
+    return;
+  }
+
+  Task task;
+  task.body = &body;
+  task.count = count;
+  // ~4 chunks per lane balances load without fragmenting tiny ranges.
+  const std::uint64_t target_chunks =
+      std::min<std::uint64_t>(count, std::uint64_t{jobs_} * 4);
+  task.chunk = (count + target_chunks - 1) / target_chunks;
+
+  {
+    std::lock_guard lock(m_);
+    task_ = &task;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+
+  run_chunks(task);  // The caller is a lane too.
+
+  {
+    std::unique_lock lock(m_);
+    done_cv_.wait(lock,
+                  [&] { return active_ == 0 && task.next >= task.count; });
+    task_ = nullptr;
+  }
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+}  // namespace asa_repro::fsm

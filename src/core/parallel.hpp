@@ -1,0 +1,89 @@
+// Deterministic parallel execution for the generation pipeline.
+//
+// The paper's generative step (sections 3.4, 4.2) is embarrassingly parallel
+// per state: enumerating the 2^5 * r^2 possible states (Fig 7), applying
+// every message to every state (Fig 11), and the downstream full-space
+// passes (pruning support, minimization signatures, analysis tallies) all
+// decompose over dense StateIndex ranges with no cross-state dependencies.
+// This header provides the small internal thread pool those passes share.
+//
+// Determinism contract: ThreadPool::for_range splits [0, count) into fixed
+// contiguous chunks and executes them on worker threads in unspecified
+// order. Callers must write results only to disjoint, index-addressed slots
+// (or merge commutatively under a lock), so that the combined result is
+// bit-identical to running the chunks sequentially — generation output must
+// never depend on thread interleaving. Every artefact produced with jobs=N
+// is byte-identical to the jobs=1 legacy serial path
+// (test_parallel_generation.cpp enforces this).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asa_repro::fsm {
+
+/// The job count meant by `jobs == 0`: std::thread::hardware_concurrency(),
+/// clamped to at least 1.
+[[nodiscard]] unsigned hardware_jobs();
+
+/// Resolve a user-supplied job count: 0 -> hardware_jobs(), else unchanged.
+[[nodiscard]] unsigned resolve_jobs(unsigned jobs);
+
+/// A fixed-size pool of worker threads executing chunked index ranges.
+///
+/// With jobs == 1 the pool owns no threads and for_range runs the body
+/// inline on the caller — the legacy serial path, byte-for-byte. With
+/// jobs == N the pool owns N-1 workers and the caller participates as the
+/// Nth, so for_range always uses exactly `jobs` execution lanes.
+class ThreadPool {
+ public:
+  /// `jobs` is resolved via resolve_jobs (0 = hardware concurrency).
+  explicit ThreadPool(unsigned jobs);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (caller + workers).
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Execute body(begin, end) over a fixed chunked partition of [0, count),
+  /// concurrently on all lanes, and block until every chunk completes.
+  /// Chunk boundaries depend only on (count, jobs), never on scheduling.
+  /// The body must honour the determinism contract above. If any chunk
+  /// throws, the exception from the lowest-numbered throwing chunk is
+  /// rethrown on the caller after all chunks finish.
+  void for_range(std::uint64_t count,
+                 const std::function<void(std::uint64_t, std::uint64_t)>&
+                     body) const;
+
+ private:
+  struct Task {
+    const std::function<void(std::uint64_t, std::uint64_t)>* body = nullptr;
+    std::uint64_t count = 0;
+    std::uint64_t chunk = 1;
+    std::uint64_t next = 0;  // Next unclaimed chunk start; guarded by m_.
+    std::exception_ptr error;
+    std::uint64_t error_chunk = ~std::uint64_t{0};
+  };
+
+  void run_chunks(Task& task) const;
+
+  unsigned jobs_ = 1;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex m_;
+  mutable std::condition_variable wake_cv_;   // Workers wait for a new task.
+  mutable std::condition_variable done_cv_;   // Caller waits for completion.
+  mutable Task* task_ = nullptr;
+  mutable std::uint64_t epoch_ = 0;
+  mutable unsigned active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace asa_repro::fsm

@@ -13,6 +13,7 @@
 //   fsmgen --render efsm
 //   fsmgen --model termination -n 8 --render doc
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -23,6 +24,8 @@
 #include "commit/commit_efsm.hpp"
 #include "commit/commit_model.hpp"
 #include "core/analysis.hpp"
+#include "core/machine_cache.hpp"
+#include "core/parallel.hpp"
 #include "core/efsm/efsm_code_renderer.hpp"
 #include "core/efsm/efsm_doc_renderer.hpp"
 #include "core/efsm/efsm_dot_renderer.hpp"
@@ -52,6 +55,11 @@ void usage() {
       "  --class-name NAME            class name for code rendering\n"
       "  --no-prune                   skip step 3 (prune unreachable)\n"
       "  --no-merge                   skip step 4 (merge equivalent)\n"
+      "  -j, --jobs N                 generation threads; 0 = one per\n"
+      "                               hardware thread (default), 1 = serial\n"
+      "  --cache DIR                  persist/reuse generated machines in\n"
+      "                               DIR (keyed by model, parameter and\n"
+      "                               generator code version)\n"
       "  --stats                      print generation statistics to stderr\n";
 }
 
@@ -64,7 +72,9 @@ int main(int argc, char** argv) {
   std::string render = "summary";
   std::string out_path;
   std::string class_name = "GeneratedCommitFsm";
+  std::string cache_dir;
   fsm::GenerationOptions options;
+  options.jobs = 0;  // CLI default: one generation lane per hardware thread.
   bool stats = false;
   bool analyze_machine = false;
 
@@ -105,6 +115,14 @@ int main(int argc, char** argv) {
       options.prune_unreachable = false;
     } else if (arg == "--no-merge") {
       options.merge_equivalent = false;
+    } else if (arg == "-j" || arg == "--jobs") {
+      const auto v = next();
+      if (!v) { usage(); return 2; }
+      options.jobs = static_cast<unsigned>(std::stoul(*v));
+    } else if (arg == "--cache") {
+      const auto v = next();
+      if (!v) { usage(); return 2; }
+      cache_dir = *v;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--analyze") {
@@ -153,8 +171,20 @@ int main(int argc, char** argv) {
       model = std::make_unique<models::TerminationModel>(max_tasks);
       model_label = "termination_n" + std::to_string(max_tasks);
     }
-    const fsm::StateMachine machine =
-        model->generate_state_machine(options, &report);
+    fsm::StateMachine machine;
+    bool cache_hit = false;
+    if (!cache_dir.empty()) {
+      fsm::MachineCache cache{std::filesystem::path(cache_dir)};
+      bool generated = false;
+      machine = cache.machine_for(
+          model_name, is_commit ? r : max_tasks, [&] {
+            generated = true;
+            return model->generate_state_machine(options, &report);
+          });
+      cache_hit = !generated;
+    } else {
+      machine = model->generate_state_machine(options, &report);
+    }
     if (render == "text") {
       output = fsm::TextRenderer().render(machine);
     } else if (render == "summary") {
@@ -206,18 +236,28 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (analyze_machine) {
-      std::cerr << fsm::analyze(machine).to_string();
+      std::cerr << fsm::analyze(machine, options.jobs).to_string();
     }
     if (stats) {
-      std::cerr << "initial states:  " << report.initial_states << "\n"
-                << "transitions:     " << report.transitions << "\n"
-                << "after pruning:   " << report.reachable_states << "\n"
-                << "after merging:   " << report.final_states << "\n"
-                << "generation time: "
-                << std::chrono::duration<double, std::milli>(
-                       report.total_time())
-                       .count()
-                << " ms\n";
+      if (cache_hit) {
+        std::cerr << "cache hit:       " << cache_dir << "/"
+                  << fsm::MachineCache::file_name(model_name,
+                                                  is_commit ? r : max_tasks)
+                  << " (no generation run)\n"
+                  << "final states:    " << machine.state_count() << "\n";
+      } else {
+        std::cerr << "jobs:            " << fsm::resolve_jobs(options.jobs)
+                  << "\n"
+                  << "initial states:  " << report.initial_states << "\n"
+                  << "transitions:     " << report.transitions << "\n"
+                  << "after pruning:   " << report.reachable_states << "\n"
+                  << "after merging:   " << report.final_states << "\n"
+                  << "generation time: "
+                  << std::chrono::duration<double, std::milli>(
+                         report.total_time())
+                         .count()
+                  << " ms\n";
+      }
     }
   }
 
