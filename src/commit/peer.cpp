@@ -332,10 +332,16 @@ void CommitPeer::enable_abort(sim::Time scan_interval, sim::Time max_age) {
 void CommitPeer::arm_abort_scan() {
   if (abort_armed_ || abort_interval_ == 0) return;
   abort_armed_ = true;
-  network_.scheduler().schedule_after(abort_interval_, [this] {
+  abort_event_ = network_.scheduler().schedule_after(abort_interval_, [this] {
     abort_armed_ = false;
     abort_scan(abort_max_age_);
   });
+}
+
+void CommitPeer::cancel_abort_scan() {
+  if (!abort_armed_) return;
+  network_.scheduler().cancel(abort_event_);
+  abort_armed_ = false;
 }
 
 void CommitPeer::abort_scan(sim::Time max_age) {

@@ -90,6 +90,10 @@ class CommitPeer {
   CommitPeer(const CommitPeer&) = delete;
   CommitPeer& operator=(const CommitPeer&) = delete;
 
+  /// A pending abort-scan event captures `this`; hosts rebuild peers mid-run
+  /// (crash, restart, byzantine flips), so the event must not outlive us.
+  ~CommitPeer() { cancel_abort_scan(); }
+
   [[nodiscard]] sim::NodeAddr address() const { return self_; }
   [[nodiscard]] Behaviour behaviour() const { return behaviour_; }
   [[nodiscard]] const PeerStats& stats() const { return stats_; }
@@ -178,6 +182,7 @@ class CommitPeer {
 
   void abort_scan(sim::Time max_age);
   void arm_abort_scan();
+  void cancel_abort_scan();
 
   sim::Network& network_;
   sim::NodeAddr self_;
@@ -195,6 +200,7 @@ class CommitPeer {
   sim::Time abort_interval_ = 0;
   sim::Time abort_max_age_ = 0;
   bool abort_armed_ = false;
+  std::uint64_t abort_event_ = 0;  // Pending scan id, for destructor cancel.
 };
 
 }  // namespace asa_repro::commit

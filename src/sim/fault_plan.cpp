@@ -1,0 +1,156 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace asa_repro::sim {
+
+namespace {
+
+const char* kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kRestart: return "restart";
+    case FaultEvent::Kind::kPartition: return "partition";
+    case FaultEvent::Kind::kHeal: return "heal";
+    case FaultEvent::Kind::kDropRate: return "drop-rate";
+    case FaultEvent::Kind::kDupRate: return "dup-rate";
+    case FaultEvent::Kind::kByzantine: return "byzantine";
+    case FaultEvent::Kind::kCorrupt: return "corrupt";
+    case FaultEvent::Kind::kUncorrupt: return "uncorrupt";
+  }
+  return "?";
+}
+
+std::optional<FaultEvent::Kind> kind_from(const std::string& name) {
+  using Kind = FaultEvent::Kind;
+  if (name == "crash") return Kind::kCrash;
+  if (name == "restart") return Kind::kRestart;
+  if (name == "partition") return Kind::kPartition;
+  if (name == "heal") return Kind::kHeal;
+  if (name == "drop-rate") return Kind::kDropRate;
+  if (name == "dup-rate") return Kind::kDupRate;
+  if (name == "byzantine") return Kind::kByzantine;
+  if (name == "corrupt") return Kind::kCorrupt;
+  if (name == "uncorrupt") return Kind::kUncorrupt;
+  return std::nullopt;
+}
+
+bool valid_behaviour(const std::string& name) {
+  return name == "honest" || name == "crash" || name == "equivocator" ||
+         name == "withholder";
+}
+
+}  // namespace
+
+std::string FaultEvent::serialize() const {
+  std::ostringstream out;
+  out << at << ' ' << kind_name(kind);
+  switch (kind) {
+    case Kind::kCrash:
+    case Kind::kRestart:
+    case Kind::kCorrupt:
+    case Kind::kUncorrupt:
+      out << ' ' << node;
+      break;
+    case Kind::kPartition:
+    case Kind::kHeal:
+      out << ' ' << node << ' ' << peer;
+      break;
+    case Kind::kDropRate:
+    case Kind::kDupRate:
+      out << ' ' << rate;
+      break;
+    case Kind::kByzantine:
+      out << ' ' << node << ' ' << behaviour;
+      break;
+  }
+  return out.str();
+}
+
+std::optional<FaultEvent> FaultEvent::parse(const std::string& line) {
+  std::istringstream in(line);
+  FaultEvent event;
+  std::string kind;
+  if (!(in >> event.at >> kind)) return std::nullopt;
+  const std::optional<Kind> parsed = kind_from(kind);
+  if (!parsed.has_value()) return std::nullopt;
+  event.kind = *parsed;
+  switch (event.kind) {
+    case Kind::kCrash:
+    case Kind::kRestart:
+    case Kind::kCorrupt:
+    case Kind::kUncorrupt:
+      if (!(in >> event.node)) return std::nullopt;
+      break;
+    case Kind::kPartition:
+    case Kind::kHeal:
+      if (!(in >> event.node >> event.peer)) return std::nullopt;
+      break;
+    case Kind::kDropRate:
+    case Kind::kDupRate:
+      if (!(in >> event.rate) || event.rate < 0.0 || event.rate > 1.0) {
+        return std::nullopt;
+      }
+      break;
+    case Kind::kByzantine:
+      if (!(in >> event.node >> event.behaviour) ||
+          !valid_behaviour(event.behaviour)) {
+        return std::nullopt;
+      }
+      break;
+  }
+  std::string trailing;
+  if (in >> trailing) return std::nullopt;
+  return event;
+}
+
+void FaultPlan::sort_by_time() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+FaultPlan FaultPlan::without(
+    const std::vector<std::size_t>& positions) const {
+  FaultPlan reduced;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (next < positions.size() && positions[next] == i) {
+      ++next;
+      continue;
+    }
+    reduced.add(events_[i]);
+  }
+  return reduced;
+}
+
+std::string FaultPlan::serialize() const {
+  std::string text;
+  for (const FaultEvent& event : events_) {
+    text += event.serialize();
+    text += '\n';
+  }
+  return text;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::optional<FaultEvent> event = FaultEvent::parse(line);
+    if (!event.has_value()) return std::nullopt;
+    plan.add(*event);
+  }
+  return plan;
+}
+
+std::ostream& operator<<(std::ostream& out, const FaultPlan& plan) {
+  return out << plan.serialize();
+}
+
+}  // namespace asa_repro::sim

@@ -3,6 +3,7 @@
 namespace asa_repro::sim {
 
 void Network::deliver_pending(std::size_t index) {
+  check_pending_index(index);
   PendingMessage msg = std::move(pending_[index]);
   pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
   const auto it = handlers_.find(msg.to);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -102,13 +103,16 @@ class Network {
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
 
   /// Peek at a pending message's addressing (for schedule heuristics).
+  /// Throws std::out_of_range for an invalid index.
   [[nodiscard]] std::pair<NodeAddr, NodeAddr> pending_route(
       std::size_t index) const {
+    check_pending_index(index);
     return {pending_[index].from, pending_[index].to};
   }
 
   /// Deliver the index-th pending message now (removes it from the
   /// buffer). Handlers may send more messages, which append to the buffer.
+  /// Throws std::out_of_range for an invalid index.
   void deliver_pending(std::size_t index);
 
   /// Drop every buffered message (end-of-exploration cleanup).
@@ -123,6 +127,14 @@ class Network {
     NodeAddr to;
     std::string payload;
   };
+
+  void check_pending_index(std::size_t index) const {
+    if (index >= pending_.size()) {
+      throw std::out_of_range("Network: pending message index " +
+                              std::to_string(index) + " >= " +
+                              std::to_string(pending_.size()));
+    }
+  }
 
   Scheduler& sched_;
   Rng rng_;

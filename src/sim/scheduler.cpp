@@ -1,16 +1,11 @@
 #include "sim/scheduler.hpp"
 
-#include <algorithm>
-
 namespace asa_repro::sim {
 
 bool Scheduler::is_cancelled(std::uint64_t id) {
-  const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-  if (it == cancelled_.end()) return false;
-  // Swap-erase: cancellation lists stay tiny (outstanding timeouts only).
-  *it = cancelled_.back();
-  cancelled_.pop_back();
-  return true;
+  // Erase on fire: each id passes here exactly once, so the set holds only
+  // cancellations whose event has not fired yet.
+  return cancelled_.erase(id) > 0;
 }
 
 std::size_t Scheduler::run_until(Time deadline) {

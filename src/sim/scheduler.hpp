@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace asa_repro::sim {
@@ -41,7 +42,7 @@ class Scheduler {
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
   /// harmless no-op (common for timeout events raced by completions).
-  void cancel(std::uint64_t id) { cancelled_.push_back(id); }
+  void cancel(std::uint64_t id) { cancelled_.insert(id); }
 
   /// Run events until the queue is empty or `deadline` is passed.
   /// Returns the number of events executed.
@@ -72,7 +73,10 @@ class Scheduler {
   Time now_ = 0;
   std::uint64_t next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;
+  // Cancelled-but-not-yet-fired ids. O(1) lookup/erase: endpoint retry
+  // timers make cancel-then-fire a hot path under chaos fault load, where
+  // the former linear scan was quadratic in outstanding timeouts.
+  std::unordered_set<std::uint64_t> cancelled_;
 };
 
 }  // namespace asa_repro::sim

@@ -1,0 +1,530 @@
+#include "storage/chaos.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "storage/maintenance.hpp"
+
+namespace asa_repro::storage {
+
+namespace {
+
+using sim::FaultEvent;
+using sim::FaultPlan;
+
+std::optional<commit::Behaviour> behaviour_from(const std::string& name) {
+  if (name == "honest") return commit::Behaviour::kHonest;
+  if (name == "crash") return commit::Behaviour::kCrash;
+  if (name == "equivocator") return commit::Behaviour::kEquivocator;
+  if (name == "withholder") return commit::Behaviour::kWithholder;
+  return std::nullopt;
+}
+
+/// Execute one fault event against the cluster. Events are forgiving
+/// (idempotent crash, no-op restart of a live node, modulo'd node indices)
+/// so that shrunk plans with unmatched inject/heal pairs stay executable.
+void apply_fault(AsaCluster& cluster, const FaultEvent& event) {
+  const auto node = static_cast<std::size_t>(
+      event.node % std::max<std::size_t>(1, cluster.node_count()));
+  const auto peer = static_cast<std::size_t>(
+      event.peer % std::max<std::size_t>(1, cluster.node_count()));
+  switch (event.kind) {
+    case FaultEvent::Kind::kCrash:
+      cluster.crash_node(node);
+      break;
+    case FaultEvent::Kind::kRestart:
+      cluster.restart_node(node);
+      break;
+    case FaultEvent::Kind::kPartition:
+      if (node != peer) {
+        cluster.network().partition_bidirectional(
+            static_cast<sim::NodeAddr>(node),
+            static_cast<sim::NodeAddr>(peer));
+      }
+      break;
+    case FaultEvent::Kind::kHeal:
+      cluster.network().heal(static_cast<sim::NodeAddr>(node),
+                             static_cast<sim::NodeAddr>(peer));
+      cluster.network().heal(static_cast<sim::NodeAddr>(peer),
+                             static_cast<sim::NodeAddr>(node));
+      break;
+    case FaultEvent::Kind::kDropRate:
+      cluster.network().set_drop_probability(event.rate);
+      break;
+    case FaultEvent::Kind::kDupRate:
+      cluster.network().set_duplicate_probability(event.rate);
+      break;
+    case FaultEvent::Kind::kByzantine: {
+      const auto behaviour = behaviour_from(event.behaviour);
+      if (!behaviour.has_value() || cluster.crashed(node)) break;
+      cluster.make_byzantine(node, *behaviour);
+      if (*behaviour == commit::Behaviour::kHonest) {
+        // "Replace the faulty member": the rebuilt honest node recovers
+        // exactly like a restarted one.
+        for (const Guid& guid : cluster.known_guids()) {
+          cluster.migrate_version_history(guid);
+        }
+        cluster.maintainer().scan();
+      }
+      break;
+    }
+    case FaultEvent::Kind::kCorrupt: {
+      if (cluster.crashed(node)) break;
+      StorageNode& store = cluster.host(node).store();
+      store.set_corrupt(true);  // Lie on the wire...
+      std::vector<Pid> pids;
+      pids.reserve(store.blocks().size());
+      for (const auto& [pid, block] : store.blocks()) pids.push_back(pid);
+      for (const Pid& pid : pids) store.corrupt_stored(pid);  // ...and at rest.
+      break;
+    }
+    case FaultEvent::Kind::kUncorrupt:
+      // Wire behaviour heals; at-rest damage stays for maintenance to fix.
+      cluster.host(node).store().set_corrupt(false);
+      break;
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- ChaosConfig
+
+std::string ChaosConfig::serialize() const {
+  std::ostringstream out;
+  out << "nodes " << nodes << '\n'
+      << "replication " << replication << '\n'
+      << "seed " << seed << '\n'
+      << "updates " << updates << '\n'
+      << "guids " << guids << '\n'
+      << "blocks " << blocks << '\n'
+      << "burst " << burst << '\n'
+      << "max-events " << max_events << '\n'
+      << "equivocators " << equivocators << '\n'
+      << "fault-budget ";
+  if (fault_budget == kAutoBudget) {
+    out << "auto";
+  } else {
+    out << fault_budget;
+  }
+  out << '\n' << "horizon " << horizon << '\n';
+  return out.str();
+}
+
+std::optional<ChaosConfig> ChaosConfig::parse(const std::string& text) {
+  ChaosConfig config;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    if (!(fields >> key)) continue;
+    std::string value;
+    if (!(fields >> value)) return std::nullopt;
+    try {
+      if (key == "nodes") {
+        config.nodes = std::stoul(value);
+      } else if (key == "replication") {
+        config.replication = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "seed") {
+        config.seed = std::stoull(value);
+      } else if (key == "updates") {
+        config.updates = std::stoi(value);
+      } else if (key == "guids") {
+        config.guids = std::stoi(value);
+      } else if (key == "blocks") {
+        config.blocks = std::stoi(value);
+      } else if (key == "burst") {
+        config.burst = std::stoi(value);
+      } else if (key == "max-events") {
+        config.max_events = std::stoul(value);
+      } else if (key == "equivocators") {
+        config.equivocators = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "fault-budget") {
+        config.fault_budget =
+            value == "auto" ? kAutoBudget
+                            : static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "horizon") {
+        config.horizon = std::stoull(value);
+      } else {
+        return std::nullopt;  // Unknown key: refuse to mis-replay.
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (config.nodes == 0 || config.replication < 2 || config.guids < 1 ||
+      config.burst < 1) {
+    return std::nullopt;
+  }
+  return config;
+}
+
+// ------------------------------------------------------- plan generation
+
+sim::FaultPlan generate_fault_plan(const ChaosConfig& config,
+                                   sim::Rng& rng) {
+  FaultPlan plan;
+  const std::uint32_t budget = config.effective_budget();
+  const sim::Time horizon = config.horizon;
+  // Forced equivocators already exceed f on their own; the plan then adds
+  // only partition noise (so shrunk reproducers stay minimal, and lossy
+  // episodes don't disable the order invariant the demo is meant to trip).
+  const bool equivocator_demo = config.equivocators > 0;
+
+  // Node-fault episodes: an inject event and a matching heal event on one
+  // node, placed so that at no instant more than `budget` nodes are faulty.
+  struct Interval {
+    sim::Time start, end;
+    std::uint32_t node;
+  };
+  std::vector<Interval> busy;
+  const std::size_t target_episodes =
+      budget == 0 || equivocator_demo
+          ? 0
+          : static_cast<std::size_t>(rng.range(2, 6));
+  std::size_t placed = 0;
+  for (int attempt = 0; attempt < 64 && placed < target_episodes;
+       ++attempt) {
+    if (horizon < 900'000) break;
+    const auto node = static_cast<std::uint32_t>(
+        rng.below(static_cast<std::uint64_t>(config.nodes)));
+    const sim::Time start = rng.range(100'000, horizon - 700'000);
+    const sim::Time end = start + rng.range(150'000, 450'000);
+    std::uint32_t concurrent = 0;
+    bool node_busy = false;
+    for (const Interval& iv : busy) {
+      if (iv.node == node) node_busy = true;
+      if (iv.start < end && start < iv.end) ++concurrent;
+    }
+    if (node_busy || concurrent >= budget) continue;
+    busy.push_back({start, end, node});
+    ++placed;
+    switch (rng.below(3)) {
+      case 0:  // Fail-stop crash, later restarted and re-bootstrapped.
+        plan.add({.at = start, .kind = FaultEvent::Kind::kCrash,
+                  .node = node});
+        plan.add({.at = end, .kind = FaultEvent::Kind::kRestart,
+                  .node = node});
+        break;
+      case 1: {  // Byzantine flip, later replaced by an honest member.
+        static const char* kFlips[] = {"crash", "equivocator",
+                                       "withholder"};
+        plan.add({.at = start,
+                  .kind = FaultEvent::Kind::kByzantine,
+                  .node = node,
+                  .behaviour = kFlips[rng.below(3)]});
+        plan.add({.at = end,
+                  .kind = FaultEvent::Kind::kByzantine,
+                  .node = node,
+                  .behaviour = "honest"});
+        break;
+      }
+      default:  // Block corruption, healed on the wire; maintenance
+                // repairs the at-rest damage.
+        plan.add({.at = start, .kind = FaultEvent::Kind::kCorrupt,
+                  .node = node});
+        plan.add({.at = end, .kind = FaultEvent::Kind::kUncorrupt,
+                  .node = node});
+        break;
+    }
+  }
+
+  // Network episodes (no node budget: they make no node faulty, only slow
+  // or split the fabric — and every one heals before the horizon).
+  if (config.nodes >= 2 && horizon >= 900'000 && rng.chance(0.7)) {
+    const auto a = static_cast<std::uint32_t>(
+        rng.below(static_cast<std::uint64_t>(config.nodes)));
+    auto b = static_cast<std::uint32_t>(
+        rng.below(static_cast<std::uint64_t>(config.nodes - 1)));
+    if (b >= a) ++b;
+    const sim::Time start = rng.range(100'000, horizon - 700'000);
+    const sim::Time end = start + rng.range(100'000, 400'000);
+    plan.add({.at = start, .kind = FaultEvent::Kind::kPartition,
+              .node = a, .peer = b});
+    plan.add({.at = end, .kind = FaultEvent::Kind::kHeal,
+              .node = a, .peer = b});
+  }
+  if (!equivocator_demo && horizon >= 900'000 && rng.chance(0.6)) {
+    const sim::Time start = rng.range(100'000, horizon - 700'000);
+    const sim::Time end = start + rng.range(100'000, 400'000);
+    const double rate = 0.05 + 0.01 * static_cast<double>(rng.below(21));
+    plan.add({.at = start, .kind = FaultEvent::Kind::kDropRate,
+              .rate = rate});
+    plan.add({.at = end, .kind = FaultEvent::Kind::kDropRate, .rate = 0.0});
+  }
+  if (!equivocator_demo && horizon >= 900'000 && rng.chance(0.4)) {
+    const sim::Time start = rng.range(100'000, horizon - 700'000);
+    const sim::Time end = start + rng.range(100'000, 400'000);
+    const double rate = 0.05 + 0.01 * static_cast<double>(rng.below(16));
+    plan.add({.at = start, .kind = FaultEvent::Kind::kDupRate,
+              .rate = rate});
+    plan.add({.at = end, .kind = FaultEvent::Kind::kDupRate, .rate = 0.0});
+  }
+
+  plan.sort_by_time();
+  return plan;
+}
+
+// --------------------------------------------------------------- one run
+
+ChaosReport run_plan(const ChaosConfig& config, const sim::FaultPlan& plan) {
+  ClusterConfig cluster_config;
+  cluster_config.nodes = config.nodes;
+  cluster_config.replication_factor = config.replication;
+  cluster_config.seed = config.seed;
+  // Retries must outlast fault windows (exponential backoff spans the
+  // horizon), and peers must abort stalled instances or vote splits under
+  // churn would deadlock forever.
+  cluster_config.retry.base_timeout = 80'000;
+  cluster_config.retry.max_attempts = 30;
+  cluster_config.abort_scan_interval = 60'000;
+  cluster_config.abort_max_age = 80'000;
+  AsaCluster cluster(cluster_config);
+  InvariantChecker checker(cluster);
+  ChaosReport report;
+
+  // The fault plan, on the scheduler, mid-run.
+  for (const FaultEvent& event : plan.events()) {
+    cluster.scheduler().schedule_at(
+        event.at, [&cluster, event] { apply_fault(cluster, event); });
+  }
+
+  // Forced equivocators (environment, not plan events): flip members of
+  // the first workload GUID's peer set before any update is submitted, so
+  // the Byzantine members actually participate in the checked histories.
+  {
+    const std::vector<sim::NodeAddr> members =
+        cluster.peer_set(Guid::named("chaos:0"));
+    for (std::uint32_t i = 0;
+         i < config.equivocators && i < members.size(); ++i) {
+      const auto index = static_cast<std::size_t>(members[i]);
+      cluster.scheduler().schedule_at(5'000 + 1'000 * i, [&cluster, index] {
+        cluster.make_byzantine(index, commit::Behaviour::kEquivocator);
+      });
+    }
+  }
+
+  // Data-plane workload: store blocks up front, track them for repair and
+  // check durability at the end.
+  struct StoredBlock {
+    Pid pid;
+    bool stored = false;
+    bool retrieved = false;
+  };
+  std::vector<StoredBlock> stored(
+      static_cast<std::size_t>(std::max(0, config.blocks)));
+  for (std::size_t b = 0; b < stored.size(); ++b) {
+    StoredBlock& entry = stored[b];
+    const Block block = block_from(
+        "chaos block " + std::to_string(b) + " seed " +
+        std::to_string(config.seed));
+    entry.pid = cluster.data_store().store(
+        block, [&cluster, &entry](const StoreResult& r) {
+          entry.stored = r.ok;
+          if (r.ok) cluster.maintainer().track(r.pid);
+        });
+  }
+
+  // Control-plane workload: closed-loop chains, one per GUID. Each chain
+  // keeps `burst` appends in flight: burst == 1 is the protocol's supported
+  // serialized-writer usage (the next update submitted only after the
+  // previous confirmation); burst > 1 submits deliberately concurrent
+  // same-GUID updates (the equivocator demo's amplifier). Chains run
+  // concurrently across GUIDs either way.
+  struct Chain {
+    Guid guid;
+    std::vector<Pid> pids;
+    std::size_t next = 0;
+  };
+  int callbacks = 0;
+  std::vector<Chain> chains(static_cast<std::size_t>(config.guids));
+  for (int g = 0; g < config.guids; ++g) {
+    chains[static_cast<std::size_t>(g)].guid =
+        Guid::named("chaos:" + std::to_string(g));
+  }
+  for (int u = 0; u < config.updates; ++u) {
+    Chain& chain = chains[static_cast<std::size_t>(u % config.guids)];
+    const Pid pid = Pid::of(block_from(
+        "chaos update " + std::to_string(u) + " seed " +
+        std::to_string(config.seed)));
+    checker.note_submitted(chain.guid, pid.to_uint64());
+    chain.pids.push_back(pid);
+  }
+  std::function<void(std::size_t)> submit_next = [&](std::size_t g) {
+    Chain& chain = chains[g];
+    if (chain.next >= chain.pids.size()) return;
+    const Pid pid = chain.pids[chain.next++];
+    cluster.version_history().append(
+        chain.guid, pid,
+        [&report, &callbacks, &submit_next, g](const commit::CommitResult& r) {
+          ++callbacks;
+          if (r.committed) {
+            ++report.committed;
+          } else {
+            ++report.failed;  // The chain advances regardless.
+          }
+          submit_next(g);
+        });
+  };
+  const int in_flight = std::max(1, config.burst);
+  for (std::size_t g = 0; g < chains.size(); ++g) {
+    for (int b = 0; b < in_flight; ++b) {
+      // Stagger chain starts across GUIDs; within a chain, burst-mates go
+      // out a millisecond apart (enough to race, not enough to serialize).
+      const sim::Time at = 60'000 + 15'000 * static_cast<sim::Time>(g) +
+                           1'000 * static_cast<sim::Time>(b);
+      cluster.scheduler().schedule_at(at, [&submit_next, g] {
+        submit_next(g);
+      });
+    }
+  }
+
+  // Background replica maintenance (paper section 2.2), every 250 ms.
+  for (sim::Time at = 250'000; at <= config.horizon; at += 250'000) {
+    cluster.scheduler().schedule_at(at,
+                                    [&cluster] { cluster.maintainer().scan(); });
+  }
+
+  report.events_executed = cluster.run(config.max_events);
+  report.quiesced = cluster.scheduler().pending() == 0;
+  if (!report.quiesced) {
+    report.violations.push_back(
+        {"quiescence", "scheduler still had " +
+                           std::to_string(cluster.scheduler().pending()) +
+                           " pending events after " +
+                           std::to_string(report.events_executed) +
+                           " executed (max-events bound hit)"});
+  }
+
+  const bool expect_liveness = config.expect_liveness();
+  if (report.quiesced && callbacks < config.updates) {
+    report.violations.push_back(
+        {"liveness-callback",
+         "only " + std::to_string(callbacks) + " of " +
+             std::to_string(config.updates) +
+             " append callbacks fired at quiescence"});
+  }
+  if (expect_liveness && report.failed > 0) {
+    report.violations.push_back(
+        {"liveness-append",
+         std::to_string(report.failed) + " of " +
+             std::to_string(config.updates) +
+             " appends failed although faults never exceeded f"});
+  }
+
+  // Post-quiescence probes: agreed reads and durable retrieval.
+  if (report.quiesced) {
+    for (int g = 0; g < config.guids; ++g) {
+      const Guid guid = Guid::named("chaos:" + std::to_string(g));
+      HistoryReadResult read;
+      bool read_done = false;
+      cluster.version_history().read(
+          guid, [&read, &read_done](const HistoryReadResult& r) {
+            read = r;
+            read_done = true;
+          });
+      cluster.run(config.max_events);
+      if (expect_liveness && (!read_done || !read.ok)) {
+        report.violations.push_back(
+            {"liveness-read", "no (f+1)-agreed history for guid " +
+                                  std::to_string(g) +
+                                  " although faults never exceeded f"});
+      }
+    }
+    for (StoredBlock& entry : stored) {
+      if (!entry.stored) continue;
+      cluster.data_store().retrieve(
+          entry.pid,
+          [&entry](const RetrieveResult& r) { entry.retrieved = r.ok; });
+      cluster.run(config.max_events);
+      if (expect_liveness && !entry.retrieved) {
+        report.violations.push_back(
+            {"durability", "stored block " + entry.pid.to_hex().substr(0, 10) +
+                               " irretrievable after the campaign"});
+      }
+    }
+  }
+
+  // Safety invariants across honest replicas — checked unconditionally,
+  // except that the history-order comparison is skipped for schedules with
+  // message-drop windows: losing a commit round makes an honest replica
+  // adopt the client's retry late, a reordering the read-side
+  // (f+1)-agreement absorbs by design (see InvariantChecker).
+  const bool lossy = std::any_of(
+      plan.events().begin(), plan.events().end(), [](const FaultEvent& e) {
+        return e.kind == FaultEvent::Kind::kDropRate && e.rate > 0.0;
+      });
+  for (Violation& violation : checker.check(/*check_order=*/!lossy)) {
+    report.violations.push_back(std::move(violation));
+  }
+  report.messages_sent = cluster.network().stats().sent;
+  return report;
+}
+
+// -------------------------------------------------------------- shrinking
+
+sim::FaultPlan shrink_plan(const ChaosConfig& config, sim::FaultPlan plan,
+                           std::size_t* runs) {
+  std::size_t executed = 0;
+  const auto violates = [&](const FaultPlan& candidate) {
+    ++executed;
+    return !run_plan(config, candidate).violations.empty();
+  };
+
+  // ddmin: try removing chunks, halving the chunk size down to one event;
+  // restart at the coarsest granularity after any successful removal.
+  std::size_t chunk = std::max<std::size_t>(1, plan.size() / 2);
+  while (true) {
+    bool removed = false;
+    for (std::size_t begin = 0; begin < plan.size() && !removed;
+         begin += chunk) {
+      std::vector<std::size_t> positions;
+      for (std::size_t i = begin;
+           i < std::min(plan.size(), begin + chunk); ++i) {
+        positions.push_back(i);
+      }
+      if (positions.size() == plan.size()) continue;  // Keep >= 1 event.
+      const FaultPlan candidate = plan.without(positions);
+      if (violates(candidate)) {
+        plan = candidate;
+        removed = true;
+      }
+    }
+    if (removed) {
+      chunk = std::max<std::size_t>(1, std::min(chunk, plan.size() / 2));
+      continue;
+    }
+    if (chunk == 1) break;
+    chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+  if (runs != nullptr) *runs = executed;
+  return plan;
+}
+
+// ------------------------------------------------------------ replay file
+
+std::string encode_replay(const ChaosConfig& config,
+                          const sim::FaultPlan& plan) {
+  std::string text = "# asachaos replay v1\n";
+  text += config.serialize();
+  text += "plan\n";
+  text += plan.serialize();
+  return text;
+}
+
+std::optional<std::pair<ChaosConfig, sim::FaultPlan>> decode_replay(
+    const std::string& text) {
+  const std::size_t marker = text.find("plan\n");
+  if (marker == std::string::npos) return std::nullopt;
+  const std::optional<ChaosConfig> config =
+      ChaosConfig::parse(text.substr(0, marker));
+  if (!config.has_value()) return std::nullopt;
+  const std::optional<sim::FaultPlan> plan =
+      sim::FaultPlan::parse(text.substr(marker + 5));
+  if (!plan.has_value()) return std::nullopt;
+  return std::make_pair(*config, *plan);
+}
+
+}  // namespace asa_repro::storage

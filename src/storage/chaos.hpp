@@ -1,0 +1,112 @@
+// Chaos campaign engine: randomized, budgeted fault schedules executed
+// against a full cluster simulation, with machine-checked invariants,
+// delta-debugged minimal reproducers and deterministic replay files.
+//
+// One campaign = N seeds; each seed deterministically derives a workload
+// (version appends with deliberate same-GUID concurrency, block stores,
+// periodic background maintenance) and a sim::FaultPlan whose node faults
+// never exceed a concurrency budget (default f = floor((r-1)/3), the
+// paper's claimed tolerance). The run executes the plan on the scheduler
+// mid-flight, then evaluates storage::InvariantChecker's safety invariants
+// plus bounded-liveness and durability expectations.
+//
+// When a run violates an invariant, shrink_plan() delta-debugs the fault
+// plan down to a locally minimal reproducer (every remaining event is
+// necessary), and encode_replay() captures config + plan in a text file
+// that re-runs the exact failing schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "sim/rng.hpp"
+#include "storage/invariant_checker.hpp"
+
+namespace asa_repro::storage {
+
+struct ChaosConfig {
+  /// Sentinel: derive the node-fault concurrency budget from f.
+  static constexpr std::uint32_t kAutoBudget = 0xFFFFFFFFu;
+
+  std::size_t nodes = 12;
+  std::uint32_t replication = 4;
+  std::uint64_t seed = 1;
+  int updates = 8;              // Version appends across `guids` GUIDs.
+  int guids = 2;
+  int blocks = 3;               // Data-plane blocks stored and tracked.
+  /// Appends kept in flight per GUID. 1 (default) models the protocol's
+  /// supported serialized-writer usage: the next append to a GUID is only
+  /// submitted once the previous one was confirmed. Higher values submit
+  /// deliberately concurrent same-GUID updates — the schedule where commit
+  /// orders can legitimately split even fault-free (the free/not_free lock
+  /// does not fully serialize racing proposals), and where Byzantine
+  /// equivocators reliably break history agreement.
+  int burst = 1;
+  std::size_t max_events = 2'000'000;  // Scheduler safety bound per run.
+  std::uint32_t equivocators = 0;  // Forced permanent equivocators, flipped
+                                   // inside the first workload GUID's peer
+                                   // set (the faults > f detection demo).
+  std::uint32_t fault_budget = kAutoBudget;  // Max concurrently-faulty
+                                             // nodes for generated plans.
+  sim::Time horizon = 2'500'000;  // Fault/workload window (us).
+
+  [[nodiscard]] std::uint32_t f() const { return (replication - 1) / 3; }
+  [[nodiscard]] std::uint32_t effective_budget() const {
+    return fault_budget == kAutoBudget ? f() : fault_budget;
+  }
+  /// Liveness and durability are only guaranteed while faults stay <= f.
+  [[nodiscard]] bool expect_liveness() const {
+    return equivocators == 0 && effective_budget() <= f();
+  }
+
+  /// Replay-header form ("key value" lines) and its inverse.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static std::optional<ChaosConfig> parse(
+      const std::string& text);
+};
+
+struct ChaosReport {
+  std::vector<Violation> violations;
+  int committed = 0;
+  int failed = 0;
+  bool quiesced = true;          // Ran out of events before max_events.
+  std::size_t events_executed = 0;
+  std::uint64_t messages_sent = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Derive the seed's fault plan: random fault episodes (crash/restart,
+/// Byzantine flip/replace, corrupt/uncorrupt, partitions, loss and
+/// duplication bursts), each healed before the horizon, with at most
+/// `effective_budget()` concurrently-faulty nodes. Forced `equivocators`
+/// are environment (applied by run_plan inside the workload's peer set),
+/// not plan events: with equivocators the plan carries only partition
+/// noise, so a shrunk reproducer stays minimal.
+[[nodiscard]] sim::FaultPlan generate_fault_plan(const ChaosConfig& config,
+                                                 sim::Rng& rng);
+
+/// Execute one chaos run: build the cluster, schedule the plan's events
+/// and the seed-derived workload, run to quiescence (bounded by
+/// max_events), then check every invariant.
+[[nodiscard]] ChaosReport run_plan(const ChaosConfig& config,
+                                   const sim::FaultPlan& plan);
+
+/// Delta-debug a violating plan to a locally minimal reproducer: greedily
+/// remove chunks (halving granularity down to single events) while the
+/// re-run still violates. `runs` (optional) counts re-executions.
+[[nodiscard]] sim::FaultPlan shrink_plan(const ChaosConfig& config,
+                                         sim::FaultPlan plan,
+                                         std::size_t* runs = nullptr);
+
+/// Replay file: config header, "plan" marker, one event per line.
+[[nodiscard]] std::string encode_replay(const ChaosConfig& config,
+                                        const sim::FaultPlan& plan);
+[[nodiscard]] std::optional<std::pair<ChaosConfig, sim::FaultPlan>>
+decode_replay(const std::string& text);
+
+}  // namespace asa_repro::storage

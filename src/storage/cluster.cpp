@@ -14,31 +14,36 @@ AsaCluster::AsaCluster(ClusterConfig config)
       ring_(sim::Rng(config.seed ^ 0x72696E67ull)) {
   network_.set_drop_probability(config_.drop_probability);
 
-  // One immutable commit FSM per replication factor, shared by every peer.
-  const fsm::StateMachine& machine =
-      machines_.machine_for(config_.replication_factor);
-
   // Build the Chord ring and one host per node; host index == NodeAddr.
   ring_.build(config_.nodes);
-  const std::vector<p2p::NodeId> ids = ring_.node_ids();
-  hosts_.reserve(ids.size());
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    host_by_id_.emplace(ids[i], i);
-    hosts_.push_back(std::make_unique<NodeHost>(
-        network_, static_cast<sim::NodeAddr>(i), machine,
-        commit::Behaviour::kHonest, config_.tracing ? &trace_ : nullptr));
+  node_ids_ = ring_.node_ids();
+  hosts_.resize(node_ids_.size());
+  for (std::size_t i = 0; i < node_ids_.size(); ++i) {
+    host_by_id_.emplace(node_ids_[i], i);
+    // Peer sets are located per GUID via the ring; commit peers resolve
+    // them through the cluster's registry of full GUIDs (populated on first
+    // client contact — an in-process stand-in for carrying the GUID in
+    // every frame). rebuild_host wires that resolver.
+    rebuild_host(i, commit::Behaviour::kHonest);
   }
+}
 
-  // Peer sets are located per GUID via the ring; commit peers resolve them
-  // through the cluster's registry of full GUIDs (populated on first client
-  // contact — an in-process stand-in for carrying the GUID in every frame).
-  for (auto& host : hosts_) {
-    host->peer().set_peer_resolver(
-        [this](std::uint64_t guid_key) -> std::vector<sim::NodeAddr> {
-          const auto it = guid_registry_.find(guid_key);
-          if (it == guid_registry_.end()) return {};
-          return peer_set(it->second);
-        });
+void AsaCluster::rebuild_host(std::size_t index,
+                              commit::Behaviour behaviour) {
+  const fsm::StateMachine& machine =
+      machines_.machine_for(config_.replication_factor);
+  hosts_[index] = std::make_unique<NodeHost>(
+      network_, static_cast<sim::NodeAddr>(index), machine, behaviour,
+      config_.tracing ? &trace_ : nullptr);
+  hosts_[index]->peer().set_peer_resolver(
+      [this](std::uint64_t guid_key) -> std::vector<sim::NodeAddr> {
+        const auto it = guid_registry_.find(guid_key);
+        if (it == guid_registry_.end()) return {};
+        return peer_set(it->second);
+      });
+  if (config_.abort_scan_interval > 0) {
+    hosts_[index]->peer().enable_abort(config_.abort_scan_interval,
+                                       config_.abort_max_age);
   }
 }
 
@@ -146,36 +151,54 @@ std::size_t AsaCluster::migrate_version_history(const Guid& guid) {
   return adopted;
 }
 
+std::vector<Guid> AsaCluster::known_guids() const {
+  std::vector<Guid> guids;
+  guids.reserve(guid_registry_.size());
+  for (const auto& [key, guid] : guid_registry_) guids.push_back(guid);
+  return guids;
+}
+
 void AsaCluster::make_byzantine(std::size_t index,
                                 commit::Behaviour behaviour) {
   // Behaviour is fixed at peer construction; rebuild the host's peer by
-  // swapping the whole host (stores are empty pre-workload, when fault
-  // injection is expected).
-  const fsm::StateMachine& machine =
-      machines_.machine_for(config_.replication_factor);
-  const sim::NodeAddr addr = hosts_[index]->address();
-  hosts_[index] = std::make_unique<NodeHost>(
-      network_, addr, machine, behaviour,
-      config_.tracing ? &trace_ : nullptr);
-  hosts_[index]->peer().set_peer_resolver(
-      [this](std::uint64_t guid_key) -> std::vector<sim::NodeAddr> {
-        const auto it = guid_registry_.find(guid_key);
-        if (it == guid_registry_.end()) return {};
-        return peer_set(it->second);
-      });
+  // swapping the whole host. Mid-run flips therefore lose the node's
+  // volatile state (block store, commit histories) — an honest member
+  // turned faulty no longer participates in invariants, and a faulty
+  // member replaced by an honest one recovers through the same bootstrap
+  // path a restarted node uses (migrate_version_history + replica repair).
+  rebuild_host(index, behaviour);
 }
 
 void AsaCluster::crash_node(std::size_t index) {
+  if (crashed(index)) return;  // Idempotent under chaos schedules.
   hosts_[index]->crash();
   // Remove the node from the ring; maintenance heals routing around it.
-  const auto it = std::find_if(
-      host_by_id_.begin(), host_by_id_.end(),
-      [index](const auto& kv) { return kv.second == index; });
-  if (it != host_by_id_.end()) {
-    ring_.fail(it->first);
-    host_by_id_.erase(it);
-  }
+  const p2p::NodeId& id = node_ids_[index];
+  if (ring_.alive(id)) ring_.fail(id);
+  host_by_id_.erase(id);
   ring_.run_maintenance(8);
+}
+
+std::size_t AsaCluster::restart_node(std::size_t index) {
+  if (!crashed(index)) return 0;
+  // Fresh host at the old address: volatile state is lost in the crash and
+  // must be re-learned from the surviving peers.
+  rebuild_host(index, commit::Behaviour::kHonest);
+  // Rejoin the Chord ring under the original id; maintenance re-routes the
+  // node's keyspace back to it.
+  const p2p::NodeId& id = node_ids_[index];
+  if (!ring_.alive(id)) ring_.add_node(id);
+  host_by_id_[id] = index;
+  ring_.run_maintenance(8);
+  // Bootstrap commit histories: for every GUID clients have touched, empty
+  // members (the newcomer, in particular) adopt the (f+1)-agreed history.
+  std::size_t adopted = 0;
+  for (const auto& [key, guid] : guid_registry_) {
+    adopted += migrate_version_history(guid);
+  }
+  // Regenerate this node's missing block replicas from intact copies.
+  if (maintainer_) maintainer_->scan();
+  return adopted;
 }
 
 }  // namespace asa_repro::storage

@@ -35,6 +35,11 @@ struct ClusterConfig {
   double drop_probability = 0.0;
   commit::RetryPolicy retry{};
   bool tracing = false;
+  /// When non-zero, every peer (including ones rebuilt by fault injection
+  /// or restart) aborts stalled commit instances: scan every
+  /// `abort_scan_interval`, abort instances older than `abort_max_age`.
+  sim::Time abort_scan_interval = 0;
+  sim::Time abort_max_age = 0;
 };
 
 class AsaCluster {
@@ -79,12 +84,34 @@ class AsaCluster {
   /// Returns the number of members that adopted a history.
   std::size_t migrate_version_history(const Guid& guid);
 
+  /// Every GUID a client has touched (registered via peer_set()).
+  [[nodiscard]] std::vector<Guid> known_guids() const;
+
   // ---- Fault injection. ----
   void make_byzantine(std::size_t index, commit::Behaviour behaviour);
   void corrupt_node(std::size_t index) {
     hosts_[index]->store().set_corrupt(true);
   }
   void crash_node(std::size_t index);
+
+  /// Recovery path for a crashed node (paper section 2.2: "background
+  /// processes ... replace faulty nodes"): re-attaches a fresh NodeHost at
+  /// the node's old address, rejoins the Chord ring under its original id,
+  /// bootstraps the commit history of every known GUID from the
+  /// (f+1)-agreed peers, and triggers replica repair for tracked blocks.
+  /// Volatile state is gone — the node restarts empty and recovers from
+  /// its peers. Returns the number of histories adopted cluster-wide.
+  /// No-op (returns 0) when the node is not crashed.
+  std::size_t restart_node(std::size_t index);
+
+  /// True when the node is detached from the network (crashed).
+  [[nodiscard]] bool crashed(std::size_t index) const {
+    return !network_.attached(hosts_[index]->address());
+  }
+  /// The node's current commit-protocol behaviour.
+  [[nodiscard]] commit::Behaviour behaviour(std::size_t index) const {
+    return hosts_[index]->peer().behaviour();
+  }
 
   /// Run the simulation until quiescent or for a bounded number of events.
   std::size_t run(std::size_t max_events = 10'000'000) {
@@ -100,9 +127,14 @@ class AsaCluster {
   sim::Rng rng_;
   sim::Network network_;
   sim::Trace trace_;
+  /// Build a fresh host at `index`'s address with the given behaviour and
+  /// wire its peer resolver (shared by construction, fault flips, restart).
+  void rebuild_host(std::size_t index, commit::Behaviour behaviour);
+
   p2p::ChordRing ring_;
   commit::MachineCache machines_;
   std::vector<std::unique_ptr<NodeHost>> hosts_;
+  std::vector<p2p::NodeId> node_ids_;  // Index -> ring id (fixed for life).
   std::map<p2p::NodeId, std::size_t> host_by_id_;
   std::map<std::uint64_t, Guid> guid_registry_;  // Low-64 -> full GUID.
   std::unique_ptr<DataStoreClient> data_store_;

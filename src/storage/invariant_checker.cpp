@@ -1,0 +1,131 @@
+#include "storage/invariant_checker.hpp"
+
+#include <algorithm>
+
+namespace asa_repro::storage {
+
+namespace {
+
+/// A replica's committed payload sequence collapsed by request id (first
+/// occurrence wins — the same rule readers and agree_history apply to
+/// retried attempts of one logical update).
+std::vector<std::uint64_t> dedup_payloads(
+    const std::vector<commit::CommitPeer::CommittedEntry>& entries) {
+  std::vector<std::uint64_t> payloads;
+  std::set<std::uint64_t> seen;
+  for (const auto& e : entries) {
+    if (seen.insert(e.request_id).second) payloads.push_back(e.payload);
+  }
+  return payloads;
+}
+
+std::string guid_tag(const Guid& guid) {
+  return guid.to_hex().substr(0, 10);
+}
+
+}  // namespace
+
+void InvariantChecker::note_submitted(const Guid& guid,
+                                      std::uint64_t payload) {
+  submitted_[guid.to_uint64()].insert(payload);
+  // Registering the GUID makes the cluster (and thus check()) aware of it
+  // even if no commit ever succeeds.
+  (void)cluster_.peer_set(guid);
+}
+
+std::vector<sim::NodeAddr> InvariantChecker::honest_members(
+    const Guid& guid) const {
+  std::vector<sim::NodeAddr> honest;
+  for (sim::NodeAddr addr : cluster_.peer_set(guid)) {
+    const auto index = static_cast<std::size_t>(addr);
+    if (index >= cluster_.node_count()) continue;
+    if (cluster_.crashed(index)) continue;
+    if (cluster_.behaviour(index) != commit::Behaviour::kHonest) continue;
+    honest.push_back(addr);
+  }
+  return honest;
+}
+
+std::vector<Violation> InvariantChecker::check(bool check_order) const {
+  std::vector<Violation> violations;
+  for (const Guid& guid : cluster_.known_guids()) {
+    check_guid(guid, check_order, violations);
+  }
+  return violations;
+}
+
+void InvariantChecker::check_guid(const Guid& guid, bool check_order,
+                                  std::vector<Violation>& out) const {
+  const std::uint64_t key = guid.to_uint64();
+  const std::vector<sim::NodeAddr> honest = honest_members(guid);
+  const auto* allowed = [&]() -> const std::set<std::uint64_t>* {
+    const auto it = submitted_.find(key);
+    return it == submitted_.end() ? nullptr : &it->second;
+  }();
+
+  // Per-replica checks + request_id -> payload agreement across replicas.
+  std::map<std::uint64_t, std::uint64_t> request_payload;
+  for (sim::NodeAddr addr : honest) {
+    const auto& entries = cluster_.host(addr).peer().history(key);
+    std::set<std::uint64_t> update_ids;
+    for (const auto& e : entries) {
+      if (!update_ids.insert(e.update_id).second) {
+        out.push_back({"duplicate-commit",
+                       "guid " + guid_tag(guid) + " node " +
+                           std::to_string(addr) + " committed update " +
+                           std::to_string(e.update_id) + " twice"});
+      }
+      const auto [it, inserted] =
+          request_payload.emplace(e.request_id, e.payload);
+      if (!inserted && it->second != e.payload) {
+        out.push_back({"conflicting-payload",
+                       "guid " + guid_tag(guid) + " request " +
+                           std::to_string(e.request_id) +
+                           " committed with payloads " +
+                           std::to_string(it->second) + " and " +
+                           std::to_string(e.payload) + " (node " +
+                           std::to_string(addr) + ")"});
+      }
+      if (!submitted_.empty() &&
+          (allowed == nullptr || !allowed->contains(e.payload))) {
+        out.push_back({"validity",
+                       "guid " + guid_tag(guid) + " node " +
+                           std::to_string(addr) +
+                           " committed never-submitted payload " +
+                           std::to_string(e.payload)});
+      }
+    }
+  }
+
+  // History agreement: every pair of honest replicas must be
+  // prefix-consistent after collapsing retried attempts. Skipped for lossy
+  // schedules, where a replica that missed a commit round adopts the retry
+  // late (see the file comment).
+  if (!check_order) return;
+  std::vector<std::vector<std::uint64_t>> sequences;
+  sequences.reserve(honest.size());
+  for (sim::NodeAddr addr : honest) {
+    sequences.push_back(dedup_payloads(cluster_.host(addr).peer().history(key)));
+  }
+  for (std::size_t a = 0; a < honest.size(); ++a) {
+    for (std::size_t b = a + 1; b < honest.size(); ++b) {
+      const auto& sa = sequences[a];
+      const auto& sb = sequences[b];
+      const std::size_t common = std::min(sa.size(), sb.size());
+      for (std::size_t i = 0; i < common; ++i) {
+        if (sa[i] != sb[i]) {
+          out.push_back(
+              {"history-prefix",
+               "guid " + guid_tag(guid) + " nodes " +
+                   std::to_string(honest[a]) + " and " +
+                   std::to_string(honest[b]) + " diverge at position " +
+                   std::to_string(i) + " (" + std::to_string(sa[i]) +
+                   " vs " + std::to_string(sb[i]) + ")"});
+          break;  // One divergence report per pair.
+        }
+      }
+    }
+  }
+}
+
+}  // namespace asa_repro::storage

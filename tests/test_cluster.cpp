@@ -3,6 +3,8 @@
 // (data storage, version history) end to end on the simulated network.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "storage/cluster.hpp"
 
 namespace asa_repro::storage {
@@ -335,6 +337,113 @@ TEST(ClusterChurn, SurvivesNodeCrashForNewOperations) {
                              [&](const StoreResult& r) { stored2 = r; });
   cluster.run();
   EXPECT_TRUE(stored2.ok);
+}
+
+// ---- Crash -> restart -> recovery (paper 2.2's faulty-member repair). ----
+
+TEST(ClusterRecovery, RestartedNodeRejoinsAndAdoptsHistory) {
+  ClusterConfig config = small_cluster(23);
+  config.nodes = 16;
+  AsaCluster cluster(config);
+  const Guid guid = Guid::named("recovering-history");
+
+  int committed = 0;
+  for (const char* text : {"v0", "v1", "v2"}) {
+    cluster.version_history().append(
+        guid, Pid::of(block_from(text)),
+        [&](const commit::CommitResult& r) { committed += r.committed; });
+    cluster.run();
+  }
+  ASSERT_EQ(committed, 3);
+
+  // Crash a peer-set member: it leaves the ring and drops its history.
+  const auto victim = static_cast<std::size_t>(cluster.peer_set(guid)[0]);
+  cluster.crash_node(victim);
+  ASSERT_TRUE(cluster.crashed(victim));
+
+  // Restart: the node re-attaches under its original ring id and
+  // bootstraps the (f+1)-agreed history from the surviving members.
+  EXPECT_GE(cluster.restart_node(victim), 1u);
+  EXPECT_FALSE(cluster.crashed(victim));
+  EXPECT_EQ(cluster.host(victim).peer().history(guid.to_uint64()).size(),
+            3u);
+  // Back in the ring under the old id: the peer set includes it again.
+  const auto peers = cluster.peer_set(guid);
+  EXPECT_NE(std::find(peers.begin(), peers.end(),
+                      static_cast<sim::NodeAddr>(victim)),
+            peers.end());
+
+  // Restarting a live node is a no-op.
+  EXPECT_EQ(cluster.restart_node(victim), 0u);
+
+  // Subsequent commits land on the restarted node too.
+  int committed2 = 0;
+  cluster.version_history().append(
+      guid, Pid::of(block_from("v3")),
+      [&](const commit::CommitResult& r) { committed2 += r.committed; });
+  cluster.run();
+  ASSERT_EQ(committed2, 1);
+  EXPECT_EQ(cluster.host(victim).peer().history(guid.to_uint64()).size(),
+            4u);
+
+  // Reads agree on the full four-version history.
+  HistoryReadResult read;
+  cluster.version_history().read(
+      guid, [&](const HistoryReadResult& r) { read = r; });
+  cluster.run();
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.versions.size(), 4u);
+}
+
+TEST(ClusterRecovery, RepairAfterSimultaneousCorruptionAndCrash) {
+  ClusterConfig config = small_cluster(29);
+  config.nodes = 16;
+  AsaCluster cluster(config);
+
+  StoreResult stored;
+  const Pid pid = cluster.data_store().store(
+      block_from("battered block"), [&](const StoreResult& r) { stored = r; });
+  cluster.run();
+  ASSERT_TRUE(stored.ok);
+  cluster.maintainer().track(pid);
+
+  // Hit the replica set twice at once (f = 1 each for the storage layer's
+  // corruption detection and the ring's crash healing): corrupt one
+  // replica at rest and crash another.
+  const auto keys = replica_keys(pid.as_key(), 4);
+  const auto corrupted = static_cast<std::size_t>(
+      cluster.addr_for_key(keys[0]));
+  std::size_t crashed = cluster.node_count();
+  for (const auto& k : keys) {
+    const auto addr = static_cast<std::size_t>(cluster.addr_for_key(k));
+    if (addr != corrupted) {
+      crashed = addr;
+      break;
+    }
+  }
+  ASSERT_LT(crashed, cluster.node_count());
+  cluster.host(corrupted).store().corrupt_stored(pid);
+  cluster.crash_node(crashed);
+
+  // Maintenance re-replicates onto the healed ring and fixes the damaged
+  // copy from an intact one.
+  EXPECT_GE(cluster.maintainer().scan(), 1u);
+  cluster.run();
+
+  RetrieveResult got;
+  cluster.data_store().retrieve(pid, [&](const RetrieveResult& r) { got = r; });
+  cluster.run();
+  EXPECT_TRUE(got.ok);
+  EXPECT_EQ(got.block, block_from("battered block"));
+
+  // The restarted node is folded back in and repaired as well.
+  cluster.restart_node(crashed);
+  EXPECT_GE(cluster.maintainer().scan(), 0u);
+  RetrieveResult again;
+  cluster.data_store().retrieve(pid,
+                                [&](const RetrieveResult& r) { again = r; });
+  cluster.run();
+  EXPECT_TRUE(again.ok);
 }
 
 }  // namespace

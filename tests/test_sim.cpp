@@ -340,5 +340,60 @@ TEST(Trace, DumpFormatsLines) {
   EXPECT_EQ(out.str(), "[10us] node 3 commit: guid=9\n");
 }
 
+TEST(Scheduler, CancelledIdDoesNotAffectLaterEvents) {
+  // The cancel set is consumed when the cancelled event's slot fires;
+  // event ids are never reused, so cancelling one event must never
+  // suppress any other, no matter how many events run afterwards.
+  Scheduler sched;
+  std::vector<int> fired;
+  const auto id = sched.schedule_at(10, [&] { fired.push_back(0); });
+  sched.cancel(id);
+  for (int i = 1; i <= 100; ++i) {
+    sched.schedule_at(static_cast<Time>(10 + i), [&fired, i] {
+      fired.push_back(i);
+    });
+  }
+  sched.run();
+  ASSERT_EQ(fired.size(), 100u);
+  EXPECT_EQ(fired.front(), 1);
+  EXPECT_EQ(fired.back(), 100);
+}
+
+TEST(Scheduler, CancelFromWithinEvent) {
+  Scheduler sched;
+  bool fired = false;
+  const auto victim = sched.schedule_at(20, [&] { fired = true; });
+  sched.schedule_at(10, [&] { sched.cancel(victim); });
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Network, PendingRouteThrowsOutOfRange) {
+  Scheduler sched;
+  Network net(sched, Rng(1));
+  net.set_manual_mode(true);
+  net.attach(1, [](NodeAddr, const std::string&) {});
+  EXPECT_THROW((void)net.pending_route(0), std::out_of_range);
+  net.send(0, 1, "hello");
+  ASSERT_EQ(net.pending_count(), 1u);
+  EXPECT_EQ(net.pending_route(0), (std::pair<NodeAddr, NodeAddr>{0, 1}));
+  EXPECT_THROW((void)net.pending_route(1), std::out_of_range);
+}
+
+TEST(Network, DeliverPendingThrowsOutOfRange) {
+  Scheduler sched;
+  Network net(sched, Rng(1));
+  net.set_manual_mode(true);
+  int delivered = 0;
+  net.attach(1, [&](NodeAddr, const std::string&) { ++delivered; });
+  EXPECT_THROW(net.deliver_pending(0), std::out_of_range);
+  net.send(0, 1, "hello");
+  EXPECT_THROW(net.deliver_pending(7), std::out_of_range);
+  EXPECT_EQ(delivered, 0);  // The failed calls must not consume anything.
+  net.deliver_pending(0);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_THROW(net.deliver_pending(0), std::out_of_range);  // Now empty.
+}
+
 }  // namespace
 }  // namespace asa_repro::sim

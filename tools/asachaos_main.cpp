@@ -1,0 +1,227 @@
+// asachaos — randomized chaos campaigns against the simulated ASA cluster.
+//
+// Runs N seeds; each seed derives a deterministic workload and a random
+// fault plan (crash/restart, Byzantine flips, partitions, loss bursts,
+// block corruption) whose concurrent node faults never exceed the budget
+// (default f = floor((r-1)/3), the paper's claimed tolerance). Every run
+// is checked against the protocol's safety invariants (history prefix
+// agreement, validity, no duplicate commits) plus bounded-liveness and
+// durability. On a violation the failing fault plan is delta-debugged to
+// a minimal reproducer and written to a replay file that re-runs the
+// exact schedule.
+//
+//   asachaos --seeds 200                      # campaign, expect clean
+//   asachaos --seeds 5 --equivocators 2 --expect-violation
+//                                             # >f faults: detection demo
+//   asachaos --replay chaos-seed17.replay     # re-run a recorded schedule
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "storage/chaos.hpp"
+
+using namespace asa_repro;
+using namespace asa_repro::storage;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: asachaos [options]\n"
+      "  --seeds N          number of randomized campaigns (default 50)\n"
+      "  --seed0 S          first seed (default 1)\n"
+      "  --nodes N          cluster size (default 12)\n"
+      "  --replication R    replication factor (default 4)\n"
+      "  --updates U        version appends per run (default 8)\n"
+      "  --guids G          GUIDs written per run (default 2)\n"
+      "  --blocks B         data blocks stored per run (default 3)\n"
+      "  --burst B          appends in flight per GUID (default 1; 2 when\n"
+      "                     --equivocators is set: concurrent same-GUID\n"
+      "                     updates are what equivocators can split)\n"
+      "  --max-events M     scheduler event bound per run (default 2000000)\n"
+      "  --faults N         concurrent node-fault budget (default f)\n"
+      "  --equivocators K   force K permanent equivocators (faults > f)\n"
+      "  --expect-violation exit 0 only if a violation is found, shrunk\n"
+      "                     and its replay file reproduces it\n"
+      "  --replay FILE      re-run a recorded schedule and report\n"
+      "  --out DIR          directory for replay files (default .)\n"
+      "  --verbose          per-seed progress lines\n";
+}
+
+void print_violations(const ChaosReport& report) {
+  for (const Violation& violation : report.violations) {
+    std::cout << "  [" << violation.invariant << "] " << violation.detail
+              << "\n";
+  }
+}
+
+int run_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "asachaos: cannot open replay file " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto decoded = decode_replay(buffer.str());
+  if (!decoded.has_value()) {
+    std::cerr << "asachaos: malformed replay file " << path << "\n";
+    return 2;
+  }
+  const auto& [config, plan] = *decoded;
+  std::cout << "replaying seed " << config.seed << " (" << plan.size()
+            << " fault events)\n";
+  const ChaosReport report = run_plan(config, plan);
+  std::cout << "committed " << report.committed << ", failed "
+            << report.failed << ", " << report.events_executed
+            << " events, " << report.violations.size() << " violation(s)\n";
+  print_violations(report);
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosConfig config;
+  std::uint64_t seeds = 50;
+  std::uint64_t seed0 = 1;
+  std::string replay_path;
+  std::string out_dir = ".";
+  bool expect_violation = false;
+  bool verbose = false;
+  bool burst_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      return i + 1 < argc ? std::string(argv[++i]) : std::string();
+    };
+    try {
+      if (arg == "-h" || arg == "--help") {
+        usage();
+        return 0;
+      } else if (arg == "--seeds") {
+        seeds = std::stoull(next());
+      } else if (arg == "--seed0") {
+        seed0 = std::stoull(next());
+      } else if (arg == "--nodes") {
+        config.nodes = std::stoul(next());
+      } else if (arg == "--replication") {
+        config.replication = static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (arg == "--updates") {
+        config.updates = std::stoi(next());
+      } else if (arg == "--guids") {
+        config.guids = std::stoi(next());
+      } else if (arg == "--blocks") {
+        config.blocks = std::stoi(next());
+      } else if (arg == "--burst") {
+        config.burst = std::stoi(next());
+        burst_set = true;
+      } else if (arg == "--max-events") {
+        config.max_events = std::stoul(next());
+      } else if (arg == "--faults") {
+        config.fault_budget = static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (arg == "--equivocators") {
+        config.equivocators = static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (arg == "--expect-violation") {
+        expect_violation = true;
+      } else if (arg == "--replay") {
+        replay_path = next();
+      } else if (arg == "--out") {
+        out_dir = next();
+      } else if (arg == "--verbose") {
+        verbose = true;
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        usage();
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) return run_replay(replay_path);
+
+  // Equivocators split concurrent same-GUID proposals; give them some.
+  if (config.equivocators > 0 && !burst_set) config.burst = 2;
+
+  std::cout << "chaos campaign: " << seeds << " seeds, " << config.nodes
+            << " nodes, r=" << config.replication << " (f=" << config.f()
+            << "), fault budget " << config.effective_budget()
+            << ", equivocators " << config.equivocators << "\n";
+
+  std::uint64_t violating_seeds = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_committed = 0;
+  std::uint64_t total_fault_events = 0;
+  bool reproduced = false;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    ChaosConfig seed_config = config;
+    seed_config.seed = seed0 + s;
+    sim::Rng rng(seed_config.seed ^ 0x63686170'73656564ull);  // "chaoseed"
+    const sim::FaultPlan plan = generate_fault_plan(seed_config, rng);
+    const ChaosReport report = run_plan(seed_config, plan);
+    total_events += report.events_executed;
+    total_committed += static_cast<std::uint64_t>(report.committed);
+    total_fault_events += plan.size();
+    if (verbose || !report.ok()) {
+      std::cout << "seed " << seed_config.seed << ": " << plan.size()
+                << " fault events, " << report.committed << "/"
+                << seed_config.updates << " committed, "
+                << report.violations.size() << " violation(s)\n";
+    }
+    if (report.ok()) continue;
+
+    ++violating_seeds;
+    print_violations(report);
+
+    // Minimal reproducer + replay file.
+    std::size_t shrink_runs = 0;
+    const sim::FaultPlan minimal =
+        shrink_plan(seed_config, plan, &shrink_runs);
+    std::cout << "  shrunk " << plan.size() << " -> " << minimal.size()
+              << " fault events in " << shrink_runs << " re-runs:\n";
+    for (const sim::FaultEvent& event : minimal.events()) {
+      std::cout << "    " << event.serialize() << "\n";
+    }
+    const std::string replay = encode_replay(seed_config, minimal);
+    const std::string path =
+        out_dir + "/chaos-seed" + std::to_string(seed_config.seed) +
+        ".replay";
+    std::ofstream out(path);
+    out << replay;
+    out.close();
+
+    // The replay file must reproduce the violation byte-for-byte.
+    const auto decoded = decode_replay(replay);
+    const bool replay_violates =
+        decoded.has_value() &&
+        !run_plan(decoded->first, decoded->second).violations.empty();
+    std::cout << "  replay file " << path
+              << (replay_violates ? " reproduces the violation\n"
+                                  : " FAILED to reproduce\n");
+    if (replay_violates) reproduced = true;
+    if (expect_violation) break;  // One shrunk reproducer is the goal.
+  }
+
+  std::cout << "\ncampaign summary: " << violating_seeds << " of " << seeds
+            << " seeds violated invariants; " << total_fault_events
+            << " fault events injected, " << total_committed
+            << " updates committed, " << total_events
+            << " simulation events\n";
+
+  if (expect_violation) {
+    if (violating_seeds > 0 && reproduced) {
+      std::cout << "expected violation found, shrunk and reproduced\n";
+      return 0;
+    }
+    std::cerr << "expected a violation (faults > f) but none "
+              << (violating_seeds > 0 ? "reproduced" : "was found") << "\n";
+    return 1;
+  }
+  return violating_seeds == 0 ? 0 : 1;
+}

@@ -30,6 +30,9 @@ void usage() {
       "  --updates U          total updates across clients (default 6)\n"
       "  --guids G            number of GUIDs written (default 2)\n"
       "  --byzantine KIND:N   crash | equivocator | withholder, N nodes\n"
+      "  --partition A:B[:T]  cut links between nodes A and B both ways at\n"
+      "                       time 0; heal at time T us (default: never);\n"
+      "                       repeatable\n"
       "  --drop P             message drop probability (default 0)\n"
       "  --duplicate P        message duplication probability (default 0)\n"
       "  --seed S             simulation seed (default 42)\n"
@@ -41,6 +44,32 @@ std::optional<commit::Behaviour> parse_behaviour(const std::string& name) {
   if (name == "equivocator") return commit::Behaviour::kEquivocator;
   if (name == "withholder") return commit::Behaviour::kWithholder;
   return std::nullopt;
+}
+
+struct PartitionSpec {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  sim::Time heal_at = 0;  // 0 = never heal.
+};
+
+// "A:B" or "A:B:heal_at" (times in simulated microseconds).
+std::optional<PartitionSpec> parse_partition(const std::string& spec) {
+  const std::size_t first = spec.find(':');
+  if (first == std::string::npos) return std::nullopt;
+  const std::size_t second = spec.find(':', first + 1);
+  try {
+    PartitionSpec out;
+    out.a = std::stoul(spec.substr(0, first));
+    out.b = std::stoul(spec.substr(
+        first + 1,
+        second == std::string::npos ? std::string::npos : second - first - 1));
+    if (second != std::string::npos) {
+      out.heal_at = std::stoull(spec.substr(second + 1));
+    }
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -55,6 +84,7 @@ int main(int argc, char** argv) {
   int guids = 2;
   commit::Behaviour byz_kind = commit::Behaviour::kHonest;
   std::size_t byz_count = 0;
+  std::vector<PartitionSpec> partitions;
   double duplicate_probability = 0.0;
   bool dump_trace = false;
 
@@ -98,6 +128,15 @@ int main(int argc, char** argv) {
       byz_count = colon == std::string::npos
                       ? 1
                       : std::stoul(spec.substr(colon + 1));
+    } else if (arg == "--partition") {
+      const std::string spec = next();
+      const auto parsed = parse_partition(spec);
+      if (!parsed.has_value()) {
+        std::cerr << "bad partition spec (want A:B or A:B:heal_at): " << spec
+                  << "\n";
+        return 2;
+      }
+      partitions.push_back(*parsed);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       usage();
@@ -114,6 +153,22 @@ int main(int argc, char** argv) {
   }
   for (std::size_t i = 0; i < cluster.node_count(); ++i) {
     cluster.host(i).peer().enable_abort(60'000, 80'000);
+  }
+  for (const PartitionSpec& p : partitions) {
+    if (p.a >= cluster.node_count() || p.b >= cluster.node_count()) {
+      std::cerr << "partition node out of range: " << p.a << ":" << p.b
+                << "\n";
+      return 2;
+    }
+    const auto a = static_cast<sim::NodeAddr>(p.a);
+    const auto b = static_cast<sim::NodeAddr>(p.b);
+    cluster.network().partition_bidirectional(a, b);
+    if (p.heal_at > 0) {
+      cluster.scheduler().schedule_at(p.heal_at, [&cluster, a, b]() {
+        cluster.network().heal(a, b);
+        cluster.network().heal(b, a);
+      });
+    }
   }
 
   std::cout << "cluster: " << config.nodes << " nodes, r="
