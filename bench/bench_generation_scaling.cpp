@@ -11,10 +11,13 @@
 // concurrency) best-of-N wall time, per-state throughput, and speedup.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "commit/commit_model.hpp"
 #include "core/equivalence.hpp"
 #include "core/parallel.hpp"
+#include "obs/metrics.hpp"
 
 using namespace asa_repro;
 
@@ -42,7 +45,23 @@ double best_ms(const commit::CommitModel& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_generation_scaling [--json FILE]\n");
+      return 2;
+    }
+  }
+  // Per-r sweep results in the shared asa-metrics/1 schema. State counts
+  // are deterministic; the *_us gauges are wall-clock (this bench measures
+  // real time, like fsmgen --profile) and vary run to run.
+  obs::MetricsRegistry registry;
+
   const unsigned jobs = fsm::hardware_jobs();
   std::printf("Generation scaling sweep (extension of Table 1)\n");
   std::printf("serial = jobs 1, parallel = jobs %u (hardware threads)\n\n",
@@ -64,6 +83,16 @@ int main() {
     fsm::GenerationOptions parallel;
     parallel.jobs = 0;  // Hardware concurrency.
     const double parallel_ms = best_ms(model, parallel, reps, nullptr);
+
+    const obs::Labels labels{{"r", std::to_string(r)}};
+    registry.counter("gen.initial_states", labels).set(report.initial_states);
+    registry.counter("gen.reachable_states", labels)
+        .set(report.reachable_states);
+    registry.counter("gen.final_states", labels).set(report.final_states);
+    registry.gauge("gen.serial_us", labels)
+        .set(static_cast<std::int64_t>(serial_ms * 1000.0));
+    registry.gauge("gen.parallel_us", labels)
+        .set(static_cast<std::int64_t>(parallel_ms * 1000.0));
 
     std::printf("%4u %4u %10llu %8llu %8llu %12.3f %12.3f %12.2f %7.2fx\n",
                 r, model.max_faulty(),
@@ -96,5 +125,20 @@ int main() {
               "deterministic chunked engine turns repeated\nfamily-wide "
               "sweeps from O(cores) idle into near-linear use of the "
               "machine.\n");
+
+  if (!json_path.empty()) {
+    const obs::Meta meta{
+        {"tool", "bench_generation_scaling"},
+        {"jobs", std::to_string(jobs)},
+        {"clock", "wall"},
+    };
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << obs::write_metrics_json(registry, meta);
+    std::printf("metrics written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -10,14 +10,17 @@
 //
 // All runs are deterministic per seed; aggregates are over seed sweeps.
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "commit/endpoint.hpp"
 #include "commit/machine_cache.hpp"
 #include "commit/peer.hpp"
+#include "obs/metrics.hpp"
 
 using namespace asa_repro;
 using commit::Behaviour;
@@ -36,6 +39,7 @@ struct RunResult {
   std::uint64_t retries = 0;
   std::uint64_t aborts = 0;
   std::uint64_t messages = 0;
+  std::uint64_t latency_us = 0;  // Summed over committed updates (exact).
   double mean_latency_ms = 0;
   bool order_divergence = false;
 };
@@ -69,6 +73,7 @@ RunResult run_scenario(std::uint32_t r, int clients, std::uint64_t seed,
         kGuid, 1000 + c, [&result, &total_latency](const CommitResult& cr) {
           if (cr.committed) {
             ++result.committed;
+            result.latency_us += cr.latency;
             total_latency += static_cast<double>(cr.latency) / 1000.0;
           } else {
             ++result.failed;
@@ -103,13 +108,44 @@ RunResult run_scenario(std::uint32_t r, int clients, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_protocol [--json FILE]\n");
+      return 2;
+    }
+  }
+  // Exact integer totals per sweep cell, exported as asa-metrics/1 (the
+  // schema asasim/asachaos share); consumers divide by the `seeds` counter.
+  // Totals, not means: integers keep the file byte-stable across runs.
+  obs::MetricsRegistry registry;
+  const auto record = [&registry](const obs::Labels& labels,
+                                  std::uint64_t seeds, std::uint64_t committed,
+                                  std::uint64_t submitted,
+                                  std::uint64_t retries, std::uint64_t aborts,
+                                  std::uint64_t messages,
+                                  std::uint64_t latency_us) {
+    registry.counter("bench.seeds", labels).set(seeds);
+    registry.counter("bench.committed", labels).set(committed);
+    registry.counter("bench.submitted", labels).set(submitted);
+    registry.counter("bench.retries", labels).set(retries);
+    registry.counter("bench.aborts", labels).set(aborts);
+    registry.counter("bench.messages", labels).set(messages);
+    registry.counter("bench.latency_us_total", labels).set(latency_us);
+  };
+
   // ---- A. Uncontended commit cost vs replication factor. ----
   std::printf("=== A. One uncontended commit vs replication factor ===\n");
   std::printf("%4s %4s %14s %14s %10s\n", "r", "f", "latency (ms)",
               "messages", "retries");
   for (std::uint32_t r : {4u, 7u, 13u, 25u}) {
     double latency = 0, messages = 0, retries = 0;
+    std::uint64_t t_committed = 0, t_retries = 0, t_aborts = 0,
+                  t_messages = 0, t_latency_us = 0;
     const int kSeeds = 20;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
       const RunResult res =
@@ -117,7 +153,15 @@ int main() {
       latency += res.mean_latency_ms;
       messages += static_cast<double>(res.messages);
       retries += static_cast<double>(res.retries);
+      t_committed += static_cast<std::uint64_t>(res.committed);
+      t_retries += res.retries;
+      t_aborts += res.aborts;
+      t_messages += res.messages;
+      t_latency_us += res.latency_us;
     }
+    record({{"experiment", "A"}, {"r", std::to_string(r)}}, kSeeds,
+           t_committed, kSeeds, t_retries, t_aborts, t_messages,
+           t_latency_us);
     std::printf("%4u %4u %14.2f %14.1f %10.2f\n", r, (r - 1) / 3,
                 latency / kSeeds, messages / kSeeds, retries / kSeeds);
   }
@@ -154,6 +198,8 @@ int main() {
     policy.max_attempts = 25;
     int committed = 0, total = 0;
     double retries = 0, aborts = 0, latency = 0, messages = 0;
+    std::uint64_t t_retries = 0, t_aborts = 0, t_messages = 0,
+                  t_latency_us = 0;
     const int kSeeds = 40;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
       const RunResult res =
@@ -164,7 +210,15 @@ int main() {
       aborts += static_cast<double>(res.aborts);
       latency += res.mean_latency_ms;
       messages += static_cast<double>(res.messages);
+      t_retries += res.retries;
+      t_aborts += res.aborts;
+      t_messages += res.messages;
+      t_latency_us += res.latency_us;
     }
+    record({{"experiment", "B"}, {"scheme", scheme.name}}, kSeeds,
+           static_cast<std::uint64_t>(committed),
+           static_cast<std::uint64_t>(total), t_retries, t_aborts,
+           t_messages, t_latency_us);
     std::printf("%-28s %8.1f%% %9.2f %9.2f %12.2f %9.0f\n", scheme.name,
                 100.0 * committed / total, retries / kSeeds, aborts / kSeeds,
                 latency / kSeeds, messages / kSeeds);
@@ -195,6 +249,8 @@ int main() {
           byz.behaviour == Behaviour::kHonest ? 0 : (r - 1) / 3;
       int committed = 0, total = 0, diverged = 0;
       double retries = 0, latency = 0;
+      std::uint64_t t_retries = 0, t_aborts = 0, t_messages = 0,
+                    t_latency_us = 0;
       const int kSeeds = 30;
       for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
         const RunResult res =
@@ -204,7 +260,19 @@ int main() {
         retries += static_cast<double>(res.retries);
         latency += res.mean_latency_ms;
         if (res.order_divergence) ++diverged;
+        t_retries += res.retries;
+        t_aborts += res.aborts;
+        t_messages += res.messages;
+        t_latency_us += res.latency_us;
       }
+      const obs::Labels labels{{"experiment", "C"},
+                               {"r", std::to_string(r)},
+                               {"behaviour", byz.name}};
+      record(labels, kSeeds, static_cast<std::uint64_t>(committed),
+             static_cast<std::uint64_t>(total), t_retries, t_aborts,
+             t_messages, t_latency_us);
+      registry.counter("bench.order_divergence_seeds", labels)
+          .set(static_cast<std::uint64_t>(diverged));
       std::printf("%4u %-14s %8.1f%% %9.2f %12.2f %17.1f%%\n", r, byz.name,
                   100.0 * committed / total, retries / kSeeds,
                   latency / kSeeds, 100.0 * diverged / kSeeds);
@@ -215,5 +283,19 @@ int main() {
               "their thresholds concurrently; the f+1 read\n rule of the "
               "version-history service restores a single agreed order — "
               "see EXPERIMENTS.md)\n");
+
+  if (!json_path.empty()) {
+    const obs::Meta meta{
+        {"tool", "bench_protocol"},
+        {"experiments", "A,B,C"},
+    };
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << obs::write_metrics_json(registry, meta);
+    std::printf("\nmetrics written to %s\n", json_path.c_str());
+  }
   return 0;
 }

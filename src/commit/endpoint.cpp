@@ -106,6 +106,10 @@ void CommitEndpoint::on_timeout(std::uint64_t request_id) {
     return;
   }
   ++stats_.retries;
+  if (metrics_ != nullptr) {
+    metrics_->counter("endpoint.retries", {{"guid", std::to_string(p.guid)}})
+        .inc();
+  }
   start_attempt(request_id);
 }
 
@@ -129,6 +133,16 @@ void CommitEndpoint::handle(sim::NodeAddr from, const std::string& data) {
   result.update_id = p.current_update_id;
   result.attempts = p.attempt;
   result.latency = network_.scheduler().now() - p.submitted_at;
+  if (metrics_ != nullptr) {
+    const obs::Labels node{{"node", std::to_string(self_)}};
+    metrics_
+        ->histogram("endpoint.commit_latency_us", node,
+                    obs::latency_buckets_us())
+        .observe(result.latency);
+    metrics_
+        ->histogram("endpoint.attempts", node, obs::small_count_buckets())
+        .observe(result.attempts);
+  }
   Callback cb = std::move(p.callback);
   pending_.erase(it);
   if (cb) cb(result);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "commit/messages.hpp"
+#include "obs/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/rng.hpp"
 
@@ -81,6 +82,10 @@ class CommitEndpoint {
   [[nodiscard]] const EndpointStats& stats() const { return stats_; }
   [[nodiscard]] sim::NodeAddr address() const { return self_; }
 
+  /// Attach a metrics registry: end-to-end commit latency and per-request
+  /// attempt histograms, per-GUID retry counters. nullptr disables.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   struct Pending {
     std::uint64_t guid = 0;
@@ -104,6 +109,7 @@ class CommitEndpoint {
   std::uint32_t quorum_;  // f + 1.
   RetryPolicy policy_;
   sim::Rng rng_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   EndpointStats stats_;
   std::map<std::uint64_t, Pending> pending_;  // By request id.
   std::uint64_t next_request_id_;

@@ -142,6 +142,12 @@ CommitPeer::Instance& CommitPeer::instance(GuidContext& ctx,
                    "guid=" + std::to_string(guid) +
                        " update=" + std::to_string(update_id) + " created");
   }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("commit.instances_opened",
+                  {{"node", std::to_string(self_)}})
+        .inc();
+  }
   arm_abort_scan();  // Watch the new instance for stalls, if enabled.
   return inst;
 }
@@ -304,10 +310,19 @@ void CommitPeer::check_finished(GuidContext& ctx, std::uint64_t guid,
     inst.recorded = true;
     ++stats_.committed;
     ctx.committed.push_back({update_id, inst.request_id, inst.payload});
+    const sim::Time latency = network_.scheduler().now() - inst.created;
     if (trace_ != nullptr) {
       trace_->record(network_.scheduler().now(), self_, "commit",
                      "guid=" + std::to_string(guid) +
-                         " update=" + std::to_string(update_id));
+                         " update=" + std::to_string(update_id) +
+                         " latency=" + std::to_string(latency));
+    }
+    if (metrics_ != nullptr) {
+      metrics_
+          ->histogram("commit.instance_latency_us",
+                      {{"node", std::to_string(self_)}},
+                      obs::latency_buckets_us())
+          .observe(latency);
     }
     // Defensive: a finished update must release the node lock even if the
     // free action was not part of the final transition (it is whenever the
@@ -359,7 +374,13 @@ void CommitPeer::abort_scan(sim::Time max_age) {
       if (trace_ != nullptr) {
         trace_->record(now, self_, "abort",
                        "guid=" + std::to_string(guid) +
-                           " update=" + std::to_string(it->first));
+                           " update=" + std::to_string(it->first) +
+                           " age=" + std::to_string(now - inst.created));
+      }
+      if (metrics_ != nullptr) {
+        metrics_
+            ->counter("commit.aborts", {{"guid", std::to_string(guid)}})
+            .inc();
       }
       const bool held_lock = ctx.chosen_update == it->first;
       const std::uint64_t erased_uid = it->first;

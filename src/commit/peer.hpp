@@ -24,6 +24,7 @@
 
 #include "commit/driver.hpp"
 #include "commit/messages.hpp"
+#include "obs/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
 
@@ -78,6 +79,10 @@ class CommitPeer {
   void set_peer_resolver(PeerResolver resolver) {
     resolver_ = std::move(resolver);
   }
+
+  /// Attach a metrics registry: instance lifecycle counters, commit-latency
+  /// histograms and per-GUID abort counters. nullptr (default) disables.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Replace how machine instances execute (paper section 4.3): by default
   /// new instances interpret the shared generated StateMachine; a custom
@@ -192,6 +197,7 @@ class CommitPeer {
   DriverFactory driver_factory_;
   Behaviour behaviour_;
   sim::Trace* trace_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   PeerStats stats_;
   std::map<std::uint64_t, GuidContext> guids_;
   std::deque<std::pair<std::uint64_t, fsm::MessageId>> local_queue_;

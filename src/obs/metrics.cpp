@@ -1,0 +1,202 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace asa_repro::obs {
+
+void Histogram::observe(std::uint64_t v) {
+  // First bucket whose upper bound holds v; past-the-end = overflow.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Smallest rank covering the quantile, in [1, count_].
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.999999999);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      return i < bounds_.size() ? bounds_[i] : max_;
+    }
+  }
+  return max_;
+}
+
+const std::vector<std::uint64_t>& latency_buckets_us() {
+  static const std::vector<std::uint64_t> kBuckets = {
+      100,     200,     500,     1'000,     2'000,     5'000,
+      10'000,  20'000,  50'000,  100'000,   200'000,   500'000,
+      1'000'000, 2'000'000, 5'000'000};
+  return kBuckets;
+}
+
+const std::vector<std::uint64_t>& small_count_buckets() {
+  static const std::vector<std::uint64_t> kBuckets = {1, 2,  3,  4,  6,
+                                                      8, 12, 16, 24, 32};
+  return kBuckets;
+}
+
+MetricsRegistry::Key MetricsRegistry::make_key(const std::string& name,
+                                               const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return {name, std::move(sorted)};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  if (!enabled_) return scratch_counter_;
+  return counters_[make_key(name, labels)];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  if (!enabled_) return scratch_gauge_;
+  return gauges_[make_key(name, labels)];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      const std::vector<std::uint64_t>& bounds) {
+  if (!enabled_) {
+    const auto it = scratch_histograms_.find(bounds);
+    if (it != scratch_histograms_.end()) return it->second;
+    return scratch_histograms_.emplace(bounds, Histogram(bounds))
+        .first->second;
+  }
+  const Key key = make_key(name, labels);
+  const auto it = histograms_.find(key);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(key, Histogram(bounds)).first->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  if (!enabled_) return;
+  for (const auto& [key, c] : other.counters_) {
+    counters_[key].value_ += c.value_;
+  }
+  for (const auto& [key, g] : other.gauges_) {
+    gauges_[key].value_ = g.value_;
+  }
+  for (const auto& [key, h] : other.histograms_) {
+    const auto it = histograms_.find(key);
+    if (it == histograms_.end()) {
+      histograms_.emplace(key, h);
+      continue;
+    }
+    Histogram& mine = it->second;
+    if (mine.bounds_ != h.bounds_) continue;  // Incompatible series.
+    for (std::size_t i = 0; i < mine.counts_.size(); ++i) {
+      mine.counts_[i] += h.counts_[i];
+    }
+    mine.count_ += h.count_;
+    mine.sum_ += h.sum_;
+    mine.min_ = std::min(mine.min_, h.min_);
+    mine.max_ = std::max(mine.max_, h.max_);
+  }
+}
+
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const Series&, const Counter&)>& fn) const {
+  for (const auto& [key, value] : counters_) {
+    fn(Series{key.first, key.second}, value);
+  }
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const Series&, const Gauge&)>& fn) const {
+  for (const auto& [key, value] : gauges_) {
+    fn(Series{key.first, key.second}, value);
+  }
+}
+
+void MetricsRegistry::for_each_histogram(
+    const std::function<void(const Series&, const Histogram&)>& fn) const {
+  for (const auto& [key, value] : histograms_) {
+    fn(Series{key.first, key.second}, value);
+  }
+}
+
+namespace {
+
+JsonValue labels_object(const Labels& labels) {
+  JsonValue obj = JsonValue::object();
+  for (const auto& [k, v] : labels) obj.set(k, JsonValue(v));
+  return obj;
+}
+
+}  // namespace
+
+std::string write_metrics_json(const MetricsRegistry& registry,
+                               const Meta& meta) {
+  JsonValue root = JsonValue::object();
+  root.set("schema", JsonValue("asa-metrics/1"));
+
+  JsonValue meta_obj = JsonValue::object();
+  for (const auto& [k, v] : meta) meta_obj.set(k, JsonValue(v));
+  root.set("meta", std::move(meta_obj));
+
+  JsonValue counters = JsonValue::array();
+  registry.for_each_counter([&](const MetricsRegistry::Series& s,
+                                const Counter& c) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue(s.name));
+    entry.set("labels", labels_object(s.labels));
+    entry.set("value", JsonValue(c.value()));
+    counters.push_back(std::move(entry));
+  });
+  root.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::array();
+  registry.for_each_gauge([&](const MetricsRegistry::Series& s,
+                              const Gauge& g) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue(s.name));
+    entry.set("labels", labels_object(s.labels));
+    entry.set("value", JsonValue(std::int64_t{g.value()}));
+    gauges.push_back(std::move(entry));
+  });
+  root.set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::array();
+  registry.for_each_histogram([&](const MetricsRegistry::Series& s,
+                                  const Histogram& h) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue(s.name));
+    entry.set("labels", labels_object(s.labels));
+    entry.set("count", JsonValue(h.count()));
+    entry.set("sum", JsonValue(h.sum()));
+    entry.set("min", JsonValue(h.min()));
+    entry.set("max", JsonValue(h.max()));
+    JsonValue buckets = JsonValue::array();
+    const auto& bounds = h.bounds();
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      JsonValue bucket = JsonValue::object();
+      if (i < bounds.size()) {
+        bucket.set("le", JsonValue(bounds[i]));
+      } else {
+        bucket.set("le", JsonValue("inf"));
+      }
+      bucket.set("count", JsonValue(counts[i]));
+      buckets.push_back(std::move(bucket));
+    }
+    entry.set("buckets", std::move(buckets));
+    histograms.push_back(std::move(entry));
+  });
+  root.set("histograms", std::move(histograms));
+
+  return root.dump(1) + "\n";
+}
+
+}  // namespace asa_repro::obs

@@ -1,0 +1,366 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace asa_repro::obs {
+
+namespace {
+
+std::optional<std::string> check_series_array(const JsonValue* arr,
+                                              const char* section,
+                                              bool histogram) {
+  if (arr == nullptr || !arr->is_array()) {
+    return std::string(section) + " section missing or not an array";
+  }
+  for (const JsonValue& entry : arr->items()) {
+    if (!entry.is_object()) {
+      return std::string(section) + " entry is not an object";
+    }
+    const JsonValue* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) {
+      return std::string(section) + " entry without a string name";
+    }
+    const JsonValue* labels = entry.find("labels");
+    if (labels == nullptr || !labels->is_object()) {
+      return std::string(section) + " entry " + name->as_string() +
+             " without a labels object";
+    }
+    for (const auto& [k, v] : labels->members()) {
+      if (!v.is_string()) {
+        return std::string(section) + " entry " + name->as_string() +
+               " label " + k + " is not a string";
+      }
+    }
+    if (!histogram) {
+      const JsonValue* value = entry.find("value");
+      if (value == nullptr || !value->is_number()) {
+        return std::string(section) + " entry " + name->as_string() +
+               " without a numeric value";
+      }
+      continue;
+    }
+    for (const char* field : {"count", "sum", "min", "max"}) {
+      const JsonValue* v = entry.find(field);
+      if (v == nullptr || !v->is_number()) {
+        return std::string("histogram ") + name->as_string() +
+               " without numeric " + field;
+      }
+    }
+    const JsonValue* buckets = entry.find("buckets");
+    if (buckets == nullptr || !buckets->is_array() ||
+        buckets->items().empty()) {
+      return std::string("histogram ") + name->as_string() +
+             " without a buckets array";
+    }
+    std::uint64_t total = 0;
+    for (const JsonValue& bucket : buckets->items()) {
+      if (!bucket.is_object()) {
+        return std::string("histogram ") + name->as_string() +
+               " bucket is not an object";
+      }
+      const JsonValue* le = bucket.find("le");
+      const JsonValue* count = bucket.find("count");
+      if (le == nullptr || (!le->is_number() && !le->is_string())) {
+        return std::string("histogram ") + name->as_string() +
+               " bucket without le";
+      }
+      if (count == nullptr || !count->is_number()) {
+        return std::string("histogram ") + name->as_string() +
+               " bucket without a numeric count";
+      }
+      total += static_cast<std::uint64_t>(count->as_int());
+    }
+    const JsonValue* last_le = buckets->items().back().find("le");
+    if (!last_le->is_string() || last_le->as_string() != "inf") {
+      return std::string("histogram ") + name->as_string() +
+             " last bucket is not the inf overflow";
+    }
+    if (total != static_cast<std::uint64_t>(entry.find("count")->as_int())) {
+      return std::string("histogram ") + name->as_string() +
+             " bucket counts do not sum to count";
+    }
+  }
+  return std::nullopt;
+}
+
+std::string format_labels(const JsonValue& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels.members()) {
+    if (!out.empty()) out += ',';
+    out += k + "=" + v.as_string();
+  }
+  return out.empty() ? out : "{" + out + "}";
+}
+
+/// Quantile upper-bound estimate from an exported bucket array.
+std::uint64_t bucket_quantile(const JsonValue& entry, double q) {
+  const auto count =
+      static_cast<std::uint64_t>(entry.find("count")->as_int());
+  if (count == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count) + 0.999999999);
+  std::uint64_t cumulative = 0;
+  for (const JsonValue& bucket : entry.find("buckets")->items()) {
+    cumulative += static_cast<std::uint64_t>(bucket.find("count")->as_int());
+    if (cumulative >= rank) {
+      const JsonValue* le = bucket.find("le");
+      if (le->is_string()) {
+        return static_cast<std::uint64_t>(entry.find("max")->as_int());
+      }
+      return static_cast<std::uint64_t>(le->as_int());
+    }
+  }
+  return static_cast<std::uint64_t>(entry.find("max")->as_int());
+}
+
+std::string us_to_string(std::uint64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<std::string> validate_metrics_json(const JsonValue& root) {
+  if (!root.is_object()) return "document is not a JSON object";
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return "missing schema field";
+  }
+  if (schema->as_string() != "asa-metrics/1") {
+    return "unsupported schema " + schema->as_string();
+  }
+  const JsonValue* meta = root.find("meta");
+  if (meta == nullptr || !meta->is_object()) {
+    return "missing meta object";
+  }
+  if (auto err = check_series_array(root.find("counters"), "counters", false);
+      err.has_value()) {
+    return err;
+  }
+  if (auto err = check_series_array(root.find("gauges"), "gauges", false);
+      err.has_value()) {
+    return err;
+  }
+  if (auto err =
+          check_series_array(root.find("histograms"), "histograms", true);
+      err.has_value()) {
+    return err;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<ReportTraceEvent>> parse_trace_jsonl(
+    const std::string& text) {
+  std::vector<ReportTraceEvent> events;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const std::optional<JsonValue> value = parse_json(line);
+    if (!value.has_value() || !value->is_object()) return std::nullopt;
+    if (value->find("schema") != nullptr) continue;  // Header line.
+    const JsonValue* t = value->find("t");
+    const JsonValue* node = value->find("node");
+    const JsonValue* cat = value->find("cat");
+    const JsonValue* detail = value->find("detail");
+    if (t == nullptr || !t->is_number() || node == nullptr ||
+        !node->is_number() || cat == nullptr || !cat->is_string() ||
+        detail == nullptr || !detail->is_string()) {
+      return std::nullopt;
+    }
+    events.push_back({static_cast<std::uint64_t>(t->as_int()),
+                      static_cast<std::uint32_t>(node->as_int()),
+                      cat->as_string(), detail->as_string()});
+  }
+  return events;
+}
+
+std::optional<std::uint64_t> detail_field(const std::string& detail,
+                                          const std::string& key) {
+  const std::string needle = key + "=";
+  std::size_t pos = 0;
+  while ((pos = detail.find(needle, pos)) != std::string::npos) {
+    // Must start a token (beginning of string or after a space).
+    if (pos == 0 || detail[pos - 1] == ' ') {
+      const std::size_t value_start = pos + needle.size();
+      std::size_t value_end = value_start;
+      while (value_end < detail.size() &&
+             std::isdigit(static_cast<unsigned char>(detail[value_end]))) {
+        ++value_end;
+      }
+      if (value_end == value_start) return std::nullopt;
+      try {
+        return std::stoull(detail.substr(value_start, value_end - value_start));
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    }
+    pos += needle.size();
+  }
+  return std::nullopt;
+}
+
+std::string render_report(const JsonValue& metrics,
+                          const std::vector<ReportTraceEvent>& trace,
+                          const ReportOptions& options) {
+  std::ostringstream out;
+  char line[256];
+
+  out << "=== run report ===\n";
+  const JsonValue* meta = metrics.find("meta");
+  if (meta != nullptr && meta->is_object()) {
+    for (const auto& [k, v] : meta->members()) {
+      out << "  " << k << ": "
+          << (v.is_string() ? v.as_string() : v.dump()) << "\n";
+    }
+  }
+
+  // ---- Histogram percentile table (times in ms, counts verbatim). ----
+  const JsonValue* histograms = metrics.find("histograms");
+  if (histograms != nullptr && histograms->is_array() &&
+      !histograms->items().empty()) {
+    out << "\n=== latency / distribution percentiles ===\n";
+    std::snprintf(line, sizeof line, "%-44s %8s %10s %10s %10s %10s\n",
+                  "series", "count", "p50", "p90", "p99", "max");
+    out << line;
+    for (const JsonValue& h : histograms->items()) {
+      const std::string name =
+          h.find("name")->as_string() + format_labels(*h.find("labels"));
+      const auto count =
+          static_cast<std::uint64_t>(h.find("count")->as_int());
+      const bool time_like =
+          h.find("name")->as_string().find("hops") == std::string::npos &&
+          h.find("name")->as_string().find("attempts") == std::string::npos;
+      const auto render = [&](std::uint64_t v) -> std::string {
+        return time_like ? us_to_string(v) + "ms" : std::to_string(v);
+      };
+      std::snprintf(line, sizeof line, "%-44s %8llu %10s %10s %10s %10s\n",
+                    name.c_str(), static_cast<unsigned long long>(count),
+                    render(bucket_quantile(h, 0.50)).c_str(),
+                    render(bucket_quantile(h, 0.90)).c_str(),
+                    render(bucket_quantile(h, 0.99)).c_str(),
+                    render(static_cast<std::uint64_t>(
+                               h.find("max")->as_int()))
+                        .c_str());
+      out << line;
+    }
+  }
+
+  // ---- Per-node breakdown from node-labelled gauges. ----
+  const JsonValue* gauges = metrics.find("gauges");
+  if (gauges != nullptr && gauges->is_array()) {
+    // node -> metric name -> value.
+    std::map<std::uint64_t, std::map<std::string, std::int64_t>> per_node;
+    std::set<std::string> metric_names;
+    for (const JsonValue& g : gauges->items()) {
+      const JsonValue* labels = g.find("labels");
+      const JsonValue* node = labels->find("node");
+      if (node == nullptr || !node->is_string()) continue;
+      try {
+        const std::uint64_t n = std::stoull(node->as_string());
+        const std::string& name = g.find("name")->as_string();
+        per_node[n][name] = g.find("value")->as_int();
+        metric_names.insert(name);
+      } catch (const std::exception&) {
+        continue;
+      }
+    }
+    if (!per_node.empty()) {
+      out << "\n=== per-node breakdown ===\n";
+      std::string header = "node";
+      header.resize(6, ' ');
+      // Strip the common "peer." prefix; column width adapts to the name.
+      std::vector<std::string> columns(metric_names.begin(),
+                                       metric_names.end());
+      std::vector<int> widths;
+      for (const std::string& name : columns) {
+        std::string short_name = name;
+        if (const std::size_t dot = short_name.rfind('.');
+            dot != std::string::npos) {
+          short_name = short_name.substr(dot + 1);
+        }
+        const int width =
+            std::max<int>(14, static_cast<int>(short_name.size()) + 2);
+        widths.push_back(width);
+        std::snprintf(line, sizeof line, "%*s", width, short_name.c_str());
+        header += line;
+      }
+      out << header << "\n";
+      for (const auto& [node, values] : per_node) {
+        std::string row = std::to_string(node);
+        row.resize(6, ' ');
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+          const auto it = values.find(columns[c]);
+          std::snprintf(line, sizeof line, "%*lld", widths[c],
+                        static_cast<long long>(
+                            it == values.end() ? 0 : it->second));
+          row += line;
+        }
+        out << row << "\n";
+      }
+    }
+  }
+
+  // ---- Top-k slowest commit instances from the causal trace. ----
+  if (!trace.empty()) {
+    struct SlowCommit {
+      std::uint64_t latency;
+      std::uint64_t time;
+      std::uint32_t node;
+      std::uint64_t guid;
+      std::uint64_t update;
+    };
+    std::vector<SlowCommit> commits;
+    std::uint64_t sends = 0, delivers = 0, drops = 0;
+    for (const ReportTraceEvent& e : trace) {
+      if (e.category == "net.send") ++sends;
+      if (e.category == "net.deliver") ++delivers;
+      if (e.category == "net.drop") ++drops;
+      if (e.category != "commit") continue;
+      const auto latency = detail_field(e.detail, "latency");
+      if (!latency.has_value()) continue;
+      commits.push_back({*latency, e.time, e.node,
+                         detail_field(e.detail, "guid").value_or(0),
+                         detail_field(e.detail, "update").value_or(0)});
+    }
+    if (!commits.empty()) {
+      std::stable_sort(commits.begin(), commits.end(),
+                       [](const SlowCommit& a, const SlowCommit& b) {
+                         return a.latency > b.latency;
+                       });
+      out << "\n=== top " << std::min(options.top_k, commits.size())
+          << " slowest commit instances (of " << commits.size() << ") ===\n";
+      std::snprintf(line, sizeof line, "%12s %8s %20s %10s %12s\n",
+                    "latency(ms)", "node", "guid", "update", "at(ms)");
+      out << line;
+      for (std::size_t i = 0;
+           i < commits.size() && i < options.top_k; ++i) {
+        const SlowCommit& c = commits[i];
+        std::snprintf(line, sizeof line, "%12s %8u %20llu %10llu %12s\n",
+                      us_to_string(c.latency).c_str(), c.node,
+                      static_cast<unsigned long long>(c.guid),
+                      static_cast<unsigned long long>(c.update),
+                      us_to_string(c.time).c_str());
+        out << line;
+      }
+    }
+    if (sends > 0) {
+      out << "\n=== causal message trace ===\n"
+          << "  " << sends << " sends, " << delivers << " deliveries, "
+          << drops << " drops recorded\n";
+    }
+  }
+
+  return out.str();
+}
+
+}  // namespace asa_repro::obs

@@ -1,0 +1,54 @@
+// Run-report rendering and schema validation for the observability files.
+//
+// asareport consumes the artifacts the tools emit — an asa-metrics/1 JSON
+// document (--metrics-out) and an asa-trace/1 JSONL event stream
+// (--trace-out) — and renders the human-facing summary: histogram
+// percentile tables, a per-node protocol breakdown, and the top-k slowest
+// commit instances reconstructed from the causal trace. CI's metrics smoke
+// job uses validate_metrics_json() to reject malformed producers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace asa_repro::obs {
+
+/// Structural validation of an asa-metrics/1 document. Returns nullopt
+/// when valid, else a description of the first problem found.
+[[nodiscard]] std::optional<std::string> validate_metrics_json(
+    const JsonValue& root);
+
+/// One parsed trace event (mirror of sim::TraceEvent, kept decoupled so
+/// report rendering does not pull the simulator in).
+struct ReportTraceEvent {
+  std::uint64_t time = 0;
+  std::uint32_t node = 0;
+  std::string category;
+  std::string detail;
+};
+
+/// Parse an asa-trace/1 JSONL stream. Lines that are blank or carry a
+/// "schema" header are skipped; any other malformed line fails the parse.
+[[nodiscard]] std::optional<std::vector<ReportTraceEvent>> parse_trace_jsonl(
+    const std::string& text);
+
+struct ReportOptions {
+  std::size_t top_k = 10;  // Slowest commit instances to list.
+};
+
+/// Render the run summary from a parsed metrics document and (optionally)
+/// trace events. Pure function of its inputs; deterministic.
+[[nodiscard]] std::string render_report(
+    const JsonValue& metrics, const std::vector<ReportTraceEvent>& trace,
+    const ReportOptions& options = {});
+
+/// Pull `key=value` out of a trace detail string ("guid=7 update=12
+/// latency=3200"); nullopt when absent or non-numeric.
+[[nodiscard]] std::optional<std::uint64_t> detail_field(
+    const std::string& detail, const std::string& key);
+
+}  // namespace asa_repro::obs

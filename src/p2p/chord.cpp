@@ -218,7 +218,15 @@ void ChordRing::run_maintenance(std::size_t rounds) {
 
 NodeId ChordRing::lookup(const NodeId& key, std::size_t* hops) const {
   assert(!nodes_.empty());
-  return nodes_.begin()->second->find_successor(key, hops);
+  std::size_t local_hops = 0;
+  const NodeId result =
+      nodes_.begin()->second->find_successor(key, &local_hops);
+  if (hops != nullptr) *hops = local_hops;
+  if (metrics_ != nullptr) {
+    metrics_->histogram("chord.route_hops", {}, obs::small_count_buckets())
+        .observe(local_hops);
+  }
+  return result;
 }
 
 NodeId ChordRing::true_successor(const NodeId& key) const {

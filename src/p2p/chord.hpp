@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "p2p/node_id.hpp"
 #include "sim/rng.hpp"
 
@@ -115,6 +116,10 @@ class ChordRing {
   [[nodiscard]] NodeId lookup(const NodeId& key,
                               std::size_t* hops = nullptr) const;
 
+  /// Attach a metrics registry: every lookup() feeds the chord.route_hops
+  /// histogram. nullptr (default) disables.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Ground truth: the live node owning `key` by brute-force scan
   /// (successor of key on the circle). Used to verify routed lookups.
   [[nodiscard]] NodeId true_successor(const NodeId& key) const;
@@ -122,6 +127,7 @@ class ChordRing {
  private:
   std::map<NodeId, std::unique_ptr<ChordNode>> nodes_;
   sim::Rng rng_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace asa_repro::p2p

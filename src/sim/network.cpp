@@ -2,39 +2,79 @@
 
 namespace asa_repro::sim {
 
-void Network::deliver_pending(std::size_t index) {
-  check_pending_index(index);
-  PendingMessage msg = std::move(pending_[index]);
-  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
-  const auto it = handlers_.find(msg.to);
+namespace {
+
+std::string route_detail(std::uint64_t id, NodeAddr from, NodeAddr to) {
+  return "id=" + std::to_string(id) + " from=" + std::to_string(from) +
+         " to=" + std::to_string(to);
+}
+
+}  // namespace
+
+void Network::deliver_copy(NodeAddr from, NodeAddr to,
+                           const std::string& payload, std::uint64_t id,
+                           Time sent_at) {
+  const auto it = handlers_.find(to);
   if (it == handlers_.end()) {
     ++stats_.to_dead_node;
+    if (trace_ != nullptr) {
+      trace_->record(sched_.now(), to, "net.dead", route_detail(id, from, to));
+    }
     return;
   }
   ++stats_.delivered;
-  it->second(msg.from, msg.payload);
+  const Time latency = sched_.now() - sent_at;
+  if (trace_ != nullptr) {
+    trace_->record(sched_.now(), to, "net.deliver",
+                   route_detail(id, from, to) +
+                       " latency=" + std::to_string(latency));
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->histogram("net.latency_us",
+                    {{"link", std::to_string(from) + "->" + std::to_string(to)}},
+                    obs::latency_buckets_us())
+        .observe(latency);
+  }
+  it->second(from, payload);
 }
 
-void Network::send(NodeAddr from, NodeAddr to, std::string payload) {
+std::uint64_t Network::send(NodeAddr from, NodeAddr to, std::string payload) {
+  const std::uint64_t id = next_msg_id_++;
   ++stats_.sent;
+  if (trace_ != nullptr) {
+    trace_->record(sched_.now(), from, "net.send",
+                   route_detail(id, from, to) +
+                       " size=" + std::to_string(payload.size()));
+  }
   if (partitions_.contains({from, to})) {
     ++stats_.partitioned;
-    return;
+    if (trace_ != nullptr) {
+      trace_->record(sched_.now(), from, "net.part", route_detail(id, from, to));
+    }
+    return id;
   }
   if (drop_probability_ > 0.0 && rng_.chance(drop_probability_)) {
     ++stats_.dropped;
-    return;
+    if (trace_ != nullptr) {
+      trace_->record(sched_.now(), from, "net.drop", route_detail(id, from, to));
+    }
+    return id;
   }
   int copies = 1;
   if (duplicate_probability_ > 0.0 && rng_.chance(duplicate_probability_)) {
     ++stats_.duplicated;
     copies = 2;
+    if (trace_ != nullptr) {
+      trace_->record(sched_.now(), from, "net.dup", route_detail(id, from, to));
+    }
   }
+  const Time sent_at = sched_.now();
   if (manual_mode_) {
     for (int copy = 0; copy < copies; ++copy) {
-      pending_.push_back({from, to, payload});
+      pending_.push_back({from, to, payload, id, sent_at});
     }
-    return;
+    return id;
   }
   for (int copy = 0; copy < copies; ++copy) {
     const Time delay =
@@ -42,16 +82,18 @@ void Network::send(NodeAddr from, NodeAddr to, std::string payload) {
             ? latency_.min_latency
             : latency_.min_latency +
                   rng_.below(latency_.max_latency - latency_.min_latency + 1);
-    sched_.schedule_after(delay, [this, from, to, payload] {
-      const auto it = handlers_.find(to);
-      if (it == handlers_.end()) {
-        ++stats_.to_dead_node;
-        return;
-      }
-      ++stats_.delivered;
-      it->second(from, payload);
+    sched_.schedule_after(delay, [this, from, to, payload, id, sent_at] {
+      deliver_copy(from, to, payload, id, sent_at);
     });
   }
+  return id;
+}
+
+void Network::deliver_pending(std::size_t index) {
+  check_pending_index(index);
+  PendingMessage msg = std::move(pending_[index]);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  deliver_copy(msg.from, msg.to, msg.payload, msg.id, msg.sent_at);
 }
 
 }  // namespace asa_repro::sim

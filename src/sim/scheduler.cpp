@@ -5,7 +5,11 @@ namespace asa_repro::sim {
 bool Scheduler::is_cancelled(std::uint64_t id) {
   // Erase on fire: each id passes here exactly once, so the set holds only
   // cancellations whose event has not fired yet.
-  return cancelled_.erase(id) > 0;
+  if (cancelled_.erase(id) > 0) {
+    ++stats_.discarded;
+    return true;
+  }
+  return false;
 }
 
 std::size_t Scheduler::run_until(Time deadline) {
@@ -20,6 +24,7 @@ std::size_t Scheduler::run_until(Time deadline) {
     ev.action();
     ++executed;
   }
+  stats_.executed += executed;
   if (now_ < deadline && queue_.empty()) now_ = deadline;
   return executed;
 }
@@ -34,6 +39,7 @@ std::size_t Scheduler::run(std::size_t max_events) {
     ev.action();
     ++executed;
   }
+  stats_.executed += executed;
   return executed;
 }
 

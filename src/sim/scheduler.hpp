@@ -18,6 +18,16 @@ namespace asa_repro::sim {
 /// Simulated time in microseconds.
 using Time = std::uint64_t;
 
+/// Scheduler-level statistics (always on: a handful of integer updates per
+/// event, snapshotted into the metrics registry at export time).
+struct SchedulerStats {
+  std::uint64_t scheduled = 0;        // schedule_at/schedule_after calls.
+  std::uint64_t executed = 0;         // Actions actually run.
+  std::uint64_t cancelled = 0;        // cancel() calls registered.
+  std::uint64_t discarded = 0;        // Cancelled events skipped at fire.
+  std::size_t max_queue_depth = 0;    // Peak pending-event count.
+};
+
 /// Discrete-event scheduler. Not thread-safe: the simulation is
 /// single-threaded by design (determinism).
 class Scheduler {
@@ -32,6 +42,10 @@ class Scheduler {
   std::uint64_t schedule_at(Time when, Action action) {
     const std::uint64_t id = next_id_++;
     queue_.push(Event{when, id, std::move(action)});
+    ++stats_.scheduled;
+    if (queue_.size() > stats_.max_queue_depth) {
+      stats_.max_queue_depth = queue_.size();
+    }
     return id;
   }
 
@@ -42,7 +56,9 @@ class Scheduler {
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
   /// harmless no-op (common for timeout events raced by completions).
-  void cancel(std::uint64_t id) { cancelled_.insert(id); }
+  void cancel(std::uint64_t id) {
+    if (cancelled_.insert(id).second) ++stats_.cancelled;
+  }
 
   /// Run events until the queue is empty or `deadline` is passed.
   /// Returns the number of events executed.
@@ -54,6 +70,8 @@ class Scheduler {
 
   /// Pending (not yet fired, possibly cancelled) event count.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
 
  private:
   struct Event {
@@ -77,6 +95,7 @@ class Scheduler {
   // timers make cancel-then-fire a hot path under chaos fault load, where
   // the former linear scan was quadratic in outstanding timeouts.
   std::unordered_set<std::uint64_t> cancelled_;
+  SchedulerStats stats_;
 };
 
 }  // namespace asa_repro::sim

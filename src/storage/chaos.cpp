@@ -269,11 +269,14 @@ sim::FaultPlan generate_fault_plan(const ChaosConfig& config,
 
 // --------------------------------------------------------------- one run
 
-ChaosReport run_plan(const ChaosConfig& config, const sim::FaultPlan& plan) {
+ChaosReport run_plan(const ChaosConfig& config, const sim::FaultPlan& plan,
+                     obs::MetricsRegistry* metrics, sim::Trace* trace) {
   ClusterConfig cluster_config;
   cluster_config.nodes = config.nodes;
   cluster_config.replication_factor = config.replication;
   cluster_config.seed = config.seed;
+  cluster_config.metrics = metrics != nullptr;
+  cluster_config.tracing = trace != nullptr;
   // Retries must outlast fault windows (exponential backoff spans the
   // horizon), and peers must abort stalled instances or vote splits under
   // churn would deadlock forever.
@@ -460,6 +463,14 @@ ChaosReport run_plan(const ChaosConfig& config, const sim::FaultPlan& plan) {
     report.violations.push_back(std::move(violation));
   }
   report.messages_sent = cluster.network().stats().sent;
+  if (metrics != nullptr) {
+    cluster.snapshot_metrics();
+    metrics->merge(cluster.metrics());
+  }
+  if (trace != nullptr) {
+    trace->record(0, 0, "campaign", "seed=" + std::to_string(config.seed));
+    trace->append(cluster.trace());
+  }
   return report;
 }
 

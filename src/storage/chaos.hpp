@@ -22,8 +22,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/rng.hpp"
+#include "sim/trace.hpp"
 #include "storage/invariant_checker.hpp"
 
 namespace asa_repro::storage {
@@ -93,8 +95,17 @@ struct ChaosReport {
 /// Execute one chaos run: build the cluster, schedule the plan's events
 /// and the seed-derived workload, run to quiescence (bounded by
 /// max_events), then check every invariant.
+///
+/// Observability out-params (both optional; shrinking and replay pass
+/// neither, so reproducers run unobserved and fast): with `metrics` the
+/// run's cluster enables its registry and merges it into `metrics` at the
+/// end (counters/histograms accumulate across seeds); with `trace` the
+/// run's causal message/commit trace is appended to `trace`, prefixed by a
+/// `campaign` marker event carrying the seed.
 [[nodiscard]] ChaosReport run_plan(const ChaosConfig& config,
-                                   const sim::FaultPlan& plan);
+                                   const sim::FaultPlan& plan,
+                                   obs::MetricsRegistry* metrics = nullptr,
+                                   sim::Trace* trace = nullptr);
 
 /// Delta-debug a violating plan to a locally minimal reproducer: greedily
 /// remove chunks (halving granularity down to single events) while the

@@ -11,8 +11,14 @@ AsaCluster::AsaCluster(ClusterConfig config)
       network_(scheduler_, sim::Rng(config.seed ^ 0x6E6574ull),
                config.latency),
       trace_(config.tracing),
+      metrics_(config.metrics),
       ring_(sim::Rng(config.seed ^ 0x72696E67ull)) {
   network_.set_drop_probability(config_.drop_probability);
+  if (config_.tracing) network_.set_trace(&trace_);
+  if (config_.metrics) {
+    network_.set_metrics(&metrics_);
+    ring_.set_metrics(&metrics_);
+  }
 
   // Build the Chord ring and one host per node; host index == NodeAddr.
   ring_.build(config_.nodes);
@@ -35,6 +41,7 @@ void AsaCluster::rebuild_host(std::size_t index,
   hosts_[index] = std::make_unique<NodeHost>(
       network_, static_cast<sim::NodeAddr>(index), machine, behaviour,
       config_.tracing ? &trace_ : nullptr);
+  if (config_.metrics) hosts_[index]->peer().set_metrics(&metrics_);
   hosts_[index]->peer().set_peer_resolver(
       [this](std::uint64_t guid_key) -> std::vector<sim::NodeAddr> {
         const auto it = guid_registry_.find(guid_key);
@@ -87,6 +94,7 @@ VersionHistoryService& AsaCluster::version_history() {
     version_history_ = std::make_unique<VersionHistoryService>(
         network_, addr, [this](const Guid& guid) { return peer_set(guid); },
         config_.replication_factor, f(), config_.retry, rng_.fork());
+    if (config_.metrics) version_history_->set_metrics(&metrics_);
   }
   return *version_history_;
 }
@@ -149,6 +157,57 @@ std::size_t AsaCluster::migrate_version_history(const Guid& guid) {
     }
   }
   return adopted;
+}
+
+void AsaCluster::snapshot_metrics() {
+  if (!config_.metrics) return;
+
+  const sim::SchedulerStats& sched = scheduler_.stats();
+  metrics_.counter("sched.events_scheduled").set(sched.scheduled);
+  metrics_.counter("sched.events_executed").set(sched.executed);
+  metrics_.counter("sched.events_cancelled").set(sched.cancelled);
+  metrics_.counter("sched.events_discarded").set(sched.discarded);
+  metrics_.gauge("sched.max_queue_depth")
+      .set(static_cast<std::int64_t>(sched.max_queue_depth));
+  metrics_.gauge("sim.now_us").set(static_cast<std::int64_t>(scheduler_.now()));
+
+  const sim::NetworkStats& net = network_.stats();
+  metrics_.counter("net.sent").set(net.sent);
+  metrics_.counter("net.delivered").set(net.delivered);
+  metrics_.counter("net.dropped").set(net.dropped);
+  metrics_.counter("net.duplicated").set(net.duplicated);
+  metrics_.counter("net.partitioned").set(net.partitioned);
+  metrics_.counter("net.to_dead_node").set(net.to_dead_node);
+
+  // Per-node commit outcomes as gauges (asareport's per-node breakdown),
+  // plus cluster-wide totals as counters. Gauges adopt on merge, so a
+  // campaign's aggregate holds the last seed's view per node while the
+  // counters accumulate across seeds.
+  std::uint64_t committed = 0, aborted = 0, dup_dropped = 0;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    const commit::PeerStats& s = hosts_[i]->peer().stats();
+    const obs::Labels node{{"node", std::to_string(i)}};
+    metrics_.gauge("peer.committed", node)
+        .set(static_cast<std::int64_t>(s.committed));
+    metrics_.gauge("peer.aborted", node)
+        .set(static_cast<std::int64_t>(s.aborted));
+    metrics_.gauge("peer.duplicates_dropped", node)
+        .set(static_cast<std::int64_t>(s.duplicates_dropped));
+    committed += s.committed;
+    aborted += s.aborted;
+    dup_dropped += s.duplicates_dropped;
+  }
+  metrics_.counter("peer.committed_total").set(committed);
+  metrics_.counter("peer.aborted_total").set(aborted);
+  metrics_.counter("peer.duplicates_dropped_total").set(dup_dropped);
+
+  if (version_history_) {
+    const commit::EndpointStats totals = version_history_->total_stats();
+    metrics_.counter("endpoint.submitted").set(totals.submitted);
+    metrics_.counter("endpoint.committed").set(totals.committed);
+    metrics_.counter("endpoint.retries_total").set(totals.retries);
+    metrics_.counter("endpoint.failures").set(totals.failures);
+  }
 }
 
 std::vector<Guid> AsaCluster::known_guids() const {

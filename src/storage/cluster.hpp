@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "commit/machine_cache.hpp"
+#include "obs/metrics.hpp"
 #include "p2p/chord.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -35,6 +36,11 @@ struct ClusterConfig {
   double drop_probability = 0.0;
   commit::RetryPolicy retry{};
   bool tracing = false;
+  /// Enable the metrics registry: live histograms (per-link latency, commit
+  /// lifecycle, route hops) plus a snapshot of every layer's flat stats at
+  /// snapshot_metrics() time. Off by default: components see a disabled
+  /// registry and instrumentation costs one pointer test per event.
+  bool metrics = false;
   /// When non-zero, every peer (including ones rebuilt by fault injection
   /// or restart) aborts stalled commit instances: scan every
   /// `abort_scan_interval`, abort instances older than `abort_max_age`.
@@ -54,6 +60,7 @@ class AsaCluster {
   [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
   [[nodiscard]] sim::Network& network() { return network_; }
   [[nodiscard]] sim::Trace& trace() { return trace_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] p2p::ChordRing& ring() { return ring_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
   [[nodiscard]] std::uint32_t f() const {
@@ -121,12 +128,20 @@ class AsaCluster {
     return scheduler_.run_until(scheduler_.now() + duration);
   }
 
+  /// Mirror every layer's always-on flat stats into the metrics registry:
+  /// scheduler and network totals as counters, per-node peer outcomes as
+  /// gauges, endpoint totals as counters. Idempotent (gauges adopt, counter
+  /// series are set to the current totals); call once after a run, before
+  /// obs::write_metrics_json. No-op when metrics are disabled.
+  void snapshot_metrics();
+
  private:
   ClusterConfig config_;
   sim::Scheduler scheduler_;
   sim::Rng rng_;
   sim::Network network_;
   sim::Trace trace_;
+  obs::MetricsRegistry metrics_;
   /// Build a fresh host at `index`'s address with the given behaviour and
   /// wire its peer resolver (shared by construction, fault flips, restart).
   void rebuild_host(std::size_t index, commit::Behaviour behaviour);

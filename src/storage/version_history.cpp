@@ -71,6 +71,7 @@ commit::CommitEndpoint& VersionHistoryService::endpoint_for(const Guid& guid) {
   auto endpoint = std::make_unique<commit::CommitEndpoint>(
       network_, next_endpoint_addr_++, resolver_(guid), f_, policy_,
       rng_.fork());
+  endpoint->set_metrics(metrics_);
   return *endpoints_.emplace(key, std::move(endpoint)).first->second;
 }
 

@@ -56,6 +56,26 @@ class VersionHistoryService {
   void read(const Guid& guid, ReadCallback callback,
             sim::Time timeout = 150'000);
 
+  /// Aggregate statistics across every commit endpoint this service owns.
+  [[nodiscard]] commit::EndpointStats total_stats() const {
+    commit::EndpointStats total;
+    for (const auto& [key, endpoint] : endpoints_) {
+      const commit::EndpointStats& s = endpoint->stats();
+      total.submitted += s.submitted;
+      total.committed += s.committed;
+      total.retries += s.retries;
+      total.failures += s.failures;
+    }
+    return total;
+  }
+
+  /// Attach a metrics registry, propagated to every commit endpoint this
+  /// service owns (existing and future). nullptr disables.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    for (auto& [key, endpoint] : endpoints_) endpoint->set_metrics(metrics);
+  }
+
  private:
   struct PendingRead {
     std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
@@ -76,6 +96,7 @@ class VersionHistoryService {
   std::uint32_t f_;
   commit::RetryPolicy policy_;
   sim::Rng rng_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   // One commit endpoint per GUID (peer sets differ); endpoints own distinct
   // network addresses carved from a reserved range above self_.
   std::map<std::uint64_t, std::unique_ptr<commit::CommitEndpoint>> endpoints_;

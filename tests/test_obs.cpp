@@ -1,0 +1,340 @@
+// Observability layer: metrics registry semantics, JSON schema round-trip,
+// causal trace <-> NetworkStats reconciliation, JSONL escaping, and the
+// end-to-end determinism contract (identical seed => byte-identical
+// metrics export).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "storage/cluster.hpp"
+
+namespace asa_repro {
+namespace {
+
+// ---- MetricsRegistry semantics. ----
+
+TEST(MetricsRegistry, CountersGaugesHistogramsBasics) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").inc();
+  reg.counter("c").inc(4);
+  EXPECT_EQ(reg.counter("c").value(), 5u);
+
+  reg.gauge("g").set(-3);
+  reg.gauge("g").add(10);
+  EXPECT_EQ(reg.gauge("g").value(), 7);
+
+  auto& h = reg.histogram("h", {}, {10, 100});
+  h.observe(5);
+  h.observe(50);
+  h.observe(500);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 555u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 500u);
+  const std::vector<std::uint64_t> expected{1, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), expected);
+  EXPECT_EQ(h.quantile(0.33), 10u);   // cdf(10) = 1/3 covers q = 0.33.
+  EXPECT_EQ(h.quantile(0.66), 100u);  // cdf(100) = 2/3.
+  EXPECT_EQ(h.quantile(1.0), 500u);   // Overflow bucket reports max().
+}
+
+TEST(MetricsRegistry, LabelOrderIsNormalised) {
+  obs::MetricsRegistry reg;
+  reg.counter("c", {{"a", "1"}, {"b", "2"}}).inc();
+  reg.counter("c", {{"b", "2"}, {"a", "1"}}).inc();
+  EXPECT_EQ(reg.counter("c", {{"a", "1"}, {"b", "2"}}).value(), 2u);
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(MetricsRegistry, DisabledRegistryExportsNothing) {
+  obs::MetricsRegistry reg(false);
+  reg.counter("c").inc(99);
+  reg.gauge("g").set(7);
+  reg.histogram("h").observe(1234);
+  EXPECT_EQ(reg.series_count(), 0u);
+
+  std::size_t visited = 0;
+  reg.for_each_counter([&](const auto&, const auto&) { ++visited; });
+  reg.for_each_gauge([&](const auto&, const auto&) { ++visited; });
+  reg.for_each_histogram([&](const auto&, const auto&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndHistogramsAdoptsGauges) {
+  obs::MetricsRegistry a;
+  a.counter("c").inc(3);
+  a.gauge("g").set(1);
+  a.histogram("h", {}, {10}).observe(5);
+
+  obs::MetricsRegistry b;
+  b.counter("c").inc(4);
+  b.counter("only_b").inc(1);
+  b.gauge("g").set(9);
+  b.histogram("h", {}, {10}).observe(50);
+  // Mismatched bounds for the same series name must be skipped, not mixed.
+  b.histogram("h2", {}, {1, 2}).observe(1);
+  a.histogram("h2", {}, {1000}).observe(1);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c").value(), 7u);
+  EXPECT_EQ(a.counter("only_b").value(), 1u);
+  EXPECT_EQ(a.gauge("g").value(), 9);
+  EXPECT_EQ(a.histogram("h", {}, {10}).count(), 2u);
+  EXPECT_EQ(a.histogram("h", {}, {10}).sum(), 55u);
+  EXPECT_EQ(a.histogram("h2", {}, {1000}).count(), 1u);
+}
+
+// ---- asa-metrics/1 JSON: write, parse back, validate. ----
+
+TEST(MetricsJson, ExportParsesAndValidates) {
+  obs::MetricsRegistry reg;
+  reg.counter("events", {{"node", "3"}}).inc(12);
+  reg.gauge("depth").set(-5);
+  reg.histogram("lat", {}, obs::latency_buckets_us()).observe(1234);
+
+  const std::string doc = obs::write_metrics_json(
+      reg, {{"tool", "test"}, {"seed", "42"}});
+  const auto parsed = obs::parse_json(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(obs::validate_metrics_json(*parsed), std::nullopt);
+
+  const auto* schema = parsed->find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), "asa-metrics/1");
+  const auto* meta = parsed->find("meta");
+  ASSERT_NE(meta, nullptr);
+  ASSERT_NE(meta->find("seed"), nullptr);
+  EXPECT_EQ(meta->find("seed")->as_string(), "42");
+
+  const auto* counters = parsed->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->items().size(), 1u);
+  EXPECT_EQ(counters->items()[0].find("value")->as_int(), 12);
+  const auto* labels = counters->items()[0].find("labels");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->find("node")->as_string(), "3");
+
+  // Histogram buckets end with the "inf" overflow bucket.
+  const auto* hists = parsed->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_EQ(hists->items().size(), 1u);
+  const auto& buckets = hists->items()[0].find("buckets")->items();
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_EQ(buckets.back().find("le")->as_string(), "inf");
+}
+
+TEST(MetricsJson, ValidatorRejectsWrongSchemaAndShape) {
+  const auto bad_schema =
+      obs::parse_json(R"({"schema":"nonsense/9","meta":{},"counters":[],)"
+                      R"("gauges":[],"histograms":[]})");
+  ASSERT_TRUE(bad_schema.has_value());
+  EXPECT_NE(obs::validate_metrics_json(*bad_schema), std::nullopt);
+
+  const auto missing_section =
+      obs::parse_json(R"({"schema":"asa-metrics/1","meta":{}})");
+  ASSERT_TRUE(missing_section.has_value());
+  EXPECT_NE(obs::validate_metrics_json(*missing_section), std::nullopt);
+}
+
+// ---- Trace JSONL round-trip, including hostile details. ----
+
+TEST(TraceJsonl, RoundTripPreservesNewlinesQuotesAndControlChars) {
+  sim::Trace trace;
+  trace.record(10, 1, "cat.a", "plain detail");
+  trace.record(20, 2, "cat.b", "line one\nline two\ttabbed");
+  trace.record(30, 3, "cat.a", R"(quotes " and \ backslash)");
+  trace.record(40, 4, "cat\"c", std::string("nul \x01 ctrl"));
+
+  std::ostringstream os;
+  os << R"({"schema":"asa-trace/1","tool":"test"})" << "\n";
+  trace.dump_jsonl(os);
+  os << "\n";  // Trailing blank line must be tolerated.
+
+  const auto events = sim::Trace::parse_jsonl(os.str());
+  ASSERT_TRUE(events.has_value());
+  ASSERT_EQ(events->size(), trace.events().size());
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    EXPECT_EQ((*events)[i].time, trace.events()[i].time);
+    EXPECT_EQ((*events)[i].node, trace.events()[i].node);
+    EXPECT_EQ((*events)[i].category, trace.events()[i].category);
+    EXPECT_EQ((*events)[i].detail, trace.events()[i].detail);
+  }
+
+  // The decoupled report-side parser agrees.
+  const auto report_events = obs::parse_trace_jsonl(os.str());
+  ASSERT_TRUE(report_events.has_value());
+  ASSERT_EQ(report_events->size(), trace.events().size());
+  EXPECT_EQ((*report_events)[1].detail, "line one\nline two\ttabbed");
+}
+
+TEST(TraceJsonl, MalformedLineFailsTheParse) {
+  EXPECT_FALSE(sim::Trace::parse_jsonl("not json\n").has_value());
+  EXPECT_FALSE(
+      sim::Trace::parse_jsonl(R"({"t":1,"node":0,"cat":"x"})" "\n{oops\n")
+          .has_value());
+}
+
+TEST(TraceJsonl, DetailFieldExtraction) {
+  EXPECT_EQ(obs::detail_field("guid=7 update=12 latency=3200", "latency"),
+            std::optional<std::uint64_t>(3200));
+  EXPECT_EQ(obs::detail_field("guid=7", "update"), std::nullopt);
+  EXPECT_EQ(obs::detail_field("update=x", "update"), std::nullopt);
+}
+
+// ---- Causal trace <-> NetworkStats reconciliation under forced faults. ----
+
+// Collect the id= field of every event in a category.
+std::vector<std::uint64_t> ids_in(const sim::Trace& trace,
+                                  const std::string& category) {
+  std::vector<std::uint64_t> ids;
+  trace.for_each_in_category(category, [&](const sim::TraceEvent& e) {
+    const auto id = obs::detail_field(e.detail, "id");
+    EXPECT_TRUE(id.has_value()) << category << ": " << e.detail;
+    if (id.has_value()) ids.push_back(*id);
+  });
+  return ids;
+}
+
+TEST(NetworkCausalTrace, StatsReconcileUnderDropDuplicateAndPartition) {
+  sim::Scheduler sched;
+  sim::Network net(sched, sim::Rng(7));
+  sim::Trace trace;
+  net.set_trace(&trace);
+  net.attach(0, [](sim::NodeAddr, const std::string&) {});
+  net.attach(1, [](sim::NodeAddr, const std::string&) {});
+
+  // Phase 1: forced drops — every send is lost, with a net.drop event
+  // carrying the message id.
+  net.set_drop_probability(1.0);
+  for (int i = 0; i < 5; ++i) net.send(0, 1, "drop me");
+  // Phase 2: forced duplicates — every send delivers twice under one id.
+  net.set_drop_probability(0.0);
+  net.set_duplicate_probability(1.0);
+  for (int i = 0; i < 4; ++i) net.send(0, 1, "dup me");
+  // Phase 3: partitioned link and a message to a dead node.
+  net.set_duplicate_probability(0.0);
+  net.partition(0, 1);
+  for (int i = 0; i < 3; ++i) net.send(0, 1, "lost to partition");
+  net.heal(0, 1);
+  net.send(0, 99, "nobody home");
+  sched.run();
+
+  const sim::NetworkStats& stats = net.stats();
+  EXPECT_EQ(stats.sent, 13u);
+  EXPECT_EQ(stats.dropped, 5u);
+  EXPECT_EQ(stats.duplicated, 4u);
+  EXPECT_EQ(stats.partitioned, 3u);
+  EXPECT_EQ(stats.to_dead_node, 1u);
+  EXPECT_EQ(stats.delivered, 8u);  // 4 sends x 2 copies.
+
+  // Every aggregate count reconciles with per-message trace events.
+  EXPECT_EQ(trace.count("net.send"), stats.sent);
+  EXPECT_EQ(trace.count("net.drop"), stats.dropped);
+  EXPECT_EQ(trace.count("net.dup"), stats.duplicated);
+  EXPECT_EQ(trace.count("net.part"), stats.partitioned);
+  EXPECT_EQ(trace.count("net.dead"), stats.to_dead_node);
+  EXPECT_EQ(trace.count("net.deliver"), stats.delivered);
+
+  // Send ids are unique and monotonically increasing from 1.
+  const auto send_ids = ids_in(trace, "net.send");
+  ASSERT_EQ(send_ids.size(), 13u);
+  for (std::size_t i = 0; i < send_ids.size(); ++i) {
+    EXPECT_EQ(send_ids[i], i + 1);
+  }
+  EXPECT_EQ(net.next_message_id(), 14u);
+
+  // Every outcome id refers back to a send, and the outcomes partition the
+  // sends: each id is dropped, partitioned, or delivered (1 or 2 copies).
+  const std::set<std::uint64_t> sent_set(send_ids.begin(), send_ids.end());
+  std::set<std::uint64_t> terminal;
+  for (const char* cat : {"net.drop", "net.part", "net.deliver", "net.dead"}) {
+    for (const std::uint64_t id : ids_in(trace, cat)) {
+      EXPECT_TRUE(sent_set.contains(id)) << cat << " id " << id;
+      terminal.insert(id);
+    }
+  }
+  EXPECT_EQ(terminal, sent_set);
+
+  // Duplicated ids show up exactly twice in net.deliver.
+  const auto deliver_ids = ids_in(trace, "net.deliver");
+  for (const std::uint64_t id : ids_in(trace, "net.dup")) {
+    EXPECT_EQ(std::count(deliver_ids.begin(), deliver_ids.end(), id), 2)
+        << "dup id " << id;
+  }
+
+  // Delivery events carry the sampled latency.
+  trace.for_each_in_category("net.deliver", [&](const sim::TraceEvent& e) {
+    EXPECT_TRUE(obs::detail_field(e.detail, "latency").has_value())
+        << e.detail;
+  });
+}
+
+TEST(NetworkCausalTrace, IdsAssignedEvenWithTracingOff) {
+  sim::Scheduler sched;
+  sim::Network net(sched, sim::Rng(3));
+  net.attach(1, [](sim::NodeAddr, const std::string&) {});
+  EXPECT_EQ(net.send(0, 1, "a"), 1u);
+  EXPECT_EQ(net.send(0, 1, "b"), 2u);
+  EXPECT_EQ(net.next_message_id(), 3u);
+}
+
+// ---- End-to-end determinism: identical seed => byte-identical export. ----
+
+std::string run_cluster_and_export(std::uint64_t seed) {
+  storage::ClusterConfig config;
+  config.nodes = 10;
+  config.replication_factor = 4;
+  config.seed = seed;
+  config.metrics = true;
+  config.tracing = true;
+  config.drop_probability = 0.05;
+  storage::AsaCluster cluster(config);
+
+  int committed = 0;
+  for (int u = 0; u < 5; ++u) {
+    const storage::Guid guid = storage::Guid::named("guid:" +
+                                                    std::to_string(u % 2));
+    const storage::Pid pid =
+        storage::Pid::of(storage::block_from("update " + std::to_string(u)));
+    cluster.version_history().append(
+        guid, pid,
+        [&](const commit::CommitResult& r) { committed += r.committed; });
+    cluster.run_for(2'000);
+  }
+  cluster.run();
+  EXPECT_GT(committed, 0);
+
+  cluster.snapshot_metrics();
+  return obs::write_metrics_json(cluster.metrics(),
+                                 {{"tool", "test"},
+                                  {"seed", std::to_string(seed)}});
+}
+
+TEST(MetricsDeterminism, IdenticalSeedProducesByteIdenticalJson) {
+  const std::string first = run_cluster_and_export(11);
+  const std::string second = run_cluster_and_export(11);
+  EXPECT_EQ(first, second);
+  // And the export is substantive, not vacuously equal.
+  const auto parsed = obs::parse_json(first);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(obs::validate_metrics_json(*parsed), std::nullopt);
+  EXPECT_FALSE(parsed->find("histograms")->items().empty());
+}
+
+TEST(MetricsDeterminism, DifferentSeedsDiverge) {
+  EXPECT_NE(run_cluster_and_export(11), run_cluster_and_export(12));
+}
+
+}  // namespace
+}  // namespace asa_repro

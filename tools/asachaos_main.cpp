@@ -47,6 +47,9 @@ void usage() {
       "                     and its replay file reproduces it\n"
       "  --replay FILE      re-run a recorded schedule and report\n"
       "  --out DIR          directory for replay files (default .)\n"
+      "  --metrics-out FILE campaign-aggregated metrics (asa-metrics/1)\n"
+      "  --trace-out FILE   concatenated per-seed causal traces, each\n"
+      "                     prefixed by a campaign seed marker (asa-trace/1)\n"
       "  --verbose          per-seed progress lines\n";
 }
 
@@ -89,6 +92,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed0 = 1;
   std::string replay_path;
   std::string out_dir = ".";
+  std::string metrics_out;
+  std::string trace_out;
   bool expect_violation = false;
   bool verbose = false;
   bool burst_set = false;
@@ -131,6 +136,10 @@ int main(int argc, char** argv) {
         replay_path = next();
       } else if (arg == "--out") {
         out_dir = next();
+      } else if (arg == "--metrics-out") {
+        metrics_out = next();
+      } else if (arg == "--trace-out") {
+        trace_out = next();
       } else if (arg == "--verbose") {
         verbose = true;
       } else {
@@ -154,6 +163,15 @@ int main(int argc, char** argv) {
             << "), fault budget " << config.effective_budget()
             << ", equivocators " << config.equivocators << "\n";
 
+  // Campaign-wide observability sinks: per-seed registries merge (counters
+  // and histogram buckets add), per-seed traces concatenate behind a
+  // campaign seed marker. Both stay disabled (and free) unless requested.
+  obs::MetricsRegistry campaign_metrics(!metrics_out.empty());
+  sim::Trace campaign_trace(!trace_out.empty());
+  obs::MetricsRegistry* metrics_sink =
+      metrics_out.empty() ? nullptr : &campaign_metrics;
+  sim::Trace* trace_sink = trace_out.empty() ? nullptr : &campaign_trace;
+
   std::uint64_t violating_seeds = 0;
   std::uint64_t total_events = 0;
   std::uint64_t total_committed = 0;
@@ -164,7 +182,8 @@ int main(int argc, char** argv) {
     seed_config.seed = seed0 + s;
     sim::Rng rng(seed_config.seed ^ 0x63686170'73656564ull);  // "chaoseed"
     const sim::FaultPlan plan = generate_fault_plan(seed_config, rng);
-    const ChaosReport report = run_plan(seed_config, plan);
+    const ChaosReport report =
+        run_plan(seed_config, plan, metrics_sink, trace_sink);
     total_events += report.events_executed;
     total_committed += static_cast<std::uint64_t>(report.committed);
     total_fault_events += plan.size();
@@ -213,6 +232,36 @@ int main(int argc, char** argv) {
             << " fault events injected, " << total_committed
             << " updates committed, " << total_events
             << " simulation events\n";
+
+  if (!metrics_out.empty()) {
+    const obs::Meta meta{
+        {"tool", "asachaos"},
+        {"seeds", std::to_string(seeds)},
+        {"seed0", std::to_string(seed0)},
+        {"nodes", std::to_string(config.nodes)},
+        {"replication", std::to_string(config.replication)},
+        {"violating_seeds", std::to_string(violating_seeds)},
+    };
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_out << "\n";
+      return 2;
+    }
+    out << obs::write_metrics_json(campaign_metrics, meta);
+    std::cout << "metrics written to " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "cannot write " << trace_out << "\n";
+      return 2;
+    }
+    out << "{\"schema\":\"asa-trace/1\",\"tool\":\"asachaos\",\"seed0\":"
+        << seed0 << ",\"seeds\":" << seeds << "}\n";
+    campaign_trace.dump_jsonl(out);
+    std::cout << "trace written to " << trace_out << " ("
+              << campaign_trace.events().size() << " events)\n";
+  }
 
   if (expect_violation) {
     if (violating_seeds > 0 && reproduced) {

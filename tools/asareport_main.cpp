@@ -1,0 +1,124 @@
+// asareport — render the observability artifacts as a human summary.
+//
+// Consumes the asa-metrics/1 JSON document written by asasim/asachaos
+// --metrics-out (and the bench --json files, which share the schema) plus,
+// optionally, the asa-trace/1 JSONL stream from --trace-out, and prints
+// percentile tables for every histogram, a per-node protocol breakdown,
+// and the top-k slowest commit instances reconstructed from the causal
+// trace. With --validate it only checks the metrics document's structure
+// (CI's metrics smoke job gates on this).
+//
+//   asareport --metrics run.json --trace run.trace
+//   asareport --metrics run.json --validate
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+using namespace asa_repro;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: asareport --metrics FILE [options]\n"
+      "  --metrics FILE   asa-metrics/1 JSON document (required)\n"
+      "  --trace FILE     asa-trace/1 JSONL event stream (optional)\n"
+      "  --top K          slowest commit instances to list (default 10)\n"
+      "  --validate       validate the metrics document and exit\n";
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::string trace_path;
+  obs::ReportOptions options;
+  bool validate_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      return i + 1 < argc ? std::string(argv[++i]) : std::string();
+    };
+    try {
+      if (arg == "-h" || arg == "--help") {
+        usage();
+        return 0;
+      } else if (arg == "--metrics") {
+        metrics_path = next();
+      } else if (arg == "--trace") {
+        trace_path = next();
+      } else if (arg == "--top") {
+        options.top_k = std::stoul(next());
+      } else if (arg == "--validate") {
+        validate_only = true;
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        usage();
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
+      return 2;
+    }
+  }
+  if (metrics_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  const std::optional<std::string> metrics_text = read_file(metrics_path);
+  if (!metrics_text.has_value()) {
+    std::cerr << "asareport: cannot open " << metrics_path << "\n";
+    return 2;
+  }
+  const std::optional<obs::JsonValue> metrics =
+      obs::parse_json(*metrics_text);
+  if (!metrics.has_value()) {
+    std::cerr << "asareport: " << metrics_path << " is not valid JSON\n";
+    return 1;
+  }
+  if (const std::optional<std::string> error =
+          obs::validate_metrics_json(*metrics);
+      error.has_value()) {
+    std::cerr << "asareport: " << metrics_path << ": " << *error << "\n";
+    return 1;
+  }
+  if (validate_only) {
+    std::cout << metrics_path << ": valid asa-metrics/1 document\n";
+    return 0;
+  }
+
+  std::vector<obs::ReportTraceEvent> trace;
+  if (!trace_path.empty()) {
+    const std::optional<std::string> trace_text = read_file(trace_path);
+    if (!trace_text.has_value()) {
+      std::cerr << "asareport: cannot open " << trace_path << "\n";
+      return 2;
+    }
+    std::optional<std::vector<obs::ReportTraceEvent>> parsed =
+        obs::parse_trace_jsonl(*trace_text);
+    if (!parsed.has_value()) {
+      std::cerr << "asareport: " << trace_path
+                << " is not a valid asa-trace/1 stream\n";
+      return 1;
+    }
+    trace = std::move(*parsed);
+  }
+
+  std::cout << obs::render_report(*metrics, trace, options);
+  return 0;
+}

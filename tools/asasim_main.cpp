@@ -9,11 +9,13 @@
 //   asasim --nodes 16 --replication 4 --clients 3 --updates 9
 //          --byzantine equivocator:1 --drop 0.05 --seed 7 --trace
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "storage/cluster.hpp"
 
 using namespace asa_repro;
@@ -36,7 +38,9 @@ void usage() {
       "  --drop P             message drop probability (default 0)\n"
       "  --duplicate P        message duplication probability (default 0)\n"
       "  --seed S             simulation seed (default 42)\n"
-      "  --trace              dump commit/abort trace events\n";
+      "  --trace              dump commit/abort trace events\n"
+      "  --metrics-out FILE   write run metrics (asa-metrics/1 JSON)\n"
+      "  --trace-out FILE     write causal event trace (asa-trace/1 JSONL)\n";
 }
 
 std::optional<commit::Behaviour> parse_behaviour(const std::string& name) {
@@ -87,6 +91,8 @@ int main(int argc, char** argv) {
   std::vector<PartitionSpec> partitions;
   double duplicate_probability = 0.0;
   bool dump_trace = false;
+  std::string metrics_out;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -115,6 +121,12 @@ int main(int argc, char** argv) {
       config.seed = std::stoull(next());
     } else if (arg == "--trace") {
       dump_trace = true;
+      config.tracing = true;
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+      config.metrics = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
       config.tracing = true;
     } else if (arg == "--byzantine") {
       const std::string spec = next();
@@ -250,6 +262,37 @@ int main(int argc, char** argv) {
                   << e.category << " " << e.detail << "\n";
       }
     }
+  }
+
+  if (!metrics_out.empty()) {
+    cluster.snapshot_metrics();
+    const obs::Meta meta{
+        {"tool", "asasim"},
+        {"seed", std::to_string(config.seed)},
+        {"nodes", std::to_string(config.nodes)},
+        {"replication", std::to_string(config.replication_factor)},
+        {"updates", std::to_string(updates)},
+        {"guids", std::to_string(guids)},
+    };
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_out << "\n";
+      return 2;
+    }
+    out << obs::write_metrics_json(cluster.metrics(), meta);
+    std::cout << "metrics written to " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "cannot write " << trace_out << "\n";
+      return 2;
+    }
+    out << "{\"schema\":\"asa-trace/1\",\"tool\":\"asasim\",\"seed\":"
+        << config.seed << "}\n";
+    cluster.trace().dump_jsonl(out);
+    std::cout << "trace written to " << trace_out << " ("
+              << cluster.trace().events().size() << " events)\n";
   }
   return failed == 0 ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 //   fsmgen -r 4 --render code --class-name CommitFsmR4
 //   fsmgen --render efsm
 //   fsmgen --model termination -n 8 --render doc
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -20,6 +21,8 @@
 #include <string>
 
 #include <memory>
+
+#include "obs/metrics.hpp"
 
 #include "commit/commit_efsm.hpp"
 #include "commit/commit_model.hpp"
@@ -60,7 +63,12 @@ void usage() {
       "  --cache DIR                  persist/reuse generated machines in\n"
       "                               DIR (keyed by model, parameter and\n"
       "                               generator code version)\n"
-      "  --stats                      print generation statistics to stderr\n";
+      "  --stats                      print generation statistics to stderr\n"
+      "  --profile FILE               write per-phase generation timings\n"
+      "                               (enumerate/transitions/prune/merge/\n"
+      "                               render) as asa-metrics/1 JSON. The one\n"
+      "                               sanctioned wall-clock producer: numbers\n"
+      "                               vary run to run, unlike sim metrics\n";
 }
 
 }  // namespace
@@ -73,6 +81,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string class_name = "GeneratedCommitFsm";
   std::string cache_dir;
+  std::string profile_path;
   fsm::GenerationOptions options;
   options.jobs = 0;  // CLI default: one generation lane per hardware thread.
   bool stats = false;
@@ -125,6 +134,10 @@ int main(int argc, char** argv) {
       cache_dir = *v;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--profile") {
+      const auto v = next();
+      if (!v) { usage(); return 2; }
+      profile_path = *v;
     } else if (arg == "--analyze") {
       analyze_machine = true;
     } else {
@@ -136,6 +149,12 @@ int main(int argc, char** argv) {
 
   std::string output;
   fsm::GenerationReport report;
+  // --profile wall-clock anchors: generation phases come from `report`;
+  // rendering is timed here (gen_end stays at wall_start for EFSM renders,
+  // which have no generation run).
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto gen_end = wall_start;
+  bool profile_cache_hit = false;
 
   if (model_name != "commit" && model_name != "termination") {
     std::cerr << "unknown model: " << model_name << "\n";
@@ -185,6 +204,8 @@ int main(int argc, char** argv) {
     } else {
       machine = model->generate_state_machine(options, &report);
     }
+    gen_end = std::chrono::steady_clock::now();
+    profile_cache_hit = cache_hit;
     if (render == "text") {
       output = fsm::TextRenderer().render(machine);
     } else if (render == "summary") {
@@ -259,6 +280,41 @@ int main(int argc, char** argv) {
                   << " ms\n";
       }
     }
+  }
+
+  if (!profile_path.empty()) {
+    const auto render_end = std::chrono::steady_clock::now();
+    const auto us = [](auto d) {
+      return static_cast<std::int64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+    };
+    obs::MetricsRegistry profile;
+    profile.counter("gen.initial_states").set(report.initial_states);
+    profile.counter("gen.transitions").set(report.transitions);
+    profile.counter("gen.reachable_states").set(report.reachable_states);
+    profile.counter("gen.final_states").set(report.final_states);
+    profile.gauge("gen.enumerate_us").set(us(report.enumerate_time));
+    profile.gauge("gen.transition_us").set(us(report.transition_time));
+    profile.gauge("gen.prune_us").set(us(report.prune_time));
+    profile.gauge("gen.merge_us").set(us(report.merge_time));
+    profile.gauge("gen.render_us").set(us(render_end - gen_end));
+    profile.gauge("gen.total_us").set(us(render_end - wall_start));
+    const obs::Meta meta{
+        {"tool", "fsmgen"},
+        {"model", model_name},
+        {"parameter", std::to_string(model_name == "commit" ? r : max_tasks)},
+        {"render", render},
+        {"cache", cache_dir.empty() ? "off"
+                  : profile_cache_hit ? "hit"
+                                      : "miss"},
+        {"clock", "wall"},
+    };
+    std::ofstream profile_out(profile_path);
+    if (!profile_out) {
+      std::cerr << "cannot write " << profile_path << "\n";
+      return 1;
+    }
+    profile_out << obs::write_metrics_json(profile, meta);
   }
 
   if (out_path.empty()) {
