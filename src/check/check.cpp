@@ -1,0 +1,70 @@
+#include "check/check.hpp"
+
+#include <iterator>
+#include <string>
+
+#include "check/efsm_check.hpp"
+#include "check/family.hpp"
+#include "check/properties.hpp"
+#include "check/structural.hpp"
+#include "commit/commit_efsm.hpp"
+#include "commit/commit_model.hpp"
+#include "core/abstract_model.hpp"
+
+namespace asa_repro::check {
+namespace {
+
+void append(Findings& into, Findings more) {
+  into.insert(into.end(), std::make_move_iterator(more.begin()),
+              std::make_move_iterator(more.end()));
+}
+
+}  // namespace
+
+CheckRun run_commit_checks(const CheckOptions& options) {
+  CheckRun run;
+  const fsm::Efsm efsm = options.efsm ? commit::make_commit_efsm()
+                                      : fsm::Efsm{};
+
+  for (std::uint32_t r = options.r_lo; r <= options.r_hi; ++r) {
+    commit::CommitModel model(r);
+    fsm::GenerationOptions gen_options;
+    gen_options.jobs = options.jobs;
+    const fsm::StateMachine machine =
+        model.generate_state_machine(gen_options);
+    const std::string label = "commit_r" + std::to_string(r);
+
+    const Findings structural = lint_structure(machine, label);
+    ++run.checks_run;
+    const bool well_formed = structural.empty();
+    append(run.findings, structural);
+    if (well_formed) {
+      // Renderers and the property traversal index through state ids; only
+      // meaningful on structurally sound machines.
+      append(run.findings, lint_rendered_artifacts(machine, label));
+      ++run.checks_run;
+      append(run.findings, check_protocol_properties(machine, r, label));
+      ++run.checks_run;
+    }
+    if (options.efsm) {
+      append(run.findings,
+             check_efsm(efsm, commit::commit_efsm_params(r),
+                        "efsm " + efsm.name + " r=" + std::to_string(r)));
+      ++run.checks_run;
+    }
+  }
+
+  if (options.efsm) {
+    append(run.findings, check_family_conformance(efsm, options.r_lo,
+                                                  options.r_hi,
+                                                  options.jobs));
+    ++run.checks_run;
+  }
+  if (!options.artifact_path.empty()) {
+    append(run.findings, check_generated_artifact(options.artifact_path));
+    ++run.checks_run;
+  }
+  return run;
+}
+
+}  // namespace asa_repro::check

@@ -1,0 +1,33 @@
+// fsmcheck driver: run every analysis group over the commit family.
+//
+// Composes the four groups (structural lints, protocol properties, EFSM
+// guard analysis, family/artefact conformance) over a replication-factor
+// range and returns the combined findings. The pristine model yields zero
+// findings; CI runs this via tools/fsmcheck and fails on any.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "check/findings.hpp"
+
+namespace asa_repro::check {
+
+struct CheckOptions {
+  std::uint32_t r_lo = 4;
+  std::uint32_t r_hi = 16;
+  bool efsm = true;            // Run groups 3 and 4 (EFSM + family).
+  std::string artifact_path;   // Checked-in commit_fsm_r4.hpp; empty = skip.
+  unsigned jobs = 1;           // Generation + equivalence parallelism.
+};
+
+struct CheckRun {
+  Findings findings;
+  std::size_t checks_run = 0;  // Analysis invocations (for the report).
+};
+
+/// Run the full fsmcheck suite on the commit protocol with `options`.
+[[nodiscard]] CheckRun run_commit_checks(const CheckOptions& options);
+
+}  // namespace asa_repro::check

@@ -1,0 +1,353 @@
+#include "check/efsm_check.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace asa_repro::check {
+namespace {
+
+/// The sweep never follows out-of-bounds updates, so it is bounded by
+/// states * product of domain sizes; the cap is a backstop against a
+/// malformed definition slipping past that argument.
+constexpr std::size_t kMaxConfigurations = 1u << 20;
+
+using Values = std::vector<std::int64_t>;
+
+struct Domain {
+  std::vector<std::string> names;   // Variable names, in Efsm order.
+  Values initial;
+  Values max;                       // Inclusive upper bounds (lower is 0).
+};
+
+class EfsmChecker {
+ public:
+  EfsmChecker(const fsm::Efsm& efsm, const fsm::EfsmParams& params,
+              std::string_view label)
+      : efsm_(efsm), params_(params), label_(label) {}
+
+  Findings run() {
+    try {
+      efsm_.validate();
+    } catch (const std::logic_error& e) {
+      add("efsm.malformed", "definition", e.what());
+      return std::move(findings_);
+    }
+    if (!resolve_domain()) return std::move(findings_);
+    check_guard_algebra();
+    sweep_reachable();
+    return std::move(findings_);
+  }
+
+ private:
+  void add(std::string check, std::string location, std::string message,
+           std::vector<std::string> trace = {}) {
+    findings_.push_back(Finding{std::move(check), std::string(label_),
+                                std::move(location), std::move(message),
+                                std::move(trace)});
+  }
+
+  fsm::ExprEnv env_for(const Values& values) const {
+    return [this, &values](std::string_view name) -> std::int64_t {
+      for (std::size_t i = 0; i < domain_.names.size(); ++i) {
+        if (domain_.names[i] == name) return values[i];
+      }
+      return params_.at(std::string(name));
+    };
+  }
+
+  bool resolve_domain() {
+    const fsm::ExprEnv param_env = [this](std::string_view name) {
+      return params_.at(std::string(name));
+    };
+    for (const fsm::EfsmVariable& v : efsm_.variables) {
+      std::int64_t max = 0;
+      std::int64_t initial = 0;
+      try {
+        max = v.max->eval(param_env);
+        initial = v.initial->eval(param_env);
+      } catch (const std::out_of_range&) {
+        add("efsm.malformed", "variable '" + v.name + "'",
+            "bound or initial value references an unknown parameter");
+        return false;
+      }
+      if (max < 0) {
+        add("efsm.malformed", "variable '" + v.name + "'",
+            "maximum evaluates to " + std::to_string(max) + " < 0");
+        return false;
+      }
+      if (initial < 0 || initial > max) {
+        add("efsm.update.bounds", "variable '" + v.name + "'",
+            "initial value " + std::to_string(initial) +
+                " outside [0, " + std::to_string(max) + "]");
+        return false;
+      }
+      domain_.names.push_back(v.name);
+      domain_.initial.push_back(initial);
+      domain_.max.push_back(max);
+    }
+    return true;
+  }
+
+  /// Visit every point of the full variable domain.
+  template <typename Fn>
+  void for_each_domain_point(Fn&& fn) const {
+    Values values = Values(domain_.names.size(), 0);
+    for (;;) {
+      fn(values);
+      std::size_t i = 0;
+      for (; i < values.size(); ++i) {
+        if (values[i] < domain_.max[i]) {
+          ++values[i];
+          std::fill(values.begin(), values.begin() + i, 0);
+          break;
+        }
+      }
+      if (i == values.size()) return;  // Odometer rolled over: done.
+    }
+  }
+
+  [[nodiscard]] bool guard_holds(const fsm::ExprPtr& guard,
+                                 const fsm::ExprEnv& env) const {
+    return guard.is_null() || guard->eval(env) != 0;
+  }
+
+  static bool same_effects(const fsm::EfsmBranch& a, const fsm::EfsmBranch& b) {
+    if (a.target != b.target || a.actions != b.actions ||
+        a.updates.size() != b.updates.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.updates.size(); ++i) {
+      if (a.updates[i].variable != b.updates[i].variable ||
+          a.updates[i].value->to_string() != b.updates[i].value->to_string()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string branch_ref(const fsm::EfsmState& state, const fsm::EfsmRule& rule,
+                         std::size_t branch) const {
+    return "state '" + state.name + "' rule '" + efsm_.messages[rule.message] +
+           "' branch " + std::to_string(branch + 1);
+  }
+
+  void check_guard_algebra() {
+    for (const fsm::EfsmState& state : efsm_.states) {
+      for (const fsm::EfsmRule& rule : state.rules) {
+        const std::size_t n = rule.branches.size();
+        std::vector<bool> raw_sat(n, false);
+        std::vector<bool> effective_sat(n, false);
+        // overlap[i][j]: some point satisfies both raw guards.
+        std::vector<std::vector<bool>> overlap(n, std::vector<bool>(n, false));
+        for_each_domain_point([&](const Values& values) {
+          const fsm::ExprEnv env = env_for(values);
+          bool earlier_fired = false;
+          std::vector<bool> holds(n, false);
+          for (std::size_t i = 0; i < n; ++i) {
+            holds[i] = guard_holds(rule.branches[i].guard, env);
+            if (holds[i]) {
+              raw_sat[i] = true;
+              if (!earlier_fired) {
+                effective_sat[i] = true;
+                earlier_fired = true;
+              }
+            }
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            if (!holds[i]) continue;
+            for (std::size_t j = i + 1; j < n; ++j) {
+              if (holds[j]) overlap[i][j] = true;
+            }
+          }
+        });
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::string guard_text =
+              rule.branches[i].guard.is_null()
+                  ? std::string("<always>")
+                  : rule.branches[i].guard->to_string();
+          if (!raw_sat[i]) {
+            add("efsm.guard.unsat", branch_ref(state, rule, i),
+                "guard " + guard_text +
+                    " holds at no point of the variable domain");
+          } else if (!effective_sat[i]) {
+            add("efsm.guard.shadowed", branch_ref(state, rule, i),
+                "guard " + guard_text +
+                    " is never the first true guard; earlier branches "
+                    "shadow it (ordered-dispatch nondeterminism)");
+          }
+          for (std::size_t j = i + 1; j < n; ++j) {
+            if (overlap[i][j] &&
+                same_effects(rule.branches[i], rule.branches[j])) {
+              add("efsm.guard.duplicate", branch_ref(state, rule, j),
+                  "overlaps branch " + std::to_string(i + 1) +
+                      " with identical target, actions and updates");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Variables (not parameters) mentioned in any guard of `rule`.
+  std::vector<std::size_t> guard_variables(const fsm::EfsmRule& rule) const {
+    std::unordered_set<std::string> names;
+    const auto walk = [&](const fsm::ExprPtr& e, const auto& self) -> void {
+      if (e.is_null()) return;
+      if (e->kind() == fsm::Expr::Kind::kVar) names.insert(e->name());
+      self(e->lhs(), self);
+      self(e->rhs(), self);
+    };
+    for (const fsm::EfsmBranch& b : rule.branches) walk(b.guard, walk);
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < domain_.names.size(); ++i) {
+      if (names.contains(domain_.names[i])) indices.push_back(i);
+    }
+    return indices;
+  }
+
+  void sweep_reachable() {
+    struct Config {
+      fsm::EfsmStateId state;
+      Values values;
+      std::uint32_t pred;
+      fsm::MessageId via;
+    };
+    constexpr std::uint32_t kNoPred = 0xffffffff;
+
+    const auto key = [](fsm::EfsmStateId state, const Values& values) {
+      std::string k = std::to_string(state);
+      for (std::int64_t v : values) k += "," + std::to_string(v);
+      return k;
+    };
+    std::vector<Config> configs{{efsm_.start, domain_.initial, kNoPred, 0}};
+    std::unordered_map<std::string, std::uint32_t> seen{
+        {key(efsm_.start, domain_.initial), 0}};
+    const auto trace_to = [&](std::uint32_t index) {
+      std::vector<std::string> trace;
+      for (std::uint32_t i = index; configs[i].pred != kNoPred;
+           i = configs[i].pred) {
+        trace.push_back(efsm_.messages[configs[i].via]);
+      }
+      std::reverse(trace.begin(), trace.end());
+      return trace;
+    };
+    const auto describe = [&](const Values& values) {
+      std::string out;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (!out.empty()) out += ", ";
+        out += domain_.names[i] + "=" + std::to_string(values[i]);
+      }
+      return out.empty() ? std::string("<no variables>") : out;
+    };
+
+    std::unordered_set<std::string> reported;
+    for (std::uint32_t i = 0; i < configs.size(); ++i) {
+      if (configs.size() > kMaxConfigurations) {
+        add("efsm.diverged", "configuration sweep",
+            "more than " + std::to_string(kMaxConfigurations) +
+                " reachable configurations; aborting");
+        break;
+      }
+      const Config current = configs[i];  // configs grows below.
+      const fsm::EfsmState& state = efsm_.states[current.state];
+      const fsm::ExprEnv env = env_for(current.values);
+      for (const fsm::EfsmRule& rule : state.rules) {
+        const fsm::EfsmBranch* fired = nullptr;
+        std::size_t fired_index = 0;
+        for (std::size_t b = 0; b < rule.branches.size(); ++b) {
+          if (guard_holds(rule.branches[b].guard, env)) {
+            fired = &rule.branches[b];
+            fired_index = b;
+            break;
+          }
+        }
+        if (fired == nullptr) {
+          // A gap is deliberate when a guard-referenced variable sits at
+          // its bound (the FSM's InvalidStateException region); interior
+          // gaps mean the guards genuinely fail to cover the rule.
+          bool boundary = false;
+          for (std::size_t v : guard_variables(rule)) {
+            if (current.values[v] == domain_.max[v]) boundary = true;
+          }
+          if (!boundary &&
+              reported
+                  .insert("gap#" + std::to_string(current.state) + "#" +
+                          std::to_string(rule.message))
+                  .second) {
+            add("efsm.guard.gap",
+                "state '" + state.name + "' rule '" +
+                    efsm_.messages[rule.message] + "'",
+                "no branch fires at interior configuration " +
+                    describe(current.values),
+                trace_to(i));
+          }
+          continue;
+        }
+        Values next = current.values;
+        bool in_bounds = true;
+        for (const fsm::EfsmAssignment& u : fired->updates) {
+          const std::int64_t value = u.value->eval(env);
+          for (std::size_t v = 0; v < domain_.names.size(); ++v) {
+            if (domain_.names[v] != u.variable) continue;
+            next[v] = value;
+            if (value < 0 || value > domain_.max[v]) {
+              in_bounds = false;
+              if (reported
+                      .insert("bounds#" + std::to_string(current.state) +
+                              "#" + std::to_string(rule.message) + "#" +
+                              std::to_string(fired_index))
+                      .second) {
+                std::vector<std::string> trace = trace_to(i);
+                trace.push_back(efsm_.messages[rule.message]);
+                add("efsm.update.bounds",
+                    branch_ref(state, rule, fired_index),
+                    u.variable + " := " + std::to_string(value) +
+                        " leaves [0, " + std::to_string(domain_.max[v]) +
+                        "] at reachable configuration " +
+                        describe(current.values),
+                    std::move(trace));
+              }
+            }
+          }
+        }
+        if (!in_bounds) continue;  // Do not follow escaped configurations.
+        const std::string k = key(fired->target, next);
+        if (seen.emplace(k, static_cast<std::uint32_t>(configs.size()))
+                .second) {
+          configs.push_back(
+              Config{fired->target, std::move(next), i, rule.message});
+        }
+      }
+    }
+
+    std::vector<bool> visited(efsm_.states.size(), false);
+    for (const Config& c : configs) visited[c.state] = true;
+    for (std::size_t s = 0; s < efsm_.states.size(); ++s) {
+      if (!visited[s]) {
+        add("efsm.state.unreachable", "state '" + efsm_.states[s].name + "'",
+            "no reachable configuration visits this state");
+      }
+    }
+  }
+
+  const fsm::Efsm& efsm_;
+  const fsm::EfsmParams& params_;
+  std::string_view label_;
+  Domain domain_;
+  Findings findings_;
+};
+
+}  // namespace
+
+Findings check_efsm(const fsm::Efsm& efsm, const fsm::EfsmParams& params,
+                    std::string_view label) {
+  return EfsmChecker(efsm, params, label).run();
+}
+
+}  // namespace asa_repro::check

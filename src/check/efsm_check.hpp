@@ -1,0 +1,54 @@
+// fsmcheck group 3: EFSM guard and update analysis.
+//
+// EFSM variables have finite domains (0 .. max, with max an expression over
+// the parameters), so guard questions that would need an SMT solver in
+// general are decidable here by bounded enumeration: evaluate the guard at
+// every point of the variable domain under the given parameter values.
+//
+// Two scopes are deliberately distinct:
+//
+//   * Guard algebra (unsat / shadowed / duplicate) quantifies over the FULL
+//     variable domain — a guard that no domain point satisfies is dead
+//     text regardless of reachability.
+//   * Update bounds and completeness gaps quantify over the REACHABLE
+//     configurations only. The pristine commit EFSM's finish branch, for
+//     example, would push commits_received past its bound from the
+//     (unreachable) corner commits_received = r-1; flagging that corner
+//     would be a false positive, so those checks walk the configuration
+//     graph instead.
+//
+// Because branches are tried in order with first-true-fires semantics, the
+// overlap form of nondeterminism is a SHADOWED branch: raw-satisfiable but
+// never the first true guard (effective guard g_i && !g_0 && ... && !g_{i-1}
+// unsatisfiable). Plain overlap between guards is normal and intended.
+//
+// Completeness gaps at the domain boundary (some guard-referenced variable
+// at its maximum) mirror the FSM generator's InvalidStateException and are
+// deliberate; only interior gaps are findings.
+//
+// Checks:
+//   efsm.malformed         Efsm::validate() rejects the definition
+//   efsm.guard.unsat       no domain point satisfies a branch guard
+//   efsm.guard.shadowed    guard satisfiable but never first-true
+//   efsm.guard.duplicate   overlapping guards with identical effects
+//   efsm.guard.gap         reachable interior configuration where a rule
+//                          exists but no branch fires
+//   efsm.update.bounds     a fired update leaves [0, max] on a reachable
+//                          configuration
+//   efsm.state.unreachable state visited by no reachable configuration
+//   efsm.diverged          configuration sweep exceeded its cap
+#pragma once
+
+#include <string_view>
+
+#include "check/findings.hpp"
+#include "core/efsm/efsm.hpp"
+
+namespace asa_repro::check {
+
+/// Analyse `efsm` under concrete `params` (e.g. commit_efsm_params(r)).
+[[nodiscard]] Findings check_efsm(const fsm::Efsm& efsm,
+                                  const fsm::EfsmParams& params,
+                                  std::string_view label);
+
+}  // namespace asa_repro::check

@@ -1,0 +1,109 @@
+#include "check/family.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "commit/commit_efsm.hpp"
+#include "commit/commit_model.hpp"
+#include "core/abstract_model.hpp"
+#include "core/equivalence.hpp"
+#include "core/render/code_renderer.hpp"
+
+namespace asa_repro::check {
+namespace {
+
+/// Far above any well-formed expansion (the commit EFSM reaches at most
+/// states * r * r configurations); a definition that hits this is escaping
+/// its variable bounds.
+constexpr std::size_t kExpansionCap = 1u << 20;
+
+std::string family_label(std::uint64_t r) {
+  return "commit_r" + std::to_string(r);
+}
+
+}  // namespace
+
+Findings check_family_conformance(const fsm::Efsm& efsm, std::uint32_t lo,
+                                  std::uint32_t hi, unsigned jobs) {
+  Findings findings;
+  std::optional<std::uint64_t> expansion_failure;
+  const auto generated = [jobs](std::uint64_t r) {
+    commit::CommitModel model(static_cast<std::uint32_t>(r));
+    fsm::GenerationOptions options;
+    options.jobs = jobs;
+    return model.generate_state_machine(options);
+  };
+  const auto expanded = [&efsm, &expansion_failure,
+                         &findings](std::uint64_t r) -> fsm::StateMachine {
+    try {
+      return fsm::expand_to_fsm(
+          efsm, commit::commit_efsm_params(static_cast<std::int64_t>(r)),
+          kExpansionCap);
+    } catch (const std::length_error& e) {
+      expansion_failure = r;
+      findings.push_back(Finding{"family.expansion", family_label(r),
+                                 "efsm '" + efsm.name + "'", e.what()});
+      // An empty machine diverges from the generated one immediately; the
+      // expansion finding above explains why.
+      fsm::State placeholder;
+      placeholder.name = "<expansion failed>";
+      return fsm::StateMachine{{}, {placeholder}, 0, fsm::kNoState};
+    }
+  };
+
+  const std::optional<fsm::FamilyDivergence> divergence =
+      fsm::find_family_divergence(lo, hi, generated, expanded, jobs);
+  if (divergence && divergence->parameter != expansion_failure) {
+    const fsm::StateMachine machine = generated(divergence->parameter);
+    Finding f{"family.bisimulation", family_label(divergence->parameter),
+              "efsm '" + efsm.name + "' vs generated machine",
+              divergence->divergence.reason};
+    for (fsm::MessageId m : divergence->divergence.trace) {
+      f.trace.push_back(machine.messages()[m]);
+    }
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+Findings check_generated_artifact(const std::string& path) {
+  Findings findings;
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    findings.push_back(Finding{"artifact.generated", "commit_fsm_r4",
+                               path, "cannot open checked-in artefact"});
+    return findings;
+  }
+  std::stringstream checked_in;
+  checked_in << file.rdbuf();
+
+  // Identical options to tools/fsmgen, which produced the artefact.
+  commit::CommitModel model(4);
+  const fsm::StateMachine machine = model.generate_state_machine();
+  fsm::CodeGenOptions options;
+  options.class_name = "CommitFsmR4";
+  options.namespace_name = "asa_repro::generated";
+  options.base_class = "asa_repro::commit::CommitActions";
+  options.includes = {"commit/actions.hpp"};
+  const std::string regenerated = fsm::CodeRenderer(options).render(machine);
+
+  if (checked_in.str() != regenerated) {
+    const std::string& a = checked_in.str();
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < std::min(a.size(), regenerated.size()); ++i) {
+      if (a[i] != regenerated[i]) break;
+      if (a[i] == '\n') ++line;
+    }
+    findings.push_back(Finding{
+        "artifact.generated", "commit_fsm_r4", path,
+        "checked-in artefact is not byte-identical to regeneration (first "
+        "difference around line " +
+            std::to_string(line) +
+            "); regenerate with: fsmgen -r 4 --render code --class-name "
+            "CommitFsmR4 -o src/commit/generated/commit_fsm_r4.hpp"});
+  }
+  return findings;
+}
+
+}  // namespace asa_repro::check

@@ -1,0 +1,42 @@
+// fsmcheck group 4: family and cross-artefact conformance.
+//
+// The generative methodology's core claim is that all artefacts describe
+// the same behaviour: the hand-specified 9-state EFSM (section 5.3), the
+// generated FSM for each replication factor, and the generated source
+// checked into the code-base (section 4.2 deployment). This group checks
+// the claim end to end:
+//
+//   family.bisimulation  for each r in [lo, hi], the EFSM expanded at r is
+//                        trace-equivalent to the machine generated from the
+//                        abstract model at r; a divergence is reported with
+//                        its shortest counterexample message trace
+//   family.expansion     the EFSM expansion at some r exceeds its state
+//                        cap (only possible when updates escape their
+//                        declared bounds, i.e. a corrupted definition)
+//   artifact.generated   the checked-in generated source (commit_fsm_r4.hpp)
+//                        is not byte-identical to what the generator emits
+//                        from the current model
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/findings.hpp"
+#include "core/efsm/efsm.hpp"
+
+namespace asa_repro::check {
+
+/// Check the hand-written EFSM against the generated machine family over
+/// replication factors [lo, hi]. `jobs` feeds both the generator and the
+/// equivalence search (deterministic for any value).
+[[nodiscard]] Findings check_family_conformance(const fsm::Efsm& efsm,
+                                                std::uint32_t lo,
+                                                std::uint32_t hi,
+                                                unsigned jobs = 1);
+
+/// Check that the file at `path` equals byte-for-byte the source the
+/// generator emits for the r=4 commit machine (the paper's copy-into-the-
+/// code-base deployment; same options as tools/fsmgen).
+[[nodiscard]] Findings check_generated_artifact(const std::string& path);
+
+}  // namespace asa_repro::check

@@ -1,0 +1,53 @@
+#include "check/findings.hpp"
+
+#include "obs/json.hpp"
+
+namespace asa_repro::check {
+
+std::string to_string(const Finding& finding) {
+  std::string out = finding.check + " [" + finding.machine + "] " +
+                    finding.location + ": " + finding.message;
+  if (!finding.trace.empty()) {
+    out += " (trace: ";
+    for (std::size_t i = 0; i < finding.trace.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += finding.trace[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string write_findings_json(const Findings& findings,
+                                const obs::Meta& meta,
+                                std::size_t checks_run) {
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("schema", obs::JsonValue("asa-findings/1"));
+  obs::JsonValue meta_obj = obs::JsonValue::object();
+  for (const auto& [key, value] : meta) {
+    meta_obj.set(key, obs::JsonValue(value));
+  }
+  root.set("meta", std::move(meta_obj));
+  obs::JsonValue summary = obs::JsonValue::object();
+  summary.set("checks_run",
+              obs::JsonValue(static_cast<std::uint64_t>(checks_run)));
+  summary.set("findings",
+              obs::JsonValue(static_cast<std::uint64_t>(findings.size())));
+  root.set("summary", std::move(summary));
+  obs::JsonValue list = obs::JsonValue::array();
+  for (const Finding& f : findings) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("check", obs::JsonValue(f.check));
+    entry.set("machine", obs::JsonValue(f.machine));
+    entry.set("location", obs::JsonValue(f.location));
+    entry.set("message", obs::JsonValue(f.message));
+    obs::JsonValue trace = obs::JsonValue::array();
+    for (const std::string& m : f.trace) trace.push_back(obs::JsonValue(m));
+    entry.set("trace", std::move(trace));
+    list.push_back(std::move(entry));
+  }
+  root.set("findings", std::move(list));
+  return root.dump(2) + "\n";
+}
+
+}  // namespace asa_repro::check

@@ -1,0 +1,63 @@
+// Findings: the common currency of the static-analysis library.
+//
+// Every fsmcheck analysis group — structural lints, protocol-property
+// traversal, EFSM guard analysis, family conformance — reports problems as
+// Finding values. A finding names the check that fired (a stable dotted
+// identifier, catalogued in ARCHITECTURE.md), the machine it fired on, a
+// human-readable location and message, and optionally a counterexample
+// message trace plus diagram hooks (state/transition indices) that the
+// highlighting renderers consume.
+//
+// Findings serialize to the versioned asa-findings/1 JSON document
+// (write_findings_json, built on obs/json.hpp) so `asareport --validate`
+// can gate producers in CI exactly as it gates asa-metrics/1 files.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/state_machine.hpp"
+#include "obs/metrics.hpp"
+
+namespace asa_repro::check {
+
+struct Finding {
+  Finding() = default;
+  Finding(std::string check_, std::string machine_, std::string location_,
+          std::string message_, std::vector<std::string> trace_ = {})
+      : check(std::move(check_)),
+        machine(std::move(machine_)),
+        location(std::move(location_)),
+        message(std::move(message_)),
+        trace(std::move(trace_)) {}
+
+  std::string check;     // Stable identifier, e.g. "structural.unreachable".
+  std::string machine;   // Analysed artefact, e.g. "commit_r4", "efsm bft_commit".
+  std::string location;  // Where, e.g. "state 'T/2/F/0/F/F/F'".
+  std::string message;   // What went wrong.
+  std::vector<std::string> trace;  // Counterexample message names, if any.
+
+  // Diagram hooks: indices into the offending machine, consumed by the
+  // DOT/Mermaid highlight options. Not serialized (names in `location`
+  // carry the information across processes).
+  std::vector<fsm::StateId> states;
+  std::vector<std::pair<fsm::StateId, fsm::MessageId>> transitions;
+};
+
+using Findings = std::vector<Finding>;
+
+/// One-line rendering: "check machine location: message [trace: ...]".
+[[nodiscard]] std::string to_string(const Finding& finding);
+
+/// Serialize as one asa-findings/1 JSON document:
+///   {"schema":"asa-findings/1","meta":{...},
+///    "summary":{"checks_run":N,"findings":K},
+///    "findings":[{"check","machine","location","message","trace":[...]}]}
+/// Deterministic: members in fixed order, findings in vector order.
+[[nodiscard]] std::string write_findings_json(const Findings& findings,
+                                              const obs::Meta& meta,
+                                              std::size_t checks_run);
+
+}  // namespace asa_repro::check

@@ -1,0 +1,208 @@
+#include "check/mutate.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "check/efsm_check.hpp"
+#include "check/family.hpp"
+#include "check/properties.hpp"
+#include "check/structural.hpp"
+#include "commit/commit_efsm.hpp"
+#include "commit/commit_model.hpp"
+#include "core/abstract_model.hpp"
+#include "core/equivalence.hpp"
+
+namespace asa_repro::check {
+namespace {
+
+constexpr std::size_t kExpansionCap = 1u << 20;
+
+/// All machine-level analyses a mutated FSM must get past: the structural
+/// lints, the protocol properties, and trace equivalence against the
+/// independently specified EFSM.
+Findings analyse_fsm_mutant(const fsm::StateMachine& mutant,
+                            const fsm::StateMachine& efsm_expansion,
+                            std::uint32_t r) {
+  Findings findings = lint_structure(mutant, "mutant");
+  if (findings.empty()) {
+    Findings more = check_protocol_properties(mutant, r, "mutant");
+    findings.insert(findings.end(), std::make_move_iterator(more.begin()),
+                    std::make_move_iterator(more.end()));
+  }
+  if (const auto d = fsm::find_divergence(efsm_expansion, mutant)) {
+    Finding f{"family.bisimulation", "mutant", "efsm vs mutated machine",
+              d->reason};
+    for (fsm::MessageId m : d->trace) {
+      f.trace.push_back(efsm_expansion.messages()[m]);
+    }
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+/// All analyses a mutated EFSM must get past: the guard/update checks and
+/// the family conformance sweep at r.
+Findings analyse_efsm_mutant(const fsm::Efsm& mutant, std::uint32_t r,
+                             unsigned jobs) {
+  Findings findings =
+      check_efsm(mutant, commit::commit_efsm_params(r), "mutant");
+  Findings more = check_family_conformance(mutant, r, r, jobs);
+  findings.insert(findings.end(), std::make_move_iterator(more.begin()),
+                  std::make_move_iterator(more.end()));
+  return findings;
+}
+
+MutationOutcome outcome_from(std::string name, std::string description,
+                             const Findings& findings) {
+  MutationOutcome o{std::move(name), std::move(description),
+                    !findings.empty(), ""};
+  if (!findings.empty()) o.finding = to_string(findings.front());
+  return o;
+}
+
+/// First (state, transition-index) with an action list / target matching
+/// `pred`; the machine is non-trivial so these always exist.
+template <typename Pred>
+std::pair<fsm::StateId, std::size_t> find_transition(
+    const fsm::StateMachine& machine, Pred&& pred) {
+  for (fsm::StateId s = 0; s < machine.state_count(); ++s) {
+    const auto& ts = machine.state(s).transitions;
+    for (std::size_t t = 0; t < ts.size(); ++t) {
+      if (pred(ts[t])) return {s, t};
+    }
+  }
+  throw std::logic_error("mutation target not found");
+}
+
+}  // namespace
+
+MutationReport run_mutation_self_test(std::uint32_t r, unsigned jobs) {
+  MutationReport report;
+
+  commit::CommitModel model(r);
+  fsm::GenerationOptions gen_options;
+  gen_options.jobs = jobs;
+  const fsm::StateMachine pristine = model.generate_state_machine(gen_options);
+  const fsm::Efsm efsm = commit::make_commit_efsm();
+  const fsm::StateMachine expansion =
+      fsm::expand_to_fsm(efsm, commit::commit_efsm_params(r), kExpansionCap);
+
+  const auto run_fsm = [&](std::string name, std::string description,
+                           auto&& mutate) {
+    fsm::StateMachine mutant = pristine;
+    mutate(mutant);
+    report.outcomes.push_back(
+        outcome_from(std::move(name), std::move(description),
+                     analyse_fsm_mutant(mutant, expansion, r)));
+  };
+  const auto run_efsm = [&](std::string name, std::string description,
+                            auto&& mutate) {
+    fsm::Efsm mutant = efsm;
+    mutate(mutant);
+    report.outcomes.push_back(
+        outcome_from(std::move(name), std::move(description),
+                     analyse_efsm_mutant(mutant, r, jobs)));
+  };
+
+  // ---- FSM mutations ----
+  run_fsm("fsm.retarget", "redirect a transition to the next state",
+          [](fsm::StateMachine& m) {
+            auto [s, t] = find_transition(m, [](const fsm::Transition&) {
+              return true;
+            });
+            fsm::Transition& tr = m.states()[s].transitions[t];
+            tr.target = static_cast<fsm::StateId>((tr.target + 1) %
+                                                  m.state_count());
+          });
+  run_fsm("fsm.clone_duplicate", "clone a transition verbatim",
+          [](fsm::StateMachine& m) {
+            auto [s, t] = find_transition(m, [](const fsm::Transition&) {
+              return true;
+            });
+            m.states()[s].transitions.push_back(m.states()[s].transitions[t]);
+          });
+  run_fsm("fsm.clone_divergent",
+          "clone a transition, then retarget the clone",
+          [](fsm::StateMachine& m) {
+            auto [s, t] = find_transition(m, [](const fsm::Transition&) {
+              return true;
+            });
+            fsm::Transition clone = m.states()[s].transitions[t];
+            clone.target =
+                static_cast<fsm::StateId>((clone.target + 1) %
+                                          m.state_count());
+            m.states()[s].transitions.push_back(std::move(clone));
+          });
+  run_fsm("fsm.drop_transition", "delete the start state's first transition",
+          [](fsm::StateMachine& m) {
+            auto& ts = m.states()[m.start()].transitions;
+            ts.erase(ts.begin());
+          });
+  run_fsm("fsm.drop_action", "remove the last action of an acting transition",
+          [](fsm::StateMachine& m) {
+            auto [s, t] = find_transition(m, [](const fsm::Transition& tr) {
+              return !tr.actions.empty();
+            });
+            m.states()[s].transitions[t].actions.pop_back();
+          });
+  run_fsm("fsm.remove_terminal", "unmark the finish state as final",
+          [](fsm::StateMachine& m) {
+            m.states()[m.finish()].is_final = false;
+          });
+  run_fsm("fsm.mark_start_final", "mark the start state as final",
+          [](fsm::StateMachine& m) {
+            m.states()[m.start()].is_final = true;
+          });
+
+  // ---- EFSM mutations ----
+  run_efsm("efsm.drop_guard",
+           "make the first guard of IDLE_FREE's update rule unconditional",
+           [](fsm::Efsm& e) {
+             const auto state = e.state_id("IDLE_FREE").value();
+             const auto message = e.message_id("update").value();
+             for (fsm::EfsmRule& rule : e.states[state].rules) {
+               if (rule.message == message) {
+                 rule.branches.front().guard = fsm::lit(1);
+               }
+             }
+           });
+  run_efsm("efsm.retarget_branch",
+           "send IDLE_FREE's below-threshold update branch to FINISHED",
+           [](fsm::Efsm& e) {
+             const auto state = e.state_id("IDLE_FREE").value();
+             const auto message = e.message_id("update").value();
+             for (fsm::EfsmRule& rule : e.states[state].rules) {
+               if (rule.message == message) {
+                 rule.branches.back().target =
+                     e.state_id("FINISHED").value();
+               }
+             }
+           });
+  run_efsm("efsm.clone_branch",
+           "append a copy of IDLE_FREE's final update branch",
+           [](fsm::Efsm& e) {
+             const auto state = e.state_id("IDLE_FREE").value();
+             const auto message = e.message_id("update").value();
+             for (fsm::EfsmRule& rule : e.states[state].rules) {
+               if (rule.message == message) {
+                 rule.branches.push_back(rule.branches.back());
+               }
+             }
+           });
+  run_efsm("efsm.escape_bounds",
+           "make IDLE_FREE's vote-counting update jump by r",
+           [](fsm::Efsm& e) {
+             const auto state = e.state_id("IDLE_FREE").value();
+             const auto message = e.message_id("vote").value();
+             for (fsm::EfsmRule& rule : e.states[state].rules) {
+               if (rule.message == message) {
+                 rule.branches.back().updates.front().value =
+                     fsm::var("votes_received") + fsm::var("r");
+               }
+             }
+           });
+
+  return report;
+}
+
+}  // namespace asa_repro::check

@@ -1,0 +1,245 @@
+#include "check/properties.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "commit/commit_model.hpp"
+
+namespace asa_repro::check {
+namespace {
+
+/// One node of the (machine x property-automaton) product: the machine
+/// state plus what the path so far has done. Counters are clamped at their
+/// thresholds — every property predicate is a monotone `>= threshold`
+/// test, so clamping preserves truth while bounding the product.
+struct Node {
+  fsm::StateId state = 0;
+  bool voted = false;       // "vote" action emitted on this path.
+  bool committed = false;   // "commit" action emitted on this path.
+  std::uint32_t votes = 0;     // vote messages consumed, clamped.
+  std::uint32_t commits = 0;   // commit messages consumed, clamped.
+  std::uint32_t pred = kNoPred;   // BFS predecessor (index into nodes).
+  fsm::MessageId via = 0;         // Message consumed to get here.
+
+  static constexpr std::uint32_t kNoPred = 0xffffffff;
+};
+
+class PropertyChecker {
+ public:
+  PropertyChecker(const fsm::StateMachine& machine, std::uint32_t r,
+                  std::string_view label)
+      : machine_(machine), label_(label) {
+    const std::uint32_t f = (r - 1) / 3;
+    vote_threshold_ = 2 * f + 1;
+    commit_threshold_ = f + 1;
+    vote_message_ = machine.message_id(commit::kMessageNames[commit::kVote])
+                        .value_or(fsm::kNoState);
+    commit_message_ =
+        machine.message_id(commit::kMessageNames[commit::kCommit])
+            .value_or(fsm::kNoState);
+  }
+
+  Findings run() {
+    explore();
+    check_termination();
+    return std::move(findings_);
+  }
+
+ private:
+  std::uint64_t key(const Node& n) const {
+    std::uint64_t k = n.state;
+    k = k * 2 + (n.voted ? 1 : 0);
+    k = k * 2 + (n.committed ? 1 : 0);
+    k = k * (vote_threshold_ + 1) + n.votes;
+    k = k * (commit_threshold_ + 1) + n.commits;
+    return k;
+  }
+
+  std::vector<std::string> trace_to(std::uint32_t index) const {
+    std::vector<std::string> trace;
+    for (std::uint32_t i = index; nodes_[i].pred != Node::kNoPred;
+         i = nodes_[i].pred) {
+      trace.push_back(machine_.messages()[nodes_[i].via]);
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  }
+
+  /// One finding per (check, machine state): exhaustive traversal would
+  /// otherwise report the same defect once per path prefix.
+  bool first_report(std::string_view check, fsm::StateId state) {
+    return reported_.insert(std::string(check) + "#" + std::to_string(state))
+        .second;
+  }
+
+  void report(std::string_view check, fsm::StateId state, std::string message,
+              std::vector<std::string> trace,
+              std::optional<fsm::MessageId> edge = std::nullopt) {
+    if (!first_report(check, state)) return;
+    Finding f{std::string(check), std::string(label_),
+              "state '" + machine_.state(state).name + "'",
+              std::move(message), std::move(trace)};
+    f.states.push_back(state);
+    if (edge) f.transitions.emplace_back(state, *edge);
+    findings_.push_back(std::move(f));
+  }
+
+  /// Check the path invariants that hold at a node the moment it is first
+  /// reached (trace = path to `index`).
+  void check_node(std::uint32_t index) {
+    const Node& n = nodes_[index];
+    const fsm::State& s = machine_.state(n.state);
+    if (s.is_final && n.commits < commit_threshold_) {
+      report("property.premature_finish", n.state,
+             "final state reached after only " + std::to_string(n.commits) +
+                 " commit(s); the algorithm finishes at f+1 = " +
+                 std::to_string(commit_threshold_),
+             trace_to(index));
+    }
+    if (!s.is_final && n.commits >= commit_threshold_) {
+      report("property.missed_finish", n.state,
+             "f+1 = " + std::to_string(commit_threshold_) +
+                 " commits consumed but the state is not final",
+             trace_to(index));
+    }
+  }
+
+  /// Process the actions of one transition in order, flagging repeated or
+  /// unjustified emissions, and return the successor property flags.
+  void check_actions(const Node& from, std::uint32_t from_index,
+                     const fsm::Transition& t, std::uint32_t votes_after,
+                     std::uint32_t commits_after, bool& voted,
+                     bool& committed) {
+    voted = from.voted;
+    committed = from.committed;
+    const auto trace = [&] {
+      std::vector<std::string> tr = trace_to(from_index);
+      tr.push_back(machine_.messages()[t.message]);
+      return tr;
+    };
+    for (const std::string& action : t.actions) {
+      if (action == commit::kActionVote) {
+        if (voted) {
+          report("property.vote_once", from.state,
+                 "path emits the 'vote' action a second time", trace(),
+                 t.message);
+        }
+        voted = true;
+      } else if (action == commit::kActionCommit) {
+        if (committed) {
+          report("property.commit_once", from.state,
+                 "path emits the 'commit' action a second time", trace(),
+                 t.message);
+        }
+        // A commit is justified by the vote threshold (total votes sent
+        // and received, counting an own vote emitted earlier in this very
+        // action list) or by the external commit threshold.
+        const std::uint32_t total_votes = votes_after + (voted ? 1 : 0);
+        if (total_votes < vote_threshold_ &&
+            commits_after < commit_threshold_) {
+          report("property.commit_justified", from.state,
+                 "'commit' emitted with total votes " +
+                     std::to_string(total_votes) + " < 2f+1 = " +
+                     std::to_string(vote_threshold_) + " and commits " +
+                     std::to_string(commits_after) + " < f+1 = " +
+                     std::to_string(commit_threshold_),
+                 trace(), t.message);
+        }
+        committed = true;
+      }
+    }
+  }
+
+  void explore() {
+    Node start;
+    start.state = machine_.start();
+    start.pred = Node::kNoPred;
+    nodes_.push_back(start);
+    succs_.emplace_back();
+    seen_.emplace(key(start), 0);
+    check_node(0);
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+      // nodes_ grows during the loop; copy the frontier node.
+      const Node n = nodes_[i];
+      for (const fsm::Transition& t : machine_.state(n.state).transitions) {
+        Node next;
+        next.state = t.target;
+        next.votes = std::min(
+            n.votes + (t.message == vote_message_ ? 1u : 0u), vote_threshold_);
+        next.commits =
+            std::min(n.commits + (t.message == commit_message_ ? 1u : 0u),
+                     commit_threshold_);
+        check_actions(n, i, t, next.votes, next.commits, next.voted,
+                      next.committed);
+        next.pred = i;
+        next.via = t.message;
+        auto [it, inserted] = seen_.emplace(key(next), nodes_.size());
+        if (inserted) {
+          nodes_.push_back(next);
+          succs_.emplace_back();
+          check_node(static_cast<std::uint32_t>(nodes_.size() - 1));
+        }
+        succs_[i].push_back(it->second);
+      }
+    }
+  }
+
+  /// Reverse reachability: every reachable product node must be able to
+  /// reach a node whose machine state is final, else runs through it can
+  /// never terminate.
+  void check_termination() {
+    std::vector<bool> reaches_final(nodes_.size(), false);
+    std::vector<std::uint32_t> frontier;
+    // Successor lists are forward; build the reverse adjacency once.
+    std::vector<std::vector<std::uint32_t>> preds(nodes_.size());
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+      for (std::uint32_t s : succs_[i]) preds[s].push_back(i);
+      if (machine_.state(nodes_[i].state).is_final) {
+        reaches_final[i] = true;
+        frontier.push_back(i);
+      }
+    }
+    while (!frontier.empty()) {
+      const std::uint32_t i = frontier.back();
+      frontier.pop_back();
+      for (std::uint32_t p : preds[i]) {
+        if (!reaches_final[p]) {
+          reaches_final[p] = true;
+          frontier.push_back(p);
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+      if (reaches_final[i]) continue;
+      report("property.termination", nodes_[i].state,
+             "no final state is reachable from here; runs cannot terminate",
+             trace_to(i));
+    }
+  }
+
+  const fsm::StateMachine& machine_;
+  std::string_view label_;
+  std::uint32_t vote_threshold_ = 0;
+  std::uint32_t commit_threshold_ = 0;
+  fsm::MessageId vote_message_ = fsm::kNoState;
+  fsm::MessageId commit_message_ = fsm::kNoState;
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<std::uint32_t>> succs_;
+  std::unordered_map<std::uint64_t, std::uint32_t> seen_;
+  std::unordered_set<std::string> reported_;
+  Findings findings_;
+};
+
+}  // namespace
+
+Findings check_protocol_properties(const fsm::StateMachine& machine,
+                                   std::uint32_t r, std::string_view label) {
+  return PropertyChecker(machine, r, label).run();
+}
+
+}  // namespace asa_repro::check

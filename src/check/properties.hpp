@@ -1,0 +1,47 @@
+// fsmcheck group 2: protocol safety properties via exhaustive traversal.
+//
+// The generated commit machines are small enough (tens to low hundreds of
+// states across r = 4..16) that safety properties can be checked by
+// exhaustively exploring the product of the machine with a small property
+// automaton. The automaton tracks what a run has done so far — whether a
+// vote / commit action has been emitted, and how many vote / commit
+// messages have been consumed (counters clamped at their thresholds, which
+// keeps the product finite and tiny while preserving every >= threshold
+// predicate).
+//
+// Soundness on merged machines: merging is a bisimulation quotient, so
+// every path of the merged machine lifts to a path of the pruned machine
+// with the same message/action labels. A property violation found here is
+// therefore a violation of the pruned machine, i.e. of the model itself —
+// there are no quotient-induced false positives.
+//
+// Checks (r, f from the replication factor; thresholds 2f+1 and f+1):
+//   property.vote_once        a path emits the "vote" action twice
+//   property.commit_once      a path emits the "commit" action twice
+//   property.commit_justified a "commit" is emitted although neither
+//                             total votes >= 2f+1 nor commits >= f+1 holds
+//   property.premature_finish a final state is reached with < f+1 commits
+//   property.missed_finish    f+1 commits consumed but the state is not
+//                             final
+//   property.termination      a reachable state cannot reach any final
+//                             state (livelock/deadlock)
+//
+// Each path-property finding carries a counterexample message trace from
+// the start state.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "check/findings.hpp"
+#include "core/state_machine.hpp"
+
+namespace asa_repro::check {
+
+/// Check the commit-protocol safety properties on a machine generated for
+/// replication factor `r`. The machine must pass lint_structure first (the
+/// traversal indexes through state/message ids).
+[[nodiscard]] Findings check_protocol_properties(
+    const fsm::StateMachine& machine, std::uint32_t r, std::string_view label);
+
+}  // namespace asa_repro::check

@@ -1,0 +1,292 @@
+#include "check/structural.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/render/dot_renderer.hpp"
+#include "core/render/mermaid_renderer.hpp"
+#include "core/render/text_renderer.hpp"
+#include "core/render/xml_parser.hpp"
+#include "core/render/xml_renderer.hpp"
+
+namespace asa_repro::check {
+namespace {
+
+std::string state_ref(const fsm::StateMachine& machine, fsm::StateId id) {
+  if (id >= machine.state_count()) {
+    return "state #" + std::to_string(id) + " (out of range)";
+  }
+  return "state '" + machine.state(id).name + "'";
+}
+
+std::string message_ref(const fsm::StateMachine& machine,
+                        fsm::MessageId message) {
+  if (message >= machine.messages().size()) {
+    return "message #" + std::to_string(message) + " (out of range)";
+  }
+  return "message '" + machine.messages()[message] + "'";
+}
+
+/// Ids-in-range and global shape problems. Everything else assumes these
+/// pass, so they come first and the caller can stop on them.
+Findings lint_malformed(const fsm::StateMachine& machine,
+                        std::string_view label) {
+  Findings findings;
+  const auto add = [&](std::string location, std::string message) {
+    findings.push_back(Finding{"structural.malformed", std::string(label),
+                               std::move(location), std::move(message)});
+  };
+  if (machine.state_count() == 0) {
+    add("machine", "machine has no states");
+    return findings;
+  }
+  if (machine.start() >= machine.state_count()) {
+    add("start state",
+        "start id " + std::to_string(machine.start()) + " is out of range");
+  }
+  if (machine.finish() != fsm::kNoState) {
+    if (machine.finish() >= machine.state_count()) {
+      add("finish state", "finish id " + std::to_string(machine.finish()) +
+                              " is out of range");
+    } else if (!machine.state(machine.finish()).is_final) {
+      add(state_ref(machine, machine.finish()),
+          "designated finish state is not marked final");
+    }
+  }
+  for (fsm::StateId i = 0; i < machine.state_count(); ++i) {
+    const fsm::State& s = machine.state(i);
+    for (const fsm::Transition& t : s.transitions) {
+      if (t.target >= machine.state_count()) {
+        Finding f{"structural.malformed", std::string(label),
+                  state_ref(machine, i),
+                  "transition on " + message_ref(machine, t.message) +
+                      " targets out-of-range state #" +
+                      std::to_string(t.target)};
+        f.states.push_back(i);
+        findings.push_back(std::move(f));
+      }
+      if (t.message >= machine.messages().size()) {
+        Finding f{"structural.malformed", std::string(label),
+                  state_ref(machine, i),
+                  "transition uses out-of-range message #" +
+                      std::to_string(t.message)};
+        f.states.push_back(i);
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  return findings;
+}
+
+Findings lint_duplicate_names(const fsm::StateMachine& machine,
+                              std::string_view label) {
+  Findings findings;
+  std::unordered_map<std::string, fsm::StateId> seen;
+  for (fsm::StateId i = 0; i < machine.state_count(); ++i) {
+    const std::string& name = machine.state(i).name;
+    auto [it, inserted] = seen.emplace(name, i);
+    if (!inserted) {
+      Finding f{"structural.duplicate_name", std::string(label),
+                state_ref(machine, i),
+                "name also used by state #" + std::to_string(it->second) +
+                    " (the XML artefact addresses states by name)"};
+      f.states = {it->second, i};
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+Findings lint_reachability(const fsm::StateMachine& machine,
+                           std::string_view label) {
+  std::vector<bool> reached(machine.state_count(), false);
+  std::vector<fsm::StateId> frontier{machine.start()};
+  reached[machine.start()] = true;
+  while (!frontier.empty()) {
+    const fsm::StateId id = frontier.back();
+    frontier.pop_back();
+    for (const fsm::Transition& t : machine.state(id).transitions) {
+      if (!reached[t.target]) {
+        reached[t.target] = true;
+        frontier.push_back(t.target);
+      }
+    }
+  }
+  Findings findings;
+  for (fsm::StateId i = 0; i < machine.state_count(); ++i) {
+    if (reached[i]) continue;
+    Finding f{"structural.unreachable", std::string(label),
+              state_ref(machine, i),
+              "not reachable from the start state (pruning removes such "
+              "states; its presence means the artefact was edited or "
+              "corrupted)"};
+    f.states.push_back(i);
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+Findings lint_transitions(const fsm::StateMachine& machine,
+                          std::string_view label) {
+  Findings findings;
+  for (fsm::StateId i = 0; i < machine.state_count(); ++i) {
+    const fsm::State& s = machine.state(i);
+    for (std::size_t a = 0; a < s.transitions.size(); ++a) {
+      for (std::size_t b = a + 1; b < s.transitions.size(); ++b) {
+        const fsm::Transition& ta = s.transitions[a];
+        const fsm::Transition& tb = s.transitions[b];
+        if (ta.message != tb.message) continue;
+        const bool identical =
+            ta.target == tb.target && ta.actions == tb.actions;
+        Finding f{identical ? "structural.duplicate"
+                            : "structural.nondeterminism",
+                  std::string(label), state_ref(machine, i),
+                  identical
+                      ? "two identical transitions on " +
+                            message_ref(machine, ta.message)
+                      : "two transitions on " +
+                            message_ref(machine, ta.message) +
+                            " with different effects (targets " +
+                            state_ref(machine, ta.target) + " vs " +
+                            state_ref(machine, tb.target) +
+                            "); dispatch is ambiguous"};
+        f.states.push_back(i);
+        f.transitions.emplace_back(i, ta.message);
+        findings.push_back(std::move(f));
+      }
+    }
+    if (s.transitions.empty() && !s.is_final) {
+      Finding f{"structural.sink", std::string(label), state_ref(machine, i),
+                "non-final state has no outgoing transitions; every run "
+                "reaching it deadlocks"};
+      f.states.push_back(i);
+      findings.push_back(std::move(f));
+    }
+    if (!s.transitions.empty() && s.is_final) {
+      Finding f{"structural.terminal_exit", std::string(label),
+                state_ref(machine, i),
+                "final state has " + std::to_string(s.transitions.size()) +
+                    " outgoing transition(s); terminal states must absorb"};
+      f.states.push_back(i);
+      for (const fsm::Transition& t : s.transitions) {
+        f.transitions.emplace_back(i, t.message);
+      }
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+}  // namespace
+
+Findings lint_structure(const fsm::StateMachine& machine,
+                        std::string_view label) {
+  Findings findings = lint_malformed(machine, label);
+  if (!findings.empty()) return findings;  // Later lints index through ids.
+  Findings more = lint_duplicate_names(machine, label);
+  findings.insert(findings.end(), std::make_move_iterator(more.begin()),
+                  std::make_move_iterator(more.end()));
+  more = lint_reachability(machine, label);
+  findings.insert(findings.end(), std::make_move_iterator(more.begin()),
+                  std::make_move_iterator(more.end()));
+  more = lint_transitions(machine, label);
+  findings.insert(findings.end(), std::make_move_iterator(more.begin()),
+                  std::make_move_iterator(more.end()));
+  return findings;
+}
+
+std::optional<std::string> machines_identical(const fsm::StateMachine& a,
+                                              const fsm::StateMachine& b) {
+  if (a.messages() != b.messages()) return "message vocabularies differ";
+  if (a.state_count() != b.state_count()) {
+    return "state counts differ (" + std::to_string(a.state_count()) +
+           " vs " + std::to_string(b.state_count()) + ")";
+  }
+  if (a.start() != b.start()) return "start states differ";
+  if (a.finish() != b.finish()) return "finish states differ";
+  for (fsm::StateId i = 0; i < a.state_count(); ++i) {
+    const fsm::State& sa = a.state(i);
+    const fsm::State& sb = b.state(i);
+    const std::string where = "state '" + sa.name + "'";
+    if (sa.name != sb.name) {
+      return "state #" + std::to_string(i) + " names differ ('" + sa.name +
+             "' vs '" + sb.name + "')";
+    }
+    if (sa.is_final != sb.is_final) return where + ": finality differs";
+    if (sa.annotations != sb.annotations) {
+      return where + ": annotations differ";
+    }
+    if (sa.transitions.size() != sb.transitions.size()) {
+      return where + ": transition counts differ";
+    }
+    for (std::size_t t = 0; t < sa.transitions.size(); ++t) {
+      const fsm::Transition& ta = sa.transitions[t];
+      const fsm::Transition& tb = sb.transitions[t];
+      if (ta.message != tb.message || ta.target != tb.target ||
+          ta.actions != tb.actions || ta.annotations != tb.annotations) {
+        return where + ": transition " + std::to_string(t) + " differs";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Findings lint_rendered_artifacts(const fsm::StateMachine& machine,
+                                 std::string_view label) {
+  Findings findings;
+
+  const std::string xml = fsm::XmlRenderer{}.render(machine);
+  std::string parse_error;
+  std::optional<fsm::StateMachine> reparsed =
+      fsm::parse_state_machine_xml(xml, &parse_error);
+  if (!reparsed) {
+    findings.push_back(Finding{
+        "artifact.xml_roundtrip", std::string(label), "xml artefact",
+        "rendered XML does not parse back: " + parse_error});
+  } else if (auto diff = machines_identical(machine, *reparsed)) {
+    findings.push_back(Finding{"artifact.xml_roundtrip", std::string(label),
+                               "xml artefact",
+                               "round-trip changed the machine: " + *diff});
+  }
+
+  const std::string text = fsm::TextRenderer{}.render(machine);
+  const std::string dot = fsm::DotRenderer{}.render(machine);
+  const std::string mermaid = fsm::MermaidRenderer{}.render(machine);
+  const auto check_presence = [&](const std::string& artifact,
+                                  std::string_view artifact_name) {
+    for (fsm::StateId i = 0; i < machine.state_count(); ++i) {
+      const std::string& name = machine.state(i).name;
+      if (artifact.find(name) != std::string::npos) continue;
+      Finding f{"artifact.render_missing", std::string(label),
+                state_ref(machine, i),
+                "state name absent from the " + std::string(artifact_name) +
+                    " artefact"};
+      f.states.push_back(i);
+      findings.push_back(std::move(f));
+    }
+  };
+  check_presence(text, "text (Fig 14)");
+  check_presence(dot, "DOT (Fig 15)");
+  check_presence(mermaid, "Mermaid");
+  return findings;
+}
+
+std::optional<std::string> structural_error(const fsm::StateMachine& machine) {
+  const Findings findings = lint_structure(machine, "machine");
+  if (findings.empty()) return std::nullopt;
+  std::string out = to_string(findings.front());
+  if (findings.size() > 1) {
+    out += " (+" + std::to_string(findings.size() - 1) + " more)";
+  }
+  return out;
+}
+
+fsm::MachineCache::Validator structural_validator() {
+  return [](const fsm::StateMachine& machine) {
+    return structural_error(machine);
+  };
+}
+
+}  // namespace asa_repro::check

@@ -1,0 +1,63 @@
+// fsmcheck group 1: structural lints over a concrete StateMachine.
+//
+// These checks need no knowledge of the protocol: they enforce the
+// well-formedness contract every generated machine satisfies by
+// construction (state_machine.hpp's "at most one transition per message",
+// the reachability guarantee of pruning, the single-finish invariant of
+// merging) and flag hand-edits or corrupted artefacts that break it.
+//
+// Check identifiers (stable; catalogued in ARCHITECTURE.md):
+//   structural.malformed       ids out of range, no states, finish not final
+//   structural.duplicate_name  two states share a name (breaks the XML
+//                              artefact, which addresses states by name)
+//   structural.unreachable     state not reachable from the start state
+//   structural.nondeterminism  two transitions for one (state, message)
+//                              with different target or actions
+//   structural.duplicate       identical (state, message) transition twice
+//   structural.sink            non-final state with no outgoing transitions
+//   structural.terminal_exit   final state with outgoing transitions
+//   artifact.xml_roundtrip     XML render does not parse back identically
+//   artifact.render_missing    a state's name is absent from a rendered
+//                              artefact (text / DOT / Mermaid)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "check/findings.hpp"
+#include "core/machine_cache.hpp"
+#include "core/state_machine.hpp"
+
+namespace asa_repro::check {
+
+/// Run the structural lints. `label` names the machine in findings.
+/// Cost O(states * transitions).
+[[nodiscard]] Findings lint_structure(const fsm::StateMachine& machine,
+                                      std::string_view label);
+
+/// Check that every state survives into the rendered artefacts: the XML
+/// form must round-trip byte-equivalently back into the same machine, and
+/// the text / DOT / Mermaid renderings must mention every state by name.
+/// Only valid on machines that pass lint_structure (renderers index
+/// through start/target ids).
+[[nodiscard]] Findings lint_rendered_artifacts(const fsm::StateMachine& machine,
+                                               std::string_view label);
+
+/// Field-by-field machine equality (messages, states, names, finality,
+/// transitions with actions, start/finish). Returns a description of the
+/// first difference, or nullopt when identical. Annotations are compared
+/// too: the XML artefact carries them.
+[[nodiscard]] std::optional<std::string> machines_identical(
+    const fsm::StateMachine& a, const fsm::StateMachine& b);
+
+/// First structural problem as a one-line description (nullopt = clean).
+/// This is the fsm::MachineCache disk-load validator: a cached XML machine
+/// that parses but fails the lints is regenerated.
+[[nodiscard]] std::optional<std::string> structural_error(
+    const fsm::StateMachine& machine);
+
+/// The above packaged as a cache validator.
+[[nodiscard]] fsm::MachineCache::Validator structural_validator();
+
+}  // namespace asa_repro::check

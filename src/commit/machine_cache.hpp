@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "check/structural.hpp"
 #include "commit/commit_model.hpp"
 #include "core/machine_cache.hpp"
 
@@ -22,9 +23,15 @@ class MachineCache {
   /// Memory-only cache (one generation per factor per process).
   MachineCache() = default;
 
-  /// Cache persisted under `directory`; see fsm::MachineCache.
+  /// Cache persisted under `directory`; see fsm::MachineCache. Disk entries
+  /// are structurally linted on load (check/structural.hpp): a cached XML
+  /// artefact that parses but fails the lints — e.g. hand-edited into an
+  /// unreachable-state or nondeterministic shape — is discarded and the
+  /// machine regenerated, exactly like a parse failure.
   explicit MachineCache(std::filesystem::path directory)
-      : cache_(std::move(directory)) {}
+      : cache_(std::move(directory)) {
+    cache_.set_validator(check::structural_validator());
+  }
 
   /// The merged commit FSM for replication factor `r`, generating it on
   /// first request (with `jobs` generation lanes; 1 = serial, 0 = hardware

@@ -129,7 +129,8 @@ const EfsmBranch* EfsmInstance::deliver(MessageId message) {
   return nullptr;
 }
 
-StateMachine expand_to_fsm(const Efsm& efsm, const EfsmParams& params) {
+StateMachine expand_to_fsm(const Efsm& efsm, const EfsmParams& params,
+                           std::size_t max_states) {
   efsm.validate();
 
   // A configuration is (efsm state, variable values in declaration order).
@@ -173,6 +174,12 @@ StateMachine expand_to_fsm(const Efsm& efsm, const EfsmParams& params) {
     const Config c = config_of(inst);
     const auto it = ids.find(c);
     if (it != ids.end()) return it->second;
+    if (max_states != 0 && states.size() >= max_states) {
+      throw std::length_error(
+          "expand_to_fsm: configuration space exceeds " +
+          std::to_string(max_states) +
+          " states (updates escaping the declared variable bounds?)");
+    }
     const StateId id = static_cast<StateId>(states.size());
     ids.emplace(c, id);
     State s;

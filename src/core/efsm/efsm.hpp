@@ -145,7 +145,14 @@ class EfsmInstance {
 /// to check the hand-specified EFSM against the generated FSM family
 /// (trace equivalence via find_divergence) and to measure the state-space
 /// trade-off of section 3.2.
+///
+/// `max_states` bounds the expansion (0 = unlimited): a definition whose
+/// updates escape the declared variable bounds has an unbounded
+/// configuration space, and callers analysing untrusted or mutated EFSMs
+/// (fsmcheck --mutate) need the enumeration to fail by throwing
+/// std::length_error instead of diverging.
 [[nodiscard]] StateMachine expand_to_fsm(const Efsm& efsm,
-                                         const EfsmParams& params);
+                                         const EfsmParams& params,
+                                         std::size_t max_states = 0);
 
 }  // namespace asa_repro::fsm

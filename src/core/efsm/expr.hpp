@@ -64,6 +64,11 @@ class Expr {
   [[nodiscard]] std::int64_t value() const { return value_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  /// Child nodes (null for leaves; rhs null for kNot). Exposed so analyses
+  /// (fsmcheck's guard checks) can walk expressions without evaluating.
+  [[nodiscard]] const ExprPtr& lhs() const { return lhs_; }
+  [[nodiscard]] const ExprPtr& rhs() const { return rhs_; }
+
   // Node factories (use the free helpers below in model code).
   static ExprPtr make_const(std::int64_t v);
   static ExprPtr make_var(std::string name);

@@ -124,4 +124,27 @@ std::optional<Divergence> find_divergence(const StateMachine& a,
   return std::nullopt;
 }
 
+std::optional<FamilyDivergence> find_family_divergence(
+    std::uint64_t lo, std::uint64_t hi,
+    const std::function<StateMachine(std::uint64_t)>& a,
+    const std::function<StateMachine(std::uint64_t)>& b, unsigned jobs) {
+  for (std::uint64_t p = lo; p <= hi; ++p) {
+    if (auto d = find_divergence(a(p), b(p), jobs); d.has_value()) {
+      return FamilyDivergence{p, std::move(*d)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string format_trace(const StateMachine& machine,
+                         const std::vector<MessageId>& trace) {
+  if (trace.empty()) return "<empty trace>";
+  std::string out;
+  for (MessageId m : trace) {
+    if (!out.empty()) out += ", ";
+    out += message_name(machine, m);
+  }
+  return out;
+}
+
 }  // namespace asa_repro::fsm

@@ -6,6 +6,8 @@
 // EFSM) must be trace-equivalent to the machine it was rendered from.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -42,5 +44,28 @@ struct Divergence {
                                            unsigned jobs = 1) {
   return !find_divergence(a, b, jobs).has_value();
 }
+
+/// A divergence found while sweeping a parameterised family: which family
+/// member diverged, and the witness trace within that member.
+struct FamilyDivergence {
+  std::uint64_t parameter = 0;
+  Divergence divergence;
+};
+
+/// Check trace equivalence between two machine-producing views of the same
+/// family over every parameter in [lo, hi]: for each value p the machines
+/// a(p) and b(p) must be trace-equivalent. Stops at the first diverging
+/// member and returns its witness; nullopt when the whole family agrees.
+/// Used to prove the section 5.3 EFSM bisimilar to every generated
+/// concrete machine (fsmcheck group 4).
+[[nodiscard]] std::optional<FamilyDivergence> find_family_divergence(
+    std::uint64_t lo, std::uint64_t hi,
+    const std::function<StateMachine(std::uint64_t)>& a,
+    const std::function<StateMachine(std::uint64_t)>& b, unsigned jobs = 1);
+
+/// Render a witness trace using `machine`'s message names:
+/// "update, vote, vote" ("<empty trace>" for a start-state divergence).
+[[nodiscard]] std::string format_trace(const StateMachine& machine,
+                                       const std::vector<MessageId>& trace);
 
 }  // namespace asa_repro::fsm

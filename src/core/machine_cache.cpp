@@ -45,11 +45,18 @@ const StateMachine& MachineCache::machine_for(std::string_view model_id,
       text << in.rdbuf();
       if (std::optional<StateMachine> machine =
               parse_state_machine_xml(text.str())) {
-        ++stats_.disk_hits;
-        return *machines_
-                    .emplace(k, std::make_unique<StateMachine>(
-                                    std::move(*machine)))
-                    .first->second;
+        if (validator_ && validator_(*machine).has_value()) {
+          // Parseable but semantically broken (e.g. a transition edited out
+          // by hand, leaving unreachable states): reject like a corrupt
+          // file and regenerate below.
+          ++stats_.validation_rejects;
+        } else {
+          ++stats_.disk_hits;
+          return *machines_
+                      .emplace(k, std::make_unique<StateMachine>(
+                                      std::move(*machine)))
+                      .first->second;
+        }
       }
       // Corrupt entry: fall through to regenerate and overwrite it.
     }

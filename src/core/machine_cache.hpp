@@ -40,11 +40,24 @@ struct MachineCacheStats {
   std::size_t memory_hits = 0;
   std::size_t disk_hits = 0;
   std::size_t misses = 0;  // Generator invocations.
+  /// Disk entries that parsed but failed the installed validator (e.g. the
+  /// fsmcheck structural lints) and were regenerated. A nonzero count means
+  /// a cache file was corrupted in a way the XML parser cannot see.
+  std::size_t validation_rejects = 0;
 };
 
 class MachineCache {
  public:
   using Generator = std::function<StateMachine()>;
+
+  /// Semantic acceptance test applied to machines loaded from disk, over
+  /// and above XML well-formedness: returns a description of the first
+  /// problem, or nullopt to accept. A rejected entry is treated exactly
+  /// like a corrupt file — regenerated and overwritten. The check library
+  /// provides a structural-lint validator (check::structural_validator);
+  /// core cannot depend on it, so callers install it explicitly.
+  using Validator = std::function<std::optional<std::string>(
+      const StateMachine&)>;
 
   /// Memory-only cache (the paper's per-process regeneration policy).
   MachineCache() = default;
@@ -60,6 +73,11 @@ class MachineCache {
   const StateMachine& machine_for(std::string_view model_id,
                                   std::uint64_t parameter,
                                   const Generator& generate);
+
+  /// Install (or clear, with nullptr) the disk-load validator.
+  void set_validator(Validator validator) {
+    validator_ = std::move(validator);
+  }
 
   [[nodiscard]] bool contains(std::string_view model_id,
                               std::uint64_t parameter) const;
@@ -79,6 +97,7 @@ class MachineCache {
 
   std::map<std::string, std::unique_ptr<StateMachine>> machines_;
   std::filesystem::path directory_;  // Empty = memory-only.
+  Validator validator_;              // Applied to disk loads only.
   MachineCacheStats stats_;
 };
 

@@ -44,6 +44,17 @@ std::string DotRenderer::render_excerpt(
     const StateMachine& machine, const std::vector<StateId>& states) const {
   std::vector<bool> included(machine.state_count(), false);
   for (StateId id : states) included[id] = true;
+  std::vector<bool> flagged(machine.state_count(), false);
+  for (StateId id : options_.highlight_states) {
+    if (id < flagged.size()) flagged[id] = true;
+  }
+  const auto flagged_edge = [&](StateId source, MessageId message) {
+    for (const auto& [s, m] : options_.highlight_transitions) {
+      if (s == source && m == message) return true;
+    }
+    return false;
+  };
+  const std::string& hl = options_.highlight_color;
 
   std::string out;
   out += "digraph \"" + escape(options_.graph_name) + "\" {\n";
@@ -61,9 +72,16 @@ std::string DotRenderer::render_excerpt(
   for (StateId id : states) {
     const State& s = machine.state(id);
     out += "  \"" + escape(s.name) + "\"";
+    std::string attrs;
     if (s.is_final) {
-      out += " [shape=box, peripheries=2, style=\"rounded,bold\"]";
+      attrs = "shape=box, peripheries=2, style=\"rounded,bold\"";
     }
+    if (flagged[id]) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += "color=\"" + escape(hl) + "\", fontcolor=\"" + escape(hl) +
+               "\", penwidth=2";
+    }
+    if (!attrs.empty()) out += " [" + attrs + "]";
     out += ";\n";
   }
   for (StateId id : states) {
@@ -72,7 +90,12 @@ std::string DotRenderer::render_excerpt(
       if (!included[t.target]) continue;
       out += "  \"" + escape(s.name) + "\" -> \"" +
              escape(machine.state(t.target).name) + "\" [label=\"" +
-             escape(edge_label(machine, t, options_.show_actions)) + "\"];\n";
+             escape(edge_label(machine, t, options_.show_actions)) + "\"";
+      if (flagged_edge(id, t.message)) {
+        out += ", color=\"" + escape(hl) + "\", fontcolor=\"" + escape(hl) +
+               "\", penwidth=2";
+      }
+      out += "];\n";
     }
   }
   out += "}\n";

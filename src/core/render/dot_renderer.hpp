@@ -8,6 +8,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/state_machine.hpp"
 
@@ -20,6 +22,15 @@ struct DotOptions {
   bool left_to_right = false;    // rankdir=LR instead of TB.
   std::size_t max_states = 0;    // 0 = no limit; else render a subgraph of
                                  // the first N states (for excerpts, Fig 3).
+
+  /// States and transitions to draw emphasised in `highlight_color`
+  /// (thicker pen, coloured label). fsmcheck uses this to mark the states
+  /// and transitions its findings point at, so a flagged machine can be
+  /// inspected visually. Transitions are (source state, message) pairs —
+  /// the machine holds at most one transition per pair.
+  std::vector<StateId> highlight_states;
+  std::vector<std::pair<StateId, MessageId>> highlight_transitions;
+  std::string highlight_color = "crimson";
 };
 
 class DotRenderer {

@@ -11,6 +11,12 @@ std::string MermaidRenderer::render(const StateMachine& machine) const {
       options_.max_states == 0
           ? machine.state_count()
           : std::min<std::size_t>(options_.max_states, machine.state_count());
+  const auto flagged_edge = [&](StateId source, MessageId message) {
+    for (const auto& [s, m] : options_.highlight_transitions) {
+      if (s == source && m == message) return true;
+    }
+    return false;
+  };
 
   std::string out = "stateDiagram-v2\n";
   // Mermaid state ids must be identifiers; show the real name as a label.
@@ -20,11 +26,17 @@ std::string MermaidRenderer::render(const StateMachine& machine) const {
   for (StateId i = 0; i < limit; ++i) {
     out += "    " + sid(i) + " : " + machine.state(i).name + "\n";
   }
+  // Mermaid styles individual links by their emission index, so count every
+  // arrow (the [*] entry/exit arrows included) while rendering.
+  std::size_t link = 0;
+  std::vector<std::size_t> flagged_links;
   out += "    [*] --> " + sid(machine.start()) + "\n";
+  ++link;
   for (StateId i = 0; i < limit; ++i) {
     const State& s = machine.state(i);
     if (s.is_final) {
       out += "    " + sid(i) + " --> [*]\n";
+      ++link;
     }
     for (const Transition& t : s.transitions) {
       if (t.target >= limit) continue;
@@ -35,7 +47,24 @@ std::string MermaidRenderer::render(const StateMachine& machine) const {
       }
       out += "    " + sid(i) + " --> " + sid(t.target) + " : " + label +
              "\n";
+      if (flagged_edge(i, t.message)) flagged_links.push_back(link);
+      ++link;
     }
+  }
+  if (!options_.highlight_states.empty() || !flagged_links.empty()) {
+    out += "    classDef flagged fill:#fde2e2,stroke:#c0392b,"
+           "stroke-width:2px\n";
+  }
+  for (StateId id : options_.highlight_states) {
+    if (id < limit) out += "    class " + sid(id) + " flagged\n";
+  }
+  if (!flagged_links.empty()) {
+    std::string indices;
+    for (std::size_t i : flagged_links) {
+      if (!indices.empty()) indices += ',';
+      indices += std::to_string(i);
+    }
+    out += "    linkStyle " + indices + " stroke:#c0392b,stroke-width:2px\n";
   }
   return out;
 }

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/state_machine.hpp"
 
@@ -15,6 +17,12 @@ namespace asa_repro::fsm {
 struct MermaidOptions {
   bool show_actions = true;
   std::size_t max_states = 0;  // 0 = all.
+
+  /// States and transitions to emphasise (fsmcheck findings). States get a
+  /// `flagged` classDef; transitions are styled via their linkStyle index.
+  /// Transitions are (source state, message) pairs.
+  std::vector<StateId> highlight_states;
+  std::vector<std::pair<StateId, MessageId>> highlight_transitions;
 };
 
 class MermaidRenderer {

@@ -92,7 +92,9 @@ std::string format_labels(const JsonValue& labels) {
   std::string out;
   for (const auto& [k, v] : labels.members()) {
     if (!out.empty()) out += ',';
-    out += k + "=" + v.as_string();
+    out += k;
+    out += '=';
+    out += v.as_string();
   }
   return out.empty() ? out : "{" + out + "}";
 }
@@ -153,6 +155,108 @@ std::optional<std::string> validate_metrics_json(const JsonValue& root) {
     return err;
   }
   return std::nullopt;
+}
+
+std::optional<std::string> validate_findings_json(const JsonValue& root) {
+  if (!root.is_object()) return "document is not a JSON object";
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return "missing schema field";
+  }
+  if (schema->as_string() != "asa-findings/1") {
+    return "unsupported schema " + schema->as_string();
+  }
+  const JsonValue* meta = root.find("meta");
+  if (meta == nullptr || !meta->is_object()) {
+    return "missing meta object";
+  }
+  const JsonValue* summary = root.find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    return "missing summary object";
+  }
+  for (const char* field : {"checks_run", "findings"}) {
+    const JsonValue* v = summary->find(field);
+    if (v == nullptr || !v->is_number()) {
+      return std::string("summary without numeric ") + field;
+    }
+  }
+  const JsonValue* findings = root.find("findings");
+  if (findings == nullptr || !findings->is_array()) {
+    return "missing findings array";
+  }
+  for (const JsonValue& entry : findings->items()) {
+    if (!entry.is_object()) return "findings entry is not an object";
+    for (const char* field : {"check", "machine", "location", "message"}) {
+      const JsonValue* v = entry.find(field);
+      if (v == nullptr || !v->is_string()) {
+        return std::string("finding without string ") + field;
+      }
+    }
+    const JsonValue* trace = entry.find("trace");
+    if (trace == nullptr || !trace->is_array()) {
+      return "finding " + entry.find("check")->as_string() +
+             " without a trace array";
+    }
+    for (const JsonValue& m : trace->items()) {
+      if (!m.is_string()) {
+        return "finding " + entry.find("check")->as_string() +
+               " trace entry is not a string";
+      }
+    }
+  }
+  if (static_cast<std::uint64_t>(summary->find("findings")->as_int()) !=
+      findings->items().size()) {
+    return "summary finding count does not match the findings array";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_document_json(const JsonValue& root) {
+  if (!root.is_object()) return "document is not a JSON object";
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return "missing schema field";
+  }
+  if (schema->as_string() == "asa-findings/1") {
+    return validate_findings_json(root);
+  }
+  return validate_metrics_json(root);
+}
+
+std::string render_findings(const JsonValue& root) {
+  std::ostringstream out;
+  out << "=== fsmcheck findings ===\n";
+  const JsonValue* meta = root.find("meta");
+  if (meta != nullptr && meta->is_object()) {
+    for (const auto& [k, v] : meta->members()) {
+      out << "  " << k << ": "
+          << (v.is_string() ? v.as_string() : v.dump()) << "\n";
+    }
+  }
+  const JsonValue* summary = root.find("summary");
+  out << "  checks run: " << summary->find("checks_run")->as_int()
+      << ", findings: " << summary->find("findings")->as_int() << "\n";
+  const JsonValue* findings = root.find("findings");
+  if (findings->items().empty()) {
+    out << "\nno findings: all checks passed\n";
+    return out.str();
+  }
+  out << "\n";
+  for (const JsonValue& f : findings->items()) {
+    out << f.find("check")->as_string() << " ["
+        << f.find("machine")->as_string() << "] "
+        << f.find("location")->as_string() << ": "
+        << f.find("message")->as_string() << "\n";
+    const JsonValue* trace = f.find("trace");
+    if (!trace->items().empty()) {
+      out << "    trace:";
+      for (const JsonValue& m : trace->items()) {
+        out << " " << m.as_string();
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
 }
 
 std::optional<std::vector<ReportTraceEvent>> parse_trace_jsonl(

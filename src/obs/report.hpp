@@ -22,6 +22,22 @@ namespace asa_repro::obs {
 [[nodiscard]] std::optional<std::string> validate_metrics_json(
     const JsonValue& root);
 
+/// Structural validation of an asa-findings/1 document (emitted by
+/// fsmcheck --json). Returns nullopt when valid, else a description of the
+/// first problem. Validation is structural only: a document with findings
+/// is valid — failing on findings is fsmcheck's exit code's job.
+[[nodiscard]] std::optional<std::string> validate_findings_json(
+    const JsonValue& root);
+
+/// Render an asa-findings/1 document for humans: the run summary plus one
+/// line per finding. The document must pass validate_findings_json.
+[[nodiscard]] std::string render_findings(const JsonValue& root);
+
+/// Dispatch on the document's "schema" member: validate as asa-metrics/1
+/// or asa-findings/1 accordingly (asareport --validate accepts either).
+[[nodiscard]] std::optional<std::string> validate_document_json(
+    const JsonValue& root);
+
 /// One parsed trace event (mirror of sim::TraceEvent, kept decoupled so
 /// report rendering does not pull the simulator in).
 struct ReportTraceEvent {

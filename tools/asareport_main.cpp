@@ -5,11 +5,14 @@
 // optionally, the asa-trace/1 JSONL stream from --trace-out, and prints
 // percentile tables for every histogram, a per-node protocol breakdown,
 // and the top-k slowest commit instances reconstructed from the causal
-// trace. With --validate it only checks the metrics document's structure
-// (CI's metrics smoke job gates on this).
+// trace. asa-findings/1 documents (fsmcheck --json) are recognised by
+// their schema field and rendered as a findings listing instead. With
+// --validate it only checks the document's structure (CI's metrics and
+// fsmcheck jobs gate on this).
 //
 //   asareport --metrics run.json --trace run.trace
 //   asareport --metrics run.json --validate
+//   asareport --metrics findings.json --validate
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,10 +29,11 @@ namespace {
 void usage() {
   std::cout <<
       "usage: asareport --metrics FILE [options]\n"
-      "  --metrics FILE   asa-metrics/1 JSON document (required)\n"
+      "  --metrics FILE   asa-metrics/1 or asa-findings/1 JSON document\n"
+      "                   (required)\n"
       "  --trace FILE     asa-trace/1 JSONL event stream (optional)\n"
       "  --top K          slowest commit instances to list (default 10)\n"
-      "  --validate       validate the metrics document and exit\n";
+      "  --validate       validate the document and exit\n";
 }
 
 std::optional<std::string> read_file(const std::string& path) {
@@ -92,13 +96,23 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (const std::optional<std::string> error =
-          obs::validate_metrics_json(*metrics);
+          obs::validate_document_json(*metrics);
       error.has_value()) {
     std::cerr << "asareport: " << metrics_path << ": " << *error << "\n";
     return 1;
   }
+  const obs::JsonValue* schema = metrics->find("schema");
+  const bool is_findings =
+      schema != nullptr && schema->is_string() &&
+      schema->as_string() == "asa-findings/1";
   if (validate_only) {
-    std::cout << metrics_path << ": valid asa-metrics/1 document\n";
+    std::cout << metrics_path << ": valid "
+              << (is_findings ? "asa-findings/1" : "asa-metrics/1")
+              << " document\n";
+    return 0;
+  }
+  if (is_findings) {
+    std::cout << obs::render_findings(*metrics);
     return 0;
   }
 

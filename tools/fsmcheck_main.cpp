@@ -1,0 +1,240 @@
+// fsmcheck — static verification of the generated FSM family and EFSM.
+//
+// Runs the four analysis groups of src/check over the commit protocol:
+// structural lints and rendered-artefact round-trips on every generated
+// machine in the replication-factor range, exhaustive protocol-property
+// traversal (vote/commit emitted at most once and only at threshold,
+// finality exactly at f+1 commits, termination), bounded-enumeration guard
+// analysis of the hand-written EFSM, and family conformance (the EFSM
+// expanded at each r trace-equivalent to the generated machine; the
+// checked-in generated source byte-identical to regeneration).
+//
+// Exit code 0 = no findings, 1 = findings (or a failed mutation
+// self-test), 2 = usage error. CI runs both modes and fails on either.
+//
+// Examples:
+//   fsmcheck --family 4..16 --efsm
+//   fsmcheck -r 4 --json findings.json
+//   fsmcheck --mutate
+//   fsmcheck -r 4 --dot flagged.dot --mermaid flagged.md
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "check/check.hpp"
+#include "check/findings.hpp"
+#include "check/mutate.hpp"
+#include "commit/commit_model.hpp"
+#include "core/abstract_model.hpp"
+#include "core/render/dot_renderer.hpp"
+#include "core/render/mermaid_renderer.hpp"
+
+using namespace asa_repro;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: fsmcheck [options]\n"
+      "  -r N             check a single replication factor (default 4..16)\n"
+      "  --family A..B    check every replication factor in [A, B]\n"
+      "  --efsm           include EFSM guard analysis and family\n"
+      "                   conformance (default on; --no-efsm disables)\n"
+      "  --no-efsm        structural and property checks only\n"
+      "  --no-artefact    skip the checked-in generated-source comparison\n"
+      "  --generated FILE checked-in artefact to compare (default:\n"
+      "                   src/commit/generated/commit_fsm_r4.hpp)\n"
+      "  --json FILE      write findings as an asa-findings/1 document\n"
+      "  --dot FILE       render the first flagged machine as DOT with the\n"
+      "                   offending states/transitions highlighted\n"
+      "  --mermaid FILE   same, as a Mermaid state diagram\n"
+      "  --mutate         run the mutation self-test instead: seed known\n"
+      "                   defects and require 100% detection\n"
+      "  --jobs N         generation/equivalence lanes (0 = hardware)\n";
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "fsmcheck: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+/// Render the machine named by the first finding that carries diagram
+/// hooks, with its flagged states/transitions emphasised.
+void render_flagged(const check::Findings& findings,
+                    const check::CheckOptions& options,
+                    const std::string& dot_path,
+                    const std::string& mermaid_path) {
+  const check::Finding* flagged = nullptr;
+  for (const check::Finding& f : findings) {
+    if (!f.states.empty() || !f.transitions.empty()) {
+      flagged = &f;
+      break;
+    }
+  }
+  if (flagged == nullptr) {
+    std::cerr << "fsmcheck: no finding carries diagram locations; "
+                 "nothing to render\n";
+    return;
+  }
+  // Findings label machines "commit_rN"; re-generate that member.
+  const std::string& label = flagged->machine;
+  const std::size_t pos = label.rfind('r');
+  std::uint32_t r = options.r_lo;
+  if (pos != std::string::npos) {
+    try {
+      r = static_cast<std::uint32_t>(std::stoul(label.substr(pos + 1)));
+    } catch (const std::exception&) {
+    }
+  }
+  commit::CommitModel model(r);
+  fsm::GenerationOptions gen_options;
+  gen_options.jobs = options.jobs;
+  const fsm::StateMachine machine = model.generate_state_machine(gen_options);
+  if (!dot_path.empty()) {
+    fsm::DotOptions dot;
+    dot.graph_name = label;
+    dot.highlight_states = flagged->states;
+    dot.highlight_transitions = flagged->transitions;
+    if (write_file(dot_path, fsm::DotRenderer(dot).render(machine))) {
+      std::cout << "wrote " << dot_path << " highlighting '"
+                << flagged->check << "'\n";
+    }
+  }
+  if (!mermaid_path.empty()) {
+    fsm::MermaidOptions mermaid;
+    mermaid.highlight_states = flagged->states;
+    mermaid.highlight_transitions = flagged->transitions;
+    if (write_file(mermaid_path,
+                   fsm::MermaidRenderer(mermaid).render(machine))) {
+      std::cout << "wrote " << mermaid_path << " highlighting '"
+                << flagged->check << "'\n";
+    }
+  }
+}
+
+int run_mutate(std::uint32_t r, unsigned jobs) {
+  const check::MutationReport report = check::run_mutation_self_test(r, jobs);
+  for (const check::MutationOutcome& o : report.outcomes) {
+    std::cout << (o.detected ? "caught " : "MISSED ") << o.name << ": "
+              << o.description << "\n";
+    if (o.detected) {
+      std::cout << "    by " << o.finding << "\n";
+    }
+  }
+  std::cout << report.detected() << "/" << report.outcomes.size()
+            << " mutations detected\n";
+  if (!report.all_detected()) {
+    std::cerr << "fsmcheck: mutation self-test FAILED — the checks above "
+                 "did not flag a known-broken model\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  check::CheckOptions options;
+#ifdef ASA_DEFAULT_ARTIFACT
+  options.artifact_path = ASA_DEFAULT_ARTIFACT;
+#endif
+  std::string json_path;
+  std::string dot_path;
+  std::string mermaid_path;
+  bool mutate = false;
+  bool single_r = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      return i + 1 < argc ? std::string(argv[++i]) : std::string();
+    };
+    try {
+      if (arg == "-h" || arg == "--help") {
+        usage();
+        return 0;
+      } else if (arg == "-r") {
+        options.r_lo = options.r_hi =
+            static_cast<std::uint32_t>(std::stoul(next()));
+        single_r = true;
+      } else if (arg == "--family") {
+        const std::string range = next();
+        const std::size_t dots = range.find("..");
+        if (dots == std::string::npos) {
+          std::cerr << "fsmcheck: --family expects A..B\n";
+          return 2;
+        }
+        options.r_lo = static_cast<std::uint32_t>(
+            std::stoul(range.substr(0, dots)));
+        options.r_hi = static_cast<std::uint32_t>(
+            std::stoul(range.substr(dots + 2)));
+      } else if (arg == "--efsm") {
+        options.efsm = true;
+      } else if (arg == "--no-efsm") {
+        options.efsm = false;
+      } else if (arg == "--no-artefact") {
+        options.artifact_path.clear();
+      } else if (arg == "--generated") {
+        options.artifact_path = next();
+      } else if (arg == "--json") {
+        json_path = next();
+      } else if (arg == "--dot") {
+        dot_path = next();
+      } else if (arg == "--mermaid") {
+        mermaid_path = next();
+      } else if (arg == "--mutate") {
+        mutate = true;
+      } else if (arg == "--jobs") {
+        options.jobs = static_cast<unsigned>(std::stoul(next()));
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        usage();
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
+      return 2;
+    }
+  }
+  if (options.r_lo < 2 || options.r_lo > options.r_hi) {
+    std::cerr << "fsmcheck: bad replication range " << options.r_lo << ".."
+              << options.r_hi << "\n";
+    return 2;
+  }
+  // The checked-in artefact is the r=4 machine: comparing it only makes
+  // sense when r=4 is part of the sweep.
+  if (single_r && options.r_lo != 4) options.artifact_path.clear();
+
+  if (mutate) return run_mutate(single_r ? options.r_lo : 4, options.jobs);
+
+  const check::CheckRun run = check::run_commit_checks(options);
+  for (const check::Finding& f : run.findings) {
+    std::cout << check::to_string(f) << "\n";
+  }
+  std::cout << run.checks_run << " checks over r=" << options.r_lo << ".."
+            << options.r_hi << ": " << run.findings.size() << " finding(s)\n";
+
+  if (!json_path.empty()) {
+    const obs::Meta meta = {
+        {"tool", "fsmcheck"},
+        {"model", "commit"},
+        {"family",
+         std::to_string(options.r_lo) + ".." + std::to_string(options.r_hi)},
+        {"efsm", options.efsm ? "on" : "off"},
+    };
+    if (!write_file(json_path, check::write_findings_json(
+                                   run.findings, meta, run.checks_run))) {
+      return 2;
+    }
+  }
+  if (!dot_path.empty() || !mermaid_path.empty()) {
+    render_flagged(run.findings, options, dot_path, mermaid_path);
+  }
+  return run.findings.empty() ? 0 : 1;
+}

@@ -24,6 +24,7 @@
 
 #include "obs/metrics.hpp"
 
+#include "check/structural.hpp"
 #include "commit/commit_efsm.hpp"
 #include "commit/commit_model.hpp"
 #include "core/analysis.hpp"
@@ -194,6 +195,9 @@ int main(int argc, char** argv) {
     bool cache_hit = false;
     if (!cache_dir.empty()) {
       fsm::MachineCache cache{std::filesystem::path(cache_dir)};
+      // Reject cached XML that parses but is structurally broken (edited
+      // or corrupted on disk) — it is regenerated like a parse failure.
+      cache.set_validator(check::structural_validator());
       bool generated = false;
       machine = cache.machine_for(
           model_name, is_commit ? r : max_tasks, [&] {
