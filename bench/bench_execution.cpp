@@ -10,16 +10,37 @@
 //   * a hand-written variable-based implementation of the original
 //     algorithm (one state, many variables — the other end of the
 //     section 3.2 spectrum)
+//   * the dense-table compiled backend (core/compiled_machine.hpp), as a
+//     CompiledInstance delivering one message at a time and as the
+//     reset-fused flat loop; the *_x16 contestants run 16 independent
+//     instances over a round-robin partition of the stream (the sharded-
+//     server shape) — the compiled_table_x16 aggregate is the throughput
+//     number the trajectory tracks
 //
 // plus the generation cost per family member (Table 1's time column as a
 // proper benchmark).
+//
+// Two front ends share the contestants:
+//   * default: google-benchmark (all --benchmark_* flags apply)
+//   * --json FILE [--iters N]: the fixed-methodology throughput harness
+//     behind BENCH_execution.json — per-contestant warmup + best-of-3
+//     timed runs over the shared message stream, written as one
+//     asa-metrics/1 document (see EXPERIMENTS.md "Execution throughput
+//     trajectory" for the exact protocol)
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "commit/commit_model.hpp"
 #include "commit/generated/commit_fsm_r4.hpp"
+#include "core/compiled_machine.hpp"
 #include "core/interpreter.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -158,10 +179,160 @@ const std::vector<fsm::MessageId>& stream() {
   return s;
 }
 
+const fsm::StateMachine& commit_machine() {
+  static const fsm::StateMachine machine =
+      commit::CommitModel(4).generate_state_machine();
+  return machine;
+}
+
+const fsm::CompiledMachine& compiled_machine() {
+  static const fsm::CompiledMachine compiled =
+      fsm::CompiledMachine::compile(commit_machine());
+  return compiled;
+}
+
+// ---------------------------------------------------------------------------
+// Contestant loops. Each delivers `iters` messages from the shared stream
+// under the common harness semantics — deliver, count the transition's
+// actions, reset when a final state is reached — and returns the total
+// action count (deterministic: same stream, same machine, same count every
+// run, which is what the asa-metrics exec.actions counter asserts).
+
+std::uint64_t run_interpreter(std::uint64_t iters) {
+  fsm::FsmInstance inst(commit_machine());
+  std::uint64_t actions = 0;
+  std::size_t i = 0;
+  for (std::uint64_t n = 0; n < iters; ++n) {
+    const fsm::Transition* t = inst.deliver(stream()[i]);
+    if (t != nullptr) actions += t->actions.size();
+    if (inst.finished()) inst.reset();
+    i = (i + 1) & 4095;
+  }
+  return actions;
+}
+
+std::uint64_t run_generated_switch(std::uint64_t iters) {
+  NullActionsFsm fsm;
+  std::size_t i = 0;
+  for (std::uint64_t n = 0; n < iters; ++n) {
+    fsm.receive(stream()[i]);
+    if (fsm.finished()) fsm.reset();
+    i = (i + 1) & 4095;
+  }
+  return fsm.sent;
+}
+
+std::uint64_t run_handwritten(std::uint64_t iters) {
+  HandWrittenCommit fsm(4);
+  std::size_t i = 0;
+  for (std::uint64_t n = 0; n < iters; ++n) {
+    fsm.receive(stream()[i]);
+    if (fsm.finished()) fsm.reset();
+    i = (i + 1) & 4095;
+  }
+  return fsm.sent;
+}
+
+std::uint64_t run_compiled_deliver(std::uint64_t iters) {
+  fsm::CompiledInstance inst(compiled_machine());
+  std::uint64_t actions = 0;
+  std::size_t i = 0;
+  for (std::uint64_t n = 0; n < iters; ++n) {
+    actions += inst.deliver(stream()[i]).count;
+    if (inst.finished()) inst.reset();
+    i = (i + 1) & 4095;
+  }
+  return actions;
+}
+
+/// The reset-fused flat loop: the table folds the harness's "reset when
+/// finished" branch into the successor cells and pre-multiplies row
+/// offsets, so each message costs an add and one dependent 8-byte load.
+std::uint64_t run_compiled_table(std::uint64_t iters) {
+  const fsm::CompiledMachine& cm = compiled_machine();
+  static const std::vector<fsm::CompiledRecord> fused =
+      fsm::reset_fused_table(cm);
+  const fsm::CompiledRecord* table = fused.data();
+  const fsm::MessageId* msgs = stream().data();
+  std::uint32_t row = cm.start() * cm.event_count();
+  std::uint64_t actions = 0;
+  std::size_t i = 0;
+  for (std::uint64_t n = 0; n < iters; ++n) {
+    const fsm::CompiledRecord rec = table[row + msgs[i]];
+    actions += rec.span;
+    row = rec.next;
+    i = (i + 1) & 4095;
+  }
+  benchmark::DoNotOptimize(row);
+  return actions;
+}
+
+/// Batch width for the *_x16 contestants: enough independent dependency
+/// chains to hide the L1 load latency that bounds the single-instance
+/// loop, still few enough that all per-instance state stays in registers.
+constexpr std::size_t kBatch = 16;
+
+/// 16 independent interpreter instances, the message stream partitioned
+/// round-robin — instance b handles messages b, b+16, b+32, ... This is
+/// the sharded-server shape; per-message cost barely moves because the
+/// interpreter is work-bound, not latency-bound.
+std::uint64_t run_interpreter_x16(std::uint64_t iters) {
+  std::vector<fsm::FsmInstance> insts;
+  insts.reserve(kBatch);
+  for (std::size_t b = 0; b < kBatch; ++b) {
+    insts.emplace_back(commit_machine());
+  }
+  std::uint64_t actions = 0;
+  std::size_t i = 0;
+  const auto deliver = [&](std::size_t b) {
+    const fsm::Transition* t = insts[b].deliver(stream()[(i + b) & 4095]);
+    if (t != nullptr) actions += t->actions.size();
+    if (insts[b].finished()) insts[b].reset();
+  };
+  for (std::uint64_t n = iters / kBatch; n > 0; --n) {
+    for (std::size_t b = 0; b < kBatch; ++b) deliver(b);
+    i = (i + kBatch) & 4095;
+  }
+  for (std::size_t b = 0; b < iters % kBatch; ++b) deliver(b);
+  return actions;
+}
+
+/// The trajectory headline: 16 independent fused-table machines over the
+/// same round-robin partition as run_interpreter_x16. The 16 dependency
+/// chains are mutually independent, so the CPU overlaps their table loads
+/// and throughput is bounded by issue width, not load latency.
+std::uint64_t run_compiled_table_x16(std::uint64_t iters) {
+  const fsm::CompiledMachine& cm = compiled_machine();
+  static const std::vector<fsm::CompiledRecord> fused =
+      fsm::reset_fused_table(cm);
+  const fsm::CompiledRecord* table = fused.data();
+  const fsm::MessageId* msgs = stream().data();
+  std::uint32_t rows[kBatch];
+  for (std::uint32_t& row : rows) row = cm.start() * cm.event_count();
+  std::uint64_t actions = 0;
+  std::size_t i = 0;
+  for (std::uint64_t n = iters / kBatch; n > 0; --n) {
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      const fsm::CompiledRecord rec = table[rows[b] + msgs[(i + b) & 4095]];
+      actions += rec.span;
+      rows[b] = rec.next;
+    }
+    i = (i + kBatch) & 4095;
+  }
+  for (std::size_t b = 0; b < iters % kBatch; ++b) {
+    const fsm::CompiledRecord rec = table[rows[b] + msgs[(i + b) & 4095]];
+    actions += rec.span;
+    rows[b] = rec.next;
+  }
+  benchmark::DoNotOptimize(rows);
+  return actions;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark front end.
+
 void BM_Interpreter(benchmark::State& state) {
-  commit::CommitModel model(4);
-  const fsm::StateMachine machine = model.generate_state_machine();
-  fsm::FsmInstance inst(machine);
+  fsm::FsmInstance inst(commit_machine());
   std::size_t i = 0;
   std::uint64_t actions = 0;
   for (auto _ : state) {
@@ -201,6 +372,40 @@ void BM_HandWritten(benchmark::State& state) {
 }
 BENCHMARK(BM_HandWritten);
 
+void BM_CompiledDeliver(benchmark::State& state) {
+  fsm::CompiledInstance inst(compiled_machine());
+  std::size_t i = 0;
+  std::uint64_t actions = 0;
+  for (auto _ : state) {
+    actions += inst.deliver(stream()[i]).count;
+    if (inst.finished()) inst.reset();
+    i = (i + 1) & 4095;
+  }
+  benchmark::DoNotOptimize(actions);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompiledDeliver);
+
+void BM_CompiledTable(benchmark::State& state) {
+  static const std::vector<fsm::CompiledRecord> fused =
+      fsm::reset_fused_table(compiled_machine());
+  const fsm::CompiledRecord* table = fused.data();
+  std::uint32_t row =
+      compiled_machine().start() * compiled_machine().event_count();
+  std::size_t i = 0;
+  std::uint64_t actions = 0;
+  for (auto _ : state) {
+    const fsm::CompiledRecord rec = table[row + stream()[i]];
+    actions += rec.span;
+    row = rec.next;
+    i = (i + 1) & 4095;
+  }
+  benchmark::DoNotOptimize(row);
+  benchmark::DoNotOptimize(actions);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompiledTable);
+
 void BM_GenerateStateMachine(benchmark::State& state) {
   const auto r = static_cast<std::uint32_t>(state.range(0));
   commit::CommitModel model(r);
@@ -214,6 +419,124 @@ void BM_GenerateStateMachine(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateStateMachine)->Arg(4)->Arg(7)->Arg(13)->Arg(25)->Arg(46);
 
+// ---------------------------------------------------------------------------
+// --json front end: the BENCH_execution.json methodology.
+
+struct Contestant {
+  const char* name;
+  std::uint64_t (*run)(std::uint64_t iters);
+};
+
+constexpr Contestant kContestants[] = {
+    {"interpreter", run_interpreter},
+    {"interpreter_x16", run_interpreter_x16},
+    {"generated_switch", run_generated_switch},
+    {"handwritten", run_handwritten},
+    {"compiled_deliver", run_compiled_deliver},
+    {"compiled_table", run_compiled_table},
+    {"compiled_table_x16", run_compiled_table_x16},
+};
+
+int run_json_harness(const std::string& json_path, std::uint64_t iters) {
+  obs::MetricsRegistry registry;
+  std::printf("Execution throughput harness: r=4 commit machine, %llu "
+              "messages per run,\nwarmup + best of 3 (see EXPERIMENTS.md)\n\n",
+              static_cast<unsigned long long>(iters));
+  std::printf("%-18s %12s %14s %10s\n", "impl", "ns/msg", "M msgs/s",
+              "speedup");
+
+  double interpreter_ns = 0.0;
+  for (const Contestant& c : kContestants) {
+    (void)c.run(iters / 10 + 1);  // Warmup: touch code and tables.
+    double best_ns = 1e18;
+    std::uint64_t actions = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      actions = c.run(iters);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns =
+          std::chrono::duration<double, std::nano>(t1 - t0).count();
+      if (ns < best_ns) best_ns = ns;
+    }
+    const double per_msg = best_ns / static_cast<double>(iters);
+    const double msgs_per_sec = 1e9 * static_cast<double>(iters) / best_ns;
+    if (c.run == run_interpreter) interpreter_ns = per_msg;
+    std::printf("%-18s %12.3f %14.2f %9.2fx\n", c.name, per_msg,
+                msgs_per_sec / 1e6,
+                interpreter_ns > 0.0 ? interpreter_ns / per_msg : 1.0);
+
+    const obs::Labels labels{{"impl", c.name}};
+    registry.counter("exec.messages", labels).set(iters);
+    registry.counter("exec.actions", labels).set(actions);
+    registry.gauge("exec.wall_ns", labels)
+        .set(static_cast<std::int64_t>(best_ns));
+    registry.gauge("exec.msgs_per_sec", labels)
+        .set(static_cast<std::int64_t>(msgs_per_sec));
+  }
+
+  const obs::Meta meta{
+      {"tool", "bench_execution"},
+      {"model", "commit"},
+      {"r", "4"},
+      {"iters", std::to_string(iters)},
+      {"reps", "3"},
+      {"clock", "wall"},
+  };
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << obs::write_metrics_json(registry, meta);
+  std::printf("\nmetrics written to %s\n", json_path.c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: bench_execution [--json FILE [--iters N]] [--benchmark_*]\n"
+      "  --json FILE   run the fixed throughput harness (warmup + best of\n"
+      "                3 per contestant) and write asa-metrics/1 JSON;\n"
+      "                this is how BENCH_execution.json is produced\n"
+      "  --iters N     messages per timed run in --json mode\n"
+      "                (default 50000000; CI smoke uses a tiny count)\n"
+      "  without --json, runs google-benchmark over the same contestants\n"
+      "  (all --benchmark_* flags pass through, e.g. --benchmark_filter)\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::uint64_t iters = 50'000'000;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--iters" && i + 1 < argc) {
+      iters = std::stoull(argv[++i]);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    if (iters == 0) {
+      std::fprintf(stderr, "--iters must be positive\n");
+      return 2;
+    }
+    return run_json_harness(json_path, iters);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

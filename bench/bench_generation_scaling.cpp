@@ -49,7 +49,13 @@ int main(int argc, char** argv) {
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
+    if (arg == "-h" || arg == "--help") {
+      std::printf("usage: %s [--json FILE]\n"
+                  "  --json FILE   also write the sweep results as one\n"
+                  "                asa-metrics/1 JSON document\n",
+                  "bench_generation_scaling");
+      return 0;
+    } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,

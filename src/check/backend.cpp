@@ -1,0 +1,128 @@
+#include "check/backend.hpp"
+
+#include <stdexcept>
+
+#include "commit/commit_model.hpp"
+#include "core/abstract_model.hpp"
+#include "core/compiled_machine.hpp"
+#include "core/equivalence.hpp"
+
+namespace asa_repro::check {
+namespace {
+
+std::string cell_location(const fsm::CompiledMachine& compiled,
+                          fsm::StateId s, fsm::MessageId e) {
+  return "cell (state '" + compiled.state_name(s) + "', message '" +
+         compiled.messages()[e] + "')";
+}
+
+}  // namespace
+
+Findings check_table_layout(const fsm::StateMachine& machine,
+                            const std::string& label) {
+  Findings findings;
+  fsm::CompiledMachine compiled;
+  try {
+    compiled = fsm::CompiledMachine::compile(machine);
+  } catch (const std::invalid_argument& e) {
+    findings.push_back(Finding{"backend.compile", label,
+                               "CompiledMachine::compile", e.what()});
+    return findings;
+  }
+
+  for (fsm::StateId s = 0; s < compiled.state_count(); ++s) {
+    for (fsm::MessageId e = 0; e < compiled.event_count(); ++e) {
+      const fsm::CompiledRecord& rec = compiled.record(s, e);
+      if (rec.next >= compiled.state_count()) {
+        findings.push_back(Finding{
+            "backend.layout", label, cell_location(compiled, s, e),
+            "successor " + std::to_string(rec.next) + " out of range"});
+        continue;
+      }
+      const std::uint32_t count = fsm::CompiledMachine::count_of(rec.span);
+      const std::uint32_t offset = fsm::CompiledMachine::offset_of(rec.span);
+      if (fsm::CompiledMachine::applicable(rec.span)) {
+        if (offset + count > compiled.arena_size()) {
+          findings.push_back(Finding{
+              "backend.layout", label, cell_location(compiled, s, e),
+              "action span [" + std::to_string(offset) + ", " +
+                  std::to_string(offset + count) +
+                  ") exceeds arena size " +
+                  std::to_string(compiled.arena_size())});
+        } else {
+          for (std::uint32_t i = 0; i < count; ++i) {
+            if (compiled.arena_at(rec)[i] >= compiled.action_names().size()) {
+              findings.push_back(Finding{
+                  "backend.layout", label, cell_location(compiled, s, e),
+                  "arena action id " +
+                      std::to_string(compiled.arena_at(rec)[i]) +
+                      " has no name-table entry"});
+            }
+          }
+        }
+        if (compiled.is_final(s)) {
+          findings.push_back(Finding{
+              "backend.layout", label, cell_location(compiled, s, e),
+              "final state has an applicable event (final states have no "
+              "outgoing transitions)"});
+        }
+      } else if (rec.next != s || count != 0) {
+        findings.push_back(Finding{
+            "backend.layout", label, cell_location(compiled, s, e),
+            "inapplicable cell is not an empty self-loop"});
+      }
+    }
+  }
+
+  const fsm::EventDecoder& decoder = compiled.decoder();
+  for (fsm::MessageId e = 0; e < compiled.event_count(); ++e) {
+    const std::string& name = compiled.messages()[e];
+    const auto id = decoder.decode(name);
+    if (!id || *id != e) {
+      findings.push_back(Finding{
+          "backend.decoder", label, "message '" + name + "'",
+          id ? "decodes to id " + std::to_string(*id) + ", expected " +
+                   std::to_string(e)
+             : "not decodable (perfect hash lost the name)"});
+    }
+  }
+  for (const char* unknown : {"", "\x01not-a-message"}) {
+    if (decoder.decode(unknown)) {
+      findings.push_back(Finding{
+          "backend.decoder", label, "out-of-vocabulary probe",
+          "decoder accepted a name outside the message vocabulary"});
+    }
+  }
+  return findings;
+}
+
+Findings check_table_equivalence(std::uint32_t lo, std::uint32_t hi,
+                                 unsigned jobs) {
+  Findings findings;
+  const auto generated = [jobs](std::uint64_t r) {
+    commit::CommitModel model(static_cast<std::uint32_t>(r));
+    fsm::GenerationOptions options;
+    options.jobs = jobs;
+    return model.generate_state_machine(options);
+  };
+  const auto compiled = [&generated](std::uint64_t r) {
+    return fsm::CompiledMachine::compile(generated(r)).to_state_machine();
+  };
+
+  const std::optional<fsm::FamilyDivergence> divergence =
+      fsm::find_family_divergence(lo, hi, generated, compiled, jobs);
+  if (divergence) {
+    const fsm::StateMachine machine = generated(divergence->parameter);
+    Finding f{"backend.bisimulation",
+              "commit_r" + std::to_string(divergence->parameter),
+              "generated machine vs compiled table round-trip",
+              divergence->divergence.reason};
+    for (fsm::MessageId m : divergence->divergence.trace) {
+      f.trace.push_back(machine.messages()[m]);
+    }
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+}  // namespace asa_repro::check

@@ -1,0 +1,48 @@
+// fsmcheck group 5: compiled-backend conformance.
+//
+// The dense-table backend (core/compiled_machine.hpp) re-represents a
+// generated machine as flat arrays; nothing about that layout is trusted
+// until it is checked. This group certifies the backend the same way
+// group 4 certifies the EFSM — by equivalence to the machine the
+// interpreter executes:
+//
+//   backend.layout        the compiled table violates its own packing
+//                         invariants: a cell's successor or arena span is
+//                         out of range, an inapplicable cell is not an
+//                         empty self-loop, or a final state has applicable
+//                         events (final states have no outgoing
+//                         transitions, so their row must be all synthetic
+//                         self-loops)
+//   backend.decoder       the perfect-hash event decoder fails to round-
+//                         trip a message name to its dense id, or accepts
+//                         a name outside the vocabulary
+//   backend.compile       CompiledMachine::compile rejected the machine
+//                         outright (layout limits exceeded)
+//   backend.bisimulation  for some r in [lo, hi], the machine reconstructed
+//                         from the compiled table (to_state_machine) is not
+//                         trace-equivalent to the generated machine;
+//                         reported with its shortest counterexample trace
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/findings.hpp"
+#include "core/state_machine.hpp"
+
+namespace asa_repro::check {
+
+/// Compile `machine` into the dense-table backend and lint the resulting
+/// layout and decoder (backend.layout / backend.decoder / backend.compile).
+[[nodiscard]] Findings check_table_layout(const fsm::StateMachine& machine,
+                                          const std::string& label);
+
+/// Prove the compiled backend trace-equivalent to the generated commit
+/// machine for every replication factor in [lo, hi], via the same
+/// find_family_divergence machinery as family.bisimulation
+/// (backend.bisimulation).
+[[nodiscard]] Findings check_table_equivalence(std::uint32_t lo,
+                                               std::uint32_t hi,
+                                               unsigned jobs = 1);
+
+}  // namespace asa_repro::check

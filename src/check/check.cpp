@@ -3,6 +3,7 @@
 #include <iterator>
 #include <string>
 
+#include "check/backend.hpp"
 #include "check/efsm_check.hpp"
 #include "check/family.hpp"
 #include "check/properties.hpp"
@@ -45,6 +46,10 @@ CheckRun run_commit_checks(const CheckOptions& options) {
       ++run.checks_run;
       append(run.findings, check_protocol_properties(machine, r, label));
       ++run.checks_run;
+      if (options.table_backend) {
+        append(run.findings, check_table_layout(machine, label));
+        ++run.checks_run;
+      }
     }
     if (options.efsm) {
       append(run.findings,
@@ -58,6 +63,11 @@ CheckRun run_commit_checks(const CheckOptions& options) {
     append(run.findings, check_family_conformance(efsm, options.r_lo,
                                                   options.r_hi,
                                                   options.jobs));
+    ++run.checks_run;
+  }
+  if (options.table_backend) {
+    append(run.findings,
+           check_table_equivalence(options.r_lo, options.r_hi, options.jobs));
     ++run.checks_run;
   }
   if (!options.artifact_path.empty()) {

@@ -1,9 +1,10 @@
 // fsmcheck driver: run every analysis group over the commit family.
 //
-// Composes the four groups (structural lints, protocol properties, EFSM
-// guard analysis, family/artefact conformance) over a replication-factor
-// range and returns the combined findings. The pristine model yields zero
-// findings; CI runs this via tools/fsmcheck and fails on any.
+// Composes the five groups (structural lints, protocol properties, EFSM
+// guard analysis, family/artefact conformance, compiled-backend
+// conformance) over a replication-factor range and returns the combined
+// findings. The pristine model yields zero findings; CI runs this via
+// tools/fsmcheck and fails on any.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +19,7 @@ struct CheckOptions {
   std::uint32_t r_lo = 4;
   std::uint32_t r_hi = 16;
   bool efsm = true;            // Run groups 3 and 4 (EFSM + family).
+  bool table_backend = true;   // Run group 5 (compiled-backend conformance).
   std::string artifact_path;   // Checked-in commit_fsm_r4.hpp; empty = skip.
   unsigned jobs = 1;           // Generation + equivalence parallelism.
 };

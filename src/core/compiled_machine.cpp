@@ -1,0 +1,172 @@
+#include "core/compiled_machine.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace asa_repro::fsm {
+namespace {
+
+/// Smallest power of two >= n (and >= 2, so the mask is never zero).
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t size = 2;
+  while (size < n) size <<= 1;
+  return size;
+}
+
+}  // namespace
+
+std::uint64_t EventDecoder::hash(std::string_view s, std::uint64_t seed) {
+  // FNV-1a with the seed folded into the offset basis; the builder searches
+  // seeds until the vocabulary lands collision-free.
+  std::uint64_t h = 0xCBF2'9CE4'8422'2325ULL ^ (seed * 0x9E37'79B9'7F4A'7C15ULL);
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x0000'0100'0000'01B3ULL;
+  }
+  return h;
+}
+
+EventDecoder::EventDecoder(std::vector<std::string> names)
+    : names_(std::move(names)) {
+  if (names_.empty()) return;
+  // Load factor <= 1/2 keeps the seed search short; doubling the table is
+  // the fallback if a size is genuinely unlucky.
+  std::size_t size = pow2_at_least(names_.size() * 2);
+  for (;; size <<= 1) {
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+      slots_.assign(size, -1);
+      bool collision = false;
+      for (std::size_t id = 0; id < names_.size() && !collision; ++id) {
+        std::int32_t& slot = slots_[hash(names_[id], seed) & (size - 1)];
+        if (slot >= 0) {
+          if (names_[static_cast<std::size_t>(slot)] == names_[id]) {
+            throw std::invalid_argument(
+                "EventDecoder: duplicate message name '" + names_[id] + "'");
+          }
+          collision = true;
+        } else {
+          slot = static_cast<std::int32_t>(id);
+        }
+      }
+      if (!collision) {
+        seed_ = seed;
+        return;
+      }
+    }
+  }
+}
+
+CompiledMachine CompiledMachine::compile(const StateMachine& machine) {
+  const std::size_t states = machine.state_count();
+  const std::size_t events = machine.messages().size();
+  if (states == 0) {
+    throw std::invalid_argument("CompiledMachine: machine has no states");
+  }
+  if (machine.start() >= states) {
+    throw std::invalid_argument("CompiledMachine: start state out of range");
+  }
+
+  CompiledMachine out;
+  out.states_ = static_cast<std::uint32_t>(states);
+  out.events_ = static_cast<std::uint32_t>(events);
+  out.start_ = machine.start();
+  out.finish_ = machine.finish();
+  out.final_.resize(states, 0);
+  out.state_names_.reserve(states);
+  out.table_.resize(states * events);
+  out.decoder_ = EventDecoder(machine.messages());
+
+  // Default every cell to a synthetic self-loop with an empty span, so
+  // inapplicable events are a no-op without a branch.
+  for (StateId s = 0; s < out.states_; ++s) {
+    for (MessageId e = 0; e < out.events_; ++e) {
+      out.table_[static_cast<std::size_t>(s) * events + e].next = s;
+    }
+  }
+
+  std::unordered_map<std::string, std::uint16_t> action_ids;
+  for (StateId s = 0; s < out.states_; ++s) {
+    const State& state = machine.state(s);
+    out.final_[s] = state.is_final ? 1 : 0;
+    out.state_names_.push_back(state.name);
+    for (const Transition& t : state.transitions) {
+      if (t.message >= events) {
+        throw std::invalid_argument(
+            "CompiledMachine: transition message out of range in state '" +
+            state.name + "'");
+      }
+      if (t.target >= states) {
+        throw std::invalid_argument(
+            "CompiledMachine: transition target out of range in state '" +
+            state.name + "'");
+      }
+      if (t.actions.size() > kCompiledMaxActions) {
+        throw std::invalid_argument(
+            "CompiledMachine: more than " +
+            std::to_string(kCompiledMaxActions) + " actions in state '" +
+            state.name + "'");
+      }
+      CompiledRecord& rec =
+          out.table_[static_cast<std::size_t>(s) * events + t.message];
+      if (applicable(rec.span)) {
+        throw std::invalid_argument(
+            "CompiledMachine: duplicate transition for (state '" +
+            state.name + "', message '" + machine.messages()[t.message] +
+            "')");
+      }
+      const std::size_t offset = out.arena_.size();
+      if (offset > kCompiledMaxArenaOffset) {
+        throw std::invalid_argument("CompiledMachine: action arena overflow");
+      }
+      for (const std::string& action : t.actions) {
+        const auto [it, inserted] = action_ids.emplace(
+            action, static_cast<std::uint16_t>(out.action_names_.size()));
+        if (inserted) out.action_names_.push_back(action);
+        out.arena_.push_back(it->second);
+      }
+      rec.next = t.target;
+      rec.span = kCompiledApplicableBit |
+                 (static_cast<std::uint32_t>(offset) << kCompiledCountBits) |
+                 static_cast<std::uint32_t>(t.actions.size());
+    }
+  }
+  return out;
+}
+
+StateMachine CompiledMachine::to_state_machine() const {
+  std::vector<State> states;
+  states.reserve(states_);
+  for (StateId s = 0; s < states_; ++s) {
+    State state;
+    state.name = state_names_[s];
+    state.is_final = final_[s] != 0;
+    for (MessageId e = 0; e < events_; ++e) {
+      const CompiledRecord& rec = record(s, e);
+      if (!applicable(rec.span)) continue;
+      Transition t;
+      t.message = e;
+      t.target = rec.next;
+      const std::uint16_t* ids = arena_at(rec);
+      for (std::uint32_t i = 0; i < count_of(rec.span); ++i) {
+        t.actions.push_back(action_names_[ids[i]]);
+      }
+      state.transitions.push_back(std::move(t));
+    }
+    states.push_back(std::move(state));
+  }
+  return StateMachine{decoder_.names(), std::move(states), start_, finish_};
+}
+
+std::vector<CompiledRecord> reset_fused_table(const CompiledMachine& machine) {
+  std::vector<CompiledRecord> fused(machine.table().size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    const CompiledRecord& rec = machine.table()[i];
+    const StateId next =
+        machine.is_final(rec.next) ? machine.start() : rec.next;
+    fused[i].next = next * machine.event_count();
+    fused[i].span = CompiledMachine::count_of(rec.span);
+  }
+  return fused;
+}
+
+}  // namespace asa_repro::fsm

@@ -1,0 +1,231 @@
+#include "core/render/table_renderer.hpp"
+
+#include <stdexcept>
+
+#include "core/codegen.hpp"
+#include "core/compiled_machine.hpp"
+
+namespace asa_repro::fsm {
+namespace {
+
+/// Emit a flat integer array, one table row (or wrapped arena chunk) per
+/// line, each row trailed by its state name when commentary is on.
+template <typename Get>
+void emit_rows(CodeBuffer& b, const CompiledMachine& cm, bool comments,
+               const Get& get) {
+  for (StateId s = 0; s < cm.state_count(); ++s) {
+    b.add("");  // Force indentation at the row start.
+    for (MessageId e = 0; e < cm.event_count(); ++e) {
+      b.add(get(cm.record(s, e)), ",");
+      if (e + 1 < cm.event_count()) b.add(" ");
+    }
+    if (comments) b.add("  // ", cm.state_name(s));
+    b.add_ln();
+  }
+}
+
+}  // namespace
+
+std::string TableCodeRenderer::event_constant_name(
+    const std::string& message) {
+  return "kMsg" + to_camel_case(message);
+}
+
+std::string TableCodeRenderer::render(const StateMachine& machine) const {
+  const CompiledMachine cm = CompiledMachine::compile(machine);
+  if (cm.state_count() > 0xFFFF) {
+    throw std::invalid_argument(
+        "TableCodeRenderer: machine too large for uint16 next-state cells");
+  }
+  const CodeGenOptions& o = options_;
+  const std::string override_kw = o.implement_api ? " override" : "";
+  const bool method_style =
+      o.action_style == CodeGenOptions::ActionStyle::kMethod;
+  CodeBuffer b;
+
+  // ---- Preamble. ----
+  if (!o.header_comment.empty()) b.add_ln("// ", o.header_comment);
+  b.add_ln("// states: ", std::to_string(cm.state_count()),
+           ", events: ", std::to_string(cm.event_count()),
+           ", arena: ", std::to_string(cm.arena_size()),
+           " action ref(s) (table backend)");
+  b.add_ln("#pragma once");
+  b.blank_line();
+  b.add_ln("#include <cstdint>");
+  for (const std::string& inc : o.includes) {
+    b.add_ln("#include \"", inc, "\"");
+  }
+  b.blank_line();
+  if (!o.namespace_name.empty()) {
+    b.add_ln("namespace ", o.namespace_name, " {");
+    b.blank_line();
+  }
+
+  // ---- Class head. ----
+  if (o.base_class.empty()) {
+    b.add_ln("class ", o.class_name, " {");
+  } else {
+    b.add_ln("class ", o.class_name, " : public ", o.base_class, " {");
+  }
+  b.add_ln(" public:");
+  b.increase_indent();
+  b.add_ln("static constexpr std::uint32_t kStateCount = ",
+           std::to_string(cm.state_count()), ";");
+  b.add_ln("static constexpr std::uint32_t kEventCount = ",
+           std::to_string(cm.event_count()), ";");
+  b.add_ln("static constexpr std::uint32_t kStart = ",
+           std::to_string(cm.start()), ";");
+  b.blank_line();
+
+  // ---- Dense event ids (the decoder's vocabulary, by construction). ----
+  b.add_ln("enum : std::uint32_t ");
+  b.enter_block();
+  for (MessageId e = 0; e < cm.event_count(); ++e) {
+    b.add_ln(event_constant_name(cm.messages()[e]), " = ",
+             std::to_string(e), ",");
+  }
+  b.exit_block(";");
+  b.blank_line();
+
+  // ---- Observers. ----
+  b.add_ln("[[nodiscard]] std::uint32_t state_ordinal() const", override_kw,
+           " { return state_; }");
+  b.blank_line();
+  b.add_ln("[[nodiscard]] const char* state_name() const", override_kw, " ");
+  b.enter_block();
+  b.add_ln("return kStateNames[state_];");
+  b.exit_block();
+  b.blank_line();
+  b.add_ln("[[nodiscard]] bool finished() const", override_kw,
+           " { return kFinal[state_] != 0; }");
+  b.blank_line();
+  b.add_ln("void reset()", override_kw, " { state_ = kStart; }");
+  b.blank_line();
+
+  // ---- The dense-table hot path. ----
+  b.add_ln("/// Deliver event `m`: one indexed load decides successor and");
+  b.add_ln("/// action span; events not applicable in the current state");
+  b.add_ln("/// self-loop with an empty span (the interpreter's ignored-");
+  b.add_ln("/// message case, branch-free).");
+  b.add_ln("void receive(std::uint32_t m)", override_kw, " ");
+  b.enter_block();
+  b.add_ln("const std::uint32_t idx = state_ * kEventCount + m;");
+  b.add_ln("const std::uint32_t span = kSpan[idx];");
+  b.add_ln("const std::uint32_t begin = (span >> 4u) & 0x07FFFFFFu;");
+  b.add_ln("for (std::uint32_t i = 0, n = span & 0xFu; i < n; ++i) ");
+  b.enter_block();
+  b.add_ln("act(kArena[begin + i]);");
+  b.exit_block();
+  b.add_ln("state_ = kNext[idx];");
+  b.exit_block();
+  b.blank_line();
+
+  // ---- Per-message handlers, for Fig 16 surface parity. ----
+  for (MessageId e = 0; e < cm.event_count(); ++e) {
+    b.add_ln("void ", CodeRenderer::handler_name(cm.messages()[e]),
+             "() { receive(", event_constant_name(cm.messages()[e]), "); }");
+  }
+  b.blank_line();
+
+  // ---- Private parts: action dispatcher and the tables. ----
+  b.decrease_indent();
+  b.add_ln(" private:");
+  b.increase_indent();
+  b.add_ln("void act(std::uint16_t a) ");
+  b.enter_block();
+  b.add_ln("switch (a) ");
+  b.enter_block();
+  for (std::size_t a = 0; a < cm.action_names().size(); ++a) {
+    if (method_style) {
+      b.add_ln("case ", std::to_string(a), ": ",
+               CodeRenderer::action_method_name(cm.action_names()[a]),
+               "(); break;");
+    } else {
+      b.add_ln("case ", std::to_string(a), ": emit(\"", cm.action_names()[a],
+               "\"); break;");
+    }
+  }
+  b.add_ln("default: break;");
+  b.exit_block();
+  b.exit_block();
+  b.blank_line();
+
+  b.add_ln("/// [state][event] successor; inapplicable cells self-loop.");
+  b.add_ln("static constexpr std::uint16_t kNext[kStateCount * kEventCount]",
+           " = ");
+  b.enter_block();
+  emit_rows(b, cm, o.emit_comments, [](const CompiledRecord& rec) {
+    return std::to_string(rec.next);
+  });
+  b.exit_block(";");
+  b.blank_line();
+  b.add_ln("/// [state][event] packed action span: bit 31 applicable,");
+  b.add_ln("/// bits 30..4 arena offset, bits 3..0 action count.");
+  b.add_ln("static constexpr std::uint32_t kSpan[kStateCount * kEventCount]",
+           " = ");
+  b.enter_block();
+  emit_rows(b, cm, o.emit_comments, [](const CompiledRecord& rec) {
+    return std::to_string(rec.span);
+  });
+  b.exit_block(";");
+  b.blank_line();
+  b.add_ln("/// Out-of-line action arena referenced by kSpan.");
+  if (cm.arena_size() == 0) {
+    b.add_ln("static constexpr std::uint16_t kArena[1] = {0};");
+  } else {
+    b.add_ln("static constexpr std::uint16_t kArena[",
+             std::to_string(cm.arena_size()), "] = ");
+    b.enter_block();
+    b.add("");
+    for (std::size_t i = 0; i < cm.arena_size(); ++i) {
+      b.add(std::to_string(cm.arena()[i]), ",");
+      if ((i + 1) % 16 == 0 && i + 1 < cm.arena_size()) {
+        b.add_ln();
+        b.add("");
+      } else if (i + 1 < cm.arena_size()) {
+        b.add(" ");
+      }
+    }
+    b.add_ln();
+    b.exit_block(";");
+  }
+  b.blank_line();
+  b.add_ln("static constexpr std::uint8_t kFinal[kStateCount] = ");
+  b.enter_block();
+  b.add("");
+  for (StateId s = 0; s < cm.state_count(); ++s) {
+    b.add(cm.is_final(s) ? "1," : "0,");
+    if (s + 1 < cm.state_count()) b.add(" ");
+  }
+  b.add_ln();
+  b.exit_block(";");
+  b.blank_line();
+  b.add_ln("static constexpr const char* kStateNames[kStateCount] = ");
+  b.enter_block();
+  for (StateId s = 0; s < cm.state_count(); ++s) {
+    b.add_ln("\"", cm.state_name(s), "\",");
+  }
+  b.exit_block(";");
+  b.blank_line();
+  b.add_ln("std::uint32_t state_ = kStart;");
+  b.decrease_indent();
+  b.add_ln("};");
+
+  // ---- Optional dlopen factory. ----
+  if (o.emit_factory) {
+    b.blank_line();
+    b.add_ln("extern \"C\" asa_repro::fsm::GeneratedFsmApi* ", o.factory_name,
+             "() ");
+    b.enter_block();
+    b.add_ln("return new ", o.class_name, "();");
+    b.exit_block();
+  }
+
+  if (!o.namespace_name.empty()) {
+    b.blank_line();
+    b.add_ln("}  // namespace ", o.namespace_name);
+  }
+  return b.take();
+}
+
+}  // namespace asa_repro::fsm

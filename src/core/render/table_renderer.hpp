@@ -1,0 +1,47 @@
+// Dense-table source rendering — the `fsmgen --backend table` emission
+// mode.
+//
+// The paper's Fig 16 renderer (code_renderer.hpp) emits one switch-based
+// handler per message: readable, but every delivery costs a jump table and
+// per-case action calls. This renderer emits the same machine compiled the
+// way production FSMs ship (SNIPPETS.md §1's [state][event] -> StateTrans
+// idiom): constexpr [state][event] next-state and action-span arrays with
+// an out-of-line action arena, and a receive() that is a single indexed
+// load — no switch on the hot path; the only switch left is the out-of-line
+// per-action dispatcher.
+//
+// The emitted class exposes the same surface as the Fig 16 renderer's
+// (receive(ordinal), receiveX() per message, state_ordinal / state_name /
+// finished / reset) and honours the same CodeGenOptions, including Sink
+// style with GeneratedFsmApi + factory for compile-and-dlopen deployment —
+// so every deployment policy that accepts switch-backend source accepts
+// table-backend source unchanged.
+#pragma once
+
+#include <string>
+
+#include "core/render/code_renderer.hpp"
+#include "core/state_machine.hpp"
+
+namespace asa_repro::fsm {
+
+class TableCodeRenderer {
+ public:
+  explicit TableCodeRenderer(CodeGenOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Render the machine as a self-contained C++ header/translation unit
+  /// with dense-table dispatch. Throws std::invalid_argument on machines
+  /// the layout cannot hold (see CompiledMachine::compile; additionally
+  /// requires < 65536 states so next-state cells fit std::uint16_t).
+  [[nodiscard]] std::string render(const StateMachine& machine) const;
+
+  /// Event-id enumerator name for a message (e.g. "kMsgNotFree").
+  [[nodiscard]] static std::string event_constant_name(
+      const std::string& message);
+
+ private:
+  CodeGenOptions options_;
+};
+
+}  // namespace asa_repro::fsm

@@ -1,13 +1,15 @@
 // fsmcheck — static verification of the generated FSM family and EFSM.
 //
-// Runs the four analysis groups of src/check over the commit protocol:
+// Runs the five analysis groups of src/check over the commit protocol:
 // structural lints and rendered-artefact round-trips on every generated
 // machine in the replication-factor range, exhaustive protocol-property
 // traversal (vote/commit emitted at most once and only at threshold,
 // finality exactly at f+1 commits, termination), bounded-enumeration guard
-// analysis of the hand-written EFSM, and family conformance (the EFSM
+// analysis of the hand-written EFSM, family conformance (the EFSM
 // expanded at each r trace-equivalent to the generated machine; the
-// checked-in generated source byte-identical to regeneration).
+// checked-in generated source byte-identical to regeneration), and
+// compiled-backend conformance (the dense dispatch table's layout,
+// decoder, and trace equivalence to the interpreter across the family).
 //
 // Exit code 0 = no findings, 1 = findings (or a failed mutation
 // self-test), 2 = usage error. CI runs both modes and fails on either.
@@ -42,6 +44,9 @@ void usage() {
       "  --efsm           include EFSM guard analysis and family\n"
       "                   conformance (default on; --no-efsm disables)\n"
       "  --no-efsm        structural and property checks only\n"
+      "  --no-table       skip compiled-backend conformance (table layout,\n"
+      "                   event decoder, compiled-vs-interpreted trace\n"
+      "                   equivalence; default on)\n"
       "  --no-artefact    skip the checked-in generated-source comparison\n"
       "  --generated FILE checked-in artefact to compare (default:\n"
       "                   src/commit/generated/commit_fsm_r4.hpp)\n"
@@ -178,6 +183,8 @@ int main(int argc, char** argv) {
         options.efsm = true;
       } else if (arg == "--no-efsm") {
         options.efsm = false;
+      } else if (arg == "--no-table") {
+        options.table_backend = false;
       } else if (arg == "--no-artefact") {
         options.artifact_path.clear();
       } else if (arg == "--generated") {
@@ -227,6 +234,7 @@ int main(int argc, char** argv) {
         {"family",
          std::to_string(options.r_lo) + ".." + std::to_string(options.r_hi)},
         {"efsm", options.efsm ? "on" : "off"},
+        {"table", options.table_backend ? "on" : "off"},
     };
     if (!write_file(json_path, check::write_findings_json(
                                    run.findings, meta, run.checks_run))) {

@@ -34,6 +34,7 @@
 #include "core/efsm/efsm_doc_renderer.hpp"
 #include "core/efsm/efsm_dot_renderer.hpp"
 #include "core/render/code_renderer.hpp"
+#include "core/render/table_renderer.hpp"
 #include "core/render/doc_renderer.hpp"
 #include "core/render/dot_renderer.hpp"
 #include "core/render/mermaid_renderer.hpp"
@@ -57,6 +58,10 @@ void usage() {
       "                               efsm-dot | efsm-doc (default summary)\n"
       "  -o, --out FILE               write output to FILE (default stdout)\n"
       "  --class-name NAME            class name for code rendering\n"
+      "  --backend KIND               code-render backend: switch (Fig 16\n"
+      "                               per-message switch handlers, default) |\n"
+      "                               table (dense [state][event] dispatch\n"
+      "                               table with action arena)\n"
       "  --no-prune                   skip step 3 (prune unreachable)\n"
       "  --no-merge                   skip step 4 (merge equivalent)\n"
       "  -j, --jobs N                 generation threads; 0 = one per\n"
@@ -81,6 +86,7 @@ int main(int argc, char** argv) {
   std::string render = "summary";
   std::string out_path;
   std::string class_name = "GeneratedCommitFsm";
+  std::string backend = "switch";
   std::string cache_dir;
   std::string profile_path;
   fsm::GenerationOptions options;
@@ -121,6 +127,14 @@ int main(int argc, char** argv) {
       const auto v = next();
       if (!v) { usage(); return 2; }
       class_name = *v;
+    } else if (arg == "--backend") {
+      const auto v = next();
+      if (!v) { usage(); return 2; }
+      backend = *v;
+      if (backend != "switch" && backend != "table") {
+        std::cerr << "unknown backend: " << backend << "\n";
+        return 2;
+      }
     } else if (arg == "--no-prune") {
       options.prune_unreachable = false;
     } else if (arg == "--no-merge") {
@@ -162,6 +176,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool is_commit = model_name == "commit";
+
+  if (backend == "table" && render != "code") {
+    // The table backend only changes how concrete machines render as code;
+    // EFSM code is parameter-generic and has no dense table to flatten to.
+    std::cerr << "--backend table requires --render code\n";
+    return 2;
+  }
 
   if (render == "efsm" || render == "efsm-code" || render == "efsm-dot" ||
       render == "efsm-doc") {
@@ -235,7 +256,8 @@ int main(int argc, char** argv) {
         cg.action_style = fsm::CodeGenOptions::ActionStyle::kSink;
         cg.includes = {"core/generated_api.hpp"};
       }
-      output = fsm::CodeRenderer(cg).render(machine);
+      output = backend == "table" ? fsm::TableCodeRenderer(cg).render(machine)
+                                  : fsm::CodeRenderer(cg).render(machine);
     } else if (render == "doc") {
       fsm::DocOptions doc;
       if (is_commit) {
