@@ -81,8 +81,17 @@ sim::Time CommitEndpoint::backoff_delay(std::uint32_t attempt) {
     case RetryPolicy::Backoff::kRandom:
       return policy_.base_timeout + rng_.below(policy_.base_timeout);
     case RetryPolicy::Backoff::kExponential: {
+      // Clamp the shift AND the shifted value: sim::Time is unsigned, so
+      // base_timeout << shift would otherwise wrap for large attempt
+      // counts and turn the longest back-off into a retry storm. The
+      // overflow-safe comparison divides instead of shifting up.
       const std::uint32_t shift = std::min(attempt - 1, 10u);
-      const sim::Time base = policy_.base_timeout << shift;
+      sim::Time base = policy_.base_timeout;
+      if (base > (policy_.max_backoff >> shift)) {
+        base = policy_.max_backoff;
+      } else {
+        base <<= shift;
+      }
       return base + rng_.below(policy_.base_timeout);
     }
   }

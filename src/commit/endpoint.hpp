@@ -40,6 +40,12 @@ struct RetryPolicy {
   sim::Time base_timeout = 60'000;  // 60 ms of simulated time.
   sim::Time stagger = 0;            // Delay between sends to successive peers.
   std::uint32_t max_attempts = 12;
+  /// Ceiling for the exponential back-off delay. sim::Time is unsigned
+  /// 64-bit, so an unclamped base_timeout << attempt overflows (wrapping
+  /// to a near-zero delay — a silent retry storm) once a long-lived retry
+  /// loop pushes the shift past ~64. One simulated hour by default, far
+  /// above anything the stock policies reach.
+  sim::Time max_backoff = 3'600'000'000;
 };
 
 /// Outcome of one submitted update.

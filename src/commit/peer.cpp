@@ -47,7 +47,39 @@ bool CommitPeer::import_history(std::uint64_t guid,
   for (const CommittedEntry& e : ctx.committed) {
     ctx.instances.erase(e.update_id);
   }
+  if (import_sink_) import_sink_(guid, ctx.committed);
   return true;
+}
+
+std::size_t CommitPeer::reconcile_history(
+    std::uint64_t guid, const std::vector<CommittedEntry>& donor) {
+  GuidContext& ctx = guids_[guid];
+  std::set<std::uint64_t> donor_ids;
+  for (const CommittedEntry& e : donor) donor_ids.insert(e.update_id);
+  std::set<std::uint64_t> local_ids;
+  for (const CommittedEntry& e : ctx.committed) {
+    local_ids.insert(e.update_id);
+  }
+  // Donor order is authoritative (it is the f+1-agreed order); entries
+  // only this node has — e.g. commits beyond the agreed prefix that
+  // survived in its journal — keep their local order at the tail.
+  std::vector<CommittedEntry> merged = donor;
+  for (const CommittedEntry& e : ctx.committed) {
+    if (!donor_ids.contains(e.update_id)) merged.push_back(e);
+  }
+  if (merged == ctx.committed) return 0;  // Already converged.
+  std::size_t adopted = 0;
+  for (const CommittedEntry& e : donor) {
+    if (!local_ids.contains(e.update_id)) ++adopted;
+  }
+  ctx.committed = std::move(merged);
+  for (const CommittedEntry& e : ctx.committed) {
+    ctx.instances.erase(e.update_id);
+    ctx.settled.insert(e.update_id);
+  }
+  if (import_sink_) import_sink_(guid, ctx.committed);
+  // A pure reorder adopts no new entries but still rewrote the history.
+  return adopted > 0 ? adopted : 1;
 }
 
 std::size_t CommitPeer::live_instances(std::uint64_t guid) const {
@@ -307,6 +339,20 @@ void CommitPeer::check_finished(GuidContext& ctx, std::uint64_t guid,
   Instance& inst = it->second;
   if (!inst.fsm->finished()) return;
   if (!inst.recorded) {
+    if (commit_sink_ &&
+        !commit_sink_(guid,
+                      {update_id, inst.request_id, inst.payload})) {
+      // Write-ahead append failed (stalled or full disk): neither record
+      // nor acknowledge. The FSM's free action already ran, but release
+      // the lock defensively too — a bad disk must not deadlock the GUID
+      // lane. The instance stays finished-unrecorded; the client's resent
+      // update retries the sink once the disk heals.
+      if (ctx.chosen_update == update_id) {
+        ctx.chosen_update.reset();
+        free_siblings(ctx, guid, update_id);
+      }
+      return;
+    }
     inst.recorded = true;
     ++stats_.committed;
     ctx.committed.push_back({update_id, inst.request_id, inst.payload});
@@ -329,7 +375,10 @@ void CommitPeer::check_finished(GuidContext& ctx, std::uint64_t guid,
     // update was locally chosen).
     if (ctx.chosen_update == update_id) ctx.chosen_update.reset();
   }
-  if (inst.client.has_value()) {
+  if (inst.recorded && inst.client.has_value()) {
+    if (ack_sink_) {
+      ack_sink_(guid, {update_id, inst.request_id, inst.payload});
+    }
     network_.send(self_, *inst.client,
                   WireMessage{WireMessage::Kind::kCommitted, guid, update_id,
                               inst.request_id, inst.payload}

@@ -109,7 +109,32 @@ class CommitPeer {
     std::uint64_t update_id;
     std::uint64_t request_id;
     std::uint64_t payload;
+    friend bool operator==(const CommittedEntry&,
+                           const CommittedEntry&) = default;
   };
+
+  /// Write-ahead sink, consulted BEFORE a finished commit is appended to
+  /// the local history. A false return vetoes the commit: nothing is
+  /// recorded and no kCommitted acknowledgement is sent — the client's
+  /// retry of the same request drives a fresh attempt. This is the hook
+  /// the durability subsystem uses to journal every commit before any
+  /// client can observe it.
+  using CommitSink =
+      std::function<bool(std::uint64_t guid, const CommittedEntry& entry)>;
+  void set_commit_sink(CommitSink sink) { commit_sink_ = std::move(sink); }
+
+  /// Called immediately before each kCommitted acknowledgement leaves for
+  /// a client (the durable-ack ledger hook). Only ever fires for commits
+  /// the commit sink accepted.
+  using AckSink =
+      std::function<void(std::uint64_t guid, const CommittedEntry& entry)>;
+  void set_ack_sink(AckSink sink) { ack_sink_ = std::move(sink); }
+
+  /// Called after a wholesale history adoption (import_history or
+  /// reconcile_history) with the node's complete new history for the GUID.
+  using ImportSink = std::function<void(
+      std::uint64_t guid, const std::vector<CommittedEntry>& entries)>;
+  void set_import_sink(ImportSink sink) { import_sink_ = std::move(sink); }
   [[nodiscard]] const std::vector<CommittedEntry>& history(
       std::uint64_t guid) const;
 
@@ -119,6 +144,16 @@ class CommitPeer {
   /// history is replaced; returns false otherwise.
   bool import_history(std::uint64_t guid,
                       std::vector<CommittedEntry> entries);
+
+  /// Merge a donor (agreed) history into a possibly NON-empty local one —
+  /// the recovery reconciliation step: a journal-replayed node only needs
+  /// the delta it missed while down. The merged history is the donor's
+  /// entries in donor order followed by local-only entries (so a replay
+  /// that skipped or disordered records converges back to the agreed
+  /// order). Returns the number of donor entries newly adopted; 0 when
+  /// the local history already matches the merge (nothing to do).
+  std::size_t reconcile_history(std::uint64_t guid,
+                                const std::vector<CommittedEntry>& donor);
 
   /// Live (started, unfinished) update attempts for a GUID.
   [[nodiscard]] std::size_t live_instances(std::uint64_t guid) const;
@@ -198,6 +233,9 @@ class CommitPeer {
   Behaviour behaviour_;
   sim::Trace* trace_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  CommitSink commit_sink_;
+  AckSink ack_sink_;
+  ImportSink import_sink_;
   PeerStats stats_;
   std::map<std::uint64_t, GuidContext> guids_;
   std::deque<std::pair<std::uint64_t, fsm::MessageId>> local_queue_;

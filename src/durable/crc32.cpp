@@ -1,0 +1,32 @@
+#include "durable/crc32.hpp"
+
+#include <array>
+
+namespace asa_repro::durable {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char byte : bytes) {
+    c = table[(c ^ static_cast<std::uint8_t>(byte)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace asa_repro::durable

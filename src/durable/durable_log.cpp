@@ -1,0 +1,231 @@
+#include "durable/durable_log.hpp"
+
+#include <utility>
+
+namespace asa_repro::durable {
+
+namespace {
+
+std::string encode_commit_payload(std::uint64_t guid, std::uint64_t update_id,
+                                  std::uint64_t request_id,
+                                  std::uint64_t payload) {
+  std::string bytes;
+  bytes.reserve(32);
+  put_u64(bytes, guid);
+  put_u64(bytes, update_id);
+  put_u64(bytes, request_id);
+  put_u64(bytes, payload);
+  return bytes;
+}
+
+std::string encode_import_payload(std::uint64_t guid,
+                                  const std::vector<Entry>& entries) {
+  std::string bytes;
+  bytes.reserve(12 + entries.size() * 24);
+  put_u64(bytes, guid);
+  put_u32(bytes, static_cast<std::uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    put_u64(bytes, e.update_id);
+    put_u64(bytes, e.request_id);
+    put_u64(bytes, e.payload);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+DurableLog::DurableLog(StorageMedium& medium, std::string name,
+                       std::size_t snapshot_every)
+    : medium_(medium),
+      journal_file_(name + ".journal"),
+      snapshot_file_(name + ".snapshot"),
+      snapshot_every_(snapshot_every) {}
+
+bool DurableLog::append_frame(const std::string& frame) {
+  // Self-repair: a previous torn append may have left garbage past the
+  // last well-framed record. Appending after it would desynchronise the
+  // frame stream, so cut back to the known-good prefix first.
+  if (medium_.size(journal_file_) != valid_size_) {
+    if (!medium_.truncate(journal_file_, valid_size_)) {
+      ++writer_.append_failures;
+      return false;
+    }
+    ++writer_.tail_repairs;
+  }
+  if (!medium_.append(journal_file_, frame)) {
+    ++writer_.append_failures;
+    return false;
+  }
+  valid_size_ += frame.size();
+  return true;
+}
+
+bool DurableLog::record_commit(std::uint64_t guid, std::uint64_t update_id,
+                               std::uint64_t request_id,
+                               std::uint64_t payload) {
+  if (seen_[guid].contains(update_id)) return true;  // Already durable.
+  const std::string frame = encode_frame(
+      RecordType::kCommit,
+      encode_commit_payload(guid, update_id, request_id, payload));
+  if (!append_frame(frame)) return false;
+  image_[guid].push_back(Entry{update_id, request_id, payload});
+  seen_[guid].insert(update_id);
+  ++writer_.commits_recorded;
+  // An acknowledged commit is synced: the partial-flush fault may never
+  // drop it, and any earlier unsynced tail records are now covered too.
+  synced_watermark_ = valid_size_;
+  tail_records_.clear();
+  ++commits_since_snapshot_;
+  maybe_snapshot();
+  return true;
+}
+
+bool DurableLog::record_import(std::uint64_t guid,
+                               const std::vector<Entry>& entries) {
+  const std::string frame =
+      encode_frame(RecordType::kImport, encode_import_payload(guid, entries));
+  const std::size_t offset = valid_size_;
+  if (!append_frame(frame)) return false;
+  tail_records_.emplace_back(offset, frame.size());
+  auto& ids = seen_[guid];
+  ids.clear();
+  for (const Entry& e : entries) ids.insert(e.update_id);
+  image_[guid] = entries;
+  ++writer_.imports_recorded;
+  return true;
+}
+
+bool DurableLog::record_membership(bool joined, std::uint64_t node_id) {
+  std::string payload;
+  payload.push_back(joined ? '\1' : '\0');
+  put_u64(payload, node_id);
+  const std::string frame = encode_frame(RecordType::kMembership, payload);
+  const std::size_t offset = valid_size_;
+  if (!append_frame(frame)) return false;
+  tail_records_.emplace_back(offset, frame.size());
+  ++writer_.membership_recorded;
+  return true;
+}
+
+void DurableLog::apply_commit(std::string_view payload) {
+  if (payload.size() < 32) return;
+  const std::uint64_t guid = get_u64(payload, 0);
+  const std::uint64_t update_id = get_u64(payload, 8);
+  if (seen_[guid].contains(update_id)) return;  // Snapshot overlap.
+  image_[guid].push_back(
+      Entry{update_id, get_u64(payload, 16), get_u64(payload, 24)});
+  seen_[guid].insert(update_id);
+}
+
+void DurableLog::apply_import(std::string_view payload) {
+  if (payload.size() < 12) return;
+  const std::uint64_t guid = get_u64(payload, 0);
+  const std::uint32_t count = get_u32(payload, 8);
+  if (payload.size() < 12 + static_cast<std::size_t>(count) * 24) return;
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  auto& ids = seen_[guid];
+  ids.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t base = 12 + static_cast<std::size_t>(i) * 24;
+    entries.push_back(Entry{get_u64(payload, base), get_u64(payload, base + 8),
+                            get_u64(payload, base + 16)});
+    ids.insert(entries.back().update_id);
+  }
+  // An import is the node's complete adopted history: replace, so a
+  // reconciliation that reordered history stays authoritative.
+  image_[guid] = std::move(entries);
+}
+
+RecoveryStats DurableLog::recover() {
+  RecoveryStats stats;
+  image_.clear();
+  seen_.clear();
+  tail_records_.clear();
+
+  if (const auto snapshot = medium_.read(snapshot_file_);
+      snapshot.has_value() && !snapshot->empty()) {
+    const ScanResult scan = scan_journal(*snapshot);
+    stats.snapshot_loaded = !scan.records.empty();
+    stats.snapshot_corrupt =
+        scan.skipped_crc > 0 || scan.truncated_bytes > 0;
+    for (const JournalRecord& record : scan.records) {
+      if (record.type == RecordType::kImport) apply_import(record.payload);
+    }
+  }
+
+  const std::string journal = medium_.read(journal_file_).value_or("");
+  const ScanResult scan = scan_journal(journal);
+  stats.skipped_crc = scan.skipped_crc;
+  stats.truncated_bytes = scan.truncated_bytes;
+  for (const JournalRecord& record : scan.records) {
+    switch (record.type) {
+      case RecordType::kCommit:
+        apply_commit(record.payload);
+        break;
+      case RecordType::kImport:
+        apply_import(record.payload);
+        break;
+      case RecordType::kMembership:
+        ++stats.membership_records;
+        break;
+    }
+  }
+  stats.replayed_records = scan.records.size();
+  for (const auto& [guid, entries] : image_) {
+    stats.entries_recovered += entries.size();
+  }
+
+  // Physically cut the torn tail so future appends extend a well-framed
+  // prefix (best-effort: a stalled disk leaves the repair to append time).
+  if (scan.truncated_bytes > 0) {
+    medium_.truncate(journal_file_, scan.valid_size);
+  }
+  valid_size_ = scan.valid_size;
+  synced_watermark_ = valid_size_;
+  commits_since_snapshot_ = 0;
+  return stats;
+}
+
+std::size_t DurableLog::drop_unsynced_tail(std::size_t max_records) {
+  std::size_t dropped = 0;
+  std::size_t new_size = valid_size_;
+  while (dropped < max_records && !tail_records_.empty()) {
+    const auto [offset, size] = tail_records_.back();
+    if (offset + size != new_size) break;  // Not the physical tail.
+    new_size = offset;
+    tail_records_.pop_back();
+    ++dropped;
+  }
+  if (dropped > 0 && medium_.truncate(journal_file_, new_size)) {
+    valid_size_ = new_size;
+    writer_.tail_records_dropped += dropped;
+  }
+  return dropped;
+}
+
+void DurableLog::maybe_snapshot() {
+  if (snapshot_every_ == 0 || commits_since_snapshot_ < snapshot_every_) {
+    return;
+  }
+  commits_since_snapshot_ = 0;
+  std::string bytes;
+  for (const auto& [guid, entries] : image_) {
+    bytes += encode_frame(RecordType::kImport,
+                          encode_import_payload(guid, entries));
+  }
+  if (!medium_.replace(snapshot_file_, bytes)) {
+    ++writer_.snapshot_failures;  // Journal still covers everything.
+    return;
+  }
+  ++writer_.snapshots_written;
+  // Replay dedupes by update id, so a failed truncate (journal replaying
+  // over the snapshot) is safe — just larger.
+  if (medium_.truncate(journal_file_, 0)) {
+    valid_size_ = 0;
+    synced_watermark_ = 0;
+    tail_records_.clear();
+  }
+}
+
+}  // namespace asa_repro::durable

@@ -1,0 +1,92 @@
+#include "durable/journal.hpp"
+
+#include "durable/crc32.hpp"
+
+namespace asa_repro::durable {
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t offset) {
+  if (offset + 4 > bytes.size()) return 0;
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) |
+            static_cast<std::uint8_t>(bytes[offset + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t offset) {
+  if (offset + 8 > bytes.size()) return 0;
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) |
+            static_cast<std::uint8_t>(bytes[offset + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+std::string encode_frame(RecordType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  frame.push_back(kJournalMagic);
+  frame.push_back(static_cast<char>(type));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload));
+  put_u32(frame, crc32(std::string_view(frame.data(), 10)));
+  frame.append(payload);
+  return frame;
+}
+
+ScanResult scan_journal(std::string_view bytes) {
+  ScanResult result;
+  std::size_t offset = 0;
+  bool in_gap = false;  // Scanning byte-wise for the next valid header.
+  while (offset + kFrameHeaderSize <= bytes.size()) {
+    const std::string_view header = bytes.substr(offset, kFrameHeaderSize);
+    const bool header_ok =
+        header[0] == kJournalMagic &&
+        get_u32(header, 10) == crc32(header.substr(0, 10));
+    const std::uint32_t len = get_u32(header, 2);
+    if (!header_ok || offset + kFrameHeaderSize + len > bytes.size()) {
+      // Untrustworthy frame boundary: resynchronise by scanning forward
+      // for the next valid header (the header CRC makes a false match
+      // vanishingly unlikely). If none exists this is the torn tail and
+      // the loop ends with the remainder counted as truncated.
+      in_gap = true;
+      ++offset;
+      continue;
+    }
+    if (in_gap) {
+      // A corrupt region bounded by valid frames: one record lost to
+      // header bit-rot, not a tear — later records are intact.
+      ++result.skipped_crc;
+      in_gap = false;
+    }
+    const std::string_view payload =
+        bytes.substr(offset + kFrameHeaderSize, len);
+    if (crc32(payload) == get_u32(header, 6)) {
+      result.records.push_back(JournalRecord{
+          static_cast<RecordType>(static_cast<std::uint8_t>(header[1])),
+          std::string(payload)});
+    } else {
+      ++result.skipped_crc;  // Isolated payload bit-rot: skip one record.
+    }
+    offset += kFrameHeaderSize + len;
+    result.valid_size = offset;
+  }
+  result.truncated_bytes = bytes.size() - result.valid_size;
+  return result;
+}
+
+}  // namespace asa_repro::durable

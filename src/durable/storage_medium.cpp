@@ -1,0 +1,102 @@
+#include "durable/storage_medium.hpp"
+
+namespace asa_repro::durable {
+
+bool MemMedium::fits(std::size_t extra_bytes) const {
+  return !capacity_.has_value() || used() + extra_bytes <= *capacity_;
+}
+
+bool MemMedium::append(const std::string& file, std::string_view bytes) {
+  if (stalled_) {
+    ++stats_.refused_stall;
+    return false;
+  }
+  if (torn_armed_) {
+    // A torn write persists a prefix and fails: the power went out (or the
+    // kernel gave up) halfway through the sector run.
+    torn_armed_ = false;
+    const std::string_view prefix = bytes.substr(0, bytes.size() / 2);
+    if (fits(prefix.size())) {
+      files_[file].append(prefix);
+      stats_.bytes_written += prefix.size();
+    }
+    ++stats_.torn_writes;
+    return false;
+  }
+  if (!fits(bytes.size())) {
+    ++stats_.refused_full;
+    return false;
+  }
+  files_[file].append(bytes);
+  ++stats_.appends;
+  stats_.bytes_written += bytes.size();
+  return true;
+}
+
+bool MemMedium::replace(const std::string& file, std::string_view bytes) {
+  if (stalled_) {
+    ++stats_.refused_stall;
+    return false;
+  }
+  const std::size_t current = size(file);
+  const std::size_t others = used() - current;
+  if (capacity_.has_value() && others + bytes.size() > *capacity_) {
+    ++stats_.refused_full;
+    return false;
+  }
+  files_[file].assign(bytes.data(), bytes.size());
+  ++stats_.appends;
+  stats_.bytes_written += bytes.size();
+  return true;
+}
+
+bool MemMedium::truncate(const std::string& file, std::size_t size) {
+  if (stalled_) {
+    ++stats_.refused_stall;
+    return false;
+  }
+  const auto it = files_.find(file);
+  if (it != files_.end() && it->second.size() > size) {
+    it->second.resize(size);
+  }
+  return true;
+}
+
+std::optional<std::string> MemMedium::read(const std::string& file) const {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t MemMedium::size(const std::string& file) const {
+  const auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.size();
+}
+
+void MemMedium::erase(const std::string& file) { files_.erase(file); }
+
+std::optional<std::size_t> MemMedium::corrupt_byte(
+    const std::string& file, std::uint64_t offset_seed) {
+  const auto it = files_.find(file);
+  if (it == files_.end() || it->second.empty()) return std::nullopt;
+  const std::size_t offset =
+      static_cast<std::size_t>(offset_seed % it->second.size());
+  it->second[offset] = static_cast<char>(it->second[offset] ^ 0x20);
+  ++stats_.bytes_corrupted;
+  return offset;
+}
+
+std::size_t MemMedium::used() const {
+  std::size_t total = 0;
+  for (const auto& [name, bytes] : files_) total += bytes.size();
+  return total;
+}
+
+void MemMedium::wipe() {
+  files_.clear();
+  torn_armed_ = false;
+  stalled_ = false;
+  capacity_.reset();
+}
+
+}  // namespace asa_repro::durable

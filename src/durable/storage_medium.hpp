@@ -1,0 +1,118 @@
+// The storage medium a node's durable state is written to.
+//
+// Production commit coordinators split node state into persistent and
+// transient halves and recover the persistent half before talking to any
+// peer (the ytsaurus hive coordinator in SNIPPETS.md §3 is the reference
+// shape). This interface is the persistent half's contract: a handful of
+// named byte streams with append / atomic-replace / truncate semantics —
+// exactly what a write-ahead journal plus periodic snapshots need, and
+// nothing a real file system could not provide.
+//
+// The simulator uses MemMedium, an in-memory implementation whose entire
+// point is *injectable disk faults*: torn writes (a prefix persists, the
+// write reports failure), disk stalls (all writes refused), full disks
+// (capacity exhausted), and bit-rot (stored bytes flipped after the
+// fact). A medium deliberately survives the crash/rebuild of the node it
+// belongs to — that persistence is what the durability subsystem exists
+// to test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asa_repro::durable {
+
+/// Flat write/fault statistics for assertions and metrics mirroring.
+struct MediumStats {
+  std::uint64_t appends = 0;        // Successful full appends.
+  std::uint64_t torn_writes = 0;    // Appends that persisted only a prefix.
+  std::uint64_t refused_stall = 0;  // Writes refused while stalled.
+  std::uint64_t refused_full = 0;   // Writes refused for lack of capacity.
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_corrupted = 0;  // Bit-rot flips applied.
+};
+
+class StorageMedium {
+ public:
+  virtual ~StorageMedium() = default;
+
+  /// Append `bytes` to `file` (created on first write). Returns true only
+  /// when every byte is durably appended; a false return may still have
+  /// persisted a prefix (torn write) — the writer repairs by truncating
+  /// back to its last known-good size before the next append.
+  virtual bool append(const std::string& file, std::string_view bytes) = 0;
+
+  /// Atomically replace `file`'s contents (snapshot writes). All or
+  /// nothing: on a false return the previous contents are intact.
+  virtual bool replace(const std::string& file, std::string_view bytes) = 0;
+
+  /// Shrink `file` to `size` bytes (no-op when already smaller). Returns
+  /// false when the medium refuses writes (stalled).
+  virtual bool truncate(const std::string& file, std::size_t size) = 0;
+
+  /// Current contents; nullopt when the file was never written.
+  [[nodiscard]] virtual std::optional<std::string> read(
+      const std::string& file) const = 0;
+
+  [[nodiscard]] virtual std::size_t size(const std::string& file) const = 0;
+
+  /// Remove `file` entirely (identity reset / act-of-god data loss).
+  virtual void erase(const std::string& file) = 0;
+};
+
+/// In-memory medium with injectable faults — the simulator's "disk".
+class MemMedium final : public StorageMedium {
+ public:
+  bool append(const std::string& file, std::string_view bytes) override;
+  bool replace(const std::string& file, std::string_view bytes) override;
+  bool truncate(const std::string& file, std::size_t size) override;
+  [[nodiscard]] std::optional<std::string> read(
+      const std::string& file) const override;
+  [[nodiscard]] std::size_t size(const std::string& file) const override;
+  void erase(const std::string& file) override;
+
+  // ---- Fault injection. ----
+
+  /// The next append persists only the first half of its bytes and
+  /// reports failure (a torn write). One-shot.
+  void arm_torn_write() { torn_armed_ = true; }
+
+  /// While stalled, every append/replace/truncate is refused (disk stall).
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  [[nodiscard]] bool stalled() const { return stalled_; }
+
+  /// Cap the total bytes across all files (full disk). nullopt removes
+  /// the cap. Writes that would exceed the cap are refused whole.
+  void set_capacity(std::optional<std::size_t> total_bytes) {
+    capacity_ = total_bytes;
+  }
+
+  /// Bit-rot: XOR-flip one byte of `file` at `offset_seed % size`.
+  /// Returns the flipped offset, or nullopt when the file is empty or
+  /// missing (nothing to rot).
+  std::optional<std::size_t> corrupt_byte(const std::string& file,
+                                          std::uint64_t offset_seed);
+
+  /// Total bytes currently stored across all files.
+  [[nodiscard]] std::size_t used() const;
+
+  /// Drop every file and every armed fault (identity replacement: the
+  /// node is handed a factory-fresh disk).
+  void wipe();
+
+  [[nodiscard]] const MediumStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] bool fits(std::size_t extra_bytes) const;
+
+  std::map<std::string, std::string> files_;
+  bool torn_armed_ = false;
+  bool stalled_ = false;
+  std::optional<std::size_t> capacity_;
+  MediumStats stats_;
+};
+
+}  // namespace asa_repro::durable

@@ -19,6 +19,12 @@ const char* kind_name(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kByzantine: return "byzantine";
     case FaultEvent::Kind::kCorrupt: return "corrupt";
     case FaultEvent::Kind::kUncorrupt: return "uncorrupt";
+    case FaultEvent::Kind::kTornWrite: return "torn-write";
+    case FaultEvent::Kind::kFlushDrop: return "flush-drop";
+    case FaultEvent::Kind::kBitRot: return "bit-rot";
+    case FaultEvent::Kind::kDiskStall: return "disk-stall";
+    case FaultEvent::Kind::kDiskFull: return "disk-full";
+    case FaultEvent::Kind::kDiskOk: return "disk-ok";
   }
   return "?";
 }
@@ -34,6 +40,12 @@ std::optional<FaultEvent::Kind> kind_from(const std::string& name) {
   if (name == "byzantine") return Kind::kByzantine;
   if (name == "corrupt") return Kind::kCorrupt;
   if (name == "uncorrupt") return Kind::kUncorrupt;
+  if (name == "torn-write") return Kind::kTornWrite;
+  if (name == "flush-drop") return Kind::kFlushDrop;
+  if (name == "bit-rot") return Kind::kBitRot;
+  if (name == "disk-stall") return Kind::kDiskStall;
+  if (name == "disk-full") return Kind::kDiskFull;
+  if (name == "disk-ok") return Kind::kDiskOk;
   return std::nullopt;
 }
 
@@ -52,11 +64,19 @@ std::string FaultEvent::serialize() const {
     case Kind::kRestart:
     case Kind::kCorrupt:
     case Kind::kUncorrupt:
+    case Kind::kTornWrite:
+    case Kind::kDiskStall:
+    case Kind::kDiskOk:
       out << ' ' << node;
       break;
     case Kind::kPartition:
     case Kind::kHeal:
       out << ' ' << node << ' ' << peer;
+      break;
+    case Kind::kFlushDrop:
+    case Kind::kBitRot:
+    case Kind::kDiskFull:
+      out << ' ' << node << ' ' << arg;
       break;
     case Kind::kDropRate:
     case Kind::kDupRate:
@@ -82,11 +102,19 @@ std::optional<FaultEvent> FaultEvent::parse(const std::string& line) {
     case Kind::kRestart:
     case Kind::kCorrupt:
     case Kind::kUncorrupt:
+    case Kind::kTornWrite:
+    case Kind::kDiskStall:
+    case Kind::kDiskOk:
       if (!(in >> event.node)) return std::nullopt;
       break;
     case Kind::kPartition:
     case Kind::kHeal:
       if (!(in >> event.node >> event.peer)) return std::nullopt;
+      break;
+    case Kind::kFlushDrop:
+    case Kind::kBitRot:
+    case Kind::kDiskFull:
+      if (!(in >> event.node >> event.arg)) return std::nullopt;
       break;
     case Kind::kDropRate:
     case Kind::kDupRate:

@@ -40,12 +40,24 @@ struct FaultEvent {
     kCorrupt,    // node: serve tampered bytes AND damage blocks at rest.
     kUncorrupt,  // node: stop tampering (at-rest damage stays until
                  //   repaired by maintenance).
+    // ---- Durability faults (the node's simulated disk). ----
+    kTornWrite,  // node: arm a one-shot torn write — the next journal
+                 //   append persists only a prefix and fails.
+    kFlushDrop,  // node, arg: drop up to `arg` whole records from the
+                 //   journal's unsynced tail (un-fsynced page cache lost;
+                 //   never cuts acknowledged commits).
+    kBitRot,     // node, arg: XOR-flip one journal byte at offset
+                 //   arg % journal_size.
+    kDiskStall,  // node: the disk refuses every write until kDiskOk.
+    kDiskFull,   // node, arg: cap the disk at used + arg spare bytes.
+    kDiskOk,     // node: heal the disk — clear stall and capacity cap.
   };
 
   Time at = 0;
   Kind kind = Kind::kCrash;
   std::uint32_t node = 0;
   std::uint32_t peer = 0;       // kPartition/kHeal only.
+  std::uint32_t arg = 0;        // kFlushDrop/kBitRot/kDiskFull only.
   double rate = 0.0;            // kDropRate/kDupRate only.
   std::string behaviour{};      // kByzantine only: honest | crash |
                                 // equivocator | withholder.

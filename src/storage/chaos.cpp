@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <sstream>
 
+#include "durable/journal.hpp"
 #include "storage/maintenance.hpp"
 
 namespace asa_repro::storage {
@@ -83,6 +85,32 @@ void apply_fault(AsaCluster& cluster, const FaultEvent& event) {
       // Wire behaviour heals; at-rest damage stays for maintenance to fix.
       cluster.host(node).store().set_corrupt(false);
       break;
+    case FaultEvent::Kind::kTornWrite:
+      cluster.medium(node).arm_torn_write();
+      break;
+    case FaultEvent::Kind::kFlushDrop:
+      if (durable::DurableLog* log = cluster.durable_log(node)) {
+        log->drop_unsynced_tail(event.arg == 0
+                                    ? std::numeric_limits<std::size_t>::max()
+                                    : event.arg);
+      }
+      break;
+    case FaultEvent::Kind::kBitRot:
+      if (durable::DurableLog* log = cluster.durable_log(node)) {
+        cluster.medium(node).corrupt_byte(log->journal_file(), event.arg);
+      }
+      break;
+    case FaultEvent::Kind::kDiskStall:
+      cluster.medium(node).set_stalled(true);
+      break;
+    case FaultEvent::Kind::kDiskFull:
+      cluster.medium(node).set_capacity(cluster.medium(node).used() +
+                                        event.arg);
+      break;
+    case FaultEvent::Kind::kDiskOk:
+      cluster.medium(node).set_stalled(false);
+      cluster.medium(node).set_capacity(std::nullopt);
+      break;
   }
 }
 
@@ -107,7 +135,9 @@ std::string ChaosConfig::serialize() const {
   } else {
     out << fault_budget;
   }
-  out << '\n' << "horizon " << horizon << '\n';
+  out << '\n'
+      << "horizon " << horizon << '\n'
+      << "durability " << (durability ? "on" : "off") << '\n';
   return out.str();
 }
 
@@ -147,6 +177,9 @@ std::optional<ChaosConfig> ChaosConfig::parse(const std::string& text) {
                             : static_cast<std::uint32_t>(std::stoul(value));
       } else if (key == "horizon") {
         config.horizon = std::stoull(value);
+      } else if (key == "durability") {
+        if (value != "on" && value != "off") return std::nullopt;
+        config.durability = value == "on";
       } else {
         return std::nullopt;  // Unknown key: refuse to mis-replay.
       }
@@ -201,7 +234,15 @@ sim::FaultPlan generate_fault_plan(const ChaosConfig& config,
     if (node_busy || concurrent >= budget) continue;
     busy.push_back({start, end, node});
     ++placed;
-    switch (rng.below(3)) {
+    // Durability faults are deliberately embedded in crash/restart
+    // episodes: a torn write IS the crash's final append, bit-rot and
+    // partial flush are discovered at the next recovery, and a stalled or
+    // full disk fail-stops the node (restart reconciliation then repairs
+    // any commits the node could not journal while its disk refused
+    // writes). That keeps every episode's divergence healed by recovery,
+    // which is exactly the property the durable-ack invariant audits.
+    const std::uint64_t episode_kinds = config.durability ? 7 : 3;
+    switch (rng.below(episode_kinds)) {
       case 0:  // Fail-stop crash, later restarted and re-bootstrapped.
         plan.add({.at = start, .kind = FaultEvent::Kind::kCrash,
                   .node = node});
@@ -221,11 +262,58 @@ sim::FaultPlan generate_fault_plan(const ChaosConfig& config,
                   .behaviour = "honest"});
         break;
       }
-      default:  // Block corruption, healed on the wire; maintenance
-                // repairs the at-rest damage.
+      case 2:  // Block corruption, healed on the wire; maintenance
+               // repairs the at-rest damage.
         plan.add({.at = start, .kind = FaultEvent::Kind::kCorrupt,
                   .node = node});
         plan.add({.at = end, .kind = FaultEvent::Kind::kUncorrupt,
+                  .node = node});
+        break;
+      case 3:  // Torn write at crash time: the power fails mid-append.
+        plan.add({.at = start, .kind = FaultEvent::Kind::kTornWrite,
+                  .node = node});
+        plan.add({.at = start + 60'000, .kind = FaultEvent::Kind::kCrash,
+                  .node = node});
+        plan.add({.at = end, .kind = FaultEvent::Kind::kRestart,
+                  .node = node});
+        break;
+      case 4:  // Bit-rot discovered at recovery: one journal byte flips
+               // while the node is down.
+        plan.add({.at = start, .kind = FaultEvent::Kind::kCrash,
+                  .node = node});
+        plan.add({.at = (start + end) / 2,
+                  .kind = FaultEvent::Kind::kBitRot,
+                  .node = node,
+                  .arg = static_cast<std::uint32_t>(rng.below(1u << 20))});
+        plan.add({.at = end, .kind = FaultEvent::Kind::kRestart,
+                  .node = node});
+        break;
+      case 5: {  // Sick disk (stalled or out of space) fail-stops the
+                 // node; the disk heals across the restart.
+        const bool stall = rng.chance(0.5);
+        plan.add({.at = start,
+                  .kind = stall ? FaultEvent::Kind::kDiskStall
+                                : FaultEvent::Kind::kDiskFull,
+                  .node = node,
+                  .arg = stall ? 0
+                               : static_cast<std::uint32_t>(rng.below(64))});
+        plan.add({.at = end - 50'000, .kind = FaultEvent::Kind::kDiskOk,
+                  .node = node});
+        plan.add({.at = end - 50'000, .kind = FaultEvent::Kind::kCrash,
+                  .node = node});
+        plan.add({.at = end, .kind = FaultEvent::Kind::kRestart,
+                  .node = node});
+        break;
+      }
+      default:  // Partial flush: un-fsynced tail records vanish while the
+                // node is down.
+        plan.add({.at = start, .kind = FaultEvent::Kind::kCrash,
+                  .node = node});
+        plan.add({.at = (start + end) / 2,
+                  .kind = FaultEvent::Kind::kFlushDrop,
+                  .node = node,
+                  .arg = static_cast<std::uint32_t>(1 + rng.below(3))});
+        plan.add({.at = end, .kind = FaultEvent::Kind::kRestart,
                   .node = node});
         break;
     }
@@ -284,6 +372,10 @@ ChaosReport run_plan(const ChaosConfig& config, const sim::FaultPlan& plan,
   cluster_config.retry.max_attempts = 30;
   cluster_config.abort_scan_interval = 60'000;
   cluster_config.abort_max_age = 80'000;
+  cluster_config.durability = config.durability;
+  // Short snapshot cadence so campaigns exercise snapshot save/load and
+  // the snapshot+journal replay overlap, not just raw journals.
+  cluster_config.snapshot_every = 16;
   AsaCluster cluster(cluster_config);
   InvariantChecker checker(cluster);
   ChaosReport report;
@@ -512,6 +604,239 @@ sim::FaultPlan shrink_plan(const ChaosConfig& config, sim::FaultPlan plan,
   }
   if (runs != nullptr) *runs = executed;
   return plan;
+}
+
+// ---------------------------------------------------- durability smoke
+
+DurabilitySmokeReport run_durability_smoke(std::uint64_t seed) {
+  DurabilitySmokeReport report;
+  const auto note = [&report](std::string text) {
+    report.notes.push_back(std::move(text));
+  };
+  const auto expect = [&report](bool ok, std::string what) {
+    if (!ok) report.failures.push_back(std::move(what));
+  };
+
+  ClusterConfig config;
+  config.nodes = 16;
+  config.replication_factor = 4;  // f = 1, quorum = 2.
+  config.seed = seed;
+  config.metrics = true;
+  config.retry.base_timeout = 80'000;
+  config.retry.max_attempts = 30;
+  config.abort_scan_interval = 60'000;
+  config.abort_max_age = 80'000;
+  config.durability = true;
+  config.snapshot_every = 4;  // Force a snapshot under the baseline load.
+  AsaCluster cluster(config);
+  InvariantChecker checker(cluster);
+
+  // A small ring can map several replica keys onto one node; pick the
+  // first GUID whose peer set has replication_factor distinct members so
+  // "crash every member" means exactly four journals.
+  Guid guid = Guid::named("durability-smoke:0");
+  std::vector<sim::NodeAddr> members = cluster.peer_set(guid);
+  for (int probe = 1; members.size() < 4 && probe < 64; ++probe) {
+    guid = Guid::named("durability-smoke:" + std::to_string(probe));
+    members = cluster.peer_set(guid);
+  }
+  const std::uint64_t key = guid.to_uint64();
+  if (members.size() < 4) {
+    report.failures.push_back("no GUID with a full-size peer set found");
+    return report;
+  }
+
+  int next_update = 0;
+  const auto commit_one = [&]() {
+    const Pid pid = Pid::of(block_from(
+        "durability smoke update " + std::to_string(next_update++) +
+        " seed " + std::to_string(seed)));
+    checker.note_submitted(guid, pid.to_uint64());
+    bool committed = false;
+    cluster.version_history().append(
+        guid, pid,
+        [&committed](const commit::CommitResult& r) { committed = r.committed; });
+    cluster.run();
+    return committed;
+  };
+  const auto history_size = [&](std::size_t node) {
+    return cluster.host(node).peer().history(key).size();
+  };
+
+  for (int i = 0; i < 5; ++i) {
+    expect(commit_one(), "baseline commit " + std::to_string(i) + " failed");
+  }
+  note("baseline: 5 commits acknowledged (snapshot taken at 4)");
+
+  // -- Step 1: torn write. The power fails mid-append on one member; the
+  // write-ahead discipline vetoes its local commit (no ack), the other
+  // members still reach f+1, and recovery truncates the torn tail then
+  // reconciles the missing commit from peers.
+  const auto m0 = static_cast<std::size_t>(members[0]);
+  // Arm the torn write and cap the disk at exactly the torn prefix: the
+  // first append persists half a commit frame and fails, and the sink
+  // retries (late votes re-finish the instance) keep failing on the full
+  // disk — the member stays unacknowledged until its disk is replaced at
+  // restart, as a real dying disk would behave.
+  const std::size_t commit_frame = durable::kFrameHeaderSize + 4 * 8;
+  cluster.medium(m0).arm_torn_write();
+  cluster.medium(m0).set_capacity(cluster.medium(m0).used() +
+                                  commit_frame / 2);
+  expect(commit_one(), "commit must still reach f+1 acks past a torn member");
+  expect(cluster.medium(m0).stats().torn_writes == 1,
+         "the armed torn write must hit the commit append");
+  expect(history_size(m0) == 5,
+         "a torn journal append must veto the member's local commit");
+  expect(cluster.durable_log(m0)->writer_stats().append_failures >= 1,
+         "refused journal appends must be counted");
+  const std::string journal0 = cluster.durable_log(m0)->journal_file();
+  cluster.crash_node(m0);
+  cluster.medium(m0).set_capacity(std::nullopt);
+  // The sick member goes down mid-append: tear one more commit frame onto
+  // the journal tail as the write the power failure interrupted. (The
+  // in-protocol torn append above is repaired by the writer itself on the
+  // next sink retry, so recovery-side truncation needs a tear that really
+  // was the node's last write.)
+  std::string torn_payload;
+  for (std::uint64_t v : {0xD15Cu, 0xDEADu, 0xBEEFu, 0xF00Du}) {
+    durable::put_u64(torn_payload, v);
+  }
+  cluster.medium(m0).arm_torn_write();
+  cluster.medium(m0).append(
+      journal0,
+      durable::encode_frame(durable::RecordType::kCommit, torn_payload));
+  cluster.restart_node(m0);
+  cluster.run();
+  const durable::RecoveryStats r0 = cluster.last_recovery(m0);
+  expect(r0.truncated_bytes > 0,
+         "recovery after a torn write must truncate a torn tail");
+  expect(r0.reconciled >= 1,
+         "recovery must reconcile the commit lost to the torn write");
+  expect(history_size(m0) == 6, "torn member must end with all 6 commits");
+  note("torn write: truncated " + std::to_string(r0.truncated_bytes) +
+       " bytes, replayed " + std::to_string(r0.replayed_records) +
+       " records, reconciled " + std::to_string(r0.reconciled));
+
+  // -- Step 2: bit-rot. One byte of the last commit frame's payload flips
+  // while the member is down. The frame header stays valid, so recovery
+  // skips exactly that record (CRC-skip), keeps everything else, and
+  // reconciles the skipped commit back from peers.
+  const auto m1 = static_cast<std::size_t>(members[1]);
+  cluster.crash_node(m1);
+  const durable::DurableLog* log1 = cluster.durable_log(m1);
+  const std::string bytes =
+      cluster.medium(m1).read(log1->journal_file()).value_or("");
+  std::size_t rot_at = 0;
+  bool found = false;
+  for (std::size_t off = 0;
+       off + durable::kFrameHeaderSize <= bytes.size();) {
+    const std::uint32_t len = durable::get_u32(bytes, off + 2);
+    if (off + durable::kFrameHeaderSize + len > bytes.size()) break;
+    if (bytes[off + 1] ==
+            static_cast<char>(durable::RecordType::kCommit) &&
+        len > 0) {
+      rot_at = off + durable::kFrameHeaderSize;  // First payload byte.
+      found = true;
+    }
+    off += durable::kFrameHeaderSize + len;
+  }
+  expect(found, "the down member's journal must hold a commit frame");
+  if (found) cluster.medium(m1).corrupt_byte(log1->journal_file(), rot_at);
+  cluster.restart_node(m1);
+  cluster.run();
+  const durable::RecoveryStats r1 = cluster.last_recovery(m1);
+  expect(r1.skipped_crc == 1,
+         "recovery must CRC-skip exactly the rotten record");
+  expect(r1.snapshot_loaded, "recovery must load the snapshot");
+  expect(r1.reconciled >= 1,
+         "recovery must reconcile the CRC-skipped commit");
+  expect(history_size(m1) == 6, "rotten member must end with all 6 commits");
+  note("bit-rot: skipped " + std::to_string(r1.skipped_crc) +
+       " record, snapshot " + (r1.snapshot_loaded ? "loaded" : "missing") +
+       ", reconciled " + std::to_string(r1.reconciled));
+
+  // -- Step 3: crash EVERY peer-set member (> f simultaneous failures).
+  // No live peer holds the history any more; only journal replay can
+  // reconstruct the acknowledged commits.
+  for (sim::NodeAddr addr : members) {
+    cluster.crash_node(static_cast<std::size_t>(addr));
+  }
+  for (sim::NodeAddr addr : members) {
+    cluster.restart_node(static_cast<std::size_t>(addr));
+  }
+  cluster.run();
+  for (sim::NodeAddr addr : members) {
+    expect(history_size(static_cast<std::size_t>(addr)) == 6,
+           "member " + std::to_string(addr) +
+               " must replay all 6 commits although every peer crashed");
+  }
+  HistoryReadResult read;
+  cluster.version_history().read(
+      guid, [&read](const HistoryReadResult& r) { read = r; });
+  cluster.run();
+  expect(read.ok && read.versions.size() == 6,
+         "an (f+1)-agreed read must see all 6 versions after full-set crash");
+  for (const Violation& v : checker.check(/*check_order=*/true)) {
+    report.failures.push_back("invariant: " + v.invariant + ": " + v.detail);
+  }
+  cluster.snapshot_metrics();
+  expect(cluster.metrics().counter("recovery.truncated").value() > 0,
+         "recovery.truncated metric must be nonzero");
+  expect(cluster.metrics().counter("recovery.skipped_crc").value() > 0,
+         "recovery.skipped_crc metric must be nonzero");
+  expect(cluster.metrics().counter("recovery.replayed").value() > 0,
+         "recovery.replayed metric must be nonzero");
+  expect(cluster.metrics().counter("recovery.reconciled").value() > 0,
+         "recovery.reconciled metric must be nonzero");
+  note("full-set crash: all " + std::to_string(members.size()) +
+       " members replayed 6/6 commits from their journals");
+
+  // -- Step 4: the counterfactual. Same schedule with durability off (the
+  // seed codebase's volatile behaviour): a full-set crash erases the
+  // history — nothing is left to bootstrap from.
+  {
+    ClusterConfig volatile_config = config;
+    volatile_config.durability = false;
+    volatile_config.metrics = false;
+    AsaCluster volatile_cluster(volatile_config);
+    const std::vector<sim::NodeAddr> vmembers =
+        volatile_cluster.peer_set(guid);
+    int vcommitted = 0;
+    for (int i = 0; i < 6; ++i) {
+      const Pid pid = Pid::of(block_from(
+          "durability smoke update " + std::to_string(i) + " seed " +
+          std::to_string(seed)));
+      bool committed = false;
+      volatile_cluster.version_history().append(
+          guid, pid, [&committed](const commit::CommitResult& r) {
+            committed = r.committed;
+          });
+      volatile_cluster.run();
+      if (committed) ++vcommitted;
+    }
+    expect(vcommitted == 6, "counterfactual baseline commits failed");
+    for (sim::NodeAddr addr : vmembers) {
+      volatile_cluster.crash_node(static_cast<std::size_t>(addr));
+    }
+    for (sim::NodeAddr addr : vmembers) {
+      volatile_cluster.restart_node(static_cast<std::size_t>(addr));
+    }
+    volatile_cluster.run();
+    std::size_t survivors = 0;
+    for (sim::NodeAddr addr : vmembers) {
+      survivors += volatile_cluster.host(static_cast<std::size_t>(addr))
+                       .peer()
+                       .history(key)
+                       .size();
+    }
+    expect(survivors == 0,
+           "without durability a full-set crash must lose the history "
+           "(found " + std::to_string(survivors) + " surviving entries)");
+    note("counterfactual (durability off): full-set crash lost all " +
+         std::to_string(vcommitted) + " acknowledged commits");
+  }
+
+  return report;
 }
 
 // ------------------------------------------------------------ replay file

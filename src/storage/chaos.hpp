@@ -55,6 +55,12 @@ struct ChaosConfig {
   std::uint32_t fault_budget = kAutoBudget;  // Max concurrently-faulty
                                              // nodes for generated plans.
   sim::Time horizon = 2'500'000;  // Fault/workload window (us).
+  /// Durable journals + crash-consistent recovery (ClusterConfig's flag),
+  /// and durability-fault episodes (torn write, bit-rot, partial flush,
+  /// disk stall/full) in generated plans. Off reproduces the volatile
+  /// seed behaviour: restart recovers from peers only. Absent from old
+  /// replay headers, which therefore parse to the default (on).
+  bool durability = true;
 
   [[nodiscard]] std::uint32_t f() const { return (replication - 1) / 3; }
   [[nodiscard]] std::uint32_t effective_budget() const {
@@ -113,6 +119,28 @@ struct ChaosReport {
 [[nodiscard]] sim::FaultPlan shrink_plan(const ChaosConfig& config,
                                          sim::FaultPlan plan,
                                          std::size_t* runs = nullptr);
+
+/// Deterministic journal-corruption + crash-consistency smoke (the CI
+/// "journal-corruption smoke" and the > f recovery demonstration):
+///
+///  1. commits a baseline history, then tears a journal append on one
+///     member and crash/restarts it — recovery must report a truncated
+///     tail and reconcile the missing commit;
+///  2. bit-rots another member's journal while it is down — recovery
+///     must CRC-skip exactly the rotten record and reconcile it back;
+///  3. crashes EVERY peer-set member (> f) and restarts them — journal
+///     replay must reconstruct the full acknowledged history although no
+///     live peer ever had it;
+///  4. re-runs step 3 with durability off, asserting the history is
+///     lost — the seed codebase's behaviour, now demonstrably fixed.
+///
+/// `notes` narrates each step; any unmet expectation lands in `failures`.
+struct DurabilitySmokeReport {
+  std::vector<std::string> notes;
+  std::vector<std::string> failures;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+[[nodiscard]] DurabilitySmokeReport run_durability_smoke(std::uint64_t seed);
 
 /// Replay file: config header, "plan" marker, one event per line.
 [[nodiscard]] std::string encode_replay(const ChaosConfig& config,

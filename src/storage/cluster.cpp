@@ -24,6 +24,13 @@ AsaCluster::AsaCluster(ClusterConfig config)
   ring_.build(config_.nodes);
   node_ids_ = ring_.node_ids();
   hosts_.resize(node_ids_.size());
+  media_.resize(node_ids_.size());
+  logs_.resize(node_ids_.size());
+  acked_.resize(node_ids_.size());
+  last_recovery_.resize(node_ids_.size());
+  for (std::size_t i = 0; i < node_ids_.size(); ++i) {
+    media_[i] = std::make_unique<durable::MemMedium>();
+  }
   for (std::size_t i = 0; i < node_ids_.size(); ++i) {
     host_by_id_.emplace(node_ids_[i], i);
     // Peer sets are located per GUID via the ring; commit peers resolve
@@ -51,6 +58,17 @@ void AsaCluster::rebuild_host(std::size_t index,
   if (config_.abort_scan_interval > 0) {
     hosts_[index]->peer().enable_abort(config_.abort_scan_interval,
                                        config_.abort_max_age);
+  }
+  if (config_.durability) {
+    logs_[index] = std::make_unique<durable::DurableLog>(
+        *media_[index], "node-" + std::to_string(index),
+        config_.snapshot_every);
+    hosts_[index]->enable_durability(
+        *logs_[index],
+        [this, index](std::uint64_t guid,
+                      const commit::CommitPeer::CommittedEntry& e) {
+          acked_[index][guid][e.request_id] = e.payload;
+        });
   }
 }
 
@@ -114,7 +132,8 @@ ReplicaMaintainer& AsaCluster::maintainer() {
   return *maintainer_;
 }
 
-std::size_t AsaCluster::migrate_version_history(const Guid& guid) {
+const std::vector<commit::CommitPeer::CommittedEntry>* AsaCluster::find_donor(
+    const Guid& guid) {
   const std::uint64_t key = guid.to_uint64();
   const std::vector<sim::NodeAddr> peers = peer_set(guid);
 
@@ -129,12 +148,11 @@ std::size_t AsaCluster::migrate_version_history(const Guid& guid) {
     histories.push_back(std::move(h));
   }
   const std::vector<std::uint64_t> agreed = agree_history(histories, f());
-  if (agreed.empty()) return 0;
+  if (agreed.empty()) return nullptr;
 
   // Pick a donor whose deduplicated payload sequence covers the agreed
   // prefix; its concrete entry list (with update ids) is what newcomers
   // adopt.
-  const std::vector<commit::CommitPeer::CommittedEntry>* donor = nullptr;
   for (sim::NodeAddr addr : peers) {
     const auto& entries = hosts_[addr]->peer().history(key);
     std::vector<std::uint64_t> payloads;
@@ -144,14 +162,20 @@ std::size_t AsaCluster::migrate_version_history(const Guid& guid) {
     }
     if (payloads.size() >= agreed.size() &&
         std::equal(agreed.begin(), agreed.end(), payloads.begin())) {
-      donor = &entries;
-      break;
+      return &entries;
     }
   }
+  return nullptr;
+}
+
+std::size_t AsaCluster::migrate_version_history(const Guid& guid) {
+  const std::uint64_t key = guid.to_uint64();
+  const std::vector<commit::CommitPeer::CommittedEntry>* donor =
+      find_donor(guid);
   if (donor == nullptr) return 0;
 
   std::size_t adopted = 0;
-  for (sim::NodeAddr addr : peers) {
+  for (sim::NodeAddr addr : peer_set(guid)) {
     if (hosts_[addr]->peer().history(key).empty()) {
       if (hosts_[addr]->peer().import_history(key, *donor)) ++adopted;
     }
@@ -225,6 +249,14 @@ void AsaCluster::make_byzantine(std::size_t index,
   // turned faulty no longer participates in invariants, and a faulty
   // member replaced by an honest one recovers through the same bootstrap
   // path a restarted node uses (migrate_version_history + replica repair).
+  // A flip is an identity replacement, so the durable state goes too: the
+  // disk is wiped and the ack ledger cleared (acks the old identity sent
+  // are not owed by the new one).
+  if (config_.durability) {
+    media_[index]->wipe();
+    acked_[index].clear();
+    last_recovery_[index] = {};
+  }
   rebuild_host(index, behaviour);
 }
 
@@ -236,28 +268,97 @@ void AsaCluster::crash_node(std::size_t index) {
   if (ring_.alive(id)) ring_.fail(id);
   host_by_id_.erase(id);
   ring_.run_maintenance(8);
+  if (config_.durability) {
+    // Survivors journal the observed membership change. These records are
+    // not client-acknowledged, so they sit in the journal's unsynced tail
+    // until the node's next commit (partial-flush fodder; recovery
+    // re-learns membership from the ring regardless).
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      if (i == index || crashed(i)) continue;
+      logs_[i]->record_membership(false, index);
+    }
+  }
 }
 
 std::size_t AsaCluster::restart_node(std::size_t index) {
   if (!crashed(index)) return 0;
-  // Fresh host at the old address: volatile state is lost in the crash and
-  // must be re-learned from the surviving peers.
+  // Fresh host at the old address: volatile state is lost in the crash.
   rebuild_host(index, commit::Behaviour::kHonest);
+
+  // Phases 1+2 (durability): snapshot load, then journal replay with
+  // torn-tail truncation and CRC-skip of corrupt records. The rebuilt
+  // peer is seeded with the replayed histories before it talks to anyone.
+  std::size_t recovered = 0;
+  if (config_.durability) {
+    const durable::RecoveryStats stats = logs_[index]->recover();
+    for (const auto& [key, entries] : logs_[index]->histories()) {
+      if (entries.empty()) continue;
+      std::vector<commit::CommitPeer::CommittedEntry> imported;
+      imported.reserve(entries.size());
+      for (const durable::Entry& e : entries) {
+        imported.push_back({e.update_id, e.request_id, e.payload});
+      }
+      hosts_[index]->peer().import_history(key, std::move(imported));
+    }
+    recovered = stats.entries_recovered;
+    last_recovery_[index] = stats;
+  }
+
   // Rejoin the Chord ring under the original id; maintenance re-routes the
   // node's keyspace back to it.
   const p2p::NodeId& id = node_ids_[index];
   if (!ring_.alive(id)) ring_.add_node(id);
   host_by_id_[id] = index;
   ring_.run_maintenance(8);
-  // Bootstrap commit histories: for every GUID clients have touched, empty
-  // members (the newcomer, in particular) adopt the (f+1)-agreed history.
+  if (config_.durability) {
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      if (crashed(i)) continue;
+      logs_[i]->record_membership(true, index);
+    }
+  }
+
+  // Phase 3: empty members (a node whose journal was wholly lost, or a
+  // replacement member) adopt the (f+1)-agreed history outright, and the
+  // recovered node reconciles the delta it missed while down.
   std::size_t adopted = 0;
+  std::size_t reconciled = 0;
   for (const auto& [key, guid] : guid_registry_) {
     adopted += migrate_version_history(guid);
+    if (config_.durability) {
+      const auto* donor = find_donor(guid);
+      if (donor != nullptr) {
+        reconciled += hosts_[index]->peer().reconcile_history(key, *donor);
+      }
+    }
   }
+
+  if (config_.durability) {
+    const durable::RecoveryStats& stats = last_recovery_[index];
+    last_recovery_[index].reconciled = reconciled;
+    if (config_.metrics) {
+      metrics_.counter("recovery.replayed").inc(stats.replayed_records);
+      metrics_.counter("recovery.truncated").inc(stats.truncated_bytes);
+      metrics_.counter("recovery.skipped_crc").inc(stats.skipped_crc);
+      metrics_.counter("recovery.reconciled").inc(reconciled);
+      if (stats.snapshot_loaded) {
+        metrics_.counter("recovery.snapshots_loaded").inc();
+      }
+    }
+    if (config_.tracing) {
+      trace_.record(
+          scheduler_.now(), static_cast<sim::NodeAddr>(index), "recovery",
+          "replayed=" + std::to_string(stats.replayed_records) +
+              " entries=" + std::to_string(stats.entries_recovered) +
+              " truncated=" + std::to_string(stats.truncated_bytes) +
+              " skipped_crc=" + std::to_string(stats.skipped_crc) +
+              " snapshot=" + (stats.snapshot_loaded ? "yes" : "no") +
+              " reconciled=" + std::to_string(reconciled));
+    }
+  }
+
   // Regenerate this node's missing block replicas from intact copies.
   if (maintainer_) maintainer_->scan();
-  return adopted;
+  return recovered + adopted + reconciled;
 }
 
 }  // namespace asa_repro::storage

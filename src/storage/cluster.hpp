@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "commit/machine_cache.hpp"
+#include "durable/durable_log.hpp"
+#include "durable/storage_medium.hpp"
 #include "obs/metrics.hpp"
 #include "p2p/chord.hpp"
 #include "sim/network.hpp"
@@ -46,6 +48,16 @@ struct ClusterConfig {
   /// `abort_scan_interval`, abort instances older than `abort_max_age`.
   sim::Time abort_scan_interval = 0;
   sim::Time abort_max_age = 0;
+  /// Give every node a durable write-ahead journal on an in-memory medium
+  /// (write-ahead discipline: a commit is journaled before it is
+  /// acknowledged) and make restart_node recover by snapshot load +
+  /// journal replay + peer reconciliation instead of a pure f+1
+  /// bootstrap. Journaling is synchronous (no scheduler events), so the
+  /// event timeline is identical with the flag on or off.
+  bool durability = true;
+  /// Snapshot a node's journal into its snapshot file every this many
+  /// commit records (0 disables snapshots).
+  std::size_t snapshot_every = 64;
 };
 
 class AsaCluster {
@@ -102,14 +114,47 @@ class AsaCluster {
   void crash_node(std::size_t index);
 
   /// Recovery path for a crashed node (paper section 2.2: "background
-  /// processes ... replace faulty nodes"): re-attaches a fresh NodeHost at
-  /// the node's old address, rejoins the Chord ring under its original id,
-  /// bootstraps the commit history of every known GUID from the
-  /// (f+1)-agreed peers, and triggers replica repair for tracked blocks.
-  /// Volatile state is gone — the node restarts empty and recovers from
-  /// its peers. Returns the number of histories adopted cluster-wide.
+  /// processes ... replace faulty nodes"). With durability on this is a
+  /// three-phase recovery: (1) snapshot load + (2) journal replay with
+  /// torn-tail truncation and CRC-skip of corrupt records seed the rebuilt
+  /// node's histories from its own medium, then (3) f+1 peer
+  /// reconciliation adopts only the delta the node missed while down.
+  /// With durability off (or a lost journal) the node restarts empty and
+  /// falls back to the pure f+1 bootstrap. Either way the node rejoins
+  /// the Chord ring under its original id and replica repair runs for
+  /// tracked blocks. Returns history entries recovered from the journal
+  /// plus entries/histories adopted from peers cluster-wide.
   /// No-op (returns 0) when the node is not crashed.
   std::size_t restart_node(std::size_t index);
+
+  // ---- Durability (see src/durable/). ----
+
+  /// Acknowledged commits per node: guid key -> request id -> payload.
+  /// Populated by the ack sink at the moment a node sends a kCommitted
+  /// acknowledgement, and deliberately kept OUTSIDE the node (it survives
+  /// crashes): it is the ground truth the durable-ack invariant checks
+  /// recovered nodes against.
+  using AckLedger =
+      std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>;
+
+  /// The node's simulated disk. Persists across crash/restart; the chaos
+  /// engine injects torn writes, stalls, capacity limits and bit-rot here.
+  [[nodiscard]] durable::MemMedium& medium(std::size_t index) {
+    return *media_[index];
+  }
+  /// The node's journal, or nullptr when durability is disabled.
+  [[nodiscard]] durable::DurableLog* durable_log(std::size_t index) {
+    return logs_[index].get();
+  }
+  [[nodiscard]] const AckLedger& acked_commits(std::size_t index) const {
+    return acked_[index];
+  }
+  /// What the node's most recent restart recovered (zero-initialised
+  /// until the first restart).
+  [[nodiscard]] const durable::RecoveryStats& last_recovery(
+      std::size_t index) const {
+    return last_recovery_[index];
+  }
 
   /// True when the node is detached from the network (crashed).
   [[nodiscard]] bool crashed(std::size_t index) const {
@@ -144,7 +189,16 @@ class AsaCluster {
   obs::MetricsRegistry metrics_;
   /// Build a fresh host at `index`'s address with the given behaviour and
   /// wire its peer resolver (shared by construction, fault flips, restart).
+  /// With durability on, a fresh DurableLog over the node's (persistent)
+  /// medium is wired in too — the log is unaware of any existing journal
+  /// bytes until recover() is called, so restart_node MUST recover before
+  /// the scheduler runs.
   void rebuild_host(std::size_t index, commit::Behaviour behaviour);
+
+  /// Donor entry list covering the f+1-agreed history for `guid`, or
+  /// nullptr when nothing is agreed / no member covers it.
+  [[nodiscard]] const std::vector<commit::CommitPeer::CommittedEntry>*
+  find_donor(const Guid& guid);
 
   p2p::ChordRing ring_;
   commit::MachineCache machines_;
@@ -152,6 +206,10 @@ class AsaCluster {
   std::vector<p2p::NodeId> node_ids_;  // Index -> ring id (fixed for life).
   std::map<p2p::NodeId, std::size_t> host_by_id_;
   std::map<std::uint64_t, Guid> guid_registry_;  // Low-64 -> full GUID.
+  std::vector<std::unique_ptr<durable::MemMedium>> media_;
+  std::vector<std::unique_ptr<durable::DurableLog>> logs_;
+  std::vector<AckLedger> acked_;
+  std::vector<durable::RecoveryStats> last_recovery_;
   std::unique_ptr<DataStoreClient> data_store_;
   std::unique_ptr<VersionHistoryService> version_history_;
   std::unique_ptr<ReplicaMaintainer> maintainer_;

@@ -97,6 +97,42 @@ void InvariantChecker::check_guid(const Guid& guid, bool check_order,
     }
   }
 
+  // Durable acks: everything a node acknowledged must still be in its
+  // history — after a crash, that history is replayed journal plus
+  // reconciliation delta, so this is the crash-consistency check. The
+  // ledger lives in the cluster (not the node) precisely so it survives
+  // the crashes it audits.
+  if (cluster_.config().durability) {
+    for (sim::NodeAddr addr : honest) {
+      const auto& ledger =
+          cluster_.acked_commits(static_cast<std::size_t>(addr));
+      const auto lit = ledger.find(key);
+      if (lit == ledger.end()) continue;
+      std::map<std::uint64_t, std::uint64_t> by_request;
+      for (const auto& e : cluster_.host(addr).peer().history(key)) {
+        by_request.emplace(e.request_id, e.payload);
+      }
+      for (const auto& [request_id, payload] : lit->second) {
+        const auto hit = by_request.find(request_id);
+        if (hit == by_request.end()) {
+          out.push_back({"durable-ack",
+                         "guid " + guid_tag(guid) + " node " +
+                             std::to_string(addr) +
+                             " acknowledged request " +
+                             std::to_string(request_id) +
+                             " but no longer has it (lost on recovery?)"});
+        } else if (hit->second != payload) {
+          out.push_back({"durable-ack",
+                         "guid " + guid_tag(guid) + " node " +
+                             std::to_string(addr) + " acknowledged request " +
+                             std::to_string(request_id) + " with payload " +
+                             std::to_string(payload) + " but now has " +
+                             std::to_string(hit->second)});
+        }
+      }
+    }
+  }
+
   // History agreement: every pair of honest replicas must be
   // prefix-consistent after collapsing retried attempts. Skipped for lossy
   // schedules, where a replica that missed a commit round adopts the retry

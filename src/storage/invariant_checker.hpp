@@ -20,7 +20,15 @@
 //  * no duplicate commits — no honest replica commits the same update
 //    instance twice;
 //  * conflicting payloads — a logical update (request id) resolves to one
-//    payload everywhere, locally and across replicas.
+//    payload everywhere, locally and across replicas;
+//  * durable acks — no commit a node ever acknowledged to a client may be
+//    absent from that node's current history. The cluster's ack ledger
+//    (populated at acknowledgement time, surviving crashes) is the ground
+//    truth; a recovered node's history is the union of its replayed
+//    journal and its reconciliation delta, so this is exactly the
+//    crash-consistency guarantee of the write-ahead discipline. Compared
+//    by request id: a retried request re-commits under a fresh update id,
+//    and either attempt discharges the acknowledgement.
 //
 // Liveness-side checks (bounded completion when faulty <= f) live in the
 // chaos engine, which knows the workload's expected outcomes.
@@ -37,8 +45,8 @@
 namespace asa_repro::storage {
 
 /// One invariant violation. `invariant` is a stable category name
-/// (history-prefix, validity, duplicate-commit, conflicting-payload);
-/// `detail` is human-readable context for the report.
+/// (history-prefix, validity, duplicate-commit, conflicting-payload,
+/// durable-ack); `detail` is human-readable context for the report.
 struct Violation {
   std::string invariant;
   std::string detail;

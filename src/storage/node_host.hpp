@@ -8,9 +8,12 @@
 // everything else goes to the commit peer.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "commit/peer.hpp"
+#include "durable/durable_log.hpp"
 #include "storage/storage_node.hpp"
 
 namespace asa_repro::storage {
@@ -39,6 +42,35 @@ class NodeHost {
 
   /// Take the host offline (crash): detaches from the network.
   void crash() { network_.detach(addr_); }
+
+  /// Wire the peer's durability sinks to `log` (write-ahead discipline:
+  /// a commit is journaled before it is recorded or acknowledged) and
+  /// report every acknowledgement to `on_acked` (the cluster's durable-ack
+  /// ledger). `log` must outlive this host.
+  void enable_durability(
+      durable::DurableLog& log,
+      std::function<void(std::uint64_t guid,
+                         const commit::CommitPeer::CommittedEntry&)>
+          on_acked) {
+    peer_.set_commit_sink(
+        [&log](std::uint64_t guid,
+               const commit::CommitPeer::CommittedEntry& e) {
+          return log.record_commit(guid, e.update_id, e.request_id,
+                                   e.payload);
+        });
+    peer_.set_ack_sink(std::move(on_acked));
+    peer_.set_import_sink(
+        [&log](std::uint64_t guid,
+               const std::vector<commit::CommitPeer::CommittedEntry>&
+                   entries) {
+          std::vector<durable::Entry> copy;
+          copy.reserve(entries.size());
+          for (const auto& e : entries) {
+            copy.push_back({e.update_id, e.request_id, e.payload});
+          }
+          log.record_import(guid, copy);
+        });
+  }
 
  private:
   void dispatch(sim::NodeAddr from, const std::string& data) {

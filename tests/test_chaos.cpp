@@ -347,6 +347,103 @@ TEST(ChaosRun, EquivocatorsPastFBreakAgreementAndShrink) {
                         "equivocators past f";
 }
 
+// ---- Durability faults (disk-level chaos). ----
+
+TEST(FaultPlan, DurabilityEventSerializationRoundTrips) {
+  const FaultEvent events[] = {
+      {.at = 10, .kind = FaultEvent::Kind::kTornWrite, .node = 3},
+      {.at = 11, .kind = FaultEvent::Kind::kFlushDrop, .node = 3, .arg = 2},
+      {.at = 12,
+       .kind = FaultEvent::Kind::kBitRot,
+       .node = 4,
+       .arg = 123'456},
+      {.at = 13, .kind = FaultEvent::Kind::kDiskStall, .node = 5},
+      {.at = 14, .kind = FaultEvent::Kind::kDiskFull, .node = 5, .arg = 64},
+      {.at = 15, .kind = FaultEvent::Kind::kDiskOk, .node = 5},
+  };
+  for (const FaultEvent& event : events) {
+    const auto parsed = FaultEvent::parse(event.serialize());
+    ASSERT_TRUE(parsed.has_value()) << event.serialize();
+    EXPECT_EQ(*parsed, event) << event.serialize();
+  }
+  // Arg-carrying kinds without the arg are malformed.
+  EXPECT_FALSE(FaultEvent::parse("11 flush-drop 3").has_value());
+  EXPECT_FALSE(FaultEvent::parse("12 bit-rot 4").has_value());
+  EXPECT_FALSE(FaultEvent::parse("14 disk-full 5").has_value());
+}
+
+TEST(ChaosReplay, DurabilityFlagAndFaultsRoundTrip) {
+  ChaosConfig config;
+  config.seed = 7;
+  config.durability = false;
+  FaultPlan plan;
+  plan.add({.at = 100, .kind = FaultEvent::Kind::kTornWrite, .node = 1});
+  plan.add({.at = 200, .kind = FaultEvent::Kind::kBitRot, .node = 1,
+            .arg = 99});
+  const std::string replay = encode_replay(config, plan);
+  EXPECT_NE(replay.find("durability off"), std::string::npos);
+  const auto decoded = decode_replay(replay);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->first.durability);
+  EXPECT_EQ(decoded->second, plan);
+  // Headers predating the flag parse to the default (on); junk is refused.
+  const auto old = ChaosConfig::parse("nodes 12\nseed 3\n");
+  ASSERT_TRUE(old.has_value());
+  EXPECT_TRUE(old->durability);
+  EXPECT_FALSE(ChaosConfig::parse("durability maybe\n").has_value());
+}
+
+TEST(ChaosGenerate, DurabilityEpisodesAppearOnlyWhenEnabled) {
+  const auto is_disk_fault = [](const FaultEvent& e) {
+    return e.kind == FaultEvent::Kind::kTornWrite ||
+           e.kind == FaultEvent::Kind::kFlushDrop ||
+           e.kind == FaultEvent::Kind::kBitRot ||
+           e.kind == FaultEvent::Kind::kDiskStall ||
+           e.kind == FaultEvent::Kind::kDiskFull ||
+           e.kind == FaultEvent::Kind::kDiskOk;
+  };
+  int with = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosConfig config;
+    sim::Rng rng(seed);
+    const FaultPlan plan = generate_fault_plan(config, rng);
+    with += std::any_of(plan.events().begin(), plan.events().end(),
+                        is_disk_fault);
+    ChaosConfig volatile_config;
+    volatile_config.durability = false;
+    sim::Rng rng2(seed);
+    const FaultPlan volatile_plan =
+        generate_fault_plan(volatile_config, rng2);
+    EXPECT_TRUE(std::none_of(volatile_plan.events().begin(),
+                             volatile_plan.events().end(), is_disk_fault))
+        << "seed " << seed;
+  }
+  EXPECT_GE(with, 5) << "disk-fault episodes should be common across seeds";
+}
+
+TEST(ChaosRun, HandWrittenDurabilityFaultScheduleStaysClean) {
+  // Torn write folded into a crash, bit-rot while down, partial flush on a
+  // second node — the mix the CI campaign relies on, as one fixed plan.
+  ChaosConfig config;
+  config.seed = 13;
+  config.updates = 6;
+  FaultPlan plan;
+  plan.add({.at = 70'000, .kind = FaultEvent::Kind::kTornWrite, .node = 2});
+  plan.add({.at = 130'000, .kind = FaultEvent::Kind::kCrash, .node = 2});
+  plan.add({.at = 300'000, .kind = FaultEvent::Kind::kBitRot, .node = 2,
+            .arg = 1'000'003});
+  plan.add({.at = 700'000, .kind = FaultEvent::Kind::kRestart, .node = 2});
+  plan.add({.at = 900'000, .kind = FaultEvent::Kind::kCrash, .node = 7});
+  plan.add({.at = 1'000'000, .kind = FaultEvent::Kind::kFlushDrop,
+            .node = 7, .arg = 2});
+  plan.add({.at = 1'400'000, .kind = FaultEvent::Kind::kRestart, .node = 7});
+  const ChaosReport report = run_plan(config, plan);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations[0].detail);
+  EXPECT_EQ(report.committed, 6);
+}
+
 TEST(ChaosRun, RestartMidCommitRecovers) {
   // A hand-written plan: crash a node early, restart it mid-workload. The
   // run must stay violation-free and every update must commit.

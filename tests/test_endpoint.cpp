@@ -3,6 +3,9 @@
 // with hand-crafted frames rather than live peers.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "commit/endpoint.hpp"
 
 namespace asa_repro::commit {
@@ -171,6 +174,65 @@ TEST(Endpoint, ConcurrentRequestsKeptSeparate) {
   h.confirm(3, b);
   h.sched.run_until(15'000);
   EXPECT_EQ(committed, 2);
+}
+
+TEST(Endpoint, ExponentialBackoffIsClampedAtHighAttemptCounts) {
+  // Enough attempts to overflow an unclamped base_timeout << attempt many
+  // times over. With the clamp, inter-attempt gaps plateau at max_backoff
+  // instead of wrapping to near-zero (a silent retry storm).
+  RetryPolicy policy;
+  policy.backoff = RetryPolicy::Backoff::kExponential;
+  policy.base_timeout = 1'000;
+  policy.max_backoff = 8'000;
+  policy.max_attempts = 200;
+  sim::Scheduler sched;
+  sim::Network network(sched, sim::Rng(3), sim::LatencyModel{100, 100});
+  CommitEndpoint endpoint(network, 100, {0, 1, 2, 3}, 1, policy,
+                          sim::Rng(5));
+  std::vector<sim::Time> arrivals;
+  network.attach(0, [&](sim::NodeAddr, const std::string&) {
+    arrivals.push_back(sched.now());
+  });
+  bool done = false;
+  CommitResult result;
+  endpoint.submit(9, 1, [&](const CommitResult& r) {
+    result = r;
+    done = true;
+  });
+  sched.run_until(5'000'000);  // Never confirmed: all 200 attempts fire.
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.committed);
+  EXPECT_EQ(result.attempts, 200u);
+  ASSERT_EQ(arrivals.size(), 200u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    const sim::Time gap = arrivals[i] - arrivals[i - 1];
+    // Delay is clamped backoff + jitter below base_timeout; latency adds a
+    // little slack either way. An overflow wrap would collapse the gap.
+    EXPECT_LE(gap, policy.max_backoff + policy.base_timeout + 400)
+        << "attempt " << i;
+    EXPECT_GE(gap, 800u) << "attempt " << i;
+  }
+}
+
+TEST(Endpoint, ExponentialBackoffSurvivesHugeBaseTimeouts) {
+  // A pathological base_timeout near the top of the 64-bit range must not
+  // wrap the retry arithmetic: the endpoint still walks through its
+  // attempts and gives up, rather than hanging or retry-storming.
+  RetryPolicy policy;
+  policy.backoff = RetryPolicy::Backoff::kExponential;
+  policy.base_timeout = sim::Time{1} << 62;
+  policy.max_attempts = 4;
+  EndpointHarness h(policy);
+  bool done = false;
+  CommitResult result;
+  h.endpoint.submit(9, 1, [&](const CommitResult& r) {
+    result = r;
+    done = true;
+  });
+  h.sched.run_until(std::numeric_limits<sim::Time>::max());
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.committed);
+  EXPECT_EQ(result.attempts, 4u);
 }
 
 }  // namespace

@@ -45,6 +45,14 @@ void usage() {
       "  --equivocators K   force K permanent equivocators (faults > f)\n"
       "  --expect-violation exit 0 only if a violation is found, shrunk\n"
       "                     and its replay file reproduces it\n"
+      "  --no-durability    volatile nodes (the pre-journal behaviour):\n"
+      "                     restart recovers from peers only, and generated\n"
+      "                     plans carry no disk-fault episodes\n"
+      "  --durability-smoke run the deterministic journal-corruption and\n"
+      "                     crash-consistency smoke instead of a campaign\n"
+      "                     (torn write, bit-rot, full peer-set crash, and\n"
+      "                     the volatile counterfactual); exit 0 when every\n"
+      "                     expectation holds\n"
       "  --replay FILE      re-run a recorded schedule and report\n"
       "  --out DIR          directory for replay files (default .)\n"
       "  --metrics-out FILE campaign-aggregated metrics (asa-metrics/1)\n"
@@ -95,6 +103,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   bool expect_violation = false;
+  bool durability_smoke = false;
   bool verbose = false;
   bool burst_set = false;
 
@@ -132,6 +141,10 @@ int main(int argc, char** argv) {
         config.equivocators = static_cast<std::uint32_t>(std::stoul(next()));
       } else if (arg == "--expect-violation") {
         expect_violation = true;
+      } else if (arg == "--no-durability") {
+        config.durability = false;
+      } else if (arg == "--durability-smoke") {
+        durability_smoke = true;
       } else if (arg == "--replay") {
         replay_path = next();
       } else if (arg == "--out") {
@@ -154,6 +167,20 @@ int main(int argc, char** argv) {
   }
 
   if (!replay_path.empty()) return run_replay(replay_path);
+
+  if (durability_smoke) {
+    std::cout << "durability smoke (seed " << seed0 << "):\n";
+    const DurabilitySmokeReport smoke = run_durability_smoke(seed0);
+    for (const std::string& line : smoke.notes) {
+      std::cout << "  " << line << "\n";
+    }
+    for (const std::string& line : smoke.failures) {
+      std::cout << "  FAIL: " << line << "\n";
+    }
+    std::cout << (smoke.ok() ? "durability smoke passed\n"
+                             : "durability smoke FAILED\n");
+    return smoke.ok() ? 0 : 1;
+  }
 
   // Equivocators split concurrent same-GUID proposals; give them some.
   if (config.equivocators > 0 && !burst_set) config.burst = 2;
