@@ -31,6 +31,11 @@ std::uint64_t CommitEndpoint::submit(std::uint64_t guid,
   p.payload = payload;
   p.submitted_at = network_.scheduler().now();
   p.callback = std::move(callback);
+  if (spans_ != nullptr) {
+    p.root_span =
+        spans_->open("commit", 0, self_, std::to_string(guid), request_id,
+                     0, p.submitted_at);
+  }
   pending_.emplace(request_id, std::move(p));
   ++stats_.submitted;
   start_attempt(request_id);
@@ -45,6 +50,15 @@ void CommitEndpoint::start_attempt(std::uint64_t request_id) {
   // request id lets the storage layer collapse duplicate commits of
   // retried updates.
   p.current_update_id = (std::uint64_t{self_} << 32) | next_update_id_++;
+  if (spans_ != nullptr) {
+    const sim::Time now = network_.scheduler().now();
+    if (spans_->is_open(p.attempt_span)) {
+      spans_->close(p.attempt_span, now, false, "retry");
+    }
+    p.attempt_span =
+        spans_->open("attempt", p.root_span, self_, std::to_string(p.guid),
+                     request_id, p.current_update_id, now);
+  }
 
   std::vector<sim::NodeAddr> order = peers_;
   if (policy_.order == RetryPolicy::ServerOrder::kRandom) {
@@ -104,6 +118,12 @@ void CommitEndpoint::on_timeout(std::uint64_t request_id) {
   Pending& p = it->second;
   if (p.attempt >= policy_.max_attempts) {
     ++stats_.failures;
+    if (spans_ != nullptr) {
+      const sim::Time now = network_.scheduler().now();
+      spans_->close(p.attempt_span, now, false, "timeout");
+      spans_->close(p.root_span, now, false,
+                    "failed attempts=" + std::to_string(p.attempt));
+    }
     CommitResult result;
     result.committed = false;
     result.request_id = request_id;
@@ -136,6 +156,16 @@ void CommitEndpoint::handle(sim::NodeAddr from, const std::string& data) {
 
   network_.scheduler().cancel(p.timer);
   ++stats_.committed;
+  if (spans_ != nullptr) {
+    const sim::Time now = network_.scheduler().now();
+    spans_->close(p.attempt_span, now, true);
+    // `decisive` names the replica whose confirmation completed the
+    // quorum — the peer whose vote-collect/quorum spans bound the commit's
+    // critical path.
+    spans_->close(p.root_span, now, true,
+                  "decisive=" + std::to_string(from) +
+                      " attempts=" + std::to_string(p.attempt));
+  }
   CommitResult result;
   result.committed = true;
   result.request_id = msg->request_id;

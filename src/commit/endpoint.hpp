@@ -18,6 +18,7 @@
 
 #include "commit/messages.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/network.hpp"
 #include "sim/rng.hpp"
 
@@ -92,6 +93,12 @@ class CommitEndpoint {
   /// attempt histograms, per-GUID retry counters. nullptr disables.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attach a span recorder: every submitted update opens a root "commit"
+  /// span with one "attempt" child per protocol attempt; the decisive
+  /// replica's address lands in the root's detail (`decisive=N`) so
+  /// asareport can join endpoint spans to peer spans. nullptr disables.
+  void set_spans(obs::SpanRecorder* spans) { spans_ = spans; }
+
  private:
   struct Pending {
     std::uint64_t guid = 0;
@@ -101,6 +108,8 @@ class CommitEndpoint {
     sim::Time submitted_at = 0;
     std::set<sim::NodeAddr> confirmations;  // For the current attempt.
     std::uint64_t timer = 0;
+    std::uint64_t root_span = 0;     // "commit" span id (0 when disabled).
+    std::uint64_t attempt_span = 0;  // Current "attempt" child span id.
     Callback callback;
   };
 
@@ -116,6 +125,7 @@ class CommitEndpoint {
   RetryPolicy policy_;
   sim::Rng rng_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
   EndpointStats stats_;
   std::map<std::uint64_t, Pending> pending_;  // By request id.
   std::uint64_t next_request_id_;

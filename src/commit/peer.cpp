@@ -180,6 +180,17 @@ CommitPeer::Instance& CommitPeer::instance(GuidContext& ctx,
                   {{"node", std::to_string(self_)}})
         .inc();
   }
+  if (spans_ != nullptr) {
+    inst.vote_span =
+        spans_->open("vote-collect", 0, self_, std::to_string(guid),
+                     inst.request_id, update_id, inst.created);
+  }
+  if (flight_ != nullptr) {
+    flight_->record(network_.scheduler().now(), self_, "commit.instance",
+                    "guid=" + std::to_string(guid) +
+                        " update=" + std::to_string(update_id) +
+                        " request=" + std::to_string(inst.request_id));
+  }
   arm_abort_scan();  // Watch the new instance for stalls, if enabled.
   return inst;
 }
@@ -294,6 +305,20 @@ void CommitPeer::execute_actions(GuidContext& ctx, std::uint64_t guid,
                  inst.payload});
     } else if (action == kActionCommit) {
       ++stats_.commits_sent;
+      // Phase boundary: the vote collected enough siblings to choose this
+      // update; everything from here to the recorded commit is the quorum
+      // phase.
+      if (spans_ != nullptr) {
+        const sim::Time now = network_.scheduler().now();
+        if (spans_->is_open(inst.vote_span)) {
+          spans_->close(inst.vote_span, now, true);
+        }
+        if (inst.quorum_span == 0) {
+          inst.quorum_span =
+              spans_->open("quorum", 0, self_, std::to_string(guid),
+                           inst.request_id, update_id, now);
+        }
+      }
       broadcast({WireMessage::Kind::kCommit, guid, update_id,
                  inst.request_id, inst.payload});
     } else if (action == kActionNotFree) {
@@ -346,7 +371,19 @@ void CommitPeer::check_finished(GuidContext& ctx, std::uint64_t guid,
       // nor acknowledge. The FSM's free action already ran, but release
       // the lock defensively too — a bad disk must not deadlock the GUID
       // lane. The instance stays finished-unrecorded; the client's resent
-      // update retries the sink once the disk heals.
+      // update retries the sink once the disk heals. The quorum span stays
+      // open — the commit is not over until the retry lands.
+      if (spans_ != nullptr) {
+        spans_->point("journal-append", inst.quorum_span, self_,
+                      std::to_string(guid), inst.request_id, update_id,
+                      network_.scheduler().now(), false, "vetoed");
+      }
+      if (flight_ != nullptr) {
+        flight_->record(network_.scheduler().now(), self_, "commit.veto",
+                        "guid=" + std::to_string(guid) +
+                            " update=" + std::to_string(update_id) +
+                            " request=" + std::to_string(inst.request_id));
+      }
       if (ctx.chosen_update == update_id) {
         ctx.chosen_update.reset();
         free_siblings(ctx, guid, update_id);
@@ -370,6 +407,29 @@ void CommitPeer::check_finished(GuidContext& ctx, std::uint64_t guid,
                       obs::latency_buckets_us())
           .observe(latency);
     }
+    if (spans_ != nullptr) {
+      const sim::Time now = network_.scheduler().now();
+      // An instance can finish without ever broadcasting its own commit
+      // (it adopted the siblings' quorum); close whatever is still open.
+      if (spans_->is_open(inst.vote_span)) {
+        spans_->close(inst.vote_span, now, true);
+      }
+      if (commit_sink_) {
+        spans_->point("journal-append", inst.quorum_span, self_,
+                      std::to_string(guid), inst.request_id, update_id,
+                      now, true);
+      }
+      if (spans_->is_open(inst.quorum_span)) {
+        spans_->close(inst.quorum_span, now, true);
+      }
+    }
+    if (flight_ != nullptr) {
+      flight_->record(network_.scheduler().now(), self_, "commit.record",
+                      "guid=" + std::to_string(guid) +
+                          " update=" + std::to_string(update_id) +
+                          " request=" + std::to_string(inst.request_id) +
+                          " latency=" + std::to_string(latency));
+    }
     // Defensive: a finished update must release the node lock even if the
     // free action was not part of the final transition (it is whenever the
     // update was locally chosen).
@@ -378,6 +438,11 @@ void CommitPeer::check_finished(GuidContext& ctx, std::uint64_t guid,
   if (inst.recorded && inst.client.has_value()) {
     if (ack_sink_) {
       ack_sink_(guid, {update_id, inst.request_id, inst.payload});
+    }
+    if (spans_ != nullptr) {
+      spans_->point("ack-sent", inst.quorum_span, self_,
+                    std::to_string(guid), inst.request_id, update_id,
+                    network_.scheduler().now(), true);
     }
     network_.send(self_, *inst.client,
                   WireMessage{WireMessage::Kind::kCommitted, guid, update_id,
@@ -430,6 +495,16 @@ void CommitPeer::abort_scan(sim::Time max_age) {
         metrics_
             ->counter("commit.aborts", {{"guid", std::to_string(guid)}})
             .inc();
+      }
+      if (spans_ != nullptr) {
+        spans_->close(inst.vote_span, now, false, "abort");
+        spans_->close(inst.quorum_span, now, false, "abort");
+      }
+      if (flight_ != nullptr) {
+        flight_->record(now, self_, "commit.abort",
+                        "guid=" + std::to_string(guid) +
+                            " update=" + std::to_string(it->first) +
+                            " request=" + std::to_string(inst.request_id));
       }
       const bool held_lock = ctx.chosen_update == it->first;
       const std::uint64_t erased_uid = it->first;

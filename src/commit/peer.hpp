@@ -24,7 +24,9 @@
 
 #include "commit/driver.hpp"
 #include "commit/messages.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
 
@@ -83,6 +85,17 @@ class CommitPeer {
   /// Attach a metrics registry: instance lifecycle counters, commit-latency
   /// histograms and per-GUID abort counters. nullptr (default) disables.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Attach a span recorder: each machine instance opens a "vote-collect"
+  /// span on creation and a "quorum" span once it broadcasts its commit,
+  /// with journal-append/ack-sent point children — the peer half of the
+  /// commit critical path. nullptr (default) disables.
+  void set_spans(obs::SpanRecorder* spans) { spans_ = spans; }
+
+  /// Attach a flight recorder: instance lifecycle events (created,
+  /// recorded, aborted, sink-vetoed) with their guid/update/request causal
+  /// ids land in this node's ring lane. nullptr (default) disables.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
 
   /// Replace how machine instances execute (paper section 4.3): by default
   /// new instances interpret the shared generated StateMachine; a custom
@@ -186,6 +199,8 @@ class CommitPeer {
     std::optional<sim::NodeAddr> client; // Who to notify on completion.
     sim::Time created = 0;
     bool recorded = false;               // Appended to committed history.
+    std::uint64_t vote_span = 0;    // "vote-collect" span id (0 = none).
+    std::uint64_t quorum_span = 0;  // "quorum" span id (0 = none).
   };
   struct GuidContext {
     std::map<std::uint64_t, Instance> instances;  // By update_id.
@@ -233,6 +248,8 @@ class CommitPeer {
   Behaviour behaviour_;
   sim::Trace* trace_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   CommitSink commit_sink_;
   AckSink ack_sink_;
   ImportSink import_sink_;

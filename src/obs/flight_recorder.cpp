@@ -1,0 +1,72 @@
+#include "obs/flight_recorder.hpp"
+
+#include <utility>
+
+namespace asa_repro::obs {
+
+void FlightRecorder::record(std::uint64_t t, std::uint32_t node,
+                            const char* category, std::string detail) {
+  if (capacity_ == 0) return;
+  Ring& ring = lanes_[node];
+  FlightEvent event{t, seq_++, category, std::move(detail)};
+  ++recorded_;
+  if (ring.slots.size() < capacity_) {
+    ring.slots.push_back(std::move(event));
+    return;
+  }
+  ring.slots[ring.next] = std::move(event);
+  ring.next = (ring.next + 1) % capacity_;
+}
+
+std::vector<std::uint32_t> FlightRecorder::lanes() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(lanes_.size());
+  for (const auto& [node, ring] : lanes_) {
+    if (!ring.slots.empty()) out.push_back(node);
+  }
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::lane(std::uint32_t node) const {
+  const auto it = lanes_.find(node);
+  if (it == lanes_.end()) return {};
+  const Ring& ring = it->second;
+  std::vector<FlightEvent> out;
+  out.reserve(ring.slots.size());
+  // Before the first wrap `next` is 0 and the slots are already oldest
+  // first; afterwards `next` points at the oldest surviving event.
+  const std::size_t n = ring.slots.size();
+  const std::size_t start = n < capacity_ ? 0 : ring.next;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring.slots[(start + i) % n]);
+  }
+  return out;
+}
+
+void FlightRecorder::merge(const FlightRecorder& other) {
+  for (const std::uint32_t node : other.lanes()) {
+    for (FlightEvent event : other.lane(node)) {
+      record(event.t, node, event.category, std::move(event.detail));
+    }
+  }
+}
+
+JsonValue FlightRecorder::to_json() const {
+  JsonValue root = JsonValue::object();
+  for (const std::uint32_t node : lanes()) {
+    JsonValue events = JsonValue::array();
+    for (const FlightEvent& event : lane(node)) {
+      JsonValue entry = JsonValue::object();
+      entry.set("t", JsonValue(event.t));
+      entry.set("seq", JsonValue(event.seq));
+      entry.set("cat", JsonValue(event.category));
+      entry.set("detail", JsonValue(event.detail));
+      events.push_back(std::move(entry));
+    }
+    root.set(node == kClusterLane ? "cluster" : std::to_string(node),
+             std::move(events));
+  }
+  return root;
+}
+
+}  // namespace asa_repro::obs

@@ -1,0 +1,94 @@
+// Flight recorder: fixed-capacity per-node ring buffers of recent
+// structured events, for post-mortem debugging.
+//
+// The metrics registry answers "what happened over the whole run"; the
+// flight recorder answers "what did this node see in its last
+// milliseconds". Every lane (one per node, plus a cluster-wide lane for
+// events with no single owner) holds the last `capacity` events in
+// insertion order and drops the oldest on overflow — so when the invariant
+// checker fires at hour N of a soak, the bundle carries exactly the recent
+// history around the violation, bounded in memory no matter how long the
+// run was.
+//
+// Contract (mirrors MetricsRegistry):
+//   1. Deterministic: events carry sim-time only, lanes are walked in
+//      node-id order, and a global sequence number preserves cross-lane
+//      ordering — identical runs produce byte-identical exports.
+//   2. Free when off: instrumented components hold a `FlightRecorder*`
+//      that is nullptr when recording is disabled, so the hot paths cost
+//      one pointer test and never build the detail string. A recorder
+//      constructed with capacity 0 additionally drops everything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace asa_repro::obs {
+
+/// One recorded event. `category` is a static string literal supplied by
+/// the instrumentation site (never owned); `detail` is the structured
+/// payload, typically "key=value" pairs matching the trace idiom.
+struct FlightEvent {
+  std::uint64_t t = 0;    // Sim-time microseconds.
+  std::uint64_t seq = 0;  // Global record order across all lanes.
+  const char* category = "";
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  /// Lane id for events that belong to the cluster as a whole (scheduler
+  /// queue-depth samples, violation markers) rather than to one node.
+  static constexpr std::uint32_t kClusterLane = 0xFFFFFFFFu;
+
+  explicit FlightRecorder(std::size_t capacity = 0)
+      : capacity_(capacity) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  /// Append an event to `node`'s lane, evicting its oldest event when the
+  /// lane is full. Capacity 0 drops the event (belt and braces — callers
+  /// are expected to hold a nullptr instead and never reach this).
+  void record(std::uint64_t t, std::uint32_t node, const char* category,
+              std::string detail);
+
+  /// Lane ids with at least one event, ascending (kClusterLane last).
+  [[nodiscard]] std::vector<std::uint32_t> lanes() const;
+
+  /// Events of `node`'s lane, oldest first. Empty for unknown lanes.
+  [[nodiscard]] std::vector<FlightEvent> lane(std::uint32_t node) const;
+
+  /// Total events ever recorded, including evicted ones.
+  [[nodiscard]] std::uint64_t total_recorded() const { return recorded_; }
+
+  /// Append every event of `other` (lane by lane, oldest first) into this
+  /// recorder, re-sequencing into this recorder's global order. Used by
+  /// campaign drivers to hand a run's recorder out of the engine.
+  void merge(const FlightRecorder& other);
+
+  /// JSON object {"<node>":[{"t","seq","cat","detail"}...],...} with lanes
+  /// in ascending node order; the cluster lane renders as "cluster".
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  struct Ring {
+    std::vector<FlightEvent> slots;  // Grows to capacity, then wraps.
+    std::size_t next = 0;            // Overwrite cursor once full.
+  };
+
+  std::size_t capacity_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::map<std::uint32_t, Ring> lanes_;
+};
+
+}  // namespace asa_repro::obs

@@ -95,7 +95,12 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
       continue;
     }
     Histogram& mine = it->second;
-    if (mine.bounds_ != h.bounds_) continue;  // Incompatible series.
+    if (mine.bounds_ != h.bounds_) {
+      // Incompatible series: dropping it silently would corrupt campaign
+      // aggregates, so leave an audit trail the report can surface.
+      counters_[make_key("metrics.merge_conflicts", {})].value_ += 1;
+      continue;
+    }
     for (std::size_t i = 0; i < mine.counts_.size(); ++i) {
       mine.counts_[i] += h.counts_[i];
     }
@@ -137,8 +142,7 @@ JsonValue labels_object(const Labels& labels) {
 
 }  // namespace
 
-std::string write_metrics_json(const MetricsRegistry& registry,
-                               const Meta& meta) {
+JsonValue metrics_json(const MetricsRegistry& registry, const Meta& meta) {
   JsonValue root = JsonValue::object();
   root.set("schema", JsonValue("asa-metrics/1"));
 
@@ -196,7 +200,12 @@ std::string write_metrics_json(const MetricsRegistry& registry,
   });
   root.set("histograms", std::move(histograms));
 
-  return root.dump(1) + "\n";
+  return root;
+}
+
+std::string write_metrics_json(const MetricsRegistry& registry,
+                               const Meta& meta) {
+  return metrics_json(registry, meta).dump(1) + "\n";
 }
 
 }  // namespace asa_repro::obs

@@ -124,8 +124,11 @@ class MetricsRegistry {
 
   /// Fold `other` into this registry: counters and histograms add, gauges
   /// adopt the other's value. Series are matched by (name, labels);
-  /// histogram bounds must agree (mismatched series are skipped). Used by
-  /// campaign drivers to aggregate per-seed registries deterministically.
+  /// histogram bounds must agree — a mismatched series is skipped AND
+  /// counted in the `metrics.merge_conflicts` counter so campaign
+  /// aggregation cannot silently drop data (asareport surfaces it). Used
+  /// by campaign drivers to aggregate per-seed registries
+  /// deterministically.
   void merge(const MetricsRegistry& other);
 
   /// Deterministic walk in (name, labels) order.
@@ -170,7 +173,11 @@ using Meta = std::vector<std::pair<std::string, std::string>>;
 ///    "histograms":[{"name","labels","count","sum","min","max",
 ///                   "buckets":[{"le",count}...,{"le":"inf",count}]}...]}
 /// Series appear in registry (map) order; byte-identical across identical
-/// runs.
+/// runs. metrics_json returns the document tree (post-mortem bundles embed
+/// it); write_metrics_json is the dump-to-string form every tool writes.
+class JsonValue;
+[[nodiscard]] JsonValue metrics_json(const MetricsRegistry& registry,
+                                     const Meta& meta);
 [[nodiscard]] std::string write_metrics_json(const MetricsRegistry& registry,
                                              const Meta& meta);
 

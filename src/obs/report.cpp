@@ -211,16 +211,152 @@ std::optional<std::string> validate_findings_json(const JsonValue& root) {
   return std::nullopt;
 }
 
+std::optional<std::string> validate_spans_json(const JsonValue& root) {
+  if (!root.is_object()) return "document is not a JSON object";
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return "missing schema field";
+  }
+  if (schema->as_string() != "asa-span/1") {
+    return "unsupported schema " + schema->as_string();
+  }
+  const JsonValue* meta = root.find("meta");
+  if (meta == nullptr || !meta->is_object()) {
+    return "missing meta object";
+  }
+  const JsonValue* spans = root.find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return "missing spans array";
+  }
+  std::uint64_t expected_id = 1;
+  for (const JsonValue& span : spans->items()) {
+    if (!span.is_object()) return "span entry is not an object";
+    for (const char* field :
+         {"id", "parent", "node", "request", "update", "start", "end"}) {
+      const JsonValue* v = span.find(field);
+      if (v == nullptr || !v->is_number()) {
+        return std::string("span without numeric ") + field;
+      }
+    }
+    for (const char* field : {"name", "guid", "detail"}) {
+      const JsonValue* v = span.find(field);
+      if (v == nullptr || !v->is_string()) {
+        return std::string("span without string ") + field;
+      }
+    }
+    for (const char* field : {"ok", "closed"}) {
+      const JsonValue* v = span.find(field);
+      if (v == nullptr || v->kind() != JsonValue::Kind::kBool) {
+        return std::string("span without boolean ") + field;
+      }
+    }
+    const auto id = static_cast<std::uint64_t>(span.find("id")->as_int());
+    if (id != expected_id) {
+      return "span ids are not contiguous from 1 (saw " +
+             std::to_string(id) + ", expected " +
+             std::to_string(expected_id) + ")";
+    }
+    const auto parent =
+        static_cast<std::uint64_t>(span.find("parent")->as_int());
+    if (parent >= id) {
+      return "span " + std::to_string(id) +
+             " parent does not precede it";
+    }
+    if (static_cast<std::uint64_t>(span.find("end")->as_int()) <
+        static_cast<std::uint64_t>(span.find("start")->as_int())) {
+      return "span " + std::to_string(id) + " ends before it starts";
+    }
+    ++expected_id;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_postmortem_json(const JsonValue& root) {
+  if (!root.is_object()) return "document is not a JSON object";
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return "missing schema field";
+  }
+  if (schema->as_string() != "asa-postmortem/1") {
+    return "unsupported schema " + schema->as_string();
+  }
+  const JsonValue* meta = root.find("meta");
+  if (meta == nullptr || !meta->is_object()) {
+    return "missing meta object";
+  }
+  const JsonValue* violations = root.find("violations");
+  if (violations == nullptr || !violations->is_array()) {
+    return "missing violations array";
+  }
+  for (const JsonValue& v : violations->items()) {
+    if (!v.is_object()) return "violation entry is not an object";
+    for (const char* field : {"invariant", "detail"}) {
+      const JsonValue* f = v.find(field);
+      if (f == nullptr || !f->is_string()) {
+        return std::string("violation without string ") + field;
+      }
+    }
+  }
+  for (const char* section : {"plan", "shrunk_plan"}) {
+    const JsonValue* plan = root.find(section);
+    if (plan == nullptr || !plan->is_array()) {
+      return std::string("missing ") + section + " array";
+    }
+    for (const JsonValue& line : plan->items()) {
+      if (!line.is_string()) {
+        return std::string(section) + " entry is not a string";
+      }
+    }
+  }
+  const JsonValue* flight = root.find("flight");
+  if (flight == nullptr || !flight->is_object()) {
+    return "missing flight object";
+  }
+  for (const auto& [lane, events] : flight->members()) {
+    if (!events.is_array()) {
+      return "flight lane " + lane + " is not an array";
+    }
+    for (const JsonValue& e : events.items()) {
+      if (!e.is_object()) return "flight lane " + lane + " event is not an object";
+      for (const char* field : {"t", "seq"}) {
+        const JsonValue* f = e.find(field);
+        if (f == nullptr || !f->is_number()) {
+          return "flight lane " + lane + " event without numeric " + field;
+        }
+      }
+      for (const char* field : {"cat", "detail"}) {
+        const JsonValue* f = e.find(field);
+        if (f == nullptr || !f->is_string()) {
+          return "flight lane " + lane + " event without string " + field;
+        }
+      }
+    }
+  }
+  const JsonValue* metrics = root.find("metrics");
+  if (metrics == nullptr) return "missing embedded metrics document";
+  if (auto err = validate_metrics_json(*metrics); err.has_value()) {
+    return "embedded metrics: " + *err;
+  }
+  const JsonValue* spans = root.find("spans");
+  if (spans == nullptr) return "missing embedded spans document";
+  if (auto err = validate_spans_json(*spans); err.has_value()) {
+    return "embedded spans: " + *err;
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> validate_document_json(const JsonValue& root) {
   if (!root.is_object()) return "document is not a JSON object";
   const JsonValue* schema = root.find("schema");
   if (schema == nullptr || !schema->is_string()) {
     return "missing schema field";
   }
-  if (schema->as_string() == "asa-findings/1") {
-    return validate_findings_json(root);
-  }
-  return validate_metrics_json(root);
+  const std::string& name = schema->as_string();
+  if (name == "asa-metrics/1") return validate_metrics_json(root);
+  if (name == "asa-findings/1") return validate_findings_json(root);
+  if (name == "asa-span/1") return validate_spans_json(root);
+  if (name == "asa-postmortem/1") return validate_postmortem_json(root);
+  return "unknown schema " + name;
 }
 
 std::string render_findings(const JsonValue& root) {
@@ -313,6 +449,337 @@ std::optional<std::uint64_t> detail_field(const std::string& detail,
   return std::nullopt;
 }
 
+namespace {
+
+/// Parsed asa-span/1 entry, numeric fields only where the critical-path
+/// join needs them.
+struct ParsedSpan {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  std::uint32_t node = 0;
+  std::string guid;
+  std::uint64_t request = 0;
+  std::uint64_t update = 0;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  bool ok = false;
+  bool closed = false;
+  std::string detail;
+};
+
+std::vector<ParsedSpan> parse_spans(const JsonValue& spans_doc) {
+  std::vector<ParsedSpan> out;
+  const JsonValue* spans = spans_doc.find("spans");
+  if (spans == nullptr || !spans->is_array()) return out;
+  for (const JsonValue& s : spans->items()) {
+    ParsedSpan p;
+    p.id = static_cast<std::uint64_t>(s.find("id")->as_int());
+    p.parent = static_cast<std::uint64_t>(s.find("parent")->as_int());
+    p.name = s.find("name")->as_string();
+    p.node = static_cast<std::uint32_t>(s.find("node")->as_int());
+    p.guid = s.find("guid")->as_string();
+    p.request = static_cast<std::uint64_t>(s.find("request")->as_int());
+    p.update = static_cast<std::uint64_t>(s.find("update")->as_int());
+    p.start = static_cast<std::uint64_t>(s.find("start")->as_int());
+    p.end = static_cast<std::uint64_t>(s.find("end")->as_int());
+    p.ok = s.find("ok")->as_bool();
+    p.closed = s.find("closed")->as_bool();
+    p.detail = s.find("detail")->as_string();
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::uint64_t sub_clamped(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+/// Exact quantile of a sample vector (sorted in place): the smallest
+/// element whose rank covers q.
+std::uint64_t sample_quantile(std::vector<std::uint64_t>& v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(v.size()) + 0.999999999);
+  return v[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+std::string render_critical_path(const JsonValue& spans_doc) {
+  const std::vector<ParsedSpan> spans = parse_spans(spans_doc);
+
+  // One decomposed commit: every duration in microseconds, phases clamped
+  // individually; `attributed` capped at `total`.
+  struct Decomposed {
+    std::string guid;
+    std::uint64_t request = 0;
+    std::uint64_t total = 0;
+    std::uint64_t phases[6] = {0, 0, 0, 0, 0, 0};
+    std::uint64_t attributed = 0;
+    bool joined = false;  // Decisive peer spans were found.
+  };
+  static const char* kPhases[6] = {"submit",       "retry", "route",
+                                   "vote-collect", "quorum", "ack"};
+
+  std::vector<Decomposed> commits;
+  std::size_t open_roots = 0;
+  std::size_t journal_appends = 0;
+  for (const ParsedSpan& root : spans) {
+    if (root.name != "commit") continue;
+    if (!root.closed || !root.ok) {
+      ++open_roots;
+      continue;
+    }
+    // Attempts, in open order (= id order).
+    const ParsedSpan* first_attempt = nullptr;
+    const ParsedSpan* decisive = nullptr;
+    for (const ParsedSpan& a : spans) {
+      if (a.parent != root.id || a.name != "attempt") continue;
+      if (first_attempt == nullptr) first_attempt = &a;
+      if (a.closed && a.ok) decisive = &a;
+    }
+    if (first_attempt == nullptr || decisive == nullptr) continue;
+
+    Decomposed d;
+    d.guid = root.guid;
+    d.request = root.request;
+    d.total = sub_clamped(root.end, root.start);
+    d.phases[0] = sub_clamped(first_attempt->start, root.start);  // submit
+    d.phases[1] = sub_clamped(decisive->start, first_attempt->start);
+
+    // Decisive replica: the sender of the quorum-completing confirmation,
+    // recorded by the endpoint in the root span's detail.
+    const std::optional<std::uint64_t> decisive_node =
+        detail_field(root.detail, "decisive");
+    const ParsedSpan* vote = nullptr;
+    const ParsedSpan* quorum = nullptr;
+    if (decisive_node.has_value()) {
+      for (const ParsedSpan& s : spans) {
+        if (s.update != decisive->update || s.node != *decisive_node ||
+            !s.closed) {
+          continue;
+        }
+        if (s.name == "vote-collect") vote = &s;
+        if (s.name == "quorum") quorum = &s;
+        if (s.name == "journal-append") ++journal_appends;
+      }
+    }
+    if (vote != nullptr && quorum != nullptr) {
+      d.joined = true;
+      d.phases[2] = sub_clamped(vote->start, decisive->start);  // route
+      d.phases[3] = sub_clamped(vote->end, vote->start);
+      d.phases[4] = sub_clamped(quorum->end, quorum->start);
+      d.phases[5] = sub_clamped(root.end, quorum->end);  // ack
+    }
+    std::uint64_t sum = 0;
+    for (const std::uint64_t p : d.phases) sum += p;
+    d.attributed = std::min(sum, d.total);
+    commits.push_back(std::move(d));
+  }
+
+  std::ostringstream out;
+  char line[256];
+  out << "=== commit critical path ===\n";
+  std::size_t joined = 0;
+  for (const Decomposed& d : commits) joined += d.joined ? 1 : 0;
+  out << "  committed roots: " << commits.size() << " (decisive join: "
+      << joined << ", journal points: " << journal_appends
+      << ", unfinished/failed roots: " << open_roots << ")\n";
+  if (commits.empty()) return out.str();
+
+  // Per-phase distribution across all committed updates.
+  out << "\n";
+  std::snprintf(line, sizeof line, "  %-14s %10s %10s %10s\n", "phase",
+                "p50(ms)", "p99(ms)", "max(ms)");
+  out << line;
+  for (std::size_t p = 0; p < 6; ++p) {
+    std::vector<std::uint64_t> samples;
+    samples.reserve(commits.size());
+    std::uint64_t max = 0;
+    for (const Decomposed& d : commits) {
+      samples.push_back(d.phases[p]);
+      max = std::max(max, d.phases[p]);
+    }
+    std::snprintf(line, sizeof line, "  %-14s %10s %10s %10s\n", kPhases[p],
+                  us_to_string(sample_quantile(samples, 0.50)).c_str(),
+                  us_to_string(sample_quantile(samples, 0.99)).c_str(),
+                  us_to_string(max).c_str());
+    out << line;
+  }
+  {
+    std::vector<std::uint64_t> totals;
+    totals.reserve(commits.size());
+    for (const Decomposed& d : commits) totals.push_back(d.total);
+    std::snprintf(line, sizeof line, "  %-14s %10s %10s %10s\n", "total",
+                  us_to_string(sample_quantile(totals, 0.50)).c_str(),
+                  us_to_string(sample_quantile(totals, 0.99)).c_str(),
+                  us_to_string(*std::max_element(totals.begin(),
+                                                 totals.end()))
+                      .c_str());
+    out << line;
+  }
+
+  // The p99 commit, decomposed: which phase owns the tail latency.
+  std::vector<Decomposed> by_total = commits;
+  std::stable_sort(by_total.begin(), by_total.end(),
+                   [](const Decomposed& a, const Decomposed& b) {
+                     return a.total < b.total;
+                   });
+  const auto rank = static_cast<std::size_t>(
+      0.99 * static_cast<double>(by_total.size()) + 0.999999999);
+  const Decomposed& p99 = by_total[rank == 0 ? 0 : rank - 1];
+  const double share =
+      p99.total == 0 ? 100.0
+                     : 100.0 * static_cast<double>(p99.attributed) /
+                           static_cast<double>(p99.total);
+  out << "\n=== p99 commit ===\n"
+      << "  guid=" << p99.guid << " request=" << p99.request << " total="
+      << us_to_string(p99.total) << "ms\n";
+  for (std::size_t p = 0; p < 6; ++p) {
+    if (p99.phases[p] == 0) continue;
+    out << "    " << kPhases[p] << ": " << us_to_string(p99.phases[p])
+        << "ms\n";
+  }
+  std::snprintf(line, sizeof line,
+                "  attributed to named phases: %.1f%% "
+                "(unattributed: %sms)\n",
+                share,
+                us_to_string(sub_clamped(p99.total, p99.attributed)).c_str());
+  out << line;
+  return out.str();
+}
+
+std::string render_postmortem(const JsonValue& root) {
+  std::ostringstream out;
+  out << "=== post-mortem bundle ===\n";
+  const JsonValue* meta = root.find("meta");
+  if (meta != nullptr && meta->is_object()) {
+    for (const auto& [k, v] : meta->members()) {
+      out << "  " << k << ": "
+          << (v.is_string() ? v.as_string() : v.dump()) << "\n";
+    }
+  }
+
+  const JsonValue* violations = root.find("violations");
+  out << "\n=== violations (" << violations->items().size() << ") ===\n";
+  for (const JsonValue& v : violations->items()) {
+    out << "  " << v.find("invariant")->as_string() << ": "
+        << v.find("detail")->as_string() << "\n";
+  }
+
+  const JsonValue* plan = root.find("plan");
+  const JsonValue* shrunk = root.find("shrunk_plan");
+  out << "\n=== fault plan: " << plan->items().size()
+      << " events, shrunk to " << shrunk->items().size() << " ===\n";
+  for (const JsonValue& line : shrunk->items()) {
+    out << "  " << line.as_string() << "\n";
+  }
+
+  const JsonValue* flight = root.find("flight");
+  out << "\n=== flight-recorder tails ===\n";
+  constexpr std::size_t kTail = 5;
+  for (const auto& [lane, events] : flight->members()) {
+    out << "  lane " << lane << " (" << events.items().size()
+        << " events):\n";
+    const std::size_t n = events.items().size();
+    for (std::size_t i = n > kTail ? n - kTail : 0; i < n; ++i) {
+      const JsonValue& e = events.items()[i];
+      out << "    t=" << e.find("t")->as_int() << " "
+          << e.find("cat")->as_string() << " "
+          << e.find("detail")->as_string() << "\n";
+    }
+  }
+
+  const JsonValue* spans = root.find("spans");
+  const JsonValue* metrics = root.find("metrics");
+  const JsonValue* span_arr = spans->find("spans");
+  std::size_t counters = 0;
+  if (const JsonValue* c = metrics->find("counters");
+      c != nullptr && c->is_array()) {
+    counters = c->items().size();
+  }
+  out << "\n=== embedded documents ===\n"
+      << "  spans: " << (span_arr != nullptr ? span_arr->items().size() : 0)
+      << " records\n"
+      << "  metrics: " << counters << " counters\n";
+  return out.str();
+}
+
+BenchCompareResult compare_bench_metrics(const JsonValue& baseline,
+                                         const JsonValue& current,
+                                         double tolerance) {
+  // impl -> (wall_ns, messages), from the exec.* series the throughput
+  // harness exports.
+  const auto extract = [](const JsonValue& doc) {
+    std::map<std::string, std::pair<double, double>> per_impl;
+    const auto scan = [&](const char* section, const char* name,
+                          bool first) {
+      const JsonValue* arr = doc.find(section);
+      if (arr == nullptr || !arr->is_array()) return;
+      for (const JsonValue& entry : arr->items()) {
+        if (entry.find("name")->as_string() != name) continue;
+        const JsonValue* impl = entry.find("labels")->find("impl");
+        if (impl == nullptr || !impl->is_string()) continue;
+        auto& slot = per_impl[impl->as_string()];
+        (first ? slot.first : slot.second) =
+            entry.find("value")->as_double();
+      }
+    };
+    scan("gauges", "exec.wall_ns", true);
+    scan("counters", "exec.messages", false);
+    return per_impl;
+  };
+  const auto base = extract(baseline);
+  const auto cur = extract(current);
+
+  BenchCompareResult result;
+  std::ostringstream out;
+  char line[256];
+  out << "=== bench trend: ns/msg vs baseline (tolerance +/-"
+      << static_cast<int>(tolerance * 100.0) << "%) ===\n";
+  std::snprintf(line, sizeof line, "  %-22s %12s %12s %8s  %s\n", "impl",
+                "base", "current", "ratio", "verdict");
+  out << line;
+  for (const auto& [impl, b] : base) {
+    const auto it = cur.find(impl);
+    if (it == cur.end()) {
+      std::snprintf(line, sizeof line, "  %-22s %12s %12s %8s  %s\n",
+                    impl.c_str(), "-", "-", "-", "MISSING");
+      out << line;
+      result.ok = false;
+      continue;
+    }
+    if (b.second <= 0.0 || it->second.second <= 0.0) {
+      std::snprintf(line, sizeof line, "  %-22s %12s %12s %8s  %s\n",
+                    impl.c_str(), "-", "-", "-", "NO-MESSAGES");
+      out << line;
+      result.ok = false;
+      continue;
+    }
+    const double base_ns = b.first / b.second;
+    const double cur_ns = it->second.first / it->second.second;
+    const double ratio = cur_ns / base_ns;
+    const bool within =
+        ratio >= 1.0 - tolerance && ratio <= 1.0 + tolerance;
+    std::snprintf(line, sizeof line, "  %-22s %12.3f %12.3f %8.3f  %s\n",
+                  impl.c_str(), base_ns, cur_ns, ratio,
+                  within ? "ok" : "FAIL");
+    out << line;
+    if (!within) result.ok = false;
+  }
+  for (const auto& [impl, c] : cur) {
+    if (base.find(impl) == base.end()) {
+      out << "  " << impl << ": not in baseline (informational)\n";
+    }
+  }
+  out << (result.ok ? "bench trend: within tolerance\n"
+                    : "bench trend: GATE FAILED\n");
+  result.report = out.str();
+  return result;
+}
+
 std::string render_report(const JsonValue& metrics,
                           const std::vector<ReportTraceEvent>& trace,
                           const ReportOptions& options) {
@@ -325,6 +792,24 @@ std::string render_report(const JsonValue& metrics,
     for (const auto& [k, v] : meta->members()) {
       out << "  " << k << ": "
           << (v.is_string() ? v.as_string() : v.dump()) << "\n";
+    }
+  }
+
+  // Aggregation integrity: MetricsRegistry::merge counts every histogram
+  // series it had to skip over mismatched bucket bounds. Data was lost —
+  // say so up front instead of rendering a silently incomplete report.
+  if (const JsonValue* counters = metrics.find("counters");
+      counters != nullptr && counters->is_array()) {
+    for (const JsonValue& c : counters->items()) {
+      const JsonValue* name = c.find("name");
+      const JsonValue* value = c.find("value");
+      if (name != nullptr && name->is_string() &&
+          name->as_string() == "metrics.merge_conflicts" &&
+          value != nullptr && value->as_int() > 0) {
+        out << "  WARNING: " << value->as_int()
+            << " histogram series skipped during merge"
+            << " (mismatched bucket bounds) - aggregates are incomplete\n";
+      }
     }
   }
 

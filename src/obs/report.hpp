@@ -33,10 +33,46 @@ namespace asa_repro::obs {
 /// line per finding. The document must pass validate_findings_json.
 [[nodiscard]] std::string render_findings(const JsonValue& root);
 
-/// Dispatch on the document's "schema" member: validate as asa-metrics/1
-/// or asa-findings/1 accordingly (asareport --validate accepts either).
+/// Structural validation of an asa-span/1 document (emitted by the tools'
+/// --spans-out). Returns nullopt when valid, else the first problem: ids
+/// must be contiguous from 1 with parents preceding children.
+[[nodiscard]] std::optional<std::string> validate_spans_json(
+    const JsonValue& root);
+
+/// Structural validation of an asa-postmortem/1 bundle (emitted by
+/// asachaos --postmortem-dir), including its embedded asa-metrics/1 and
+/// asa-span/1 documents.
+[[nodiscard]] std::optional<std::string> validate_postmortem_json(
+    const JsonValue& root);
+
+/// Dispatch on the document's "schema" member: asa-metrics/1,
+/// asa-findings/1, asa-span/1 or asa-postmortem/1. An unknown schema
+/// member is an error (asareport --validate exits non-zero on it).
 [[nodiscard]] std::optional<std::string> validate_document_json(
     const JsonValue& root);
+
+/// Per-commit critical-path attribution from an asa-span/1 document:
+/// joins every committed root span to its decisive attempt and the
+/// decisive replica's vote-collect/quorum spans, decomposes the end-to-end
+/// latency into named phases (submit, retry, route, vote-collect, quorum,
+/// ack), and renders per-phase p50/p99 plus the p99 commit's attribution
+/// with the unattributed remainder reported explicitly.
+[[nodiscard]] std::string render_critical_path(const JsonValue& spans_doc);
+
+/// Render an asa-postmortem/1 bundle for humans: violations, the shrunk
+/// plan, per-lane flight-recorder tails and embedded document stats.
+[[nodiscard]] std::string render_postmortem(const JsonValue& root);
+
+/// Compare two bench_execution asa-metrics/1 documents: per-impl ns/msg
+/// (exec.wall_ns / exec.messages) in `current` must stay within
+/// `tolerance` (fraction, e.g. 0.20) of `baseline`. `ok` is false when any
+/// baseline impl regressed, improved past the gate, or disappeared.
+struct BenchCompareResult {
+  std::string report;
+  bool ok = true;
+};
+[[nodiscard]] BenchCompareResult compare_bench_metrics(
+    const JsonValue& baseline, const JsonValue& current, double tolerance);
 
 /// One parsed trace event (mirror of sim::TraceEvent, kept decoupled so
 /// report rendering does not pull the simulator in).

@@ -1,0 +1,95 @@
+#include "obs/span.hpp"
+
+#include <utility>
+
+namespace asa_repro::obs {
+
+std::uint64_t SpanRecorder::open(const char* name, std::uint64_t parent,
+                                 std::uint32_t node, const std::string& guid,
+                                 std::uint64_t request_id,
+                                 std::uint64_t update_id,
+                                 std::uint64_t start) {
+  SpanRecord span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = name;
+  span.node = node;
+  span.guid = guid;
+  span.request_id = request_id;
+  span.update_id = update_id;
+  span.start = start;
+  span.end = start;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void SpanRecorder::close(std::uint64_t id, std::uint64_t end, bool ok,
+                         std::string detail) {
+  if (id == 0 || id > spans_.size()) return;
+  SpanRecord& span = spans_[id - 1];
+  if (span.closed) return;
+  span.end = end;
+  span.ok = ok;
+  span.closed = true;
+  span.detail = std::move(detail);
+}
+
+std::uint64_t SpanRecorder::point(const char* name, std::uint64_t parent,
+                                  std::uint32_t node,
+                                  const std::string& guid,
+                                  std::uint64_t request_id,
+                                  std::uint64_t update_id, std::uint64_t at,
+                                  bool ok, std::string detail) {
+  const std::uint64_t id =
+      open(name, parent, node, guid, request_id, update_id, at);
+  close(id, at, ok, std::move(detail));
+  return id;
+}
+
+bool SpanRecorder::is_open(std::uint64_t id) const {
+  return id > 0 && id <= spans_.size() && !spans_[id - 1].closed;
+}
+
+void SpanRecorder::merge(const SpanRecorder& other) {
+  const std::uint64_t offset = spans_.size();
+  for (SpanRecord span : other.spans_) {
+    span.id += offset;
+    if (span.parent != 0) span.parent += offset;
+    spans_.push_back(std::move(span));
+  }
+}
+
+JsonValue spans_json(const SpanRecorder& recorder, const Meta& meta) {
+  JsonValue root = JsonValue::object();
+  root.set("schema", JsonValue("asa-span/1"));
+
+  JsonValue meta_obj = JsonValue::object();
+  for (const auto& [k, v] : meta) meta_obj.set(k, JsonValue(v));
+  root.set("meta", std::move(meta_obj));
+
+  JsonValue spans = JsonValue::array();
+  for (const SpanRecord& span : recorder.spans()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("id", JsonValue(span.id));
+    entry.set("parent", JsonValue(span.parent));
+    entry.set("name", JsonValue(span.name));
+    entry.set("node", JsonValue(std::uint64_t{span.node}));
+    entry.set("guid", JsonValue(span.guid));
+    entry.set("request", JsonValue(span.request_id));
+    entry.set("update", JsonValue(span.update_id));
+    entry.set("start", JsonValue(span.start));
+    entry.set("end", JsonValue(span.end));
+    entry.set("ok", JsonValue(span.ok));
+    entry.set("closed", JsonValue(span.closed));
+    entry.set("detail", JsonValue(span.detail));
+    spans.push_back(std::move(entry));
+  }
+  root.set("spans", std::move(spans));
+  return root;
+}
+
+std::string write_spans_json(const SpanRecorder& recorder, const Meta& meta) {
+  return spans_json(recorder, meta).dump(1) + "\n";
+}
+
+}  // namespace asa_repro::obs

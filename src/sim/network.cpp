@@ -20,6 +20,10 @@ void Network::deliver_copy(NodeAddr from, NodeAddr to,
     if (trace_ != nullptr) {
       trace_->record(sched_.now(), to, "net.dead", route_detail(id, from, to));
     }
+    if (flight_ != nullptr) {
+      flight_->record(sched_.now(), to, "net.dead",
+                      route_detail(id, from, to));
+    }
     return;
   }
   ++stats_.delivered;
@@ -28,6 +32,11 @@ void Network::deliver_copy(NodeAddr from, NodeAddr to,
     trace_->record(sched_.now(), to, "net.deliver",
                    route_detail(id, from, to) +
                        " latency=" + std::to_string(latency));
+  }
+  if (flight_ != nullptr) {
+    flight_->record(sched_.now(), to, "net.deliver",
+                    route_detail(id, from, to) +
+                        " latency=" + std::to_string(latency));
   }
   if (metrics_ != nullptr) {
     metrics_
@@ -47,10 +56,18 @@ std::uint64_t Network::send(NodeAddr from, NodeAddr to, std::string payload) {
                    route_detail(id, from, to) +
                        " size=" + std::to_string(payload.size()));
   }
+  if (flight_ != nullptr) {
+    flight_->record(sched_.now(), from, "net.send",
+                    route_detail(id, from, to));
+  }
   if (partitions_.contains({from, to})) {
     ++stats_.partitioned;
     if (trace_ != nullptr) {
       trace_->record(sched_.now(), from, "net.part", route_detail(id, from, to));
+    }
+    if (flight_ != nullptr) {
+      flight_->record(sched_.now(), from, "net.part",
+                      route_detail(id, from, to));
     }
     return id;
   }
@@ -58,6 +75,10 @@ std::uint64_t Network::send(NodeAddr from, NodeAddr to, std::string payload) {
     ++stats_.dropped;
     if (trace_ != nullptr) {
       trace_->record(sched_.now(), from, "net.drop", route_detail(id, from, to));
+    }
+    if (flight_ != nullptr) {
+      flight_->record(sched_.now(), from, "net.drop",
+                      route_detail(id, from, to));
     }
     return id;
   }
@@ -67,6 +88,10 @@ std::uint64_t Network::send(NodeAddr from, NodeAddr to, std::string payload) {
     copies = 2;
     if (trace_ != nullptr) {
       trace_->record(sched_.now(), from, "net.dup", route_detail(id, from, to));
+    }
+    if (flight_ != nullptr) {
+      flight_->record(sched_.now(), from, "net.dup",
+                      route_detail(id, from, to));
     }
   }
   const Time sent_at = sched_.now();

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -93,6 +94,11 @@ class Network {
   /// Attach a metrics registry for per-link latency histograms. nullptr
   /// (default) disables.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Attach a flight recorder: message fates land in the per-node ring
+  /// lanes (send-side fates under `from`, terminal fates under `to`).
+  /// nullptr (default) disables.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
 
   /// Sever the directed link a->b (messages silently lost).
   void partition(NodeAddr a, NodeAddr b) { partitions_.insert({a, b}); }
@@ -181,6 +187,7 @@ class Network {
   NetworkStats stats_;
   Trace* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   std::uint64_t next_msg_id_ = 1;
 };
 

@@ -358,13 +358,19 @@ sim::FaultPlan generate_fault_plan(const ChaosConfig& config,
 // --------------------------------------------------------------- one run
 
 ChaosReport run_plan(const ChaosConfig& config, const sim::FaultPlan& plan,
-                     obs::MetricsRegistry* metrics, sim::Trace* trace) {
+                     obs::MetricsRegistry* metrics, sim::Trace* trace,
+                     obs::FlightRecorder* flight, obs::SpanRecorder* spans) {
   ClusterConfig cluster_config;
   cluster_config.nodes = config.nodes;
   cluster_config.replication_factor = config.replication;
   cluster_config.seed = config.seed;
   cluster_config.metrics = metrics != nullptr;
   cluster_config.tracing = trace != nullptr;
+  // The flight capacity is a run_plan constant, NOT a ChaosConfig knob:
+  // replay headers reject unknown keys, so adding one would invalidate
+  // every existing reproducer file.
+  cluster_config.flight_capacity = flight != nullptr ? 256 : 0;
+  cluster_config.spans = spans != nullptr;
   // Retries must outlast fault windows (exponential backoff spans the
   // horizon), and peers must abort stalled instances or vote splits under
   // churn would deadlock forever.
@@ -482,6 +488,10 @@ ChaosReport run_plan(const ChaosConfig& config, const sim::FaultPlan& plan,
                                     [&cluster] { cluster.maintainer().scan(); });
   }
 
+  // Queue-depth samples on the flight recorder's cluster lane, every 50 ms
+  // across the fault/workload window.
+  cluster.schedule_flight_sampling(config.horizon, 50'000);
+
   report.events_executed = cluster.run(config.max_events);
   report.quiesced = cluster.scheduler().pending() == 0;
   if (!report.quiesced) {
@@ -563,6 +573,8 @@ ChaosReport run_plan(const ChaosConfig& config, const sim::FaultPlan& plan,
     trace->record(0, 0, "campaign", "seed=" + std::to_string(config.seed));
     trace->append(cluster.trace());
   }
+  if (flight != nullptr) flight->merge(cluster.flight());
+  if (spans != nullptr) spans->merge(cluster.spans());
   return report;
 }
 

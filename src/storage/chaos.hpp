@@ -22,7 +22,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
@@ -102,16 +104,23 @@ struct ChaosReport {
 /// and the seed-derived workload, run to quiescence (bounded by
 /// max_events), then check every invariant.
 ///
-/// Observability out-params (both optional; shrinking and replay pass
-/// neither, so reproducers run unobserved and fast): with `metrics` the
+/// Observability out-params (all optional; shrinking and replay pass
+/// none, so reproducers run unobserved and fast): with `metrics` the
 /// run's cluster enables its registry and merges it into `metrics` at the
 /// end (counters/histograms accumulate across seeds); with `trace` the
 /// run's causal message/commit trace is appended to `trace`, prefixed by a
-/// `campaign` marker event carrying the seed.
+/// `campaign` marker event carrying the seed. With `flight` the cluster
+/// runs a 256-slot-per-node flight recorder (plus horizon-bounded
+/// queue-depth sampling on the cluster lane) merged into `flight` at the
+/// end; with `spans` the commit-path span timeline is recorded and merged
+/// likewise. None of these affect the event timeline: identical seeds
+/// produce identical runs observed or not.
 [[nodiscard]] ChaosReport run_plan(const ChaosConfig& config,
                                    const sim::FaultPlan& plan,
                                    obs::MetricsRegistry* metrics = nullptr,
-                                   sim::Trace* trace = nullptr);
+                                   sim::Trace* trace = nullptr,
+                                   obs::FlightRecorder* flight = nullptr,
+                                   obs::SpanRecorder* spans = nullptr);
 
 /// Delta-debug a violating plan to a locally minimal reproducer: greedily
 /// remove chunks (halving granularity down to single events) while the

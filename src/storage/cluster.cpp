@@ -12,6 +12,7 @@ AsaCluster::AsaCluster(ClusterConfig config)
                config.latency),
       trace_(config.tracing),
       metrics_(config.metrics),
+      flight_(config.flight_capacity),
       ring_(sim::Rng(config.seed ^ 0x72696E67ull)) {
   network_.set_drop_probability(config_.drop_probability);
   if (config_.tracing) network_.set_trace(&trace_);
@@ -19,6 +20,7 @@ AsaCluster::AsaCluster(ClusterConfig config)
     network_.set_metrics(&metrics_);
     ring_.set_metrics(&metrics_);
   }
+  if (flight_.enabled()) network_.set_flight(&flight_);
 
   // Build the Chord ring and one host per node; host index == NodeAddr.
   ring_.build(config_.nodes);
@@ -49,6 +51,8 @@ void AsaCluster::rebuild_host(std::size_t index,
       network_, static_cast<sim::NodeAddr>(index), machine, behaviour,
       config_.tracing ? &trace_ : nullptr);
   if (config_.metrics) hosts_[index]->peer().set_metrics(&metrics_);
+  if (config_.spans) hosts_[index]->peer().set_spans(&span_recorder_);
+  if (flight_.enabled()) hosts_[index]->peer().set_flight(&flight_);
   hosts_[index]->peer().set_peer_resolver(
       [this](std::uint64_t guid_key) -> std::vector<sim::NodeAddr> {
         const auto it = guid_registry_.find(guid_key);
@@ -68,7 +72,8 @@ void AsaCluster::rebuild_host(std::size_t index,
         [this, index](std::uint64_t guid,
                       const commit::CommitPeer::CommittedEntry& e) {
           acked_[index][guid][e.request_id] = e.payload;
-        });
+        },
+        flight_.enabled() ? &flight_ : nullptr);
   }
 }
 
@@ -113,6 +118,7 @@ VersionHistoryService& AsaCluster::version_history() {
         network_, addr, [this](const Guid& guid) { return peer_set(guid); },
         config_.replication_factor, f(), config_.retry, rng_.fork());
     if (config_.metrics) version_history_->set_metrics(&metrics_);
+    if (config_.spans) version_history_->set_spans(&span_recorder_);
   }
   return *version_history_;
 }
@@ -181,6 +187,19 @@ std::size_t AsaCluster::migrate_version_history(const Guid& guid) {
     }
   }
   return adopted;
+}
+
+void AsaCluster::schedule_flight_sampling(sim::Time until, sim::Time every) {
+  if (!flight_.enabled() || every == 0) return;
+  // A fixed fan of one-shot events (not a self-rescheduling chain) so the
+  // scheduler still quiesces once real traffic drains.
+  for (sim::Time at = scheduler_.now(); at <= until; at += every) {
+    scheduler_.schedule_at(at, [this] {
+      flight_.record(scheduler_.now(), obs::FlightRecorder::kClusterLane,
+                     "sched.queue_depth",
+                     "depth=" + std::to_string(scheduler_.pending()));
+    });
+  }
 }
 
 void AsaCluster::snapshot_metrics() {
@@ -344,16 +363,19 @@ std::size_t AsaCluster::restart_node(std::size_t index) {
         metrics_.counter("recovery.snapshots_loaded").inc();
       }
     }
+    const std::string recovery_detail =
+        "replayed=" + std::to_string(stats.replayed_records) +
+        " entries=" + std::to_string(stats.entries_recovered) +
+        " truncated=" + std::to_string(stats.truncated_bytes) +
+        " skipped_crc=" + std::to_string(stats.skipped_crc) +
+        " snapshot=" + (stats.snapshot_loaded ? "yes" : "no") +
+        " reconciled=" + std::to_string(reconciled);
     if (config_.tracing) {
-      trace_.record(
-          scheduler_.now(), static_cast<sim::NodeAddr>(index), "recovery",
-          "replayed=" + std::to_string(stats.replayed_records) +
-              " entries=" + std::to_string(stats.entries_recovered) +
-              " truncated=" + std::to_string(stats.truncated_bytes) +
-              " skipped_crc=" + std::to_string(stats.skipped_crc) +
-              " snapshot=" + (stats.snapshot_loaded ? "yes" : "no") +
-              " reconciled=" + std::to_string(reconciled));
+      trace_.record(scheduler_.now(), static_cast<sim::NodeAddr>(index),
+                    "recovery", recovery_detail);
     }
+    flight_.record(scheduler_.now(), static_cast<std::uint32_t>(index),
+                   "journal.replay", recovery_detail);
   }
 
   // Regenerate this node's missing block replicas from intact copies.

@@ -19,7 +19,9 @@
 #include "commit/machine_cache.hpp"
 #include "durable/durable_log.hpp"
 #include "durable/storage_medium.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "p2p/chord.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -58,6 +60,15 @@ struct ClusterConfig {
   /// Snapshot a node's journal into its snapshot file every this many
   /// commit records (0 disables snapshots).
   std::size_t snapshot_every = 64;
+  /// Per-node capacity of the flight recorder (recent structured events:
+  /// message fates, commit-instance phases, journal appends/replays,
+  /// queue-depth samples). 0 (default) disables it entirely — components
+  /// see a null recorder and pay one pointer test per event.
+  std::size_t flight_capacity = 0;
+  /// Record commit-path spans (root commit / attempt on the endpoint side,
+  /// vote-collect / quorum with journal-append & ack-sent points on the
+  /// peer side). Off by default.
+  bool spans = false;
 };
 
 class AsaCluster {
@@ -73,6 +84,8 @@ class AsaCluster {
   [[nodiscard]] sim::Network& network() { return network_; }
   [[nodiscard]] sim::Trace& trace() { return trace_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] obs::FlightRecorder& flight() { return flight_; }
+  [[nodiscard]] obs::SpanRecorder& spans() { return span_recorder_; }
   [[nodiscard]] p2p::ChordRing& ring() { return ring_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
   [[nodiscard]] std::uint32_t f() const {
@@ -173,6 +186,13 @@ class AsaCluster {
     return scheduler_.run_until(scheduler_.now() + duration);
   }
 
+  /// Sample the scheduler's queue depth into the flight recorder's cluster
+  /// lane every `every` microseconds until `until` (inclusive start at the
+  /// current time). Horizon-bounded by design: a self-rescheduling sampler
+  /// would keep the scheduler from ever going quiescent. No-op when the
+  /// flight recorder is disabled.
+  void schedule_flight_sampling(sim::Time until, sim::Time every);
+
   /// Mirror every layer's always-on flat stats into the metrics registry:
   /// scheduler and network totals as counters, per-node peer outcomes as
   /// gauges, endpoint totals as counters. Idempotent (gauges adopt, counter
@@ -187,6 +207,8 @@ class AsaCluster {
   sim::Network network_;
   sim::Trace trace_;
   obs::MetricsRegistry metrics_;
+  obs::FlightRecorder flight_;
+  obs::SpanRecorder span_recorder_;
   /// Build a fresh host at `index`'s address with the given behaviour and
   /// wire its peer resolver (shared by construction, fault flips, restart).
   /// With durability on, a fresh DurableLog over the node's (persistent)

@@ -14,6 +14,7 @@
 
 #include "commit/peer.hpp"
 #include "durable/durable_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "storage/storage_node.hpp"
 
 namespace asa_repro::storage {
@@ -46,17 +47,29 @@ class NodeHost {
   /// Wire the peer's durability sinks to `log` (write-ahead discipline:
   /// a commit is journaled before it is recorded or acknowledged) and
   /// report every acknowledgement to `on_acked` (the cluster's durable-ack
-  /// ledger). `log` must outlive this host.
+  /// ledger). `log` must outlive this host. With `flight` non-null every
+  /// journal append lands (with its outcome and causal ids) in this node's
+  /// flight-recorder lane — the durable layer itself stays obs-free.
   void enable_durability(
       durable::DurableLog& log,
       std::function<void(std::uint64_t guid,
                          const commit::CommitPeer::CommittedEntry&)>
-          on_acked) {
+          on_acked,
+      obs::FlightRecorder* flight = nullptr) {
     peer_.set_commit_sink(
-        [&log](std::uint64_t guid,
-               const commit::CommitPeer::CommittedEntry& e) {
-          return log.record_commit(guid, e.update_id, e.request_id,
-                                   e.payload);
+        [this, &log, flight](std::uint64_t guid,
+                             const commit::CommitPeer::CommittedEntry& e) {
+          const bool ok =
+              log.record_commit(guid, e.update_id, e.request_id, e.payload);
+          if (flight != nullptr) {
+            flight->record(network_.scheduler().now(), addr_,
+                           "journal.append",
+                           "guid=" + std::to_string(guid) +
+                               " update=" + std::to_string(e.update_id) +
+                               " request=" + std::to_string(e.request_id) +
+                               (ok ? " ok" : " failed"));
+          }
+          return ok;
         });
     peer_.set_ack_sink(std::move(on_acked));
     peer_.set_import_sink(

@@ -72,6 +72,7 @@ commit::CommitEndpoint& VersionHistoryService::endpoint_for(const Guid& guid) {
       network_, next_endpoint_addr_++, resolver_(guid), f_, policy_,
       rng_.fork());
   endpoint->set_metrics(metrics_);
+  endpoint->set_spans(spans_);
   return *endpoints_.emplace(key, std::move(endpoint)).first->second;
 }
 

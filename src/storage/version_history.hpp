@@ -76,6 +76,13 @@ class VersionHistoryService {
     for (auto& [key, endpoint] : endpoints_) endpoint->set_metrics(metrics);
   }
 
+  /// Attach a span recorder, propagated like set_metrics: every commit
+  /// this service submits opens a root "commit" span. nullptr disables.
+  void set_spans(obs::SpanRecorder* spans) {
+    spans_ = spans;
+    for (auto& [key, endpoint] : endpoints_) endpoint->set_spans(spans);
+  }
+
  private:
   struct PendingRead {
     std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
@@ -97,6 +104,7 @@ class VersionHistoryService {
   commit::RetryPolicy policy_;
   sim::Rng rng_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
   // One commit endpoint per GUID (peer sets differ); endpoints own distinct
   // network addresses carved from a reserved range above self_.
   std::map<std::uint64_t, std::unique_ptr<commit::CommitEndpoint>> endpoints_;

@@ -20,6 +20,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/postmortem.hpp"
 #include "storage/chaos.hpp"
 
 using namespace asa_repro;
@@ -58,6 +59,13 @@ void usage() {
       "  --metrics-out FILE campaign-aggregated metrics (asa-metrics/1)\n"
       "  --trace-out FILE   concatenated per-seed causal traces, each\n"
       "                     prefixed by a campaign seed marker (asa-trace/1)\n"
+      "  --spans-out FILE   campaign-aggregated commit-path spans\n"
+      "                     (asa-span/1), fed to asareport --critical-path\n"
+      "  --postmortem-dir D on invariant violation or crash, write an\n"
+      "                     asa-postmortem/1 bundle (flight-recorder tails,\n"
+      "                     metrics, spans, seed, shrunk fault plan) to\n"
+      "                     D/postmortem-seed<N>.json; same seed -> byte-\n"
+      "                     identical bundle\n"
       "  --verbose          per-seed progress lines\n";
 }
 
@@ -66,6 +74,61 @@ void print_violations(const ChaosReport& report) {
     std::cout << "  [" << violation.invariant << "] " << violation.detail
               << "\n";
   }
+}
+
+/// Build a post-mortem bundle for a violating seed by RE-RUNNING its
+/// schedule with dedicated recorders. The sim is deterministic, so the
+/// re-run reproduces the exact failing timeline — and two invocations on
+/// the same seed produce byte-identical bundles (no wall-clock anywhere).
+/// `shrunk` carries the delta-debugged minimal plan (empty for crashes
+/// caught before shrinking).
+std::string build_postmortem(const ChaosConfig& config,
+                             const sim::FaultPlan& plan,
+                             const sim::FaultPlan& shrunk) {
+  obs::MetricsRegistry pm_metrics(true);
+  obs::FlightRecorder pm_flight(256);
+  obs::SpanRecorder pm_spans;
+  obs::PostmortemViolations violations;
+  std::vector<std::string> plan_lines;
+  std::vector<std::string> shrunk_lines;
+  for (const sim::FaultEvent& e : plan.events()) {
+    plan_lines.push_back(e.serialize());
+  }
+  for (const sim::FaultEvent& e : shrunk.events()) {
+    shrunk_lines.push_back(e.serialize());
+  }
+  try {
+    const ChaosReport report =
+        run_plan(config, plan, &pm_metrics, nullptr, &pm_flight, &pm_spans);
+    for (const Violation& v : report.violations) {
+      violations.emplace_back(v.invariant, v.detail);
+    }
+  } catch (const std::exception& e) {
+    violations.emplace_back("crash", e.what());
+  }
+  const obs::Meta meta{
+      {"tool", "asachaos"},
+      {"seed", std::to_string(config.seed)},
+      {"nodes", std::to_string(config.nodes)},
+      {"replication", std::to_string(config.replication)},
+  };
+  return obs::write_postmortem_json(meta, violations, plan_lines,
+                                    shrunk_lines, pm_flight, pm_metrics,
+                                    pm_spans);
+}
+
+/// Write the bundle for `config.seed` into `dir`; returns the path ("" on
+/// I/O failure).
+std::string write_postmortem(const std::string& dir,
+                             const ChaosConfig& config,
+                             const sim::FaultPlan& plan,
+                             const sim::FaultPlan& shrunk) {
+  const std::string path =
+      dir + "/postmortem-seed" + std::to_string(config.seed) + ".json";
+  std::ofstream out(path);
+  if (!out) return std::string();
+  out << build_postmortem(config, plan, shrunk);
+  return path;
 }
 
 int run_replay(const std::string& path) {
@@ -102,6 +165,8 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   std::string metrics_out;
   std::string trace_out;
+  std::string spans_out;
+  std::string postmortem_dir;
   bool expect_violation = false;
   bool durability_smoke = false;
   bool verbose = false;
@@ -153,6 +218,10 @@ int main(int argc, char** argv) {
         metrics_out = next();
       } else if (arg == "--trace-out") {
         trace_out = next();
+      } else if (arg == "--spans-out") {
+        spans_out = next();
+      } else if (arg == "--postmortem-dir") {
+        postmortem_dir = next();
       } else if (arg == "--verbose") {
         verbose = true;
       } else {
@@ -195,9 +264,11 @@ int main(int argc, char** argv) {
   // campaign seed marker. Both stay disabled (and free) unless requested.
   obs::MetricsRegistry campaign_metrics(!metrics_out.empty());
   sim::Trace campaign_trace(!trace_out.empty());
+  obs::SpanRecorder campaign_spans;
   obs::MetricsRegistry* metrics_sink =
       metrics_out.empty() ? nullptr : &campaign_metrics;
   sim::Trace* trace_sink = trace_out.empty() ? nullptr : &campaign_trace;
+  obs::SpanRecorder* spans_sink = spans_out.empty() ? nullptr : &campaign_spans;
 
   std::uint64_t violating_seeds = 0;
   std::uint64_t total_events = 0;
@@ -209,8 +280,22 @@ int main(int argc, char** argv) {
     seed_config.seed = seed0 + s;
     sim::Rng rng(seed_config.seed ^ 0x63686170'73656564ull);  // "chaoseed"
     const sim::FaultPlan plan = generate_fault_plan(seed_config, rng);
-    const ChaosReport report =
-        run_plan(seed_config, plan, metrics_sink, trace_sink);
+    ChaosReport report;
+    try {
+      report = run_plan(seed_config, plan, metrics_sink, trace_sink,
+                        /*flight=*/nullptr, spans_sink);
+    } catch (const std::exception& e) {
+      std::cerr << "seed " << seed_config.seed << " crashed: " << e.what()
+                << "\n";
+      if (!postmortem_dir.empty()) {
+        const std::string pm_path = write_postmortem(
+            postmortem_dir, seed_config, plan, sim::FaultPlan());
+        if (!pm_path.empty()) {
+          std::cout << "  postmortem bundle " << pm_path << "\n";
+        }
+      }
+      return 3;
+    }
     total_events += report.events_executed;
     total_committed += static_cast<std::uint64_t>(report.committed);
     total_fault_events += plan.size();
@@ -251,6 +336,16 @@ int main(int argc, char** argv) {
               << (replay_violates ? " reproduces the violation\n"
                                   : " FAILED to reproduce\n");
     if (replay_violates) reproduced = true;
+    if (!postmortem_dir.empty()) {
+      const std::string pm_path =
+          write_postmortem(postmortem_dir, seed_config, plan, minimal);
+      if (pm_path.empty()) {
+        std::cerr << "  cannot write postmortem bundle in " << postmortem_dir
+                  << "\n";
+      } else {
+        std::cout << "  postmortem bundle " << pm_path << "\n";
+      }
+    }
     if (expect_violation) break;  // One shrunk reproducer is the goal.
   }
 
@@ -288,6 +383,23 @@ int main(int argc, char** argv) {
     campaign_trace.dump_jsonl(out);
     std::cout << "trace written to " << trace_out << " ("
               << campaign_trace.events().size() << " events)\n";
+  }
+  if (!spans_out.empty()) {
+    const obs::Meta meta{
+        {"tool", "asachaos"},
+        {"seeds", std::to_string(seeds)},
+        {"seed0", std::to_string(seed0)},
+        {"nodes", std::to_string(config.nodes)},
+        {"replication", std::to_string(config.replication)},
+    };
+    std::ofstream out(spans_out);
+    if (!out) {
+      std::cerr << "cannot write " << spans_out << "\n";
+      return 2;
+    }
+    out << obs::write_spans_json(campaign_spans, meta);
+    std::cout << "spans written to " << spans_out << " ("
+              << campaign_spans.spans().size() << " spans)\n";
   }
 
   if (expect_violation) {

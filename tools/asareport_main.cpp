@@ -1,18 +1,28 @@
 // asareport — render the observability artifacts as a human summary.
 //
-// Consumes the asa-metrics/1 JSON document written by asasim/asachaos
-// --metrics-out (and the bench --json files, which share the schema) plus,
-// optionally, the asa-trace/1 JSONL stream from --trace-out, and prints
-// percentile tables for every histogram, a per-node protocol breakdown,
-// and the top-k slowest commit instances reconstructed from the causal
-// trace. asa-findings/1 documents (fsmcheck --json) are recognised by
-// their schema field and rendered as a findings listing instead. With
-// --validate it only checks the document's structure (CI's metrics and
-// fsmcheck jobs gate on this).
+// Consumes any of the repo's versioned observability documents and
+// dispatches on the schema field:
+//
+//   asa-metrics/1     percentile tables, per-node protocol breakdown and
+//                     (with --trace) the top-k slowest commit instances
+//   asa-findings/1    fsmcheck findings listing
+//   asa-span/1        commit-path spans; --critical-path attributes p50/p99
+//                     commit latency to protocol phases (submit, retry,
+//                     route, vote-collect, quorum, ack)
+//   asa-postmortem/1  post-mortem bundle: violations, shrunk fault plan,
+//                     per-node flight-recorder tails, embedded metrics and
+//                     span documents
+//
+// With --validate it only checks the document's structure and exits
+// non-zero on malformed or unknown-schema documents (CI gates on this).
+// With --bench-compare it gates a fresh bench_execution --json run against
+// a committed baseline (ns/msg per impl, +/- tolerance).
 //
 //   asareport --metrics run.json --trace run.trace
-//   asareport --metrics run.json --validate
-//   asareport --metrics findings.json --validate
+//   asareport --spans run.spans.json --critical-path
+//   asareport --metrics postmortem-seed7.json
+//   asareport --metrics anything.json --validate
+//   asareport --bench-compare BENCH_execution.json --metrics new.json
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,12 +38,22 @@ namespace {
 
 void usage() {
   std::cout <<
-      "usage: asareport --metrics FILE [options]\n"
-      "  --metrics FILE   asa-metrics/1 or asa-findings/1 JSON document\n"
-      "                   (required)\n"
-      "  --trace FILE     asa-trace/1 JSONL event stream (optional)\n"
+      "usage: asareport [--metrics FILE] [--spans FILE] [options]\n"
+      "  --metrics FILE   asa-metrics/1, asa-findings/1, asa-span/1 or\n"
+      "                   asa-postmortem/1 JSON document\n"
+      "  --spans FILE     asa-span/1 JSON document (from --spans-out)\n"
+      "  --trace FILE     asa-trace/1 JSONL event stream (optional,\n"
+      "                   metrics rendering only)\n"
       "  --top K          slowest commit instances to list (default 10)\n"
-      "  --validate       validate the document and exit\n";
+      "  --critical-path  attribute commit latency to protocol phases\n"
+      "                   (needs a span document)\n"
+      "  --bench-compare BASELINE\n"
+      "                   gate --metrics (a fresh bench --json run) against\n"
+      "                   the BASELINE metrics document: ns/msg per impl\n"
+      "                   must stay within the tolerance\n"
+      "  --tolerance T    allowed relative ns/msg drift (default 0.20)\n"
+      "  --validate       validate the document(s) and exit; non-zero on\n"
+      "                   malformed or unknown-schema input\n";
 }
 
 std::optional<std::string> read_file(const std::string& path) {
@@ -44,13 +64,45 @@ std::optional<std::string> read_file(const std::string& path) {
   return buffer.str();
 }
 
+/// Load + parse + structurally validate one document. Returns nullopt
+/// (with a message on stderr) when anything is wrong.
+std::optional<obs::JsonValue> load_document(const std::string& path) {
+  const std::optional<std::string> text = read_file(path);
+  if (!text.has_value()) {
+    std::cerr << "asareport: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::optional<obs::JsonValue> doc = obs::parse_json(*text);
+  if (!doc.has_value()) {
+    std::cerr << "asareport: " << path << " is not valid JSON\n";
+    return std::nullopt;
+  }
+  if (const std::optional<std::string> error =
+          obs::validate_document_json(*doc);
+      error.has_value()) {
+    std::cerr << "asareport: " << path << ": " << *error << "\n";
+    return std::nullopt;
+  }
+  return doc;
+}
+
+std::string schema_of(const obs::JsonValue& doc) {
+  const obs::JsonValue* schema = doc.find("schema");
+  return schema != nullptr && schema->is_string() ? schema->as_string()
+                                                  : std::string();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
+  std::string spans_path;
+  std::string bench_baseline_path;
+  double tolerance = 0.20;
   obs::ReportOptions options;
   bool validate_only = false;
+  bool critical_path = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,8 +117,16 @@ int main(int argc, char** argv) {
         metrics_path = next();
       } else if (arg == "--trace") {
         trace_path = next();
+      } else if (arg == "--spans") {
+        spans_path = next();
+      } else if (arg == "--bench-compare") {
+        bench_baseline_path = next();
+      } else if (arg == "--tolerance") {
+        tolerance = std::stod(next());
       } else if (arg == "--top") {
         options.top_k = std::stoul(next());
+      } else if (arg == "--critical-path") {
+        critical_path = true;
       } else if (arg == "--validate") {
         validate_only = true;
       } else {
@@ -79,60 +139,88 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (metrics_path.empty()) {
+  if (metrics_path.empty() && spans_path.empty()) {
     usage();
     return 2;
   }
 
-  const std::optional<std::string> metrics_text = read_file(metrics_path);
-  if (!metrics_text.has_value()) {
-    std::cerr << "asareport: cannot open " << metrics_path << "\n";
-    return 2;
-  }
-  const std::optional<obs::JsonValue> metrics =
-      obs::parse_json(*metrics_text);
-  if (!metrics.has_value()) {
-    std::cerr << "asareport: " << metrics_path << " is not valid JSON\n";
-    return 1;
-  }
-  if (const std::optional<std::string> error =
-          obs::validate_document_json(*metrics);
-      error.has_value()) {
-    std::cerr << "asareport: " << metrics_path << ": " << *error << "\n";
-    return 1;
-  }
-  const obs::JsonValue* schema = metrics->find("schema");
-  const bool is_findings =
-      schema != nullptr && schema->is_string() &&
-      schema->as_string() == "asa-findings/1";
-  if (validate_only) {
-    std::cout << metrics_path << ": valid "
-              << (is_findings ? "asa-findings/1" : "asa-metrics/1")
-              << " document\n";
-    return 0;
-  }
-  if (is_findings) {
-    std::cout << obs::render_findings(*metrics);
-    return 0;
-  }
-
-  std::vector<obs::ReportTraceEvent> trace;
-  if (!trace_path.empty()) {
-    const std::optional<std::string> trace_text = read_file(trace_path);
-    if (!trace_text.has_value()) {
-      std::cerr << "asareport: cannot open " << trace_path << "\n";
+  // Bench gate: baseline vs the fresh run in --metrics.
+  if (!bench_baseline_path.empty()) {
+    if (metrics_path.empty()) {
+      std::cerr << "asareport: --bench-compare needs --metrics (the fresh "
+                   "bench --json run)\n";
       return 2;
     }
-    std::optional<std::vector<obs::ReportTraceEvent>> parsed =
-        obs::parse_trace_jsonl(*trace_text);
-    if (!parsed.has_value()) {
-      std::cerr << "asareport: " << trace_path
-                << " is not a valid asa-trace/1 stream\n";
-      return 1;
-    }
-    trace = std::move(*parsed);
+    const std::optional<obs::JsonValue> baseline =
+        load_document(bench_baseline_path);
+    const std::optional<obs::JsonValue> current = load_document(metrics_path);
+    if (!baseline.has_value() || !current.has_value()) return 1;
+    const obs::BenchCompareResult result =
+        obs::compare_bench_metrics(*baseline, *current, tolerance);
+    std::cout << result.report;
+    return result.ok ? 0 : 1;
   }
 
-  std::cout << obs::render_report(*metrics, trace, options);
+  std::optional<obs::JsonValue> metrics;
+  if (!metrics_path.empty()) {
+    metrics = load_document(metrics_path);
+    if (!metrics.has_value()) return 1;
+  }
+  std::optional<obs::JsonValue> spans;
+  if (!spans_path.empty()) {
+    spans = load_document(spans_path);
+    if (!spans.has_value()) return 1;
+    if (const std::string schema = schema_of(*spans);
+        schema != "asa-span/1") {
+      std::cerr << "asareport: " << spans_path << ": expected asa-span/1, got "
+                << (schema.empty() ? "no schema" : schema) << "\n";
+      return 1;
+    }
+  }
+
+  if (validate_only) {
+    if (metrics.has_value()) {
+      std::cout << metrics_path << ": valid " << schema_of(*metrics)
+                << " document\n";
+    }
+    if (spans.has_value()) {
+      std::cout << spans_path << ": valid asa-span/1 document\n";
+    }
+    return 0;
+  }
+
+  if (metrics.has_value()) {
+    const std::string schema = schema_of(*metrics);
+    if (schema == "asa-findings/1") {
+      std::cout << obs::render_findings(*metrics);
+    } else if (schema == "asa-postmortem/1") {
+      std::cout << obs::render_postmortem(*metrics);
+    } else if (schema == "asa-span/1") {
+      std::cout << obs::render_critical_path(*metrics);
+    } else {
+      std::vector<obs::ReportTraceEvent> trace;
+      if (!trace_path.empty()) {
+        const std::optional<std::string> trace_text = read_file(trace_path);
+        if (!trace_text.has_value()) {
+          std::cerr << "asareport: cannot open " << trace_path << "\n";
+          return 2;
+        }
+        std::optional<std::vector<obs::ReportTraceEvent>> parsed =
+            obs::parse_trace_jsonl(*trace_text);
+        if (!parsed.has_value()) {
+          std::cerr << "asareport: " << trace_path
+                    << " is not a valid asa-trace/1 stream\n";
+          return 1;
+        }
+        trace = std::move(*parsed);
+      }
+      std::cout << obs::render_report(*metrics, trace, options);
+    }
+  }
+  if (spans.has_value()) {
+    // --critical-path is the only span renderer; a bare --spans gets it too.
+    (void)critical_path;
+    std::cout << obs::render_critical_path(*spans);
+  }
   return 0;
 }

@@ -40,7 +40,11 @@ void usage() {
       "  --seed S             simulation seed (default 42)\n"
       "  --trace              dump commit/abort trace events\n"
       "  --metrics-out FILE   write run metrics (asa-metrics/1 JSON)\n"
-      "  --trace-out FILE     write causal event trace (asa-trace/1 JSONL)\n";
+      "  --trace-out FILE     write causal event trace (asa-trace/1 JSONL)\n"
+      "  --spans-out FILE     write commit-path spans (asa-span/1 JSON),\n"
+      "                       fed to asareport --critical-path\n"
+      "  --flight N           per-node flight recorder, N recent events\n"
+      "                       (dumped as part of run output)\n";
 }
 
 std::optional<commit::Behaviour> parse_behaviour(const std::string& name) {
@@ -93,6 +97,7 @@ int main(int argc, char** argv) {
   bool dump_trace = false;
   std::string metrics_out;
   std::string trace_out;
+  std::string spans_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -128,6 +133,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out") {
       trace_out = next();
       config.tracing = true;
+    } else if (arg == "--spans-out") {
+      spans_out = next();
+      config.spans = true;
+    } else if (arg == "--flight") {
+      config.flight_capacity = std::stoul(next());
     } else if (arg == "--byzantine") {
       const std::string spec = next();
       const std::size_t colon = spec.find(':');
@@ -293,6 +303,39 @@ int main(int argc, char** argv) {
     cluster.trace().dump_jsonl(out);
     std::cout << "trace written to " << trace_out << " ("
               << cluster.trace().events().size() << " events)\n";
+  }
+  if (!spans_out.empty()) {
+    const obs::Meta meta{
+        {"tool", "asasim"},
+        {"seed", std::to_string(config.seed)},
+        {"nodes", std::to_string(config.nodes)},
+        {"replication", std::to_string(config.replication_factor)},
+        {"updates", std::to_string(updates)},
+        {"guids", std::to_string(guids)},
+    };
+    std::ofstream out(spans_out);
+    if (!out) {
+      std::cerr << "cannot write " << spans_out << "\n";
+      return 2;
+    }
+    out << obs::write_spans_json(cluster.spans(), meta);
+    std::cout << "spans written to " << spans_out << " ("
+              << cluster.spans().spans().size() << " spans)\n";
+  }
+  if (cluster.flight().enabled()) {
+    std::cout << "\nflight recorder (" << cluster.flight().total_recorded()
+              << " events recorded, last " << cluster.flight().capacity()
+              << " per node kept):\n";
+    for (const std::uint32_t lane : cluster.flight().lanes()) {
+      const auto events = cluster.flight().lane(lane);
+      std::cout << "  node" << lane << ": " << events.size()
+                << " event(s), tail:\n";
+      const std::size_t first = events.size() > 3 ? events.size() - 3 : 0;
+      for (std::size_t i = first; i < events.size(); ++i) {
+        std::cout << "    [" << events[i].t << "us] " << events[i].category
+                  << " " << events[i].detail << "\n";
+      }
+    }
   }
   return failed == 0 ? 0 : 1;
 }
