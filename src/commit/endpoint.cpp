@@ -60,6 +60,7 @@ void CommitEndpoint::start_attempt(std::uint64_t request_id) {
                      request_id, p.current_update_id, now);
   }
 
+  if (peer_resolver_) peers_ = peer_resolver_();
   std::vector<sim::NodeAddr> order = peers_;
   if (policy_.order == RetryPolicy::ServerOrder::kRandom) {
     // Fisher-Yates with the endpoint's deterministic stream.

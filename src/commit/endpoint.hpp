@@ -99,6 +99,15 @@ class CommitEndpoint {
   /// asareport can join endpoint spans to peer spans. nullptr disables.
   void set_spans(obs::SpanRecorder* spans) { spans_ = spans; }
 
+  /// Install a live peer-set resolver. When set, every attempt re-resolves
+  /// the peer set before sending, so a retry that straddles a membership
+  /// change targets the keys' current owners instead of the set captured
+  /// at construction — without this, a commit in flight across a ring
+  /// rotation would retry into departed nodes until its attempts run out.
+  void set_peer_resolver(std::function<std::vector<sim::NodeAddr>()> resolver) {
+    peer_resolver_ = std::move(resolver);
+  }
+
  private:
   struct Pending {
     std::uint64_t guid = 0;
@@ -121,6 +130,7 @@ class CommitEndpoint {
   sim::Network& network_;
   sim::NodeAddr self_;
   std::vector<sim::NodeAddr> peers_;
+  std::function<std::vector<sim::NodeAddr>()> peer_resolver_;
   std::uint32_t quorum_;  // f + 1.
   RetryPolicy policy_;
   sim::Rng rng_;

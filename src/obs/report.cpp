@@ -154,6 +154,22 @@ std::optional<std::string> validate_metrics_json(const JsonValue& root) {
       err.has_value()) {
     return err;
   }
+  // Metric-name contracts: series the workload/churn report section joins
+  // on must carry their identifying labels, or per-writer and per-class
+  // aggregation would silently collapse.
+  for (const JsonValue& entry : root.find("counters")->items()) {
+    const std::string& name = entry.find("name")->as_string();
+    if ((name == "workload.commits" || name == "workload.reads") &&
+        entry.find("labels")->find("writer") == nullptr) {
+      return name + " series without a writer label";
+    }
+  }
+  for (const JsonValue& entry : root.find("histograms")->items()) {
+    if (entry.find("name")->as_string() == "net.class_latency_us" &&
+        entry.find("labels")->find("class") == nullptr) {
+      return "net.class_latency_us series without a class label";
+    }
+  }
   return std::nullopt;
 }
 
@@ -895,6 +911,111 @@ std::string render_report(const JsonValue& metrics,
           row += line;
         }
         out << row << "\n";
+      }
+    }
+  }
+
+  // ---- Workload / churn summary. ----
+  // Joins contention-workload counters (per-writer), churn counters and
+  // gauges, and per-class WAN latency histograms into one section. Rates
+  // use the sim.now_us gauge (simulated wall clock at export) as the
+  // denominator. Gauge merge keeps the last run's value, so in a
+  // multi-seed document the denominator is one run's duration and the
+  // rate reads as campaign-wide commits per simulated second (counters
+  // sum across seeds; every seed runs the same horizon).
+  {
+    const JsonValue* counters = metrics.find("counters");
+    double now_us = 0.0;
+    std::int64_t ring_size = -1;
+    std::int64_t epoch = -1;
+    if (gauges != nullptr && gauges->is_array()) {
+      for (const JsonValue& g : gauges->items()) {
+        const std::string& name = g.find("name")->as_string();
+        if (!g.find("labels")->members().empty()) continue;
+        if (name == "sim.now_us") now_us = g.find("value")->as_double();
+        if (name == "churn.ring_size") ring_size = g.find("value")->as_int();
+        if (name == "churn.epoch") epoch = g.find("value")->as_int();
+      }
+    }
+    // writer -> (commits, reads).
+    std::map<std::string, std::pair<double, double>> per_writer;
+    std::map<std::string, double> churn_counts;
+    if (counters != nullptr && counters->is_array()) {
+      for (const JsonValue& c : counters->items()) {
+        const std::string& name = c.find("name")->as_string();
+        if (name == "workload.commits" || name == "workload.reads") {
+          const JsonValue* writer = c.find("labels")->find("writer");
+          auto& slot = per_writer[writer->as_string()];
+          (name == "workload.commits" ? slot.first : slot.second) +=
+              c.find("value")->as_double();
+        }
+        if (name == "churn.joins" || name == "churn.leaves" ||
+            name == "churn.departs") {
+          churn_counts[name] += c.find("value")->as_double();
+        }
+      }
+    }
+    if (!per_writer.empty() || !churn_counts.empty() || epoch > 0) {
+      out << "\n=== workload / churn ===\n";
+      if (!per_writer.empty()) {
+        std::snprintf(line, sizeof line, "  %-10s %10s %10s %14s\n",
+                      "writer", "commits", "reads", "commits/sec");
+        out << line;
+        double total_commits = 0.0, total_reads = 0.0;
+        for (const auto& [writer, ops] : per_writer) {
+          total_commits += ops.first;
+          total_reads += ops.second;
+          std::snprintf(
+              line, sizeof line, "  %-10s %10.0f %10.0f %14.2f\n",
+              writer.c_str(), ops.first, ops.second,
+              now_us > 0.0 ? ops.first / (now_us / 1e6) : 0.0);
+          out << line;
+        }
+        std::snprintf(
+            line, sizeof line, "  %-10s %10.0f %10.0f %14.2f\n", "total",
+            total_commits, total_reads,
+            now_us > 0.0 ? total_commits / (now_us / 1e6) : 0.0);
+        out << line;
+      }
+      if (!churn_counts.empty() || epoch > 0) {
+        out << "  membership: epoch=" << epoch
+            << " ring_size=" << ring_size;
+        for (const char* name :
+             {"churn.joins", "churn.leaves", "churn.departs"}) {
+          const auto it = churn_counts.find(name);
+          out << " " << (std::string(name).substr(6)) << "="
+              << (it == churn_counts.end()
+                      ? 0
+                      : static_cast<std::int64_t>(it->second));
+        }
+        out << "\n";
+      }
+      if (histograms != nullptr && histograms->is_array()) {
+        for (const JsonValue& h : histograms->items()) {
+          const std::string& name = h.find("name")->as_string();
+          if (name == "churn.ring_size_samples") {
+            out << "  ring size over time: min="
+                << h.find("min")->as_int() << " p50="
+                << bucket_quantile(h, 0.50) << " max="
+                << h.find("max")->as_int() << " (" <<
+                h.find("count")->as_int() << " samples)\n";
+          }
+          if (name == "net.class_latency_us") {
+            const JsonValue* klass = h.find("labels")->find("class");
+            std::snprintf(
+                line, sizeof line,
+                "  link class %-8s p50=%sms p99=%sms max=%sms "
+                "(%llu deliveries)\n",
+                klass->as_string().c_str(),
+                us_to_string(bucket_quantile(h, 0.50)).c_str(),
+                us_to_string(bucket_quantile(h, 0.99)).c_str(),
+                us_to_string(
+                    static_cast<std::uint64_t>(h.find("max")->as_int()))
+                    .c_str(),
+                static_cast<unsigned long long>(h.find("count")->as_int()));
+            out << line;
+          }
+        }
       }
     }
   }

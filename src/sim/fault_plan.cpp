@@ -25,6 +25,10 @@ const char* kind_name(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kDiskStall: return "disk-stall";
     case FaultEvent::Kind::kDiskFull: return "disk-full";
     case FaultEvent::Kind::kDiskOk: return "disk-ok";
+    case FaultEvent::Kind::kJoin: return "join";
+    case FaultEvent::Kind::kLeave: return "leave";
+    case FaultEvent::Kind::kDepart: return "depart";
+    case FaultEvent::Kind::kLinkProfile: return "link-profile";
   }
   return "?";
 }
@@ -46,12 +50,21 @@ std::optional<FaultEvent::Kind> kind_from(const std::string& name) {
   if (name == "disk-stall") return Kind::kDiskStall;
   if (name == "disk-full") return Kind::kDiskFull;
   if (name == "disk-ok") return Kind::kDiskOk;
+  if (name == "join") return Kind::kJoin;
+  if (name == "leave") return Kind::kLeave;
+  if (name == "depart") return Kind::kDepart;
+  if (name == "link-profile") return Kind::kLinkProfile;
   return std::nullopt;
 }
 
 bool valid_behaviour(const std::string& name) {
   return name == "honest" || name == "crash" || name == "equivocator" ||
          name == "withholder";
+}
+
+bool valid_link_class(const std::string& name) {
+  return name == "lan" || name == "wan" || name == "sat" ||
+         name == "default";
 }
 
 }  // namespace
@@ -67,6 +80,9 @@ std::string FaultEvent::serialize() const {
     case Kind::kTornWrite:
     case Kind::kDiskStall:
     case Kind::kDiskOk:
+    case Kind::kJoin:
+    case Kind::kLeave:
+    case Kind::kDepart:
       out << ' ' << node;
       break;
     case Kind::kPartition:
@@ -84,6 +100,9 @@ std::string FaultEvent::serialize() const {
       break;
     case Kind::kByzantine:
       out << ' ' << node << ' ' << behaviour;
+      break;
+    case Kind::kLinkProfile:
+      out << ' ' << node << ' ' << peer << ' ' << behaviour;
       break;
   }
   return out.str();
@@ -105,6 +124,9 @@ std::optional<FaultEvent> FaultEvent::parse(const std::string& line) {
     case Kind::kTornWrite:
     case Kind::kDiskStall:
     case Kind::kDiskOk:
+    case Kind::kJoin:
+    case Kind::kLeave:
+    case Kind::kDepart:
       if (!(in >> event.node)) return std::nullopt;
       break;
     case Kind::kPartition:
@@ -125,6 +147,12 @@ std::optional<FaultEvent> FaultEvent::parse(const std::string& line) {
     case Kind::kByzantine:
       if (!(in >> event.node >> event.behaviour) ||
           !valid_behaviour(event.behaviour)) {
+        return std::nullopt;
+      }
+      break;
+    case Kind::kLinkProfile:
+      if (!(in >> event.node >> event.peer >> event.behaviour) ||
+          !valid_link_class(event.behaviour)) {
         return std::nullopt;
       }
       break;

@@ -51,16 +51,28 @@ struct FaultEvent {
     kDiskStall,  // node: the disk refuses every write until kDiskOk.
     kDiskFull,   // node, arg: cap the disk at used + arg spare bytes.
     kDiskOk,     // node: heal the disk — clear stall and capacity cap.
+    // ---- Membership churn (true ring changes, not crash/restart). ----
+    kJoin,       // node: a brand-new member joins the ring (the index is
+                 //   informational — executors append at the next free
+                 //   slot and bootstrap it with key-range handoff).
+    kLeave,      // node: graceful departure — hand off histories to the
+                 //   new key-range owners, then leave the ring.
+    kDepart,     // node: abrupt departure — vanish without handoff.
+    // ---- Per-link WAN adversity. ----
+    kLinkProfile,  // node -> peer, behaviour: install the named latency
+                   //   class (lan | wan | sat | default) on the directed
+                   //   link; "default" restores network defaults.
   };
 
   Time at = 0;
   Kind kind = Kind::kCrash;
   std::uint32_t node = 0;
-  std::uint32_t peer = 0;       // kPartition/kHeal only.
+  std::uint32_t peer = 0;       // kPartition/kHeal/kLinkProfile only.
   std::uint32_t arg = 0;        // kFlushDrop/kBitRot/kDiskFull only.
   double rate = 0.0;            // kDropRate/kDupRate only.
-  std::string behaviour{};      // kByzantine only: honest | crash |
+  std::string behaviour{};      // kByzantine: honest | crash |
                                 // equivocator | withholder.
+                                // kLinkProfile: lan | wan | sat | default.
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 

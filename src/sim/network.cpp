@@ -9,7 +9,103 @@ std::string route_detail(std::uint64_t id, NodeAddr from, NodeAddr to) {
          " to=" + std::to_string(to);
 }
 
+bool valid_probability(double p) { return p >= 0.0 && p <= 1.0; }
+
+const std::string kDefaultClass = "default";
+
 }  // namespace
+
+void validate(const LatencyModel& model) {
+  if (model.min_latency > model.max_latency) {
+    throw std::invalid_argument(
+        "LatencyModel: min_latency " + std::to_string(model.min_latency) +
+        " > max_latency " + std::to_string(model.max_latency));
+  }
+}
+
+std::optional<LinkProfile> link_profile(const std::string& name) {
+  if (name == "default") return LinkProfile{};
+  if (name == "lan") {
+    return LinkProfile{.name = "lan",
+                       .latency = {50, 500},
+                       .jitter = 100,
+                       .loss_good = 0.0,
+                       .loss_bad = 0.0,
+                       .p_good_to_bad = 0.0,
+                       .p_bad_to_good = 1.0};
+  }
+  if (name == "wan") {
+    return LinkProfile{.name = "wan",
+                       .latency = {20'000, 60'000},
+                       .jitter = 5'000,
+                       .loss_good = 0.001,
+                       .loss_bad = 0.2,
+                       .p_good_to_bad = 0.01,
+                       .p_bad_to_good = 0.25};
+  }
+  if (name == "sat") {
+    return LinkProfile{.name = "sat",
+                       .latency = {240'000, 280'000},
+                       .jitter = 15'000,
+                       .loss_good = 0.002,
+                       .loss_bad = 0.35,
+                       .p_good_to_bad = 0.005,
+                       .p_bad_to_good = 0.1};
+  }
+  return std::nullopt;
+}
+
+Network::Network(Scheduler& sched, Rng rng, LatencyModel latency)
+    : sched_(sched), link_seed_base_(rng()), latency_(latency) {
+  validate(latency_);
+}
+
+Network::LinkState& Network::link(NodeAddr from, NodeAddr to) {
+  const auto key = std::make_pair(from, to);
+  const auto it = links_.find(key);
+  if (it != links_.end()) return it->second;
+  // Stream key: the directed pair packed into one word. NodeAddr is 32-bit,
+  // so the packing is collision-free and direction-sensitive.
+  const std::uint64_t stream =
+      (static_cast<std::uint64_t>(from) << 32) | to;
+  LinkState state;
+  state.rng = Rng::substream(link_seed_base_, stream);
+  return links_.emplace(key, std::move(state)).first->second;
+}
+
+void Network::set_link_profile(NodeAddr from, NodeAddr to,
+                               LinkProfile profile) {
+  validate(profile.latency);
+  if (!valid_probability(profile.loss_good) ||
+      !valid_probability(profile.loss_bad) ||
+      !valid_probability(profile.p_good_to_bad) ||
+      !valid_probability(profile.p_bad_to_good)) {
+    throw std::invalid_argument("LinkProfile: probability outside [0,1]");
+  }
+  LinkState& state = link(from, to);
+  state.profile = std::move(profile);
+  state.bad = false;
+}
+
+void Network::clear_link_profile(NodeAddr from, NodeAddr to) {
+  const auto it = links_.find({from, to});
+  if (it == links_.end()) return;
+  it->second.profile.reset();
+  it->second.bad = false;
+}
+
+const std::string& Network::link_class(NodeAddr from, NodeAddr to) const {
+  const auto it = links_.find({from, to});
+  if (it == links_.end() || !it->second.profile.has_value()) {
+    return kDefaultClass;
+  }
+  return it->second.profile->name;
+}
+
+bool Network::link_in_bad_state(NodeAddr from, NodeAddr to) const {
+  const auto it = links_.find({from, to});
+  return it != links_.end() && it->second.bad;
+}
 
 void Network::deliver_copy(NodeAddr from, NodeAddr to,
                            const std::string& payload, std::uint64_t id,
@@ -44,6 +140,10 @@ void Network::deliver_copy(NodeAddr from, NodeAddr to,
                     {{"link", std::to_string(from) + "->" + std::to_string(to)}},
                     obs::latency_buckets_us())
         .observe(latency);
+    metrics_
+        ->histogram("net.class_latency_us", {{"class", link_class(from, to)}},
+                    obs::latency_buckets_us())
+        .observe(latency);
   }
   it->second(from, payload);
 }
@@ -71,8 +171,26 @@ std::uint64_t Network::send(NodeAddr from, NodeAddr to, std::string payload) {
     }
     return id;
   }
-  if (drop_probability_ > 0.0 && rng_.chance(drop_probability_)) {
+  LinkState& ls = link(from, to);
+  // Gilbert–Elliott step: transition first, then lose with the (possibly
+  // new) state's probability — a burst begins with the message that
+  // triggered the good->bad flip.
+  double loss = drop_probability_;
+  bool burst = false;
+  if (ls.profile.has_value()) {
+    const LinkProfile& p = *ls.profile;
+    if (p.p_good_to_bad > 0.0 || ls.bad) {
+      ls.bad = ls.bad ? !ls.rng.chance(p.p_bad_to_good)
+                      : ls.rng.chance(p.p_good_to_bad);
+    }
+    const double link_loss = ls.bad ? p.loss_bad : p.loss_good;
+    burst = ls.bad && link_loss > 0.0;
+    // Either loss source kills the message: combined probability.
+    loss = loss + link_loss - loss * link_loss;
+  }
+  if (loss > 0.0 && ls.rng.chance(loss)) {
     ++stats_.dropped;
+    if (burst) ++stats_.burst_dropped;
     if (trace_ != nullptr) {
       trace_->record(sched_.now(), from, "net.drop", route_detail(id, from, to));
     }
@@ -83,7 +201,7 @@ std::uint64_t Network::send(NodeAddr from, NodeAddr to, std::string payload) {
     return id;
   }
   int copies = 1;
-  if (duplicate_probability_ > 0.0 && rng_.chance(duplicate_probability_)) {
+  if (duplicate_probability_ > 0.0 && ls.rng.chance(duplicate_probability_)) {
     ++stats_.duplicated;
     copies = 2;
     if (trace_ != nullptr) {
@@ -101,12 +219,16 @@ std::uint64_t Network::send(NodeAddr from, NodeAddr to, std::string payload) {
     }
     return id;
   }
+  const LatencyModel& latency =
+      ls.profile.has_value() ? ls.profile->latency : latency_;
+  const Time jitter = ls.profile.has_value() ? ls.profile->jitter : 0;
   for (int copy = 0; copy < copies; ++copy) {
-    const Time delay =
-        latency_.min_latency == latency_.max_latency
-            ? latency_.min_latency
-            : latency_.min_latency +
-                  rng_.below(latency_.max_latency - latency_.min_latency + 1);
+    Time delay =
+        latency.min_latency == latency.max_latency
+            ? latency.min_latency
+            : latency.min_latency +
+                  ls.rng.below(latency.max_latency - latency.min_latency + 1);
+    if (jitter > 0) delay += ls.rng.below(jitter + 1);
     sched_.schedule_after(delay, [this, from, to, payload, id, sent_at] {
       deliver_copy(from, to, payload, id, sent_at);
     });

@@ -10,6 +10,20 @@
 // asynchronous, reordering, lossy delivery model) and adds deterministic
 // replay and fault injection.
 //
+// Per-link adversity: any directed link can carry a LinkProfile — a named
+// latency class (lan/wan/sat) with its own delay range, jitter and a
+// two-state Gilbert–Elliott burst-loss model (a good state with rare loss
+// and a bad state with heavy loss, switching with per-transition
+// probabilities — bursty loss, unlike the memoryless global drop rate).
+// Profiles are directed, so a->b and b->a can differ (asymmetric paths).
+//
+// Determinism under churn: all per-message randomness (drop, duplicate,
+// latency, loss-state transitions) is drawn from a per-directed-link RNG
+// substream seed-split from the network seed and the (from, to) pair.
+// Traffic appearing on one link — e.g. a node joining mid-run — therefore
+// never perturbs the random stream of any other link: an existing link's
+// delivery sequence is bit-identical with or without the newcomer.
+//
 // Causal message tracing: every send is assigned a monotonically
 // increasing message id, threaded from the send decision (drop, duplicate,
 // partition) through to each delivery. With a trace sink attached the
@@ -25,6 +39,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -46,7 +62,39 @@ using NodeAddr = std::uint32_t;
 struct LatencyModel {
   Time min_latency = 500;    // 0.5 ms
   Time max_latency = 5'000;  // 5 ms
+
+  friend bool operator==(const LatencyModel&, const LatencyModel&) = default;
 };
+
+/// Reject a degenerate model (min > max would make the uniform range
+/// underflow). Network validates at construction and profile installation.
+void validate(const LatencyModel& model);
+
+/// A directed link's behaviour: base latency range plus jitter (an extra
+/// uniform [0, jitter] added per message) and a two-state Gilbert–Elliott
+/// loss model. The link sits in the good or bad state; before each message
+/// it transitions with the configured probabilities, then drops the message
+/// with the state's loss probability. p_bad_to_good = 1 and loss_bad =
+/// loss_good degenerates to independent per-message loss.
+struct LinkProfile {
+  std::string name = "default";  // Class name (for metrics/labels).
+  LatencyModel latency{};
+  Time jitter = 0;
+  double loss_good = 0.0;      // Loss probability in the good state.
+  double loss_bad = 0.0;       // Loss probability in the bad state.
+  double p_good_to_bad = 0.0;  // Per-message transition probabilities.
+  double p_bad_to_good = 1.0;
+
+  friend bool operator==(const LinkProfile&, const LinkProfile&) = default;
+};
+
+/// Named latency classes modelled on deployment environments:
+///   lan — sub-millisecond, no jitter, lossless;
+///   wan — tens of milliseconds, jittery, bursty ~0.1%/20% GE loss;
+///   sat — geostationary-grade quarter-second delay, heavy loss bursts.
+/// "default" returns the network-default profile (uniform 0.5–5 ms,
+/// lossless) used to reset a link. Unknown names return nullopt.
+std::optional<LinkProfile> link_profile(const std::string& name);
 
 /// Network-wide statistics.
 struct NetworkStats {
@@ -56,6 +104,7 @@ struct NetworkStats {
   std::uint64_t duplicated = 0;
   std::uint64_t partitioned = 0;
   std::uint64_t to_dead_node = 0;
+  std::uint64_t burst_dropped = 0;  // Subset of dropped: GE bad state.
 };
 
 class Network {
@@ -63,8 +112,8 @@ class Network {
   using Handler =
       std::function<void(NodeAddr from, const std::string& payload)>;
 
-  Network(Scheduler& sched, Rng rng, LatencyModel latency = {})
-      : sched_(sched), rng_(rng), latency_(latency) {}
+  /// Throws std::invalid_argument for a degenerate latency model.
+  Network(Scheduler& sched, Rng rng, LatencyModel latency = {});
 
   /// Register (or replace) the handler for `addr`. A node without a handler
   /// silently drops inbound traffic (models a crashed node).
@@ -79,13 +128,31 @@ class Network {
     return handlers_.contains(addr);
   }
 
-  /// Message loss probability in [0,1], applied per message.
+  /// Message loss probability in [0,1], applied per message (independent
+  /// coin flips, on top of any per-link Gilbert–Elliott loss).
   void set_drop_probability(double p) { drop_probability_ = p; }
 
   /// Probability in [0,1] that a message is delivered twice (with an
   /// independently sampled second latency). Networks duplicate; protocol
   /// layers must deduplicate.
   void set_duplicate_probability(double p) { duplicate_probability_ = p; }
+
+  /// Install a profile on the directed link from->to (asymmetric by
+  /// construction: set both directions for a symmetric path). Resets the
+  /// link's loss state to good. Throws std::invalid_argument for a
+  /// degenerate latency range or out-of-range probabilities.
+  void set_link_profile(NodeAddr from, NodeAddr to, LinkProfile profile);
+
+  /// Remove the directed link's profile (back to network defaults).
+  void clear_link_profile(NodeAddr from, NodeAddr to);
+
+  /// The installed profile's class name, or "default".
+  [[nodiscard]] const std::string& link_class(NodeAddr from,
+                                              NodeAddr to) const;
+
+  /// True when the directed link's Gilbert–Elliott model currently sits in
+  /// the bad (bursty-loss) state.
+  [[nodiscard]] bool link_in_bad_state(NodeAddr from, NodeAddr to) const;
 
   /// Attach a structured-event sink for causal per-message tracing
   /// (categories net.*). nullptr (default) disables.
@@ -162,6 +229,14 @@ class Network {
     Time sent_at;
   };
 
+  /// Per-directed-link state: an independent RNG substream plus the
+  /// Gilbert–Elliott loss state and the (optional) installed profile.
+  struct LinkState {
+    Rng rng;
+    bool bad = false;
+    std::optional<LinkProfile> profile;
+  };
+
   void check_pending_index(std::size_t index) const {
     if (index >= pending_.size()) {
       throw std::out_of_range("Network: pending message index " +
@@ -170,13 +245,17 @@ class Network {
     }
   }
 
+  /// The link's state, created on first use with a seed split from the
+  /// network seed and the (from, to) pair — creation order is irrelevant.
+  LinkState& link(NodeAddr from, NodeAddr to);
+
   /// Terminal step of one message copy: account, trace and hand to the
   /// receiver's handler (or the dead-node sink).
   void deliver_copy(NodeAddr from, NodeAddr to, const std::string& payload,
                     std::uint64_t id, Time sent_at);
 
   Scheduler& sched_;
-  Rng rng_;
+  std::uint64_t link_seed_base_;
   LatencyModel latency_;
   double drop_probability_ = 0.0;
   double duplicate_probability_ = 0.0;
@@ -184,6 +263,7 @@ class Network {
   std::vector<PendingMessage> pending_;
   std::unordered_map<NodeAddr, Handler> handlers_;
   std::set<std::pair<NodeAddr, NodeAddr>> partitions_;
+  std::map<std::pair<NodeAddr, NodeAddr>, LinkState> links_;
   NetworkStats stats_;
   Trace* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -80,6 +80,25 @@ class Rng {
   /// Derive an independent child generator (for per-node streams).
   Rng fork() { return Rng((*this)() ^ 0xA5A5A5A55A5A5A5Aull); }
 
+  /// Seed-split: mix a base seed with a stream key into an independent
+  /// seed. Unlike fork(), this is a pure function — deriving stream k
+  /// never consumes from (or depends on the draw order of) any other
+  /// stream, so components created mid-run (a node joining, a link first
+  /// used) get the same substream they would have had from the start.
+  static std::uint64_t derive_seed(std::uint64_t base, std::uint64_t key) {
+    // One SplitMix64 finalisation round over the combined words; the
+    // golden-ratio offsets keep (base, key) and (key, base) distinct.
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (key + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// An independent generator for stream `key` of `base` (see derive_seed).
+  static Rng substream(std::uint64_t base, std::uint64_t key) {
+    return Rng(derive_seed(base, key));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,69 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asa_repro::sim {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double skew) {
+  cdf_.reserve(n == 0 ? 1 : n);
+  double total = 0.0;
+  for (std::uint32_t k = 0; k < std::max(1u, n); ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_.push_back(total);
+  }
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // Guard against rounding at the tail.
+}
+
+std::uint32_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::uint32_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+std::vector<std::vector<WorkloadOp>> generate_workload(
+    const WorkloadConfig& config, std::uint64_t seed) {
+  const std::uint32_t writers = std::max(1u, config.writers);
+  const ZipfSampler sampler(std::max(1u, config.keys), config.zipf);
+  std::vector<std::vector<WorkloadOp>> schedule(writers);
+
+  // Round-robin the operation budget so writer loads differ by at most 1.
+  const int total = std::max(0, config.operations);
+  for (std::uint32_t w = 0; w < writers; ++w) {
+    const int count = total / static_cast<int>(writers) +
+                      (static_cast<int>(w) < total % static_cast<int>(writers)
+                           ? 1
+                           : 0);
+    Rng rng = Rng::substream(seed, 0x776B6C64'00000000ull | w);  // "wkld"|w
+    Time at = config.start + 1'000 * static_cast<Time>(w);  // Start stagger.
+    std::vector<WorkloadOp>& ops = schedule[w];
+    ops.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      WorkloadOp op;
+      op.writer = w;
+      op.sequence = static_cast<std::uint32_t>(i);
+      op.key = sampler.sample(rng);
+      op.read = config.read_fraction > 0.0 &&
+                rng.chance(config.read_fraction);
+      if (config.open_loop && i > 0) {
+        // Exponential interarrival: -mean * ln(1 - u), floored at 1 us so
+        // time strictly advances.
+        const double u = rng.uniform01();
+        const double gap = -static_cast<double>(config.mean_interarrival) *
+                           std::log(1.0 - u);
+        at += std::max<Time>(1, static_cast<Time>(gap));
+      }
+      op.at = at;
+      ops.push_back(op);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace asa_repro::sim

@@ -1,0 +1,72 @@
+// Contention workload generation: who writes what, when.
+//
+// The chaos engine's original workload was a serialized writer round-
+// robining over a couple of GUIDs — none of the access patterns real
+// deployments produce. This layer generates deterministic multi-writer
+// schedules: several writers contending on a small set of hot keys, key
+// popularity following a zipf distribution (a few keys take most of the
+// traffic), a configurable read/write mix, and either closed-loop arrivals
+// (the next operation is issued when the previous completes — throughput-
+// bounded) or open-loop arrivals (operations arrive on an exponential
+// clock regardless of completions — latency reveals overload).
+//
+// The generator is pure data: it emits per-writer operation lists (key,
+// read/write, arrival time) with no reference to any cluster, so the same
+// schedule can drive the simulator, the chaos engine, or a soak run.
+// Per-writer RNG substreams are seed-split by writer id, so changing the
+// writer count never perturbs the other writers' operation streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace asa_repro::sim {
+
+struct WorkloadConfig {
+  std::uint32_t writers = 4;
+  std::uint32_t keys = 8;      // Distinct keys (executors map them to GUIDs).
+  int operations = 32;         // Total operations across all writers.
+  double zipf = 0.9;           // Key-popularity skew; 0 = uniform.
+  double read_fraction = 0.0;  // Fraction of operations that are reads.
+  bool open_loop = false;      // Timed arrivals instead of completion-driven.
+  Time mean_interarrival = 25'000;  // Open-loop exponential mean (us).
+  Time start = 60'000;         // Earliest arrival.
+};
+
+/// Zipf(s) sampler over [0, n) via a precomputed CDF: P(k) ~ 1/(k+1)^s.
+/// s = 0 degenerates to uniform. Inverse-CDF sampling costs one uniform
+/// draw plus a binary search — deterministic given the Rng.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double skew);
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const;
+  /// The sampler's probability for key k (for tests and reports).
+  [[nodiscard]] double probability(std::uint32_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// One generated operation. `at` is the scheduled arrival for open-loop
+/// execution; closed-loop executors use it only for the writer's first
+/// operation (the start stagger) and chain the rest on completions.
+struct WorkloadOp {
+  Time at = 0;
+  std::uint32_t writer = 0;
+  std::uint32_t key = 0;
+  std::uint32_t sequence = 0;  // Per-writer operation index.
+  bool read = false;
+};
+
+/// Generate the full schedule, grouped by writer (result[w] is writer w's
+/// operations in issue order). Total operations == config.operations,
+/// distributed round-robin across writers. Deterministic in (config, seed);
+/// writer w's list depends only on its own substream, never on the other
+/// writers' draws.
+[[nodiscard]] std::vector<std::vector<WorkloadOp>> generate_workload(
+    const WorkloadConfig& config, std::uint64_t seed);
+
+}  // namespace asa_repro::sim

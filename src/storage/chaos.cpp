@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "durable/journal.hpp"
+#include "sim/workload.hpp"
 #include "storage/maintenance.hpp"
 
 namespace asa_repro::storage {
@@ -111,6 +112,42 @@ void apply_fault(AsaCluster& cluster, const FaultEvent& event) {
       cluster.medium(node).set_stalled(false);
       cluster.medium(node).set_capacity(std::nullopt);
       break;
+    case FaultEvent::Kind::kJoin:
+      cluster.add_node();
+      break;
+    case FaultEvent::Kind::kLeave:
+      // Graceful leave: remove_node hands the leaver's key ranges off.
+      (void)cluster.remove_node(node, /*graceful=*/true);
+      break;
+    case FaultEvent::Kind::kDepart:
+      // Abrupt departure: no handoff. The ring remaps the vanished node's
+      // key ranges onto survivors that may never have seen them, so run
+      // the same replica repair a Byzantine replacement gets — campaigns
+      // model an operator whose maintenance re-replicates after node loss
+      // (run_churn_smoke's counterfactual deliberately does not).
+      if (cluster.remove_node(node, /*graceful=*/false)) {
+        for (const Guid& guid : cluster.known_guids()) {
+          cluster.migrate_version_history(guid);
+        }
+        cluster.maintainer().scan();
+      }
+      break;
+    case FaultEvent::Kind::kLinkProfile: {
+      const auto from = static_cast<sim::NodeAddr>(node);
+      const auto to = static_cast<sim::NodeAddr>(peer);
+      if (from == to) break;
+      if (event.behaviour == "default") {
+        cluster.network().clear_link_profile(from, to);
+        cluster.network().clear_link_profile(to, from);
+      } else if (const std::optional<sim::LinkProfile> profile =
+                     sim::link_profile(event.behaviour)) {
+        // Installed symmetrically for simplicity; asymmetric paths are
+        // expressible as two plan events with different classes.
+        cluster.network().set_link_profile(from, to, *profile);
+        cluster.network().set_link_profile(to, from, *profile);
+      }
+      break;
+    }
   }
 }
 
@@ -137,7 +174,15 @@ std::string ChaosConfig::serialize() const {
   }
   out << '\n'
       << "horizon " << horizon << '\n'
-      << "durability " << (durability ? "on" : "off") << '\n';
+      << "durability " << (durability ? "on" : "off") << '\n'
+      << "churn " << (churn ? "on" : "off") << '\n'
+      << "wan " << (wan ? "on" : "off") << '\n'
+      << "writers " << writers << '\n'
+      // Fractions serialize as integer percents (zipf x100) so replay
+      // files stay locale-proof integer-only text.
+      << "zipf " << static_cast<int>(zipf * 100.0 + 0.5) << '\n'
+      << "reads " << static_cast<int>(read_fraction * 100.0 + 0.5) << '\n'
+      << "open-loop " << (open_loop ? "on" : "off") << '\n';
   return out.str();
 }
 
@@ -180,6 +225,21 @@ std::optional<ChaosConfig> ChaosConfig::parse(const std::string& text) {
       } else if (key == "durability") {
         if (value != "on" && value != "off") return std::nullopt;
         config.durability = value == "on";
+      } else if (key == "churn") {
+        if (value != "on" && value != "off") return std::nullopt;
+        config.churn = value == "on";
+      } else if (key == "wan") {
+        if (value != "on" && value != "off") return std::nullopt;
+        config.wan = value == "on";
+      } else if (key == "writers") {
+        config.writers = std::stoi(value);
+      } else if (key == "zipf") {
+        config.zipf = std::stoi(value) / 100.0;
+      } else if (key == "reads") {
+        config.read_fraction = std::stoi(value) / 100.0;
+      } else if (key == "open-loop") {
+        if (value != "on" && value != "off") return std::nullopt;
+        config.open_loop = value == "on";
       } else {
         return std::nullopt;  // Unknown key: refuse to mis-replay.
       }
@@ -188,7 +248,8 @@ std::optional<ChaosConfig> ChaosConfig::parse(const std::string& text) {
     }
   }
   if (config.nodes == 0 || config.replication < 2 || config.guids < 1 ||
-      config.burst < 1) {
+      config.burst < 1 || config.writers < 0 || config.zipf < 0.0 ||
+      config.read_fraction < 0.0 || config.read_fraction > 1.0) {
     return std::nullopt;
   }
   return config;
@@ -351,6 +412,90 @@ sim::FaultPlan generate_fault_plan(const ChaosConfig& config,
     plan.add({.at = end, .kind = FaultEvent::Kind::kDupRate, .rate = 0.0});
   }
 
+  // Membership churn episodes. Joins are pure additions (no budget: a
+  // joining node makes nobody faulty). A graceful leave hands its key
+  // ranges off, so it is also budget-free; an abrupt departure vanishes
+  // with its replicas and therefore needs budget headroom (apply_fault's
+  // maintenance repair heals the divergence, like every other episode).
+  if (config.churn && horizon >= 900'000) {
+    const std::size_t joins = 1 + rng.below(2);
+    for (std::size_t j = 0; j < joins; ++j) {
+      plan.add({.at = rng.range(150'000, horizon - 400'000),
+                .kind = FaultEvent::Kind::kJoin});
+    }
+    if (config.nodes >= 6 && rng.chance(0.8)) {
+      plan.add({.at = rng.range(200'000, horizon - 400'000),
+                .kind = FaultEvent::Kind::kLeave,
+                .node = static_cast<std::uint32_t>(
+                    rng.below(static_cast<std::uint64_t>(config.nodes)))});
+    }
+    if (budget >= 1 && config.nodes >= 8 && rng.chance(0.5)) {
+      plan.add({.at = rng.range(200'000, horizon - 400'000),
+                .kind = FaultEvent::Kind::kDepart,
+                .node = static_cast<std::uint32_t>(
+                    rng.below(static_cast<std::uint64_t>(config.nodes)))});
+    }
+  }
+
+  // WAN adversity episodes: a latency class lands on a random directed
+  // pair and is reset to the network default before the horizon. The
+  // classes carry their own Gilbert–Elliott loss, so (unlike kDropRate
+  // windows) they do not force the order check off — bursty per-link loss
+  // plus retries must still converge to agreed histories.
+  if (config.wan && config.nodes >= 2 && horizon >= 900'000) {
+    // Bias episodes onto links the protocol actually uses: almost all
+    // inter-node traffic runs between the workload GUIDs' replicas, so a
+    // profile on a uniformly random pair is usually adversity in name
+    // only (12 nodes = 132 directed pairs, ~2 peer sets active). A
+    // throwaway cluster resolves the same initial ring the run builds.
+    std::vector<std::uint32_t> hot;
+    {
+      ClusterConfig ring_config;
+      ring_config.nodes = config.nodes;
+      ring_config.replication_factor = config.replication;
+      ring_config.seed = config.seed;
+      ring_config.durability = false;
+      AsaCluster ring(ring_config);
+      for (sim::NodeAddr addr : ring.peer_set(Guid::named("chaos:0"))) {
+        hot.push_back(static_cast<std::uint32_t>(addr));
+      }
+    }
+    static const char* kClasses[] = {"lan", "wan", "sat"};
+    const std::size_t episodes = 1 + rng.below(3);
+    for (std::size_t e = 0; e < episodes; ++e) {
+      std::uint32_t a, b;
+      if (hot.size() >= 2 && rng.chance(0.75)) {
+        const std::size_t i = rng.below(hot.size());
+        std::size_t j = rng.below(hot.size() - 1);
+        if (j >= i) ++j;
+        a = hot[i];
+        b = hot[j];
+      } else {
+        a = static_cast<std::uint32_t>(
+            rng.below(static_cast<std::uint64_t>(config.nodes)));
+        b = static_cast<std::uint32_t>(
+            rng.below(static_cast<std::uint64_t>(config.nodes - 1)));
+        if (b >= a) ++b;
+      }
+      // Start inside the workload's active window: the closed-loop
+      // writers burn through their updates in the first few hundred
+      // milliseconds, so a window placed uniformly over the horizon
+      // would usually profile a link after the traffic has stopped.
+      const sim::Time start = rng.range(10'000, 300'000);
+      const sim::Time end = start + rng.range(200'000, 500'000);
+      plan.add({.at = start,
+                .kind = FaultEvent::Kind::kLinkProfile,
+                .node = a,
+                .peer = b,
+                .behaviour = kClasses[rng.below(3)]});
+      plan.add({.at = end,
+                .kind = FaultEvent::Kind::kLinkProfile,
+                .node = a,
+                .peer = b,
+                .behaviour = "default"});
+    }
+  }
+
   plan.sort_by_time();
   return plan;
 }
@@ -428,57 +573,161 @@ ChaosReport run_plan(const ChaosConfig& config, const sim::FaultPlan& plan,
         });
   }
 
-  // Control-plane workload: closed-loop chains, one per GUID. Each chain
-  // keeps `burst` appends in flight: burst == 1 is the protocol's supported
-  // serialized-writer usage (the next update submitted only after the
-  // previous confirmation); burst > 1 submits deliberately concurrent
-  // same-GUID updates (the equivocator demo's amplifier). Chains run
-  // concurrently across GUIDs either way.
+  // Control-plane workload. Two modes:
+  //
+  //  * writers == 0 (legacy): closed-loop chains, one per GUID. Each chain
+  //    keeps `burst` appends in flight: burst == 1 is the protocol's
+  //    supported serialized-writer usage (the next update submitted only
+  //    after the previous confirmation); burst > 1 submits deliberately
+  //    concurrent same-GUID updates (the equivocator demo's amplifier).
+  //  * writers > 0 (contention engine): sim::generate_workload spreads
+  //    `updates` operations over `writers` concurrent writers whose key
+  //    choices follow a zipf distribution over the GUIDs — several writers
+  //    hammer the same hot GUID concurrently, the schedule the per-GUID
+  //    chains deliberately avoid. Closed loop chains each writer's next
+  //    operation on the previous completion; open loop fires operations on
+  //    their generated arrival times regardless of completions. Reads run
+  //    the (f+1)-agreement read path mid-churn and are tallied separately
+  //    (a read finding no agreement during a fault window is load
+  //    information, not a violation — post-quiescence reads stay the
+  //    authoritative liveness probe).
   struct Chain {
     Guid guid;
     std::vector<Pid> pids;
     std::size_t next = 0;
   };
   int callbacks = 0;
-  std::vector<Chain> chains(static_cast<std::size_t>(config.guids));
-  for (int g = 0; g < config.guids; ++g) {
-    chains[static_cast<std::size_t>(g)].guid =
-        Guid::named("chaos:" + std::to_string(g));
-  }
-  for (int u = 0; u < config.updates; ++u) {
-    Chain& chain = chains[static_cast<std::size_t>(u % config.guids)];
-    const Pid pid = Pid::of(block_from(
-        "chaos update " + std::to_string(u) + " seed " +
-        std::to_string(config.seed)));
-    checker.note_submitted(chain.guid, pid.to_uint64());
-    chain.pids.push_back(pid);
-  }
-  std::function<void(std::size_t)> submit_next = [&](std::size_t g) {
-    Chain& chain = chains[g];
-    if (chain.next >= chain.pids.size()) return;
-    const Pid pid = chain.pids[chain.next++];
-    cluster.version_history().append(
-        chain.guid, pid,
-        [&report, &callbacks, &submit_next, g](const commit::CommitResult& r) {
-          ++callbacks;
-          if (r.committed) {
-            ++report.committed;
-          } else {
-            ++report.failed;  // The chain advances regardless.
-          }
+  int write_ops = 0;
+  std::vector<Chain> chains;
+  struct WriterChain {
+    std::vector<sim::WorkloadOp> ops;
+    std::vector<Pid> pids;  // Parallel to ops; unused slots for reads.
+  };
+  std::vector<WriterChain> writer_chains;
+  std::function<void(std::size_t)> submit_next;      // writers == 0.
+  std::function<void(std::size_t, std::size_t)> submit_op;  // writers > 0.
+  if (config.writers > 0) {
+    // Contending writers share each GUID's serialization point; without
+    // this, two writers' concurrent appends to one hot GUID can land on
+    // replicas in different orders and diverge honest histories.
+    cluster.version_history().set_serialize_appends(true);
+    sim::WorkloadConfig workload;
+    workload.writers = static_cast<std::uint32_t>(config.writers);
+    workload.keys = static_cast<std::uint32_t>(config.guids);
+    workload.operations =
+        static_cast<std::uint32_t>(std::max(0, config.updates));
+    workload.zipf = config.zipf;
+    workload.read_fraction = config.read_fraction;
+    workload.open_loop = config.open_loop;
+    const auto per_writer = sim::generate_workload(workload, config.seed);
+    writer_chains.resize(per_writer.size());
+    for (std::size_t w = 0; w < per_writer.size(); ++w) {
+      writer_chains[w].ops = per_writer[w];
+      writer_chains[w].pids.resize(per_writer[w].size());
+      for (std::size_t i = 0; i < per_writer[w].size(); ++i) {
+        const sim::WorkloadOp& op = per_writer[w][i];
+        if (op.read) continue;
+        ++write_ops;
+        const Pid pid = Pid::of(block_from(
+            "chaos w" + std::to_string(op.writer) + " op" +
+            std::to_string(op.sequence) + " seed " +
+            std::to_string(config.seed)));
+        writer_chains[w].pids[i] = pid;
+        checker.note_submitted(Guid::named("chaos:" + std::to_string(op.key)),
+                               pid.to_uint64());
+      }
+    }
+    submit_op = [&](std::size_t w, std::size_t i) {
+      WriterChain& chain = writer_chains[w];
+      if (i >= chain.ops.size()) return;
+      const sim::WorkloadOp& op = chain.ops[i];
+      const Guid guid = Guid::named("chaos:" + std::to_string(op.key));
+      const obs::Labels writer_label = {{"writer", std::to_string(op.writer)}};
+      if (op.read) {
+        cluster.version_history().read(
+            guid, [&, w, i, writer_label](const HistoryReadResult& r) {
+              if (r.ok) {
+                ++report.reads_ok;
+                cluster.metrics().counter("workload.reads", writer_label)
+                    .inc();
+              } else {
+                ++report.reads_failed;
+              }
+              if (!config.open_loop) submit_op(w, i + 1);
+            });
+        return;
+      }
+      cluster.version_history().append(
+          guid, chain.pids[i],
+          [&, w, i, writer_label](const commit::CommitResult& r) {
+            ++callbacks;
+            if (r.committed) {
+              ++report.committed;
+              cluster.metrics().counter("workload.commits", writer_label)
+                  .inc();
+            } else {
+              ++report.failed;  // The writer advances regardless.
+            }
+            if (!config.open_loop) submit_op(w, i + 1);
+          });
+    };
+    for (std::size_t w = 0; w < writer_chains.size(); ++w) {
+      if (config.open_loop) {
+        for (std::size_t i = 0; i < writer_chains[w].ops.size(); ++i) {
+          cluster.scheduler().schedule_at(writer_chains[w].ops[i].at,
+                                          [&submit_op, w, i] {
+                                            submit_op(w, i);
+                                          });
+        }
+      } else if (!writer_chains[w].ops.empty()) {
+        cluster.scheduler().schedule_at(writer_chains[w].ops[0].at,
+                                        [&submit_op, w] { submit_op(w, 0); });
+      }
+    }
+  } else {
+    chains.resize(static_cast<std::size_t>(config.guids));
+    for (int g = 0; g < config.guids; ++g) {
+      chains[static_cast<std::size_t>(g)].guid =
+          Guid::named("chaos:" + std::to_string(g));
+    }
+    for (int u = 0; u < config.updates; ++u) {
+      Chain& chain = chains[static_cast<std::size_t>(u % config.guids)];
+      const Pid pid = Pid::of(block_from(
+          "chaos update " + std::to_string(u) + " seed " +
+          std::to_string(config.seed)));
+      checker.note_submitted(chain.guid, pid.to_uint64());
+      chain.pids.push_back(pid);
+    }
+    write_ops = config.updates;
+    submit_next = [&](std::size_t g) {
+      Chain& chain = chains[g];
+      if (chain.next >= chain.pids.size()) return;
+      const Pid pid = chain.pids[chain.next++];
+      cluster.version_history().append(
+          chain.guid, pid,
+          [&report, &callbacks, &submit_next,
+           g](const commit::CommitResult& r) {
+            ++callbacks;
+            if (r.committed) {
+              ++report.committed;
+            } else {
+              ++report.failed;  // The chain advances regardless.
+            }
+            submit_next(g);
+          });
+    };
+    const int in_flight = std::max(1, config.burst);
+    for (std::size_t g = 0; g < chains.size(); ++g) {
+      for (int b = 0; b < in_flight; ++b) {
+        // Stagger chain starts across GUIDs; within a chain, burst-mates
+        // go out a millisecond apart (enough to race, not enough to
+        // serialize).
+        const sim::Time at = 60'000 + 15'000 * static_cast<sim::Time>(g) +
+                             1'000 * static_cast<sim::Time>(b);
+        cluster.scheduler().schedule_at(at, [&submit_next, g] {
           submit_next(g);
         });
-  };
-  const int in_flight = std::max(1, config.burst);
-  for (std::size_t g = 0; g < chains.size(); ++g) {
-    for (int b = 0; b < in_flight; ++b) {
-      // Stagger chain starts across GUIDs; within a chain, burst-mates go
-      // out a millisecond apart (enough to race, not enough to serialize).
-      const sim::Time at = 60'000 + 15'000 * static_cast<sim::Time>(g) +
-                           1'000 * static_cast<sim::Time>(b);
-      cluster.scheduler().schedule_at(at, [&submit_next, g] {
-        submit_next(g);
-      });
+      }
     }
   }
 
@@ -504,18 +753,18 @@ ChaosReport run_plan(const ChaosConfig& config, const sim::FaultPlan& plan,
   }
 
   const bool expect_liveness = config.expect_liveness();
-  if (report.quiesced && callbacks < config.updates) {
+  if (report.quiesced && callbacks < write_ops) {
     report.violations.push_back(
         {"liveness-callback",
          "only " + std::to_string(callbacks) + " of " +
-             std::to_string(config.updates) +
+             std::to_string(write_ops) +
              " append callbacks fired at quiescence"});
   }
   if (expect_liveness && report.failed > 0) {
     report.violations.push_back(
         {"liveness-append",
          std::to_string(report.failed) + " of " +
-             std::to_string(config.updates) +
+             std::to_string(write_ops) +
              " appends failed although faults never exceeded f"});
   }
 
@@ -848,6 +1097,235 @@ DurabilitySmokeReport run_durability_smoke(std::uint64_t seed) {
          std::to_string(vcommitted) + " acknowledged commits");
   }
 
+  return report;
+}
+
+// --------------------------------------------------------- churn smoke
+
+DurabilitySmokeReport run_churn_smoke(std::uint64_t seed, bool handoff) {
+  DurabilitySmokeReport report;
+  const auto note = [&report](std::string text) {
+    report.notes.push_back(std::move(text));
+  };
+  const auto expect = [&report](bool ok, std::string what) {
+    if (!ok) report.failures.push_back(std::move(what));
+  };
+
+  ClusterConfig config;
+  config.nodes = 16;
+  config.replication_factor = 4;  // f = 1, quorum = 2.
+  config.seed = seed;
+  config.retry.base_timeout = 80'000;
+  config.retry.max_attempts = 30;
+  config.abort_scan_interval = 60'000;
+  config.abort_max_age = 80'000;
+  config.durability = true;  // The handoff-ack invariant needs the ledger.
+  config.snapshot_every = 4;
+
+  // A small ring can map several replica keys onto one node; pick the
+  // first GUID whose peer set has replication_factor distinct members so
+  // "every member leaves" means exactly four handoffs.
+  const auto pick_guid = [](AsaCluster& cluster) {
+    Guid guid = Guid::named("churn-smoke:0");
+    std::vector<sim::NodeAddr> members = cluster.peer_set(guid);
+    for (int probe = 1; members.size() < 4 && probe < 64; ++probe) {
+      guid = Guid::named("churn-smoke:" + std::to_string(probe));
+      members = cluster.peer_set(guid);
+    }
+    return std::make_pair(guid, members);
+  };
+
+  if (handoff) {
+    AsaCluster cluster(config);
+    InvariantChecker checker(cluster);
+    const auto [guid, members] = pick_guid(cluster);
+    const std::uint64_t key = guid.to_uint64();
+    (void)key;
+    if (members.size() < 4) {
+      report.failures.push_back("no GUID with a full-size peer set found");
+      return report;
+    }
+
+    int next_update = 0;
+    const auto commit_one = [&, guid = guid]() {
+      const Pid pid = Pid::of(block_from(
+          "churn smoke update " + std::to_string(next_update++) + " seed " +
+          std::to_string(seed)));
+      checker.note_submitted(guid, pid.to_uint64());
+      bool committed = false;
+      cluster.version_history().append(
+          guid, pid, [&committed](const commit::CommitResult& r) {
+            committed = r.committed;
+          });
+      cluster.run();
+      return committed;
+    };
+    const auto agreed_read = [&, guid = guid]() {
+      HistoryReadResult read;
+      cluster.version_history().read(
+          guid, [&read](const HistoryReadResult& r) { read = r; });
+      cluster.run();
+      return read;
+    };
+    const auto check_invariants = [&](const std::string& where) {
+      for (const Violation& v : checker.check(/*check_order=*/true)) {
+        report.failures.push_back("invariant (" + where + "): " +
+                                  v.invariant + ": " + v.detail);
+      }
+    };
+
+    // -- Step 1: baseline history on the full-size peer set.
+    for (int i = 0; i < 5; ++i) {
+      expect(commit_one(),
+             "baseline commit " + std::to_string(i) + " failed");
+    }
+    note("baseline: 5 commits acknowledged on a 4-member peer set");
+
+    // -- Step 2: graceful leave wave — EVERY original member leaves, one
+    // at a time. Each leave hands its key ranges off, so the acknowledged
+    // history must end up readable from an entirely-new peer set.
+    for (sim::NodeAddr addr : members) {
+      expect(cluster.remove_node(static_cast<std::size_t>(addr),
+                                 /*graceful=*/true),
+             "graceful leave of node " + std::to_string(addr) + " refused");
+      cluster.run();
+    }
+    std::size_t overlap = 0;
+    for (sim::NodeAddr addr : cluster.peer_set(guid)) {
+      if (std::find(members.begin(), members.end(), addr) != members.end()) {
+        ++overlap;
+      }
+    }
+    expect(overlap == 0, "leave wave must fully rotate the peer set");
+    const HistoryReadResult read5 = agreed_read();
+    expect(read5.ok && read5.versions.size() == 5,
+           "an (f+1)-agreed read must survive the graceful leave wave");
+    check_invariants("after leave wave");
+    note("graceful leave wave: all 4 original members left; handed-off "
+         "history still reads 5/5");
+
+    // -- Step 3: churn while a commit is in flight. A fresh node joins,
+    // then one current member leaves the moment the next append is
+    // submitted — the commit must still succeed and agree.
+    const std::size_t joined = cluster.add_node();
+    expect(joined == config.nodes,
+           "join must allocate a fresh slot past the initial members");
+    expect(cluster.joined_epoch(joined) > 0,
+           "the joiner must carry a later membership epoch");
+    const std::vector<sim::NodeAddr> current = cluster.peer_set(guid);
+    const auto mid = static_cast<std::size_t>(current.front());
+    cluster.scheduler().schedule_at(
+        cluster.scheduler().now() + 10'000, [&cluster, mid] {
+          (void)cluster.remove_node(mid, /*graceful=*/true);
+        });
+    expect(commit_one(),
+           "a commit must survive a graceful leave mid-flight");
+    const HistoryReadResult read6 = agreed_read();
+    expect(read6.ok && read6.versions.size() == 6,
+           "an (f+1)-agreed read must see all 6 versions after churn");
+    check_invariants("after mid-flight churn");
+    note("mid-flight churn: join + graceful leave during a commit; "
+         "6/6 versions agreed");
+  }
+
+  // -- Counterfactual: the same graceful leave wave with the handoff
+  // suppressed. The acknowledged history is provably lost, and the
+  // handoff-ack invariant names the loss.
+  {
+    AsaCluster cluster(config);
+    InvariantChecker checker(cluster);
+    const auto [guid, members] = pick_guid(cluster);
+    const std::uint64_t key = guid.to_uint64();
+    if (members.size() < 4) {
+      report.failures.push_back(
+          "no GUID with a full-size peer set found (counterfactual)");
+      return report;
+    }
+    int committed = 0;
+    for (int i = 0; i < 5; ++i) {
+      const Pid pid = Pid::of(block_from(
+          "churn smoke update " + std::to_string(i) + " seed " +
+          std::to_string(seed)));
+      checker.note_submitted(guid, pid.to_uint64());
+      bool ok = false;
+      cluster.version_history().append(
+          guid, pid,
+          [&ok](const commit::CommitResult& r) { ok = r.committed; });
+      cluster.run();
+      if (ok) ++committed;
+    }
+    expect(committed == 5, "counterfactual baseline commits failed");
+    for (sim::NodeAddr addr : members) {
+      expect(cluster.remove_node(static_cast<std::size_t>(addr),
+                                 /*graceful=*/true, /*handoff=*/false),
+             "no-handoff leave of node " + std::to_string(addr) +
+                 " refused");
+      cluster.run();
+    }
+    std::size_t survivors = 0;
+    for (sim::NodeAddr addr : cluster.peer_set(guid)) {
+      survivors += cluster.host(static_cast<std::size_t>(addr))
+                       .peer()
+                       .history(key)
+                       .size();
+    }
+    expect(survivors == 0,
+           "with the handoff suppressed the leave wave must lose the "
+           "acknowledged history (found " +
+               std::to_string(survivors) + " surviving entries)");
+    bool handoff_ack_fired = false;
+    for (const Violation& v : checker.check(/*check_order=*/false)) {
+      if (v.invariant == "handoff-ack") handoff_ack_fired = true;
+    }
+    expect(handoff_ack_fired,
+           "the handoff-ack invariant must flag the suppressed handoff");
+    note("counterfactual (handoff off): leave wave lost all " +
+         std::to_string(committed) +
+         " acknowledged commits; handoff-ack fired");
+  }
+
+  return report;
+}
+
+// ---------------------------------------------------------------- soak
+
+SoakReport run_soak(const ChaosConfig& base, sim::Time total_sim_us,
+                    obs::MetricsRegistry* metrics) {
+  SoakReport report;
+  const sim::Time window = std::max<sim::Time>(base.horizon, 1);
+  const auto windows = static_cast<int>(
+      std::max<sim::Time>(1, total_sim_us / window));
+  for (int w = 0; w < windows; ++w) {
+    ChaosConfig config = base;
+    config.seed =
+        sim::Rng::derive_seed(base.seed, static_cast<std::uint64_t>(w));
+    sim::Rng rng(config.seed);
+    const sim::FaultPlan plan = generate_fault_plan(config, rng);
+    const ChaosReport run = run_plan(config, plan, metrics);
+    ++report.windows;
+    report.commits_per_sec.push_back(static_cast<double>(run.committed) /
+                                     (static_cast<double>(window) / 1e6));
+    for (const Violation& v : run.violations) {
+      report.violations.push_back(
+          {v.invariant, "[window " + std::to_string(w) + "] " + v.detail});
+    }
+  }
+  // Metrics drift: a window whose commit rate collapses below a quarter of
+  // the median is a livelock/leak signature even when every per-window
+  // invariant holds.
+  std::vector<double> sorted = report.commits_per_sec;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted.empty() ? 0.0 : sorted[sorted.size() / 2];
+  if (base.expect_liveness() && median > 0.0) {
+    for (std::size_t w = 0; w < report.commits_per_sec.size(); ++w) {
+      if (report.commits_per_sec[w] < 0.25 * median) {
+        report.failures.push_back(
+            "commit-rate drift: window " + std::to_string(w) + " ran at " +
+            std::to_string(report.commits_per_sec[w]) +
+            " commits/sec against a median of " + std::to_string(median));
+      }
+    }
+  }
   return report;
 }
 

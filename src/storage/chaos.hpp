@@ -63,6 +63,27 @@ struct ChaosConfig {
   /// seed behaviour: restart recovers from peers only. Absent from old
   /// replay headers, which therefore parse to the default (on).
   bool durability = true;
+  /// Membership-churn episodes in generated plans: ring joins (kJoin),
+  /// graceful leave-with-handoff (kLeave) and abrupt departures (kDepart).
+  /// Off by default; absent from old replay headers (parse to off).
+  bool churn = false;
+  /// Per-link WAN adversity episodes in generated plans: lan/wan/sat
+  /// LinkProfiles installed on random directed pairs and reset before the
+  /// horizon (kLinkProfile). Off by default; absent from old headers.
+  bool wan = false;
+  /// Contention workload: > 0 replaces the per-GUID chain workload with
+  /// `writers` concurrent writers spreading `updates` operations across
+  /// the `guids` keys by zipf popularity (sim::generate_workload). 0 keeps
+  /// the legacy serialized chains. Absent from old headers (parse to 0).
+  int writers = 0;
+  /// Zipf skew of the contention workload's key popularity (0 = uniform).
+  double zipf = 0.9;
+  /// Fraction of contention-workload operations that are agreed reads.
+  double read_fraction = 0.0;
+  /// Open-loop arrivals: operations fire on their generated schedule
+  /// regardless of completions (default closed loop chains each writer's
+  /// next operation on the previous completion).
+  bool open_loop = false;
 
   [[nodiscard]] std::uint32_t f() const { return (replication - 1) / 3; }
   [[nodiscard]] std::uint32_t effective_budget() const {
@@ -83,6 +104,8 @@ struct ChaosReport {
   std::vector<Violation> violations;
   int committed = 0;
   int failed = 0;
+  int reads_ok = 0;      // Contention-workload mid-run agreed reads...
+  int reads_failed = 0;  // ...and ones that found no (f+1) agreement.
   bool quiesced = true;          // Ran out of events before max_events.
   std::size_t events_executed = 0;
   std::uint64_t messages_sent = 0;
@@ -150,6 +173,46 @@ struct DurabilitySmokeReport {
   [[nodiscard]] bool ok() const { return failures.empty(); }
 };
 [[nodiscard]] DurabilitySmokeReport run_durability_smoke(std::uint64_t seed);
+
+/// Deterministic membership-churn + handoff smoke (the CI "churn smoke"
+/// and the graceful-vs-abrupt counterfactual). With `handoff` (default):
+///
+///  1. commits a baseline history on a full-size peer set;
+///  2. gracefully removes every original peer-set member one at a time —
+///     each leave hands its key range off, so the acknowledged history
+///     must survive into the entirely-new peer set and (f+1)-agreed reads
+///     must keep seeing it;
+///  3. joins a fresh node and commits one more update while a member
+///     departs mid-flight — churn must not break in-flight commits;
+///  4. re-runs the leave wave with handoff suppressed
+///     (AsaCluster::remove_node handoff=false), asserting the acknowledged
+///     history IS lost and the handoff-ack invariant fires.
+///
+/// With handoff=false only the counterfactual (step 4) runs — the
+/// asachaos --churn-smoke --no-handoff demonstration.
+[[nodiscard]] DurabilitySmokeReport run_churn_smoke(std::uint64_t seed,
+                                                    bool handoff = true);
+
+/// Long-soak mode: re-run the seed-derived campaign in consecutive
+/// windows of `base.horizon` simulated microseconds until `total_sim_us`
+/// of simulated time has elapsed, checking every invariant per window and
+/// the commit-rate drift across windows (any window dropping below a
+/// quarter of the median rate fails — a leak or livelock signature long
+/// runs surface and single runs cannot). Window w runs with seed
+/// derive_seed(base.seed, w), so a soak is exactly reproducible and any
+/// violating window can be replayed as an ordinary single run.
+struct SoakReport {
+  int windows = 0;
+  std::vector<double> commits_per_sec;  // One entry per window.
+  std::vector<Violation> violations;    // Details prefixed "[window N]".
+  std::vector<std::string> failures;    // Drift / liveness expectations.
+  [[nodiscard]] bool ok() const {
+    return violations.empty() && failures.empty();
+  }
+};
+[[nodiscard]] SoakReport run_soak(const ChaosConfig& base,
+                                  sim::Time total_sim_us,
+                                  obs::MetricsRegistry* metrics = nullptr);
 
 /// Replay file: config header, "plan" marker, one event per line.
 [[nodiscard]] std::string encode_replay(const ChaosConfig& config,

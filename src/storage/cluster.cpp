@@ -25,11 +25,15 @@ AsaCluster::AsaCluster(ClusterConfig config)
   // Build the Chord ring and one host per node; host index == NodeAddr.
   ring_.build(config_.nodes);
   node_ids_ = ring_.node_ids();
+  spawn_counter_ = config_.nodes;
   hosts_.resize(node_ids_.size());
   media_.resize(node_ids_.size());
   logs_.resize(node_ids_.size());
   acked_.resize(node_ids_.size());
   last_recovery_.resize(node_ids_.size());
+  departed_.resize(node_ids_.size(), false);
+  graceful_leave_.resize(node_ids_.size(), false);
+  joined_epoch_.resize(node_ids_.size(), 0);
   for (std::size_t i = 0; i < node_ids_.size(); ++i) {
     media_[i] = std::make_unique<durable::MemMedium>();
   }
@@ -221,6 +225,12 @@ void AsaCluster::snapshot_metrics() {
   metrics_.counter("net.duplicated").set(net.duplicated);
   metrics_.counter("net.partitioned").set(net.partitioned);
   metrics_.counter("net.to_dead_node").set(net.to_dead_node);
+  metrics_.counter("net.burst_dropped").set(net.burst_dropped);
+
+  metrics_.gauge("churn.ring_size")
+      .set(static_cast<std::int64_t>(ring_.size()));
+  metrics_.gauge("churn.epoch")
+      .set(static_cast<std::int64_t>(membership_epoch_));
 
   // Per-node commit outcomes as gauges (asareport's per-node breakdown),
   // plus cluster-wide totals as counters. Gauges adopt on merge, so a
@@ -301,6 +311,7 @@ void AsaCluster::crash_node(std::size_t index) {
 
 std::size_t AsaCluster::restart_node(std::size_t index) {
   if (!crashed(index)) return 0;
+  if (departed_[index]) return 0;  // Departed members never come back.
   // Fresh host at the old address: volatile state is lost in the crash.
   rebuild_host(index, commit::Behaviour::kHonest);
 
@@ -381,6 +392,132 @@ std::size_t AsaCluster::restart_node(std::size_t index) {
   // Regenerate this node's missing block replicas from intact copies.
   if (maintainer_) maintainer_->scan();
   return recovered + adopted + reconciled;
+}
+
+void AsaCluster::note_churn(const char* kind, std::size_t index) {
+  if (config_.metrics) {
+    metrics_.counter("churn." + std::string(kind) + "s").inc();
+    metrics_.gauge("churn.ring_size")
+        .set(static_cast<std::int64_t>(ring_.size()));
+    metrics_.gauge("churn.epoch")
+        .set(static_cast<std::int64_t>(membership_epoch_));
+    // Ring size over time: one observation per membership change, so the
+    // histogram's min/percentiles/max describe the size trajectory.
+    metrics_
+        .histogram("churn.ring_size_samples", {}, obs::small_count_buckets())
+        .observe(ring_.size());
+  }
+  const std::string detail = std::string(kind) +
+                             " node=" + std::to_string(index) +
+                             " epoch=" + std::to_string(membership_epoch_) +
+                             " ring=" + std::to_string(ring_.size());
+  if (config_.tracing) {
+    trace_.record(scheduler_.now(), static_cast<sim::NodeAddr>(index),
+                  "churn", detail);
+  }
+  flight_.record(scheduler_.now(), obs::FlightRecorder::kClusterLane,
+                 "churn", detail);
+}
+
+std::size_t AsaCluster::add_node() {
+  const std::size_t index = hosts_.size();
+  // Mint a fresh ring identity; the spawn counter continues past the
+  // initial build's "node:<i>" sequence, so ids never collide (the loop
+  // guards the astronomically unlikely hash collision too).
+  p2p::NodeId id = p2p::NodeId::hash_of("node:" +
+                                        std::to_string(spawn_counter_++));
+  while (ring_.alive(id) || host_by_id_.contains(id)) {
+    id = p2p::NodeId::hash_of("node:" + std::to_string(spawn_counter_++));
+  }
+  ++membership_epoch_;
+  node_ids_.push_back(id);
+  hosts_.emplace_back();
+  media_.push_back(std::make_unique<durable::MemMedium>());
+  logs_.emplace_back();
+  acked_.emplace_back();
+  last_recovery_.emplace_back();
+  departed_.push_back(false);
+  graceful_leave_.push_back(false);
+  joined_epoch_.push_back(membership_epoch_);
+  host_by_id_.emplace(id, index);
+  rebuild_host(index, commit::Behaviour::kHonest);
+  ring_.add_node(id);
+  ring_.run_maintenance(8);
+  if (config_.durability) {
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      if (i == index || crashed(i)) continue;
+      logs_[i]->record_membership(true, index);
+    }
+  }
+  // Key-range handoff to the newcomer: it adopts the (f+1)-agreed history
+  // of every GUID whose peer set it just entered, and replica repair
+  // re-homes tracked blocks onto it.
+  for (const Guid& guid : known_guids()) {
+    (void)migrate_version_history(guid);
+  }
+  if (maintainer_) maintainer_->scan();
+  note_churn("join", index);
+  return index;
+}
+
+bool AsaCluster::remove_node(std::size_t index, bool graceful,
+                             bool handoff) {
+  if (index >= hosts_.size() || departed_[index]) return false;
+  if (crashed(index)) graceful = false;  // A dead node cannot hand off.
+  const p2p::NodeId id = node_ids_[index];
+
+  // Snapshot the leaver's histories before it goes: the handoff payload.
+  std::vector<std::pair<std::uint64_t,
+                        std::vector<commit::CommitPeer::CommittedEntry>>>
+      leaving;
+  if (graceful && handoff) {
+    for (const auto& [key, guid] : guid_registry_) {
+      const auto& history = hosts_[index]->peer().history(key);
+      if (!history.empty()) leaving.emplace_back(key, history);
+    }
+  }
+
+  ++membership_epoch_;
+  departed_[index] = true;
+  graceful_leave_[index] = graceful;
+  hosts_[index]->crash();  // Detach: in-flight traffic hits the dead sink.
+  if (ring_.alive(id)) {
+    if (graceful) {
+      ring_.leave(id);  // Keyspace handed to the successor.
+    } else {
+      ring_.fail(id);  // Vanishes; the ring heals via maintenance.
+    }
+  }
+  host_by_id_.erase(id);
+  ring_.run_maintenance(8);
+  if (config_.durability) {
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      if (i == index || crashed(i)) continue;
+      logs_[i]->record_membership(false, index);
+    }
+  }
+
+  if (graceful && handoff) {
+    // Data handoff: push every history the leaver held to the GUID's new
+    // owners (members with no local history adopt the leaver's copy
+    // verbatim — including commits only the leaver acknowledged), then
+    // let the standard migration/repair paths settle the rest.
+    for (auto& [key, entries] : leaving) {
+      const Guid& guid = guid_registry_.at(key);
+      for (sim::NodeAddr addr : peer_set(guid)) {
+        commit::CommitPeer& peer = hosts_[addr]->peer();
+        if (peer.history(key).empty()) {
+          (void)peer.import_history(key, entries);
+        }
+      }
+    }
+    for (const Guid& guid : known_guids()) {
+      (void)migrate_version_history(guid);
+    }
+    if (maintainer_) maintainer_->scan();
+  }
+  note_churn(graceful ? "leave" : "depart", index);
+  return true;
 }
 
 }  // namespace asa_repro::storage

@@ -119,6 +119,53 @@ class AsaCluster {
   /// Every GUID a client has touched (registered via peer_set()).
   [[nodiscard]] std::vector<Guid> known_guids() const;
 
+  // ---- Membership churn (true ring changes, not crash/restart). ----
+
+  /// A brand-new member joins the Chord ring mid-run: a fresh host (new
+  /// ring id, new address == new index), ring join with maintenance, and
+  /// key-range handoff — the newcomer adopts the (f+1)-agreed history of
+  /// every GUID it now serves and replica repair re-homes tracked blocks.
+  /// Safe while commits are in flight: in-flight instances settle against
+  /// the old peer set; client retries resolve the new one. Bumps the
+  /// membership epoch. Returns the new node's index.
+  std::size_t add_node();
+
+  /// A member leaves the ring for good (indices are never reused; the
+  /// departed slot stays allocated but permanently detached).
+  ///
+  /// graceful: hand keyspace to the ring successor AND hand off data —
+  /// every history the leaver holds is pushed to the GUID's new owners
+  /// before departure, so acknowledged commits survive even when the
+  /// leaver was the last member holding them. abrupt (graceful=false):
+  /// vanish without notice; survivors re-replicate what they can.
+  ///
+  /// `handoff=false` suppresses the data handoff on a graceful leave (the
+  /// ring part stays graceful) — the counterfactual that demonstrates the
+  /// handoff, not luck, carries state through churn.
+  ///
+  /// Bumps the membership epoch. Returns false when the index is invalid
+  /// or already departed.
+  bool remove_node(std::size_t index, bool graceful, bool handoff = true);
+
+  /// True when the node has permanently left the ring via remove_node.
+  [[nodiscard]] bool departed(std::size_t index) const {
+    return departed_[index];
+  }
+  /// True when the node departed via a graceful leave (with or without
+  /// data handoff).
+  [[nodiscard]] bool departed_gracefully(std::size_t index) const {
+    return graceful_leave_[index];
+  }
+  /// Monotonic membership-change counter: bumped by every add_node and
+  /// remove_node. Epoch 0 is the initial membership.
+  [[nodiscard]] std::uint64_t membership_epoch() const {
+    return membership_epoch_;
+  }
+  /// The epoch at which the node joined (0 for initial members).
+  [[nodiscard]] std::uint64_t joined_epoch(std::size_t index) const {
+    return joined_epoch_[index];
+  }
+
   // ---- Fault injection. ----
   void make_byzantine(std::size_t index, commit::Behaviour behaviour);
   void corrupt_node(std::size_t index) {
@@ -222,10 +269,19 @@ class AsaCluster {
   [[nodiscard]] const std::vector<commit::CommitPeer::CommittedEntry>*
   find_donor(const Guid& guid);
 
+  /// Record a membership change: churn counters, ring-size gauge and
+  /// over-time samples, epoch gauge, trace/flight events.
+  void note_churn(const char* kind, std::size_t index);
+
   p2p::ChordRing ring_;
   commit::MachineCache machines_;
   std::vector<std::unique_ptr<NodeHost>> hosts_;
   std::vector<p2p::NodeId> node_ids_;  // Index -> ring id (fixed for life).
+  std::vector<bool> departed_;         // Permanently left via remove_node.
+  std::vector<bool> graceful_leave_;   // Departed via graceful leave.
+  std::vector<std::uint64_t> joined_epoch_;  // 0 for initial members.
+  std::uint64_t membership_epoch_ = 0;
+  std::size_t spawn_counter_ = 0;  // Next "node:<i>" identity to mint.
   std::map<p2p::NodeId, std::size_t> host_by_id_;
   std::map<std::uint64_t, Guid> guid_registry_;  // Low-64 -> full GUID.
   std::vector<std::unique_ptr<durable::MemMedium>> media_;

@@ -39,6 +39,7 @@ std::vector<sim::NodeAddr> InvariantChecker::honest_members(
   for (sim::NodeAddr addr : cluster_.peer_set(guid)) {
     const auto index = static_cast<std::size_t>(addr);
     if (index >= cluster_.node_count()) continue;
+    if (cluster_.departed(index)) continue;
     if (cluster_.crashed(index)) continue;
     if (cluster_.behaviour(index) != commit::Behaviour::kHonest) continue;
     honest.push_back(addr);
@@ -133,10 +134,51 @@ void InvariantChecker::check_guid(const Guid& guid, bool check_order,
     }
   }
 
+  // Handoff acks: a gracefully-departed member's acknowledged commits must
+  // survive in the current peer set — that is precisely what the graceful-
+  // leave handoff transports. Abrupt departures are exempt (no chance to
+  // hand off).
+  if (cluster_.config().durability) {
+    std::set<std::uint64_t> surviving_requests;
+    for (sim::NodeAddr addr : honest) {
+      for (const auto& e : cluster_.host(addr).peer().history(key)) {
+        surviving_requests.insert(e.request_id);
+      }
+    }
+    for (std::size_t index = 0; index < cluster_.node_count(); ++index) {
+      if (!cluster_.departed(index) ||
+          !cluster_.departed_gracefully(index)) {
+        continue;
+      }
+      const auto& ledger = cluster_.acked_commits(index);
+      const auto lit = ledger.find(key);
+      if (lit == ledger.end()) continue;
+      for (const auto& [request_id, payload] : lit->second) {
+        if (!surviving_requests.contains(request_id)) {
+          out.push_back(
+              {"handoff-ack",
+               "guid " + guid_tag(guid) + " request " +
+                   std::to_string(request_id) + " was acknowledged by " +
+                   "gracefully-departed node " + std::to_string(index) +
+                   " but no live honest member still holds it (handoff "
+                   "lost it)"});
+        }
+      }
+    }
+  }
+
   // History agreement: every pair of honest replicas must be
   // prefix-consistent after collapsing retried attempts. Skipped for lossy
   // schedules, where a replica that missed a commit round adopts the retry
-  // late (see the file comment).
+  // late (see the file comment). Pairs involving a member that joined
+  // after epoch 0 use suffix alignment instead of strict prefixes: a late
+  // joiner legitimately starts its history at whatever was agreed (or
+  // handed off) when it arrived, so its sequence is compared against the
+  // matching window of the other member's sequence. When the later
+  // joiner's first payload does not occur in the other sequence at all the
+  // pair is skipped — the other member may itself be a laggard that has
+  // not yet seen the newcomer's window, which read-side (f+1)-agreement
+  // absorbs.
   if (!check_order) return;
   std::vector<std::vector<std::uint64_t>> sequences;
   sequences.reserve(honest.size());
@@ -145,18 +187,34 @@ void InvariantChecker::check_guid(const Guid& guid, bool check_order,
   }
   for (std::size_t a = 0; a < honest.size(); ++a) {
     for (std::size_t b = a + 1; b < honest.size(); ++b) {
-      const auto& sa = sequences[a];
-      const auto& sb = sequences[b];
-      const std::size_t common = std::min(sa.size(), sb.size());
+      const std::uint64_t epoch_a =
+          cluster_.joined_epoch(static_cast<std::size_t>(honest[a]));
+      const std::uint64_t epoch_b =
+          cluster_.joined_epoch(static_cast<std::size_t>(honest[b]));
+      // `win` is the later joiner, whose history may legitimately be a
+      // trailing window of `base`'s sequence.
+      const std::vector<std::uint64_t>* win =
+          epoch_a >= epoch_b ? &sequences[a] : &sequences[b];
+      const std::vector<std::uint64_t>* base =
+          epoch_a >= epoch_b ? &sequences[b] : &sequences[a];
+      std::size_t offset = 0;
+      if (std::max(epoch_a, epoch_b) > 0 && !win->empty()) {
+        const auto it = std::find(base->begin(), base->end(), win->front());
+        if (it == base->end()) continue;  // No alignment (see above).
+        offset = static_cast<std::size_t>(it - base->begin());
+      }
+      const std::size_t common =
+          std::min(win->size(), base->size() - offset);
       for (std::size_t i = 0; i < common; ++i) {
-        if (sa[i] != sb[i]) {
+        if ((*win)[i] != (*base)[offset + i]) {
           out.push_back(
               {"history-prefix",
                "guid " + guid_tag(guid) + " nodes " +
                    std::to_string(honest[a]) + " and " +
                    std::to_string(honest[b]) + " diverge at position " +
-                   std::to_string(i) + " (" + std::to_string(sa[i]) +
-                   " vs " + std::to_string(sb[i]) + ")"});
+                   std::to_string(offset + i) + " (" +
+                   std::to_string((*win)[i]) + " vs " +
+                   std::to_string((*base)[offset + i]) + ")"});
           break;  // One divergence report per pair.
         }
       }

@@ -28,7 +28,25 @@
 //    journal and its reconciliation delta, so this is exactly the
 //    crash-consistency guarantee of the write-ahead discipline. Compared
 //    by request id: a retried request re-commits under a fresh update id,
-//    and either attempt discharges the acknowledgement.
+//    and either attempt discharges the acknowledgement;
+//  * handoff acks — every commit a gracefully-departed member ever
+//    acknowledged must still be held by at least one live honest member
+//    of the GUID's current peer set: the graceful-leave key-range handoff
+//    is what carries acknowledged state out of a leaving node, and
+//    suppressing it (AsaCluster::remove_node handoff=false) makes this
+//    invariant fire. Abrupt departures are exempt — a vanished node had
+//    no chance to hand off, and its acknowledged commits are covered by
+//    replication only while departures stay within the fault budget.
+//
+// Membership epochs: the cluster stamps every join/leave/depart with a
+// monotonically increasing epoch and records each node's joining epoch.
+// History agreement stays sound across ring changes because a member that
+// joined at epoch > 0 may legitimately hold only a suffix of the GUID's
+// history (it bootstrapped from whatever was (f+1)-agreed at join time,
+// or from a graceful leaver's handoff). For pairs involving a late
+// joiner the checker therefore aligns the later joiner's first committed
+// payload inside the other member's sequence and compares the overlap;
+// pairs of initial members keep the strict prefix comparison.
 //
 // Liveness-side checks (bounded completion when faulty <= f) live in the
 // chaos engine, which knows the workload's expected outcomes.
@@ -46,7 +64,8 @@ namespace asa_repro::storage {
 
 /// One invariant violation. `invariant` is a stable category name
 /// (history-prefix, validity, duplicate-commit, conflicting-payload,
-/// durable-ack); `detail` is human-readable context for the report.
+/// durable-ack, handoff-ack); `detail` is human-readable context for the
+/// report.
 struct Violation {
   std::string invariant;
   std::string detail;

@@ -73,13 +73,50 @@ commit::CommitEndpoint& VersionHistoryService::endpoint_for(const Guid& guid) {
       rng_.fork());
   endpoint->set_metrics(metrics_);
   endpoint->set_spans(spans_);
+  // Endpoints outlive membership changes; re-resolve the owners on every
+  // attempt so appends submitted (or retried) after churn reach the
+  // current ring, the way read() already does.
+  endpoint->set_peer_resolver([this, guid] { return resolver_(guid); });
   return *endpoints_.emplace(key, std::move(endpoint)).first->second;
 }
 
 void VersionHistoryService::append(const Guid& guid, const Pid& pid,
                                    AppendCallback callback) {
-  endpoint_for(guid).submit(guid.to_uint64(), pid.to_uint64(),
-                            std::move(callback));
+  if (!serialize_appends_) {
+    endpoint_for(guid).submit(guid.to_uint64(), pid.to_uint64(),
+                              std::move(callback));
+    return;
+  }
+  const std::uint64_t key = guid.to_uint64();
+  if (append_inflight_.count(key) != 0) {
+    append_queue_[key].emplace_back(pid, std::move(callback));
+    return;
+  }
+  append_inflight_.insert(key);
+  submit_serialized(guid, pid, std::move(callback));
+}
+
+void VersionHistoryService::submit_serialized(const Guid& guid, const Pid& pid,
+                                              AppendCallback callback) {
+  endpoint_for(guid).submit(
+      guid.to_uint64(), pid.to_uint64(),
+      [this, guid, callback = std::move(callback)](
+          const commit::CommitResult& result) {
+        // The caller's callback runs first: a closed-loop writer's next
+        // append lands behind any queued contenders, keeping FIFO order.
+        if (callback) callback(result);
+        const std::uint64_t key = guid.to_uint64();
+        const auto it = append_queue_.find(key);
+        if (it == append_queue_.end() || it->second.empty()) {
+          append_inflight_.erase(key);
+          if (it != append_queue_.end()) append_queue_.erase(it);
+          return;
+        }
+        auto next = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) append_queue_.erase(it);
+        submit_serialized(guid, next.first, std::move(next.second));
+      });
 }
 
 void VersionHistoryService::read(const Guid& guid, ReadCallback callback,

@@ -11,9 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "commit/endpoint.hpp"
@@ -51,6 +54,16 @@ class VersionHistoryService {
 
   /// Append `pid` as the next version of `guid` via the commit protocol.
   void append(const Guid& guid, const Pid& pid, AppendCallback callback);
+
+  /// Serialize appends per GUID — the protocol's supported usage: one
+  /// update in flight per GUID at a time (paper 2.2's serialized writer).
+  /// While an append for a GUID is outstanding, later appends queue FIFO
+  /// and submit as each completes, so several contending writers funnel
+  /// through this service the way they would through the GUID's
+  /// maintainer; replicas then agree on one append order. Off by default
+  /// because the chaos equivocator amplifier deliberately races
+  /// concurrent same-GUID appends to demonstrate the violation.
+  void set_serialize_appends(bool on) { serialize_appends_ = on; }
 
   /// Read the agreed version history of `guid`.
   void read(const Guid& guid, ReadCallback callback,
@@ -93,6 +106,8 @@ class VersionHistoryService {
   };
 
   commit::CommitEndpoint& endpoint_for(const Guid& guid);
+  void submit_serialized(const Guid& guid, const Pid& pid,
+                         AppendCallback callback);
   void handle(sim::NodeAddr from, const std::string& data);
   void finish_read(std::uint64_t ticket);
 
@@ -111,6 +126,10 @@ class VersionHistoryService {
   sim::NodeAddr next_endpoint_addr_;
   std::uint64_t next_ticket_ = 1;
   std::map<std::uint64_t, PendingRead> reads_;
+  bool serialize_appends_ = false;
+  std::set<std::uint64_t> append_inflight_;
+  std::map<std::uint64_t, std::deque<std::pair<Pid, AppendCallback>>>
+      append_queue_;
 };
 
 /// Compute the (f+1)-agreed longest prefix across peer histories, after

@@ -446,5 +446,142 @@ TEST(ClusterRecovery, RepairAfterSimultaneousCorruptionAndCrash) {
   EXPECT_TRUE(again.ok);
 }
 
+// ---- Membership churn: true ring joins and departures (not crashes). ----
+
+TEST(ClusterChurn, AddNodeGrowsRingAndBumpsEpoch) {
+  AsaCluster cluster(small_cluster(51));
+  const std::size_t before = cluster.node_count();
+  EXPECT_EQ(cluster.membership_epoch(), 0u);
+  const std::size_t fresh = cluster.add_node();
+  EXPECT_EQ(fresh, before);  // Indices are never reused.
+  EXPECT_EQ(cluster.node_count(), before + 1);
+  EXPECT_EQ(cluster.membership_epoch(), 1u);
+  EXPECT_EQ(cluster.joined_epoch(fresh), 1u);
+  EXPECT_EQ(cluster.joined_epoch(0), 0u);  // Initial members: epoch 0.
+  EXPECT_FALSE(cluster.departed(fresh));
+
+  // The grown ring still commits and reads.
+  const Guid guid = Guid::named("post-join");
+  int committed = 0;
+  cluster.version_history().append(
+      guid, Pid::of(block_from("after the join")),
+      [&](const commit::CommitResult& r) { committed += r.committed; });
+  cluster.run();
+  EXPECT_EQ(committed, 1);
+}
+
+TEST(ClusterChurn, GracefulLeaveWaveHandsHistoryToNewOwners) {
+  ClusterConfig config = small_cluster(53);
+  config.nodes = 16;
+  AsaCluster cluster(config);
+  const Guid guid = Guid::named("handed-off");
+
+  for (int i = 0; i < 3; ++i) {
+    int committed = 0;
+    cluster.version_history().append(
+        guid, Pid::of(block_from("survivor " + std::to_string(i))),
+        [&](const commit::CommitResult& r) { committed += r.committed; });
+    cluster.run();
+    ASSERT_EQ(committed, 1) << "baseline update " << i;
+  }
+
+  // Remove every original peer-set member, one graceful leave at a time.
+  // Each leave hands the key range (and the history) to the new owners.
+  const auto original = cluster.peer_set(guid);
+  ASSERT_EQ(original.size(), 4u);
+  for (sim::NodeAddr member : original) {
+    ASSERT_TRUE(cluster.remove_node(static_cast<std::size_t>(member),
+                                    /*graceful=*/true));
+    EXPECT_TRUE(cluster.departed(static_cast<std::size_t>(member)));
+    EXPECT_TRUE(
+        cluster.departed_gracefully(static_cast<std::size_t>(member)));
+    cluster.run();
+  }
+  EXPECT_EQ(cluster.membership_epoch(), 4u);
+
+  // The peer set fully rotated, and the acknowledged history survived
+  // into it.
+  for (sim::NodeAddr member : cluster.peer_set(guid)) {
+    EXPECT_EQ(std::count(original.begin(), original.end(), member), 0);
+  }
+  HistoryReadResult read;
+  cluster.version_history().read(
+      guid, [&](const HistoryReadResult& r) { read = r; });
+  cluster.run();
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.versions.size(), 3u);
+}
+
+TEST(ClusterChurn, SuppressedHandoffLosesTheHistory) {
+  // The counterfactual behind asachaos --churn-smoke --no-handoff: the
+  // same graceful leave wave, minus the data handoff, must lose the
+  // acknowledged history once every original owner is gone.
+  ClusterConfig config = small_cluster(53);
+  config.nodes = 16;
+  AsaCluster cluster(config);
+  const Guid guid = Guid::named("handed-off");  // Same ring layout above.
+  int committed = 0;
+  cluster.version_history().append(
+      guid, Pid::of(block_from("doomed update")),
+      [&](const commit::CommitResult& r) { committed += r.committed; });
+  cluster.run();
+  ASSERT_EQ(committed, 1);
+
+  for (sim::NodeAddr member : cluster.peer_set(guid)) {
+    ASSERT_TRUE(cluster.remove_node(static_cast<std::size_t>(member),
+                                    /*graceful=*/true, /*handoff=*/false));
+    cluster.run();
+  }
+  HistoryReadResult read;
+  cluster.version_history().read(
+      guid, [&](const HistoryReadResult& r) { read = r; });
+  cluster.run();
+  EXPECT_TRUE(read.versions.empty())
+      << "history survived without handoff - the counterfactual is broken";
+}
+
+TEST(ClusterChurn, AbruptDepartureIsHealedByMigration) {
+  ClusterConfig config = small_cluster(59);
+  config.nodes = 16;
+  AsaCluster cluster(config);
+  const Guid guid = Guid::named("abrupt");
+  int committed = 0;
+  cluster.version_history().append(
+      guid, Pid::of(block_from("replicated widely")),
+      [&](const commit::CommitResult& r) { committed += r.committed; });
+  cluster.run();
+  ASSERT_EQ(committed, 1);
+
+  // One member vanishes without handoff; the other r-1 replicas still
+  // hold the history, and migration bootstraps the replacement member.
+  const auto members = cluster.peer_set(guid);
+  ASSERT_TRUE(cluster.remove_node(static_cast<std::size_t>(members[0]),
+                                  /*graceful=*/false));
+  EXPECT_FALSE(
+      cluster.departed_gracefully(static_cast<std::size_t>(members[0])));
+  cluster.run();
+  (void)cluster.migrate_version_history(guid);
+  cluster.run();
+
+  HistoryReadResult read;
+  cluster.version_history().read(
+      guid, [&](const HistoryReadResult& r) { read = r; });
+  cluster.run();
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.versions.size(), 1u);
+}
+
+TEST(ClusterChurn, RemoveNodeGuardsInvalidAndDeparted) {
+  AsaCluster cluster(small_cluster(61));
+  EXPECT_FALSE(cluster.remove_node(cluster.node_count(), true));
+  ASSERT_TRUE(cluster.remove_node(2, /*graceful=*/true));
+  EXPECT_FALSE(cluster.remove_node(2, true));   // Already gone.
+  EXPECT_FALSE(cluster.remove_node(2, false));  // Still gone.
+  EXPECT_EQ(cluster.membership_epoch(), 1u);    // Refused calls don't bump.
+  // A departed member never restarts.
+  EXPECT_EQ(cluster.restart_node(2), 0u);
+  EXPECT_TRUE(cluster.departed(2));
+}
+
 }  // namespace
 }  // namespace asa_repro::storage

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -378,6 +379,210 @@ TEST(Network, PendingRouteThrowsOutOfRange) {
   ASSERT_EQ(net.pending_count(), 1u);
   EXPECT_EQ(net.pending_route(0), (std::pair<NodeAddr, NodeAddr>{0, 1}));
   EXPECT_THROW((void)net.pending_route(1), std::out_of_range);
+}
+
+// ---- Seed-split substreams. ----
+
+TEST(Rng, DeriveSeedIsPureAndDirectionSensitive) {
+  // derive_seed is a pure function: no draw order, no state.
+  EXPECT_EQ(Rng::derive_seed(42, 7), Rng::derive_seed(42, 7));
+  EXPECT_NE(Rng::derive_seed(42, 7), Rng::derive_seed(42, 8));
+  EXPECT_NE(Rng::derive_seed(42, 7), Rng::derive_seed(7, 42));
+}
+
+TEST(Rng, SubstreamsAreIndependent) {
+  Rng a = Rng::substream(99, 1);
+  Rng b = Rng::substream(99, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+// ---- Latency-model validation. ----
+
+TEST(LatencyModelValidation, RejectsMinAboveMax) {
+  EXPECT_THROW(validate(LatencyModel{500, 100}), std::invalid_argument);
+  Scheduler sched;
+  EXPECT_THROW(Network(sched, Rng(1), LatencyModel{500, 100}),
+               std::invalid_argument);
+}
+
+TEST(LatencyModelValidation, AcceptsDegenerateButOrderedRange) {
+  validate(LatencyModel{100, 100});  // Fixed latency is fine.
+  Scheduler sched;
+  Network net(sched, Rng(1), LatencyModel{100, 100});
+  Time delivered_at = 0;
+  net.attach(2, [&](NodeAddr, const std::string&) {
+    delivered_at = sched.now();
+  });
+  net.send(1, 2, "x");
+  sched.run();
+  EXPECT_EQ(delivered_at, 100u);
+}
+
+// ---- Link profiles. ----
+
+TEST(LinkProfiles, NamedClassesResolveAndUnknownRejected) {
+  for (const char* name : {"lan", "wan", "sat"}) {
+    const auto profile = link_profile(name);
+    ASSERT_TRUE(profile.has_value()) << name;
+    EXPECT_EQ(profile->name, name);
+    EXPECT_LE(profile->latency.min_latency, profile->latency.max_latency);
+  }
+  // "default" resets to the network-default behaviour.
+  ASSERT_TRUE(link_profile("default").has_value());
+  EXPECT_EQ(*link_profile("default"), LinkProfile{});
+  EXPECT_FALSE(link_profile("dialup").has_value());
+}
+
+TEST(LinkProfiles, InstallRejectsDegenerateProfiles) {
+  Scheduler sched;
+  Network net(sched, Rng(1));
+  LinkProfile bad_latency;
+  bad_latency.latency = {900, 100};
+  EXPECT_THROW(net.set_link_profile(1, 2, bad_latency),
+               std::invalid_argument);
+  LinkProfile bad_loss;
+  bad_loss.loss_bad = 1.5;
+  EXPECT_THROW(net.set_link_profile(1, 2, bad_loss),
+               std::invalid_argument);
+}
+
+TEST(LinkProfiles, ProfileIsDirectedAndAsymmetric) {
+  Scheduler sched;
+  Network net(sched, Rng(3), LatencyModel{100, 100});
+  LinkProfile slow;
+  slow.name = "slow";
+  slow.latency = {50'000, 50'000};
+  net.set_link_profile(1, 2, slow);
+  EXPECT_EQ(net.link_class(1, 2), "slow");
+  EXPECT_EQ(net.link_class(2, 1), "default");
+
+  std::map<NodeAddr, Time> delivered_at;
+  net.attach(1, [&](NodeAddr, const std::string&) {
+    delivered_at[1] = sched.now();
+  });
+  net.attach(2, [&](NodeAddr, const std::string&) {
+    delivered_at[2] = sched.now();
+  });
+  net.send(1, 2, "slow path");
+  net.send(2, 1, "fast path");
+  sched.run();
+  EXPECT_EQ(delivered_at[2], 50'000u);  // Profiled direction.
+  EXPECT_EQ(delivered_at[1], 100u);     // Reverse stays on defaults.
+
+  net.clear_link_profile(1, 2);
+  EXPECT_EQ(net.link_class(1, 2), "default");
+}
+
+TEST(LinkProfiles, JitterExtendsTheLatencyCeiling) {
+  Scheduler sched;
+  Network net(sched, Rng(17), LatencyModel{100, 100});
+  LinkProfile jittery;
+  jittery.latency = {1'000, 1'000};
+  jittery.jitter = 9'000;
+  net.set_link_profile(1, 2, jittery);
+  std::vector<Time> arrivals;
+  net.attach(2, [&](NodeAddr, const std::string&) {
+    arrivals.push_back(sched.now());
+  });
+  for (int i = 0; i < 200; ++i) {
+    sched.schedule_at(static_cast<Time>(i) * 20'000, [&net] {
+      net.send(1, 2, "j");
+    });
+  }
+  sched.run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  Time max_latency = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Time latency = arrivals[i] - static_cast<Time>(i) * 20'000;
+    EXPECT_GE(latency, 1'000u);
+    EXPECT_LE(latency, 10'000u);
+    max_latency = std::max(max_latency, latency);
+  }
+  EXPECT_GT(max_latency, 1'000u);  // Jitter actually fired.
+}
+
+TEST(LinkProfiles, GilbertElliottLossIsBursty) {
+  Scheduler sched;
+  Network net(sched, Rng(29), LatencyModel{100, 100});
+  LinkProfile bursty;
+  bursty.loss_good = 0.0;  // All loss comes from the bad state.
+  bursty.loss_bad = 1.0;
+  bursty.p_good_to_bad = 0.05;
+  bursty.p_bad_to_good = 0.25;
+  net.set_link_profile(1, 2, bursty);
+  int received = 0;
+  net.attach(2, [&](NodeAddr, const std::string&) { ++received; });
+  for (int i = 0; i < 2000; ++i) net.send(1, 2, "x");
+  sched.run();
+  // Stationary bad-state share = 0.05/(0.05+0.25) ~ 17%; loss must be
+  // clearly nonzero, clearly partial, and all attributed to bursts.
+  EXPECT_GT(net.stats().burst_dropped, 100u);
+  EXPECT_LT(net.stats().burst_dropped, 700u);
+  EXPECT_EQ(net.stats().dropped, net.stats().burst_dropped);
+  EXPECT_EQ(static_cast<std::uint64_t>(received) + net.stats().dropped,
+            2000u);
+}
+
+TEST(LinkProfiles, LossGoodDegeneratestoIndependentLoss) {
+  Scheduler sched;
+  Network net(sched, Rng(31), LatencyModel{100, 100});
+  LinkProfile lossy;
+  lossy.loss_good = 0.5;
+  lossy.loss_bad = 0.5;
+  lossy.p_good_to_bad = 0.0;  // Never enters the bad state.
+  net.set_link_profile(1, 2, lossy);
+  int received = 0;
+  net.attach(2, [&](NodeAddr, const std::string&) { ++received; });
+  for (int i = 0; i < 1000; ++i) net.send(1, 2, "x");
+  sched.run();
+  EXPECT_GT(received, 350);
+  EXPECT_LT(received, 650);
+  EXPECT_EQ(net.stats().burst_dropped, 0u);  // Good-state loss only.
+}
+
+TEST(LinkProfiles, PerLinkSubstreamsAreTrafficIndependent) {
+  // The same link must see a bit-identical delivery sequence whether or
+  // not another link carries traffic — the property that makes joins
+  // deterministic (a newcomer's messages never perturb existing links).
+  const auto observe = [](bool with_cross_traffic) {
+    Scheduler sched;
+    Network net(sched, Rng(1234), LatencyModel{100, 5'000});
+    std::vector<Time> arrivals;
+    net.attach(2, [&](NodeAddr, const std::string&) {
+      arrivals.push_back(sched.now());
+    });
+    net.attach(4, [](NodeAddr, const std::string&) {});
+    for (int i = 0; i < 50; ++i) {
+      net.send(1, 2, "observed");
+      if (with_cross_traffic) net.send(3, 4, "noise");
+    }
+    sched.run();
+    return arrivals;
+  };
+  EXPECT_EQ(observe(false), observe(true));
+}
+
+TEST(LinkProfiles, BadStateIsObservable) {
+  Scheduler sched;
+  Network net(sched, Rng(7), LatencyModel{100, 100});
+  LinkProfile stuck;
+  stuck.loss_bad = 1.0;
+  stuck.p_good_to_bad = 1.0;  // First message flips to bad...
+  stuck.p_bad_to_good = 0.0;  // ...and it never recovers.
+  net.set_link_profile(1, 2, stuck);
+  EXPECT_FALSE(net.link_in_bad_state(1, 2));
+  net.attach(2, [](NodeAddr, const std::string&) {});
+  net.send(1, 2, "x");
+  sched.run();
+  EXPECT_TRUE(net.link_in_bad_state(1, 2));
+  EXPECT_EQ(net.stats().burst_dropped, 1u);
+  // Installing a fresh profile resets the loss state to good.
+  net.set_link_profile(1, 2, stuck);
+  EXPECT_FALSE(net.link_in_bad_state(1, 2));
 }
 
 TEST(Network, DeliverPendingThrowsOutOfRange) {

@@ -1,0 +1,189 @@
+// Contention workload generation: zipf key popularity, read/write mix,
+// open- vs closed-loop arrivals, per-writer substream independence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/workload.hpp"
+
+namespace asa_repro::sim {
+namespace {
+
+std::vector<WorkloadOp> flatten(
+    const std::vector<std::vector<WorkloadOp>>& per_writer) {
+  std::vector<WorkloadOp> all;
+  for (const auto& ops : per_writer) {
+    all.insert(all.end(), ops.begin(), ops.end());
+  }
+  return all;
+}
+
+TEST(ZipfSampler, ZeroSkewIsUniform) {
+  ZipfSampler sampler(4, 0.0);
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(sampler.probability(k), 0.25, 1e-9);
+  }
+}
+
+TEST(ZipfSampler, SkewFavoursLowKeys) {
+  ZipfSampler sampler(8, 1.0);
+  // P(k) ~ 1/(k+1): strictly decreasing, hottest key clearly dominant.
+  for (std::uint32_t k = 1; k < 8; ++k) {
+    EXPECT_GT(sampler.probability(k - 1), sampler.probability(k));
+  }
+  EXPECT_GT(sampler.probability(0), 2.5 * sampler.probability(7));
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatchProbabilities) {
+  ZipfSampler sampler(6, 0.9);
+  Rng rng(42);
+  std::map<std::uint32_t, int> counts;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.sample(rng)];
+  for (std::uint32_t k = 0; k < 6; ++k) {
+    const double expected = sampler.probability(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, 0.15 * kDraws) << "key " << k;
+    EXPECT_GT(counts[k], 0) << "key " << k;
+  }
+}
+
+TEST(Workload, DeterministicForConfigAndSeed) {
+  WorkloadConfig config;
+  config.writers = 3;
+  config.operations = 30;
+  config.read_fraction = 0.3;
+  const auto a = generate_workload(config, 7);
+  const auto b = generate_workload(config, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    ASSERT_EQ(a[w].size(), b[w].size());
+    for (std::size_t i = 0; i < a[w].size(); ++i) {
+      EXPECT_EQ(a[w][i].at, b[w][i].at);
+      EXPECT_EQ(a[w][i].key, b[w][i].key);
+      EXPECT_EQ(a[w][i].read, b[w][i].read);
+    }
+  }
+}
+
+TEST(Workload, OperationsSplitRoundRobinAcrossWriters) {
+  WorkloadConfig config;
+  config.writers = 3;
+  config.operations = 10;  // Not divisible: writers get 4, 3, 3.
+  const auto schedule = generate_workload(config, 1);
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0].size() + schedule[1].size() + schedule[2].size(),
+            10u);
+  for (const auto& ops : schedule) {
+    EXPECT_GE(ops.size(), 3u);
+    EXPECT_LE(ops.size(), 4u);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      EXPECT_EQ(ops[i].sequence, i);  // Per-writer issue order.
+      EXPECT_LT(ops[i].key, config.keys);
+    }
+  }
+}
+
+TEST(Workload, AddingAWriterDoesNotPerturbExistingWriters) {
+  // Writer substreams are seed-split by writer id: the first N writers'
+  // key/read draws are identical whether or not more writers exist.
+  WorkloadConfig small;
+  small.writers = 2;
+  small.operations = 20;
+  small.read_fraction = 0.5;
+  WorkloadConfig big = small;
+  big.writers = 4;
+  big.operations = 40;  // Same 10 ops per writer.
+  const auto a = generate_workload(small, 99);
+  const auto b = generate_workload(big, 99);
+  for (std::size_t w = 0; w < 2; ++w) {
+    ASSERT_EQ(a[w].size(), b[w].size());
+    for (std::size_t i = 0; i < a[w].size(); ++i) {
+      EXPECT_EQ(a[w][i].key, b[w][i].key);
+      EXPECT_EQ(a[w][i].read, b[w][i].read);
+    }
+  }
+}
+
+TEST(Workload, ReadFractionExtremes) {
+  WorkloadConfig config;
+  config.operations = 40;
+  config.read_fraction = 0.0;
+  for (const WorkloadOp& op : flatten(generate_workload(config, 5))) {
+    EXPECT_FALSE(op.read);
+  }
+  config.read_fraction = 1.0;
+  for (const WorkloadOp& op : flatten(generate_workload(config, 5))) {
+    EXPECT_TRUE(op.read);
+  }
+}
+
+TEST(Workload, ReadFractionIsRoughlyHonoured) {
+  WorkloadConfig config;
+  config.writers = 4;
+  config.operations = 400;
+  config.read_fraction = 0.25;
+  int reads = 0;
+  for (const WorkloadOp& op : flatten(generate_workload(config, 11))) {
+    if (op.read) ++reads;
+  }
+  EXPECT_GT(reads, 60);
+  EXPECT_LT(reads, 140);
+}
+
+TEST(Workload, ClosedLoopStaggersWritersFromStart) {
+  WorkloadConfig config;
+  config.writers = 4;
+  config.operations = 16;
+  config.open_loop = false;
+  const auto schedule = generate_workload(config, 3);
+  for (const auto& ops : schedule) {
+    ASSERT_FALSE(ops.empty());
+    EXPECT_GE(ops.front().at, config.start);
+  }
+}
+
+TEST(Workload, OpenLoopArrivalsAreMonotonePerWriter) {
+  WorkloadConfig config;
+  config.writers = 2;
+  config.operations = 40;
+  config.open_loop = true;
+  config.mean_interarrival = 10'000;
+  const auto schedule = generate_workload(config, 21);
+  for (const auto& ops : schedule) {
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      EXPECT_GE(ops[i].at, ops[i - 1].at);
+    }
+    EXPECT_GE(ops.front().at, config.start);
+  }
+  // The exponential clock actually spreads arrivals instead of stacking
+  // everything on the start time.
+  const auto all = flatten(schedule);
+  Time latest = 0;
+  for (const WorkloadOp& op : all) latest = std::max(latest, op.at);
+  EXPECT_GT(latest, config.start + config.mean_interarrival);
+}
+
+TEST(Workload, ZipfSkewConcentratesTraffic) {
+  WorkloadConfig config;
+  config.writers = 4;
+  config.operations = 400;
+  config.keys = 8;
+  config.zipf = 1.2;
+  std::map<std::uint32_t, int> counts;
+  for (const WorkloadOp& op : flatten(generate_workload(config, 13))) {
+    ++counts[op.key];
+  }
+  // The hottest key must clearly dominate the coldest.
+  int hottest = 0, coldest = config.operations;
+  for (std::uint32_t k = 0; k < config.keys; ++k) {
+    hottest = std::max(hottest, counts[k]);
+    coldest = std::min(coldest, counts[k]);
+  }
+  EXPECT_GT(hottest, 3 * std::max(coldest, 1));
+}
+
+}  // namespace
+}  // namespace asa_repro::sim

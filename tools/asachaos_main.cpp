@@ -54,6 +54,33 @@ void usage() {
       "                     (torn write, bit-rot, full peer-set crash, and\n"
       "                     the volatile counterfactual); exit 0 when every\n"
       "                     expectation holds\n"
+      "  --churn            membership-churn episodes in generated plans\n"
+      "                     (ring joins, graceful leaves, abrupt departs)\n"
+      "  --wan              per-link WAN adversity episodes in generated\n"
+      "                     plans (lan/wan/sat latency classes with\n"
+      "                     Gilbert-Elliott burst loss, reset before the\n"
+      "                     horizon)\n"
+      "  --writers W        contention workload: W concurrent writers\n"
+      "                     spread --updates operations over the GUIDs by\n"
+      "                     zipf popularity (0 = legacy per-GUID chains)\n"
+      "  --zipf Z           zipf skew x100 for --writers (default 90)\n"
+      "  --reads P          percent of workload operations that are agreed\n"
+      "                     reads (default 0)\n"
+      "  --open-loop        open-loop arrivals (operations fire on their\n"
+      "                     generated schedule regardless of completions)\n"
+      "  --churn-smoke      run the deterministic churn + handoff smoke\n"
+      "                     instead of a campaign: a graceful leave wave\n"
+      "                     over the whole peer set must keep the history\n"
+      "                     readable, churn mid-commit must not break the\n"
+      "                     commit, and the no-handoff counterfactual must\n"
+      "                     provably lose acknowledged data\n"
+      "  --no-handoff       with --churn-smoke: run only the counterfactual\n"
+      "                     (graceful leaves with the key-range handoff\n"
+      "                     suppressed — demonstrates the data loss)\n"
+      "  --soak S           long-soak mode: rerun the campaign's seed 0 in\n"
+      "                     consecutive horizon windows until S simulated\n"
+      "                     seconds have elapsed, checking invariants per\n"
+      "                     window and commit-rate drift across windows\n"
       "  --replay FILE      re-run a recorded schedule and report\n"
       "  --out DIR          directory for replay files (default .)\n"
       "  --metrics-out FILE campaign-aggregated metrics (asa-metrics/1)\n"
@@ -169,6 +196,9 @@ int main(int argc, char** argv) {
   std::string postmortem_dir;
   bool expect_violation = false;
   bool durability_smoke = false;
+  bool churn_smoke = false;
+  bool no_handoff = false;
+  std::uint64_t soak_seconds = 0;
   bool verbose = false;
   bool burst_set = false;
 
@@ -210,6 +240,24 @@ int main(int argc, char** argv) {
         config.durability = false;
       } else if (arg == "--durability-smoke") {
         durability_smoke = true;
+      } else if (arg == "--churn") {
+        config.churn = true;
+      } else if (arg == "--wan") {
+        config.wan = true;
+      } else if (arg == "--writers") {
+        config.writers = std::stoi(next());
+      } else if (arg == "--zipf") {
+        config.zipf = std::stoi(next()) / 100.0;
+      } else if (arg == "--reads") {
+        config.read_fraction = std::stoi(next()) / 100.0;
+      } else if (arg == "--open-loop") {
+        config.open_loop = true;
+      } else if (arg == "--churn-smoke") {
+        churn_smoke = true;
+      } else if (arg == "--no-handoff") {
+        no_handoff = true;
+      } else if (arg == "--soak") {
+        soak_seconds = std::stoull(next());
       } else if (arg == "--replay") {
         replay_path = next();
       } else if (arg == "--out") {
@@ -249,6 +297,60 @@ int main(int argc, char** argv) {
     std::cout << (smoke.ok() ? "durability smoke passed\n"
                              : "durability smoke FAILED\n");
     return smoke.ok() ? 0 : 1;
+  }
+
+  if (churn_smoke) {
+    std::cout << "churn smoke (seed " << seed0
+              << (no_handoff ? ", counterfactual only" : "") << "):\n";
+    const DurabilitySmokeReport smoke =
+        run_churn_smoke(seed0, /*handoff=*/!no_handoff);
+    for (const std::string& line : smoke.notes) {
+      std::cout << "  " << line << "\n";
+    }
+    for (const std::string& line : smoke.failures) {
+      std::cout << "  FAIL: " << line << "\n";
+    }
+    std::cout << (smoke.ok() ? "churn smoke passed\n"
+                             : "churn smoke FAILED\n");
+    return smoke.ok() ? 0 : 1;
+  }
+
+  if (soak_seconds > 0) {
+    config.seed = seed0;
+    obs::MetricsRegistry soak_metrics(!metrics_out.empty());
+    obs::MetricsRegistry* soak_sink =
+        metrics_out.empty() ? nullptr : &soak_metrics;
+    std::cout << "soak: " << soak_seconds << " simulated seconds in windows"
+              << " of " << config.horizon << " us (seed " << seed0 << ")\n";
+    const SoakReport soak =
+        run_soak(config, static_cast<sim::Time>(soak_seconds) * 1'000'000,
+                 soak_sink);
+    for (std::size_t w = 0; w < soak.commits_per_sec.size(); ++w) {
+      if (verbose) {
+        std::cout << "  window " << w << ": " << soak.commits_per_sec[w]
+                  << " commits/sec\n";
+      }
+    }
+    for (const Violation& v : soak.violations) {
+      std::cout << "  [" << v.invariant << "] " << v.detail << "\n";
+    }
+    for (const std::string& f : soak.failures) {
+      std::cout << "  FAIL: " << f << "\n";
+    }
+    if (!metrics_out.empty()) {
+      const obs::Meta meta{
+          {"tool", "asachaos"},
+          {"mode", "soak"},
+          {"seed0", std::to_string(seed0)},
+          {"windows", std::to_string(soak.windows)},
+      };
+      std::ofstream out(metrics_out);
+      if (out) out << obs::write_metrics_json(soak_metrics, meta);
+    }
+    std::cout << "soak summary: " << soak.windows << " windows, "
+              << soak.violations.size() << " violation(s), "
+              << soak.failures.size() << " drift failure(s)\n";
+    return soak.ok() ? 0 : 1;
   }
 
   // Equivocators split concurrent same-GUID proposals; give them some.

@@ -8,14 +8,17 @@
 //
 //   asasim --nodes 16 --replication 4 --clients 3 --updates 9
 //          --byzantine equivocator:1 --drop 0.05 --seed 7 --trace
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "sim/workload.hpp"
 #include "storage/cluster.hpp"
 
 using namespace asa_repro;
@@ -37,6 +40,22 @@ void usage() {
       "                       repeatable\n"
       "  --drop P             message drop probability (default 0)\n"
       "  --duplicate P        message duplication probability (default 0)\n"
+      "  --link A:B:CLASS     install a latency class (lan | wan | sat) on\n"
+      "                       the directed link A->B; repeatable (set both\n"
+      "                       directions for a symmetric path)\n"
+      "  --join T             a fresh node joins the ring at time T us;\n"
+      "                       repeatable\n"
+      "  --leave N:T          node N gracefully leaves (key-range handoff)\n"
+      "                       at time T us; repeatable\n"
+      "  --depart N:T         node N departs abruptly (no handoff) at time\n"
+      "                       T us; repeatable\n"
+      "  --writers W          contention workload: W concurrent writers\n"
+      "                       spread --updates operations over the GUIDs by\n"
+      "                       zipf popularity (replaces the client loop)\n"
+      "  --zipf Z             zipf skew x100 for --writers (default 90)\n"
+      "  --reads P            percent of workload operations that are\n"
+      "                       agreed reads (default 0)\n"
+      "  --open-loop          open-loop arrivals for --writers\n"
       "  --seed S             simulation seed (default 42)\n"
       "  --trace              dump commit/abort trace events\n"
       "  --metrics-out FILE   write run metrics (asa-metrics/1 JSON)\n"
@@ -59,6 +78,52 @@ struct PartitionSpec {
   std::size_t b = 0;
   sim::Time heal_at = 0;  // 0 = never heal.
 };
+
+struct LinkSpec {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  std::string klass;
+};
+
+// "A:B:class" with class in {lan, wan, sat}.
+std::optional<LinkSpec> parse_link(const std::string& spec) {
+  const std::size_t first = spec.find(':');
+  if (first == std::string::npos) return std::nullopt;
+  const std::size_t second = spec.find(':', first + 1);
+  if (second == std::string::npos) return std::nullopt;
+  try {
+    LinkSpec out;
+    out.a = std::stoul(spec.substr(0, first));
+    out.b = std::stoul(spec.substr(first + 1, second - first - 1));
+    out.klass = spec.substr(second + 1);
+    if (!sim::link_profile(out.klass).has_value()) return std::nullopt;
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+struct ChurnSpec {
+  enum class Kind { kJoin, kLeave, kDepart } kind = Kind::kJoin;
+  std::size_t node = 0;  // Unused for joins.
+  sim::Time at = 0;
+};
+
+// "N:T" (node, time) for --leave / --depart.
+std::optional<ChurnSpec> parse_churn(ChurnSpec::Kind kind,
+                                     const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  try {
+    ChurnSpec out;
+    out.kind = kind;
+    out.node = std::stoul(spec.substr(0, colon));
+    out.at = std::stoull(spec.substr(colon + 1));
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
 
 // "A:B" or "A:B:heal_at" (times in simulated microseconds).
 std::optional<PartitionSpec> parse_partition(const std::string& spec) {
@@ -93,6 +158,13 @@ int main(int argc, char** argv) {
   commit::Behaviour byz_kind = commit::Behaviour::kHonest;
   std::size_t byz_count = 0;
   std::vector<PartitionSpec> partitions;
+  std::vector<LinkSpec> links;
+  std::vector<ChurnSpec> churn;
+  std::vector<sim::Time> joins;
+  int writers = 0;
+  double zipf = 0.9;
+  double read_fraction = 0.0;
+  bool open_loop = false;
   double duplicate_probability = 0.0;
   bool dump_trace = false;
   std::string metrics_out;
@@ -159,6 +231,35 @@ int main(int argc, char** argv) {
         return 2;
       }
       partitions.push_back(*parsed);
+    } else if (arg == "--link") {
+      const std::string spec = next();
+      const auto parsed = parse_link(spec);
+      if (!parsed.has_value()) {
+        std::cerr << "bad link spec (want A:B:lan|wan|sat): " << spec << "\n";
+        return 2;
+      }
+      links.push_back(*parsed);
+    } else if (arg == "--join") {
+      joins.push_back(std::stoull(next()));
+    } else if (arg == "--leave" || arg == "--depart") {
+      const bool leave = arg == "--leave";
+      const std::string spec = next();
+      const auto parsed = parse_churn(leave ? ChurnSpec::Kind::kLeave
+                                            : ChurnSpec::Kind::kDepart,
+                                      spec);
+      if (!parsed.has_value()) {
+        std::cerr << "bad churn spec (want N:T): " << spec << "\n";
+        return 2;
+      }
+      churn.push_back(*parsed);
+    } else if (arg == "--writers") {
+      writers = std::stoi(next());
+    } else if (arg == "--zipf") {
+      zipf = std::stoi(next()) / 100.0;
+    } else if (arg == "--reads") {
+      read_fraction = std::stoi(next()) / 100.0;
+    } else if (arg == "--open-loop") {
+      open_loop = true;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       usage();
@@ -192,38 +293,129 @@ int main(int argc, char** argv) {
       });
     }
   }
+  for (const LinkSpec& l : links) {
+    if (l.a >= cluster.node_count() || l.b >= cluster.node_count()) {
+      std::cerr << "link node out of range: " << l.a << ":" << l.b << "\n";
+      return 2;
+    }
+    cluster.network().set_link_profile(static_cast<sim::NodeAddr>(l.a),
+                                       static_cast<sim::NodeAddr>(l.b),
+                                       *sim::link_profile(l.klass));
+  }
+  for (const sim::Time at : joins) {
+    cluster.scheduler().schedule_at(
+        at, [&cluster] { (void)cluster.add_node(); });
+  }
+  for (const ChurnSpec& c : churn) {
+    if (c.node >= cluster.node_count()) {
+      std::cerr << "churn node out of range: " << c.node << "\n";
+      return 2;
+    }
+    cluster.scheduler().schedule_at(c.at, [&cluster, c] {
+      (void)cluster.remove_node(c.node,
+                                c.kind == ChurnSpec::Kind::kLeave);
+    });
+  }
 
   std::cout << "cluster: " << config.nodes << " nodes, r="
             << config.replication_factor << " (f=" << cluster.f() << "), "
             << byz_count << " byzantine, drop=" << config.drop_probability
             << ", seed=" << config.seed << "\n";
 
-  // Workload: `updates` version appends spread over `guids` GUIDs and
-  // round-robined across clients (each client is one VersionHistoryService;
-  // the first owns reads).
-  int committed = 0, failed = 0;
+  // Workload. Default: `updates` version appends spread over `guids`
+  // GUIDs and round-robined across clients (each client is one
+  // VersionHistoryService; the first owns reads). With --writers W, the
+  // contention engine instead spreads the operations over W concurrent
+  // writers whose key choices follow a zipf distribution (several writers
+  // hammering the same hot GUID), closed- or open-loop.
+  int committed = 0, failed = 0, reads_ok = 0, reads_failed = 0;
   std::uint64_t total_attempts = 0;
   double total_latency_ms = 0;
-  for (int u = 0; u < updates; ++u) {
-    const Guid guid = Guid::named("guid:" + std::to_string(u % guids));
-    const Pid pid = Pid::of(block_from("update " + std::to_string(u)));
-    cluster.version_history().append(
-        guid, pid, [&](const commit::CommitResult& r) {
-          if (r.committed) {
-            ++committed;
-            total_attempts += r.attempts;
-            total_latency_ms += static_cast<double>(r.latency) / 1000.0;
-          } else {
-            ++failed;
+  std::vector<int> per_writer_commits;
+  if (writers > 0) {
+    // Contending writers funnel through each GUID's serialization point;
+    // racing same-GUID appends is outside the protocol's supported usage.
+    cluster.version_history().set_serialize_appends(true);
+    sim::WorkloadConfig workload;
+    workload.writers = static_cast<std::uint32_t>(writers);
+    workload.keys = static_cast<std::uint32_t>(guids);
+    workload.operations = static_cast<std::uint32_t>(std::max(0, updates));
+    workload.zipf = zipf;
+    workload.read_fraction = read_fraction;
+    workload.open_loop = open_loop;
+    const auto per_writer = sim::generate_workload(workload, config.seed);
+    per_writer_commits.assign(per_writer.size(), 0);
+    std::function<void(std::size_t, std::size_t)> submit_op =
+        [&](std::size_t w, std::size_t i) {
+          if (i >= per_writer[w].size()) return;
+          const sim::WorkloadOp& op = per_writer[w][i];
+          const Guid guid = Guid::named("guid:" + std::to_string(op.key));
+          if (op.read) {
+            cluster.version_history().read(
+                guid, [&, w, i](const HistoryReadResult& r) {
+                  if (r.ok) ++reads_ok; else ++reads_failed;
+                  if (!open_loop) submit_op(w, i + 1);
+                });
+            return;
           }
-        });
-    // Stagger client submissions slightly (concurrency within guids).
-    if ((u + 1) % clients == 0) cluster.run_for(2'000);
+          const Pid pid = Pid::of(block_from(
+              "w" + std::to_string(op.writer) + " op" +
+              std::to_string(op.sequence)));
+          cluster.version_history().append(
+              guid, pid, [&, w, i](const commit::CommitResult& r) {
+                if (r.committed) {
+                  ++committed;
+                  ++per_writer_commits[w];
+                  total_attempts += r.attempts;
+                  total_latency_ms += static_cast<double>(r.latency) / 1000.0;
+                } else {
+                  ++failed;
+                }
+                if (!open_loop) submit_op(w, i + 1);
+              });
+        };
+    for (std::size_t w = 0; w < per_writer.size(); ++w) {
+      if (open_loop) {
+        for (std::size_t i = 0; i < per_writer[w].size(); ++i) {
+          cluster.scheduler().schedule_at(
+              per_writer[w][i].at, [&submit_op, w, i] { submit_op(w, i); });
+        }
+      } else if (!per_writer[w].empty()) {
+        cluster.scheduler().schedule_at(
+            per_writer[w][0].at, [&submit_op, w] { submit_op(w, 0); });
+      }
+    }
+    cluster.run();
+  } else {
+    for (int u = 0; u < updates; ++u) {
+      const Guid guid = Guid::named("guid:" + std::to_string(u % guids));
+      const Pid pid = Pid::of(block_from("update " + std::to_string(u)));
+      cluster.version_history().append(
+          guid, pid, [&](const commit::CommitResult& r) {
+            if (r.committed) {
+              ++committed;
+              total_attempts += r.attempts;
+              total_latency_ms += static_cast<double>(r.latency) / 1000.0;
+            } else {
+              ++failed;
+            }
+          });
+      // Stagger client submissions slightly (concurrency within guids).
+      if ((u + 1) % clients == 0) cluster.run_for(2'000);
+    }
+    cluster.run();
   }
-  cluster.run();
 
   std::cout << "\nworkload: " << committed << "/" << updates
             << " updates committed, " << failed << " failed\n";
+  if (writers > 0) {
+    std::cout << "reads: " << reads_ok << " agreed, " << reads_failed
+              << " without quorum\n";
+    for (std::size_t w = 0; w < per_writer_commits.size(); ++w) {
+      std::cout << "writer " << w << ": " << per_writer_commits[w]
+                << " commits\n";
+    }
+  }
   if (committed > 0) {
     std::cout << "mean attempts " << (double)total_attempts / committed
               << ", mean latency "
