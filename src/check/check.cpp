@@ -1,6 +1,8 @@
 #include "check/check.hpp"
 
+#include <chrono>
 #include <iterator>
+#include <map>
 #include <string>
 
 #include "check/backend.hpp"
@@ -20,10 +22,44 @@ void append(Findings& into, Findings more) {
               std::make_move_iterator(more.end()));
 }
 
+/// Accumulates wall-clock time per analysis group across the r loop.
+class GroupClock {
+ public:
+  /// Runs `body` and charges its wall time to `group`.
+  template <typename Body>
+  auto charge(const char* group, Body&& body) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = body();
+    elapsed_[group] += std::chrono::steady_clock::now() - start;
+    return result;
+  }
+
+  [[nodiscard]] std::vector<GroupTiming> timings() const {
+    std::vector<GroupTiming> out;
+    for (const char* group : kGroups) {
+      const auto it = elapsed_.find(group);
+      if (it == elapsed_.end()) continue;
+      GroupTiming t;
+      t.group = group;
+      t.ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(it->second)
+              .count());
+      out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+ private:
+  static constexpr const char* kGroups[] = {
+      "generate", "structural", "properties", "efsm", "backend", "artifact"};
+  std::map<std::string, std::chrono::steady_clock::duration> elapsed_;
+};
+
 }  // namespace
 
 CheckRun run_commit_checks(const CheckOptions& options) {
   CheckRun run;
+  GroupClock clock;
   const fsm::Efsm efsm = options.efsm ? commit::make_commit_efsm()
                                       : fsm::Efsm{};
 
@@ -31,49 +67,64 @@ CheckRun run_commit_checks(const CheckOptions& options) {
     commit::CommitModel model(r);
     fsm::GenerationOptions gen_options;
     gen_options.jobs = options.jobs;
-    const fsm::StateMachine machine =
-        model.generate_state_machine(gen_options);
+    const fsm::StateMachine machine = clock.charge(
+        "generate", [&] { return model.generate_state_machine(gen_options); });
     const std::string label = "commit_r" + std::to_string(r);
 
-    const Findings structural = lint_structure(machine, label);
+    const Findings structural = clock.charge(
+        "structural", [&] { return lint_structure(machine, label); });
     ++run.checks_run;
     const bool well_formed = structural.empty();
     append(run.findings, structural);
     if (well_formed) {
       // Renderers and the property traversal index through state ids; only
       // meaningful on structurally sound machines.
-      append(run.findings, lint_rendered_artifacts(machine, label));
+      append(run.findings, clock.charge("structural", [&] {
+               return lint_rendered_artifacts(machine, label);
+             }));
       ++run.checks_run;
-      append(run.findings, check_protocol_properties(machine, r, label));
+      append(run.findings, clock.charge("properties", [&] {
+               return check_protocol_properties(machine, r, label);
+             }));
       ++run.checks_run;
       if (options.table_backend) {
-        append(run.findings, check_table_layout(machine, label));
+        append(run.findings, clock.charge("backend", [&] {
+                 return check_table_layout(machine, label);
+               }));
         ++run.checks_run;
       }
     }
     if (options.efsm) {
-      append(run.findings,
-             check_efsm(efsm, commit::commit_efsm_params(r),
-                        "efsm " + efsm.name + " r=" + std::to_string(r)));
+      append(run.findings, clock.charge("efsm", [&] {
+               return check_efsm(efsm, commit::commit_efsm_params(r),
+                                 "efsm " + efsm.name + " r=" +
+                                     std::to_string(r));
+             }));
       ++run.checks_run;
     }
   }
 
   if (options.efsm) {
-    append(run.findings, check_family_conformance(efsm, options.r_lo,
-                                                  options.r_hi,
-                                                  options.jobs));
+    append(run.findings, clock.charge("efsm", [&] {
+             return check_family_conformance(efsm, options.r_lo, options.r_hi,
+                                             options.jobs);
+           }));
     ++run.checks_run;
   }
   if (options.table_backend) {
-    append(run.findings,
-           check_table_equivalence(options.r_lo, options.r_hi, options.jobs));
+    append(run.findings, clock.charge("backend", [&] {
+             return check_table_equivalence(options.r_lo, options.r_hi,
+                                            options.jobs);
+           }));
     ++run.checks_run;
   }
   if (!options.artifact_path.empty()) {
-    append(run.findings, check_generated_artifact(options.artifact_path));
+    append(run.findings, clock.charge("artifact", [&] {
+             return check_generated_artifact(options.artifact_path);
+           }));
     ++run.checks_run;
   }
+  run.timings = clock.timings();
   return run;
 }
 

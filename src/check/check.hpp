@@ -27,6 +27,9 @@ struct CheckOptions {
 struct CheckRun {
   Findings findings;
   std::size_t checks_run = 0;  // Analysis invocations (for the report).
+  /// Wall-clock runtime per analysis group, summed across the r range.
+  /// Forwarded into the findings document's "timings" section.
+  std::vector<GroupTiming> timings;
 };
 
 /// Run the full fsmcheck suite on the commit protocol with `options`.

@@ -1,0 +1,1202 @@
+#include "check/composition.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "commit/commit_model.hpp"
+
+namespace asa_repro::check {
+namespace {
+
+using commit::CommitModel;
+using commit::ReplayPlan;
+using commit::ReplayStep;
+
+enum class Mut : std::uint8_t {
+  kNone,
+  kWeakQuorum,       // Machines generated with vote threshold 1.
+  kAckBeforeRecord,  // Confirmation leaves before the record is durable.
+  kDupVote,          // Peers count duplicate votes/commits (dedup removed).
+  kDropRetry,        // Endpoint timeout/retry scheme removed entirely.
+  kWeakAck,          // Endpoint acknowledges after f confirmations.
+};
+
+Mut mutation_from(const std::string& name) {
+  if (name.empty()) return Mut::kNone;
+  if (name == "comp.weak_quorum") return Mut::kWeakQuorum;
+  if (name == "comp.ack_before_record") return Mut::kAckBeforeRecord;
+  if (name == "comp.dup_vote") return Mut::kDupVote;
+  if (name == "comp.drop_retry") return Mut::kDropRetry;
+  if (name == "comp.weak_ack") return Mut::kWeakAck;
+  throw std::invalid_argument("check_composition: unknown mutation " + name);
+}
+
+// ---- The composed state. ----
+//
+// Message content in this protocol is a function of (kind, update): every
+// vote for update u is identical, so machines need only COUNT deliveries
+// and the network need only count in-flight copies. Sender identity is
+// erased from the state entirely; the number of copies ever sent to peer j
+// is derived from the other peers' vote_sent/commit_sent bits (updates:
+// from the endpoint's attempt counter), and in-flight = sent - consumed -
+// missed. Ground-truth distinctness (the agreement certificate and quorum
+// justification) lives in the *_unique counters, which duplicates under
+// comp.dup_vote deliberately do not advance.
+
+constexpr std::uint8_t kNoLock = 0xFF;
+constexpr std::uint8_t kConfirmCap = 2;  // Record + one re-confirmation.
+
+enum ReqStatus : std::uint8_t { kActive = 0, kAcked = 1, kFailed = 2 };
+
+struct Cell {
+  // Machine state vector (CommitModel component order).
+  std::uint8_t update_received = 0;
+  std::uint8_t votes_received = 0;  // Counts duplicates under comp.dup_vote.
+  std::uint8_t vote_sent = 0;
+  std::uint8_t commits_received = 0;
+  std::uint8_t commit_sent = 0;
+  std::uint8_t could_choose = 1;
+  std::uint8_t has_chosen = 0;
+  // Network/ground-truth bookkeeping, invisible to the machine.
+  // Unique counters are folded into the missed counters once they become
+  // behaviorally dead (votes after the commit is emitted, commits after
+  // the record), so equivalent states merge; see absorb().
+  std::uint8_t votes_unique = 0;     // Distinct vote senders consumed.
+  std::uint8_t commits_unique = 0;   // Distinct commit senders consumed.
+  std::uint8_t votes_missed = 0;     // Copies dropped, expired or folded.
+  std::uint8_t commits_missed = 0;
+  std::uint8_t updates_gone = 0;     // Copies consumed, dropped or expired
+                                     //   (consumed ⟺ update_received).
+  std::uint8_t recorded = 0;
+  std::uint8_t confirms_pending = 0;  // In-flight kCommitted to endpoint.
+  std::uint8_t confirm_counted = 0;   // Endpoint consumed our confirmation.
+
+  friend auto operator<=>(const Cell&, const Cell&) = default;
+};
+
+struct Peer {
+  std::vector<Cell> cells;       // One machine instance per request.
+  std::uint8_t lock = kNoLock;   // Which update holds the node lock.
+  std::uint8_t crashed = 0;
+
+  friend auto operator<=>(const Peer&, const Peer&) = default;
+};
+
+struct Request {
+  std::uint8_t status = kActive;
+  std::uint8_t attempts = 1;  // Submitted at init: attempt 1 in flight.
+};
+
+struct State {
+  std::vector<Peer> peers;
+  std::vector<Request> requests;
+  std::uint8_t drops_used = 0;
+  std::uint8_t dups_used = 0;
+  std::uint8_t crashes_used = 0;
+};
+
+// ---- Packed transitions. ----
+
+enum class Act : std::uint8_t {
+  kDeliverUpdate,
+  kDeliverVote,
+  kDeliverCommit,
+  kDeliverConfirm,
+  kDupVote,
+  kDupCommit,
+  kDropUpdate,
+  kDropVote,
+  kDropCommit,
+  kDropConfirm,
+  kCrash,
+  kRetry,
+  kFail,
+  kRecord,
+  kNoneSentinel,  // Trace terminator for state-local findings (deadlock).
+};
+
+std::uint64_t pack_act(Act t, std::uint32_t j = 0, std::uint32_t u = 0) {
+  return static_cast<std::uint64_t>(t) |
+         (static_cast<std::uint64_t>(j) << 8) |
+         (static_cast<std::uint64_t>(u) << 16);
+}
+Act act_type(std::uint64_t a) { return static_cast<Act>(a & 0xFF); }
+std::uint32_t act_peer(std::uint64_t a) { return (a >> 8) & 0xFF; }
+std::uint32_t act_update(std::uint64_t a) { return (a >> 16) & 0xFF; }
+
+struct Violation {
+  const char* check;   // Short id, e.g. "agreement".
+  std::string message;
+};
+
+// ---- The transition engine, shared by the BFS and the trace exporter. ----
+
+class Engine {
+ public:
+  explicit Engine(const CompositionOptions& opt)
+      : opt_(opt),
+        mut_(mutation_from(opt.mutation)),
+        model_(mut_ == Mut::kWeakQuorum
+                   ? CommitModel(opt.r,
+                                 commit::Thresholds{1, (opt.r - 1) / 3 + 1})
+                   : CommitModel(opt.r)),
+        f_((opt.r - 1) / 3),
+        endpoint_quorum_(mut_ == Mut::kWeakAck ? f_ : f_ + 1),
+        crash_budget_(std::min(opt.crashes, f_)) {
+    if (opt.r < 2 || opt.r > 12) {
+      throw std::invalid_argument(
+          "check_composition: r must be in [2, 12]");
+    }
+    if (opt.requests < 1 || opt.requests > 6 || opt.attempts < 1 ||
+        opt.attempts > 7 || opt.drops > 7 || opt.dups > 7) {
+      throw std::invalid_argument(
+          "check_composition: requests in [1,6], attempts in [1,7], "
+          "drops/dups <= 7");
+    }
+  }
+
+  [[nodiscard]] const CompositionOptions& options() const { return opt_; }
+  [[nodiscard]] Mut mutation() const { return mut_; }
+  [[nodiscard]] std::uint32_t f() const { return f_; }
+  [[nodiscard]] std::size_t absorbed() const { return absorbed_; }
+
+  [[nodiscard]] State initial() const {
+    State s;
+    s.peers.resize(opt_.r);
+    for (Peer& p : s.peers) p.cells.resize(opt_.requests);
+    s.requests.resize(opt_.requests);
+    return s;
+  }
+
+  // -- In-flight derivation (count-based network). --
+
+  [[nodiscard]] std::uint32_t vote_senders(const State& s, std::uint32_t j,
+                                           std::uint32_t u) const {
+    std::uint32_t n = 0;
+    for (std::uint32_t q = 0; q < opt_.r; ++q) {
+      if (q != j && s.peers[q].cells[u].vote_sent != 0) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] std::uint32_t commit_senders(const State& s, std::uint32_t j,
+                                             std::uint32_t u) const {
+    std::uint32_t n = 0;
+    for (std::uint32_t q = 0; q < opt_.r; ++q) {
+      if (q != j && s.peers[q].cells[u].commit_sent != 0) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] std::uint32_t inflight_votes(const State& s, std::uint32_t j,
+                                             std::uint32_t u) const {
+    const Cell& c = s.peers[j].cells[u];
+    return vote_senders(s, j, u) - c.votes_unique - c.votes_missed;
+  }
+  [[nodiscard]] std::uint32_t inflight_commits(const State& s,
+                                               std::uint32_t j,
+                                               std::uint32_t u) const {
+    const Cell& c = s.peers[j].cells[u];
+    return commit_senders(s, j, u) - c.commits_unique - c.commits_missed;
+  }
+  [[nodiscard]] std::uint32_t inflight_updates(const State& s,
+                                               std::uint32_t j,
+                                               std::uint32_t u) const {
+    const Cell& c = s.peers[j].cells[u];
+    return s.requests[u].attempts - c.updates_gone;
+  }
+
+  [[nodiscard]] std::uint32_t total_inflight(const State& s) const {
+    std::uint32_t n = 0;
+    for (std::uint32_t j = 0; j < opt_.r; ++j) {
+      for (std::uint32_t u = 0; u < opt_.requests; ++u) {
+        n += s.peers[j].cells[u].confirms_pending;
+        if (s.peers[j].crashed != 0) continue;
+        n += inflight_updates(s, j, u) + inflight_votes(s, j, u) +
+             inflight_commits(s, j, u);
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool is_final(const Cell& c) const {
+    return c.commits_received >= model_.commit_threshold();
+  }
+
+  /// A cell that may (re-)send a kCommitted to the endpoint. Pristine:
+  /// only recorded cells; under comp.ack_before_record finality alone is
+  /// enough — that is the bug.
+  [[nodiscard]] bool confirm_capable(const Cell& c) const {
+    return c.recorded != 0 ||
+           (mut_ == Mut::kAckBeforeRecord && is_final(c));
+  }
+
+  /// A redelivered update to (j, u) would trigger a re-confirmation the
+  /// endpoint can still use; otherwise the redelivery is a no-op.
+  [[nodiscard]] bool reconfirm_useful(const State& s, std::uint32_t u,
+                                      const Cell& c) const {
+    return confirm_capable(c) && c.confirms_pending < kConfirmCap &&
+           s.requests[u].status == kActive && c.confirm_counted == 0;
+  }
+
+  // -- Eager absorb closure (sleep-set-style reduction). --
+  //
+  // Deliveries consumed here are no-ops on every predicate and on the
+  // enabledness of every other transition: they only decrement the
+  // in-flight count of the one message they consume. Delivering them
+  // eagerly (in a fixed order) is therefore sound for all composition.*
+  // properties, which are stutter-invariant.
+  void absorb(State& s) {
+    for (std::uint32_t j = 0; j < opt_.r; ++j) {
+      Peer& p = s.peers[j];
+      for (std::uint32_t u = 0; u < opt_.requests; ++u) {
+        Cell& c = p.cells[u];
+        if (p.crashed != 0) {
+          // Messages to a crashed peer are dead; expire them, and collapse
+          // every field nothing else reads — the machine never runs again.
+          // The broadcast bits, the record and the confirmation state
+          // survive: other peers' in-flight counts and the validity /
+          // durability checks read those.
+          absorbed_ += inflight_updates(s, j, u) + inflight_votes(s, j, u) +
+                       inflight_commits(s, j, u);
+          c.update_received = 0;
+          c.votes_received = 0;
+          c.commits_received = 0;
+          c.could_choose = 0;
+          c.has_chosen = 0;
+          c.votes_unique = 0;
+          c.votes_missed = static_cast<std::uint8_t>(vote_senders(s, j, u));
+          c.commits_unique = 0;
+          c.commits_missed =
+              static_cast<std::uint8_t>(commit_senders(s, j, u));
+          c.updates_gone =
+              static_cast<std::uint8_t>(s.requests[u].attempts);
+          p.lock = kNoLock;
+        } else {
+          // Duplicate update requests that cannot trigger a usable
+          // re-confirmation are machine no-ops.
+          while (inflight_updates(s, j, u) > 0 && c.update_received != 0 &&
+                 !reconfirm_useful(s, u, c)) {
+            ++c.updates_gone;
+            ++absorbed_;
+          }
+          // Votes to saturated or finished machines are dropped by the
+          // driver; a machine that has sent both its vote and its commit
+          // only bumps a counter no future transition reads. Either way
+          // the delivery is a no-op: consume the distinct sender.
+          while (inflight_votes(s, j, u) > 0 &&
+                 (c.votes_received >= opt_.r - 1 || is_final(c) ||
+                  (c.vote_sent != 0 && c.commit_sent != 0))) {
+            ++c.votes_unique;
+            ++absorbed_;
+          }
+          while (inflight_commits(s, j, u) > 0 &&
+                 (c.commits_received >= opt_.r - 1 || is_final(c))) {
+            ++c.commits_unique;
+            ++absorbed_;
+          }
+          // A final machine absorbs everything and is skipped by sibling
+          // lock offers: its vote counter and choice flags are dead.
+          // Zeroing them makes "deliver then finalize" and "finalize then
+          // absorb" reach identical states, which the ample reduction in
+          // enumerate() relies on.
+          if (is_final(c)) {
+            c.votes_received = 0;
+            c.could_choose = 0;
+            c.has_chosen = 0;
+          }
+        }
+        // Confirmations the endpoint can no longer use (request resolved,
+        // or this peer already counted) are dead on arrival.
+        if (c.confirms_pending > 0 &&
+            (s.requests[u].status != kActive || c.confirm_counted != 0)) {
+          absorbed_ += c.confirms_pending;
+          c.confirms_pending = 0;
+        }
+        // Fold ground-truth counters no future check reads, so states
+        // that differ only in dead bookkeeping merge: distinct votes are
+        // read once, when the commit action is emitted; distinct commits
+        // are read once, when the record is written.
+        if (c.commit_sent != 0 && c.votes_unique != 0) {
+          c.votes_missed += c.votes_unique;
+          c.votes_unique = 0;
+        }
+        if (c.recorded != 0 && c.commits_unique != 0) {
+          c.commits_missed += c.commits_unique;
+          c.commits_unique = 0;
+        }
+      }
+    }
+  }
+
+  // -- Enabled-transition enumeration (post-closure states only). --
+
+  void enumerate(const State& s, std::vector<std::uint64_t>& out) const {
+    out.clear();
+    // Ample-set reduction: a vote/commit delivery that stays strictly
+    // below its threshold even if the machine's own send bit flips first
+    // is a pure counter increment — no action, no check, no cascade. It
+    // commutes with every transition at other cells; at the same cell,
+    // counter arithmetic commutes and idempotent send guards make either
+    // order fire identical actions. A crash of the target peer erases the
+    // counter either way (crashed-cell collapse), so deliver-then-crash
+    // and expire-under-crash reach the same state. Exploring only this
+    // delivery (plus its drop twin while the budget lasts) is therefore a
+    // persistent set; the search space is a DAG (every transition spends
+    // a monotone resource), so no ignoring problem arises.
+    for (std::uint32_t j = 0; j < opt_.r; ++j) {
+      if (s.peers[j].crashed != 0) continue;
+      for (std::uint32_t u = 0; u < opt_.requests; ++u) {
+        const Cell& c = s.peers[j].cells[u];
+        if (is_final(c)) continue;
+        const bool can_drop_one = s.drops_used < opt_.drops;
+        if (inflight_votes(s, j, u) > 0 &&
+            c.votes_received + 2u < model_.vote_threshold()) {
+          out.push_back(pack_act(Act::kDeliverVote, j, u));
+          if (can_drop_one) out.push_back(pack_act(Act::kDropVote, j, u));
+          return;
+        }
+        if (inflight_commits(s, j, u) > 0 &&
+            c.commits_received + 1u < model_.commit_threshold()) {
+          out.push_back(pack_act(Act::kDeliverCommit, j, u));
+          if (can_drop_one) out.push_back(pack_act(Act::kDropCommit, j, u));
+          return;
+        }
+      }
+    }
+    for (std::uint32_t u = 0; u < opt_.requests; ++u) {
+      if (s.requests[u].status != kActive || mut_ == Mut::kDropRetry) {
+        continue;
+      }
+      if (s.requests[u].attempts < opt_.attempts) {
+        out.push_back(pack_act(Act::kRetry, 0, u));
+      } else {
+        out.push_back(pack_act(Act::kFail, 0, u));
+      }
+    }
+    const bool can_drop = s.drops_used < opt_.drops;
+    for (std::uint32_t j = 0; j < opt_.r; ++j) {
+      const Peer& p = s.peers[j];
+      for (std::uint32_t u = 0; u < opt_.requests; ++u) {
+        const Cell& c = p.cells[u];
+        // Confirmations survive their sender's crash (sent before it).
+        if (c.confirms_pending > 0) {
+          out.push_back(pack_act(Act::kDeliverConfirm, j, u));
+          if (can_drop) out.push_back(pack_act(Act::kDropConfirm, j, u));
+        }
+        if (p.crashed != 0) continue;
+        if (inflight_updates(s, j, u) > 0) {
+          out.push_back(pack_act(Act::kDeliverUpdate, j, u));
+          if (can_drop) out.push_back(pack_act(Act::kDropUpdate, j, u));
+        }
+        if (inflight_votes(s, j, u) > 0) {
+          out.push_back(pack_act(Act::kDeliverVote, j, u));
+          if (can_drop) out.push_back(pack_act(Act::kDropVote, j, u));
+        }
+        if (inflight_commits(s, j, u) > 0) {
+          out.push_back(pack_act(Act::kDeliverCommit, j, u));
+          if (can_drop) out.push_back(pack_act(Act::kDropCommit, j, u));
+        }
+        if (mut_ == Mut::kDupVote && s.dups_used < opt_.dups && !is_final(c)) {
+          if (c.votes_unique > 0 && c.votes_received < opt_.r - 1) {
+            out.push_back(pack_act(Act::kDupVote, j, u));
+          }
+          if (c.commits_unique > 0 && c.commits_received < opt_.r - 1) {
+            out.push_back(pack_act(Act::kDupCommit, j, u));
+          }
+        }
+        if (mut_ == Mut::kAckBeforeRecord && is_final(c) &&
+            c.recorded == 0) {
+          out.push_back(pack_act(Act::kRecord, j, u));
+        }
+      }
+      if (p.crashed == 0 && s.crashes_used < crash_budget_) {
+        out.push_back(pack_act(Act::kCrash, j, 0));
+      }
+    }
+  }
+
+  // -- Transition application (mirrors commit/peer.cpp's cascade). --
+
+  void apply(State& s, std::uint64_t a, std::vector<Violation>& viols) {
+    const std::uint32_t j = act_peer(a);
+    const std::uint32_t u = act_update(a);
+    switch (act_type(a)) {
+      case Act::kDeliverUpdate: {
+        Cell& c = s.peers[j].cells[u];
+        ++c.updates_gone;
+        if (c.update_received != 0) {
+          // Re-sent request to a finished instance: re-confirm (the
+          // original kCommitted may have been lost).
+          ++c.confirms_pending;
+        } else {
+          deliver(s, j, u, commit::kUpdate, viols);
+        }
+        break;
+      }
+      case Act::kDeliverVote: {
+        ++s.peers[j].cells[u].votes_unique;
+        deliver(s, j, u, commit::kVote, viols);
+        break;
+      }
+      case Act::kDeliverCommit: {
+        ++s.peers[j].cells[u].commits_unique;
+        deliver(s, j, u, commit::kCommit, viols);
+        break;
+      }
+      case Act::kDupVote:
+        ++s.dups_used;
+        deliver(s, j, u, commit::kVote, viols);
+        break;
+      case Act::kDupCommit:
+        ++s.dups_used;
+        deliver(s, j, u, commit::kCommit, viols);
+        break;
+      case Act::kDropUpdate:
+        ++s.peers[j].cells[u].updates_gone;
+        ++s.drops_used;
+        break;
+      case Act::kDropVote:
+        ++s.peers[j].cells[u].votes_missed;
+        ++s.drops_used;
+        break;
+      case Act::kDropCommit:
+        ++s.peers[j].cells[u].commits_missed;
+        ++s.drops_used;
+        break;
+      case Act::kDropConfirm:
+        --s.peers[j].cells[u].confirms_pending;
+        ++s.drops_used;
+        break;
+      case Act::kDeliverConfirm: {
+        Cell& c = s.peers[j].cells[u];
+        --c.confirms_pending;
+        c.confirm_counted = 1;
+        std::uint32_t distinct = 0;
+        for (std::uint32_t q = 0; q < opt_.r; ++q) {
+          distinct += s.peers[q].cells[u].confirm_counted;
+        }
+        if (distinct >= endpoint_quorum_) {
+          s.requests[u].status = kAcked;
+          if (distinct < f_ + 1) {
+            viols.push_back(
+                {"ack_quorum",
+                 "request acknowledged after " + std::to_string(distinct) +
+                     " distinct confirmation(s); f+1=" +
+                     std::to_string(f_ + 1) + " required"});
+          }
+          bool recorded_somewhere = false;
+          for (std::uint32_t q = 0; q < opt_.r; ++q) {
+            recorded_somewhere |= s.peers[q].cells[u].recorded != 0;
+          }
+          if (!recorded_somewhere) {
+            viols.push_back(
+                {"validity",
+                 "request acknowledged while no peer has recorded it"});
+          }
+        }
+        break;
+      }
+      case Act::kCrash: {
+        Peer& p = s.peers[j];
+        p.crashed = 1;
+        ++s.crashes_used;
+        for (std::uint32_t uu = 0; uu < opt_.requests; ++uu) {
+          const Cell& c = p.cells[uu];
+          if (is_final(c) && c.recorded == 0 &&
+              (c.confirms_pending > 0 || c.confirm_counted != 0)) {
+            viols.push_back(
+                {"ack_durable",
+                 "peer crashed after confirming an update it never "
+                 "recorded"});
+          }
+        }
+        break;
+      }
+      case Act::kRetry:
+        ++s.requests[u].attempts;
+        break;
+      case Act::kFail:
+        s.requests[u].status = kFailed;
+        break;
+      case Act::kRecord:
+        do_record(s, j, u, viols);
+        break;
+      case Act::kNoneSentinel:
+        break;
+    }
+  }
+
+  // -- Orbit canonicalization (symmetry reduction over peer identity). --
+  //
+  // Peers are copies of one machine and no state field names a peer (the
+  // count-based network erased sender identity), so permuting peers maps
+  // reachable states to reachable states and preserves every property.
+  // The canonical representative sorts per-peer records; the returned
+  // permutation sigma satisfies canonical.peers[k] = s.peers[sigma[k]].
+  std::vector<std::uint8_t> canonicalize(State& s) const {
+    std::vector<std::uint8_t> sigma(opt_.r);
+    std::iota(sigma.begin(), sigma.end(), std::uint8_t{0});
+    std::stable_sort(sigma.begin(), sigma.end(),
+                     [&](std::uint8_t a, std::uint8_t b) {
+                       return s.peers[a] < s.peers[b];
+                     });
+    std::vector<Peer> sorted;
+    sorted.reserve(opt_.r);
+    for (std::uint8_t idx : sigma) sorted.push_back(std::move(s.peers[idx]));
+    s.peers = std::move(sorted);
+    return sigma;
+  }
+
+  // -- Fixed-stride state packing. --
+
+  [[nodiscard]] std::size_t stride() const {
+    const std::size_t bits =
+        opt_.r * (opt_.requests * 36 + 4) + opt_.requests * 5 + 9;
+    return (bits + 63) / 64;
+  }
+
+  void pack(const State& s, std::uint64_t* out) const {
+    std::memset(out, 0, stride() * sizeof(std::uint64_t));
+    std::size_t pos = 0;
+    const auto put = [&](std::uint32_t v, std::size_t bits) {
+      out[pos / 64] |= static_cast<std::uint64_t>(v) << (pos % 64);
+      if ((pos % 64) + bits > 64) {
+        out[pos / 64 + 1] |=
+            static_cast<std::uint64_t>(v) >> (64 - pos % 64);
+      }
+      pos += bits;
+    };
+    for (const Peer& p : s.peers) {
+      for (const Cell& c : p.cells) {
+        put(c.update_received, 1);
+        put(c.votes_received, 4);
+        put(c.vote_sent, 1);
+        put(c.commits_received, 4);
+        put(c.commit_sent, 1);
+        put(c.could_choose, 1);
+        put(c.has_chosen, 1);
+        put(c.votes_unique, 4);
+        put(c.commits_unique, 4);
+        put(c.votes_missed, 4);
+        put(c.commits_missed, 4);
+        put(c.updates_gone, 3);
+        put(c.recorded, 1);
+        put(c.confirms_pending, 2);
+        put(c.confirm_counted, 1);
+      }
+      put(p.lock == kNoLock ? 7u : p.lock, 3);
+      put(p.crashed, 1);
+    }
+    for (const Request& q : s.requests) {
+      put(q.status, 2);
+      put(q.attempts, 3);
+    }
+    put(s.drops_used, 3);
+    put(s.dups_used, 3);
+    put(s.crashes_used, 3);
+  }
+
+  [[nodiscard]] State unpack(const std::uint64_t* in) const {
+    State s = initial();
+    std::size_t pos = 0;
+    const auto get = [&](std::size_t bits) -> std::uint8_t {
+      std::uint64_t v = in[pos / 64] >> (pos % 64);
+      if ((pos % 64) + bits > 64) {
+        v |= in[pos / 64 + 1] << (64 - pos % 64);
+      }
+      pos += bits;
+      return static_cast<std::uint8_t>(v & ((1u << bits) - 1));
+    };
+    for (Peer& p : s.peers) {
+      for (Cell& c : p.cells) {
+        c.update_received = get(1);
+        c.votes_received = get(4);
+        c.vote_sent = get(1);
+        c.commits_received = get(4);
+        c.commit_sent = get(1);
+        c.could_choose = get(1);
+        c.has_chosen = get(1);
+        c.votes_unique = get(4);
+        c.commits_unique = get(4);
+        c.votes_missed = get(4);
+        c.commits_missed = get(4);
+        c.updates_gone = get(3);
+        c.recorded = get(1);
+        c.confirms_pending = get(2);
+        c.confirm_counted = get(1);
+      }
+      const std::uint8_t lock = get(3);
+      p.lock = lock == 7 ? kNoLock : lock;
+      p.crashed = get(1);
+    }
+    for (Request& q : s.requests) {
+      q.status = get(2);
+      q.attempts = get(3);
+    }
+    s.drops_used = get(3);
+    s.dups_used = get(3);
+    s.crashes_used = get(3);
+    return s;
+  }
+
+ private:
+  [[nodiscard]] fsm::StateVector vec_of(const Cell& c) const {
+    fsm::StateVector v(7);
+    v[CommitModel::kUpdateReceived] = c.update_received;
+    v[CommitModel::kVotesReceived] = c.votes_received;
+    v[CommitModel::kVoteSent] = c.vote_sent;
+    v[CommitModel::kCommitsReceived] = c.commits_received;
+    v[CommitModel::kCommitSent] = c.commit_sent;
+    v[CommitModel::kCouldChoose] = c.could_choose;
+    v[CommitModel::kHasChosen] = c.has_chosen;
+    return v;
+  }
+  void cell_from(Cell& c, const fsm::StateVector& v) const {
+    c.update_received =
+        static_cast<std::uint8_t>(v[CommitModel::kUpdateReceived]);
+    c.votes_received =
+        static_cast<std::uint8_t>(v[CommitModel::kVotesReceived]);
+    c.vote_sent = static_cast<std::uint8_t>(v[CommitModel::kVoteSent]);
+    c.commits_received =
+        static_cast<std::uint8_t>(v[CommitModel::kCommitsReceived]);
+    c.commit_sent = static_cast<std::uint8_t>(v[CommitModel::kCommitSent]);
+    c.could_choose = static_cast<std::uint8_t>(v[CommitModel::kCouldChoose]);
+    c.has_chosen = static_cast<std::uint8_t>(v[CommitModel::kHasChosen]);
+  }
+
+  /// Deliver one abstract message to (j, u) and run the peer-local
+  /// cascade, mirroring CommitPeer::deliver/run_queue: internal
+  /// free/not_free deliveries are queued and drained iteratively.
+  void deliver(State& s, std::uint32_t j, std::uint32_t first_u,
+               fsm::MessageId first_msg, std::vector<Violation>& viols) {
+    std::deque<std::pair<std::uint32_t, fsm::MessageId>> queue;
+    queue.emplace_back(first_u, first_msg);
+    while (!queue.empty()) {
+      const auto [u, msg] = queue.front();
+      queue.pop_front();
+      Cell& c = s.peers[j].cells[u];
+      if (is_final(c)) continue;  // Finished instances absorb late traffic.
+      const auto reaction = model_.react(vec_of(c), msg);
+      if (!reaction.has_value()) continue;  // Machine rejects (duplicate).
+      cell_from(c, reaction->target);
+      execute_actions(s, j, u, reaction->actions, queue, viols);
+      check_finished(s, j, u, viols);
+    }
+  }
+
+  void execute_actions(State& s, std::uint32_t j, std::uint32_t u,
+                       const fsm::ActionList& actions,
+                       std::deque<std::pair<std::uint32_t, fsm::MessageId>>&
+                           queue,
+                       std::vector<Violation>& viols) {
+    Peer& p = s.peers[j];
+    for (const std::string& action : actions) {
+      if (action == commit::kActionCommit) {
+        // The commit just broadcast (the commit_sent bit) must be
+        // justified by ground truth, not by the machine's own counters:
+        // 2f+1 distinct votes (others' plus our own) or f+1 distinct
+        // commits — measured against the TRUE thresholds even when the
+        // machine was generated from weakened ones.
+        const Cell& c = p.cells[u];
+        const std::uint32_t votes = c.votes_unique + c.vote_sent;
+        if (votes < 2 * f_ + 1 && c.commits_unique < f_ + 1) {
+          viols.push_back(
+              {"quorum_justified",
+               "commit broadcast justified by only " +
+                   std::to_string(votes) + " distinct vote(s) and " +
+                   std::to_string(c.commits_unique) +
+                   " distinct commit(s); 2f+1=" + std::to_string(2 * f_ + 1) +
+                   " votes or f+1=" + std::to_string(f_ + 1) +
+                   " commits required"});
+        }
+      } else if (action == commit::kActionNotFree) {
+        p.lock = static_cast<std::uint8_t>(u);
+        for (std::uint32_t uu = 0; uu < opt_.requests; ++uu) {
+          if (uu == u || is_final(p.cells[uu])) continue;
+          queue.emplace_back(uu, commit::kNotFree);
+        }
+      } else if (action == commit::kActionFree) {
+        if (p.lock == u) p.lock = kNoLock;
+        free_siblings(s, j, u, queue, viols);
+      }
+      // kActionVote needs no bookkeeping: the broadcast is derived from
+      // the vote_sent bit the reaction already set.
+    }
+  }
+
+  /// Offer the freed node lock to unfinished siblings one at a time,
+  /// stopping as soon as one chooses (mirrors CommitPeer::free_siblings).
+  void free_siblings(State& s, std::uint32_t j, std::uint32_t source,
+                     std::deque<std::pair<std::uint32_t, fsm::MessageId>>&
+                         queue,
+                     std::vector<Violation>& viols) {
+    for (std::uint32_t u = 0; u < opt_.requests; ++u) {
+      if (u == source) continue;
+      if (s.peers[j].lock != kNoLock) break;  // Lock retaken.
+      Cell& c = s.peers[j].cells[u];
+      if (is_final(c)) continue;
+      const auto reaction = model_.react(vec_of(c), commit::kFree);
+      if (!reaction.has_value()) continue;
+      cell_from(c, reaction->target);
+      execute_actions(s, j, u, reaction->actions, queue, viols);
+      check_finished(s, j, u, viols);
+    }
+  }
+
+  /// Mirror of CommitPeer::check_finished: at finality, record the commit
+  /// (checking the agreement certificate), defensively release the lock,
+  /// and confirm to the client if this peer ever received the update.
+  /// Under comp.ack_before_record the confirmation leaves here but the
+  /// record becomes a separate, crash-preemptable transition.
+  void check_finished(State& s, std::uint32_t j, std::uint32_t u,
+                      std::vector<Violation>& viols) {
+    Cell& c = s.peers[j].cells[u];
+    if (!is_final(c) || c.recorded != 0) return;
+    if (mut_ == Mut::kAckBeforeRecord) {
+      if (c.update_received != 0 && c.confirms_pending < kConfirmCap) {
+        ++c.confirms_pending;
+      }
+      return;  // Recording deferred to an explicit kRecord transition.
+    }
+    do_record(s, j, u, viols);
+    if (c.update_received != 0 && c.confirms_pending < kConfirmCap) {
+      ++c.confirms_pending;
+    }
+  }
+
+  void do_record(State& s, std::uint32_t j, std::uint32_t u,
+                 std::vector<Violation>& viols) {
+    Cell& c = s.peers[j].cells[u];
+    // Distributed agreement, inductive form: every record must carry a
+    // certificate of f+1 DISTINCT commit senders, making it impossible
+    // for two honest peers to durably disagree while f members lie.
+    if (c.commits_unique < f_ + 1) {
+      viols.push_back(
+          {"agreement",
+           "update recorded with a certificate of only " +
+               std::to_string(c.commits_unique) +
+               " distinct commit sender(s); f+1=" + std::to_string(f_ + 1) +
+               " required"});
+    }
+    c.recorded = 1;
+    if (s.peers[j].lock == u) s.peers[j].lock = kNoLock;
+  }
+
+  CompositionOptions opt_;
+  Mut mut_;
+  CommitModel model_;
+  std::uint32_t f_;
+  std::uint32_t endpoint_quorum_;
+  std::uint32_t crash_budget_;
+  std::size_t absorbed_ = 0;
+};
+
+// ---- Trace export: de-canonicalized schedules with concrete senders. ----
+
+/// Re-executes a canonical-frame action path from the initial state,
+/// maintaining the permutation pi (canonical slot -> concrete peer) across
+/// re-canonicalizations, and materializes concrete message senders from
+/// the ground-truth broadcast bits.
+class Exporter {
+ public:
+  explicit Exporter(Engine& eng) : eng_(eng), canon_(eng.initial()) {
+    eng_.absorb(canon_);
+    concrete_ = canon_;
+    pi_.resize(eng_.options().r);
+    std::iota(pi_.begin(), pi_.end(), std::uint8_t{0});
+    eng_.canonicalize(canon_);  // Initial state is symmetric: pi stays id.
+    for (std::uint32_t u = 0; u < eng_.options().requests; ++u) {
+      ReplayStep step;
+      step.kind = ReplayStep::Kind::kSubmit;
+      step.request = u;
+      steps_.push_back(step);
+    }
+  }
+
+  void emit(std::uint64_t a) {
+    const Act t = act_type(a);
+    if (t == Act::kNoneSentinel) return;
+    const std::uint32_t u = act_update(a);
+    const std::uint32_t cj = t == Act::kRetry || t == Act::kFail
+                                 ? 0
+                                 : pi_[act_peer(a)];
+    append_step(t, cj, u);
+
+    // Advance the canonical state (recorded actions live in its frame)...
+    std::vector<Violation> sink;
+    eng_.apply(canon_, a, sink);
+    eng_.absorb(canon_);
+    const std::vector<std::uint8_t> sigma = eng_.canonicalize(canon_);
+    // ...and the concrete twin, with the action relabelled through pi.
+    const std::uint64_t concrete_a =
+        pack_act(t, t == Act::kRetry || t == Act::kFail ? 0 : cj, u);
+    eng_.apply(concrete_, concrete_a, sink);
+    eng_.absorb(concrete_);
+    // canonical'[k] = old_canonical[sigma[k]], so pi composes with sigma.
+    std::vector<std::uint8_t> next(pi_.size());
+    for (std::size_t k = 0; k < pi_.size(); ++k) next[k] = pi_[sigma[k]];
+    pi_ = std::move(next);
+  }
+
+  [[nodiscard]] std::vector<ReplayStep> steps() const { return steps_; }
+  [[nodiscard]] sim::FaultPlan faults() const { return faults_; }
+  [[nodiscard]] std::string last_step_text() const {
+    return steps_.empty() ? std::string("initial state")
+                          : steps_.back().serialize();
+  }
+
+ private:
+  void append_step(Act t, std::uint32_t cj, std::uint32_t u) {
+    ReplayStep step;
+    step.request = u;
+    switch (t) {
+      case Act::kDeliverUpdate:
+      case Act::kDropUpdate:
+        step.kind = t == Act::kDeliverUpdate ? ReplayStep::Kind::kDeliver
+                                             : ReplayStep::Kind::kDrop;
+        step.msg = commit::WireMessage::Kind::kUpdate;
+        step.from = ReplayStep::kEndpoint;
+        step.to = cj;
+        break;
+      case Act::kDeliverVote:
+      case Act::kDropVote:
+        step.kind = t == Act::kDeliverVote ? ReplayStep::Kind::kDeliver
+                                           : ReplayStep::Kind::kDrop;
+        step.msg = commit::WireMessage::Kind::kVote;
+        step.from = pick_sender(cj, u, /*votes=*/true,
+                                t == Act::kDropVote);
+        step.to = cj;
+        break;
+      case Act::kDeliverCommit:
+      case Act::kDropCommit:
+        step.kind = t == Act::kDeliverCommit ? ReplayStep::Kind::kDeliver
+                                             : ReplayStep::Kind::kDrop;
+        step.msg = commit::WireMessage::Kind::kCommit;
+        step.from = pick_sender(cj, u, /*votes=*/false,
+                                t == Act::kDropCommit);
+        step.to = cj;
+        break;
+      case Act::kDupVote:
+      case Act::kDupCommit: {
+        step.kind = ReplayStep::Kind::kDup;
+        step.msg = t == Act::kDupVote ? commit::WireMessage::Kind::kVote
+                                      : commit::WireMessage::Kind::kCommit;
+        const auto& used = used_[key(cj, u, t == Act::kDupVote)];
+        step.from = used.empty() ? 0 : *used.begin();
+        step.to = cj;
+        break;
+      }
+      case Act::kDeliverConfirm:
+      case Act::kDropConfirm:
+        step.kind = t == Act::kDeliverConfirm ? ReplayStep::Kind::kDeliver
+                                              : ReplayStep::Kind::kDrop;
+        step.msg = commit::WireMessage::Kind::kCommitted;
+        step.from = cj;
+        step.to = ReplayStep::kEndpoint;
+        break;
+      case Act::kCrash: {
+        step.kind = ReplayStep::Kind::kCrash;
+        step.peer = cj;
+        sim::FaultEvent event;
+        event.at = static_cast<sim::Time>(steps_.size());
+        event.kind = sim::FaultEvent::Kind::kCrash;
+        event.node = cj;
+        faults_.add(event);
+        break;
+      }
+      case Act::kRetry:
+        step.kind = ReplayStep::Kind::kRetry;
+        break;
+      case Act::kFail:
+        step.kind = ReplayStep::Kind::kFail;
+        break;
+      case Act::kRecord:
+        step.kind = ReplayStep::Kind::kRecord;
+        step.peer = cj;
+        break;
+      case Act::kNoneSentinel:
+        break;
+    }
+    steps_.push_back(step);
+  }
+
+  /// Materialize a concrete sender for a delivery/drop to concrete peer
+  /// cj: any peer whose broadcast bit is set and whose copy was not yet
+  /// consumed or dropped along this schedule. The model's in-flight > 0
+  /// precondition guarantees one exists.
+  std::uint32_t pick_sender(std::uint32_t cj, std::uint32_t u, bool votes,
+                            bool dropping) {
+    auto& used = used_[key(cj, u, votes)];
+    auto& dropped = dropped_[key(cj, u, votes)];
+    for (std::uint32_t q = 0; q < eng_.options().r; ++q) {
+      if (q == cj) continue;
+      const Cell& cell = concrete_.peers[q].cells[u];
+      const bool sent = votes ? cell.vote_sent != 0 : cell.commit_sent != 0;
+      if (!sent || used.contains(q) || dropped.contains(q)) continue;
+      (dropping ? dropped : used).insert(q);
+      return q;
+    }
+    return 0;  // Unreachable for well-formed traces.
+  }
+
+  static std::uint64_t key(std::uint32_t j, std::uint32_t u, bool votes) {
+    return (static_cast<std::uint64_t>(j) << 32) | (u << 1) |
+           (votes ? 1 : 0);
+  }
+
+  Engine& eng_;
+  State canon_;
+  State concrete_;
+  std::vector<std::uint8_t> pi_;
+  std::vector<ReplayStep> steps_;
+  sim::FaultPlan faults_;
+  std::map<std::uint64_t, std::set<std::uint32_t>> used_;
+  std::map<std::uint64_t, std::set<std::uint32_t>> dropped_;
+};
+
+struct PendingFinding {
+  std::uint32_t parent = 0;      // State index the trace leads to.
+  std::uint64_t action = 0;      // Final action (kNoneSentinel for none).
+  std::string message;
+};
+
+}  // namespace
+
+const std::vector<std::string>& composition_mutations() {
+  static const std::vector<std::string> kMutations = {
+      "comp.weak_quorum", "comp.ack_before_record", "comp.dup_vote",
+      "comp.drop_retry", "comp.weak_ack"};
+  return kMutations;
+}
+
+CompositionResult check_composition(const CompositionOptions& options) {
+  Engine eng(options);
+  CompositionResult result;
+  result.checks_run = 6;  // agreement, validity, quorum_justified,
+                          // ack_quorum, ack_durable, termination.
+
+  const std::size_t stride = eng.stride();
+  std::vector<std::uint64_t> arena;   // stride words per canonical state.
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint64_t> via;     // Action that reached the state.
+
+  const auto hash_at = [&](std::uint32_t i) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t w = 0; w < stride; ++w) {
+      h ^= arena[static_cast<std::size_t>(i) * stride + w];
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  };
+  const auto eq_at = [&](std::uint32_t a, std::uint32_t b) {
+    return std::memcmp(&arena[static_cast<std::size_t>(a) * stride],
+                       &arena[static_cast<std::size_t>(b) * stride],
+                       stride * sizeof(std::uint64_t)) == 0;
+  };
+  std::unordered_set<std::uint32_t, decltype(hash_at), decltype(eq_at)>
+      seen(1 << 16, hash_at, eq_at);
+
+  // Intern the (already canonical, absorbed) state; returns (index, fresh).
+  const auto intern = [&](const State& s, std::uint32_t from,
+                          std::uint64_t action) {
+    const std::uint32_t idx = static_cast<std::uint32_t>(parent.size());
+    arena.resize(arena.size() + stride);
+    eng.pack(s, &arena[static_cast<std::size_t>(idx) * stride]);
+    parent.push_back(from);
+    via.push_back(action);
+    const auto [it, fresh] = seen.insert(idx);
+    if (!fresh) {
+      arena.resize(arena.size() - stride);
+      parent.pop_back();
+      via.pop_back();
+      return std::pair<std::uint32_t, bool>{*it, false};
+    }
+    return std::pair<std::uint32_t, bool>{idx, true};
+  };
+
+  State root = eng.initial();
+  eng.absorb(root);
+  eng.canonicalize(root);
+  intern(root, 0, pack_act(Act::kNoneSentinel));
+
+  // First finding per check id, in a fixed report order.
+  std::map<std::string, PendingFinding> found;
+  const bool stop_on_first = !options.mutation.empty();
+
+  std::vector<std::uint64_t> actions;
+  std::uint32_t head = 0;
+  bool truncated = false;
+  while (head < parent.size()) {
+    if (stop_on_first && !found.empty()) break;
+    if (parent.size() > options.max_states) {
+      truncated = true;
+      break;
+    }
+    const std::uint32_t index = head++;
+    const State current =
+        eng.unpack(&arena[static_cast<std::size_t>(index) * stride]);
+    eng.enumerate(current, actions);
+
+    if (actions.empty()) {
+      // Exact deadlock detection: termination-under-fair-delivery fails
+      // iff an unresolved request exists in a state with no enabled
+      // transition (retry/fail otherwise always provides one).
+      bool active = false;
+      for (const Request& q : current.requests) {
+        active |= q.status == kActive;
+      }
+      if (active && !found.contains("termination")) {
+        found.emplace(
+            "termination",
+            PendingFinding{index, pack_act(Act::kNoneSentinel),
+                           "deadlock: an unresolved request exists but no "
+                           "message, endpoint or fault transition is "
+                           "enabled"});
+      }
+      continue;
+    }
+
+    for (const std::uint64_t a : actions) {
+      State next = current;
+      std::vector<Violation> viols;
+      eng.apply(next, a, viols);
+      eng.absorb(next);
+      if (options.net_bound != 0 &&
+          eng.total_inflight(next) > options.net_bound) {
+        continue;  // Documented under-approximation: prune over-bound states.
+      }
+      ++result.stats.transitions;
+      for (const Violation& v : viols) {
+        found.emplace(v.check, PendingFinding{index, a, v.message});
+      }
+      eng.canonicalize(next);
+      intern(next, index, a);
+    }
+  }
+  result.stats.states = parent.size();
+  result.stats.absorbed = eng.absorbed();
+  // Stopping at the first finding of a mutated run is intentional, not a
+  // truncation: only the max_states cap makes the verdict incomplete.
+  result.stats.complete = !truncated;
+
+  // ---- Render findings (fixed order) with de-canonicalized schedules. ----
+  const std::string machine_label =
+      "protocol_r" + std::to_string(options.r) +
+      (options.mutation.empty() ? "" : "+" + options.mutation);
+  const char* order[] = {"agreement",      "validity",   "quorum_justified",
+                         "ack_quorum",     "ack_durable", "termination"};
+  for (const char* check : order) {
+    const auto it = found.find(check);
+    if (it == found.end()) continue;
+    const PendingFinding& pf = it->second;
+
+    std::vector<std::uint64_t> path;
+    for (std::uint32_t v = pf.parent; v != 0; v = parent[v]) {
+      path.push_back(via[v]);
+    }
+    std::reverse(path.begin(), path.end());
+    if (act_type(pf.action) != Act::kNoneSentinel) {
+      path.push_back(pf.action);
+    }
+
+    Exporter exporter(eng);
+    for (const std::uint64_t a : path) exporter.emit(a);
+
+    ReplayPlan plan;
+    plan.r = options.r;
+    plan.f = eng.f();
+    plan.requests = options.requests;
+    plan.attempts = options.attempts;
+    plan.mutation = options.mutation;
+    plan.check = std::string("composition.") + check;
+    plan.detail = pf.message;
+    plan.faults = exporter.faults();
+    plan.schedule = exporter.steps();
+
+    Finding finding;
+    finding.check = plan.check;
+    finding.machine = machine_label;
+    finding.location = "after " + exporter.last_step_text() + " (step " +
+                       std::to_string(plan.schedule.size()) + ")";
+    finding.message = pf.message;
+    for (const ReplayStep& step : plan.schedule) {
+      finding.schedule.push_back(step.serialize());
+    }
+    result.findings.push_back(std::move(finding));
+    result.plans.push_back(std::move(plan));
+  }
+
+  if (truncated) {
+    Finding finding;
+    finding.check = "composition.state_bound";
+    finding.machine = machine_label;
+    finding.location = "exploration";
+    finding.message = "state space exceeded max_states=" +
+                      std::to_string(options.max_states) +
+                      "; composition NOT verified";
+    result.findings.push_back(std::move(finding));
+    result.plans.emplace_back();
+  }
+  return result;
+}
+
+std::size_t preferred_replay(const CompositionResult& result) {
+  const char* priority[] = {
+      "composition.agreement",  "composition.ack_durable",
+      "composition.ack_quorum", "composition.quorum_justified",
+      "composition.validity",   "composition.termination"};
+  for (const char* check : priority) {
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+      if (result.findings[i].check == check &&
+          !result.plans[i].schedule.empty()) {
+        return i;
+      }
+    }
+  }
+  return result.findings.size();
+}
+
+MutationReport run_composition_mutation_self_test(
+    const CompositionOptions& base) {
+  static const std::map<std::string, std::string> kDescriptions = {
+      {"comp.weak_quorum",
+       "peer machines generated with vote threshold 1 instead of 2f+1"},
+      {"comp.ack_before_record",
+       "peers confirm to the client before recording the commit"},
+      {"comp.dup_vote",
+       "peers count duplicate votes/commits from one member (dedup "
+       "removed)"},
+      {"comp.drop_retry",
+       "endpoint timeout/retry scheme removed (no retry, no failure "
+       "report)"},
+      {"comp.weak_ack",
+       "endpoint acknowledges after f confirmations instead of f+1"},
+  };
+  MutationReport report;
+  for (const std::string& name : composition_mutations()) {
+    CompositionOptions options = base;
+    options.mutation = name;
+    const CompositionResult result = check_composition(options);
+    MutationOutcome outcome;
+    outcome.name = name;
+    outcome.description = kDescriptions.at(name);
+    for (const Finding& f : result.findings) {
+      if (f.check != "composition.state_bound") {
+        outcome.detected = true;
+        outcome.finding = to_string(f);
+        break;
+      }
+    }
+    report.outcomes.push_back(outcome);
+  }
+  return report;
+}
+
+}  // namespace asa_repro::check

@@ -20,7 +20,8 @@ std::string to_string(const Finding& finding) {
 
 std::string write_findings_json(const Findings& findings,
                                 const obs::Meta& meta,
-                                std::size_t checks_run) {
+                                std::size_t checks_run,
+                                const std::vector<GroupTiming>& timings) {
   obs::JsonValue root = obs::JsonValue::object();
   root.set("schema", obs::JsonValue("asa-findings/1"));
   obs::JsonValue meta_obj = obs::JsonValue::object();
@@ -34,6 +35,20 @@ std::string write_findings_json(const Findings& findings,
   summary.set("findings",
               obs::JsonValue(static_cast<std::uint64_t>(findings.size())));
   root.set("summary", std::move(summary));
+  if (!timings.empty()) {
+    // Wall-clock measurements: real output varies run to run, so byte
+    // comparisons must strip this section (the "clock":"wall" label marks
+    // it).
+    obs::JsonValue timing_list = obs::JsonValue::array();
+    for (const GroupTiming& t : timings) {
+      obs::JsonValue entry = obs::JsonValue::object();
+      entry.set("group", obs::JsonValue(t.group));
+      entry.set("ms", obs::JsonValue(t.ms));
+      entry.set("clock", obs::JsonValue("wall"));
+      timing_list.push_back(std::move(entry));
+    }
+    root.set("timings", std::move(timing_list));
+  }
   obs::JsonValue list = obs::JsonValue::array();
   for (const Finding& f : findings) {
     obs::JsonValue entry = obs::JsonValue::object();
@@ -44,6 +59,13 @@ std::string write_findings_json(const Findings& findings,
     obs::JsonValue trace = obs::JsonValue::array();
     for (const std::string& m : f.trace) trace.push_back(obs::JsonValue(m));
     entry.set("trace", std::move(trace));
+    if (!f.schedule.empty()) {
+      obs::JsonValue schedule = obs::JsonValue::array();
+      for (const std::string& s : f.schedule) {
+        schedule.push_back(obs::JsonValue(s));
+      }
+      entry.set("schedule", std::move(schedule));
+    }
     list.push_back(std::move(entry));
   }
   root.set("findings", std::move(list));

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,6 +40,11 @@ struct Finding {
   std::string message;   // What went wrong.
   std::vector<std::string> trace;  // Counterexample message names, if any.
 
+  // Composition findings only: the full counterexample interleaving, one
+  // asa-replay/1 schedule step per line (see commit/replay.hpp). Serialized
+  // as a "schedule" array when non-empty.
+  std::vector<std::string> schedule;
+
   // Diagram hooks: indices into the offending machine, consumed by the
   // DOT/Mermaid highlight options. Not serialized (names in `location`
   // carry the information across processes).
@@ -48,16 +54,28 @@ struct Finding {
 
 using Findings = std::vector<Finding>;
 
+/// Wall-clock runtime of one analysis group. Timings exist so CI can spot
+/// state-space blowups before they become timeouts; they are measured on
+/// the wall clock (labelled `"clock":"wall"` in the JSON) and MUST be
+/// excluded from byte-identity comparisons of findings documents.
+struct GroupTiming {
+  std::string group;      // e.g. "structural", "composition".
+  std::uint64_t ms = 0;   // Elapsed wall-clock milliseconds.
+};
+
 /// One-line rendering: "check machine location: message [trace: ...]".
 [[nodiscard]] std::string to_string(const Finding& finding);
 
 /// Serialize as one asa-findings/1 JSON document:
 ///   {"schema":"asa-findings/1","meta":{...},
 ///    "summary":{"checks_run":N,"findings":K},
-///    "findings":[{"check","machine","location","message","trace":[...]}]}
-/// Deterministic: members in fixed order, findings in vector order.
-[[nodiscard]] std::string write_findings_json(const Findings& findings,
-                                              const obs::Meta& meta,
-                                              std::size_t checks_run);
+///    "timings":[{"group","ms","clock":"wall"}],   (when provided)
+///    "findings":[{"check","machine","location","message","trace":[...],
+///                 "schedule":[...]}]}              (schedule when present)
+/// Deterministic apart from the timings section, which carries wall-clock
+/// measurements and is emitted only when `timings` is non-empty.
+[[nodiscard]] std::string write_findings_json(
+    const Findings& findings, const obs::Meta& meta, std::size_t checks_run,
+    const std::vector<GroupTiming>& timings = {});
 
 }  // namespace asa_repro::check

@@ -138,10 +138,24 @@ std::string count_phrase(std::uint32_t n, const char* singular,
 }  // namespace
 
 CommitModel::CommitModel(std::uint32_t replication_factor)
-    : r_(replication_factor), f_((replication_factor - 1) / 3) {
+    : CommitModel(replication_factor,
+                  Thresholds{2 * ((replication_factor - 1) / 3) + 1,
+                             (replication_factor - 1) / 3 + 1}) {}
+
+CommitModel::CommitModel(std::uint32_t replication_factor,
+                         Thresholds thresholds)
+    : r_(replication_factor),
+      f_((replication_factor - 1) / 3),
+      vote_threshold_(thresholds.vote),
+      commit_threshold_(thresholds.commit) {
   if (replication_factor < 2) {
     throw std::invalid_argument(
         "CommitModel: replication factor must be at least 2");
+  }
+  if (thresholds.vote < 1 || thresholds.vote > r_ - 1 ||
+      thresholds.commit < 1 || thresholds.commit > r_ - 1) {
+    throw std::invalid_argument(
+        "CommitModel: thresholds must be in [1, r-1]");
   }
   // Component order follows the Fig 14 state-name encoding
   // (update_received / votes_received / vote_sent / commits_received /

@@ -50,6 +50,15 @@ inline constexpr const char* kActionCommit = "commit";
 inline constexpr const char* kActionFree = "free";
 inline constexpr const char* kActionNotFree = "not_free";
 
+/// Explicit phase-transition thresholds, overriding the derived 2f+1 /
+/// f+1 defaults. Only the composition checker's mutation self-test uses
+/// this: generating a machine from deliberately weakened thresholds is how
+/// `comp.weak_quorum` plants a bug that per-machine checks cannot see.
+struct Thresholds {
+  std::uint32_t vote = 0;    // Total votes (sent + received) to commit.
+  std::uint32_t commit = 0;  // Received commits to finish.
+};
+
 /// The abstract model, parameterised by the replication factor (paper:
 /// `new AbstractModel().generateStateMachine(replication_factor)`).
 class CommitModel : public fsm::AbstractModel {
@@ -58,17 +67,26 @@ class CommitModel : public fsm::AbstractModel {
   /// r >= 3f+1, i.e. r >= 4 for f = 1.
   explicit CommitModel(std::uint32_t replication_factor);
 
+  /// As above, but with explicit thresholds instead of the derived 2f+1 /
+  /// f+1. Both must be in [1, r-1] so the counter components stay in range.
+  CommitModel(std::uint32_t replication_factor, Thresholds thresholds);
+
   [[nodiscard]] std::uint32_t replication_factor() const { return r_; }
 
   /// Maximum number of tolerated Byzantine members: floor((r-1)/3).
   [[nodiscard]] std::uint32_t max_faulty() const { return f_; }
 
   /// Total votes (sent and received) that trigger the voting phase
-  /// transition: 2f+1.
-  [[nodiscard]] std::uint32_t vote_threshold() const { return 2 * f_ + 1; }
+  /// transition: 2f+1 unless overridden.
+  [[nodiscard]] std::uint32_t vote_threshold() const {
+    return vote_threshold_;
+  }
 
-  /// Received commits that send our commit and finish the machine: f+1.
-  [[nodiscard]] std::uint32_t commit_threshold() const { return f_ + 1; }
+  /// Received commits that send our commit and finish the machine: f+1
+  /// unless overridden.
+  [[nodiscard]] std::uint32_t commit_threshold() const {
+    return commit_threshold_;
+  }
 
   // ---- AbstractModel interface. ----
   [[nodiscard]] fsm::StateVector start_state() const override;
@@ -105,6 +123,8 @@ class CommitModel : public fsm::AbstractModel {
 
   std::uint32_t r_;
   std::uint32_t f_;
+  std::uint32_t vote_threshold_;
+  std::uint32_t commit_threshold_;
 };
 
 }  // namespace asa_repro::commit

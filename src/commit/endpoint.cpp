@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "commit/endpoint_model.hpp"
+
 namespace asa_repro::commit {
 
 CommitEndpoint::CommitEndpoint(sim::Network& network, sim::NodeAddr self,
@@ -11,7 +13,7 @@ CommitEndpoint::CommitEndpoint(sim::Network& network, sim::NodeAddr self,
     : network_(network),
       self_(self),
       peers_(std::move(peers)),
-      quorum_(f + 1),
+      quorum_(EndpointAbstraction::deployed(f, policy).quorum),
       policy_(policy),
       rng_(rng),
       // Partition the request-id space by endpoint address so concurrent

@@ -89,6 +89,10 @@ class CommitEndpoint {
   [[nodiscard]] const EndpointStats& stats() const { return stats_; }
   [[nodiscard]] sim::NodeAddr address() const { return self_; }
 
+  /// Distinct confirmations required to acknowledge a commit (f+1 via
+  /// EndpointAbstraction::deployed).
+  [[nodiscard]] std::uint32_t quorum() const { return quorum_; }
+
   /// Attach a metrics registry: end-to-end commit latency and per-request
   /// attempt histograms, per-GUID retry counters. nullptr disables.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }

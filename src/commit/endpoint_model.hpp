@@ -1,0 +1,37 @@
+// The endpoint's abstract commit rule, extracted from CommitEndpoint so
+// that the composition model checker (src/check/composition.cpp) and the
+// deployed endpoint share one definition of "when is a submitted update
+// acknowledged, retried, or abandoned". The checker explores exactly this
+// abstraction — quorum counting over distinct confirmations plus a bounded
+// attempt budget — so a change to either constant here is a change to the
+// checked protocol, not just to runtime behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "commit/endpoint.hpp"
+
+namespace asa_repro::commit {
+
+struct EndpointAbstraction {
+  /// Distinct peer confirmations of the current attempt required before
+  /// the client callback reports success (paper section 2.2: f+1 members
+  /// must agree before a result is trusted).
+  std::uint32_t quorum = 1;
+
+  /// Attempts (initial send plus retries) before the endpoint gives up and
+  /// reports failure.
+  std::uint32_t max_attempts = 1;
+
+  /// The deployed endpoint's abstraction for a peer set tolerating `f`
+  /// faulty members under `policy`. Backoff delays and server ordering are
+  /// deliberately absent: under nondeterministic delivery they only affect
+  /// which interleavings are likely, not which are possible, so the
+  /// checker quantifies over all of them.
+  [[nodiscard]] static EndpointAbstraction deployed(std::uint32_t f,
+                                                    const RetryPolicy& policy) {
+    return {f + 1, policy.max_attempts};
+  }
+};
+
+}  // namespace asa_repro::commit

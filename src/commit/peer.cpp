@@ -230,7 +230,8 @@ void CommitPeer::handle_honest(sim::NodeAddr from, const WireMessage& msg) {
     case WireMessage::Kind::kVote: {
       ++stats_.votes_received;
       Instance& inst = instance(ctx, msg.guid, msg.update_id, msg);
-      if (from == self_ || !inst.voters.insert(from).second) {
+      if ((hardening_.drop_self && from == self_) ||
+          (!inst.voters.insert(from).second && hardening_.dedup_protocol)) {
         ++stats_.duplicates_dropped;  // One vote per member per update.
         break;
       }
@@ -240,7 +241,9 @@ void CommitPeer::handle_honest(sim::NodeAddr from, const WireMessage& msg) {
     case WireMessage::Kind::kCommit: {
       ++stats_.commits_received;
       Instance& inst = instance(ctx, msg.guid, msg.update_id, msg);
-      if (from == self_ || !inst.committers.insert(from).second) {
+      if ((hardening_.drop_self && from == self_) ||
+          (!inst.committers.insert(from).second &&
+           hardening_.dedup_protocol)) {
         ++stats_.duplicates_dropped;
         break;
       }

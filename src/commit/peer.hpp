@@ -42,6 +42,16 @@ enum class Behaviour {
                  // the lower half of the address order (splits the view).
 };
 
+/// Defensive input filtering an honest peer applies to protocol traffic.
+/// Both guards are on in deployment; the composition mutation self-test
+/// switches them off (`comp.dup_vote`) to prove the composed checker —
+/// and only the composed checker — notices a peer that counts the same
+/// member's vote or commit twice.
+struct PeerHardening {
+  bool dedup_protocol = true;  // One vote/commit per member per update.
+  bool drop_self = true;       // Ignore our own broadcast echoes.
+};
+
 /// Per-peer statistics, for benches and assertions.
 struct PeerStats {
   std::uint64_t updates_received = 0;
@@ -96,6 +106,11 @@ class CommitPeer {
   /// recorded, aborted, sink-vetoed) with their guid/update/request causal
   /// ids land in this node's ring lane. nullptr (default) disables.
   void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
+  /// Weaken or restore the honest peer's input filtering (default: fully
+  /// hardened). Only the composition replay harness uses non-default
+  /// values, to mirror mutations the model checker injects.
+  void set_hardening(PeerHardening hardening) { hardening_ = hardening; }
 
   /// Replace how machine instances execute (paper section 4.3): by default
   /// new instances interpret the shared generated StateMachine; a custom
@@ -246,6 +261,7 @@ class CommitPeer {
   const fsm::StateMachine& machine_;
   DriverFactory driver_factory_;
   Behaviour behaviour_;
+  PeerHardening hardening_;
   sim::Trace* trace_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::SpanRecorder* spans_ = nullptr;

@@ -1,0 +1,589 @@
+#include "commit/replay.hpp"
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "commit/commit_model.hpp"
+#include "commit/endpoint.hpp"
+#include "commit/peer.hpp"
+#include "core/state_machine.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace asa_repro::commit {
+
+namespace {
+
+constexpr sim::NodeAddr kEndpointAddr = 1000;
+
+const char* wire_kind_name(WireMessage::Kind kind) {
+  switch (kind) {
+    case WireMessage::Kind::kUpdate: return "update";
+    case WireMessage::Kind::kVote: return "vote";
+    case WireMessage::Kind::kCommit: return "commit";
+    case WireMessage::Kind::kCommitted: return "committed";
+  }
+  return "?";
+}
+
+std::optional<WireMessage::Kind> wire_kind_from(const std::string& name) {
+  if (name == "update") return WireMessage::Kind::kUpdate;
+  if (name == "vote") return WireMessage::Kind::kVote;
+  if (name == "commit") return WireMessage::Kind::kCommit;
+  if (name == "committed") return WireMessage::Kind::kCommitted;
+  return std::nullopt;
+}
+
+std::string participant(std::uint32_t idx) {
+  return idx == ReplayStep::kEndpoint ? std::string("e")
+                                      : std::to_string(idx);
+}
+
+std::optional<std::uint32_t> parse_participant(const std::string& text) {
+  if (text == "e") return ReplayStep::kEndpoint;
+  if (text.empty()) return std::nullopt;
+  std::uint32_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint32_t digit = static_cast<std::uint32_t>(c - '0');
+    if (value > (0xFFFF'FFFFu - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// The model's payload for request index j; fixed so a replayed run is
+/// deterministic and violations can name concrete conflicting values.
+std::uint64_t payload_of(std::uint32_t request) { return 1000 + request; }
+
+}  // namespace
+
+std::string ReplayStep::serialize() const {
+  switch (kind) {
+    case Kind::kSubmit: return "submit req=" + std::to_string(request);
+    case Kind::kRetry: return "retry req=" + std::to_string(request);
+    case Kind::kFail: return "fail req=" + std::to_string(request);
+    case Kind::kDeliver:
+    case Kind::kDup:
+    case Kind::kDrop: {
+      const char* word = kind == Kind::kDeliver ? "deliver"
+                         : kind == Kind::kDup   ? "dup"
+                                                : "drop";
+      return std::string(word) + " " + wire_kind_name(msg) +
+             " from=" + participant(from) + " to=" + participant(to) +
+             " req=" + std::to_string(request);
+    }
+    case Kind::kCrash: return "crash peer=" + std::to_string(peer);
+    case Kind::kRecord:
+      return "record peer=" + std::to_string(peer) +
+             " req=" + std::to_string(request);
+  }
+  return "?";
+}
+
+std::optional<ReplayStep> ReplayStep::parse(const std::string& line) {
+  std::istringstream in(line);
+  std::string word;
+  if (!(in >> word)) return std::nullopt;
+
+  ReplayStep step;
+  if (word == "submit") {
+    step.kind = Kind::kSubmit;
+  } else if (word == "retry") {
+    step.kind = Kind::kRetry;
+  } else if (word == "fail") {
+    step.kind = Kind::kFail;
+  } else if (word == "deliver") {
+    step.kind = Kind::kDeliver;
+  } else if (word == "dup") {
+    step.kind = Kind::kDup;
+  } else if (word == "drop") {
+    step.kind = Kind::kDrop;
+  } else if (word == "crash") {
+    step.kind = Kind::kCrash;
+  } else if (word == "record") {
+    step.kind = Kind::kRecord;
+  } else {
+    return std::nullopt;
+  }
+
+  if (step.kind == Kind::kDeliver || step.kind == Kind::kDup ||
+      step.kind == Kind::kDrop) {
+    std::string kind_name;
+    if (!(in >> kind_name)) return std::nullopt;
+    const auto msg = wire_kind_from(kind_name);
+    if (!msg.has_value()) return std::nullopt;
+    step.msg = *msg;
+  }
+
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const auto value = parse_participant(token.substr(eq + 1));
+    if (!value.has_value()) return std::nullopt;
+    if (key == "from") {
+      step.from = *value;
+    } else if (key == "to") {
+      step.to = *value;
+    } else if (key == "req") {
+      step.request = *value;
+    } else if (key == "peer") {
+      step.peer = *value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return step;
+}
+
+std::string ReplayPlan::serialize() const {
+  std::string out = "asa-replay/1\n";
+  out += "protocol r=" + std::to_string(r) + " f=" + std::to_string(f) +
+         " requests=" + std::to_string(requests) +
+         " attempts=" + std::to_string(attempts) +
+         " guid=" + std::to_string(guid) + "\n";
+  out += "mutation " + (mutation.empty() ? std::string("none") : mutation) +
+         "\n";
+  out += "check " + check + "\n";
+  if (!detail.empty()) out += "detail " + detail + "\n";
+  out += "plan\n";
+  out += faults.serialize();
+  out += "endplan\n";
+  out += "schedule\n";
+  for (const ReplayStep& step : schedule) {
+    out += step.serialize();
+    out += '\n';
+  }
+  out += "endschedule\n";
+  return out;
+}
+
+std::optional<ReplayPlan> ReplayPlan::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "asa-replay/1") return std::nullopt;
+
+  ReplayPlan plan;
+  bool saw_protocol = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string word;
+    fields >> word;
+    if (word == "protocol") {
+      std::string token;
+      while (fields >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) return std::nullopt;
+        const std::string key = token.substr(0, eq);
+        const auto value = parse_participant(token.substr(eq + 1));
+        if (!value.has_value() || *value == ReplayStep::kEndpoint) {
+          return std::nullopt;
+        }
+        if (key == "r") {
+          plan.r = *value;
+        } else if (key == "f") {
+          plan.f = *value;
+        } else if (key == "requests") {
+          plan.requests = *value;
+        } else if (key == "attempts") {
+          plan.attempts = *value;
+        } else if (key == "guid") {
+          plan.guid = *value;
+        } else {
+          return std::nullopt;
+        }
+      }
+      saw_protocol = true;
+    } else if (word == "mutation") {
+      std::string name;
+      fields >> name;
+      plan.mutation = name == "none" ? std::string() : name;
+    } else if (word == "check") {
+      fields >> plan.check;
+    } else if (word == "detail") {
+      std::string rest;
+      std::getline(fields, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      plan.detail = rest;
+    } else if (word == "plan") {
+      std::string body;
+      while (std::getline(in, line) && line != "endplan") {
+        body += line;
+        body += '\n';
+      }
+      if (line != "endplan") return std::nullopt;
+      const auto faults = sim::FaultPlan::parse(body);
+      if (!faults.has_value()) return std::nullopt;
+      plan.faults = *faults;
+    } else if (word == "schedule") {
+      while (std::getline(in, line) && line != "endschedule") {
+        if (line.empty() || line[0] == '#') continue;
+        const auto step = ReplayStep::parse(line);
+        if (!step.has_value()) return std::nullopt;
+        plan.schedule.push_back(*step);
+      }
+      if (line != "endschedule") return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_protocol) return std::nullopt;
+  return plan;
+}
+
+namespace {
+
+/// One concrete delivery that reached a handler during the replay.
+struct Delivered {
+  std::uint32_t from = 0;  // Model index; ReplayStep::kEndpoint for client.
+  std::uint32_t to = 0;
+  WireMessage msg;
+  std::string frame;
+};
+
+sim::NodeAddr addr_of(std::uint32_t idx) {
+  return idx == ReplayStep::kEndpoint ? kEndpointAddr
+                                      : static_cast<sim::NodeAddr>(idx + 1);
+}
+
+ReplayOutcome unsupported(std::string why) {
+  ReplayOutcome out;
+  out.supported = false;
+  out.reproduced = false;
+  out.description = std::move(why);
+  return out;
+}
+
+ReplayOutcome diverged(std::size_t index, const ReplayStep& step,
+                       const std::string& why) {
+  ReplayOutcome out;
+  out.reproduced = false;
+  out.description = "schedule diverged at step " + std::to_string(index) +
+                    " (" + step.serialize() + "): " + why;
+  return out;
+}
+
+}  // namespace
+
+ReplayOutcome run_replay(const ReplayPlan& plan, std::ostream* log) {
+  // Mutations without a deployable twin: the model decouples recording
+  // from the commit decision, or suppresses endpoint transitions — neither
+  // corresponds to a configuration of the real runtime.
+  if (plan.mutation == "comp.ack_before_record" ||
+      plan.mutation == "comp.drop_retry") {
+    return unsupported("mutation " + plan.mutation +
+                       " has no concrete-runtime twin; replay is "
+                       "model-only");
+  }
+  const bool weak_quorum = plan.mutation == "comp.weak_quorum";
+  const bool dup_vote = plan.mutation == "comp.dup_vote";
+  const bool weak_ack = plan.mutation == "comp.weak_ack";
+  if (!plan.mutation.empty() && !weak_quorum && !dup_vote && !weak_ack) {
+    return unsupported("unknown mutation " + plan.mutation);
+  }
+  if (weak_ack && plan.f == 0) {
+    return unsupported("comp.weak_ack requires f >= 1");
+  }
+  const bool check_agreement = plan.check == "composition.agreement";
+  const bool check_quorum = plan.check == "composition.quorum_justified";
+  const bool check_ack = plan.check == "composition.ack_quorum";
+  if (!check_agreement && !check_quorum && !check_ack) {
+    return unsupported("check " + plan.check +
+                       " has no concrete-runtime verifier");
+  }
+  for (const ReplayStep& step : plan.schedule) {
+    if (step.kind == ReplayStep::Kind::kRecord) {
+      return unsupported(
+          "explicit record steps only exist under model-only mutations");
+    }
+  }
+
+  // ---- Build the concrete system the plan describes. ----
+  sim::Scheduler sched;
+  sim::Network net(sched, sim::Rng(1));
+  net.set_manual_mode(true);
+
+  const CommitModel model =
+      weak_quorum ? CommitModel(plan.r, Thresholds{1, plan.f + 1})
+                  : CommitModel(plan.r);
+  const fsm::StateMachine machine = model.generate_state_machine();
+
+  std::vector<sim::NodeAddr> addrs;
+  addrs.reserve(plan.r);
+  for (std::uint32_t j = 0; j < plan.r; ++j) addrs.push_back(addr_of(j));
+
+  std::vector<std::unique_ptr<CommitPeer>> peers;
+  peers.reserve(plan.r);
+  for (std::uint32_t j = 0; j < plan.r; ++j) {
+    peers.push_back(
+        std::make_unique<CommitPeer>(net, addr_of(j), addrs, machine));
+    if (dup_vote) {
+      peers.back()->set_hardening({/*dedup_protocol=*/false,
+                                   /*drop_self=*/true});
+    }
+  }
+
+  RetryPolicy policy;
+  policy.backoff = RetryPolicy::Backoff::kFixed;
+  policy.order = RetryPolicy::ServerOrder::kFixed;
+  policy.base_timeout = 1000;
+  policy.stagger = 0;
+  policy.max_attempts = plan.attempts;
+  // comp.weak_ack plants the endpoint bug: quorum f instead of f+1.
+  const std::uint32_t endpoint_f = weak_ack ? plan.f - 1 : plan.f;
+  CommitEndpoint endpoint(net, kEndpointAddr, addrs, endpoint_f, policy,
+                          sim::Rng(2));
+
+  std::vector<std::uint64_t> req_ids(plan.requests, 0);
+  std::map<std::uint32_t, CommitResult> results;
+  std::vector<Delivered> delivered;
+  std::set<std::uint32_t> crashed;
+
+  const auto model_index = [&](sim::NodeAddr addr) -> std::uint32_t {
+    return addr == kEndpointAddr ? ReplayStep::kEndpoint
+                                 : static_cast<std::uint32_t>(addr - 1);
+  };
+
+  // Find the first in-flight message matching a schedule step.
+  const auto find_pending = [&](const ReplayStep& step)
+      -> std::optional<std::size_t> {
+    for (std::size_t i = 0; i < net.pending_count(); ++i) {
+      const auto [from, to] = net.pending_route(i);
+      if (from != addr_of(step.from) || to != addr_of(step.to)) continue;
+      const auto msg = WireMessage::parse(net.pending_payload(i));
+      if (!msg.has_value() || msg->kind != step.msg) continue;
+      if (step.request >= req_ids.size() ||
+          msg->request_id != req_ids[step.request]) {
+        continue;
+      }
+      return i;
+    }
+    return std::nullopt;
+  };
+
+  // ---- Execute the schedule. ----
+  for (std::size_t i = 0; i < plan.schedule.size(); ++i) {
+    const ReplayStep& step = plan.schedule[i];
+    if (log != nullptr) {
+      *log << "  step " << i << ": " << step.serialize() << "\n";
+    }
+    switch (step.kind) {
+      case ReplayStep::Kind::kSubmit: {
+        if (step.request >= plan.requests) {
+          return diverged(i, step, "request index out of range");
+        }
+        const std::uint32_t request = step.request;
+        req_ids[request] = endpoint.submit(
+            plan.guid, payload_of(request),
+            [&results, request](const CommitResult& r) {
+              results[request] = r;
+            });
+        break;
+      }
+      case ReplayStep::Kind::kRetry:
+      case ReplayStep::Kind::kFail: {
+        // The endpoint's timers all share the fixed back-off, so stepping
+        // the scheduler by one event fires the earliest outstanding
+        // timeout — which retries or finally fails its request.
+        if (sched.run(1) == 0) {
+          return diverged(i, step, "no outstanding endpoint timer");
+        }
+        break;
+      }
+      case ReplayStep::Kind::kDeliver: {
+        const auto idx = find_pending(step);
+        if (!idx.has_value()) {
+          return diverged(i, step, "no matching in-flight message");
+        }
+        Delivered d;
+        d.from = step.from;
+        d.to = step.to;
+        d.frame = net.pending_payload(*idx);
+        d.msg = *WireMessage::parse(d.frame);
+        delivered.push_back(d);
+        net.deliver_pending(*idx);
+        break;
+      }
+      case ReplayStep::Kind::kDup: {
+        // Re-inject a copy of a frame that was already delivered once:
+        // send it again (manual mode buffers it last) and deliver it.
+        const Delivered* original = nullptr;
+        for (const Delivered& d : delivered) {
+          if (d.from == step.from && d.to == step.to &&
+              d.msg.kind == step.msg && step.request < req_ids.size() &&
+              d.msg.request_id == req_ids[step.request]) {
+            original = &d;
+          }
+        }
+        if (original == nullptr) {
+          return diverged(i, step, "no prior delivery to duplicate");
+        }
+        const Delivered copy = *original;
+        net.send(addr_of(copy.from), addr_of(copy.to), copy.frame);
+        net.deliver_pending(net.pending_count() - 1);
+        delivered.push_back(copy);
+        break;
+      }
+      case ReplayStep::Kind::kDrop: {
+        const auto idx = find_pending(step);
+        if (!idx.has_value()) {
+          return diverged(i, step, "no matching in-flight message");
+        }
+        net.drop_pending(*idx);
+        break;
+      }
+      case ReplayStep::Kind::kCrash: {
+        if (step.peer >= plan.r) {
+          return diverged(i, step, "peer index out of range");
+        }
+        crashed.insert(step.peer);
+        net.detach(addr_of(step.peer));
+        break;
+      }
+      case ReplayStep::Kind::kRecord:
+        return diverged(i, step, "record steps are model-only");
+    }
+  }
+
+  // ---- Re-check the violated property on the concrete outcome. ----
+  const std::uint32_t record_quorum = plan.f + 1;
+  const std::uint32_t vote_threshold = 2 * plan.f + 1;
+  ReplayOutcome out;
+
+  if (check_agreement) {
+    // Every recorded entry must be backed by f+1 distinct commit senders,
+    // recorded at most once per request, with one payload per request
+    // across the peer set (the inductive form of distributed agreement).
+    std::map<std::uint64_t, std::uint64_t> request_payload;
+    for (std::uint32_t j = 0; j < plan.r; ++j) {
+      if (crashed.contains(j)) continue;
+      std::set<std::uint64_t> seen;
+      for (const auto& entry : peers[j]->history(plan.guid)) {
+        if (!seen.insert(entry.request_id).second) {
+          out.reproduced = true;
+          out.description = "peer " + std::to_string(j) +
+                            " recorded one request twice";
+          return out;
+        }
+        const auto [it, fresh] =
+            request_payload.emplace(entry.request_id, entry.payload);
+        if (!fresh && it->second != entry.payload) {
+          out.reproduced = true;
+          out.description = "conflicting payloads recorded for one request";
+          return out;
+        }
+        std::set<std::uint32_t> senders;
+        for (const Delivered& d : delivered) {
+          if (d.to == j && d.msg.kind == WireMessage::Kind::kCommit &&
+              d.msg.request_id == entry.request_id) {
+            senders.insert(d.from);
+          }
+        }
+        if (senders.size() < record_quorum) {
+          out.reproduced = true;
+          out.description =
+              "peer " + std::to_string(j) + " recorded a commit backed by " +
+              std::to_string(senders.size()) +
+              " distinct commit sender(s); f+1=" +
+              std::to_string(record_quorum) + " required";
+          return out;
+        }
+      }
+    }
+    out.description = "no under-certified record observed";
+    return out;
+  }
+
+  if (check_quorum) {
+    // Every commit an honest peer emitted must be justified: 2f+1 total
+    // votes (distinct senders plus its own), or f+1 commits received.
+    std::set<std::pair<std::uint32_t, std::uint64_t>> emitted;
+    const auto note_frame = [&](std::uint32_t from, const WireMessage& msg) {
+      if (from != ReplayStep::kEndpoint &&
+          msg.kind == WireMessage::Kind::kCommit) {
+        emitted.insert({from, msg.request_id});
+      }
+    };
+    for (const Delivered& d : delivered) note_frame(d.from, d.msg);
+    for (std::size_t i = 0; i < net.pending_count(); ++i) {
+      const auto msg = WireMessage::parse(net.pending_payload(i));
+      if (msg.has_value()) {
+        note_frame(model_index(net.pending_route(i).first), *msg);
+      }
+    }
+    for (const auto& [peer, request_id] : emitted) {
+      std::set<std::uint32_t> vote_senders;
+      std::set<std::uint32_t> commit_senders;
+      bool own_vote = false;
+      for (const Delivered& d : delivered) {
+        if (d.msg.request_id != request_id) continue;
+        if (d.to == peer && d.msg.kind == WireMessage::Kind::kVote) {
+          vote_senders.insert(d.from);
+        }
+        if (d.to == peer && d.msg.kind == WireMessage::Kind::kCommit) {
+          commit_senders.insert(d.from);
+        }
+        if (d.from == peer && d.msg.kind == WireMessage::Kind::kVote) {
+          own_vote = true;
+        }
+      }
+      for (std::size_t i = 0; i < net.pending_count(); ++i) {
+        const auto msg = WireMessage::parse(net.pending_payload(i));
+        if (msg.has_value() && msg->kind == WireMessage::Kind::kVote &&
+            msg->request_id == request_id &&
+            model_index(net.pending_route(i).first) == peer) {
+          own_vote = true;
+        }
+      }
+      const std::uint32_t votes =
+          static_cast<std::uint32_t>(vote_senders.size()) +
+          (own_vote ? 1 : 0);
+      if (votes < vote_threshold && commit_senders.size() < record_quorum) {
+        out.reproduced = true;
+        out.description = "peer " + std::to_string(peer) +
+                          " sent a commit justified by only " +
+                          std::to_string(votes) + " vote(s); 2f+1=" +
+                          std::to_string(vote_threshold) + " required";
+        return out;
+      }
+    }
+    out.description = "no unjustified commit observed";
+    return out;
+  }
+
+  // composition.ack_quorum: an acknowledged request must hold f+1 distinct
+  // peer confirmations.
+  for (const auto& [request, result] : results) {
+    if (!result.committed) continue;
+    std::set<std::uint32_t> confirmers;
+    for (const Delivered& d : delivered) {
+      if (d.to == ReplayStep::kEndpoint &&
+          d.msg.kind == WireMessage::Kind::kCommitted &&
+          d.msg.request_id == req_ids[request]) {
+        confirmers.insert(d.from);
+      }
+    }
+    if (confirmers.size() < record_quorum) {
+      out.reproduced = true;
+      out.description = "request " + std::to_string(request) +
+                        " acknowledged after " +
+                        std::to_string(confirmers.size()) +
+                        " confirmation(s); f+1=" +
+                        std::to_string(record_quorum) + " required";
+      return out;
+    }
+  }
+  out.description = "no under-confirmed acknowledgement observed";
+  return out;
+}
+
+}  // namespace asa_repro::commit

@@ -1,0 +1,99 @@
+// Counterexample replay plans (asa-replay/1): the bridge between the
+// composition model checker (src/check/composition.cpp) and the concrete
+// simulator.
+//
+// When the checker finds a violated protocol property it exports the
+// interleaving as a ReplayPlan: a sim::FaultPlan for the faults (crashes)
+// plus a message schedule naming every delivery, duplication, drop and
+// endpoint step on the path from the initial state to the violation. The
+// plan is pure text, written by `fsmcheck --protocol --replay-out` and
+// consumed by `asasim --replay`, which re-executes the schedule against the
+// real CommitPeer/CommitEndpoint runtime in the manual-delivery network and
+// re-checks the violated property on the concrete outcome — closing the
+// loop between the static layer and the simulator.
+//
+// The schedule speaks the model's vocabulary: peers are 0-based indices
+// into the peer set, the endpoint is a distinguished participant, and
+// update attempts are identified by their request index (the model lets a
+// retry re-offer the same logical update, so request and update coincide).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "commit/messages.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace asa_repro::commit {
+
+/// One step of a counterexample schedule.
+struct ReplayStep {
+  enum class Kind {
+    kSubmit,   // Endpoint submits request `request`.
+    kRetry,    // Endpoint times out and re-sends request `request`.
+    kFail,     // Endpoint exhausts attempts and reports failure.
+    kDeliver,  // Deliver one in-flight message (msg, from, to, request).
+    kDup,      // Deliver a duplicate of an already-delivered message.
+    kDrop,     // Drop one in-flight message.
+    kCrash,    // Peer `peer` fail-stops.
+    kRecord,   // Peer `peer` records request `request` (only emitted when a
+               //   mutation separates recording from the commit decision).
+  };
+
+  /// `from`/`to` value meaning "the endpoint" rather than a peer index.
+  static constexpr std::uint32_t kEndpoint = 0xFFFF'FFFF;
+
+  Kind kind = Kind::kDeliver;
+  WireMessage::Kind msg = WireMessage::Kind::kUpdate;  // deliver/dup/drop.
+  std::uint32_t from = kEndpoint;
+  std::uint32_t to = 0;
+  std::uint32_t request = 0;
+  std::uint32_t peer = 0;  // crash/record.
+
+  friend bool operator==(const ReplayStep&, const ReplayStep&) = default;
+
+  /// One-line wire form, e.g. "deliver vote from=1 to=2 req=0".
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static std::optional<ReplayStep> parse(
+      const std::string& line);
+};
+
+/// A complete exported counterexample.
+struct ReplayPlan {
+  std::uint32_t r = 4;
+  std::uint32_t f = 1;
+  std::uint32_t requests = 1;
+  std::uint32_t attempts = 1;
+  std::uint64_t guid = 7;       // Arbitrary fixed GUID for the replay run.
+  std::string mutation;          // Injected mutation name; empty = pristine.
+  std::string check;             // The violated composition.* check id.
+  std::string detail;            // Human-readable violation description.
+  sim::FaultPlan faults;         // Crash events, in schedule order.
+  std::vector<ReplayStep> schedule;
+
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static std::optional<ReplayPlan> parse(
+      const std::string& text);
+};
+
+/// Outcome of replaying a plan against the concrete runtime.
+struct ReplayOutcome {
+  /// False when the plan's mutation has no runtime twin (the bug lives
+  /// only in the abstraction, e.g. a model with recording decoupled from
+  /// the commit decision) — the replay is skipped, not failed.
+  bool supported = true;
+  /// True when the concrete run re-exhibits the violated property.
+  bool reproduced = false;
+  std::string description;
+};
+
+/// Re-execute `plan` against real CommitPeers and a real CommitEndpoint in
+/// a manual-delivery network, then re-check the plan's violated property on
+/// the concrete histories, deliveries and acknowledgements. `log`, when
+/// non-null, receives one line per schedule step.
+ReplayOutcome run_replay(const ReplayPlan& plan, std::ostream* log = nullptr);
+
+}  // namespace asa_repro::commit

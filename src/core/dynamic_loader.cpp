@@ -16,10 +16,15 @@ namespace {
 
 bool command_exists(const std::string& cmd) {
   const std::string probe = "command -v " + cmd + " >/dev/null 2>&1";
+  // Same single-threaded startup window as detect_compiler() below.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   return std::system(probe.c_str()) == 0;
 }
 
 std::string detect_compiler() {
+  // Read-only env probe before any generation worker threads start; no
+  // writer to the environment exists anywhere in the codebase.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* cxx = std::getenv("CXX");
       cxx != nullptr && *cxx != '\0' && command_exists(cxx)) {
     return cxx;

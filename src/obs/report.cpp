@@ -219,6 +219,43 @@ std::optional<std::string> validate_findings_json(const JsonValue& root) {
                " trace entry is not a string";
       }
     }
+    // Composition findings may carry a replay schedule (asa-replay/1 step
+    // lines); when present it must be an array of strings.
+    const JsonValue* schedule = entry.find("schedule");
+    if (schedule != nullptr) {
+      if (!schedule->is_array()) {
+        return "finding " + entry.find("check")->as_string() +
+               " schedule is not an array";
+      }
+      for (const JsonValue& s : schedule->items()) {
+        if (!s.is_string()) {
+          return "finding " + entry.find("check")->as_string() +
+                 " schedule entry is not a string";
+        }
+      }
+    }
+  }
+  // Optional per-group wall-clock timings. The clock label is mandatory so
+  // consumers know to exclude the section from byte-identity comparisons.
+  const JsonValue* timings = root.find("timings");
+  if (timings != nullptr) {
+    if (!timings->is_array()) return "timings is not an array";
+    for (const JsonValue& t : timings->items()) {
+      if (!t.is_object()) return "timings entry is not an object";
+      const JsonValue* group = t.find("group");
+      if (group == nullptr || !group->is_string()) {
+        return "timings entry without string group";
+      }
+      const JsonValue* ms = t.find("ms");
+      if (ms == nullptr || !ms->is_number()) {
+        return "timings entry without numeric ms";
+      }
+      const JsonValue* clock = t.find("clock");
+      if (clock == nullptr || !clock->is_string() ||
+          clock->as_string() != "wall") {
+        return "timings entry without clock=wall label";
+      }
+    }
   }
   if (static_cast<std::uint64_t>(summary->find("findings")->as_int()) !=
       findings->items().size()) {

@@ -243,4 +243,19 @@ void Network::deliver_pending(std::size_t index) {
   deliver_copy(msg.from, msg.to, msg.payload, msg.id, msg.sent_at);
 }
 
+void Network::drop_pending(std::size_t index) {
+  check_pending_index(index);
+  const PendingMessage msg = std::move(pending_[index]);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++stats_.dropped;
+  if (trace_ != nullptr) {
+    trace_->record(sched_.now(), msg.from, "net.drop",
+                   route_detail(msg.id, msg.from, msg.to));
+  }
+  if (flight_ != nullptr) {
+    flight_->record(sched_.now(), msg.from, "net.drop",
+                    route_detail(msg.id, msg.from, msg.to));
+  }
+}
+
 }  // namespace asa_repro::sim

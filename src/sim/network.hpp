@@ -206,10 +206,22 @@ class Network {
     return {pending_[index].from, pending_[index].to};
   }
 
+  /// Peek at a pending message's payload (for harnesses that select
+  /// messages by parsed content, e.g. counterexample-schedule replay).
+  /// Throws std::out_of_range for an invalid index.
+  [[nodiscard]] const std::string& pending_payload(std::size_t index) const {
+    check_pending_index(index);
+    return pending_[index].payload;
+  }
+
   /// Deliver the index-th pending message now (removes it from the
   /// buffer). Handlers may send more messages, which append to the buffer.
   /// Throws std::out_of_range for an invalid index.
   void deliver_pending(std::size_t index);
+
+  /// Drop the index-th pending message without delivering it (counted in
+  /// stats as dropped). Throws std::out_of_range for an invalid index.
+  void drop_pending(std::size_t index);
 
   /// Drop every buffered message (end-of-exploration cleanup).
   void clear_pending() { pending_.clear(); }

@@ -13,10 +13,12 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "commit/replay.hpp"
 #include "obs/metrics.hpp"
 #include "sim/workload.hpp"
 #include "storage/cluster.hpp"
@@ -63,7 +65,12 @@ void usage() {
       "  --spans-out FILE     write commit-path spans (asa-span/1 JSON),\n"
       "                       fed to asareport --critical-path\n"
       "  --flight N           per-node flight recorder, N recent events\n"
-      "                       (dumped as part of run output)\n";
+      "                       (dumped as part of run output)\n"
+      "  --replay FILE        replay an asa-replay/1 counterexample plan\n"
+      "                       (from `fsmcheck --protocol --replay-out`)\n"
+      "                       against the real runtime and re-check the\n"
+      "                       violated property; all other options are\n"
+      "                       ignored\n";
 }
 
 std::optional<commit::Behaviour> parse_behaviour(const std::string& name) {
@@ -170,6 +177,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string spans_out;
+  std::string replay_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -260,11 +268,47 @@ int main(int argc, char** argv) {
       read_fraction = std::stoi(next()) / 100.0;
     } else if (arg == "--open-loop") {
       open_loop = true;
+    } else if (arg == "--replay") {
+      replay_path = next();
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       usage();
       return 2;
     }
+  }
+
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::cerr << "asasim: cannot read " << replay_path << "\n";
+      return 2;
+    }
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    const auto plan = commit::ReplayPlan::parse(text);
+    if (!plan.has_value()) {
+      std::cerr << "asasim: " << replay_path
+                << " is not an asa-replay/1 plan\n";
+      return 2;
+    }
+    std::cout << "replaying " << plan->check << " (r=" << plan->r
+              << ", mutation="
+              << (plan->mutation.empty() ? "none" : plan->mutation) << ", "
+              << plan->schedule.size() << " steps)\n";
+    const commit::ReplayOutcome outcome =
+        commit::run_replay(*plan, dump_trace ? &std::cout : nullptr);
+    if (!outcome.supported) {
+      std::cout << "replay unsupported: " << outcome.description << "\n";
+      return 0;
+    }
+    if (outcome.reproduced) {
+      std::cout << "violation reproduced: " << plan->check << " — "
+                << outcome.description << "\n";
+      return 0;
+    }
+    std::cout << "violation NOT reproduced: " << plan->check << " — "
+              << outcome.description << "\n";
+    return 1;
   }
 
   config.retry.base_timeout = 80'000;

@@ -1,30 +1,38 @@
 // fsmcheck — static verification of the generated FSM family and EFSM.
 //
-// Runs the five analysis groups of src/check over the commit protocol:
+// Runs the six analysis groups of src/check over the commit protocol:
 // structural lints and rendered-artefact round-trips on every generated
 // machine in the replication-factor range, exhaustive protocol-property
 // traversal (vote/commit emitted at most once and only at threshold,
 // finality exactly at f+1 commits, termination), bounded-enumeration guard
 // analysis of the hand-written EFSM, family conformance (the EFSM
 // expanded at each r trace-equivalent to the generated machine; the
-// checked-in generated source byte-identical to regeneration), and
+// checked-in generated source byte-identical to regeneration),
 // compiled-backend conformance (the dense dispatch table's layout,
-// decoder, and trace equivalence to the interpreter across the family).
+// decoder, and trace equivalence to the interpreter across the family),
+// and — under --protocol — explicit-state model checking of the COMPOSED
+// protocol: r peers, the endpoint abstraction and a lossy reordering
+// network, with counterexamples exported as asa-replay/1 plans.
 //
 // Exit code 0 = no findings, 1 = findings (or a failed mutation
-// self-test), 2 = usage error. CI runs both modes and fails on either.
+// self-test), 2 = usage error. CI runs all modes and fails on any.
 //
 // Examples:
 //   fsmcheck --family 4..16 --efsm
 //   fsmcheck -r 4 --json findings.json
 //   fsmcheck --mutate
-//   fsmcheck -r 4 --dot flagged.dot --mermaid flagged.md
+//   fsmcheck --protocol                       (composition, r=4..8)
+//   fsmcheck --protocol -r 4 --mutation comp.dup_vote --replay-out plan.txt
+//   fsmcheck --protocol --mutate
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "check/check.hpp"
+#include "check/composition.hpp"
 #include "check/findings.hpp"
 #include "check/mutate.hpp"
 #include "commit/commit_model.hpp"
@@ -39,7 +47,8 @@ namespace {
 void usage() {
   std::cout <<
       "usage: fsmcheck [options]\n"
-      "  -r N             check a single replication factor (default 4..16)\n"
+      "  -r N             check a single replication factor (default 4..16;\n"
+      "                   4..8 under --protocol)\n"
       "  --family A..B    check every replication factor in [A, B]\n"
       "  --efsm           include EFSM guard analysis and family\n"
       "                   conformance (default on; --no-efsm disables)\n"
@@ -55,8 +64,38 @@ void usage() {
       "                   offending states/transitions highlighted\n"
       "  --mermaid FILE   same, as a Mermaid state diagram\n"
       "  --mutate         run the mutation self-test instead: seed known\n"
-      "                   defects and require 100% detection\n"
-      "  --jobs N         generation/equivalence lanes (0 = hardware)\n";
+      "                   defects and require 100% detection (with\n"
+      "                   --protocol: the composition-level catalogue)\n"
+      "  --jobs N         generation/equivalence lanes (0 = hardware)\n"
+      "protocol composition (analysis group 6):\n"
+      "  --protocol       model-check the COMPOSED protocol: peers +\n"
+      "                   endpoint + lossy reordering network\n"
+      "  --net-bound N    prune states with more than N in-flight messages\n"
+      "                   (0 = unbounded, the sound default)\n"
+      "  --requests N     concurrent client updates (default 1)\n"
+      "  --attempts N     endpoint attempts per request (default 1)\n"
+      "  --drops N        message-drop budget (default 1)\n"
+      "  --dups N         duplicate-delivery budget (default 1; only spent\n"
+      "                   under comp.dup_vote, where duplicates matter)\n"
+      "  --crashes N      fail-stop crash budget (capped at f; default 1)\n"
+      "  --mutation NAME  plant one composition mutation (see --protocol\n"
+      "                   --mutate for the catalogue)\n"
+      "  --replay-out FILE  export the preferred counterexample as an\n"
+      "                   asa-replay/1 plan for `asasim --replay`\n";
+}
+
+/// Strict base-10 uint32 parse: rejects empty strings, signs, leading
+/// whitespace, trailing garbage and values that do not fit. (std::stoul
+/// accepts "4x" and silently wraps "-1" — both have bitten --family.)
+std::optional<std::uint32_t> parse_u32(const std::string& text) {
+  if (text.empty() || text.size() > 10) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  if (value > 0xFFFF'FFFFull) return std::nullopt;
+  return static_cast<std::uint32_t>(value);
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -92,10 +131,7 @@ void render_flagged(const check::Findings& findings,
   const std::size_t pos = label.rfind('r');
   std::uint32_t r = options.r_lo;
   if (pos != std::string::npos) {
-    try {
-      r = static_cast<std::uint32_t>(std::stoul(label.substr(pos + 1)));
-    } catch (const std::exception&) {
-    }
+    if (const auto parsed = parse_u32(label.substr(pos + 1))) r = *parsed;
   }
   commit::CommitModel model(r);
   fsm::GenerationOptions gen_options;
@@ -123,8 +159,7 @@ void render_flagged(const check::Findings& findings,
   }
 }
 
-int run_mutate(std::uint32_t r, unsigned jobs) {
-  const check::MutationReport report = check::run_mutation_self_test(r, jobs);
+void print_mutation_report(const check::MutationReport& report) {
   for (const check::MutationOutcome& o : report.outcomes) {
     std::cout << (o.detected ? "caught " : "MISSED ") << o.name << ": "
               << o.description << "\n";
@@ -134,12 +169,94 @@ int run_mutate(std::uint32_t r, unsigned jobs) {
   }
   std::cout << report.detected() << "/" << report.outcomes.size()
             << " mutations detected\n";
+}
+
+int run_mutate(std::uint32_t r, unsigned jobs) {
+  const check::MutationReport report = check::run_mutation_self_test(r, jobs);
+  print_mutation_report(report);
   if (!report.all_detected()) {
     std::cerr << "fsmcheck: mutation self-test FAILED — the checks above "
                  "did not flag a known-broken model\n";
     return 1;
   }
   return 0;
+}
+
+int run_protocol(check::CompositionOptions base, std::uint32_t r_lo,
+                 std::uint32_t r_hi, bool mutate,
+                 const std::string& json_path,
+                 const std::string& replay_path) {
+  if (mutate) {
+    base.r = r_lo;
+    const check::MutationReport report =
+        check::run_composition_mutation_self_test(base);
+    print_mutation_report(report);
+    if (!report.all_detected()) {
+      std::cerr << "fsmcheck: composition mutation self-test FAILED — a "
+                   "known protocol bug survived the composition checks\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  check::Findings findings;
+  std::vector<check::GroupTiming> timings;
+  std::size_t checks_run = 0;
+  std::optional<commit::ReplayPlan> replay;
+  for (std::uint32_t r = r_lo; r <= r_hi; ++r) {
+    check::CompositionOptions options = base;
+    options.r = r;
+    const auto start = std::chrono::steady_clock::now();
+    const check::CompositionResult result = check::check_composition(options);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    checks_run += result.checks_run;
+    std::cout << "r=" << r << ": " << result.stats.states
+              << " canonical states, " << result.stats.transitions
+              << " transitions, " << result.stats.absorbed
+              << " absorbed, "
+              << (result.stats.complete ? "complete" : "TRUNCATED") << " ("
+              << elapsed.count() << " ms)\n";
+    for (const check::Finding& f : result.findings) {
+      std::cout << check::to_string(f) << "\n";
+    }
+    if (!replay.has_value()) {
+      const std::size_t best = check::preferred_replay(result);
+      if (best < result.plans.size()) replay = result.plans[best];
+    }
+    findings.insert(findings.end(), result.findings.begin(),
+                    result.findings.end());
+    check::GroupTiming timing;
+    timing.group = "composition_r" + std::to_string(r);
+    timing.ms = static_cast<std::uint64_t>(elapsed.count());
+    timings.push_back(std::move(timing));
+  }
+  std::cout << checks_run << " composition checks over r=" << r_lo << ".."
+            << r_hi << ": " << findings.size() << " finding(s)\n";
+
+  if (!replay_path.empty()) {
+    if (replay.has_value()) {
+      if (!write_file(replay_path, replay->serialize())) return 2;
+      std::cout << "wrote " << replay_path << " (" << replay->check << ", "
+                << replay->schedule.size() << " steps)\n";
+    } else {
+      std::cout << "no counterexample to export to " << replay_path << "\n";
+    }
+  }
+  if (!json_path.empty()) {
+    const obs::Meta meta = {
+        {"tool", "fsmcheck"},
+        {"model", "commit"},
+        {"mode", "protocol"},
+        {"family", std::to_string(r_lo) + ".." + std::to_string(r_hi)},
+        {"mutation", base.mutation.empty() ? "none" : base.mutation},
+    };
+    if (!write_file(json_path, check::write_findings_json(
+                                   findings, meta, checks_run, timings))) {
+      return 2;
+    }
+  }
+  return findings.empty() ? 0 : 1;
 }
 
 }  // namespace
@@ -149,76 +266,151 @@ int main(int argc, char** argv) {
 #ifdef ASA_DEFAULT_ARTIFACT
   options.artifact_path = ASA_DEFAULT_ARTIFACT;
 #endif
+  check::CompositionOptions comp;
   std::string json_path;
   std::string dot_path;
   std::string mermaid_path;
+  std::string replay_path;
   bool mutate = false;
   bool single_r = false;
+  bool family_given = false;
+  bool protocol = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
       return i + 1 < argc ? std::string(argv[++i]) : std::string();
     };
-    try {
-      if (arg == "-h" || arg == "--help") {
-        usage();
-        return 0;
-      } else if (arg == "-r") {
-        options.r_lo = options.r_hi =
-            static_cast<std::uint32_t>(std::stoul(next()));
-        single_r = true;
-      } else if (arg == "--family") {
-        const std::string range = next();
-        const std::size_t dots = range.find("..");
-        if (dots == std::string::npos) {
-          std::cerr << "fsmcheck: --family expects A..B\n";
-          return 2;
-        }
-        options.r_lo = static_cast<std::uint32_t>(
-            std::stoul(range.substr(0, dots)));
-        options.r_hi = static_cast<std::uint32_t>(
-            std::stoul(range.substr(dots + 2)));
-      } else if (arg == "--efsm") {
-        options.efsm = true;
-      } else if (arg == "--no-efsm") {
-        options.efsm = false;
-      } else if (arg == "--no-table") {
-        options.table_backend = false;
-      } else if (arg == "--no-artefact") {
-        options.artifact_path.clear();
-      } else if (arg == "--generated") {
-        options.artifact_path = next();
-      } else if (arg == "--json") {
-        json_path = next();
-      } else if (arg == "--dot") {
-        dot_path = next();
-      } else if (arg == "--mermaid") {
-        mermaid_path = next();
-      } else if (arg == "--mutate") {
-        mutate = true;
-      } else if (arg == "--jobs") {
-        options.jobs = static_cast<unsigned>(std::stoul(next()));
-      } else {
-        std::cerr << "unknown argument: " << arg << "\n";
-        usage();
+    // Strict numeric option parse: fail loudly on "4x", "-1", "" etc.
+    const auto next_u32 = [&]() -> std::optional<std::uint32_t> {
+      const std::string value = next();
+      const auto parsed = parse_u32(value);
+      if (!parsed.has_value()) {
+        std::cerr << "fsmcheck: " << arg
+                  << " expects an unsigned integer, got '" << value << "'\n";
+      }
+      return parsed;
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (arg == "-r") {
+      const auto r = next_u32();
+      if (!r.has_value()) return 2;
+      options.r_lo = options.r_hi = *r;
+      single_r = true;
+    } else if (arg == "--family") {
+      const std::string range = next();
+      const std::size_t dots = range.find("..");
+      const auto lo =
+          dots == std::string::npos
+              ? std::nullopt
+              : parse_u32(range.substr(0, dots));
+      const auto hi =
+          dots == std::string::npos
+              ? std::nullopt
+              : parse_u32(range.substr(dots + 2));
+      if (!lo.has_value() || !hi.has_value()) {
+        std::cerr << "fsmcheck: --family expects A..B with unsigned "
+                     "integers A <= B, got '"
+                  << range << "'\n";
         return 2;
       }
-    } catch (const std::exception&) {
-      std::cerr << "bad value for " << arg << "\n";
+      options.r_lo = *lo;
+      options.r_hi = *hi;
+      family_given = true;
+    } else if (arg == "--efsm") {
+      options.efsm = true;
+    } else if (arg == "--no-efsm") {
+      options.efsm = false;
+    } else if (arg == "--no-table") {
+      options.table_backend = false;
+    } else if (arg == "--no-artefact") {
+      options.artifact_path.clear();
+    } else if (arg == "--generated") {
+      options.artifact_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--dot") {
+      dot_path = next();
+    } else if (arg == "--mermaid") {
+      mermaid_path = next();
+    } else if (arg == "--mutate") {
+      mutate = true;
+    } else if (arg == "--jobs") {
+      const auto jobs = next_u32();
+      if (!jobs.has_value()) return 2;
+      options.jobs = *jobs;
+    } else if (arg == "--protocol") {
+      protocol = true;
+    } else if (arg == "--net-bound") {
+      const auto bound = next_u32();
+      if (!bound.has_value()) return 2;
+      comp.net_bound = *bound;
+    } else if (arg == "--requests") {
+      const auto requests = next_u32();
+      if (!requests.has_value()) return 2;
+      comp.requests = *requests;
+    } else if (arg == "--attempts") {
+      const auto attempts = next_u32();
+      if (!attempts.has_value()) return 2;
+      comp.attempts = *attempts;
+    } else if (arg == "--drops") {
+      const auto drops = next_u32();
+      if (!drops.has_value()) return 2;
+      comp.drops = *drops;
+    } else if (arg == "--dups") {
+      const auto dups = next_u32();
+      if (!dups.has_value()) return 2;
+      comp.dups = *dups;
+    } else if (arg == "--crashes") {
+      const auto crashes = next_u32();
+      if (!crashes.has_value()) return 2;
+      comp.crashes = *crashes;
+    } else if (arg == "--mutation") {
+      comp.mutation = next();
+    } else if (arg == "--replay-out") {
+      replay_path = next();
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      usage();
       return 2;
     }
+  }
+  if (protocol && !single_r && !family_given) {
+    // The composition state space grows much faster than the per-machine
+    // checks'; default to the CI gate's r range.
+    options.r_lo = 4;
+    options.r_hi = 8;
   }
   if (options.r_lo < 2 || options.r_lo > options.r_hi) {
     std::cerr << "fsmcheck: bad replication range " << options.r_lo << ".."
               << options.r_hi << "\n";
     return 2;
   }
+  if (!protocol &&
+      (comp.net_bound != 0 || !comp.mutation.empty() ||
+       !replay_path.empty())) {
+    std::cerr << "fsmcheck: --net-bound/--mutation/--replay-out require "
+                 "--protocol\n";
+    return 2;
+  }
+
+  if (protocol) {
+    try {
+      return run_protocol(comp, options.r_lo, options.r_hi, mutate,
+                          json_path, replay_path);
+    } catch (const std::exception& error) {
+      std::cerr << "fsmcheck: " << error.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (mutate) return run_mutate(single_r ? options.r_lo : 4, options.jobs);
+
   // The checked-in artefact is the r=4 machine: comparing it only makes
   // sense when r=4 is part of the sweep.
   if (single_r && options.r_lo != 4) options.artifact_path.clear();
-
-  if (mutate) return run_mutate(single_r ? options.r_lo : 4, options.jobs);
 
   const check::CheckRun run = check::run_commit_checks(options);
   for (const check::Finding& f : run.findings) {
@@ -236,8 +428,10 @@ int main(int argc, char** argv) {
         {"efsm", options.efsm ? "on" : "off"},
         {"table", options.table_backend ? "on" : "off"},
     };
-    if (!write_file(json_path, check::write_findings_json(
-                                   run.findings, meta, run.checks_run))) {
+    if (!write_file(json_path,
+                    check::write_findings_json(run.findings, meta,
+                                               run.checks_run,
+                                               run.timings))) {
       return 2;
     }
   }
